@@ -1,0 +1,129 @@
+"""Ablation: instrumentation strategies (Sec. 6 vs Sec. 8 outlook).
+
+Compares four ways of recording JavaScript calls on the same workload:
+
+* vanilla OpenWPM (page-context wrappers, vulnerable),
+* WPM_hide (exported wrappers, hardened),
+* debugger-level (engine hooks — the paper's 'towards robust
+  instrumentation' recommendation),
+* none (baseline for the fingerprint surface).
+
+Reported per strategy: detector verdict, number of page-visible
+tampered properties, records captured on a probing workload, and
+whether the Listing 2/3 attacks bite.
+"""
+
+from conftest import report
+
+WORKLOAD = """
+navigator.userAgent;
+screen.availLeft;
+var ifr = document.createElement('iframe');
+document.body.appendChild(ifr);
+ifr.contentWindow.screen.availLeft;
+"""
+
+
+def _run_strategy(strategy):
+    from repro.browser.profiles import openwpm_profile, \
+        stock_firefox_profile
+    from repro.core.attacks import run_block_recording_attack
+    from repro.core.fingerprint import OpenWPMDetector, capture_template, \
+        diff_templates
+    from repro.core.hardening import (
+        DebuggerJSInstrument,
+        StealthJSInstrument,
+        StealthSettings,
+    )
+    from repro.core.lab import make_window, visit_with_scripts
+    from repro.openwpm import BrowserParams, OpenWPMExtension
+
+    settings = StealthSettings.plausible()
+    stealth_profile = dict(window_size=settings.window_size,
+                           window_position=settings.window_position)
+    if strategy == "vanilla":
+        extension = OpenWPMExtension(BrowserParams())
+        profile = openwpm_profile("ubuntu", "regular")
+    elif strategy == "wpm_hide":
+        extension = OpenWPMExtension(BrowserParams(stealth=True),
+                                     js_instrument=StealthJSInstrument())
+        profile = openwpm_profile("ubuntu", "regular", **stealth_profile)
+    elif strategy == "debugger":
+        extension = OpenWPMExtension(
+            BrowserParams(stealth=True),
+            js_instrument=DebuggerJSInstrument(hide_webdriver=True))
+        profile = openwpm_profile("ubuntu", "regular", **stealth_profile)
+    else:  # none
+        extension = None
+        profile = openwpm_profile("ubuntu", "regular", **stealth_profile)
+
+    _, window = make_window(profile, extension=extension)
+    detected = OpenWPMDetector().test_window(window).is_openwpm
+
+    _, plain = make_window(openwpm_profile("ubuntu", "regular",
+                                           **stealth_profile))
+    tampered = len(diff_templates(
+        capture_template(plain), capture_template(window))
+        .tampered_functions())
+
+    records = 0
+    iframe_covered = False
+    block_attack = None
+    if extension is not None:
+        extension.js_instrument.clear_records()
+        extension2 = type(extension)(
+            extension.params, js_instrument=type(
+                extension.js_instrument)())
+        _, result = visit_with_scripts(profile, [WORKLOAD],
+                                       extension=extension2)
+        symbols = [s.lower()
+                   for s in extension2.js_instrument.symbols_accessed()]
+        records = len(symbols)
+        iframe_covered = symbols.count("screen.availleft") >= 2
+        stealth = strategy != "vanilla"
+        block_attack = run_block_recording_attack(stealth=stealth) \
+            if strategy != "debugger" else None
+    return {
+        "detected": detected,
+        "tampered": tampered,
+        "records": records,
+        "iframe_covered": iframe_covered,
+        "block_attack_succeeds":
+            block_attack.succeeded if block_attack else False,
+    }
+
+
+def test_benchmark_instrumentation_ablation(benchmark):
+    strategies = ["vanilla", "wpm_hide", "debugger", "none"]
+
+    def run_all():
+        return {name: _run_strategy(name) for name in strategies}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["| strategy | detected | page-visible tampering | "
+             "records | iframe covered | Listing-2 attack |",
+             "|---|---|---|---|---|---|"]
+    for name in strategies:
+        r = results[name]
+        lines.append(f"| {name} | {r['detected']} | {r['tampered']} | "
+                     f"{r['records']} | {r['iframe_covered']} | "
+                     f"{'succeeds' if r['block_attack_succeeds'] else 'fails/NA'} |")
+    report("ablation_instrumentation",
+           "Ablation - instrumentation strategies", lines)
+
+    assert results["vanilla"]["detected"] is True
+    assert results["vanilla"]["tampered"] > 200
+    assert results["vanilla"]["block_attack_succeeds"] is True
+    assert results["vanilla"]["iframe_covered"] is False
+
+    assert results["wpm_hide"]["detected"] is False
+    assert results["wpm_hide"]["tampered"] == 0
+    assert results["wpm_hide"]["iframe_covered"] is True
+
+    assert results["debugger"]["detected"] is False
+    assert results["debugger"]["tampered"] == 0
+    assert results["debugger"]["iframe_covered"] is True
+    assert results["debugger"]["records"] > 0
+
+    assert results["none"]["records"] == 0

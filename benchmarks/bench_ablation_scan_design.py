@@ -1,0 +1,72 @@
+"""Ablations of the scan pipeline's design choices (Sec. 4.1).
+
+Three knockouts over the same crawl:
+
+* **no deobfuscation** — static analysis without hex/unicode decoding
+  loses the hex-encoded detectors;
+* **no honey properties** — iterator fingerprinters can no longer be
+  separated from targeted probes: dynamic results absorb the
+  'inconclusive' class as false positives;
+* **subpage depth 0..3** — the detection-rate curve behind Fig. 3's
+  front-vs-deep contrast.
+"""
+
+from conftest import report
+
+
+def test_benchmark_scan_ablations(benchmark, bench_world, bench_scan):
+    truth_static = bench_world.ground_truth.static_detectable()
+    truth_dynamic = bench_world.ground_truth.dynamic_detectable()
+    iterators = bench_world.ground_truth.iterator_sites()
+
+    def run_ablations():
+        out = {}
+        out["full"] = bench_scan.reclassify()
+        out["no-deobfuscation"] = bench_scan.reclassify(
+            preprocess_static=False)
+        out["no-honey"] = bench_scan.reclassify(use_honey=False)
+        for depth in range(4):
+            out[f"depth-{depth}"] = bench_scan.reclassify(
+                max_visits=depth + 1)
+        return out
+
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+
+    def count(key, attribute):
+        return sum(getattr(c, attribute) for c in results[key].values())
+
+    lines = ["## Static deobfuscation", "",
+             "| variant | static (strict) sites | ground truth |",
+             "|---|---|---|",
+             f"| with deobfuscation | {count('full', 'static_clean')} | "
+             f"{len(truth_static)} |",
+             f"| without | {count('no-deobfuscation', 'static_clean')} | "
+             f"{len(truth_static)} |",
+             "", "## Honey properties", "",
+             "| variant | dynamic (clean) sites | iterator sites planted |",
+             "|---|---|---|",
+             f"| with honey filter | {count('full', 'dynamic_clean')} | "
+             f"{len(iterators)} |",
+             f"| without | {count('no-honey', 'dynamic_clean')} | "
+             f"{len(iterators)} |",
+             "", "## Subpage depth", "",
+             "| subpages visited | clean-union sites |", "|---|---|"]
+    for depth in range(4):
+        lines.append(f"| {depth} | "
+                     f"{count(f'depth-{depth}', 'clean_union')} |")
+    report("ablation_scan_design", "Ablation - scan design choices",
+           lines)
+
+    # Deobfuscation recovers hex-encoded detectors.
+    assert count("no-deobfuscation", "static_clean") \
+        < count("full", "static_clean")
+    # Without honey properties, iterator sites leak into the clean set.
+    assert count("no-honey", "dynamic_clean") \
+        >= count("full", "dynamic_clean")
+    if iterators:
+        assert count("no-honey", "dynamic_clean") \
+            > count("full", "dynamic_clean")
+    # Detection grows monotonically with subpage depth.
+    depths = [count(f"depth-{d}", "clean_union") for d in range(4)]
+    assert depths == sorted(depths)
+    assert depths[-1] > depths[0]

@@ -1,0 +1,31 @@
+"""Fig. 5: categories of sites with first-/third-party detectors."""
+
+from conftest import report
+
+
+def test_benchmark_fig5(benchmark, bench_world, bench_scan):
+    from repro.core.scan.categories import category_shares
+
+    tallies = benchmark(bench_scan.fig5, bench_world.tranco)
+
+    third = dict(category_shares(tallies["third_party"], top=16))
+    first = dict(category_shares(tallies["first_party"], top=16))
+
+    lines = ["(paper: News leads third-party inclusions at 18.4%; "
+             "Shopping leads first-party at 16.4%; Finance/Travel skew "
+             "first-party)", "",
+             "| category | third-party share | first-party share |",
+             "|---|---|---|"]
+    for category in sorted(set(third) | set(first),
+                           key=lambda c: -third.get(c, 0)):
+        lines.append(f"| {category} | {third.get(category, 0):.3f} | "
+                     f"{first.get(category, 0):.3f} |")
+    report("fig05_site_categories",
+           "Fig 5 - categories of sites with detectors", lines)
+
+    # News leads the third-party ranking.
+    assert max(third, key=third.get) == "News"
+    # Shopping is more prominent among first-party detector sites.
+    assert first.get("Shopping", 0) > third.get("Shopping", 0)
+    # News is less prominent among first-party detector sites.
+    assert first.get("News", 1) < third.get("News", 0)

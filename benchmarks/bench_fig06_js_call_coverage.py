@@ -1,0 +1,30 @@
+"""Fig. 6: JS API call coverage of WPM relative to WPM_hide."""
+
+from conftest import report
+
+
+def test_benchmark_fig6(benchmark, bench_paired):
+    rows = benchmark(bench_paired.fig6, 0)
+
+    lines = ["(paper: Screen.top ~99% covered, Screen.availLeft only "
+             "~63% — calls into freshly created iframes go unobserved "
+             "by vanilla OpenWPM)", "",
+             "| symbol | WPM calls | WPM_hide calls | coverage |",
+             "|---|---|---|---|"]
+    by_symbol = {}
+    for row in rows[:15]:
+        lines.append(f"| {row['symbol']} | {row['wpm']} | "
+                     f"{row['wpm_hide']} | {row['coverage']:.2f} |")
+    for row in rows:
+        by_symbol[row["symbol"]] = row
+    report("fig06_js_call_coverage", "Fig 6 - JS call coverage", lines)
+
+    avail_left = by_symbol.get("Screen.availLeft")
+    screen_top = by_symbol.get("Screen.top")
+    assert avail_left is not None and screen_top is not None
+    # The iframe-heavy API is substantially under-covered by vanilla.
+    assert avail_left["coverage"] < 0.8
+    assert screen_top["coverage"] > avail_left["coverage"]
+    # webdriver probing itself is well covered (top-window accesses).
+    webdriver = by_symbol.get("Navigator.webdriver")
+    assert webdriver is not None and webdriver["coverage"] > 0.8

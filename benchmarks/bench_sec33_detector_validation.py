@@ -1,0 +1,56 @@
+"""Sec. 3.3: detector validation — 100% TPR on OpenWPM, 0 FPR on
+consumer browsers (plus the hardened client passing undetected)."""
+
+from conftest import report
+
+
+def test_benchmark_detector_validation(benchmark):
+    from repro.browser.profiles import consumer_profiles, openwpm_profile
+    from repro.core.fingerprint import OpenWPMDetector
+    from repro.core.hardening import StealthJSInstrument, StealthSettings
+    from repro.core.lab import make_window
+    from repro.openwpm import BrowserParams, OpenWPMExtension
+
+    detector = OpenWPMDetector()
+    setups = [("ubuntu", m) for m in ("regular", "headless", "xvfb",
+                                      "docker")] \
+        + [("macos", m) for m in ("regular", "headless")]
+
+    def validate():
+        results = {"openwpm": {}, "consumer": {}, "hardened": None}
+        for os_name, mode in setups:
+            extension = OpenWPMExtension(BrowserParams(
+                os_name=os_name, display_mode=mode))
+            _, window = make_window(openwpm_profile(os_name, mode),
+                                    extension=extension)
+            results["openwpm"][f"{os_name}/{mode}"] = \
+                detector.test_window(window).is_openwpm
+        for profile in consumer_profiles():
+            _, window = make_window(profile)
+            results["consumer"][profile.name] = \
+                detector.test_window(window).is_openwpm
+        settings = StealthSettings.plausible()
+        extension = OpenWPMExtension(BrowserParams(stealth=True),
+                                     js_instrument=StealthJSInstrument())
+        _, window = make_window(
+            openwpm_profile("ubuntu", "regular",
+                            window_size=settings.window_size,
+                            window_position=settings.window_position),
+            extension=extension)
+        results["hardened"] = detector.test_window(window).is_openwpm
+        return results
+
+    results = benchmark.pedantic(validate, rounds=1, iterations=1)
+
+    lines = ["| client | detected | expected |", "|---|---|---|"]
+    for name, detected in results["openwpm"].items():
+        lines.append(f"| OpenWPM {name} | {detected} | True |")
+    for name, detected in results["consumer"].items():
+        lines.append(f"| {name} | {detected} | False |")
+    lines.append(f"| WPM_hide (regular) | {results['hardened']} | False |")
+    report("sec33_detector_validation",
+           "Sec 3.3 - detector validation", lines)
+
+    assert all(results["openwpm"].values())  # 100% identification
+    assert not any(results["consumer"].values())  # zero false positives
+    assert results["hardened"] is False

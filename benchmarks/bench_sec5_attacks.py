@@ -1,0 +1,60 @@
+"""Sec. 5 / Listings 2-4: the recording attacks, vanilla vs hardened."""
+
+from conftest import report
+
+
+def test_benchmark_attacks(benchmark):
+    from repro.core.attacks import (
+        run_block_recording_attack,
+        run_csp_blocking_attack,
+        run_fake_injection_attack,
+        run_iframe_bypass_attack,
+        run_silent_delivery_attack,
+        run_sql_injection_probe,
+    )
+
+    def run_matrix():
+        matrix = {}
+        for stealth in (False, True):
+            key = "WPM_hide" if stealth else "WPM"
+            matrix[key] = {
+                "block-recording":
+                    run_block_recording_attack(stealth=stealth).succeeded,
+                "fake-injection":
+                    run_fake_injection_attack(stealth=stealth).succeeded,
+                "csp-blocking":
+                    run_csp_blocking_attack(stealth=stealth).succeeded,
+                "iframe-bypass":
+                    run_iframe_bypass_attack(stealth=stealth).succeeded,
+                "silent-delivery": run_silent_delivery_attack(
+                    save_content="script", stealth=stealth).succeeded,
+            }
+        matrix["WPM save_content=all"] = {
+            "silent-delivery":
+                run_silent_delivery_attack(save_content="all").succeeded}
+        matrix["sql-injection"] = run_sql_injection_probe().succeeded
+        return matrix
+
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    lines = ["(paper: every attack succeeds against vanilla OpenWPM; the "
+             "hardening mitigates all of them; the SQLite backend is "
+             "injection-safe)", "",
+             "| attack | vs WPM | vs WPM_hide |", "|---|---|---|"]
+    for attack in matrix["WPM"]:
+        lines.append(f"| {attack} | {matrix['WPM'][attack]} | "
+                     f"{matrix['WPM_hide'][attack]} |")
+    lines.append(f"| silent-delivery vs save_content='all' | "
+                 f"{matrix['WPM save_content=all']['silent-delivery']} "
+                 f"| - |")
+    lines.append(f"| sql-injection (RQ7) | {matrix['sql-injection']} | "
+                 f"- |")
+    report("sec5_attacks", "Sec 5 - recording attacks", lines)
+
+    assert all(matrix["WPM"].values())
+    assert matrix["WPM_hide"]["block-recording"] is False
+    assert matrix["WPM_hide"]["fake-injection"] is False
+    assert matrix["WPM_hide"]["csp-blocking"] is False
+    assert matrix["WPM_hide"]["iframe-bypass"] is False
+    assert matrix["WPM save_content=all"]["silent-delivery"] is False
+    assert matrix["sql-injection"] is False

@@ -1,0 +1,31 @@
+"""Table 1: measurement characteristics of 72 OpenWPM studies."""
+
+from conftest import report
+
+PAPER = {
+    "measures": {"http": 56, "cookies": 35, "javascript": 22, "other": 6},
+    "interaction": {"none": 55, "clicking": 11, "scrolling": 8,
+                    "typing": 5},
+    "subpages": {"visited": 19, "not_visited": 53},
+    "bot_detection": {"discussed": 17, "ignored": 55},
+}
+
+
+def test_benchmark_table1(benchmark):
+    from repro.literature import summarise_studies
+
+    summary = benchmark(summarise_studies)
+
+    lines = ["| category | item | paper | reproduced |",
+             "|---|---|---|---|"]
+    for category, items in PAPER.items():
+        for item, expected in items.items():
+            lines.append(f"| {category} | {item} | {expected} | "
+                         f"{summary[category][item]} |")
+    report("table01_literature", "Table 1 - OpenWPM study survey", lines)
+
+    assert summary["measures"] == PAPER["measures"]
+    assert summary["interaction"] == PAPER["interaction"]
+    assert summary["subpages"] == PAPER["subpages"]
+    assert summary["bot_detection"]["discussed"] \
+        == PAPER["bot_detection"]["discussed"]

@@ -1,0 +1,69 @@
+"""Table 2: deviating properties of each OpenWPM setup vs stock Firefox."""
+
+from conftest import report
+
+#: (os, mode) -> paper's (webgl deviations, language additions,
+#: tampering, custom functions)
+PAPER = {
+    ("macos", "regular"): (0, 0, 253, 1),
+    ("macos", "headless"): (2037, 43, 253, 1),
+    ("ubuntu", "regular"): (0, 0, 252, 1),
+    ("ubuntu", "headless"): (2061, 43, 252, 1),
+    ("ubuntu", "xvfb"): (18, 0, 252, 1),
+    ("ubuntu", "docker"): (27, 0, 252, 1),
+}
+
+
+def _measure_setup(os_name, mode, baseline):
+    from repro.browser.profiles import openwpm_profile
+    from repro.core.fingerprint import (
+        capture_template,
+        diff_templates,
+        run_probes,
+    )
+    from repro.core.fingerprint.surface import summarise_setup
+    from repro.core.lab import make_window
+    from repro.openwpm import BrowserParams, OpenWPMExtension
+
+    extension = OpenWPMExtension(BrowserParams(os_name=os_name,
+                                               display_mode=mode))
+    _, window = make_window(openwpm_profile(os_name, mode),
+                            extension=extension)
+    surface = diff_templates(baseline, capture_template(window))
+    probes = run_probes(window)
+    return summarise_setup(f"{os_name}/{mode}", surface, probes.values)
+
+
+def test_benchmark_table2(benchmark, bench_baseline_templates):
+    summaries = {}
+
+    def run_all():
+        for (os_name, mode) in PAPER:
+            summaries[(os_name, mode)] = _measure_setup(
+                os_name, mode, bench_baseline_templates[os_name])
+        return summaries
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["| setup | webdriver | screen dim | screen pos | "
+             "webgl (paper) | langs (paper) | tamper (paper) | "
+             "custom (paper) |", "|---|---|---|---|---|---|---|---|"]
+    for (os_name, mode), expected in PAPER.items():
+        s = summaries[(os_name, mode)]
+        lines.append(
+            f"| {os_name}/{mode} | {s.webdriver} | "
+            f"{s.screen_dimensions > 0} | {s.screen_position > 0} | "
+            f"{s.webgl_deviations} ({expected[0]}) | "
+            f"{s.language_additions} ({expected[1]}) | "
+            f"{s.tampering} ({expected[2]}) | "
+            f"{s.custom_functions} ({expected[3]}) |")
+    report("table02_fingerprint_surface",
+           "Table 2 - fingerprint surface per setup", lines)
+
+    for key, (webgl, langs, tamper, custom) in PAPER.items():
+        s = summaries[key]
+        assert s.webdriver
+        assert s.webgl_deviations == webgl
+        assert s.language_additions == langs
+        assert s.tampering == tamper
+        assert s.custom_functions == custom

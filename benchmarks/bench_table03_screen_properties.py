@@ -1,0 +1,46 @@
+"""Table 3: screen properties for various configurations."""
+
+from conftest import report
+
+PAPER = [
+    ("macos", "regular", (2560, 1440), (1366, 683), 23, 4, (0, 0)),
+    ("macos", "headless", (1366, 768), (1366, 683), 4, 4, (0, 0)),
+    ("ubuntu", "regular", (2560, 1440), (1366, 683), 80, 35, (8, 8)),
+    ("ubuntu", "headless", (1366, 768), (1366, 683), 0, 0, (0, 0)),
+    ("ubuntu", "xvfb", (1366, 768), (1366, 683), 0, 0, (0, 0)),
+    ("ubuntu", "docker", (2560, 1440), (1366, 683), 0, 0, (0, 0)),
+]
+
+
+def test_benchmark_table3(benchmark):
+    from repro.core.fingerprint import run_probes
+    from repro.browser.profiles import openwpm_profile
+    from repro.core.lab import make_window
+
+    def probe_all():
+        rows = []
+        for os_name, mode, *_ in PAPER:
+            _, window = make_window(openwpm_profile(os_name, mode))
+            probes = run_probes(window)
+            rows.append((os_name, mode, probes))
+        return rows
+
+    rows = benchmark.pedantic(probe_all, rounds=1, iterations=1)
+
+    lines = ["| OS | mode | resolution | window | X | Y | offset |",
+             "|---|---|---|---|---|---|---|"]
+    by_key = {(os_name, mode): probes for os_name, mode, probes in rows}
+    for os_name, mode, resolution, window_size, x, y, offset in PAPER:
+        probes = by_key[(os_name, mode)]
+        lines.append(
+            f"| {os_name} | {mode} | "
+            f"{probes['screenWidth']:.0f}x{probes['screenHeight']:.0f} | "
+            f"{probes['innerWidth']:.0f}x{probes['innerHeight']:.0f} | "
+            f"{probes['screenX']:.0f} | {probes['screenY']:.0f} | "
+            f"{offset} |")
+        assert (probes["screenWidth"], probes["screenHeight"]) \
+            == resolution
+        assert (probes["innerWidth"], probes["innerHeight"]) == window_size
+        assert probes["screenX"] == x and probes["screenY"] == y
+    report("table03_screen_properties",
+           "Table 3 - screen properties per configuration", lines)

@@ -1,0 +1,38 @@
+"""Table 4: WebGL vendors and avail{Top,Left} per Ubuntu run mode."""
+
+from conftest import report
+
+PAPER = {
+    "regular": ("AMD", (27, 72)),
+    "headless": (None, (0, 0)),
+    "xvfb": ("Mesa/X.org", (0, 0)),
+    "docker": ("VMware, Inc.", (27, 72)),
+}
+
+
+def test_benchmark_table4(benchmark):
+    from repro.browser.profiles import openwpm_profile
+    from repro.core.fingerprint import run_probes
+    from repro.core.lab import make_window
+
+    def probe_modes():
+        out = {}
+        for mode in PAPER:
+            _, window = make_window(openwpm_profile("ubuntu", mode))
+            out[mode] = run_probes(window)
+        return out
+
+    probes = benchmark.pedantic(probe_modes, rounds=1, iterations=1)
+
+    lines = ["| mode | WebGL vendor | availTop, availLeft | paper |",
+             "|---|---|---|---|"]
+    for mode, (vendor, avail) in PAPER.items():
+        p = probes[mode]
+        measured_vendor = p["webglVendor"]
+        measured_avail = (int(p["availTop"]), int(p["availLeft"]))
+        lines.append(f"| {mode} | {measured_vendor} | {measured_avail} | "
+                     f"{vendor}, {avail} |")
+        assert measured_vendor == vendor
+        assert measured_avail == avail
+    report("table04_webgl_vendors",
+           "Table 4 - Ubuntu no-display mode deviations", lines)

@@ -1,0 +1,41 @@
+"""Table 8: HTTP requests by resource type, WPM vs WPM_hide, r1-r3."""
+
+from conftest import report
+
+#: Paper r1 diffs (%) for the headline rows.
+PAPER_R1 = {"csp_report": -76.02, "beacon": 11.28, "xmlhttprequest": 4.82,
+            "image": 1.52, "script": 1.38, "total": 1.91}
+PAPER_TOTALS = {"r1": 1.91, "r2": 3.37, "r3": 5.32}
+
+
+def test_benchmark_table8(benchmark, bench_paired):
+    rows_per_run = benchmark.pedantic(
+        lambda: [bench_paired.table8(r) for r in range(3)],
+        rounds=1, iterations=1)
+
+    lines = [f"(paired crawl over {bench_paired.site_count} detector "
+             "sites; paper: 1,487)", "",
+             "| resource type | WPM r1 | WPM_hide r1 | diff r1 | "
+             "diff r2 | diff r3 | paper r1 |",
+             "|---|---|---|---|---|---|---|"]
+    runs = [{row["resource_type"]: row for row in rows}
+            for rows in rows_per_run]
+    for resource_type in runs[0]:
+        r1 = runs[0][resource_type]
+        if r1["wpm"] == 0 and r1["wpm_hide"] == 0:
+            continue
+        lines.append(
+            f"| {resource_type} | {r1['wpm']} | {r1['wpm_hide']} | "
+            f"{r1['diff_pct']:+.1f}% | "
+            f"{runs[1][resource_type]['diff_pct']:+.1f}% | "
+            f"{runs[2][resource_type]['diff_pct']:+.1f}% | "
+            f"{PAPER_R1.get(resource_type, '')} |")
+    report("table08_resource_types",
+           "Table 8 - HTTP requests by resource type", lines)
+
+    # Shape: CSP reports collapse; totals tilt towards WPM_hide and the
+    # gap does not shrink across repetitions.
+    assert runs[0]["csp_report"]["diff_pct"] < -50
+    assert runs[2]["total"]["diff_pct"] > 0
+    assert runs[2]["total"]["diff_pct"] >= runs[0]["total"]["diff_pct"]
+    assert runs[0]["main_frame"]["diff_pct"] == 0.0

@@ -1,0 +1,34 @@
+"""Table 9: HTTP requests to ad/tracker resources (EasyList/EasyPrivacy)."""
+
+from conftest import report
+
+PAPER = {1: (1.64, -1.64), 2: (5.64, 5.37), 3: (5.81, 7.85)}
+
+
+def test_benchmark_table9(benchmark, bench_paired):
+    rows = benchmark(bench_paired.table9)
+    significance = bench_paired.tracker_significance(2)
+
+    lines = [f"(paper: ad/tracker traffic difference significant with "
+             "p < 0.0001, growing from r1 to r3)", "",
+             "| run | WPM EL | hide EL | EL diff | paper EL | "
+             "WPM EP | hide EP | EP diff | paper EP |",
+             "|---|---|---|---|---|---|---|---|---|"]
+    for row in rows:
+        paper_el, paper_ep = PAPER[row["run"]]
+        lines.append(
+            f"| r{row['run']} | {row['wpm_easylist']} | "
+            f"{row['hide_easylist']} | "
+            f"{row['easylist_diff_pct']:+.1f}% | {paper_el:+.2f}% | "
+            f"{row['wpm_easyprivacy']} | {row['hide_easyprivacy']} | "
+            f"{row['easyprivacy_diff_pct']:+.1f}% | {paper_ep:+.2f}% |")
+    lines.append("")
+    lines.append(f"Wilcoxon (per-site tracker requests, r3): "
+                 f"p = {significance.p_value:.2e}")
+    report("table09_ad_tracker_traffic",
+           "Table 9 - ad/tracker HTTP traffic", lines)
+
+    # Shape: by r2/r3 the hardened client sees clearly more ad traffic.
+    assert rows[-1]["easylist_diff_pct"] > 0
+    assert rows[-1]["easylist_diff_pct"] >= rows[0]["easylist_diff_pct"]
+    assert significance.significant

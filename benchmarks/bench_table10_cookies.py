@@ -1,0 +1,41 @@
+"""Table 10: served cookies — first/third party and tracking cookies."""
+
+from conftest import report
+
+PAPER = {1: (3.33, 5.05, 41.70), 2: (3.06, 7.12, 52.13),
+         3: (4.23, 8.11, 59.65)}
+
+
+def test_benchmark_table10(benchmark, bench_paired):
+    rows = benchmark(bench_paired.table10)
+    significance = bench_paired.cookie_significance(0)
+
+    lines = ["(paper diffs: first-party +3-4%, third-party +5-8%, "
+             "tracking +42-60%, p < 0.0001)", "",
+             "| run | 1P diff (paper) | 3P diff (paper) | "
+             "tracking WPM | tracking hide | tracking diff (paper) |",
+             "|---|---|---|---|---|---|"]
+    for row in rows:
+        p1, p3, pt = PAPER[row["run"]]
+        lines.append(
+            f"| r{row['run']} | {row['first_party_diff_pct']:+.1f}% "
+            f"({p1:+.2f}%) | {row['third_party_diff_pct']:+.1f}% "
+            f"({p3:+.2f}%) | {row['wpm_tracking']} | "
+            f"{row['hide_tracking']} | "
+            f"{row['tracking_diff_pct']:+.1f}% ({pt:+.2f}%) |")
+    lines.append("")
+    lines.append(f"Wilcoxon (per-site cookies, r1): "
+                 f"p = {significance.p_value:.2e}")
+    report("table10_cookies", "Table 10 - served cookies", lines)
+
+    for row in rows:
+        # All three diffs favour the hardened client...
+        assert row["first_party_diff_pct"] >= 0
+        assert row["third_party_diff_pct"] > 0
+        assert row["tracking_diff_pct"] > 10
+        # ...and tracking cookies are hit disproportionately.
+        assert row["tracking_diff_pct"] > row["third_party_diff_pct"]
+    # Third-party gap grows with re-identification (r1 -> r3).
+    assert rows[-1]["third_party_diff_pct"] \
+        >= rows[0]["third_party_diff_pct"]
+    assert significance.significant

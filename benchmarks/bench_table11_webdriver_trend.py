@@ -1,0 +1,38 @@
+"""Table 11: front-page webdriver-probing rates (vs prior studies)."""
+
+from conftest import report
+
+PAPER = {"static_rate": 0.1196, "dynamic_rate": 0.1219,
+         "combined_rate": 0.1399}
+VISIBLEV8_2019 = 0.0551  # Jueckstock & Kapravelos, Alexa 50K
+
+
+def test_benchmark_table11(benchmark, bench_scan):
+    table11 = benchmark(bench_scan.table11)
+
+    lines = ["| study | corpus | analysis | rate |", "|---|---|---|---|",
+             f"| VisibleV8 (2019) | Alexa 50K | dynamic | "
+             f"{VISIBLEV8_2019:.2%} |",
+             f"| paper (2020) | Tranco 100K | static | "
+             f"{PAPER['static_rate']:.2%} |",
+             f"| paper (2020) | Tranco 100K | dynamic | "
+             f"{PAPER['dynamic_rate']:.2%} |",
+             f"| paper (2020) | Tranco 100K | combined | "
+             f"{PAPER['combined_rate']:.2%} |",
+             f"| this repro | synthetic {bench_scan.visited_sites} | "
+             f"static | {table11['static_rate']:.2%} |",
+             f"| this repro | synthetic {bench_scan.visited_sites} | "
+             f"dynamic | {table11['dynamic_rate']:.2%} |",
+             f"| this repro | synthetic {bench_scan.visited_sites} | "
+             f"combined | {table11['combined_rate']:.2%} |"]
+    report("table11_webdriver_trend",
+           "Table 11 - front-page webdriver probing rates", lines)
+
+    # Rates land near the paper's 12-14% band — far above the 2019
+    # baseline the paper contrasts against.
+    assert 0.09 < table11["static_rate"] < 0.17
+    assert 0.09 < table11["dynamic_rate"] < 0.17
+    assert 0.11 < table11["combined_rate"] < 0.18
+    assert table11["combined_rate"] > VISIBLEV8_2019
+    assert table11["combined_rate"] >= max(table11["static_rate"],
+                                           table11["dynamic_rate"])

@@ -1,0 +1,55 @@
+"""Table 13: static patterns and their false-positive behaviour."""
+
+from conftest import report
+
+#: Paper: which patterns produced false positives.
+PAPER_HAS_FP = {
+    "loose-webdriver": True,
+    "word-webdriver": True,
+    "navigator-dot-webdriver": False,
+    "navigator-bracket-webdriver": False,
+    "owpm-instrumentFingerprintingApis": False,
+    "owpm-getInstrumentJS": False,
+    "owpm-jsInstruments": False,
+}
+
+
+def test_benchmark_table13(benchmark):
+    from repro.core.scan.static_analysis import (
+        evaluate_pattern_false_positives,
+    )
+    from repro.web import detector_scripts as corpus
+
+    # A labelled corpus: every detector form plus the non-detectors.
+    scripts = [
+        (corpus.selenium_detector("p.test", form), True)
+        for form in ("plain", "minified", "hex", "lazy")
+    ] + [
+        (corpus.selenium_detector("p.test", "obfuscated"), True),
+        (corpus.openwpm_detector("cheqzone.com", ("jsInstruments",)), True),
+        (corpus.first_party_detector("Akamai"), True),
+        (corpus.DECOY_UA_SCRIPT, False),
+        (corpus.BENIGN_LIBRARY, False),
+        (corpus.FIRST_PARTY_ANALYTICS, False),
+        (corpus.tracker_script("ads.test"), False),
+        (corpus.iterator_fingerprinter("fp.test"), False),
+    ]
+
+    stats = benchmark(evaluate_pattern_false_positives, scripts)
+
+    lines = ["| pattern | hits | TP | FP | paper: has FPs |",
+             "|---|---|---|---|---|"]
+    for name, expected_fp in PAPER_HAS_FP.items():
+        row = stats[name]
+        lines.append(f"| {name} | {row['hits']} | "
+                     f"{row['true_positives']} | "
+                     f"{row['false_positives']} | {expected_fp} |")
+    report("table13_static_patterns",
+           "Table 13 - static pattern evaluation", lines)
+
+    for name, expected_fp in PAPER_HAS_FP.items():
+        has_fp = stats[name]["false_positives"] > 0
+        assert has_fp == expected_fp, name
+    # The strict navigator patterns still catch the real detectors.
+    assert stats["navigator-dot-webdriver"]["true_positives"] >= 4
+    assert stats["navigator-bracket-webdriver"]["true_positives"] >= 1

@@ -1,0 +1,29 @@
+"""Table 14 / Appx. C: OpenWPM's Firefox version lag (69% outdated)."""
+
+from conftest import report
+
+
+def test_benchmark_table14(benchmark):
+    from repro.literature import (
+        OPENWPM_RELEASES,
+        outdated_statistics,
+    )
+
+    stats = benchmark(outdated_statistics)
+
+    lines = ["| OpenWPM | integrated | Firefox shipped |",
+             "|---|---|---|"]
+    for release in OPENWPM_RELEASES:
+        lines.append(f"| {release.version} | {release.released} | "
+                     f"{release.firefox_version} |")
+    lines.append("")
+    lines.append(f"window: {stats['total_days']} days (paper: 780); "
+                 f"outdated: {stats['outdated_days']} days (paper: 540); "
+                 f"fraction: {stats['outdated_fraction']:.1%} "
+                 f"(paper: 69%)")
+    report("table14_firefox_lag",
+           "Table 14 - Firefox integration lag", lines)
+
+    assert stats["total_days"] == 780
+    assert stats["outdated_days"] == 540
+    assert abs(stats["outdated_fraction"] - 0.69) < 0.01

@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures and the results reporter.
+
+The heavy experiment artifacts (synthetic world, scan dataset, paired
+crawl) are built once per session and shared by every bench. Scale is
+controlled by the ``REPRO_BENCH_SITES`` environment variable (default
+2000; the paper's full scale of 100000 works but takes hours).
+
+Every bench writes its reproduced table/figure to
+``benchmarks/results/<name>.md`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_SITES = int(os.environ.get("REPRO_BENCH_SITES", "2000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def report(name: str, title: str, lines) -> None:
+    """Persist one bench's reproduced table and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    body = "\n".join(str(line) for line in lines)
+    text = f"# {title}\n\n{body}\n"
+    (RESULTS_DIR / f"{name}.md").write_text(text)
+    print(f"\n=== {title} ===")
+    print(body)
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    from repro.web import build_world
+
+    return build_world(site_count=BENCH_SITES, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_scan(bench_world):
+    from repro.core.scan import ScanPipeline
+
+    pipeline = ScanPipeline(bench_world, client_id="bench-scan")
+    return pipeline.run(visit_subpages=True)
+
+
+@pytest.fixture(scope="session")
+def bench_paired(bench_world):
+    from repro.core.comparison import PairedCrawl
+
+    sites = sorted(bench_world.ground_truth.detector_sites())
+    crawl = PairedCrawl(bench_world, sites=sites, repetitions=3)
+    return crawl.run()
+
+
+@pytest.fixture(scope="session")
+def bench_baseline_templates():
+    from repro.browser.profiles import stock_firefox_profile
+    from repro.core.fingerprint import capture_template
+    from repro.core.lab import make_window
+
+    out = {}
+    for os_name in ("ubuntu", "macos"):
+        _, window = make_window(stock_firefox_profile(os_name))
+        out[os_name] = capture_template(window)
+    return out

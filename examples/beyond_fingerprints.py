@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Beyond the paper's evaluation: behaviour and engine-level recording.
+
+Demonstrates the two extensions built from the paper's outlook:
+
+1. behavioural (mouse-track) detection — the channel the paper's scan
+   does not cover (Sec. 4.1.3) — against framework-default vs
+   HLISA-style human-like interaction;
+2. the debugger-API-style instrument (Sec. 8 recommendation): records
+   everything with zero page-visible footprint.
+
+    python examples/beyond_fingerprints.py
+"""
+
+import random
+
+from repro.browser.interaction import (
+    BEHAVIOUR_COLLECTOR_SCRIPT,
+    HumanLikeInteraction,
+    SeleniumInteraction,
+    extract_behaviour_track,
+    score_pointer_track,
+)
+from repro.browser.profiles import openwpm_profile
+from repro.core.fingerprint import OpenWPMDetector, run_probes
+from repro.core.hardening import DebuggerJSInstrument, StealthSettings
+from repro.core.lab import make_window, visit_with_scripts
+from repro.openwpm import BrowserParams, OpenWPMExtension
+
+
+def behavioural_demo() -> None:
+    print("== Behavioural detection vs interaction style ==")
+    for label, driver in [
+            ("selenium-default", SeleniumInteraction(random.Random(3))),
+            ("human-like", HumanLikeInteraction(random.Random(3)))]:
+        _, window = make_window(openwpm_profile("ubuntu", "regular"))
+        window.run_script(BEHAVIOUR_COLLECTOR_SCRIPT,
+                          script_url="https://site.test/bm.js")
+        driver.click(window, "body")
+        verdict = score_pointer_track(extract_behaviour_track(window))
+        print(f"  {label:<18} -> "
+              f"{'BOT' if verdict.is_bot else 'human'}"
+              f"  {verdict.reasons}")
+
+
+def debugger_demo() -> None:
+    print("\n== Engine-level (debugger-API-style) instrumentation ==")
+    settings = StealthSettings.plausible()
+    extension = OpenWPMExtension(
+        BrowserParams(stealth=True),
+        js_instrument=DebuggerJSInstrument(hide_webdriver=True))
+    profile = openwpm_profile("ubuntu", "regular",
+                              window_size=settings.window_size,
+                              window_position=settings.window_position)
+    _, result = visit_with_scripts(profile, ["""
+        navigator.userAgent;
+        screen.availLeft;
+        var ifr = document.createElement('iframe');
+        document.body.appendChild(ifr);
+        ifr.contentWindow.screen.availLeft;   // same-tick iframe access
+    """], extension=extension)
+    window = result.top_window
+
+    probes = run_probes(window)
+    report = OpenWPMDetector().test_probes(probes)
+    print(f"  detector verdict: {report.is_openwpm} "
+          f"(matched rules: {report.matched_descriptions()})")
+    print(f"  userAgent getter native: {probes['userAgentGetterNative']}, "
+          f"prototype polluted: {probes['screenProtoPolluted']}")
+    symbols = [r.symbol for r in extension.js_instrument.records
+               if not r.script_url.startswith("https://prober")]
+    availleft = sum(1 for s in symbols if s == "Screen.availLeft")
+    print(f"  records captured: {len(symbols)}; Screen.availLeft "
+          f"observed {availleft}x (top window AND same-tick iframe)")
+
+
+if __name__ == "__main__":
+    behavioural_demo()
+    debugger_demo()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Audit the fingerprint surface of every OpenWPM run mode (paper Sec. 3).
+
+Diffs each OpenWPM setup against a stock Firefox of the same version
+using template attacks, runs the probe list, and then turns the surface
+on live clients with the validated detector.
+
+    python examples/fingerprint_surface_audit.py
+"""
+
+from repro.browser.profiles import (
+    consumer_profiles,
+    openwpm_profile,
+    stock_firefox_profile,
+)
+from repro.core.fingerprint import (
+    OpenWPMDetector,
+    capture_template,
+    diff_templates,
+    run_probes,
+)
+from repro.core.fingerprint.surface import summarise_setup
+from repro.core.lab import make_window
+from repro.openwpm import BrowserParams, OpenWPMExtension
+
+SETUPS = [("ubuntu", "regular"), ("ubuntu", "headless"),
+          ("ubuntu", "xvfb"), ("ubuntu", "docker"),
+          ("macos", "regular"), ("macos", "headless")]
+
+
+def main() -> None:
+    baselines = {}
+    for os_name in ("ubuntu", "macos"):
+        _, window = make_window(stock_firefox_profile(os_name))
+        baselines[os_name] = capture_template(window)
+
+    print("== Table 2: deviations vs stock Firefox (with JS instrument) ==")
+    header = (f"{'setup':<18}{'webdriver':<10}{'webgl':<8}{'langs':<7}"
+              f"{'tamper':<8}{'custom':<7}")
+    print(header)
+    for os_name, mode in SETUPS:
+        extension = OpenWPMExtension(BrowserParams(os_name=os_name,
+                                                   display_mode=mode))
+        _, window = make_window(openwpm_profile(os_name, mode),
+                                extension=extension)
+        surface = diff_templates(baselines[os_name],
+                                 capture_template(window))
+        probes = run_probes(window)
+        s = summarise_setup(f"{os_name}/{mode}", surface, probes.values)
+        print(f"{s.setup:<18}{str(s.webdriver):<10}"
+              f"{s.webgl_deviations:<8}{s.language_additions:<7}"
+              f"{s.tampering:<8}{s.custom_functions:<7}")
+
+    print("\n== Detector validation (Sec. 3.3) ==")
+    detector = OpenWPMDetector()
+    for os_name, mode in SETUPS:
+        extension = OpenWPMExtension(BrowserParams(os_name=os_name,
+                                                   display_mode=mode))
+        _, window = make_window(openwpm_profile(os_name, mode),
+                                extension=extension)
+        report = detector.test_window(window)
+        marks = ", ".join(report.matched_descriptions()[:2])
+        print(f"  OpenWPM {os_name}/{mode:<9} -> detected="
+              f"{report.is_openwpm}  ({marks}, ...)")
+    for profile in consumer_profiles():
+        _, window = make_window(profile)
+        report = detector.test_window(window)
+        print(f"  {profile.name:<22} -> detected={report.is_openwpm}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scan a synthetic Tranco list for bot detectors (paper Sec. 4).
+
+Combined static + dynamic analysis with honey properties, front pages
+plus up to three same-site subpages; prints the Table 5/6/7/11/12
+summaries against the planted ground truth.
+
+    python examples/tranco_scan.py [--sites 500] [--no-subpages]
+"""
+
+import argparse
+
+from repro.core.scan import ScanPipeline
+from repro.web import build_world
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=500,
+                        help="number of ranked sites to generate/scan")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--no-subpages", action="store_true",
+                        help="front pages only")
+    args = parser.parse_args()
+
+    print(f"Building synthetic web ({args.sites} sites, "
+          f"seed {args.seed})...")
+    web = build_world(site_count=args.sites, seed=args.seed)
+    pipeline = ScanPipeline(web)
+    print("Scanning (this interprets every delivered script)...")
+    dataset = pipeline.run(visit_subpages=not args.no_subpages)
+
+    n = dataset.visited_sites
+    table5 = dataset.table5()
+    print(f"\n== Table 5: sites with Selenium detectors "
+          f"(of {n}; paper rates in parens) ==")
+    print(f"  identified  static {table5['identified']['static']:>5} "
+          f"({table5['identified']['static'] / n:.1%} vs 32.7%)")
+    print(f"  identified dynamic {table5['identified']['dynamic']:>5} "
+          f"({table5['identified']['dynamic'] / n:.1%} vs 19.1%)")
+    print(f"  clean       static {table5['clean']['static']:>5} "
+          f"({table5['clean']['static'] / n:.1%} vs 15.8%)")
+    print(f"  clean      dynamic {table5['clean']['dynamic']:>5} "
+          f"({table5['clean']['dynamic'] / n:.1%} vs 16.8%)")
+    print(f"  clean        union {table5['clean']['union']:>5} "
+          f"({table5['clean']['union'] / n:.1%} vs 18.7%)")
+
+    table11 = dataset.table11()
+    print(f"\n== Table 11: front pages probing webdriver ==")
+    print(f"  static {table11['static_rate']:.1%} (paper 12.0%), "
+          f"dynamic {table11['dynamic_rate']:.1%} (12.2%), "
+          f"combined {table11['combined_rate']:.1%} (14.0%)")
+
+    print("\n== Table 7: top third-party detector hosts ==")
+    for host, count, share in dataset.table7(8):
+        print(f"  {host:<26} {count:>4}  ({share:.1%})")
+
+    print("\n== Table 12: first-party vendors ==")
+    for vendor, count in sorted(dataset.table12().items(),
+                                key=lambda kv: -kv[1]):
+        print(f"  {vendor:<12} {count}")
+
+    table6 = dataset.table6()
+    print(f"\n== Table 6: OpenWPM-specific probes "
+          f"({dataset.openwpm_probe_site_count()} sites) ==")
+    for provider, stats in table6.items():
+        print(f"  {provider:<26} {stats}")
+
+    truth = web.ground_truth
+    print("\n== vs planted ground truth ==")
+    print(f"  planted detector sites: {len(truth.detector_sites())}; "
+          f"clean-union found: {table5['clean']['union']}")
+    print(f"  planted decoys (static FPs): {len(truth.decoy_sites())}; "
+          f"loose-only static hits: "
+          f"{table5['identified']['static'] - table5['clean']['static']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduction of *How gullible are web measurement tools?* (CoNEXT '22).
+
+Krumnow, Jonker, Karsch: a case study analysing and strengthening
+OpenWPM's reliability - rebuilt end-to-end on a simulated browser/web
+substrate.
+
+Public API tour:
+
+* :mod:`repro.web` - ``build_world(site_count, seed)``: a deterministic
+  synthetic Tranco-style web with planted detectors, trackers, and
+  cloaking, plus its ground truth.
+* :mod:`repro.openwpm` - the OpenWPM reimplementation: ``TaskManager``,
+  ``OpenWPMExtension``, ``StorageController``, and the (deliberately
+  vulnerable) HTTP/cookie/JS instruments.
+* :mod:`repro.core.fingerprint` - template attacks, probe lists,
+  surface diffing, and the validated ``OpenWPMDetector`` (Sec. 3).
+* :mod:`repro.core.attacks` - the Listing 2-4 recording attacks
+  (Sec. 5).
+* :mod:`repro.core.hardening` - ``StealthJSInstrument`` / WPM_hide
+  (Sec. 6).
+* :mod:`repro.core.scan` - the combined static+dynamic detector scan
+  with honey properties (Sec. 4).
+* :mod:`repro.core.comparison` - the paired WPM vs WPM_hide experiment
+  (Sec. 6.3).
+* :mod:`repro.literature` - the study survey and release-lag datasets
+  (Tables 1, 14, 15).
+
+Substrates (all built from scratch): :mod:`repro.jsobject` /
+:mod:`repro.jsengine` (a JavaScript object model and interpreter),
+:mod:`repro.dom` (DOM + CSP), :mod:`repro.browser` (fingerprint
+profiles, windows, cookies, extensions), :mod:`repro.net` (HTTP/URL
+fabric).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,19 @@
+"""Presentation helpers: text tables, bar charts, CSV series export.
+
+Used by the examples and benchmark reports to render the paper's
+figures as terminal-friendly artifacts.
+"""
+
+from repro.analysis.charts import (
+    bar_chart,
+    grouped_bar_chart,
+    render_table,
+    series_to_csv,
+)
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "render_table",
+    "series_to_csv",
+]

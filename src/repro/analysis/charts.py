@@ -1,0 +1,75 @@
+"""Terminal-friendly charts and tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+_BLOCK = "#"
+
+
+def bar_chart(series: Mapping[str, float], width: int = 40,
+              fmt: str = "{:.0f}") -> List[str]:
+    """Render a horizontal bar chart, one line per labelled value."""
+    if not series:
+        return []
+    peak = max(series.values()) or 1.0
+    label_width = max(len(str(label)) for label in series)
+    lines = []
+    for label, value in series.items():
+        bar = _BLOCK * max(0, round(value / peak * width))
+        lines.append(f"{str(label):<{label_width}}  {bar} "
+                     f"{fmt.format(value)}")
+    return lines
+
+
+def grouped_bar_chart(groups: Mapping[str, Mapping[str, float]],
+                      width: int = 30,
+                      fmt: str = "{:.0f}") -> List[str]:
+    """Render grouped bars (e.g. front vs front+sub per rank bucket)."""
+    peak = max((value for group in groups.values()
+                for value in group.values()), default=1.0) or 1.0
+    label_width = max((len(str(g)) for g in groups), default=0)
+    series_names = sorted({name for group in groups.values()
+                           for name in group})
+    name_width = max((len(n) for n in series_names), default=0)
+    lines = []
+    for group_label, group in groups.items():
+        lines.append(f"{str(group_label):<{label_width}}")
+        for name in series_names:
+            value = group.get(name, 0.0)
+            bar = _BLOCK * max(0, round(value / peak * width))
+            lines.append(f"  {name:<{name_width}}  {bar} "
+                         f"{fmt.format(value)}")
+    return lines
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> List[str]:
+    """Render an aligned text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    lines = [fmt_row(headers),
+             fmt_row(["-" * width for width in widths])]
+    lines.extend(fmt_row(row) for row in materialised)
+    return lines
+
+
+def series_to_csv(path: str, headers: Sequence[str],
+                  rows: Iterable[Sequence[object]]) -> int:
+    """Write a data series to CSV; returns the row count."""
+    import csv
+
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+            count += 1
+    return count

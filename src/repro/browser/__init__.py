@@ -1,0 +1,35 @@
+"""Browser substrate: fingerprint profiles, windows, cookies, extensions.
+
+This package models the client side of the paper's experiments: an
+(unbranded) Firefox in its various run modes, consumer browsers for
+validating the fingerprint surface, the WebExtension contexts that
+OpenWPM's instrumentation lives in, and a page/event loop.
+"""
+
+from repro.browser.profiles import (
+    BrowserProfile,
+    chrome_profile,
+    consumer_profiles,
+    openwpm_profile,
+    safari_profile,
+    stock_firefox_profile,
+)
+from repro.browser.cookies import Cookie, CookieJar
+from repro.browser.browser import Browser, VisitResult
+from repro.browser.window import BrowserWindow
+from repro.browser.extension import ExtensionContext
+
+__all__ = [
+    "BrowserProfile",
+    "openwpm_profile",
+    "stock_firefox_profile",
+    "chrome_profile",
+    "safari_profile",
+    "consumer_profiles",
+    "Cookie",
+    "CookieJar",
+    "Browser",
+    "VisitResult",
+    "BrowserWindow",
+    "ExtensionContext",
+]

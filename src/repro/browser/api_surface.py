@@ -1,0 +1,81 @@
+"""Names of the DOM API surface OpenWPM's JS instrument covers.
+
+The method lists mirror the real interfaces (CanvasRenderingContext2D,
+WebGLRenderingContext, OfflineAudioContext, Performance, History); the
+JavaScript instrument wraps them all, which is where Table 2's "+252/+253
+properties changed through tampering" comes from.
+"""
+
+from __future__ import annotations
+
+CANVAS_2D_METHODS = [
+    "fillRect", "strokeRect", "clearRect", "fillText", "strokeText",
+    "measureText", "beginPath", "closePath", "moveTo", "lineTo",
+    "bezierCurveTo", "quadraticCurveTo", "arc", "arcTo", "ellipse", "rect",
+    "fill", "stroke", "clip", "isPointInPath", "isPointInStroke",
+    "drawImage", "createImageData", "getImageData", "putImageData",
+    "save", "restore", "scale", "rotate", "translate", "transform",
+    "setTransform", "resetTransform", "createLinearGradient",
+    "createRadialGradient", "createPattern", "setLineDash", "getLineDash",
+    "drawFocusIfNeeded", "getTransform",
+]
+
+WEBGL_METHODS = [
+    "activeTexture", "attachShader", "bindAttribLocation", "bindBuffer",
+    "bindFramebuffer", "bindRenderbuffer", "bindTexture", "blendColor",
+    "blendEquation", "blendEquationSeparate", "blendFunc",
+    "blendFuncSeparate", "bufferData", "bufferSubData",
+    "checkFramebufferStatus", "clear", "clearColor", "clearDepth",
+    "clearStencil", "colorMask", "compileShader", "compressedTexImage2D",
+    "compressedTexSubImage2D", "copyTexImage2D", "copyTexSubImage2D",
+    "createBuffer", "createFramebuffer", "createProgram",
+    "createRenderbuffer", "createShader", "createTexture", "cullFace",
+    "deleteBuffer", "deleteFramebuffer", "deleteProgram",
+    "deleteRenderbuffer", "deleteShader", "deleteTexture", "depthFunc",
+    "depthMask", "depthRange", "detachShader", "disable",
+    "disableVertexAttribArray", "drawArrays", "drawElements", "enable",
+    "enableVertexAttribArray", "finish", "flush",
+    "framebufferRenderbuffer", "framebufferTexture2D", "frontFace",
+    "generateMipmap", "getActiveAttrib", "getActiveUniform",
+    "getAttachedShaders", "getAttribLocation", "getBufferParameter",
+    "getContextAttributes", "getError", "getExtension",
+    "getFramebufferAttachmentParameter", "getParameter",
+    "getProgramInfoLog", "getProgramParameter", "getRenderbufferParameter",
+    "getShaderInfoLog", "getShaderParameter", "getShaderPrecisionFormat",
+    "getShaderSource", "getSupportedExtensions", "getTexParameter",
+    "getUniform", "getUniformLocation", "getVertexAttrib",
+    "getVertexAttribOffset", "hint", "isBuffer", "isContextLost",
+    "isEnabled", "isFramebuffer", "isProgram", "isRenderbuffer", "isShader",
+    "isTexture", "lineWidth", "linkProgram", "pixelStorei", "polygonOffset",
+    "readPixels", "renderbufferStorage", "sampleCoverage", "scissor",
+    "shaderSource", "stencilFunc", "stencilFuncSeparate", "stencilMask",
+    "stencilMaskSeparate", "stencilOp", "stencilOpSeparate", "texImage2D",
+    "texParameterf", "texParameteri", "texSubImage2D", "uniform1f",
+    "uniform1fv", "uniform1i", "uniform1iv", "uniform2f", "uniform2fv",
+    "uniform2i", "uniform2iv", "uniform3f", "uniform3fv", "uniform3i",
+    "uniform3iv", "uniform4f", "uniform4fv", "uniform4i", "uniform4iv",
+    "uniformMatrix2fv", "uniformMatrix3fv", "uniformMatrix4fv",
+    "useProgram", "validateProgram", "vertexAttrib1f", "vertexAttrib1fv",
+    "vertexAttrib2f", "vertexAttrib2fv", "vertexAttrib3f",
+    "vertexAttrib3fv", "vertexAttrib4f", "vertexAttrib4fv",
+    "vertexAttribPointer", "viewport",
+]
+
+AUDIO_METHODS = [
+    "createAnalyser", "createOscillator", "createGain",
+    "createScriptProcessor", "createBuffer", "createBufferSource",
+    "createDynamicsCompressor", "startRendering", "suspend", "resume",
+    "close", "decodeAudioData", "getChannelData", "getFloatFrequencyData",
+    "getByteFrequencyData", "getFloatTimeDomainData",
+    "getByteTimeDomainData",
+]
+
+PERFORMANCE_METHODS = [
+    "now", "mark", "measure", "getEntries", "getEntriesByType",
+    "getEntriesByName", "clearMarks", "clearMeasures", "clearResourceTimings",
+    "toJSON",
+]
+
+HISTORY_METHODS = [
+    "back", "forward", "go", "pushState", "replaceState",
+]

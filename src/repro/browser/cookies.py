@@ -1,0 +1,173 @@
+"""Browser cookie jar.
+
+Cookies are the measurement the paper found most affected by bot
+detection (Table 10): detected clients receive substantially fewer —
+especially tracking — cookies. The jar records every change so the
+cookie instrument can observe additions/updates exactly like OpenWPM's
+``onCookieChanged`` listener.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.http import SetCookie
+from repro.net.url import URL, etld_plus_one
+
+
+@dataclass
+class Cookie:
+    """A stored cookie."""
+
+    name: str
+    value: str
+    domain: str
+    path: str = "/"
+    #: Absolute expiry in seconds of browser virtual time; None = session.
+    expires_at: Optional[float] = None
+    http_only: bool = False
+    secure: bool = False
+    #: Host of the document that was being visited when the cookie was set.
+    first_party_host: str = ""
+    #: Set via document.cookie rather than a response header.
+    via_javascript: bool = False
+    created_at: float = 0.0
+
+    @property
+    def is_session(self) -> bool:
+        return self.expires_at is None
+
+    def lifetime(self) -> Optional[float]:
+        if self.expires_at is None:
+            return None
+        return self.expires_at - self.created_at
+
+    def is_third_party_for(self, top_host: str) -> bool:
+        return etld_plus_one(self.domain.lstrip(".")) != etld_plus_one(
+            top_host)
+
+
+class CookieJar:
+    """Stores cookies keyed by (domain, path, name)."""
+
+    def __init__(self) -> None:
+        self._cookies: Dict[Tuple[str, str, str], Cookie] = {}
+        #: Index: registrable domain -> cookie keys, so per-request
+        #: matching does not scan the whole jar on large crawls.
+        self._by_site: Dict[str, List[Tuple[str, str, str]]] = {}
+        #: Observers receive (cookie, change) with change in
+        #: {'added', 'changed', 'deleted'}.
+        self.observers: List[Callable[[Cookie, str], None]] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def all_cookies(self) -> List[Cookie]:
+        return list(self._cookies.values())
+
+    # ------------------------------------------------------------------
+    def set_from_response(self, set_cookie: SetCookie, request_url: URL,
+                          top_host: str, now: float) -> Cookie:
+        """Store a ``Set-Cookie`` delivered by *request_url*."""
+        domain = set_cookie.domain or request_url.host
+        expires_at = None if set_cookie.max_age is None \
+            else now + set_cookie.max_age
+        cookie = Cookie(
+            name=set_cookie.name,
+            value=set_cookie.value,
+            domain=domain,
+            path=set_cookie.path,
+            expires_at=expires_at,
+            http_only=set_cookie.http_only,
+            secure=set_cookie.secure,
+            first_party_host=top_host,
+            created_at=now,
+        )
+        self._store(cookie)
+        return cookie
+
+    def set_from_document(self, text: str, document_url: URL,
+                          top_host: str, now: float) -> Optional[Cookie]:
+        """Handle a ``document.cookie = "name=value; ..."`` write."""
+        parts = [part.strip() for part in text.split(";") if part.strip()]
+        if not parts or "=" not in parts[0]:
+            return None
+        name, _, value = parts[0].partition("=")
+        max_age: Optional[int] = None
+        path = "/"
+        domain = document_url.host
+        for part in parts[1:]:
+            key, _, attr_value = part.partition("=")
+            key = key.strip().lower()
+            if key == "max-age":
+                try:
+                    max_age = int(attr_value)
+                except ValueError:
+                    max_age = None
+            elif key == "expires" and max_age is None:
+                max_age = 86400 * 365  # coarse: far-future expiry
+            elif key == "path":
+                path = attr_value or "/"
+            elif key == "domain":
+                domain = attr_value.lstrip(".") or domain
+        cookie = Cookie(
+            name=name.strip(),
+            value=value,
+            domain=domain,
+            path=path,
+            expires_at=None if max_age is None else now + max_age,
+            first_party_host=top_host,
+            via_javascript=True,
+            created_at=now,
+        )
+        self._store(cookie)
+        return cookie
+
+    def _store(self, cookie: Cookie) -> None:
+        key = (cookie.domain, cookie.path, cookie.name)
+        change = "changed" if key in self._cookies else "added"
+        if key not in self._cookies:
+            site = etld_plus_one(cookie.domain.lstrip("."))
+            self._by_site.setdefault(site, []).append(key)
+        self._cookies[key] = cookie
+        for observer in self.observers:
+            observer(cookie, change)
+
+    # ------------------------------------------------------------------
+    def cookies_for(self, url: URL, now: float) -> List[Cookie]:
+        """Cookies that would be sent with a request to *url*."""
+        matches = []
+        site = etld_plus_one(url.host)
+        for key in self._by_site.get(site, ()):
+            cookie = self._cookies[key]
+            if cookie.expires_at is not None and cookie.expires_at <= now:
+                continue
+            if not _domain_matches(url.host, cookie.domain):
+                continue
+            if not url.path.startswith(cookie.path.rstrip("/") or "/"):
+                continue
+            matches.append(cookie)
+        return matches
+
+    def header_for(self, url: URL, now: float) -> str:
+        return "; ".join(f"{c.name}={c.value}"
+                         for c in self.cookies_for(url, now))
+
+    def document_cookie_for(self, url: URL, now: float) -> str:
+        """``document.cookie`` view: excludes HttpOnly cookies."""
+        return "; ".join(f"{c.name}={c.value}"
+                         for c in self.cookies_for(url, now)
+                         if not c.http_only)
+
+    def clear(self) -> None:
+        self._cookies.clear()
+        self._by_site.clear()
+
+
+def _domain_matches(host: str, cookie_domain: str) -> bool:
+    host = host.lower()
+    domain = cookie_domain.lower().lstrip(".")
+    return host == domain or host.endswith("." + domain)

@@ -1,0 +1,262 @@
+"""User-interaction simulation (clicking, scrolling, typing).
+
+The paper's scan covers fingerprint-based detection only and names
+behavioural detection (mouse tracking, Sec. 4.1.3; Goßen et al. [37])
+as the channel it misses. This module supplies both sides of that
+channel:
+
+* :class:`SeleniumInteraction` — the interaction style of stock
+  automation frameworks: instantaneous, perfectly straight, zero-jitter
+  pointer jumps and constant-rate keystrokes;
+* :class:`HumanLikeInteraction` — an HLISA-style driver: curved pointer
+  paths with log-normal-ish timing jitter, overshoot, variable typing
+  cadence, and incremental scrolling.
+
+Events are delivered to the page as DOM events (``mousemove``,
+``click``, ``scroll``, ``keydown``), so behavioural detector scripts can
+observe them exactly like real ones do.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.dom.events import DOMEvent
+from repro.jsobject.objects import JSObject
+
+
+@dataclass(frozen=True)
+class PointerSample:
+    """One synthesized pointer position."""
+
+    x: float
+    y: float
+    #: Seconds since the previous sample.
+    dt: float
+
+
+class InteractionDriver:
+    """Base class: event synthesis + delivery to a window."""
+
+    name = "interaction"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(0)
+
+    # -- to be provided by concrete drivers ---------------------------
+    def pointer_path(self, start: Tuple[float, float],
+                     end: Tuple[float, float]) -> List[PointerSample]:
+        raise NotImplementedError
+
+    def keystroke_delays(self, text: str) -> List[float]:
+        raise NotImplementedError
+
+    def scroll_steps(self, distance: float) -> List[float]:
+        raise NotImplementedError
+
+    # -- high-level gestures -------------------------------------------
+    def click(self, window: Any, target_selector: str = "body",
+              start: Tuple[float, float] = (5.0, 5.0)) -> int:
+        """Move to the target and click it; returns events delivered."""
+        element = window.document.query_selector(target_selector)
+        end = self._element_position(element)
+        delivered = 0
+        for sample in self.pointer_path(start, end):
+            self._dispatch_pointer(window, "mousemove", sample)
+            delivered += 1
+        self._dispatch_pointer(window, "mousedown",
+                               PointerSample(end[0], end[1], 0.03))
+        self._dispatch_pointer(window, "mouseup",
+                               PointerSample(end[0], end[1], 0.05))
+        self._dispatch_pointer(window, "click",
+                               PointerSample(end[0], end[1], 0.0))
+        return delivered + 3
+
+    def type_text(self, window: Any, text: str) -> int:
+        for char, delay in zip(text, self.keystroke_delays(text)):
+            event = DOMEvent("keydown", proto=window.dom.event)
+            event.put("key", char)
+            event.put("timeStamp", self._advance(window, delay))
+            window.document.host_dispatch(event, window.interp)
+        return len(text)
+
+    def scroll(self, window: Any, distance: float = 800.0) -> int:
+        position = 0.0
+        steps = self.scroll_steps(distance)
+        for step in steps:
+            position += step
+            event = DOMEvent("scroll", proto=window.dom.event)
+            event.put("scrollY", position)
+            event.put("timeStamp",
+                      self._advance(window, abs(step) / 2000.0 + 0.016))
+            window.document.host_dispatch(event, window.interp)
+        return len(steps)
+
+    # ------------------------------------------------------------------
+    def _element_position(self, element: Any) -> Tuple[float, float]:
+        if element is None:
+            return (400.0, 300.0)
+        seed = hash(element.tag_name + element.element_id) & 0xFFFF
+        return (100.0 + seed % 800, 80.0 + seed % 500)
+
+    def _advance(self, window: Any, dt: float) -> float:
+        browser = window.browser
+        browser.current_time += dt
+        return browser.current_time * 1000.0
+
+    def _dispatch_pointer(self, window: Any, event_type: str,
+                          sample: PointerSample) -> None:
+        event = DOMEvent(event_type, proto=window.dom.event)
+        event.put("clientX", sample.x)
+        event.put("clientY", sample.y)
+        event.put("timeStamp", self._advance(window, sample.dt))
+        window.document.host_dispatch(event, window.interp)
+
+
+class SeleniumInteraction(InteractionDriver):
+    """Framework-default interaction: teleporting pointer, metronome
+    keys — the behaviour Goßen et al. showed is trivially recognisable."""
+
+    name = "selenium"
+
+    def pointer_path(self, start, end):
+        # A single instantaneous jump to the exact target centre.
+        return [PointerSample(end[0], end[1], 0.0)]
+
+    def keystroke_delays(self, text):
+        return [0.01] * len(text)  # perfectly constant cadence
+
+    def scroll_steps(self, distance):
+        return [distance]  # one programmatic jump
+
+
+class HumanLikeInteraction(InteractionDriver):
+    """HLISA-style driver: curved, jittered, overshooting movement."""
+
+    name = "human-like"
+
+    def pointer_path(self, start, end):
+        samples: List[PointerSample] = []
+        steps = max(8, int(math.dist(start, end) / 40))
+        # Quadratic Bezier through a random control point (curvature).
+        mid = ((start[0] + end[0]) / 2 + self.rng.uniform(-80, 80),
+               (start[1] + end[1]) / 2 + self.rng.uniform(-60, 60))
+        for index in range(1, steps + 1):
+            t = index / steps
+            x = ((1 - t) ** 2 * start[0] + 2 * (1 - t) * t * mid[0]
+                 + t ** 2 * end[0])
+            y = ((1 - t) ** 2 * start[1] + 2 * (1 - t) * t * mid[1]
+                 + t ** 2 * end[1])
+            x += self.rng.gauss(0, 1.2)
+            y += self.rng.gauss(0, 1.2)
+            # Ease in/out: slower near the endpoints.
+            pace = 0.012 + 0.02 * abs(math.sin(math.pi * t))
+            samples.append(PointerSample(
+                x, y, max(0.004, self.rng.gauss(pace, pace / 4))))
+        # Small overshoot + correction, a human staple.
+        samples.append(PointerSample(end[0] + self.rng.uniform(2, 6),
+                                     end[1] + self.rng.uniform(2, 6),
+                                     0.03))
+        samples.append(PointerSample(end[0], end[1], 0.05))
+        return samples
+
+    def keystroke_delays(self, text):
+        delays = []
+        for char in text:
+            base = 0.09 if char.isalnum() else 0.14
+            delays.append(max(0.03, self.rng.gauss(base, 0.035)))
+        return delays
+
+    def scroll_steps(self, distance):
+        steps = []
+        remaining = distance
+        while remaining > 1:
+            step = min(remaining,
+                       max(40.0, self.rng.gauss(120.0, 35.0)))
+            steps.append(step)
+            remaining -= step
+        return steps
+
+
+# ---------------------------------------------------------------------------
+# The detection side: behavioural scoring of observed event streams
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BehaviouralVerdict:
+    """A behavioural detector's judgement over one event stream."""
+
+    is_bot: bool
+    score: float
+    reasons: List[str] = field(default_factory=list)
+
+
+#: JS source of a behavioural (mouse-track) detector site scripts ship;
+#: it records pointer events and exposes them for server-side scoring.
+BEHAVIOUR_COLLECTOR_SCRIPT = """
+(function () {
+    var track = [];
+    document.addEventListener("mousemove", function (e) {
+        track.push({x: e.clientX, y: e.clientY, t: e.timeStamp});
+    });
+    document.addEventListener("click", function (e) {
+        track.push({x: e.clientX, y: e.clientY, t: e.timeStamp,
+                    click: true});
+    });
+    window.__behaviourTrack = track;
+})();
+"""
+
+
+def score_pointer_track(samples: List[dict]) -> BehaviouralVerdict:
+    """Score a recorded pointer track the way commercial detectors do.
+
+    Flags: no movement before a click (teleporting), zero timing
+    variance, and perfectly collinear paths.
+    """
+    reasons: List[str] = []
+    moves = [s for s in samples if not s.get("click")]
+    clicks = [s for s in samples if s.get("click")]
+
+    if clicks and len(moves) < 3:
+        reasons.append("click without preceding pointer movement")
+    if len(moves) >= 3:
+        deltas = [moves[i + 1]["t"] - moves[i]["t"]
+                  for i in range(len(moves) - 1)]
+        mean = sum(deltas) / len(deltas)
+        variance = sum((d - mean) ** 2 for d in deltas) / len(deltas)
+        if variance < 1e-6:
+            reasons.append("zero inter-event timing variance")
+        if _collinear(moves):
+            reasons.append("perfectly straight pointer path")
+    score = min(1.0, len(reasons) / 2.0)
+    return BehaviouralVerdict(is_bot=score >= 0.5, score=score,
+                              reasons=reasons)
+
+
+def _collinear(moves: List[dict]) -> bool:
+    if len(moves) < 3:
+        return True
+    x0, y0 = moves[0]["x"], moves[0]["y"]
+    x1, y1 = moves[-1]["x"], moves[-1]["y"]
+    span = math.hypot(x1 - x0, y1 - y0) or 1.0
+    for point in moves[1:-1]:
+        distance = abs((x1 - x0) * (y0 - point["y"])
+                       - (x0 - point["x"]) * (y1 - y0)) / span
+        if distance > 0.75:
+            return False
+    return True
+
+
+def extract_behaviour_track(window: Any) -> List[dict]:
+    """Read back the collector script's recorded track."""
+    from repro.jsengine.builtins import js_to_python
+
+    track = window.window_object.get("__behaviourTrack", window.interp)
+    if not isinstance(track, JSObject):
+        return []
+    data = js_to_python(track, window.interp)
+    return list(data) if isinstance(data, list) else []

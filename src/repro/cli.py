@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's experiments:
+
+* ``audit``   — fingerprint surface + detector validation (Sec. 3)
+* ``scan``    — the static+dynamic detector scan (Sec. 4)
+* ``attack``  — the recording attacks vs vanilla/hardened (Sec. 5/6)
+* ``compare`` — the paired WPM vs WPM_hide crawl (Sec. 6.3)
+* ``survey``  — the literature datasets (Tables 1 and 14)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.browser.profiles import openwpm_profile, \
+        stock_firefox_profile
+    from repro.core.fingerprint import (
+        OpenWPMDetector,
+        capture_template,
+        diff_templates,
+        run_probes,
+    )
+    from repro.core.fingerprint.surface import summarise_setup
+    from repro.core.lab import make_window
+    from repro.openwpm import BrowserParams, OpenWPMExtension
+
+    _, baseline_window = make_window(stock_firefox_profile(args.os))
+    baseline = capture_template(baseline_window)
+    extension = OpenWPMExtension(BrowserParams(
+        os_name=args.os, display_mode=args.mode)) \
+        if not args.no_instrument else None
+    _, window = make_window(openwpm_profile(args.os, args.mode),
+                            extension=extension)
+    surface = diff_templates(baseline, capture_template(window))
+    probes = run_probes(window)
+    summary = summarise_setup(f"{args.os}/{args.mode}", surface,
+                              probes.values)
+    report = OpenWPMDetector().test_window(window)
+    print(json.dumps({
+        "setup": summary.setup,
+        "webdriver": summary.webdriver,
+        "webgl_deviations": summary.webgl_deviations,
+        "language_additions": summary.language_additions,
+        "tampered_properties": summary.tampering,
+        "custom_functions": summary.custom_functions,
+        "detected": report.is_openwpm,
+        "matched_rules": report.matched_descriptions(),
+    }, indent=2))
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.core.scan import ScanPipeline
+    from repro.web import build_world
+
+    web = build_world(site_count=args.sites, seed=args.seed)
+    pipeline = ScanPipeline(web)
+    dataset = pipeline.run(visit_subpages=not args.front_only)
+    output = {
+        "sites": dataset.visited_sites,
+        "table5": dataset.table5(),
+        "table11": dataset.table11(),
+        "fig4": dataset.fig4(),
+        "table7": dataset.table7(10),
+        "table12": dataset.table12(),
+        "openwpm_probe_sites": dataset.openwpm_probe_site_count(),
+    }
+    print(json.dumps(output, indent=2))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.core.attacks import (
+        run_block_recording_attack,
+        run_csp_blocking_attack,
+        run_fake_injection_attack,
+        run_iframe_bypass_attack,
+        run_silent_delivery_attack,
+        run_sql_injection_probe,
+    )
+
+    attacks = {
+        "block-recording": run_block_recording_attack,
+        "fake-injection": run_fake_injection_attack,
+        "csp-blocking": run_csp_blocking_attack,
+        "iframe-bypass": run_iframe_bypass_attack,
+        "silent-delivery": run_silent_delivery_attack,
+    }
+    out = {}
+    for name, attack in attacks.items():
+        out[name] = {
+            "vs_wpm": attack(stealth=False).succeeded,
+            "vs_wpm_hide": attack(stealth=True).succeeded,
+        }
+    out["sql-injection"] = {
+        "database_corrupted": run_sql_injection_probe().succeeded}
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.comparison import PairedCrawl
+    from repro.web import build_world
+
+    web = build_world(site_count=args.sites, seed=args.seed)
+    sites = sorted(web.ground_truth.detector_sites())
+    result = PairedCrawl(web, sites=sites,
+                         repetitions=args.repetitions).run()
+    print(json.dumps({
+        "detector_sites": len(sites),
+        "table8_r1": result.table8(0),
+        "csp_report_reduction_pct": result.csp_report_reduction(0),
+        "table9": result.table9(),
+        "table10": result.table10(),
+        "cookie_wilcoxon_p": result.cookie_significance(0).p_value,
+        "fig6_top": result.fig6(0)[:10],
+    }, indent=2))
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.literature import outdated_statistics, summarise_studies
+
+    print(json.dumps({
+        "table1": summarise_studies(),
+        "table14": outdated_statistics(),
+    }, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    audit = sub.add_parser("audit", help="fingerprint surface (Sec. 3)")
+    audit.add_argument("--os", choices=["ubuntu", "macos"],
+                       default="ubuntu")
+    audit.add_argument("--mode", choices=["regular", "headless", "xvfb",
+                                          "docker"], default="regular")
+    audit.add_argument("--no-instrument", action="store_true",
+                       help="audit without the JS instrument")
+    audit.set_defaults(fn=_cmd_audit)
+
+    scan = sub.add_parser("scan", help="detector scan (Sec. 4)")
+    scan.add_argument("--sites", type=int, default=500)
+    scan.add_argument("--seed", type=int, default=7)
+    scan.add_argument("--front-only", action="store_true")
+    scan.set_defaults(fn=_cmd_scan)
+
+    attack = sub.add_parser("attack", help="recording attacks (Sec. 5)")
+    attack.set_defaults(fn=_cmd_attack)
+
+    compare = sub.add_parser("compare",
+                             help="WPM vs WPM_hide crawl (Sec. 6.3)")
+    compare.add_argument("--sites", type=int, default=400)
+    compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument("--repetitions", type=int, default=3)
+    compare.set_defaults(fn=_cmd_compare)
+
+    survey = sub.add_parser("survey",
+                            help="literature datasets (Tables 1/14)")
+    survey.set_defaults(fn=_cmd_survey)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""The paper's contribution: fingerprint analysis, attacks, hardening, scan.
+
+* :mod:`repro.core.fingerprint` — Sec. 3: OpenWPM's fingerprint surface
+  (probe lists + template attacks), validation detector.
+* :mod:`repro.core.attacks` — Sec. 5: attacks on data recording.
+* :mod:`repro.core.hardening` — Sec. 6: WPM_hide, the hardened
+  instrumentation and stealth layer.
+* :mod:`repro.core.scan` — Sec. 4: static + dynamic detector scan.
+* :mod:`repro.core.comparison` — Sec. 6.3: paired WPM vs WPM_hide crawl.
+"""

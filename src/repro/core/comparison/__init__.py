@@ -1,0 +1,23 @@
+"""WPM vs WPM_hide paired measurement (paper Sec. 6.3)."""
+
+from repro.core.comparison.blocklists import BlocklistMatcher
+from repro.core.comparison.cookies import (
+    classify_tracking_cookies,
+    cookie_identity,
+)
+from repro.core.comparison.stats import paired_wilcoxon
+from repro.core.comparison.experiment import (
+    ClientRunData,
+    PairedCrawl,
+    PairedCrawlResult,
+)
+
+__all__ = [
+    "BlocklistMatcher",
+    "classify_tracking_cookies",
+    "cookie_identity",
+    "paired_wilcoxon",
+    "PairedCrawl",
+    "PairedCrawlResult",
+    "ClientRunData",
+]

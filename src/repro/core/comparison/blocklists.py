@@ -1,0 +1,64 @@
+"""EasyList / EasyPrivacy matching (paper Sec. 6.3.2, Table 9).
+
+The paper identifies ad/tracker requests with the EasyList and
+EasyPrivacy blocklists; here the lists are the synthetic ecosystem's
+published equivalents (domain-based rules, matched on eTLD+1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.net.url import URL, etld_plus_one
+
+
+class BlocklistMatcher:
+    """Domain-rule matcher over the two lists."""
+
+    def __init__(self, easylist: Optional[Iterable[str]] = None,
+                 easyprivacy: Optional[Iterable[str]] = None) -> None:
+        if easylist is None or easyprivacy is None:
+            from repro.web.providers import blocklist_domains
+
+            lists = blocklist_domains()
+            easylist = easylist if easylist is not None \
+                else lists["easylist"]
+            easyprivacy = easyprivacy if easyprivacy is not None \
+                else lists["easyprivacy"]
+        self.easylist = {etld_plus_one(d) for d in easylist}
+        self.easyprivacy = {etld_plus_one(d) for d in easyprivacy}
+
+    # ------------------------------------------------------------------
+    def _domain_of(self, url: str) -> str:
+        try:
+            return etld_plus_one(URL.parse(url).host)
+        except ValueError:
+            return ""
+
+    def matches_easylist(self, url: str) -> bool:
+        return self._domain_of(url) in self.easylist
+
+    def matches_easyprivacy(self, url: str) -> bool:
+        return self._domain_of(url) in self.easyprivacy
+
+    def matches_any(self, url: str) -> bool:
+        domain = self._domain_of(url)
+        return domain in self.easylist or domain in self.easyprivacy
+
+    def count(self, urls: Iterable[str]) -> Dict[str, int]:
+        """Count ad/tracker requests per list."""
+        counts = {"easylist": 0, "easyprivacy": 0, "any": 0,
+                  "total": 0}
+        for url in urls:
+            counts["total"] += 1
+            domain = self._domain_of(url)
+            hit = False
+            if domain in self.easylist:
+                counts["easylist"] += 1
+                hit = True
+            if domain in self.easyprivacy:
+                counts["easyprivacy"] += 1
+                hit = True
+            if hit:
+                counts["any"] += 1
+        return counts

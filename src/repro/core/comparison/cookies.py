@@ -1,0 +1,93 @@
+"""Tracking-cookie classification (paper Sec. 6.3.3, Table 10).
+
+Implements the Englehardt et al. criteria as refined by Chen et al.:
+a cookie may be used for tracking when
+
+1. it is not a session cookie,
+2. its value is >= 8 characters (quotes stripped),
+3. it is always set (present in every run),
+4. it is long-living (>= 3 months), and
+5. its values differ significantly across runs under the
+   Ratcliff-Obershelp similarity (``difflib.SequenceMatcher``).
+"""
+
+from __future__ import annotations
+
+from difflib import SequenceMatcher
+from itertools import combinations
+from typing import Dict, List, Set, Tuple
+
+from repro.openwpm.instruments.cookie_instrument import CookieRecord
+
+#: Minimum lifetime: three months.
+MIN_LIFETIME_SECONDS = 90 * 24 * 3600
+MIN_VALUE_LENGTH = 8
+#: Values more similar than this are considered "the same".
+SIMILARITY_THRESHOLD = 0.66
+
+CookieKey = Tuple[str, str, str]
+
+
+def cookie_identity(record: CookieRecord) -> CookieKey:
+    """A cookie's cross-run identity: (host, name, first-party site)."""
+    return (record.host, record.name, record.first_party)
+
+
+def ratcliff_obershelp(a: str, b: str) -> float:
+    """Ratcliff-Obershelp similarity of two strings in [0, 1]."""
+    return SequenceMatcher(None, a, b).ratio()
+
+
+def classify_tracking_cookies(
+        runs: List[List[CookieRecord]]) -> Set[CookieKey]:
+    """Return the identities that satisfy all five criteria.
+
+    *runs* holds one client's cookie records per repetition (r1..rN).
+    """
+    if not runs:
+        return set()
+    values_per_run: List[Dict[CookieKey, str]] = []
+    eligible_per_run: List[Dict[CookieKey, bool]] = []
+    for run in runs:
+        values: Dict[CookieKey, str] = {}
+        eligible: Dict[CookieKey, bool] = {}
+        for record in run:
+            key = cookie_identity(record)
+            value = record.value.strip("\"'")
+            values[key] = value
+            lifetime_ok = (record.lifetime is not None
+                           and record.lifetime >= MIN_LIFETIME_SECONDS)
+            eligible[key] = (not record.is_session
+                             and len(value) >= MIN_VALUE_LENGTH
+                             and lifetime_ok)
+        values_per_run.append(values)
+        eligible_per_run.append(eligible)
+
+    # Criterion 3: always set.
+    always_set = set(values_per_run[0])
+    for values in values_per_run[1:]:
+        always_set &= set(values)
+
+    tracking: Set[CookieKey] = set()
+    for key in always_set:
+        if not all(eligible[key] for eligible in eligible_per_run):
+            continue
+        observed = [values[key] for values in values_per_run]
+        if len(observed) >= 2:
+            similar = any(
+                ratcliff_obershelp(a, b) >= SIMILARITY_THRESHOLD
+                for a, b in combinations(observed, 2))
+            if similar:
+                continue
+        tracking.add(key)
+    return tracking
+
+
+def count_tracking_per_run(runs: List[List[CookieRecord]],
+                           tracking: Set[CookieKey]) -> List[int]:
+    """How many stored cookies per run belong to tracking identities."""
+    counts = []
+    for run in runs:
+        seen = {cookie_identity(record) for record in run}
+        counts.append(len(seen & tracking))
+    return counts

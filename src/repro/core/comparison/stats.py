@@ -1,0 +1,46 @@
+"""Statistical testing for the paired crawl (paper Sec. 6.3).
+
+The paper's data is not normally distributed, so differences between
+the WPM and WPM_hide clients are tested with the Wilcoxon signed-rank
+test at a 95% confidence level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats
+
+
+@dataclass
+class WilcoxonResult:
+    statistic: float
+    p_value: float
+    n: int
+    n_nonzero: int
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < 0.05
+
+
+def paired_wilcoxon(a: Sequence[float],
+                    b: Sequence[float]) -> WilcoxonResult:
+    """Wilcoxon signed-rank test on paired per-site measurements.
+
+    Ties (zero differences) are dropped, matching the default 'wilcox'
+    treatment; with no non-zero differences the result is reported as
+    not significant (p = 1).
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    diffs = [x - y for x, y in zip(a, b)]
+    nonzero = [d for d in diffs if d != 0]
+    if not nonzero:
+        return WilcoxonResult(statistic=0.0, p_value=1.0, n=len(a),
+                              n_nonzero=0)
+    statistic, p_value = stats.wilcoxon(a, b)
+    return WilcoxonResult(statistic=float(statistic),
+                          p_value=float(p_value), n=len(a),
+                          n_nonzero=len(nonzero))

@@ -1,0 +1,27 @@
+"""Fingerprint surface analysis (paper Sec. 3)."""
+
+from repro.core.fingerprint.template import Template, capture_template
+from repro.core.fingerprint.probes import ProbeResults, run_probes
+from repro.core.fingerprint.surface import (
+    FingerprintSurface,
+    SurfaceDelta,
+    diff_templates,
+    measure_surface,
+)
+from repro.core.fingerprint.detector import (
+    DetectionReport,
+    OpenWPMDetector,
+)
+
+__all__ = [
+    "Template",
+    "capture_template",
+    "ProbeResults",
+    "run_probes",
+    "FingerprintSurface",
+    "SurfaceDelta",
+    "diff_templates",
+    "measure_surface",
+    "OpenWPMDetector",
+    "DetectionReport",
+]

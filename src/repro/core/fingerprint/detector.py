@@ -1,0 +1,139 @@
+"""The validated OpenWPM detector (paper Sec. 3.3).
+
+Implements the four test strategies over the measured fingerprint
+surface:
+
+1. presence of a DOM property,
+2. absence of a DOM property,
+3. a native function having been overwritten,
+4. comparing a DOM property with an expected value.
+
+Rules derived from non-unique properties (the ~200 WebGL parameters
+shared with other browsers, machine-dependent screen resolutions in
+regular mode) are excluded, as the paper's validation pass does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core.fingerprint.probes import ProbeResults, run_probes
+
+
+@dataclass(frozen=True)
+class DetectionRule:
+    """One check of the detector."""
+
+    strategy: str  # 'presence' | 'absence' | 'overwritten' | 'value'
+    probe_key: str
+    expected: Any
+    description: str
+    #: Strong rules alone identify OpenWPM; weak rules only corroborate.
+    strong: bool = True
+
+
+#: The compiled rule set (from the Sec. 3.1 surface, after validation).
+DEFAULT_RULES: List[DetectionRule] = [
+    DetectionRule("value", "webdriver", True,
+                  "navigator.webdriver is true (WebDriver automation)"),
+    DetectionRule("presence", "hasGetInstrumentJS", True,
+                  "window.getInstrumentJS exists (JS instrument residue)"),
+    DetectionRule("presence", "hasJsInstruments", True,
+                  "window.jsInstruments exists (legacy instrument)"),
+    DetectionRule("presence", "hasInstrumentFingerprintingApis", True,
+                  "window.instrumentFingerprintingApis exists (legacy)"),
+    DetectionRule("overwritten", "userAgentGetterNative", False,
+                  "navigator.userAgent getter is not native code"),
+    DetectionRule("overwritten", "fillRectNative", False,
+                  "CanvasRenderingContext2D.fillRect is not native code"),
+    DetectionRule("value", "screenProtoPolluted", True,
+                  "Screen prototype polluted with inherited properties"),
+    DetectionRule("value", "instrumentInStack", True,
+                  "instrumentation frames visible in error stack traces"),
+    DetectionRule("value", "languagesExtraProps", 43,
+                  "navigator.languages carries 43 extra properties "
+                  "(headless)"),
+    DetectionRule("absence", "webglVendor", None,
+                  "WebGL missing entirely (headless scraping)"),
+    DetectionRule("value", "webglVendor", "VMware, Inc.",
+                  "WebGL vendor reveals virtualisation (Docker)"),
+    DetectionRule("value", "webglVendor", "Mesa/X.org",
+                  "WebGL vendor reveals Xvfb software rendering"),
+    DetectionRule("value", "timezoneOffset", 0,
+                  "timezone offset is 0 (containerised environment)",
+                  strong=False),
+    DetectionRule("value", "fontCount", 1,
+                  "font enumeration finds a single font (Docker)",
+                  strong=False),
+    # OpenWPM's fixed window geometry: 1366x683 viewport in every mode.
+    DetectionRule("value", "innerWidth", 1366,
+                  "window inner width is OpenWPM's fixed 1366",
+                  strong=False),
+    DetectionRule("value", "innerHeight", 683,
+                  "window inner height is OpenWPM's fixed 683",
+                  strong=False),
+    DetectionRule("value", "availTop", 0,
+                  "screen.availTop is 0 (no desktop UI present)",
+                  strong=False),
+]
+
+
+@dataclass
+class DetectionReport:
+    """The detector's verdict on one client."""
+
+    client_name: str
+    matched: List[DetectionRule] = field(default_factory=list)
+    probes: Optional[ProbeResults] = None
+
+    @property
+    def strong_matches(self) -> List[DetectionRule]:
+        return [rule for rule in self.matched if rule.strong]
+
+    @property
+    def weak_matches(self) -> List[DetectionRule]:
+        return [rule for rule in self.matched if not rule.strong]
+
+    @property
+    def is_openwpm(self) -> bool:
+        """Any strong indicator, or a pile-up of weak ones."""
+        return bool(self.strong_matches) or len(self.weak_matches) >= 3
+
+    def matched_descriptions(self) -> List[str]:
+        return [rule.description for rule in self.matched]
+
+
+class OpenWPMDetector:
+    """Runs the rule set against a live window (via the probe script)."""
+
+    def __init__(self, rules: Optional[List[DetectionRule]] = None) -> None:
+        self.rules = rules if rules is not None else list(DEFAULT_RULES)
+
+    def test_window(self, window: Any) -> DetectionReport:
+        probes = run_probes(window)
+        return self.test_probes(probes)
+
+    def test_probes(self, probes: ProbeResults) -> DetectionReport:
+        report = DetectionReport(client_name=probes.client_name,
+                                 probes=probes)
+        for rule in self.rules:
+            if self._rule_matches(rule, probes):
+                report.matched.append(rule)
+        return report
+
+    @staticmethod
+    def _rule_matches(rule: DetectionRule, probes: ProbeResults) -> bool:
+        value = probes.get(rule.probe_key)
+        if rule.strategy == "presence":
+            return bool(value)
+        if rule.strategy == "absence":
+            return value is None
+        if rule.strategy == "overwritten":
+            # Probe reports whether the function is still native.
+            return value is False
+        if rule.strategy == "value":
+            if isinstance(rule.expected, str) and isinstance(value, str):
+                return value.startswith(rule.expected)
+            return value == rule.expected
+        raise ValueError(f"unknown strategy {rule.strategy!r}")

@@ -1,0 +1,108 @@
+"""Probe-list fingerprinting (Jonker et al., Sec. 3).
+
+Unlike the exhaustive template traversal, probes are an explicit list of
+checks, each executed as *real JavaScript* inside the target window —
+the same code a detecting website would ship. The probe script returns a
+JSON object of findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+PROBE_SCRIPT = r"""
+var probe = {};
+probe.webdriver = navigator.webdriver;
+probe.userAgent = navigator.userAgent;
+probe.platform = navigator.platform;
+probe.languagesLength = navigator.languages.length;
+var extraLangProps = 0;
+for (var key in navigator.languages) {
+    if (("" + (key * 1)) !== key) { extraLangProps = extraLangProps + 1; }
+}
+probe.languagesExtraProps = extraLangProps;
+
+probe.screenWidth = screen.width;
+probe.screenHeight = screen.height;
+probe.availTop = screen.availTop;
+probe.availLeft = screen.availLeft;
+probe.innerWidth = window.innerWidth;
+probe.innerHeight = window.innerHeight;
+probe.screenX = window.screenX;
+probe.screenY = window.screenY;
+
+var canvas = document.createElement("canvas");
+var gl = canvas.getContext("webgl");
+if (gl === null) {
+    probe.webglVendor = null;
+    probe.webglRenderer = null;
+} else {
+    probe.webglVendor = gl.getParameter("VENDOR");
+    probe.webglRenderer = gl.getParameter("RENDERER");
+}
+
+probe.hasGetInstrumentJS = typeof window.getInstrumentJS !== "undefined";
+probe.hasJsInstruments = typeof window.jsInstruments !== "undefined";
+probe.hasInstrumentFingerprintingApis =
+    typeof window.instrumentFingerprintingApis !== "undefined";
+
+var uaDescriptor = Object.getOwnPropertyDescriptor(
+    Object.getPrototypeOf(navigator), "userAgent");
+var uaGetterSource = uaDescriptor && uaDescriptor.get
+    ? uaDescriptor.get.toString() : "";
+probe.userAgentGetterNative = uaGetterSource.indexOf("[native code]") >= 0;
+
+var ctx = canvas.getContext("2d");
+probe.fillRectNative = ctx.fillRect.toString().indexOf("[native code]") >= 0;
+
+var screenProto = Object.getPrototypeOf(screen);
+probe.screenProtoPolluted = screenProto.hasOwnProperty("addEventListener");
+
+var stackSign = "";
+try {
+    screen.addEventListener();
+} catch (err) {
+    stackSign = err.stack;
+}
+probe.instrumentInStack = stackSign.indexOf("moz-extension") >= 0
+    || stackSign.indexOf("openwpm") >= 0;
+
+var fontCount = 0;
+var fontList = ["Arial", "Helvetica", "Georgia", "Verdana", "Ubuntu",
+                "DejaVu Sans", "Noto Sans", "Times New Roman",
+                "Bitstream Vera Sans Mono"];
+for (var i = 0; i < fontList.length; i++) {
+    if (document.fonts.check("12px " + fontList[i])) {
+        fontCount = fontCount + 1;
+    }
+}
+probe.fontCount = fontCount;
+probe.timezoneOffset = new Date().getTimezoneOffset();
+
+JSON.stringify(probe)
+"""
+
+
+@dataclass
+class ProbeResults:
+    """Findings of one probe run against one client."""
+
+    client_name: str
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+
+def run_probes(window: Any) -> ProbeResults:
+    """Execute the probe script in *window* and parse its findings."""
+    raw = window.run_script(PROBE_SCRIPT,
+                            script_url="https://prober.test/probe.js",
+                            raise_errors=True)
+    return ProbeResults(client_name=window.profile.name,
+                        values=json.loads(str(raw)))

@@ -1,0 +1,167 @@
+"""Fingerprint surface: diffing templates and summarising deviations.
+
+Reproduces the analysis behind Tables 2-4: each OpenWPM (OS, mode)
+setup is compared against a stock Firefox of the same version, and the
+deltas are bucketed into the paper's categories (webdriver, screen
+geometry, WebGL, fonts, timezone, languages pollution, instrumentation
+tampering / additions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.fingerprint.template import Template
+
+
+@dataclass(frozen=True)
+class SurfaceDelta:
+    """One deviating property path."""
+
+    path: str
+    kind: str  # 'added' | 'missing' | 'changed'
+    baseline: Optional[str]
+    observed: Optional[str]
+
+
+@dataclass
+class FingerprintSurface:
+    """All deviations of one client vs its browser-family baseline."""
+
+    client_name: str
+    baseline_name: str
+    deltas: List[SurfaceDelta] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[SurfaceDelta]:
+        return [d for d in self.deltas if d.kind == kind]
+
+    def under(self, fragment: str) -> List[SurfaceDelta]:
+        return [d for d in self.deltas if fragment in d.path]
+
+    # -- Table 2 row helpers -------------------------------------------
+    def webdriver_deviates(self) -> bool:
+        return any(d.path.endswith("navigator.webdriver")
+                   and "boolean:true" in (d.observed or "")
+                   for d in self.deltas)
+
+    def screen_dimension_deviations(self) -> List[SurfaceDelta]:
+        names = ("screen.width", "screen.height", "screen.availWidth",
+                 "screen.availHeight", "innerWidth", "innerHeight",
+                 "outerWidth", "outerHeight")
+        return [d for d in self.deltas
+                if any(d.path.endswith(n) for n in names)]
+
+    def screen_position_deviations(self) -> List[SurfaceDelta]:
+        names = ("screenX", "screenY", "mozInnerScreenX", "mozInnerScreenY",
+                 "availTop", "availLeft")
+        return [d for d in self.deltas
+                if any(d.path.endswith(n) for n in names)]
+
+    def font_deviation(self) -> bool:
+        return any("fonts" in d.path.lower() for d in self.deltas)
+
+    def timezone_deviation(self) -> bool:
+        return any("timezone" in d.path.lower() for d in self.deltas)
+
+    def language_additions(self) -> List[SurfaceDelta]:
+        return [d for d in self.deltas
+                if ".languages." in d.path and d.kind == "added"]
+
+    def webgl_deviations(self) -> List[SurfaceDelta]:
+        """WebGL *parameter* deviations (the Table 2/4 counting unit).
+
+        Function properties (interface methods) are excluded: the counts
+        the paper reports concern the parameter/constant surface.
+        """
+        out = []
+        for d in self.deltas:
+            if "WebGLRenderingContext" not in d.path:
+                continue
+            reference = d.baseline if d.baseline is not None else d.observed
+            if reference is None:
+                continue
+            if reference.startswith(("number:", "string:")):
+                out.append(d)
+        return out
+
+    def tampered_functions(self) -> List[SurfaceDelta]:
+        """Native APIs replaced by script-level wrappers (Listing 1)."""
+        return [d for d in self.deltas
+                if d.kind == "changed"
+                and "function:script" in (d.observed or "")
+                and "function:script" not in (d.baseline or "")]
+
+    def added_custom_functions(self) -> List[SurfaceDelta]:
+        """Non-spec functions added to window (getInstrumentJS & co)."""
+        return [d for d in self.deltas
+                if d.kind == "added"
+                and d.path.count(".") == 1
+                and d.path.startswith("window.")
+                and (d.observed or "").startswith("function:")]
+
+
+def diff_templates(baseline: Template, observed: Template
+                   ) -> FingerprintSurface:
+    """Diff two templates into a fingerprint surface."""
+    surface = FingerprintSurface(client_name=observed.client_name,
+                                 baseline_name=baseline.client_name)
+    baseline_paths = baseline.properties
+    observed_paths = observed.properties
+    for path, value in observed_paths.items():
+        if path not in baseline_paths:
+            surface.deltas.append(SurfaceDelta(path, "added", None, value))
+        elif baseline_paths[path] != value:
+            surface.deltas.append(SurfaceDelta(
+                path, "changed", baseline_paths[path], value))
+    for path, value in baseline_paths.items():
+        if path not in observed_paths:
+            surface.deltas.append(SurfaceDelta(path, "missing", value, None))
+    return surface
+
+
+@dataclass
+class SetupSummary:
+    """One column of Table 2."""
+
+    setup: str
+    webdriver: bool
+    screen_dimensions: int
+    screen_position: int
+    font_enumeration: bool
+    timezone_zero: bool
+    language_additions: int
+    webgl_deviations: int
+    tampering: int = 0
+    custom_functions: int = 0
+
+
+def measure_surface(baseline_window, observed_window) -> FingerprintSurface:
+    """Capture templates of both windows and diff them."""
+    from repro.core.fingerprint.template import capture_template
+
+    baseline = capture_template(baseline_window)
+    observed = capture_template(observed_window)
+    return diff_templates(baseline, observed)
+
+
+def summarise_setup(setup: str, surface: FingerprintSurface,
+                    probe_values: Dict = None) -> SetupSummary:
+    """Fold a surface into one Table 2 column."""
+    probe_values = probe_values or {}
+    return SetupSummary(
+        setup=setup,
+        webdriver=surface.webdriver_deviates(),
+        screen_dimensions=len(surface.screen_dimension_deviations()),
+        screen_position=len(surface.screen_position_deviations()),
+        font_enumeration=probe_values.get("fontCount", -1) in (0, 1),
+        timezone_zero=probe_values.get("timezoneOffset", -1) == 0,
+        language_additions=len(surface.language_additions()),
+        webgl_deviations=len(surface.webgl_deviations()),
+        tampering=len(surface.tampered_functions()),
+        custom_functions=len(surface.added_custom_functions()),
+    )

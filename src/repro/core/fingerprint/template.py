@@ -1,0 +1,175 @@
+"""JavaScript template attacks (Schwarz et al., adapted per Sec. 3).
+
+A template is a map from *property path* to a stable characterisation of
+what lives there: primitive values verbatim, functions by their
+``toString`` (which is precisely what exposes script-level wrappers),
+objects by their class. Templates of two clients from the same browser
+family are diffed to expose the automation framework's additions,
+removals, and tampering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set
+
+from repro.jsobject.errors import JSError
+from repro.jsobject.functions import JSFunction
+from repro.jsobject.objects import JSArray, JSObject
+from repro.jsobject.values import NULL, UNDEFINED, to_js_string
+
+#: Window properties that are environment noise rather than fingerprint
+#: signal (live references back into the graph, etc.).
+_SKIP_WINDOW_KEYS = frozenset({
+    "window", "self", "globalThis", "top", "parent", "frames",
+})
+
+#: Hard limits keeping traversal bounded on hostile graphs.
+MAX_DEPTH = 5
+MAX_NODES = 250_000
+
+
+@dataclass
+class Template:
+    """The captured property map of one client."""
+
+    client_name: str
+    properties: Dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.properties)
+
+    def paths(self) -> Set[str]:
+        return set(self.properties)
+
+
+def _characterise(value: Any) -> str:
+    """A stable, comparison-friendly description of a JS value."""
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "null"
+    if isinstance(value, bool):
+        return f"boolean:{str(value).lower()}"
+    if isinstance(value, (int, float)):
+        return f"number:{to_js_string(float(value))}"
+    if isinstance(value, str):
+        if len(value) > 120:
+            digest = hashlib.sha256(value.encode()).hexdigest()[:12]
+            return f"string:sha:{digest}"
+        return f"string:{value}"
+    if isinstance(value, JSFunction):
+        source = value.to_source_string()
+        if "[native code]" in source:
+            return f"function:native:{value.masquerade_name}" \
+                if hasattr(value, "masquerade_name") \
+                else "function:native"
+        digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+        return f"function:script:{digest}"
+    if isinstance(value, JSArray):
+        return f"array:{len(value.elements)}"
+    if isinstance(value, JSObject):
+        return f"object:{value.class_name}"
+    return f"host:{type(value).__name__}"
+
+
+def _visible_keys(obj: JSObject, stop_at: Set[int],
+                  already_visited: Dict[int, str]) -> List[str]:
+    """Own + inherited property names, as a probing script would see them.
+
+    Inheritance is cut off at the realm's base prototypes (Object/
+    Function/Array.prototype), whose members are identical across clients
+    of one browser family and carry no fingerprint signal. Prototypes the
+    traversal already covered elsewhere (e.g. via an interface
+    constructor's ``.prototype``) are skipped so each property is
+    attributed to exactly one path.
+    """
+    seen: Dict[str, None] = {}
+    walker: Any = obj
+    while walker is not None and id(walker) not in stop_at:
+        if walker is not obj and id(walker) in already_visited:
+            break
+        for name in walker.own_keys():
+            seen.setdefault(name, None)
+        walker = walker.proto
+    return list(seen.keys())
+
+
+def capture_template(window: Any, max_depth: int = MAX_DEPTH,
+                     max_nodes: int = MAX_NODES) -> Template:
+    """Traverse a window's JS object graph into a :class:`Template`.
+
+    For each visible property the template records both the descriptor's
+    nature (native vs script accessor — the channel on which
+    instrumentation wrappers betray themselves) and the value a script
+    would read. Functions are characterised by their ``toString``.
+    """
+    interp = window.interp
+    realm = window.realm
+    stop_at = {id(realm.object_prototype), id(realm.function_prototype),
+               id(realm.array_prototype), id(realm.error_prototype)}
+    template = Template(client_name=window.profile.name)
+    seen: Dict[int, str] = {}
+    budget = [max_nodes]
+
+    def characterise_descriptor(obj: JSObject, name: str,
+                                value: Any) -> str:
+        _, desc = obj.lookup(name)
+        value_char = _characterise(value)
+        if desc is not None and desc.is_accessor:
+            getter_char = _characterise(desc.get) if desc.get is not None \
+                else "none"
+            return f"accessor[{getter_char}]:{value_char}"
+        return value_char
+
+    def visit(obj: JSObject, path: str, depth: int) -> None:
+        if budget[0] <= 0:
+            return
+        identity = id(obj)
+        if identity in seen:
+            template.properties[path] = f"ref:{seen[identity]}"
+            return
+        seen[identity] = path
+        template.properties[path] = f"object:{obj.class_name}"
+        if depth >= max_depth:
+            return
+        for name in _visible_keys(obj, stop_at, seen):
+            if path == "window" and name in _SKIP_WINDOW_KEYS:
+                continue
+            if name == "constructor":
+                continue
+            budget[0] -= 1
+            if budget[0] <= 0:
+                return
+            child_path = f"{path}.{name}"
+            try:
+                value = obj.get(name, interp)
+            except (JSError, RecursionError):
+                template.properties[child_path] = "throws"
+                continue
+            if isinstance(value, JSObject) and not isinstance(
+                    value, JSFunction):
+                _, desc = obj.lookup(name)
+                if desc is not None and desc.is_accessor:
+                    getter_char = _characterise(desc.get) \
+                        if desc.get is not None else "none"
+                    template.properties[child_path + "{descriptor}"] = \
+                        f"accessor[{getter_char}]"
+                visit(value, child_path, depth + 1)
+            elif isinstance(value, JSFunction):
+                template.properties[child_path] = characterise_descriptor(
+                    obj, name, value)
+                prototype_desc = value.get_own_descriptor("prototype")
+                if prototype_desc is not None and isinstance(
+                        prototype_desc.value, JSObject):
+                    visit(prototype_desc.value, f"{child_path}.prototype",
+                          depth + 1)
+            else:
+                template.properties[child_path] = characterise_descriptor(
+                    obj, name, value)
+
+    visit(window.window_object, "window", 0)
+    # The document subtree hangs off the host document object.
+    visit(window.document, "document", 1)
+    return template

@@ -1,0 +1,28 @@
+"""WPM_hide: hardened instrumentation and stealth (paper Sec. 6).
+
+Five identifiability fixes (Sec. 6.1) and three recording-attack
+mitigations (Sec. 6.2), implemented as a drop-in replacement for
+OpenWPM's JavaScript instrument:
+
+1. ``toString`` of every wrapper returns the native-code string
+   (exported functions, CanvasBlocker-style);
+2. no DOM property is added (no script injection, no residue);
+3. no instrumentation frames appear in stack traces;
+4. wrapping is per-prototype — no pollution;
+5. ``navigator.webdriver`` reads false and window geometry is settable;
+6. records travel over the extension's private background channel
+   (immune to the dispatcher attacks and to CSP);
+7. frame protection instruments new frames/popups synchronously.
+"""
+
+from repro.core.hardening.stealth import StealthJSInstrument
+from repro.core.hardening.settings import StealthSettings
+from repro.core.hardening.errors import sanitize_error_stack
+from repro.core.hardening.debugger_instrument import DebuggerJSInstrument
+
+__all__ = [
+    "StealthJSInstrument",
+    "StealthSettings",
+    "sanitize_error_stack",
+    "DebuggerJSInstrument",
+]

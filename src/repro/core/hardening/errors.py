@@ -1,0 +1,56 @@
+"""Fake stack traces (paper Sec. 6.1.3).
+
+A page can only read stacks off thrown errors. The hardened instrument
+catches errors crossing a wrapper and rethrows them with every
+instrumentation frame removed and fileName/line/column adjusted to the
+first page-level frame, so no sign of the wrapping survives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.jsobject.objects import JSObject
+from repro.jsobject.values import UNDEFINED
+
+#: Substrings identifying instrumentation frames in stack strings.
+INSTRUMENT_MARKERS = ("moz-extension://", "openwpm", "wpmhide")
+
+
+def sanitize_error_stack(error: Any,
+                         markers: Iterable[str] = INSTRUMENT_MARKERS) -> Any:
+    """Strip instrumentation frames from a thrown error, in place.
+
+    Non-object throw values (strings, numbers) carry no stack and pass
+    through unchanged.
+    """
+    if not isinstance(error, JSObject):
+        return error
+    stack = error.get("stack")
+    if not isinstance(stack, str) or not stack:
+        return error
+    kept = [line for line in stack.split("\n")
+            if not any(marker in line for marker in markers)]
+    error.set("stack", "\n".join(kept))
+
+    # Re-point fileName / line / column at the first surviving frame.
+    if kept:
+        top = kept[0]
+        if "@" in top:
+            _, _, location = top.partition("@")
+            parts = location.rsplit(":", 2)
+            if len(parts) == 3:
+                error.set("fileName", parts[0])
+                try:
+                    error.set("lineNumber", float(int(parts[1])))
+                    error.set("columnNumber", float(int(parts[2])))
+                except ValueError:
+                    pass
+    return error
+
+
+def stack_mentions_instrumentation(stack: Any) -> bool:
+    """True when a stack string betrays the instrumentation."""
+    if not isinstance(stack, str):
+        return False
+    return any(marker in stack for marker in INSTRUMENT_MARKERS)

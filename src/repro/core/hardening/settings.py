@@ -1,0 +1,37 @@
+"""Stealth configuration (paper Sec. 6.1.5).
+
+OpenWPM hard-codes window size and position; the hardening introduces a
+settings file making them configurable so a crawler can blend in with
+desktop browsers. ``StealthSettings.plausible()`` yields the geometry of
+an ordinary desktop Firefox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class StealthSettings:
+    """Window geometry + behaviour switches for a hardened crawl."""
+
+    window_size: Tuple[int, int] = (1280, 940)
+    window_position: Tuple[int, int] = (214, 97)
+    #: Override navigator.webdriver to the regular-Firefox value.
+    hide_webdriver: bool = True
+    #: Archive all response bodies (Sec. 6.2.3: filtering is not robust
+    #: against active adversaries).
+    save_content: str = "all"
+
+    @classmethod
+    def plausible(cls) -> "StealthSettings":
+        """Geometry indistinguishable from a human-driven Firefox."""
+        return cls()
+
+    def apply_to_browser_params(self, params) -> None:
+        """Copy the stealth geometry into a BrowserParams object."""
+        params.window_size = self.window_size
+        params.window_position = self.window_position
+        params.stealth = True
+        params.save_content = self.save_content

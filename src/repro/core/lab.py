@@ -1,0 +1,64 @@
+"""Lab harness: spin up isolated windows/browsers for experiments.
+
+Used by the fingerprint measurements (Sec. 3), the attack PoCs (Sec. 5),
+and the test suite: one blank 'lab' site, one browser per profile.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.browser.browser import Browser, VisitResult
+from repro.browser.profiles import BrowserProfile
+from repro.net.http import HttpResponse
+from repro.net.network import FunctionServer, Network
+from repro.net.page import PageSpec, ScriptItem
+
+LAB_URL = "https://lab.test/"
+
+
+def make_lab_network(pages: Optional[dict] = None,
+                     csp_header: str = "") -> Network:
+    """A network serving a blank lab page (plus optional extra pages).
+
+    ``pages`` maps URL path -> PageSpec for additional lab documents.
+    """
+    network = Network()
+    extra = pages or {}
+
+    def serve(request, client, net):
+        page = extra.get(request.url.path)
+        if page is None:
+            page = PageSpec(url=str(request.url), title="lab",
+                            csp_header=csp_header)
+        return HttpResponse(page=page, body=page.to_html())
+
+    network.register_domain("lab.test", FunctionServer(serve))
+    return network
+
+
+def make_window(profile: BrowserProfile, extension: Any = None,
+                network: Optional[Network] = None, seed: int = 0,
+                wait: float = 1.0) -> Tuple[Browser, Any]:
+    """Visit the blank lab page with *profile*; return (browser, window)."""
+    network = network or make_lab_network()
+    browser = Browser(profile, network, client_id=f"lab-{profile.name}",
+                      extension=extension, seed=seed)
+    result = browser.visit(LAB_URL, wait=wait)
+    if not result.success or result.top_window is None:
+        raise RuntimeError(f"lab page failed to load for {profile.name}")
+    return browser, result.top_window
+
+
+def visit_with_scripts(profile: BrowserProfile, scripts: List[str],
+                       extension: Any = None, seed: int = 0,
+                       csp_header: str = "", wait: float = 60.0
+                       ) -> Tuple[Browser, VisitResult]:
+    """Visit a lab page that runs the given inline scripts in order."""
+    page = PageSpec(url=LAB_URL, title="lab", csp_header=csp_header,
+                    items=[ScriptItem(source=source) for source in scripts])
+    network = make_lab_network(pages={"/": page})
+    browser = Browser(profile, network, client_id=f"lab-{profile.name}",
+                      extension=extension, seed=seed)
+    result = browser.visit(LAB_URL, wait=wait)
+    return browser, result

@@ -1,0 +1,35 @@
+"""Site-category tallies for detector sites (paper Sec. 4.3 / Fig. 5).
+
+The paper looks up categories via Symantec's site review service; here
+the synthetic Tranco list carries its categories directly. Sites may
+have multiple categories and each is tallied (as in the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from repro.web.tranco import TrancoList
+
+
+def tally_categories(domains: Iterable[str],
+                     tranco: TrancoList) -> Counter:
+    """Count every category of every listed domain."""
+    lookup = tranco.by_domain()
+    counts: Counter = Counter()
+    for domain in domains:
+        site = lookup.get(domain)
+        if site is None:
+            continue
+        for category in site.categories:
+            counts[category] += 1
+    return counts
+
+
+def category_shares(counts: Counter, top: int = 16
+                    ) -> List[Tuple[str, float]]:
+    """The Fig. 5 view: top categories with their share of tallies."""
+    total = sum(counts.values()) or 1
+    return [(name, count / total)
+            for name, count in counts.most_common(top)]

@@ -1,0 +1,190 @@
+"""Combining static and dynamic evidence into site classifications.
+
+Implements the paper's decision rules (Sec. 4.1.2-4.1.3):
+
+* a script is *bot-detecting* when it accesses ``navigator.webdriver``
+  or an OpenWPM-residue property;
+* a script that touched several honey properties is an *iterator*; its
+  webdriver access counts as 'inconclusive' unless static analysis
+  (strict patterns) independently flags it;
+* static analysis runs over every collected script after
+  deobfuscation; loose pattern hits without a strict hit are potential
+  false positives;
+* detector origins split into first-/third-party by eTLD+1 against the
+  visited site; first-party scripts are attributed to vendors by their
+  URL structure (Table 12).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.scan.static_analysis import PatternHit, scan_script
+from repro.net.url import URL, etld_plus_one
+
+#: Honey properties a script must touch to count as an iterator.
+ITERATOR_THRESHOLD = 2
+
+#: Table 12 URL-structure signatures for first-party vendors.
+_VENDOR_SIGNATURES: List[Tuple[str, re.Pattern]] = [
+    ("Akamai", re.compile(r"/akam/\d+/")),
+    ("Incapsula", re.compile(r"/_Incapsula_Resource")),
+    ("Cloudflare", re.compile(r"/cdn-cgi/bm/cv/\d+/api\.js")),
+    ("PerimeterX", re.compile(r"/[0-9a-f]{8}/init\.js")),
+    ("Unknown", re.compile(
+        r"/(assets|resources|public|static)/[0-9a-f]{31,34}$")),
+]
+
+
+def identify_first_party_vendor(script_url: str) -> Optional[str]:
+    """Attribute a first-party detector script to a vendor (Table 12)."""
+    try:
+        path = URL.parse(script_url).path + (
+            "?" if "?" in script_url else "")
+    except ValueError:
+        path = script_url
+    full = script_url
+    for vendor, signature in _VENDOR_SIGNATURES:
+        if signature.search(full):
+            return vendor
+    return None
+
+
+@dataclass
+class VisitEvidence:
+    """What one page visit produced, as input to classification."""
+
+    page_url: str
+    #: (script_url, source) of every collected script file.
+    scripts: List[Tuple[str, str]] = field(default_factory=list)
+    #: script_url -> accessed navigator.webdriver?
+    webdriver_accessors: Set[str] = field(default_factory=set)
+    #: script_url -> set of OpenWPM residue properties accessed.
+    residue_accessors: Dict[str, Set[str]] = field(default_factory=dict)
+    #: script_url -> honey properties touched.
+    honey_hits: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class SiteClassification:
+    """The scan's verdict for one site."""
+
+    domain: str
+    #: Any static pattern hit (including the FP-prone loose pattern).
+    static_identified: bool = False
+    #: Hit on a validated (strict) pattern.
+    static_clean: bool = False
+    #: Any dynamic access to the fingerprint surface.
+    dynamic_identified: bool = False
+    #: Dynamic access that is not explained away as iteration.
+    dynamic_clean: bool = False
+    #: OpenWPM-residue probes: property name -> probing script hosts.
+    openwpm_probes: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Third-party detector script hosts (eTLD+1), one count per site.
+    third_party_hosts: Set[str] = field(default_factory=set)
+    #: First-party detector script URLs.
+    first_party_scripts: List[str] = field(default_factory=list)
+    first_party_vendor: Optional[str] = None
+    #: Scripts classified as iterators (honey-property sweeps).
+    iterator_scripts: Set[str] = field(default_factory=set)
+
+    @property
+    def identified_union(self) -> bool:
+        return self.static_identified or self.dynamic_identified
+
+    @property
+    def clean_union(self) -> bool:
+        return self.static_clean or self.dynamic_clean
+
+    @property
+    def has_first_party(self) -> bool:
+        return bool(self.first_party_scripts)
+
+    @property
+    def has_third_party(self) -> bool:
+        return bool(self.third_party_hosts)
+
+    @property
+    def probes_openwpm(self) -> bool:
+        return bool(self.openwpm_probes)
+
+
+def classify_site(domain: str, visits: List[VisitEvidence],
+                  use_honey: bool = True,
+                  preprocess_static: bool = True) -> SiteClassification:
+    """Fold all visit evidence for one site into a classification.
+
+    ``use_honey=False`` disables the honey-property iterator filter
+    (every webdriver access then counts as conclusive);
+    ``preprocess_static=False`` disables deobfuscation. Both are
+    ablation knobs for the pipeline's design choices.
+    """
+    result = SiteClassification(domain=domain)
+    site_registrable = etld_plus_one(domain)
+
+    static_hits: Dict[str, PatternHit] = {}
+    for visit in visits:
+        for script_url, source in visit.scripts:
+            if script_url not in static_hits:
+                static_hits[script_url] = scan_script(
+                    source, script_url, preprocess=preprocess_static)
+
+    for script_url, hit in static_hits.items():
+        if hit.any_match:
+            result.static_identified = True
+        if hit.strict_match:
+            result.static_clean = True
+            _attribute_origin(result, script_url, site_registrable)
+
+    for visit in visits:
+        for script_url in visit.webdriver_accessors:
+            result.dynamic_identified = True
+            honey = set()
+            for evidence in visits:
+                honey |= evidence.honey_hits.get(script_url, set())
+            is_iterator = use_honey and len(honey) >= ITERATOR_THRESHOLD
+            if is_iterator:
+                result.iterator_scripts.add(script_url)
+                # Inconclusive unless static analysis saw it too.
+                hit = static_hits.get(script_url)
+                if hit is None or not hit.strict_match:
+                    continue
+            result.dynamic_clean = True
+            _attribute_origin(result, script_url, site_registrable)
+        for script_url, props in visit.residue_accessors.items():
+            result.dynamic_identified = True
+            result.dynamic_clean = True
+            for prop in props:
+                result.openwpm_probes.setdefault(prop, set()).add(
+                    _host_of(script_url))
+            _attribute_origin(result, script_url, site_registrable)
+
+    for script_url in result.first_party_scripts:
+        vendor = identify_first_party_vendor(script_url)
+        if vendor is not None:
+            result.first_party_vendor = vendor
+            break
+    if result.first_party_scripts and result.first_party_vendor is None:
+        result.first_party_vendor = "Custom"
+    return result
+
+
+def _host_of(script_url: str) -> str:
+    try:
+        return URL.parse(script_url).host
+    except ValueError:
+        return script_url
+
+
+def _attribute_origin(result: SiteClassification, script_url: str,
+                      site_registrable: str) -> None:
+    if not script_url.startswith(("http://", "https://")):
+        return
+    host = _host_of(script_url)
+    if etld_plus_one(host) == site_registrable:
+        if script_url not in result.first_party_scripts:
+            result.first_party_scripts.append(script_url)
+    else:
+        result.third_party_hosts.add(etld_plus_one(host))

@@ -1,0 +1,294 @@
+"""The full scan pipeline (paper Sec. 4).
+
+Visits every site's front page (and optionally up to three same-site
+subpages selected by the eTLD+1 rule), collects scripts and dynamic
+evidence through the :class:`ScanExtension`, classifies each site, and
+derives the paper's tables and figures:
+
+* Table 5  — static / dynamic / union detector counts, with and
+  without false positives / inconclusive iterators;
+* Table 6  — OpenWPM-residue probing sites per provider and property;
+* Table 7  — third-party detector hosting domains;
+* Table 11 — front-page webdriver rates;
+* Table 12 — first-party vendor attribution;
+* Fig. 3   — front vs subpage detection per rank bucket;
+* Fig. 4   — front-page static/dynamic overlap;
+* Fig. 5   — categories of sites with first-/third-party detectors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.browser.browser import Browser
+from repro.browser.profiles import openwpm_profile
+from repro.core.scan.classify import (
+    SiteClassification,
+    VisitEvidence,
+    classify_site,
+)
+from repro.core.scan.dynamic_analysis import ScanExtension
+from repro.net.url import URL, same_site
+from repro.web.world import SyntheticWeb
+
+#: Subpage budget per site (paper Sec. 4.1.2).
+MAX_SUBPAGES = 3
+
+
+@dataclass
+class ScanDataset:
+    """All per-site classifications plus corpus-level bookkeeping."""
+
+    front_only: Dict[str, SiteClassification] = field(default_factory=dict)
+    combined: Dict[str, SiteClassification] = field(default_factory=dict)
+    unique_scripts: Set[str] = field(default_factory=set)
+    visited_sites: int = 0
+    subpage_visits: int = 0
+    #: Raw per-site evidence, kept so ablations can re-classify the
+    #: same crawl under different pipeline settings without recrawling.
+    evidence: Dict[str, List[VisitEvidence]] = field(default_factory=dict)
+
+    def reclassify(self, use_honey: bool = True,
+                   preprocess_static: bool = True,
+                   max_visits: Optional[int] = None
+                   ) -> Dict[str, SiteClassification]:
+        """Re-run classification over the stored evidence.
+
+        ``max_visits`` truncates each site's visit list (1 = front page
+        only), enabling the subpage-depth ablation.
+        """
+        out: Dict[str, SiteClassification] = {}
+        for domain, visits in self.evidence.items():
+            subset = visits if max_visits is None else visits[:max_visits]
+            out[domain] = classify_site(
+                domain, subset, use_honey=use_honey,
+                preprocess_static=preprocess_static)
+        return out
+
+    # ------------------------------------------------------------------
+    # Table 5
+    # ------------------------------------------------------------------
+    def table5(self) -> Dict[str, Dict[str, int]]:
+        def counts(classes: Dict[str, SiteClassification]
+                   ) -> Dict[str, int]:
+            return {
+                "static": sum(c.static_identified
+                              for c in classes.values()),
+                "dynamic": sum(c.dynamic_identified
+                               for c in classes.values()),
+                "union": sum(c.identified_union for c in classes.values()),
+                "static_clean": sum(c.static_clean
+                                    for c in classes.values()),
+                "dynamic_clean": sum(c.dynamic_clean
+                                     for c in classes.values()),
+                "union_clean": sum(c.clean_union for c in classes.values()),
+            }
+
+        return {"identified": {
+                    "static": counts(self.combined)["static"],
+                    "dynamic": counts(self.combined)["dynamic"],
+                    "union": counts(self.combined)["union"]},
+                "clean": {
+                    "static": counts(self.combined)["static_clean"],
+                    "dynamic": counts(self.combined)["dynamic_clean"],
+                    "union": counts(self.combined)["union_clean"]}}
+
+    # ------------------------------------------------------------------
+    # Table 6
+    # ------------------------------------------------------------------
+    def table6(self) -> Dict[str, Dict[str, int]]:
+        """Provider host -> {total, per-property counts}."""
+        out: Dict[str, Dict[str, int]] = {}
+        for classification in self.combined.values():
+            per_site: Dict[str, Set[str]] = {}
+            for prop, hosts in classification.openwpm_probes.items():
+                for host in hosts:
+                    from repro.net.url import etld_plus_one
+
+                    provider = etld_plus_one(host)
+                    per_site.setdefault(provider, set()).add(prop)
+            for provider, props in per_site.items():
+                stats = out.setdefault(provider, {"total": 0})
+                stats["total"] += 1
+                for prop in props:
+                    stats[prop] = stats.get(prop, 0) + 1
+        return out
+
+    def openwpm_probe_site_count(self) -> int:
+        return sum(1 for c in self.combined.values() if c.probes_openwpm)
+
+    # ------------------------------------------------------------------
+    # Table 7
+    # ------------------------------------------------------------------
+    def table7(self, top: int = 10) -> List[Tuple[str, int, float]]:
+        counts: Counter = Counter()
+        for classification in self.combined.values():
+            for host in classification.third_party_hosts:
+                counts[host] += 1
+        total = sum(counts.values()) or 1
+        return [(host, count, count / total)
+                for host, count in counts.most_common(top)]
+
+    def inclusion_totals(self) -> Tuple[int, int]:
+        """(first-party script count, third-party inclusion count)."""
+        first = sum(len(c.first_party_scripts)
+                    for c in self.combined.values())
+        third = sum(len(c.third_party_hosts)
+                    for c in self.combined.values())
+        return first, third
+
+    # ------------------------------------------------------------------
+    # Table 11 / Fig. 4
+    # ------------------------------------------------------------------
+    def table11(self) -> Dict[str, float]:
+        total = max(self.visited_sites, 1)
+        static = sum(c.static_clean for c in self.front_only.values())
+        dynamic = sum(c.dynamic_clean for c in self.front_only.values())
+        union = sum(c.clean_union for c in self.front_only.values())
+        return {"static": static, "dynamic": dynamic, "combined": union,
+                "static_rate": static / total,
+                "dynamic_rate": dynamic / total,
+                "combined_rate": union / total}
+
+    def fig4(self) -> Dict[str, int]:
+        static = {d for d, c in self.front_only.items() if c.static_clean}
+        dynamic = {d for d, c in self.front_only.items() if c.dynamic_clean}
+        return {
+            "static_only": len(static - dynamic),
+            "dynamic_only": len(dynamic - static),
+            "both": len(static & dynamic),
+            "static_total": len(static),
+            "dynamic_total": len(dynamic),
+            "union": len(static | dynamic),
+        }
+
+    # ------------------------------------------------------------------
+    # Table 12
+    # ------------------------------------------------------------------
+    def table12(self) -> Dict[str, int]:
+        counts: Counter = Counter()
+        for classification in self.combined.values():
+            if classification.has_first_party \
+                    and classification.first_party_vendor:
+                counts[classification.first_party_vendor] += 1
+        return dict(counts)
+
+    # ------------------------------------------------------------------
+    # Fig. 3
+    # ------------------------------------------------------------------
+    def fig3(self, tranco, bucket_size: int = 1000
+             ) -> List[Dict[str, int]]:
+        """Detector counts per rank bucket, front vs front+sub."""
+        rank_of = {site.domain: site.rank for site in tranco}
+        buckets: Dict[int, Dict[str, int]] = {}
+        for domain, classification in self.combined.items():
+            rank = rank_of.get(domain)
+            if rank is None:
+                continue
+            bucket = (rank - 1) // bucket_size
+            stats = buckets.setdefault(
+                bucket, {"bucket": bucket, "front": 0, "combined": 0,
+                         "sites": 0})
+            stats["sites"] += 1
+            front = self.front_only.get(domain)
+            if front is not None and front.clean_union:
+                stats["front"] += 1
+            if classification.clean_union:
+                stats["combined"] += 1
+        return [buckets[key] for key in sorted(buckets)]
+
+    # ------------------------------------------------------------------
+    def fig5(self, tranco) -> Dict[str, Counter]:
+        from repro.core.scan.categories import tally_categories
+
+        first_party = [d for d, c in self.combined.items()
+                       if c.clean_union and c.has_first_party]
+        third_party = [d for d, c in self.combined.items()
+                       if c.clean_union and c.has_third_party]
+        return {"first_party": tally_categories(first_party, tranco),
+                "third_party": tally_categories(third_party, tranco)}
+
+
+class ScanPipeline:
+    """Runs the crawl and produces a :class:`ScanDataset`."""
+
+    def __init__(self, web: SyntheticWeb, client_id: str = "scan-client",
+                 seed: int = 3, dwell: float = 60.0,
+                 max_subpages: int = MAX_SUBPAGES) -> None:
+        self.web = web
+        self.extension = ScanExtension()
+        self.browser = Browser(openwpm_profile("ubuntu", "regular"),
+                               web.network, client_id=client_id,
+                               extension=self.extension, seed=seed)
+        self.dwell = dwell
+        self.max_subpages = max_subpages
+
+    # ------------------------------------------------------------------
+    def run(self, site_limit: Optional[int] = None,
+            visit_subpages: bool = True) -> ScanDataset:
+        dataset = ScanDataset()
+        configs = self.web.configs if site_limit is None \
+            else self.web.configs[:site_limit]
+        for config in configs:
+            domain = config.domain
+            front_evidence = self._visit(f"https://www.{domain}/")
+            evidences = [front_evidence]
+            dataset.front_only[domain] = classify_site(
+                domain, [front_evidence])
+            if visit_subpages:
+                for link in self._select_subpages(front_evidence, domain):
+                    evidences.append(self._visit(link))
+                    dataset.subpage_visits += 1
+            dataset.combined[domain] = classify_site(domain, evidences)
+            dataset.evidence[domain] = evidences
+            dataset.visited_sites += 1
+            for visit in evidences:
+                for _, source in visit.scripts:
+                    dataset.unique_scripts.add(source)
+        return dataset
+
+    # ------------------------------------------------------------------
+    def _visit(self, url: str) -> VisitEvidence:
+        self.extension.clear_records()
+        result = self.browser.visit(url, wait=self.dwell)
+        evidence = VisitEvidence(page_url=url)
+        if self.extension.http_instrument is not None:
+            evidence.scripts = [
+                (script_url, source) for script_url, content_type, source
+                in self.extension.http_instrument.saved_bodies
+                if "javascript" in content_type]
+        if self.extension.js_instrument is not None:
+            for record in self.extension.js_instrument.records:
+                if record.symbol == "navigator.webdriver" \
+                        and record.operation == "get":
+                    evidence.webdriver_accessors.add(record.script_url)
+        for access in self.extension.residue_accesses():
+            evidence.residue_accessors.setdefault(
+                access.script_url, set()).add(access.property_name)
+        evidence.honey_hits = self.extension.honey_hits_by_script()
+        return evidence
+
+    def _select_subpages(self, evidence: VisitEvidence,
+                         domain: str) -> List[str]:
+        """Same-site links only (eTLD+1), after following redirects."""
+        result_links: List[str] = []
+        base = URL.parse(evidence.page_url)
+        page = None
+        top = self.browser._top_window  # the visit that produced evidence
+        if top is not None and top.page is not None:
+            page = top.page
+        if page is None:
+            return result_links
+        for href in page.links():
+            try:
+                target = URL.parse(href, base=base)
+            except ValueError:
+                continue
+            if not same_site(target.host, base.host):
+                continue
+            result_links.append(str(target))
+            if len(result_links) >= self.max_subpages:
+                break
+        return result_links

@@ -1,0 +1,118 @@
+"""Static analysis of collected scripts (paper Sec. 4.1, Appx. B).
+
+Pipeline: deobfuscate (hex/unicode escapes to ASCII, strip comments),
+then match the patterns of Table 13. The loose ``webdriver`` pattern is
+known to produce false positives (UA-token blocklists etc.); the
+context-aware patterns (``navigator.webdriver`` and the bracket form)
+are the validated 'strict' set, as are the three OpenWPM-residue
+property names.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List
+
+_HEX_ESCAPE = re.compile(r"\\x([0-9a-fA-F]{2})")
+_UNICODE_ESCAPE = re.compile(r"\\u([0-9a-fA-F]{4})")
+_LINE_COMMENT = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def deobfuscate(source: str) -> str:
+    """Undo straightforward obfuscation before pattern matching."""
+    source = _HEX_ESCAPE.sub(lambda m: chr(int(m.group(1), 16)), source)
+    source = _UNICODE_ESCAPE.sub(lambda m: chr(int(m.group(1), 16)), source)
+    source = _BLOCK_COMMENT.sub(" ", source)
+    source = _LINE_COMMENT.sub(" ", source)
+    return source
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One static pattern with its validation status (Table 13)."""
+
+    name: str
+    regex: str
+    #: Loose patterns are known to produce false positives.
+    strict: bool
+    #: Targets OpenWPM specifically rather than Selenium generally.
+    openwpm_specific: bool = False
+
+
+PATTERNS: List[Pattern] = [
+    Pattern("loose-webdriver", r"webdriver", strict=False),
+    Pattern("word-webdriver", r"(?<![_\-\w])webdriver(?![_\-\w])",
+            strict=False),
+    Pattern("navigator-dot-webdriver", r"navigator\.webdriver",
+            strict=True),
+    Pattern("navigator-bracket-webdriver",
+            r"navigator\[[\"']webdriver[\"']\]", strict=True),
+    Pattern("owpm-instrumentFingerprintingApis",
+            r"instrumentFingerprintingApis", strict=True,
+            openwpm_specific=True),
+    Pattern("owpm-getInstrumentJS", r"getInstrumentJS", strict=True,
+            openwpm_specific=True),
+    Pattern("owpm-jsInstruments", r"jsInstruments", strict=True,
+            openwpm_specific=True),
+]
+
+_COMPILED = {pattern.name: re.compile(pattern.regex)
+             for pattern in PATTERNS}
+
+
+@dataclass
+class PatternHit:
+    """Matches of one script against the pattern set."""
+
+    script_url: str
+    matched: List[str]
+
+    @property
+    def any_match(self) -> bool:
+        return bool(self.matched)
+
+    @property
+    def strict_match(self) -> bool:
+        by_name = {p.name: p for p in PATTERNS}
+        return any(by_name[name].strict for name in self.matched)
+
+    @property
+    def openwpm_match(self) -> bool:
+        by_name = {p.name: p for p in PATTERNS}
+        return any(by_name[name].openwpm_specific for name in self.matched)
+
+
+def scan_script(source: str, script_url: str = "",
+                preprocess: bool = True) -> PatternHit:
+    """Pattern-match one script, by default after deobfuscation.
+
+    ``preprocess=False`` skips the deobfuscation step — the ablation
+    showing how many detectors simple hex encoding would hide.
+    """
+    text = deobfuscate(source) if preprocess else source
+    matched = [pattern.name for pattern in PATTERNS
+               if _COMPILED[pattern.name].search(text)]
+    return PatternHit(script_url=script_url, matched=matched)
+
+
+def evaluate_pattern_false_positives(
+        scripts: List[tuple]) -> Dict[str, Dict[str, int]]:
+    """Table 13: per-pattern hits vs ground-truth detector labels.
+
+    *scripts* is a list of ``(source, is_detector)`` pairs. Returns per
+    pattern: hits, true positives, false positives.
+    """
+    stats: Dict[str, Dict[str, int]] = {
+        pattern.name: {"hits": 0, "true_positives": 0, "false_positives": 0}
+        for pattern in PATTERNS}
+    for source, is_detector in scripts:
+        text = deobfuscate(source)
+        for pattern in PATTERNS:
+            if _COMPILED[pattern.name].search(text):
+                stats[pattern.name]["hits"] += 1
+                key = "true_positives" if is_detector \
+                    else "false_positives"
+                stats[pattern.name][key] += 1
+    return stats

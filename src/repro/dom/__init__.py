@@ -1,0 +1,30 @@
+"""DOM substrate: documents, elements, events, iframes, and CSP.
+
+Host-side classes double as JS-visible objects (they subclass
+:class:`repro.jsobject.JSObject`), so page scripts and extension code
+observe exactly the same DOM — the precondition for the injection
+attacks the paper studies (Sec. 5).
+"""
+
+from repro.dom.events import DOMEvent
+from repro.dom.csp import ContentSecurityPolicy
+from repro.dom.node import (
+    CanvasElement,
+    Element,
+    IFrameElement,
+    ScriptElement,
+)
+from repro.dom.document import Document
+from repro.dom.html import ParsedTag, parse_html_fragment
+
+__all__ = [
+    "DOMEvent",
+    "ContentSecurityPolicy",
+    "Element",
+    "ScriptElement",
+    "IFrameElement",
+    "CanvasElement",
+    "Document",
+    "ParsedTag",
+    "parse_html_fragment",
+]

@@ -1,0 +1,92 @@
+"""Content Security Policy.
+
+The paper (Sec. 5.1.2) shows that a site's ``script-src`` directive
+blocks OpenWPM's instrumentation, because the vanilla instrument injects
+an inline ``<script>`` element into the page. The hardened instrument
+avoids DOM injection entirely and is therefore unaffected (Sec. 6.2.1);
+the drop in ``csp_report`` traffic is the headline row of Table 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.url import URL
+
+
+@dataclass
+class ContentSecurityPolicy:
+    """A parsed CSP with the directives the simulation honours."""
+
+    #: Allowed script sources; None means no script-src directive.
+    script_src: Optional[List[str]] = None
+    report_uri: Optional[str] = None
+    raw: str = ""
+
+    @classmethod
+    def parse(cls, header: str) -> "ContentSecurityPolicy":
+        """Parse a ``Content-Security-Policy`` header value."""
+        policy = cls(raw=header)
+        for directive in header.split(";"):
+            directive = directive.strip()
+            if not directive:
+                continue
+            parts = directive.split()
+            name, values = parts[0].lower(), parts[1:]
+            if name == "script-src":
+                policy.script_src = values
+            elif name in ("report-uri", "report-to"):
+                policy.report_uri = values[0] if values else None
+        return policy
+
+    @classmethod
+    def none(cls) -> "ContentSecurityPolicy":
+        """No policy: everything is allowed."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    def restricts_scripts(self) -> bool:
+        return self.script_src is not None
+
+    def allows_inline_script(self) -> bool:
+        """Inline <script> elements (including extension-injected ones)."""
+        if self.script_src is None:
+            return True
+        return "'unsafe-inline'" in self.script_src
+
+    def allows_script_url(self, script_url: URL, page_url: URL) -> bool:
+        if self.script_src is None:
+            return True
+        for source in self.script_src:
+            if source == "'self'":
+                if script_url.host == page_url.host:
+                    return True
+            elif source in ("'none'", "'unsafe-inline'"):
+                continue
+            elif source == "*":
+                return True
+            elif source.startswith("*."):
+                if script_url.host.endswith(source[1:]):
+                    return True
+            else:
+                host = source.split("://")[-1].rstrip("/")
+                if script_url.host == host:
+                    return True
+        return False
+
+    def allows_eval(self) -> bool:
+        if self.script_src is None:
+            return True
+        return "'unsafe-eval'" in self.script_src
+
+
+@dataclass
+class CSPViolation:
+    """A violation record; reported via a ``csp_report`` request."""
+
+    page_url: URL
+    directive: str
+    blocked: str
+    report_uri: Optional[str] = None
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,107 @@
+"""The Document node."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.dom.csp import ContentSecurityPolicy
+from repro.dom.events import EventTargetMixin
+from repro.dom.html import parse_html_fragment
+from repro.dom.node import Element, make_element
+from repro.jsobject.objects import JSObject
+from repro.net.url import URL
+
+
+class Document(JSObject, EventTargetMixin):
+    """A DOM document with ``<html><head/><body/></html>`` skeleton.
+
+    The document delegates side-effectful operations (script execution on
+    attach, iframe loading, cookie access) to its owning window through
+    the ``window_host`` reference set by the browser.
+    """
+
+    is_document = True
+
+    def __init__(self, url: URL,
+                 csp: Optional[ContentSecurityPolicy] = None,
+                 proto: Optional[JSObject] = None,
+                 element_proto_for: Optional[Callable[[str], JSObject]] = None,
+                 ) -> None:
+        JSObject.__init__(self, proto=proto, class_name="HTMLDocument")
+        self._init_event_target()
+        self.url = url
+        self.csp = csp or ContentSecurityPolicy.none()
+        self.ready_state = "loading"
+        #: Set by the browser window that owns this document.
+        self.window_host: Any = None
+        self._element_proto_for = element_proto_for or (lambda tag: None)
+
+        self.document_element = self.create_element("html")
+        self.document_element.parent = self
+        self.head = self.create_element("head")
+        self.body = self.create_element("body")
+        self.document_element.children = [self.head, self.body]
+        self.head.parent = self.document_element
+        self.body.parent = self.document_element
+        self.children = [self.document_element]
+
+        #: Everything written via document.write, for auditing.
+        self.write_log: List[str] = []
+
+    # ------------------------------------------------------------------
+    def create_element(self, tag: str) -> Element:
+        proto = self._element_proto_for(tag.lower())
+        return make_element(tag, self, proto=proto)
+
+    def notify_attached(self, element: Element, interp: Any = None) -> None:
+        """Called whenever a subtree becomes live in this document."""
+        if self.window_host is not None:
+            self.window_host.handle_element_attached(element, interp)
+        for descendant in element.descendants():
+            if self.window_host is not None:
+                self.window_host.handle_element_attached(descendant, interp)
+
+    # ------------------------------------------------------------------
+    def all_elements(self):
+        yield self.document_element
+        yield from self.document_element.descendants()
+
+    def get_element_by_id(self, element_id: str) -> Optional[Element]:
+        for element in self.all_elements():
+            if element.element_id == element_id:
+                return element
+        return None
+
+    def query_selector(self, selector: str) -> Optional[Element]:
+        for element in self.all_elements():
+            if element.matches_selector(selector):
+                return element
+        return None
+
+    def query_selector_all(self, selector: str) -> List[Element]:
+        return [element for element in self.all_elements()
+                if element.matches_selector(selector)]
+
+    # ------------------------------------------------------------------
+    def write(self, html: str, interp: Any = None) -> None:
+        """``document.write``: parse and attach markup to the body."""
+        self.write_log.append(html)
+        for parsed in parse_html_fragment(html):
+            element = self.create_element(parsed.tag)
+            element.attributes.update(parsed.attributes)
+            element.text_content = parsed.text
+            self.body.append_child(element, interp)
+
+    # ------------------------------------------------------------------
+    @property
+    def cookie(self) -> str:
+        if self.window_host is None:
+            return ""
+        return self.window_host.read_document_cookie()
+
+    def set_cookie(self, text: str) -> None:
+        if self.window_host is not None:
+            self.window_host.write_document_cookie(text)
+
+    def __repr__(self) -> str:
+        return f"<Document {self.url}>"

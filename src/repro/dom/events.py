@@ -1,0 +1,64 @@
+"""DOM events.
+
+The event system is the channel OpenWPM's JavaScript instrument uses to
+ship records from the page to the extension (``document.dispatchEvent``
+with a randomly named ``CustomEvent``). Because the dispatch goes through
+a page-visible property, a page script can replace it — the core
+vulnerability behind the paper's Listing 2 attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.jsobject.functions import JSFunction
+from repro.jsobject.objects import JSObject
+from repro.jsobject.values import UNDEFINED
+
+
+class DOMEvent(JSObject):
+    """An event instance (``Event`` / ``CustomEvent``)."""
+
+    def __init__(self, event_type: str, detail: Any = UNDEFINED,
+                 proto: Optional[JSObject] = None) -> None:
+        super().__init__(proto=proto, class_name="CustomEvent")
+        self.event_type = event_type
+        self.detail = detail
+        self.put("type", event_type, writable=False)
+        self.put("detail", detail, writable=False)
+
+
+#: A listener is either a JS function (page script) or a host callable
+#: (extension content script) receiving ``(event, interp)``.
+Listener = Union[JSFunction, Callable[[DOMEvent, Any], None]]
+
+
+class EventTargetMixin:
+    """Listener registry + host-level dispatch shared by DOM nodes."""
+
+    def _init_event_target(self) -> None:
+        self._listeners: Dict[str, List[Listener]] = {}
+
+    def add_listener(self, event_type: str, listener: Listener) -> None:
+        self._listeners.setdefault(event_type, []).append(listener)
+
+    def remove_listener(self, event_type: str, listener: Listener) -> None:
+        listeners = self._listeners.get(event_type, [])
+        if listener in listeners:
+            listeners.remove(listener)
+
+    def host_dispatch(self, event: DOMEvent, interp: Any = None) -> bool:
+        """Deliver *event* to registered listeners.
+
+        This is the browser-internal dispatch — the behaviour of the
+        *native* ``dispatchEvent``. Page scripts that shadow the
+        ``dispatchEvent`` property divert callers who look the property
+        up dynamically (as OpenWPM's injected wrappers do), but cannot
+        reach this host path.
+        """
+        for listener in list(self._listeners.get(event.event_type, [])):
+            if isinstance(listener, JSFunction):
+                listener.call(interp, self, [event])
+            else:
+                listener(event, interp)
+        return True

@@ -1,0 +1,67 @@
+"""A minimal HTML fragment parser.
+
+Covers the tag vocabulary the synthetic web emits (scripts, iframes,
+images, stylesheets, simple containers and anchors). Used for
+``document.write``/``innerHTML`` and for turning a page body into DOM
+content.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+_TAG_RE = re.compile(
+    r"<(script|iframe|img|div|span|a|link|p|h1|h2|form|input|button)\b"
+    r"([^>]*)>"
+    r"(?:(.*?)</\1\s*>)?",
+    re.DOTALL | re.IGNORECASE,
+)
+_ATTR_RE = re.compile(
+    r"([a-zA-Z][a-zA-Z0-9_-]*)\s*=\s*(\"([^\"]*)\"|'([^']*)'|([^\s>]+))")
+
+#: Tags that never carry a closing tag in the corpus.
+_VOID_TAGS = frozenset({"img", "link", "input"})
+
+
+@dataclass
+class ParsedTag:
+    """One parsed element: tag name, attributes, and inline text."""
+
+    tag: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+    text: str = ""
+
+
+def parse_html_fragment(html: str) -> List[ParsedTag]:
+    """Extract the supported tags from *html*, in document order.
+
+    Nested markup inside container tags is flattened: the synthetic
+    corpus only nests scripts/iframes one level deep inside containers,
+    which this recovers by re-scanning container bodies.
+    """
+    tags: List[ParsedTag] = []
+    for match in _TAG_RE.finditer(html):
+        tag = match.group(1).lower()
+        attr_text = match.group(2) or ""
+        body = match.group(3) or ""
+        attributes = {
+            m.group(1).lower(): (m.group(3) or m.group(4) or m.group(5) or "")
+            for m in _ATTR_RE.finditer(attr_text)
+        }
+        if tag in ("div", "span", "p", "form") and _TAG_RE.search(body):
+            tags.append(ParsedTag(tag=tag, attributes=attributes))
+            tags.extend(parse_html_fragment(body))
+            continue
+        text = "" if tag in _VOID_TAGS else body
+        tags.append(ParsedTag(tag=tag, attributes=attributes, text=text))
+    return tags
+
+
+def render_attributes(attributes: Dict[str, str]) -> str:
+    """Serialise an attribute dict back to HTML."""
+    if not attributes:
+        return ""
+    return " " + " ".join(
+        f'{name}="{value}"' for name, value in attributes.items())

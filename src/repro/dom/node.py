@@ -1,0 +1,184 @@
+"""DOM element classes.
+
+Elements are JS-visible objects (subclasses of ``JSObject``); their
+JS-facing methods and accessors live on shared per-document prototypes
+built in :mod:`repro.dom.prototypes`, mirroring how real DOM interfaces
+hang off prototype chains — which is what makes prototype-chain
+instrumentation (and its pollution fingerprint, paper Fig. 2) meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.dom.events import EventTargetMixin
+from repro.jsobject.objects import JSObject
+
+_TAG_CLASS_NAMES = {
+    "script": "HTMLScriptElement",
+    "iframe": "HTMLIFrameElement",
+    "img": "HTMLImageElement",
+    "canvas": "HTMLCanvasElement",
+    "div": "HTMLDivElement",
+    "span": "HTMLSpanElement",
+    "a": "HTMLAnchorElement",
+    "link": "HTMLLinkElement",
+    "p": "HTMLParagraphElement",
+    "form": "HTMLFormElement",
+    "input": "HTMLInputElement",
+    "button": "HTMLButtonElement",
+    "html": "HTMLHtmlElement",
+    "head": "HTMLHeadElement",
+    "body": "HTMLBodyElement",
+}
+
+
+def class_name_for_tag(tag: str) -> str:
+    return _TAG_CLASS_NAMES.get(tag.lower(), "HTMLElement")
+
+
+class Element(JSObject, EventTargetMixin):
+    """A generic DOM element."""
+
+    def __init__(self, tag_name: str, document: Any,
+                 proto: Optional[JSObject] = None) -> None:
+        JSObject.__init__(self, proto=proto,
+                          class_name=class_name_for_tag(tag_name))
+        self._init_event_target()
+        self.tag_name = tag_name.lower()
+        self.attributes: Dict[str, str] = {}
+        self.children: List[Element] = []
+        self.parent: Optional[Any] = None
+        self.owner_document = document
+        self.text_content = ""
+
+    # ------------------------------------------------------------------
+    # Tree structure
+    # ------------------------------------------------------------------
+    def append_child(self, child: "Element", interp: Any = None) -> "Element":
+        """Attach *child*; notifies the owning document when live."""
+        if child.parent is not None:
+            child.parent.children.remove(child)
+        child.parent = self
+        self.children.append(child)
+        if self.is_attached() and self.owner_document is not None:
+            self.owner_document.notify_attached(child, interp)
+        return child
+
+    def remove_child(self, child: "Element") -> "Element":
+        if child in self.children:
+            self.children.remove(child)
+            child.parent = None
+        return child
+
+    def remove(self) -> None:
+        if self.parent is not None:
+            self.parent.remove_child(self)
+
+    def is_attached(self) -> bool:
+        """True when the element's ancestor chain reaches a document."""
+        node: Any = self
+        while node is not None:
+            if getattr(node, "is_document", False):
+                return True
+            node = getattr(node, "parent", None)
+        return False
+
+    def descendants(self):
+        """Yield all descendants in document order."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    # ------------------------------------------------------------------
+    # Attributes & selectors
+    # ------------------------------------------------------------------
+    def get_attribute(self, name: str) -> Optional[str]:
+        return self.attributes.get(name.lower())
+
+    def set_attribute(self, name: str, value: str) -> None:
+        self.attributes[name.lower()] = value
+
+    @property
+    def element_id(self) -> str:
+        return self.attributes.get("id", "")
+
+    @property
+    def class_list(self) -> List[str]:
+        return self.attributes.get("class", "").split()
+
+    def matches_selector(self, selector: str) -> bool:
+        """Simple selectors: ``tag``, ``#id``, ``.class``, ``tag#id``."""
+        selector = selector.strip()
+        if not selector:
+            return False
+        if selector.startswith("#"):
+            return self.element_id == selector[1:]
+        if selector.startswith("."):
+            return selector[1:] in self.class_list
+        if "#" in selector:
+            tag, _, element_id = selector.partition("#")
+            return self.tag_name == tag.lower() \
+                and self.element_id == element_id
+        return self.tag_name == selector.lower()
+
+    def __repr__(self) -> str:
+        suffix = f" id={self.element_id}" if self.element_id else ""
+        return f"<Element {self.tag_name}{suffix}>"
+
+
+class ScriptElement(Element):
+    """A ``<script>`` element: external (src) or inline (text)."""
+
+    def __init__(self, document: Any, proto: Optional[JSObject] = None) -> None:
+        super().__init__("script", document, proto=proto)
+        self.executed = False
+
+    @property
+    def src(self) -> str:
+        return self.attributes.get("src", "")
+
+    @src.setter
+    def src(self, value: str) -> None:
+        self.attributes["src"] = value
+
+
+class IFrameElement(Element):
+    """An ``<iframe>``; its content window is created on attachment.
+
+    ``content_window`` stays None until the browser loads the frame —
+    the gap the iframe instrumentation-bypass attack (Listing 3)
+    squeezes through in vanilla OpenWPM.
+    """
+
+    def __init__(self, document: Any, proto: Optional[JSObject] = None) -> None:
+        super().__init__("iframe", document, proto=proto)
+        self.content_window: Any = None
+
+    @property
+    def src(self) -> str:
+        return self.attributes.get("src", "")
+
+    @src.setter
+    def src(self, value: str) -> None:
+        self.attributes["src"] = value
+
+
+class CanvasElement(Element):
+    """A ``<canvas>``; ``getContext`` hands out the window's contexts."""
+
+    def __init__(self, document: Any, proto: Optional[JSObject] = None) -> None:
+        super().__init__("canvas", document, proto=proto)
+
+
+def make_element(tag: str, document: Any,
+                 proto: Optional[JSObject] = None) -> Element:
+    """Element factory used by ``document.createElement`` and parsing."""
+    tag = tag.lower()
+    if tag == "script":
+        return ScriptElement(document, proto=proto)
+    if tag == "iframe":
+        return IFrameElement(document, proto=proto)
+    if tag == "canvas":
+        return CanvasElement(document, proto=proto)
+    return Element(tag, document, proto=proto)

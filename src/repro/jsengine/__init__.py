@@ -1,0 +1,30 @@
+"""A small JavaScript engine (lexer, parser, tree-walking interpreter).
+
+The engine executes the JavaScript subset used by the synthetic web's
+scripts: bot detectors, trackers, attack payloads, and the instrumentation
+injected by OpenWPM. Scripts are real JS source text, so the paper's
+*static* analysis (regexes over deobfuscated source) and *dynamic*
+analysis (recorded property accesses during execution) both operate on
+the same artifacts they would in the field.
+
+Supported language: ``var``/``let``/``const``, functions (declarations,
+expressions, arrows), closures, ``this``, ``new``, prototypes, objects,
+arrays, ``for``/``for..in``/``while``/``do``, ``if``, ``try/catch/finally``,
+``throw``, ``typeof``/``delete``/``instanceof``/``in``, the usual operators,
+and string/array/object builtins.
+"""
+
+from repro.jsengine.lexer import Lexer, LexError, Token
+from repro.jsengine.parser import ParseError, Parser, parse
+from repro.jsengine.interpreter import Interpreter, ScriptFunction
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "Token",
+    "Parser",
+    "ParseError",
+    "parse",
+    "Interpreter",
+    "ScriptFunction",
+]

@@ -1,0 +1,256 @@
+"""AST node definitions for the JS subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base AST node; every node carries a source position."""
+
+    line: int = 0
+    column: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class NumberLiteral(Node):
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str = ""
+
+
+@dataclass
+class BooleanLiteral(Node):
+    value: bool = False
+
+
+@dataclass
+class NullLiteral(Node):
+    pass
+
+
+@dataclass
+class UndefinedLiteral(Node):
+    pass
+
+
+@dataclass
+class Identifier(Node):
+    name: str = ""
+
+
+@dataclass
+class ThisExpression(Node):
+    pass
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ObjectLiteral(Node):
+    #: (key, value) pairs; keys are plain strings.
+    entries: List[Tuple[str, Node]] = field(default_factory=list)
+    #: Accessor entries: (key, kind 'get'|'set', FunctionExpression).
+    accessors: List[Tuple[str, str, Node]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpression(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+    source: str = ""  # exact source slice, for Function.prototype.toString
+    is_arrow: bool = False
+
+
+@dataclass
+class MemberExpression(Node):
+    object: Node = None
+    property: Any = None  # str when not computed, Node when computed
+    computed: bool = False
+
+
+@dataclass
+class CallExpression(Node):
+    callee: Node = None
+    arguments: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class NewExpression(Node):
+    callee: Node = None
+    arguments: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class UnaryExpression(Node):
+    op: str = ""
+    operand: Node = None
+
+
+@dataclass
+class UpdateExpression(Node):
+    op: str = ""  # '++' or '--'
+    target: Node = None
+    prefix: bool = False
+
+
+@dataclass
+class BinaryExpression(Node):
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class LogicalExpression(Node):
+    op: str = ""  # '&&' or '||'
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class AssignmentExpression(Node):
+    op: str = "="  # '=', '+=', ...
+    target: Node = None  # Identifier or MemberExpression
+    value: Node = None
+
+
+@dataclass
+class ConditionalExpression(Node):
+    test: Node = None
+    consequent: Node = None
+    alternate: Node = None
+
+
+@dataclass
+class SequenceExpression(Node):
+    expressions: List[Node] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Program(Node):
+    body: List[Node] = field(default_factory=list)
+    source: str = ""
+
+
+@dataclass
+class VariableDeclaration(Node):
+    kind: str = "var"  # 'var' | 'let' | 'const'
+    declarations: List[Tuple[str, Optional[Node]]] = field(
+        default_factory=list)
+
+
+@dataclass
+class FunctionDeclaration(Node):
+    function: FunctionExpression = None
+
+
+@dataclass
+class ExpressionStatement(Node):
+    expression: Node = None
+
+
+@dataclass
+class BlockStatement(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class IfStatement(Node):
+    test: Node = None
+    consequent: Node = None
+    alternate: Optional[Node] = None
+
+
+@dataclass
+class WhileStatement(Node):
+    test: Node = None
+    body: Node = None
+
+
+@dataclass
+class DoWhileStatement(Node):
+    body: Node = None
+    test: Node = None
+
+
+@dataclass
+class ForStatement(Node):
+    init: Optional[Node] = None  # statement or expression
+    test: Optional[Node] = None
+    update: Optional[Node] = None
+    body: Node = None
+
+
+@dataclass
+class ForInStatement(Node):
+    #: declaration kind for the loop variable ('' when pre-declared).
+    kind: str = ""
+    name: str = ""
+    object: Node = None
+    body: Node = None
+    #: True for for..of (iterates values instead of keys).
+    of: bool = False
+
+
+@dataclass
+class ReturnStatement(Node):
+    argument: Optional[Node] = None
+
+
+@dataclass
+class BreakStatement(Node):
+    pass
+
+
+@dataclass
+class ContinueStatement(Node):
+    pass
+
+
+@dataclass
+class ThrowStatement(Node):
+    argument: Node = None
+
+
+@dataclass
+class TryStatement(Node):
+    block: BlockStatement = None
+    catch_param: Optional[str] = None
+    catch_block: Optional[BlockStatement] = None
+    finally_block: Optional[BlockStatement] = None
+
+
+@dataclass
+class SwitchCase(Node):
+    #: None marks the ``default:`` clause.
+    test: Optional[Node] = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class SwitchStatement(Node):
+    discriminant: Node = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class EmptyStatement(Node):
+    pass

@@ -1,0 +1,915 @@
+"""Tree-walking interpreter for the JS subset.
+
+The interpreter executes page scripts against a *realm* (a global object
+plus the standard builtins, see :mod:`repro.jsengine.builtins`). It
+maintains a JS call stack so thrown errors carry realistic stack traces —
+the channel the paper uses to detect OpenWPM's wrapper functions
+(Sec. 3.1.4) and that the hardened instrumentation sanitises (Sec. 6.1.3).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.jsengine import ast_nodes as ast
+from repro.jsengine.parser import parse
+from repro.jsobject.descriptors import PropertyDescriptor
+from repro.jsobject.errors import JSError, StackFrame, make_error_object
+from repro.jsobject.functions import JSFunction
+from repro.jsobject.objects import JSArray, JSObject
+from repro.jsobject.values import (
+    NULL,
+    UNDEFINED,
+    format_number,
+    js_equals,
+    js_strict_equals,
+    js_truthy,
+    js_typeof,
+    to_number,
+)
+
+
+# Each JS stack frame consumes a few dozen Python frames; give the
+# tree-walker headroom so the JS-level recursion guard fires first.
+if sys.getrecursionlimit() < 20_000:
+    sys.setrecursionlimit(20_000)
+
+#: Process-wide parse cache (source text -> immutable Program AST).
+_PARSE_CACHE: Dict[str, "ast.Program"] = {}
+_PARSE_CACHE_MAX = 2048
+
+
+def parse_cached(source: str):
+    """Parse with the process-wide AST cache (ASTs are never mutated)."""
+    program = _PARSE_CACHE.get(source)
+    if program is None:
+        program = parse(source)
+        if len(_PARSE_CACHE) < _PARSE_CACHE_MAX:
+            _PARSE_CACHE[source] = program
+    return program
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        super().__init__()
+
+
+class ExecutionBudgetExceeded(RuntimeError):
+    """Raised when a script exceeds the interpreter's operation budget."""
+
+
+class Scope:
+    """A lexical scope with a parent link (closures share scopes).
+
+    ``function_scope`` marks function/global scopes: ``var``
+    declarations hoist to the nearest one, while ``let``/``const`` bind
+    to the block scope they appear in.
+    """
+
+    __slots__ = ("variables", "parent", "constants", "function_scope")
+
+    def __init__(self, parent: Optional["Scope"] = None,
+                 function_scope: bool = False) -> None:
+        self.variables: Dict[str, Any] = {}
+        self.constants: set = set()
+        self.parent = parent
+        self.function_scope = function_scope
+
+    def declare(self, name: str, value: Any, kind: str = "var") -> None:
+        target = self.nearest_function_scope() if kind == "var" else self
+        target.variables[name] = value
+        if kind == "const":
+            target.constants.add(name)
+
+    def nearest_function_scope(self) -> "Scope":
+        scope: Scope = self
+        while not scope.function_scope and scope.parent is not None:
+            scope = scope.parent
+        return scope
+
+    def resolve(self, name: str) -> Optional["Scope"]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.variables:
+                return scope
+            scope = scope.parent
+        return None
+
+
+class Frame:
+    """A mutable call-stack frame; snapshotted into StackFrame on capture."""
+
+    __slots__ = ("function_name", "script_url", "line", "column")
+
+    def __init__(self, function_name: str, script_url: str,
+                 line: int = 0, column: int = 0) -> None:
+        self.function_name = function_name
+        self.script_url = script_url
+        self.line = line
+        self.column = column
+
+    def snapshot(self) -> StackFrame:
+        return StackFrame(self.function_name, self.script_url,
+                          self.line, self.column)
+
+
+class ScriptFunction(JSFunction):
+    """A function defined by interpreted JavaScript.
+
+    ``toString`` returns the original source slice — which is how the
+    paper's Listing 1 detects that OpenWPM replaced a native builtin with
+    a script-level wrapper.
+    """
+
+    def __init__(self, node: ast.FunctionExpression, closure: Scope,
+                 interp: "Interpreter",
+                 captured_this: Any = None,
+                 lightweight: bool = False) -> None:
+        proto = interp.realm.function_prototype if interp.realm else None
+        super().__init__(name=node.name, proto=proto)
+        self.node = node
+        self.closure = closure
+        self.home_interpreter = interp
+        self.script_url = interp.current_script_url
+        self.is_arrow = node.is_arrow
+        self.captured_this = captured_this
+        # ``lightweight`` skips the own prototype/name/length properties;
+        # used for the thousands of instrumentation wrappers, which are
+        # never constructed and never introspected through those props.
+        if lightweight:
+            return
+        if not node.is_arrow:
+            prototype = JSObject(
+                proto=interp.realm.object_prototype if interp.realm else None)
+            prototype.put("constructor", self, enumerable=False)
+            self.put("prototype", prototype, enumerable=False)
+        self.put("name", node.name, writable=False, enumerable=False)
+        self.put("length", float(len(node.params)), writable=False,
+                 enumerable=False)
+
+    def call(self, interp: Any, this: Any, args: List[Any]) -> Any:
+        # A function executes in its *home* realm regardless of which
+        # realm calls it (ECMAScript realm semantics). A parent frame
+        # calling into an iframe's wrapped API must resolve `document`
+        # etc. against the iframe's globals.
+        interp = self.home_interpreter or interp
+        scope = Scope(parent=self.closure, function_scope=True)
+        for index, param in enumerate(self.node.params):
+            scope.declare(param, args[index] if index < len(args)
+                          else UNDEFINED)
+        arguments = JSArray(list(args),
+                            proto=interp.realm.array_prototype
+                            if interp.realm else None)
+        if not self.is_arrow:
+            scope.declare("arguments", arguments)
+        effective_this = self.captured_this if self.is_arrow else this
+        frame = Frame(self.function_name or "<anonymous>", self.script_url,
+                      self.node.line, self.node.column)
+        interp.push_frame(frame)
+        previous_this = interp.current_this
+        interp.current_this = effective_this
+        try:
+            interp.hoist(self.node.body, scope)
+            for statement in self.node.body:
+                interp.execute(statement, scope)
+        except _Return as ret:
+            return ret.value
+        finally:
+            interp.current_this = previous_this
+            interp.pop_frame()
+        return UNDEFINED
+
+    def construct(self, interp: Any, args: List[Any]) -> Any:
+        interp = interp or self.home_interpreter
+        prototype = self.get("prototype", interp)
+        if not isinstance(prototype, JSObject):
+            prototype = interp.realm.object_prototype if interp.realm else None
+        instance = JSObject(proto=prototype)
+        result = self.call(interp, instance, args)
+        return result if isinstance(result, JSObject) else instance
+
+    def to_source_string(self) -> str:
+        return self.node.source
+
+
+class Interpreter:
+    """Executes scripts against a realm/global object.
+
+    One interpreter instance corresponds to one JS execution context
+    (e.g. a page's main world). A browser creates one per window/frame.
+    """
+
+    #: default per-run operation budget (a single script's visit count)
+    DEFAULT_BUDGET = 5_000_000
+
+    def __init__(self, realm: Any = None,
+                 budget: int = DEFAULT_BUDGET) -> None:
+        # realm is a repro.jsengine.builtins.Realm (kept duck-typed to
+        # avoid an import cycle).
+        self.realm = realm
+        self.global_object: Optional[JSObject] = (
+            realm.global_object if realm else None)
+        self.budget = budget
+        self._ops = 0
+        self.call_stack: List[Frame] = []
+        self.current_script_url = "<host>"
+        self.current_this: Any = self.global_object
+        #: Engine-level access hook: ``fn(kind, obj, name, payload)``
+        #: with kind in {'get', 'set', 'call'}. Invoked for member
+        #: accesses *below* the page's object layer — the debugger-API
+        #: instrumentation channel the paper recommends (Sec. 8): no
+        #: page-visible descriptor is touched.
+        self.access_hook: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, source: str, script_url: str = "inline") -> Any:
+        """Parse and execute *source*; returns the last statement's value.
+
+        Parsed programs are cached process-wide by source text (the
+        synthetic web serves identical scripts to thousands of sites);
+        the AST is never mutated, so sharing across realms is safe.
+
+        Syntax errors and uncaught JS throws propagate as
+        :class:`repro.jsobject.errors.JSError`.
+        """
+        program = _PARSE_CACHE.get(source)
+        if program is None:
+            try:
+                program = parse(source)
+            except SyntaxError as exc:
+                raise JSError.syntax_error(str(exc)) from exc
+            if len(_PARSE_CACHE) < _PARSE_CACHE_MAX:
+                _PARSE_CACHE[source] = program
+        return self.run_program(program, script_url)
+
+    def run_program(self, program: ast.Program,
+                    script_url: str = "inline") -> Any:
+        previous_url = self.current_script_url
+        self.current_script_url = script_url
+        self._ops = 0
+        scope = Scope(function_scope=True)
+        frame = Frame("<global>", script_url)
+        self.push_frame(frame)
+        previous_this = self.current_this
+        self.current_this = self.global_object
+        result: Any = UNDEFINED
+        try:
+            self.hoist(program.body, scope)
+            for statement in program.body:
+                result = self.execute(statement, scope)
+        finally:
+            self.current_this = previous_this
+            self.pop_frame()
+            self.current_script_url = previous_url
+        return result
+
+    def call_function(self, fn: JSFunction, this: Any = None,
+                      args: Optional[List[Any]] = None) -> Any:
+        """Host-side helper to invoke a JS function."""
+        return fn.call(self, this if this is not None else UNDEFINED,
+                       args or [])
+
+    # ------------------------------------------------------------------
+    # Stack management
+    # ------------------------------------------------------------------
+    def push_frame(self, frame: Frame) -> None:
+        if len(self.call_stack) > 200:
+            raise JSError(self.make_error(
+                "InternalError", "too much recursion"))
+        self.call_stack.append(frame)
+
+    def pop_frame(self) -> None:
+        self.call_stack.pop()
+
+    def capture_stack(self) -> List[StackFrame]:
+        """Snapshot the call stack, innermost frame first."""
+        return [frame.snapshot() for frame in reversed(self.call_stack)]
+
+    def make_error(self, kind: str, message: str) -> JSObject:
+        """Build an Error object carrying the current stack."""
+        frames = self.capture_stack()
+        script_url = frames[0].script_url if frames else self.current_script_url
+        line = frames[0].line if frames else 0
+        column = frames[0].column if frames else 0
+        error = make_error_object(kind, message, frames, script_url,
+                                  line, column)
+        if self.realm is not None:
+            error.proto = self.realm.error_prototype
+        return error
+
+    def throw(self, kind: str, message: str) -> None:
+        raise JSError(self.make_error(kind, message))
+
+    def _tick(self, node: ast.Node) -> None:
+        self._ops += 1
+        if self._ops > self.budget:
+            raise ExecutionBudgetExceeded(
+                f"script exceeded {self.budget} operations")
+        if self.call_stack:
+            frame = self.call_stack[-1]
+            frame.line = node.line
+            frame.column = node.column
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def hoist(self, body: List[ast.Node], scope: Scope) -> None:
+        """Hoist function declarations (and var names) to scope top."""
+        for statement in body:
+            if isinstance(statement, ast.FunctionDeclaration):
+                fn = ScriptFunction(statement.function, scope, self)
+                scope.declare(statement.function.name, fn)
+            elif isinstance(statement, ast.VariableDeclaration) \
+                    and statement.kind == "var":
+                for name, _ in statement.declarations:
+                    if scope.resolve(name) is None:
+                        scope.declare(name, UNDEFINED)
+
+    def execute(self, node: ast.Node, scope: Scope) -> Any:
+        self._tick(node)
+        method = getattr(self, "_exec_" + type(node).__name__, None)
+        if method is None:
+            raise NotImplementedError(
+                f"no executor for {type(node).__name__}")
+        return method(node, scope)
+
+    def _exec_ExpressionStatement(self, node: ast.ExpressionStatement,
+                                  scope: Scope) -> Any:
+        return self.evaluate(node.expression, scope)
+
+    def _exec_VariableDeclaration(self, node: ast.VariableDeclaration,
+                                  scope: Scope) -> Any:
+        for name, init in node.declarations:
+            value = self.evaluate(init, scope) if init is not None \
+                else UNDEFINED
+            scope.declare(name, value, node.kind)
+        return UNDEFINED
+
+    def _exec_FunctionDeclaration(self, node: ast.FunctionDeclaration,
+                                  scope: Scope) -> Any:
+        # Already hoisted; re-declare so later re-execution rebinds.
+        fn = ScriptFunction(node.function, scope, self)
+        scope.declare(node.function.name, fn)
+        return UNDEFINED
+
+    def _exec_BlockStatement(self, node: ast.BlockStatement,
+                             scope: Scope) -> Any:
+        inner = Scope(parent=scope)
+        self.hoist(node.body, inner)
+        result: Any = UNDEFINED
+        for statement in node.body:
+            result = self.execute(statement, inner)
+        return result
+
+    def _exec_IfStatement(self, node: ast.IfStatement, scope: Scope) -> Any:
+        if js_truthy(self.evaluate(node.test, scope)):
+            return self.execute(node.consequent, scope)
+        if node.alternate is not None:
+            return self.execute(node.alternate, scope)
+        return UNDEFINED
+
+    def _exec_WhileStatement(self, node: ast.WhileStatement,
+                             scope: Scope) -> Any:
+        while js_truthy(self.evaluate(node.test, scope)):
+            try:
+                self.execute(node.body, scope)
+            except _Break:
+                break
+            except _Continue:
+                continue
+        return UNDEFINED
+
+    def _exec_DoWhileStatement(self, node: ast.DoWhileStatement,
+                               scope: Scope) -> Any:
+        while True:
+            try:
+                self.execute(node.body, scope)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if not js_truthy(self.evaluate(node.test, scope)):
+                break
+        return UNDEFINED
+
+    def _exec_ForStatement(self, node: ast.ForStatement, scope: Scope) -> Any:
+        loop_scope = Scope(parent=scope)
+        if node.init is not None:
+            self.execute(node.init, loop_scope)
+        while node.test is None or js_truthy(
+                self.evaluate(node.test, loop_scope)):
+            try:
+                self.execute(node.body, loop_scope)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if node.update is not None:
+                self.evaluate(node.update, loop_scope)
+        return UNDEFINED
+
+    def _exec_ForInStatement(self, node: ast.ForInStatement,
+                             scope: Scope) -> Any:
+        loop_scope = Scope(parent=scope)
+        target = self.evaluate(node.object, loop_scope)
+        if node.kind:
+            loop_scope.declare(node.name, UNDEFINED, node.kind)
+        if node.of:
+            items = self._iterate_values(target)
+        else:
+            items = self._iterate_keys(target)
+        for item in items:
+            self._assign_identifier(node.name, item, loop_scope)
+            try:
+                self.execute(node.body, loop_scope)
+            except _Break:
+                break
+            except _Continue:
+                continue
+        return UNDEFINED
+
+    def _iterate_keys(self, target: Any) -> List[Any]:
+        if isinstance(target, JSObject):
+            return list(target.enumerable_keys())
+        if isinstance(target, str):
+            return [str(i) for i in range(len(target))]
+        return []
+
+    def _iterate_values(self, target: Any) -> List[Any]:
+        if isinstance(target, JSArray):
+            return list(target.elements)
+        if isinstance(target, str):
+            return list(target)
+        if isinstance(target, JSObject):
+            return [target.get(key, self)
+                    for key in target.enumerable_keys()]
+        self.throw("TypeError", "value is not iterable")
+
+    def _exec_ReturnStatement(self, node: ast.ReturnStatement,
+                              scope: Scope) -> Any:
+        value = self.evaluate(node.argument, scope) \
+            if node.argument is not None else UNDEFINED
+        raise _Return(value)
+
+    def _exec_BreakStatement(self, node: ast.BreakStatement,
+                             scope: Scope) -> Any:
+        raise _Break()
+
+    def _exec_ContinueStatement(self, node: ast.ContinueStatement,
+                                scope: Scope) -> Any:
+        raise _Continue()
+
+    def _exec_ThrowStatement(self, node: ast.ThrowStatement,
+                             scope: Scope) -> Any:
+        raise JSError(self.evaluate(node.argument, scope))
+
+    def _exec_TryStatement(self, node: ast.TryStatement, scope: Scope) -> Any:
+        try:
+            self.execute(node.block, scope)
+        except JSError as exc:
+            if node.catch_block is not None:
+                catch_scope = Scope(parent=scope)
+                if node.catch_param:
+                    catch_scope.declare(node.catch_param, exc.value)
+                self._exec_BlockStatement(node.catch_block, catch_scope)
+        finally:
+            if node.finally_block is not None:
+                self.execute(node.finally_block, scope)
+        return UNDEFINED
+
+    def _exec_SwitchStatement(self, node: ast.SwitchStatement,
+                              scope: Scope) -> Any:
+        discriminant = self.evaluate(node.discriminant, scope)
+        switch_scope = Scope(parent=scope)
+        start_index: Optional[int] = None
+        default_index: Optional[int] = None
+        for index, case in enumerate(node.cases):
+            if case.test is None:
+                default_index = index
+                continue
+            if js_strict_equals(discriminant,
+                                self.evaluate(case.test, switch_scope)):
+                start_index = index
+                break
+        if start_index is None:
+            start_index = default_index
+        if start_index is None:
+            return UNDEFINED
+        try:
+            # Fall through from the matched case until break.
+            for case in node.cases[start_index:]:
+                for statement in case.body:
+                    self.execute(statement, switch_scope)
+        except _Break:
+            pass
+        return UNDEFINED
+
+    def _exec_EmptyStatement(self, node: ast.EmptyStatement,
+                             scope: Scope) -> Any:
+        return UNDEFINED
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def evaluate(self, node: ast.Node, scope: Scope) -> Any:
+        self._tick(node)
+        method = getattr(self, "_eval_" + type(node).__name__, None)
+        if method is None:
+            raise NotImplementedError(
+                f"no evaluator for {type(node).__name__}")
+        return method(node, scope)
+
+    def _eval_NumberLiteral(self, node: ast.NumberLiteral,
+                            scope: Scope) -> Any:
+        return node.value
+
+    def _eval_StringLiteral(self, node: ast.StringLiteral,
+                            scope: Scope) -> Any:
+        return node.value
+
+    def _eval_BooleanLiteral(self, node: ast.BooleanLiteral,
+                             scope: Scope) -> Any:
+        return node.value
+
+    def _eval_NullLiteral(self, node: ast.NullLiteral, scope: Scope) -> Any:
+        return NULL
+
+    def _eval_UndefinedLiteral(self, node: ast.UndefinedLiteral,
+                               scope: Scope) -> Any:
+        return UNDEFINED
+
+    def _eval_ThisExpression(self, node: ast.ThisExpression,
+                             scope: Scope) -> Any:
+        if self.current_this is UNDEFINED or self.current_this is None:
+            return self.global_object if self.global_object is not None \
+                else UNDEFINED
+        return self.current_this
+
+    def _eval_Identifier(self, node: ast.Identifier, scope: Scope) -> Any:
+        holder = scope.resolve(node.name)
+        if holder is not None:
+            return holder.variables[node.name]
+        if self.global_object is not None \
+                and self.global_object.has_property(node.name):
+            return self.global_object.get(node.name, self)
+        self.throw("ReferenceError", f"{node.name} is not defined")
+
+    def _eval_ArrayLiteral(self, node: ast.ArrayLiteral, scope: Scope) -> Any:
+        elements = [self.evaluate(element, scope)
+                    for element in node.elements]
+        return JSArray(elements, proto=self.realm.array_prototype
+                       if self.realm else None)
+
+    def _eval_ObjectLiteral(self, node: ast.ObjectLiteral,
+                            scope: Scope) -> Any:
+        obj = JSObject(proto=self.realm.object_prototype
+                       if self.realm else None)
+        for key, value_node in node.entries:
+            obj.put(key, self.evaluate(value_node, scope))
+        for key, kind, fn_node in node.accessors:
+            fn = ScriptFunction(fn_node, scope, self)
+            existing = obj.get_own_descriptor(key)
+            if existing is not None and existing.is_accessor:
+                descriptor = existing
+            else:
+                descriptor = PropertyDescriptor.accessor()
+                obj.properties[key] = descriptor
+            if kind == "get":
+                descriptor.get = fn
+            else:
+                descriptor.set = fn
+        return obj
+
+    def _eval_FunctionExpression(self, node: ast.FunctionExpression,
+                                 scope: Scope) -> Any:
+        captured = self.current_this if node.is_arrow else None
+        return ScriptFunction(node, scope, self, captured_this=captured)
+
+    def _eval_MemberExpression(self, node: ast.MemberExpression,
+                               scope: Scope) -> Any:
+        obj = self.evaluate(node.object, scope)
+        name = self._member_name(node, scope)
+        return self.get_member(obj, name)
+
+    def _member_name(self, node: ast.MemberExpression, scope: Scope) -> str:
+        if node.computed:
+            return self.to_string(self.evaluate(node.property, scope))
+        return node.property
+
+    def get_member(self, obj: Any, name: str) -> Any:
+        """Property read with primitive auto-boxing."""
+        if obj is UNDEFINED or obj is NULL:
+            self.throw("TypeError",
+                       f"can't access property {name!r} of "
+                       f"{'undefined' if obj is UNDEFINED else 'null'}")
+        if isinstance(obj, JSObject):
+            value = obj.get(name, self)
+            if self.access_hook is not None:
+                self.access_hook("get", obj, name, value)
+            return value
+        if self.realm is not None:
+            return self.realm.get_primitive_member(obj, name, self)
+        return UNDEFINED
+
+    def set_member(self, obj: Any, name: str, value: Any) -> None:
+        if obj is UNDEFINED or obj is NULL:
+            self.throw("TypeError",
+                       f"can't set property {name!r} of "
+                       f"{'undefined' if obj is UNDEFINED else 'null'}")
+        if isinstance(obj, JSObject):
+            if self.access_hook is not None:
+                self.access_hook("set", obj, name, value)
+            obj.set(name, value, self)
+
+    def _eval_CallExpression(self, node: ast.CallExpression,
+                             scope: Scope) -> Any:
+        if isinstance(node.callee, ast.MemberExpression):
+            this = self.evaluate(node.callee.object, scope)
+            name = self._member_name(node.callee, scope)
+            fn = self.get_member(this, name)
+            if not isinstance(fn, JSFunction):
+                self.throw("TypeError", f"{name} is not a function")
+            args = [self.evaluate(arg, scope) for arg in node.arguments]
+            if self.access_hook is not None and isinstance(this, JSObject):
+                self.access_hook("call", this, name, args)
+            return fn.call(self, this, args)
+        fn = self.evaluate(node.callee, scope)
+        if not isinstance(fn, JSFunction):
+            name = getattr(node.callee, "name", "expression")
+            self.throw("TypeError", f"{name} is not a function")
+        args = [self.evaluate(arg, scope) for arg in node.arguments]
+        return fn.call(self, UNDEFINED, args)
+
+    def _eval_NewExpression(self, node: ast.NewExpression,
+                            scope: Scope) -> Any:
+        constructor = self.evaluate(node.callee, scope)
+        if not isinstance(constructor, JSFunction):
+            self.throw("TypeError", "not a constructor")
+        args = [self.evaluate(arg, scope) for arg in node.arguments]
+        try:
+            return constructor.construct(self, args)
+        except NotImplementedError:
+            self.throw("TypeError",
+                       f"{constructor.function_name or 'value'} "
+                       "is not a constructor")
+
+    def _eval_UnaryExpression(self, node: ast.UnaryExpression,
+                              scope: Scope) -> Any:
+        op = node.op
+        if op == "typeof":
+            # typeof never throws on unresolved identifiers.
+            if isinstance(node.operand, ast.Identifier):
+                name = node.operand.name
+                if scope.resolve(name) is None and (
+                        self.global_object is None
+                        or not self.global_object.has_property(name)):
+                    return "undefined"
+            return js_typeof(self.evaluate(node.operand, scope))
+        if op == "delete":
+            if isinstance(node.operand, ast.MemberExpression):
+                obj = self.evaluate(node.operand.object, scope)
+                name = self._member_name(node.operand, scope)
+                if isinstance(obj, JSObject):
+                    return obj.delete_property(name)
+                return True
+            return False
+        value = self.evaluate(node.operand, scope)
+        if op == "void":
+            return UNDEFINED
+        if op == "!":
+            return not js_truthy(value)
+        if op == "-":
+            return -self.to_number(value)
+        if op == "+":
+            return self.to_number(value)
+        if op == "~":
+            return float(~_to_int32(self.to_number(value)))
+        raise NotImplementedError(f"unary operator {op}")
+
+    def _eval_UpdateExpression(self, node: ast.UpdateExpression,
+                               scope: Scope) -> Any:
+        old = self.to_number(self._read_target(node.target, scope))
+        new = old + 1 if node.op == "++" else old - 1
+        self._write_target(node.target, new, scope)
+        return new if node.prefix else old
+
+    def _read_target(self, target: ast.Node, scope: Scope) -> Any:
+        if isinstance(target, ast.Identifier):
+            return self._eval_Identifier(target, scope)
+        if isinstance(target, ast.MemberExpression):
+            return self._eval_MemberExpression(target, scope)
+        self.throw("SyntaxError", "invalid update target")
+
+    def _write_target(self, target: ast.Node, value: Any,
+                      scope: Scope) -> None:
+        if isinstance(target, ast.Identifier):
+            self._assign_identifier(target.name, value, scope)
+        elif isinstance(target, ast.MemberExpression):
+            obj = self.evaluate(target.object, scope)
+            name = self._member_name(target, scope)
+            self.set_member(obj, name, value)
+        else:
+            self.throw("SyntaxError", "invalid assignment target")
+
+    def _assign_identifier(self, name: str, value: Any, scope: Scope) -> None:
+        holder = scope.resolve(name)
+        if holder is not None:
+            if name in holder.constants:
+                self.throw("TypeError",
+                           f"invalid assignment to const '{name}'")
+            holder.variables[name] = value
+            return
+        if self.global_object is not None:
+            # Sloppy-mode implicit global.
+            self.global_object.set(name, value, self)
+            return
+        scope.declare(name, value)
+
+    def _eval_BinaryExpression(self, node: ast.BinaryExpression,
+                               scope: Scope) -> Any:
+        op = node.op
+        left = self.evaluate(node.left, scope)
+        right = self.evaluate(node.right, scope)
+        return self.apply_binary(op, left, right)
+
+    def apply_binary(self, op: str, left: Any, right: Any) -> Any:
+        if op == "+":
+            left_primitive = self._to_primitive(left)
+            right_primitive = self._to_primitive(right)
+            if isinstance(left_primitive, str) or isinstance(
+                    right_primitive, str):
+                return self.to_string(left_primitive) + self.to_string(
+                    right_primitive)
+            return self.to_number(left_primitive) + self.to_number(
+                right_primitive)
+        if op in ("-", "*", "/", "%", "**"):
+            a, b = self.to_number(left), self.to_number(right)
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                if b == 0:
+                    if a == 0 or math.isnan(a):
+                        return math.nan
+                    return math.copysign(math.inf, a) * math.copysign(1.0, b)
+                return a / b
+            if op == "%":
+                if b == 0 or math.isnan(a) or math.isnan(b):
+                    return math.nan
+                return math.fmod(a, b)
+            return a ** b
+        if op in ("<", ">", "<=", ">="):
+            left_primitive = self._to_primitive(left)
+            right_primitive = self._to_primitive(right)
+            if isinstance(left_primitive, str) and isinstance(
+                    right_primitive, str):
+                pairs = {"<": left_primitive < right_primitive,
+                         ">": left_primitive > right_primitive,
+                         "<=": left_primitive <= right_primitive,
+                         ">=": left_primitive >= right_primitive}
+                return pairs[op]
+            a, b = self.to_number(left_primitive), self.to_number(
+                right_primitive)
+            if math.isnan(a) or math.isnan(b):
+                return False
+            pairs = {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}
+            return pairs[op]
+        if op == "==":
+            return js_equals(left, right)
+        if op == "!=":
+            return not js_equals(left, right)
+        if op == "===":
+            return js_strict_equals(left, right)
+        if op == "!==":
+            return not js_strict_equals(left, right)
+        if op in ("&", "|", "^", "<<", ">>", ">>>"):
+            a = _to_int32(self.to_number(left))
+            b = _to_int32(self.to_number(right))
+            shift = b & 31
+            if op == "&":
+                return float(a & b)
+            if op == "|":
+                return float(a | b)
+            if op == "^":
+                return float(a ^ b)
+            if op == "<<":
+                return float(_wrap_int32(a << shift))
+            if op == ">>":
+                return float(a >> shift)
+            return float((a & 0xFFFFFFFF) >> shift)
+        if op == "instanceof":
+            if not isinstance(right, JSFunction):
+                self.throw("TypeError",
+                           "right-hand side of instanceof is not callable")
+            prototype = right.get("prototype", self)
+            if not isinstance(left, JSObject):
+                return False
+            return any(p is prototype for p in left.prototype_chain()
+                       if p is not left) or (left.proto is prototype)
+        if op == "in":
+            if not isinstance(right, JSObject):
+                self.throw("TypeError",
+                           "right-hand side of 'in' is not an object")
+            return right.has_property(self.to_string(left))
+        raise NotImplementedError(f"binary operator {op}")
+
+    def _eval_LogicalExpression(self, node: ast.LogicalExpression,
+                                scope: Scope) -> Any:
+        left = self.evaluate(node.left, scope)
+        if node.op == "&&":
+            return self.evaluate(node.right, scope) if js_truthy(left) \
+                else left
+        return left if js_truthy(left) else self.evaluate(node.right, scope)
+
+    def _eval_AssignmentExpression(self, node: ast.AssignmentExpression,
+                                   scope: Scope) -> Any:
+        if node.op == "=":
+            value = self.evaluate(node.value, scope)
+        else:
+            current = self._read_target(node.target, scope)
+            value = self.apply_binary(node.op[:-1], current,
+                                      self.evaluate(node.value, scope))
+        self._write_target(node.target, value, scope)
+        return value
+
+    def _eval_ConditionalExpression(self, node: ast.ConditionalExpression,
+                                    scope: Scope) -> Any:
+        if js_truthy(self.evaluate(node.test, scope)):
+            return self.evaluate(node.consequent, scope)
+        return self.evaluate(node.alternate, scope)
+
+    def _eval_SequenceExpression(self, node: ast.SequenceExpression,
+                                 scope: Scope) -> Any:
+        result: Any = UNDEFINED
+        for expression in node.expressions:
+            result = self.evaluate(expression, scope)
+        return result
+
+    # ------------------------------------------------------------------
+    # Conversions that may invoke user toString
+    # ------------------------------------------------------------------
+    def _to_primitive(self, value: Any) -> Any:
+        if isinstance(value, JSObject):
+            return self.to_string(value)
+        return value
+
+    def to_string(self, value: Any) -> str:
+        """ToString with object ``toString`` dispatch."""
+        if isinstance(value, JSFunction):
+            return value.to_source_string()
+        if isinstance(value, JSArray):
+            return ",".join(
+                "" if (v is UNDEFINED or v is NULL) else self.to_string(v)
+                for v in value.elements)
+        if isinstance(value, JSObject):
+            to_string = value.get("toString", self)
+            if isinstance(to_string, JSFunction):
+                result = to_string.call(self, value, [])
+                if not isinstance(result, JSObject):
+                    return self.to_string(result)
+            return f"[object {value.class_name}]"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (int, float)):
+            return format_number(float(value))
+        if isinstance(value, str):
+            return value
+        if value is UNDEFINED:
+            return "undefined"
+        if value is NULL:
+            return "null"
+        raise TypeError(f"not a JS value: {value!r}")
+
+    def to_number(self, value: Any) -> float:
+        if isinstance(value, JSArray) and len(value.elements) == 1:
+            return self.to_number(value.elements[0])
+        if isinstance(value, JSObject) and not isinstance(value, JSArray):
+            return to_number(self.to_string(value))
+        return to_number(value)
+
+
+def _to_int32(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    return _wrap_int32(int(value))
+
+
+def _wrap_int32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value

@@ -1,0 +1,709 @@
+"""Recursive-descent / Pratt parser for the JS subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.jsengine import ast_nodes as ast
+from repro.jsengine.lexer import Lexer, Token
+
+
+class ParseError(SyntaxError):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(
+            f"{message} at line {token.line}, col {token.column}"
+            f" (near {token.value!r})")
+        self.token = token
+
+
+# Binary operator precedences (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "===": 6, "!==": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7, "instanceof": 7, "in": 7,
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+    "**": 11,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.jsengine.ast_nodes.Program`."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = Lexer(source).tokenize()
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if self.pos < len(self.tokens) - 1:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.current.matches(kind, value):
+            expected = value if value is not None else kind
+            raise ParseError(f"expected {expected!r}", self.current)
+        return self.advance()
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.current.matches(kind, value):
+            return self.advance()
+        return None
+
+    def _consume_semicolon(self) -> None:
+        """Require ';' with a pragmatic ASI rule.
+
+        A statement may also be terminated by '}' / EOF, or by a line
+        break before the next token.
+        """
+        if self.accept("punct", ";"):
+            return
+        if self.current.kind == "eof" or self.current.matches("punct", "}"):
+            return
+        if self.current.newline_before:
+            return
+        raise ParseError("expected ';'", self.current)
+
+    @staticmethod
+    def _pos(token: Token) -> dict:
+        return {"line": token.line, "column": token.column}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        body: List[ast.Node] = []
+        while self.current.kind != "eof":
+            body.append(self.parse_statement())
+        return ast.Program(body=body, source=self.source, line=1, column=1)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Node:
+        token = self.current
+        if token.kind == "punct":
+            if token.value == "{":
+                return self.parse_block()
+            if token.value == ";":
+                self.advance()
+                return ast.EmptyStatement(**self._pos(token))
+        if token.kind == "keyword":
+            handler = {
+                "var": self._parse_variable_statement,
+                "let": self._parse_variable_statement,
+                "const": self._parse_variable_statement,
+                "function": self._parse_function_declaration,
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "do": self._parse_do_while,
+                "for": self._parse_for,
+                "return": self._parse_return,
+                "break": self._parse_break,
+                "continue": self._parse_continue,
+                "throw": self._parse_throw,
+                "try": self._parse_try,
+                "switch": self._parse_switch,
+            }.get(token.value)
+            if handler is not None:
+                return handler()
+        expression = self.parse_expression()
+        self._consume_semicolon()
+        return ast.ExpressionStatement(expression=expression,
+                                       **self._pos(token))
+
+    def parse_block(self) -> ast.BlockStatement:
+        token = self.expect("punct", "{")
+        body: List[ast.Node] = []
+        while not self.current.matches("punct", "}"):
+            if self.current.kind == "eof":
+                raise ParseError("unterminated block", self.current)
+            body.append(self.parse_statement())
+        self.expect("punct", "}")
+        return ast.BlockStatement(body=body, **self._pos(token))
+
+    def _parse_variable_statement(self) -> ast.VariableDeclaration:
+        node = self._parse_variable_declaration()
+        self._consume_semicolon()
+        return node
+
+    def _parse_variable_declaration(self) -> ast.VariableDeclaration:
+        token = self.advance()  # var/let/const
+        declarations = []
+        while True:
+            name = self.expect("ident").value
+            init: Optional[ast.Node] = None
+            if self.accept("punct", "="):
+                init = self.parse_assignment()
+            declarations.append((name, init))
+            if not self.accept("punct", ","):
+                break
+        return ast.VariableDeclaration(kind=token.value,
+                                       declarations=declarations,
+                                       **self._pos(token))
+
+    def _parse_function_declaration(self) -> ast.FunctionDeclaration:
+        token = self.current
+        function = self._parse_function_expression(require_name=True)
+        return ast.FunctionDeclaration(function=function, **self._pos(token))
+
+    def _parse_function_expression(self,
+                                   require_name: bool = False
+                                   ) -> ast.FunctionExpression:
+        start = self.expect("keyword", "function")
+        name = ""
+        if self.current.kind == "ident":
+            name = self.advance().value
+        elif require_name:
+            raise ParseError("function declaration requires a name",
+                             self.current)
+        params = self._parse_parameter_list()
+        body = self.parse_block()
+        end = self.tokens[self.pos - 1]  # the closing '}'
+        source = self.source[start.start:end.end]
+        return ast.FunctionExpression(name=name, params=params,
+                                      body=body.body, source=source,
+                                      **self._pos(start))
+
+    def _parse_parameter_list(self) -> List[str]:
+        self.expect("punct", "(")
+        params: List[str] = []
+        while not self.current.matches("punct", ")"):
+            params.append(self.expect("ident").value)
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ")")
+        return params
+
+    def _parse_if(self) -> ast.IfStatement:
+        token = self.expect("keyword", "if")
+        self.expect("punct", "(")
+        test = self.parse_expression()
+        self.expect("punct", ")")
+        consequent = self.parse_statement()
+        alternate: Optional[ast.Node] = None
+        if self.accept("keyword", "else"):
+            alternate = self.parse_statement()
+        return ast.IfStatement(test=test, consequent=consequent,
+                               alternate=alternate, **self._pos(token))
+
+    def _parse_while(self) -> ast.WhileStatement:
+        token = self.expect("keyword", "while")
+        self.expect("punct", "(")
+        test = self.parse_expression()
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        return ast.WhileStatement(test=test, body=body, **self._pos(token))
+
+    def _parse_do_while(self) -> ast.DoWhileStatement:
+        token = self.expect("keyword", "do")
+        body = self.parse_statement()
+        self.expect("keyword", "while")
+        self.expect("punct", "(")
+        test = self.parse_expression()
+        self.expect("punct", ")")
+        self._consume_semicolon()
+        return ast.DoWhileStatement(body=body, test=test, **self._pos(token))
+
+    def _parse_for(self) -> ast.Node:
+        token = self.expect("keyword", "for")
+        self.expect("punct", "(")
+
+        # for (;;) — empty init
+        if self.current.matches("punct", ";"):
+            return self._parse_for_classic(token, init=None)
+
+        if self.current.kind == "keyword" and self.current.value in (
+                "var", "let", "const"):
+            kind = self.current.value
+            # Lookahead for `for (let x in obj)` / `for (let x of arr)`.
+            after_name = self.peek(2)
+            if self.peek(1).kind == "ident" and after_name.kind == "keyword" \
+                    and after_name.value in ("in", "of"):
+                self.advance()  # kind
+                name = self.advance().value
+                of = self.advance().value == "of"
+                obj = self.parse_expression()
+                self.expect("punct", ")")
+                body = self.parse_statement()
+                return ast.ForInStatement(kind=kind, name=name, object=obj,
+                                          body=body, of=of, **self._pos(token))
+            init: ast.Node = self._parse_variable_declaration()
+            return self._parse_for_classic(token, init=init)
+
+        # `for (x in obj)` with a pre-declared variable.
+        if self.current.kind == "ident" and self.peek(1).kind == "keyword" \
+                and self.peek(1).value in ("in", "of"):
+            name = self.advance().value
+            of = self.advance().value == "of"
+            obj = self.parse_expression()
+            self.expect("punct", ")")
+            body = self.parse_statement()
+            return ast.ForInStatement(kind="", name=name, object=obj,
+                                      body=body, of=of, **self._pos(token))
+
+        init = ast.ExpressionStatement(expression=self.parse_expression(),
+                                       **self._pos(token))
+        return self._parse_for_classic(token, init=init)
+
+    def _parse_for_classic(self, token: Token,
+                           init: Optional[ast.Node]) -> ast.ForStatement:
+        self.expect("punct", ";")
+        test: Optional[ast.Node] = None
+        if not self.current.matches("punct", ";"):
+            test = self.parse_expression()
+        self.expect("punct", ";")
+        update: Optional[ast.Node] = None
+        if not self.current.matches("punct", ")"):
+            update = self.parse_expression()
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        return ast.ForStatement(init=init, test=test, update=update,
+                                body=body, **self._pos(token))
+
+    def _parse_return(self) -> ast.ReturnStatement:
+        token = self.expect("keyword", "return")
+        argument: Optional[ast.Node] = None
+        if not (self.current.matches("punct", ";")
+                or self.current.matches("punct", "}")
+                or self.current.kind == "eof"
+                or self.current.newline_before):
+            argument = self.parse_expression()
+        self._consume_semicolon()
+        return ast.ReturnStatement(argument=argument, **self._pos(token))
+
+    def _parse_break(self) -> ast.BreakStatement:
+        token = self.expect("keyword", "break")
+        self._consume_semicolon()
+        return ast.BreakStatement(**self._pos(token))
+
+    def _parse_continue(self) -> ast.ContinueStatement:
+        token = self.expect("keyword", "continue")
+        self._consume_semicolon()
+        return ast.ContinueStatement(**self._pos(token))
+
+    def _parse_throw(self) -> ast.ThrowStatement:
+        token = self.expect("keyword", "throw")
+        argument = self.parse_expression()
+        self._consume_semicolon()
+        return ast.ThrowStatement(argument=argument, **self._pos(token))
+
+    def _parse_try(self) -> ast.TryStatement:
+        token = self.expect("keyword", "try")
+        block = self.parse_block()
+        catch_param: Optional[str] = None
+        catch_block: Optional[ast.BlockStatement] = None
+        finally_block: Optional[ast.BlockStatement] = None
+        if self.accept("keyword", "catch"):
+            if self.accept("punct", "("):
+                catch_param = self.expect("ident").value
+                self.expect("punct", ")")
+            catch_block = self.parse_block()
+        if self.accept("keyword", "finally"):
+            finally_block = self.parse_block()
+        if catch_block is None and finally_block is None:
+            raise ParseError("try requires catch or finally", self.current)
+        return ast.TryStatement(block=block, catch_param=catch_param,
+                                catch_block=catch_block,
+                                finally_block=finally_block,
+                                **self._pos(token))
+
+    def _parse_switch(self) -> ast.SwitchStatement:
+        token = self.expect("keyword", "switch")
+        self.expect("punct", "(")
+        discriminant = self.parse_expression()
+        self.expect("punct", ")")
+        self.expect("punct", "{")
+        cases: List[ast.SwitchCase] = []
+        seen_default = False
+        while not self.current.matches("punct", "}"):
+            case_token = self.current
+            if self.accept("keyword", "case"):
+                test: Optional[ast.Node] = self.parse_expression()
+            elif self.accept("keyword", "default"):
+                if seen_default:
+                    raise ParseError("multiple default clauses",
+                                     case_token)
+                seen_default = True
+                test = None
+            else:
+                raise ParseError("expected 'case' or 'default'",
+                                 self.current)
+            self.expect("punct", ":")
+            body: List[ast.Node] = []
+            while not (self.current.matches("punct", "}")
+                       or self.current.matches("keyword", "case")
+                       or self.current.matches("keyword", "default")):
+                body.append(self.parse_statement())
+            cases.append(ast.SwitchCase(test=test, body=body,
+                                        **self._pos(case_token)))
+        self.expect("punct", "}")
+        return ast.SwitchStatement(discriminant=discriminant, cases=cases,
+                                   **self._pos(token))
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> ast.Node:
+        token = self.current
+        expression = self.parse_assignment()
+        if self.current.matches("punct", ","):
+            expressions = [expression]
+            while self.accept("punct", ","):
+                expressions.append(self.parse_assignment())
+            return ast.SequenceExpression(expressions=expressions,
+                                          **self._pos(token))
+        return expression
+
+    def parse_assignment(self) -> ast.Node:
+        arrow = self._try_parse_arrow()
+        if arrow is not None:
+            return arrow
+        token = self.current
+        left = self._parse_conditional()
+        if self.current.kind == "punct" and self.current.value in _ASSIGN_OPS:
+            op = self.advance().value
+            if not isinstance(left, (ast.Identifier, ast.MemberExpression)):
+                raise ParseError("invalid assignment target", token)
+            value = self.parse_assignment()
+            return ast.AssignmentExpression(op=op, target=left, value=value,
+                                            **self._pos(token))
+        return left
+
+    def _try_parse_arrow(self) -> Optional[ast.FunctionExpression]:
+        """Parse ``x => ...`` or ``(a, b) => ...`` if present."""
+        token = self.current
+        if token.kind == "ident" and self.peek(1).matches("punct", "=>"):
+            start = self.advance()
+            self.expect("punct", "=>")
+            return self._finish_arrow([start.value], start)
+        if token.matches("punct", "(") and self._scan_arrow_params():
+            start = self.advance()  # '('
+            params: List[str] = []
+            while not self.current.matches("punct", ")"):
+                params.append(self.expect("ident").value)
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+            self.expect("punct", "=>")
+            return self._finish_arrow(params, token)
+        return None
+
+    def _scan_arrow_params(self) -> bool:
+        """Lookahead: does '(' start a parenthesised arrow parameter list?"""
+        index = self.pos + 1
+        depth = 1
+        while index < len(self.tokens):
+            tok = self.tokens[index]
+            if tok.matches("punct", "("):
+                depth += 1
+            elif tok.matches("punct", ")"):
+                depth -= 1
+                if depth == 0:
+                    following = self.tokens[min(index + 1,
+                                                len(self.tokens) - 1)]
+                    return following.matches("punct", "=>")
+            elif tok.kind == "eof":
+                return False
+            elif depth == 1 and not (
+                    tok.kind == "ident" or tok.matches("punct", ",")):
+                return False
+            index += 1
+        return False
+
+    def _finish_arrow(self, params: List[str],
+                      start: Token) -> ast.FunctionExpression:
+        if self.current.matches("punct", "{"):
+            body = self.parse_block().body
+        else:
+            expression = self.parse_assignment()
+            body = [ast.ReturnStatement(argument=expression,
+                                        line=expression.line,
+                                        column=expression.column)]
+        end = self.tokens[self.pos - 1]
+        source = self.source[start.start:end.end]
+        return ast.FunctionExpression(name="", params=params, body=body,
+                                      source=source, is_arrow=True,
+                                      **self._pos(start))
+
+    def _parse_conditional(self) -> ast.Node:
+        token = self.current
+        test = self._parse_binary(0)
+        if self.accept("punct", "?"):
+            consequent = self.parse_assignment()
+            self.expect("punct", ":")
+            alternate = self.parse_assignment()
+            return ast.ConditionalExpression(test=test, consequent=consequent,
+                                             alternate=alternate,
+                                             **self._pos(token))
+        return test
+
+    def _parse_binary(self, min_precedence: int) -> ast.Node:
+        token = self.current
+        left = self._parse_unary()
+        while True:
+            current = self.current
+            op: Optional[str] = None
+            if current.kind == "punct" and current.value in ("&&", "||"):
+                precedence = 1 if current.value == "||" else 2
+                if precedence < min_precedence:
+                    return left
+                self.advance()
+                right = self._parse_binary(precedence + 1)
+                left = ast.LogicalExpression(op=current.value, left=left,
+                                             right=right, **self._pos(token))
+                continue
+            if current.kind == "punct" and current.value in _BINARY_PRECEDENCE:
+                op = current.value
+            elif current.kind == "keyword" and current.value in (
+                    "instanceof", "in"):
+                op = current.value
+            if op is None:
+                return left
+            precedence = _BINARY_PRECEDENCE[op]
+            if precedence < min_precedence:
+                return left
+            self.advance()
+            # '**' is right-associative; all others left-associative.
+            next_min = precedence if op == "**" else precedence + 1
+            right = self._parse_binary(next_min)
+            left = ast.BinaryExpression(op=op, left=left, right=right,
+                                        **self._pos(token))
+
+    def _parse_unary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "punct" and token.value in ("!", "-", "+", "~"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.UnaryExpression(op=token.value, operand=operand,
+                                       **self._pos(token))
+        if token.kind == "keyword" and token.value in ("typeof", "delete", "void"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.UnaryExpression(op=token.value, operand=operand,
+                                       **self._pos(token))
+        if token.kind == "punct" and token.value in ("++", "--"):
+            self.advance()
+            target = self._parse_unary()
+            return ast.UpdateExpression(op=token.value, target=target,
+                                        prefix=True, **self._pos(token))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Node:
+        token = self.current
+        expression = self._parse_call_member()
+        if self.current.kind == "punct" and self.current.value in ("++", "--") \
+                and not self.current.newline_before:
+            op = self.advance().value
+            return ast.UpdateExpression(op=op, target=expression,
+                                        prefix=False, **self._pos(token))
+        return expression
+
+    def _parse_call_member(self) -> ast.Node:
+        if self.current.matches("keyword", "new"):
+            return self._parse_new()
+        expression = self._parse_primary()
+        return self._parse_call_member_tail(expression)
+
+    def _parse_new(self) -> ast.Node:
+        token = self.expect("keyword", "new")
+        if self.current.matches("keyword", "new"):
+            callee: ast.Node = self._parse_new()
+        else:
+            callee = self._parse_primary()
+        # Member accesses bind to the constructor expression.
+        while True:
+            if self.accept("punct", "."):
+                name = self._expect_property_name()
+                callee = ast.MemberExpression(object=callee, property=name,
+                                              computed=False,
+                                              **self._pos(token))
+            elif self.accept("punct", "["):
+                prop = self.parse_expression()
+                self.expect("punct", "]")
+                callee = ast.MemberExpression(object=callee, property=prop,
+                                              computed=True,
+                                              **self._pos(token))
+            else:
+                break
+        arguments: List[ast.Node] = []
+        if self.current.matches("punct", "("):
+            arguments = self._parse_arguments()
+        node: ast.Node = ast.NewExpression(callee=callee, arguments=arguments,
+                                           **self._pos(token))
+        return self._parse_call_member_tail(node)
+
+    def _expect_property_name(self) -> str:
+        token = self.current
+        if token.kind in ("ident", "keyword"):
+            self.advance()
+            return token.value
+        raise ParseError("expected property name", token)
+
+    def _parse_call_member_tail(self, expression: ast.Node) -> ast.Node:
+        while True:
+            token = self.current
+            if self.accept("punct", "."):
+                name = self._expect_property_name()
+                expression = ast.MemberExpression(object=expression,
+                                                  property=name,
+                                                  computed=False,
+                                                  **self._pos(token))
+            elif self.accept("punct", "["):
+                prop = self.parse_expression()
+                self.expect("punct", "]")
+                expression = ast.MemberExpression(object=expression,
+                                                  property=prop,
+                                                  computed=True,
+                                                  **self._pos(token))
+            elif self.current.matches("punct", "("):
+                arguments = self._parse_arguments()
+                expression = ast.CallExpression(callee=expression,
+                                                arguments=arguments,
+                                                **self._pos(token))
+            else:
+                return expression
+
+    def _parse_arguments(self) -> List[ast.Node]:
+        self.expect("punct", "(")
+        arguments: List[ast.Node] = []
+        while not self.current.matches("punct", ")"):
+            arguments.append(self.parse_assignment())
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ")")
+        return arguments
+
+    def _parse_primary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberLiteral(value=token.number, **self._pos(token))
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLiteral(value=token.value, **self._pos(token))
+        if token.kind == "ident":
+            self.advance()
+            return ast.Identifier(name=token.value, **self._pos(token))
+        if token.kind == "keyword":
+            if token.value in ("true", "false"):
+                self.advance()
+                return ast.BooleanLiteral(value=token.value == "true",
+                                          **self._pos(token))
+            if token.value == "null":
+                self.advance()
+                return ast.NullLiteral(**self._pos(token))
+            if token.value == "undefined":
+                self.advance()
+                return ast.UndefinedLiteral(**self._pos(token))
+            if token.value == "this":
+                self.advance()
+                return ast.ThisExpression(**self._pos(token))
+            if token.value == "function":
+                return self._parse_function_expression()
+        if token.matches("punct", "("):
+            self.advance()
+            expression = self.parse_expression()
+            self.expect("punct", ")")
+            return expression
+        if token.matches("punct", "["):
+            return self._parse_array_literal()
+        if token.matches("punct", "{"):
+            return self._parse_object_literal()
+        raise ParseError("unexpected token", token)
+
+    def _parse_array_literal(self) -> ast.ArrayLiteral:
+        token = self.expect("punct", "[")
+        elements: List[ast.Node] = []
+        while not self.current.matches("punct", "]"):
+            elements.append(self.parse_assignment())
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", "]")
+        return ast.ArrayLiteral(elements=elements, **self._pos(token))
+
+    def _parse_object_literal(self) -> ast.ObjectLiteral:
+        token = self.expect("punct", "{")
+        entries = []
+        accessors = []
+        while not self.current.matches("punct", "}"):
+            key_token = self.current
+            # Accessor shorthand: {get name() {...}, set name(v) {...}}
+            if key_token.kind == "ident" \
+                    and key_token.value in ("get", "set") \
+                    and self.peek(1).kind in ("ident", "keyword", "string"):
+                kind = self.advance().value
+                name_token = self.advance()
+                start = key_token
+                params = self._parse_parameter_list()
+                body = self.parse_block()
+                end = self.tokens[self.pos - 1]
+                source = self.source[start.start:end.end]
+                fn = ast.FunctionExpression(
+                    name=f"{kind} {name_token.value}", params=params,
+                    body=body.body, source=source, **self._pos(start))
+                accessors.append((name_token.value, kind, fn))
+                if not self.accept("punct", ","):
+                    break
+                continue
+            if key_token.kind in ("ident", "keyword"):
+                key = key_token.value
+                self.advance()
+            elif key_token.kind == "string":
+                key = key_token.value
+                self.advance()
+            elif key_token.kind == "number":
+                key = (str(int(key_token.number))
+                       if key_token.number.is_integer()
+                       else str(key_token.number))
+                self.advance()
+            else:
+                raise ParseError("expected property key", key_token)
+
+            if self.current.matches("punct", "("):
+                # Method shorthand: {foo() { ... }}
+                start = key_token
+                params = self._parse_parameter_list()
+                body = self.parse_block()
+                end = self.tokens[self.pos - 1]
+                source = self.source[start.start:end.end]
+                value: ast.Node = ast.FunctionExpression(
+                    name=key, params=params, body=body.body, source=source,
+                    **self._pos(start))
+            elif self.current.matches("punct", ":"):
+                self.advance()
+                value = self.parse_assignment()
+            elif key_token.kind == "ident":
+                # Shorthand property: {a, b}
+                value = ast.Identifier(name=key, **self._pos(key_token))
+            else:
+                raise ParseError("expected ':'", self.current)
+            entries.append((key, value))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", "}")
+        return ast.ObjectLiteral(entries=entries, accessors=accessors,
+                                 **self._pos(token))
+
+
+def parse(source: str) -> ast.Program:
+    """Parse JS source text into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,63 @@
+"""JavaScript object model.
+
+This package implements the JavaScript-visible object semantics that the
+paper's detection, attack, and hardening techniques operate on:
+
+* prototype chains with own/inherited property lookup,
+* property descriptors (data and accessor descriptors),
+* functions whose ``toString`` reveals (or hides) their source,
+* errors carrying stack traces.
+
+The model is deliberately independent of the interpreter in
+:mod:`repro.jsengine`; both native (Python-implemented) and script
+(interpreted) functions share the :class:`JSFunction` interface.
+"""
+
+from repro.jsobject.values import (
+    UNDEFINED,
+    NULL,
+    JSUndefined,
+    JSNull,
+    is_callable,
+    js_equals,
+    js_strict_equals,
+    js_truthy,
+    js_typeof,
+    to_js_string,
+    to_number,
+)
+from repro.jsobject.descriptors import PropertyDescriptor
+from repro.jsobject.objects import JSArray, JSObject
+from repro.jsobject.functions import (
+    JSFunction,
+    NativeFunction,
+    native_function,
+)
+from repro.jsobject.errors import (
+    JSError,
+    StackFrame,
+    make_error_object,
+)
+
+__all__ = [
+    "UNDEFINED",
+    "NULL",
+    "JSUndefined",
+    "JSNull",
+    "PropertyDescriptor",
+    "JSObject",
+    "JSArray",
+    "JSFunction",
+    "NativeFunction",
+    "native_function",
+    "JSError",
+    "StackFrame",
+    "make_error_object",
+    "is_callable",
+    "js_truthy",
+    "js_typeof",
+    "js_equals",
+    "js_strict_equals",
+    "to_js_string",
+    "to_number",
+]

@@ -1,0 +1,60 @@
+"""Property descriptors.
+
+JavaScript properties are either *data* descriptors (a value plus
+writability) or *accessor* descriptors (getter/setter functions). The
+OpenWPM JavaScript instrument — and the attacks against it — work by
+replacing descriptors, so the model implements them in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.jsobject.values import UNDEFINED
+
+
+@dataclass
+class PropertyDescriptor:
+    """A JS property descriptor.
+
+    Exactly one of the two shapes is populated:
+
+    * data descriptor: ``value`` (+ ``writable``)
+    * accessor descriptor: ``get`` / ``set``
+    """
+
+    value: Any = UNDEFINED
+    get: Optional[Any] = None  # JSFunction or None
+    set: Optional[Any] = None  # JSFunction or None
+    writable: bool = True
+    enumerable: bool = True
+    configurable: bool = True
+    #: Free-form metadata used by tooling (e.g. the instrumentation marks
+    #: wrapped descriptors). Invisible to page scripts.
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def is_accessor(self) -> bool:
+        return self.get is not None or self.set is not None
+
+    @classmethod
+    def data(cls, value: Any, writable: bool = True, enumerable: bool = True,
+             configurable: bool = True) -> "PropertyDescriptor":
+        """Build a data descriptor."""
+        return cls(value=value, writable=writable, enumerable=enumerable,
+                   configurable=configurable)
+
+    @classmethod
+    def accessor(cls, get: Any = None, set: Any = None, enumerable: bool = True,
+                 configurable: bool = True) -> "PropertyDescriptor":
+        """Build an accessor descriptor."""
+        return cls(get=get, set=set, enumerable=enumerable,
+                   configurable=configurable)
+
+    def copy(self) -> "PropertyDescriptor":
+        return PropertyDescriptor(
+            value=self.value, get=self.get, set=self.set,
+            writable=self.writable, enumerable=self.enumerable,
+            configurable=self.configurable, meta=dict(self.meta),
+        )

@@ -1,0 +1,93 @@
+"""JS errors and stack traces.
+
+Stack traces are a fingerprinting channel: the paper (Sec. 3.1.4) shows
+that provoking an error inside an instrumented function exposes OpenWPM's
+wrapper frames in ``error.stack``. The hardened variant rewrites thrown
+errors so no instrumentation frame appears (Sec. 6.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.jsobject.objects import JSObject
+from repro.jsobject.values import UNDEFINED, to_js_string
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    """One entry of a JS stack trace."""
+
+    function_name: str
+    script_url: str
+    line: int
+    column: int
+
+    def format(self) -> str:
+        name = self.function_name or "<anonymous>"
+        return f"{name}@{self.script_url}:{self.line}:{self.column}"
+
+
+def format_stack(frames: List[StackFrame]) -> str:
+    """Render frames innermost-first, Firefox style."""
+    return "\n".join(frame.format() for frame in frames)
+
+
+def make_error_object(kind: str, message: str,
+                      frames: Optional[List[StackFrame]] = None,
+                      script_url: str = "", line: int = 0,
+                      column: int = 0) -> JSObject:
+    """Build a JS ``Error`` instance with name/message/stack/fileName."""
+    err = JSObject(class_name="Error")
+    err.put("name", kind)
+    err.put("message", message)
+    err.put("stack", format_stack(frames or []))
+    err.put("fileName", script_url)
+    err.put("lineNumber", float(line))
+    err.put("columnNumber", float(column))
+    return err
+
+
+class JSError(Exception):
+    """Python-side carrier for a thrown JS value.
+
+    The interpreter raises this to unwind; ``value`` is the thrown JS
+    value (usually an Error object, but any value can be thrown).
+    """
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        super().__init__(self._describe(value))
+
+    @staticmethod
+    def _describe(value: Any) -> str:
+        if isinstance(value, JSObject):
+            name = value.get("name")
+            message = value.get("message")
+            if name is not UNDEFINED:
+                return f"{to_js_string(name)}: {to_js_string(message)}"
+        try:
+            return to_js_string(value)
+        except TypeError:
+            return repr(value)
+
+    @classmethod
+    def type_error(cls, message: str,
+                   frames: Optional[List[StackFrame]] = None) -> "JSError":
+        return cls(make_error_object("TypeError", message, frames))
+
+    @classmethod
+    def range_error(cls, message: str,
+                    frames: Optional[List[StackFrame]] = None) -> "JSError":
+        return cls(make_error_object("RangeError", message, frames))
+
+    @classmethod
+    def reference_error(cls, message: str,
+                        frames: Optional[List[StackFrame]] = None) -> "JSError":
+        return cls(make_error_object("ReferenceError", message, frames))
+
+    @classmethod
+    def syntax_error(cls, message: str,
+                     frames: Optional[List[StackFrame]] = None) -> "JSError":
+        return cls(make_error_object("SyntaxError", message, frames))

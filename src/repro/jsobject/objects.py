@@ -1,0 +1,222 @@
+"""JS objects with prototype chains and descriptor semantics."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.jsobject.descriptors import PropertyDescriptor
+from repro.jsobject.values import UNDEFINED
+
+
+class JSObject:
+    """A JavaScript object: named properties plus a prototype link.
+
+    Property reads and writes follow ECMAScript semantics: accessor
+    descriptors invoke their getter/setter (found anywhere along the
+    prototype chain), data writes shadow inherited data properties, and
+    non-writable properties silently swallow writes (non-strict mode,
+    matching browser page scripts).
+    """
+
+    def __init__(self, proto: Optional["JSObject"] = None,
+                 class_name: str = "Object") -> None:
+        self.properties: Dict[str, PropertyDescriptor] = {}
+        self.proto: Optional[JSObject] = proto
+        self.class_name = class_name
+        self.extensible = True
+
+    # ------------------------------------------------------------------
+    # Raw descriptor-level access (never triggers accessors)
+    # ------------------------------------------------------------------
+    def get_own_descriptor(self, name: str) -> Optional[PropertyDescriptor]:
+        """Return the own descriptor for *name*, or None."""
+        return self.properties.get(name)
+
+    def lookup(self, name: str) -> Tuple[Optional["JSObject"],
+                                         Optional[PropertyDescriptor]]:
+        """Walk the prototype chain; return ``(holder, descriptor)``."""
+        obj: Optional[JSObject] = self
+        while obj is not None:
+            desc = obj.get_own_descriptor(name)
+            if desc is not None:
+                return obj, desc
+            obj = obj.proto
+        return None, None
+
+    def define_property(self, name: str, desc: PropertyDescriptor) -> None:
+        """Define or redefine an own property (``Object.defineProperty``).
+
+        Raises :class:`TypeError` when redefining a non-configurable
+        property or adding to a non-extensible object, mirroring JS.
+        """
+        existing = self.properties.get(name)
+        if existing is not None and not existing.configurable:
+            raise TypeError(
+                f"can't redefine non-configurable property {name!r}")
+        if existing is None and not self.extensible:
+            raise TypeError(
+                f"can't define property {name!r}: object is not extensible")
+        self.properties[name] = desc
+
+    def delete_property(self, name: str) -> bool:
+        """Delete an own property; returns False for non-configurable ones."""
+        desc = self.properties.get(name)
+        if desc is None:
+            return True
+        if not desc.configurable:
+            return False
+        del self.properties[name]
+        return True
+
+    def has_property(self, name: str) -> bool:
+        """The JS ``in`` operator: own or inherited."""
+        return self.lookup(name)[1] is not None
+
+    def own_keys(self) -> List[str]:
+        """Own property names in insertion order."""
+        return list(self.properties.keys())
+
+    def enumerable_keys(self) -> List[str]:
+        """Keys visited by ``for..in``: enumerable, own then inherited."""
+        seen: Dict[str, None] = {}
+        shadowed: Dict[str, None] = {}
+        obj: Optional[JSObject] = self
+        while obj is not None:
+            for name, desc in obj.properties.items():
+                if name in shadowed:
+                    continue
+                shadowed[name] = None
+                if desc.enumerable:
+                    seen[name] = None
+            obj = obj.proto
+        return list(seen.keys())
+
+    # ------------------------------------------------------------------
+    # Value-level access (triggers accessors)
+    # ------------------------------------------------------------------
+    def get(self, name: str, interp: Any = None,
+            this: Optional["JSObject"] = None) -> Any:
+        """Read a property value; accessor getters run with ``this``."""
+        receiver = this if this is not None else self
+        _, desc = self.lookup(name)
+        if desc is None:
+            return UNDEFINED
+        if desc.is_accessor:
+            if desc.get is None:
+                return UNDEFINED
+            return desc.get.call(interp, receiver, [])
+        return desc.value
+
+    def set(self, name: str, value: Any, interp: Any = None,
+            this: Optional["JSObject"] = None) -> bool:
+        """Write a property value following ECMAScript [[Set]].
+
+        Returns True when the write took effect. Non-writable data
+        properties and getter-only accessors swallow the write (returning
+        False) rather than raising, as in non-strict page scripts.
+        """
+        receiver = this if this is not None else self
+        holder, desc = self.lookup(name)
+        if desc is not None and desc.is_accessor:
+            if desc.set is None:
+                return False
+            desc.set.call(interp, receiver, [value])
+            return True
+        if desc is not None and holder is self:
+            if not desc.writable:
+                return False
+            desc.value = value
+            return True
+        if desc is not None and not desc.writable:
+            return False  # inherited non-writable data property
+        if not self.extensible:
+            return False
+        self.properties[name] = PropertyDescriptor.data(value)
+        return True
+
+    # ------------------------------------------------------------------
+    # Convenience for host (Python) code
+    # ------------------------------------------------------------------
+    def put(self, name: str, value: Any, writable: bool = True,
+            enumerable: bool = True, configurable: bool = True) -> None:
+        """Host-side helper: install a data property unconditionally."""
+        self.properties[name] = PropertyDescriptor.data(
+            value, writable=writable, enumerable=enumerable,
+            configurable=configurable)
+
+    def prototype_chain(self) -> Iterator["JSObject"]:
+        """Yield the object and each of its prototypes, bottom-up."""
+        obj: Optional[JSObject] = self
+        while obj is not None:
+            yield obj
+            obj = obj.proto
+
+    def __repr__(self) -> str:
+        return f"<JSObject {self.class_name} props={len(self.properties)}>"
+
+
+class JSArray(JSObject):
+    """A JS array: integer-indexed elements plus a live ``length``."""
+
+    def __init__(self, elements: Optional[List[Any]] = None,
+                 proto: Optional[JSObject] = None) -> None:
+        super().__init__(proto=proto, class_name="Array")
+        self.elements: List[Any] = list(elements or [])
+
+    @staticmethod
+    def _index_of(name: str) -> Optional[int]:
+        if name.isdigit():
+            return int(name)
+        return None
+
+    def get(self, name: str, interp: Any = None,
+            this: Optional[JSObject] = None) -> Any:
+        if name == "length":
+            return float(len(self.elements))
+        index = self._index_of(name)
+        if index is not None:
+            if 0 <= index < len(self.elements):
+                return self.elements[index]
+            return UNDEFINED
+        return super().get(name, interp, this)
+
+    def set(self, name: str, value: Any, interp: Any = None,
+            this: Optional[JSObject] = None) -> bool:
+        if name == "length":
+            new_len = int(value)
+            if new_len < len(self.elements):
+                del self.elements[new_len:]
+            else:
+                self.elements.extend(
+                    [UNDEFINED] * (new_len - len(self.elements)))
+            return True
+        index = self._index_of(name)
+        if index is not None:
+            if index >= len(self.elements):
+                self.elements.extend(
+                    [UNDEFINED] * (index + 1 - len(self.elements)))
+            self.elements[index] = value
+            return True
+        return super().set(name, value, interp, this)
+
+    def has_property(self, name: str) -> bool:
+        if name == "length":
+            return True
+        index = self._index_of(name)
+        if index is not None:
+            return 0 <= index < len(self.elements)
+        return super().has_property(name)
+
+    def enumerable_keys(self) -> List[str]:
+        keys = [str(i) for i in range(len(self.elements))]
+        keys.extend(super().enumerable_keys())
+        return keys
+
+    def own_keys(self) -> List[str]:
+        keys = [str(i) for i in range(len(self.elements))]
+        keys.extend(super().own_keys())
+        keys.append("length")
+        return keys
+
+    def __repr__(self) -> str:
+        return f"<JSArray len={len(self.elements)}>"

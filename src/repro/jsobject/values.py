@@ -1,0 +1,214 @@
+"""Primitive JavaScript values and conversions.
+
+JavaScript primitives map onto Python types:
+
+* ``number``  -> :class:`float` (integers are floats, as in JS)
+* ``string``  -> :class:`str`
+* ``boolean`` -> :class:`bool`
+* ``null``    -> :data:`NULL`
+* ``undefined`` -> :data:`UNDEFINED`
+
+Objects, arrays, and functions are instances of
+:class:`repro.jsobject.objects.JSObject`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class JSUndefined:
+    """The JavaScript ``undefined`` value (singleton :data:`UNDEFINED`)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "undefined"
+
+    def __bool__(self):
+        return False
+
+
+class JSNull:
+    """The JavaScript ``null`` value (singleton :data:`NULL`)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "null"
+
+    def __bool__(self):
+        return False
+
+
+UNDEFINED = JSUndefined()
+NULL = JSNull()
+
+
+def is_callable(value: Any) -> bool:
+    """Return True if *value* is a JS function object."""
+    from repro.jsobject.functions import JSFunction
+
+    return isinstance(value, JSFunction)
+
+
+def js_typeof(value: Any) -> str:
+    """Implement the JS ``typeof`` operator."""
+    from repro.jsobject.objects import JSObject
+    from repro.jsobject.functions import JSFunction
+
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "object"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, JSFunction):
+        return "function"
+    if isinstance(value, JSObject):
+        return "object"
+    raise TypeError(f"not a JS value: {value!r}")
+
+
+def js_truthy(value: Any) -> bool:
+    """Implement JS ToBoolean."""
+    if value is UNDEFINED or value is NULL:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return not (value == 0 or (isinstance(value, float) and math.isnan(value)))
+    if isinstance(value, str):
+        return len(value) > 0
+    return True  # all objects are truthy
+
+
+def format_number(value: float) -> str:
+    """Format a JS number the way ``String(n)`` would."""
+    if isinstance(value, bool):  # guard: bool is a subclass of int
+        return "true" if value else "false"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "Infinity"
+    if value == -math.inf:
+        return "-Infinity"
+    if float(value).is_integer() and abs(value) < 1e21:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_js_string(value: Any) -> str:
+    """Implement JS ToString for primitives and objects.
+
+    Object conversion consults the object's ``toString`` only when it is a
+    native/script function that takes no interpreter (plain model usage);
+    the interpreter wires full ``toString`` dispatch itself.
+    """
+    from repro.jsobject.objects import JSArray, JSObject
+    from repro.jsobject.functions import JSFunction
+
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return format_number(float(value))
+    if isinstance(value, str):
+        return value
+    if isinstance(value, JSFunction):
+        return value.to_source_string()
+    if isinstance(value, JSArray):
+        return ",".join(
+            "" if (v is UNDEFINED or v is NULL) else to_js_string(v)
+            for v in value.elements
+        )
+    if isinstance(value, JSObject):
+        return f"[object {value.class_name}]"
+    raise TypeError(f"not a JS value: {value!r}")
+
+
+def to_number(value: Any) -> float:
+    """Implement JS ToNumber for primitives (objects -> NaN unless array-ish)."""
+    from repro.jsobject.objects import JSObject
+
+    if value is UNDEFINED:
+        return math.nan
+    if value is NULL:
+        return 0.0
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return 0.0
+        try:
+            if text.startswith(("0x", "0X")):
+                return float(int(text, 16))
+            return float(text)
+        except ValueError:
+            return math.nan
+    if isinstance(value, JSObject):
+        return math.nan
+    raise TypeError(f"not a JS value: {value!r}")
+
+
+def js_strict_equals(a: Any, b: Any) -> bool:
+    """Implement the JS ``===`` operator."""
+    if a is UNDEFINED or b is UNDEFINED:
+        return a is b
+    if a is NULL or b is NULL:
+        return a is b
+    if isinstance(a, bool) or isinstance(b, bool):
+        # JS booleans only strict-equal booleans.
+        return isinstance(a, bool) and isinstance(b, bool) and a == b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if math.isnan(a) or math.isnan(b):
+            return False
+        return float(a) == float(b)
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    return a is b
+
+
+def js_equals(a: Any, b: Any) -> bool:
+    """Implement the JS ``==`` operator (loose equality, simplified).
+
+    The corpus scripts only rely on the null/undefined coercion and
+    number/string coercion rules, which are implemented faithfully.
+    """
+    if js_strict_equals(a, b):
+        return True
+    null_like = (UNDEFINED, NULL)
+    if (a in null_like) and (b in null_like):
+        return True
+    if a in null_like or b in null_like:
+        return False
+    if isinstance(a, (int, float)) and isinstance(b, str):
+        return js_strict_equals(float(a), to_number(b))
+    if isinstance(a, str) and isinstance(b, (int, float)):
+        return js_strict_equals(to_number(a), float(b))
+    if isinstance(a, bool):
+        return js_equals(to_number(a), b)
+    if isinstance(b, bool):
+        return js_equals(a, to_number(b))
+    return False

@@ -1,0 +1,28 @@
+"""Literature datasets: the OpenWPM study survey and release history.
+
+* :mod:`repro.literature.studies` — the 72 peer-reviewed OpenWPM-based
+  studies of Tables 1 and 15 (what they measure, how they deploy, how
+  they interact, whether they consider bot detection);
+* :mod:`repro.literature.firefox_releases` — Firefox/OpenWPM release
+  alignment (Table 14) and the outdated-fraction computation.
+"""
+
+from repro.literature.studies import (
+    STUDIES,
+    Study,
+    summarise_studies,
+)
+from repro.literature.firefox_releases import (
+    FIREFOX_RELEASES,
+    OPENWPM_RELEASES,
+    outdated_statistics,
+)
+
+__all__ = [
+    "Study",
+    "STUDIES",
+    "summarise_studies",
+    "FIREFOX_RELEASES",
+    "OPENWPM_RELEASES",
+    "outdated_statistics",
+]

@@ -1,0 +1,121 @@
+"""Firefox / OpenWPM release alignment (paper Table 14 / Appx. C).
+
+A crawl day is *outdated* when the newest available Firefox is newer
+than the Firefox shipped with the newest OpenWPM release. Between the
+releases of Firefox 77 and Firefox 104 the paper counts 780 days, 540
+of which (69%) OpenWPM shipped an outdated browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FirefoxRelease:
+    version: str
+    released: date
+
+    @property
+    def major(self) -> float:
+        parts = self.version.split(".")
+        return float(parts[0]) + float(parts[1]) / 100 \
+            if len(parts) > 1 else float(parts[0])
+
+
+@dataclass(frozen=True)
+class OpenWPMRelease:
+    version: str
+    released: date
+    firefox_version: str
+
+
+FIREFOX_RELEASES: List[FirefoxRelease] = [
+    FirefoxRelease("77.0", date(2020, 6, 3)),
+    FirefoxRelease("78.0", date(2020, 6, 30)),
+    FirefoxRelease("78.0.1", date(2020, 7, 1)),
+    FirefoxRelease("79.0", date(2020, 7, 28)),
+    FirefoxRelease("80.0", date(2020, 8, 25)),
+    FirefoxRelease("81.0", date(2020, 9, 22)),
+    FirefoxRelease("83.0", date(2020, 11, 18)),
+    FirefoxRelease("84.0", date(2020, 12, 15)),
+    FirefoxRelease("86.0.1", date(2021, 3, 11)),
+    FirefoxRelease("87.0", date(2021, 3, 23)),
+    FirefoxRelease("88.0", date(2021, 4, 19)),
+    FirefoxRelease("89.0", date(2021, 6, 1)),
+    FirefoxRelease("90.0", date(2021, 7, 13)),
+    FirefoxRelease("91.0", date(2021, 8, 10)),
+    FirefoxRelease("95.0", date(2021, 12, 7)),
+    FirefoxRelease("96.0", date(2022, 1, 11)),
+    FirefoxRelease("98.0", date(2022, 3, 8)),
+    FirefoxRelease("99.0", date(2022, 4, 5)),
+    FirefoxRelease("100.0", date(2022, 5, 3)),
+    FirefoxRelease("101.0", date(2022, 5, 31)),
+    FirefoxRelease("104.0", date(2022, 7, 23)),
+]
+
+OPENWPM_RELEASES: List[OpenWPMRelease] = [
+    OpenWPMRelease("0.10.0", date(2020, 6, 23), "77.0"),
+    OpenWPMRelease("0.11.0", date(2020, 7, 9), "78.0.1"),
+    OpenWPMRelease("0.12.0", date(2020, 8, 26), "80.0"),
+    OpenWPMRelease("0.13.0", date(2020, 11, 19), "83.0"),
+    OpenWPMRelease("0.14.0", date(2021, 3, 12), "86.0.1"),
+    OpenWPMRelease("0.15.0", date(2021, 5, 10), "88.0"),
+    OpenWPMRelease("0.16.0", date(2021, 6, 10), "89.0"),
+    OpenWPMRelease("0.17.0", date(2021, 7, 24), "90.0"),
+    OpenWPMRelease("0.18.0", date(2021, 12, 16), "95.0"),
+    OpenWPMRelease("0.19.0", date(2022, 3, 10), "98.0"),
+    OpenWPMRelease("0.20.0", date(2022, 5, 5), "100.0"),
+]
+
+
+def _major_of(version: str) -> Tuple[int, ...]:
+    return tuple(int(part) for part in version.split("."))
+
+
+def newest_firefox_on(day: date) -> Optional[str]:
+    newest = None
+    for release in FIREFOX_RELEASES:
+        if release.released <= day:
+            if newest is None or _major_of(release.version) > _major_of(
+                    newest):
+                newest = release.version
+    return newest
+
+
+def openwpm_firefox_on(day: date) -> Optional[str]:
+    current = None
+    current_date = None
+    for release in OPENWPM_RELEASES:
+        if release.released <= day:
+            if current_date is None or release.released > current_date:
+                current = release.firefox_version
+                current_date = release.released
+    return current
+
+
+def outdated_statistics(start: Optional[date] = None,
+                        end: Optional[date] = None) -> Dict[str, float]:
+    """Count outdated days in [start, end) (Table 14 bottom line)."""
+    start = start or FIREFOX_RELEASES[0].released
+    end = end or FIREFOX_RELEASES[-1].released
+    total = (end - start).days
+    outdated = 0
+    day = start
+    from datetime import timedelta
+
+    while day < end:
+        newest = newest_firefox_on(day)
+        shipped = openwpm_firefox_on(day)
+        if shipped is None or (
+                newest is not None
+                and _major_of(newest) > _major_of(shipped)):
+            outdated += 1
+        day += timedelta(days=1)
+    return {
+        "total_days": total,
+        "outdated_days": outdated,
+        "outdated_fraction": outdated / total if total else 0.0,
+    }

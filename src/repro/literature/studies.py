@@ -1,0 +1,201 @@
+"""The 72 peer-reviewed OpenWPM studies (paper Tables 1 and 15).
+
+Each :class:`Study` records what the paper's literature review captured:
+which instruments the study used (``"oob"`` marks aspects measured via
+out-of-band mechanisms, the table's 'o'), the run mode(s), deployment on
+VMs/cloud, interaction, subpage crawling, use of anti-bot-detection
+features, and whether bot detection is mentioned at all.
+
+Transcribed from Table 15; summary aggregation reproduces Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+MODE_UNSPECIFIED = "u"
+MODE_NATIVE = "n"
+MODE_HEADLESS = "h"
+MODE_XVFB = "x"
+MODE_DOCKER = "d"
+
+
+@dataclass(frozen=True)
+class Study:
+    year: int
+    ref: str
+    venue: str
+    first_author: str
+    modes: Tuple[str, ...] = (MODE_UNSPECIFIED,)
+    vm: bool = False
+    #: instrument usage: True (OpenWPM instrument), False, or "oob".
+    cookies: object = False
+    http: object = False
+    javascript: object = False
+    other_measure: bool = False
+    scrolling: bool = False
+    clicking: bool = False
+    typing: bool = False
+    subpages: bool = False
+    anti_bot_detection: bool = False
+    mentions_bot_detection: bool = False
+
+
+def _s(year, ref, venue, author, modes="u", vm=False, c=False, h=False,
+       j=False, other=False, scroll=False, click=False, type_=False,
+       sub=False, anti=False, bd=False) -> Study:
+    return Study(year=year, ref=ref, venue=venue, first_author=author,
+                 modes=tuple(modes.split("/")), vm=vm, cookies=c, http=h,
+                 javascript=j, other_measure=other, scrolling=scroll,
+                 clicking=click, typing=type_, subpages=sub,
+                 anti_bot_detection=anti, mentions_bot_detection=bd)
+
+
+STUDIES: List[Study] = [
+    _s(2014, "[2]", "CCS", "Acar", "u", vm=True, c="oob", h="oob", j=True),
+    _s(2015, "[69]", "CoSN", "Robinson", "u", other=True, click=True,
+       type_=True),
+    _s(2015, "[49]", "NDSS", "Kranch", "u", vm=True, c=True, h="oob"),
+    _s(2015, "[7]", "Tech Science", "Altaweel", "h", c=True, h=True,
+       click=True, sub=True),
+    _s(2015, "[34]", "W2SP", "Fruchter", "u", c=True, h=True),
+    _s(2016, "[8]", "IFIP AICT", "Andersdotter", "u", h=True),
+    _s(2016, "[29]", "CCS", "Englehardt", "x", vm=True, c=True, h=True,
+       j=True, sub=True),
+    _s(2016, "[84]", "WWW", "Starov", "u", h=True),
+    _s(2017, "[61]", "NDSS", "Miramirkhani", "u", vm=True, c=True,
+       h="oob", j=True),
+    _s(2017, "[13]", "PETS", "Brookman", "u", c=True, h=True, click=True),
+    _s(2017, "[66]", "CODASPY", "Reed", "u", h=True, other=True),
+    _s(2017, "[64]", "IWPE", "Olejnik", "u", c=True, h=True, j=True),
+    _s(2017, "[57]", "APF", "Maass", "u", h=True),
+    _s(2017, "[55]", "USENIX", "Liu", "h", other=True),
+    _s(2017, "[74]", "Appl. Econ. Letters", "Schmeiser", "u", h=True),
+    _s(2018, "[35]", "PETS", "Goldfeder", "u", h=True, click=True,
+       sub=True, bd=True),
+    _s(2018, "[28]", "PETS", "Englehardt", "u", h=True, c=True,
+       sub=True),
+    _s(2018, "[10]", "ACM ToIT", "Binns", "h", c=True, h=True),
+    _s(2018, "[25]", "CCS", "Das", "u", h=True, j=True, bd=True),
+    _s(2018, "[91]", "ACSAC", "Van Acker", "u", h=True),
+    _s(2018, "[23]", "AINTEC", "Dao", "u", h=True),
+    _s(2019, "[20]", "IRCDL", "Cozza", "u", other=True, scroll=True,
+       click=True, type_=True, sub=True),
+    _s(2019, "[36]", "WorldCIST", "Gomes", "u", h=True),
+    _s(2019, "[92]", "ConPro", "van Eijk", "d", c=True),
+    _s(2019, "[83]", "WWW", "Sørensen", "u", vm=True, c=True, h=True, sub=True),
+    _s(2019, "[54]", "EuroS&P", "Liu", "u", h=True, bd=True),
+    _s(2019, "[58]", "CSCW", "Mathur", "u", c=True, h=True, click=True, sub=True),
+    _s(2019, "[59]", "Comput. Comm.", "Mazel", "u", h=True),
+    _s(2019, "[6]", "DPM", "Ali", "u", c=True),
+    _s(2019, "[73]", "Comp. Secur.", "Samarasinghe", "u", h=True, bd=True),
+    _s(2019, "[56]", "APF", "Maass", "u", h=True),
+    _s(2019, "[81]", "RAID", "Solomos", "u", other=True, scroll=True,
+       click=True),
+    _s(2019, "[45]", "ESORICS", "Jonker", "h", c=True, h=True, j="oob",
+       bd=True),
+    _s(2019, "[88]", "DPM", "Urban", "u", c=True, h=True, sub=True),
+    _s(2019, "[71]", "SPW", "Sakamoto", "u", c=True, h=True),
+    _s(2020, "[31]", "PETS", "Fouad", "u", c=True, h=True, sub=True),
+    _s(2020, "[19]", "PETS", "Cook", "u", other=True, scroll=True,
+       anti=True, bd=True),
+    _s(2020, "[99]", "PETS", "Yang", "u", c=True, h=True, j=True,
+       scroll=True, sub=True),
+    _s(2020, "[1]", "PETS", "Acar", "u", vm=True, h=True, j=True,
+       sub=True, anti=True, bd=True),
+    _s(2020, "[48]", "PETS", "Koop", "d", c=True, h=True, j=True,
+       click=True, anti=True),
+    _s(2020, "[101]", "WWW", "Zeber", "n/x", vm=True, c=True, h=True,
+       j=True, anti=True, bd=True),
+    _s(2020, "[4]", "WWW", "Agarwal", "h", vm=True, c=True, h=True,
+       j=True),
+    _s(2020, "[87]", "WWW", "Urban", "u", vm=True, c=True, h=True, j=True,
+       scroll=True, sub=True, anti=True, bd=True),
+    _s(2020, "[89]", "AsiaCCS", "Urban", "u", c=True, h=True, scroll=True),
+    _s(2020, "[65]", "PAM", "Pouryousef", "u", h=True),
+    _s(2020, "[32]", "EuroS&P", "Fouad", "u", c=True),
+    _s(2020, "[79]", "PrivacyCon", "Sivan-Sevilla", "u", vm=True, h=True,
+       j=True, anti=True, bd=True),
+    _s(2020, "[41]", "EuroS&P", "Hu", "u", h=True, click=True),
+    _s(2020, "[21]", "TMA", "Dao", "u", h=True),
+    _s(2020, "[82]", "TMA", "Solomos", "u", c=True),
+    _s(2020, "[22]", "GLOBECOM", "Dao", "u", h=True),
+    _s(2021, "[14]", "NDSS", "Calzavara", "u", c=True, h=True, bd=True),
+    _s(2021, "[68]", "PETS", "Rizzo", "u", vm=True, h=True),
+    _s(2021, "[43]", "S&P", "Iqbal", "u", vm=True, h=True, j=True,
+       sub=True),
+    _s(2021, "[37]", "IMC", "Goßen", "n", h=True, scroll=True, click=True,
+       type_=True, bd=True),
+    _s(2021, "[85]", "PETS", "Di Tizio", "u", h=True),
+    _s(2021, "[40]", "PETS", "Hosseini", "u", h=True, type_=True),
+    _s(2021, "[95]", "WebSci", "Vekaria", "u", c=True, h=True, j=True,
+       sub=True),
+    _s(2021, "[24]", "IEEE TNSM", "Dao", "u", h=True),
+    _s(2021, "[67]", "PETS", "Reitinger", "u", j=True),
+    _s(2021, "[63]", "USENIX", "Musch", "u", j=True, bd=True),
+    _s(2022, "[15]", "PETS", "Cassel", "u", c=True, h="oob", j="oob",
+       bd=True),
+    _s(2022, "[77]", "USENIX", "Siby", "u", h=True, j=True),
+    _s(2022, "[44]", "USENIX", "Iqbal", "u", c=True, h=True, j=True,
+       click=True, scroll=True, sub=True, bd=True),
+    _s(2022, "[33]", "PETS", "Fouad", "u", c=True, h=True, j=True),
+    _s(2022, "[26]", "WWW", "Demir", "n/h", vm=True, h=True, type_=True,
+       sub=True, bd=True),
+    _s(2022, "[100]", "EuroS&PW", "Yu", "h", c=True, j=True),
+    _s(2022, "[62]", "PETS", "Musa", "u", h=True, anti=True, bd=True),
+    _s(2022, "[72]", "WWW", "Samarasinghe", "u", vm=True, c=True, h=True,
+       j=True),
+    _s(2022, "[12]", "USENIX", "Bollinger", "u", c=True, h=True,
+       sub=True),
+    _s(2022, "[16]", "WWW", "Chen", "u", c=True, h=True, j=True,
+       sub=True),
+    _s(2022, "[30b]", "PoPETs", "Fouad", "u", c=True, h=True, sub=True),
+]
+
+
+def summarise_studies(studies: List[Study] = None) -> Dict[str, Dict]:
+    """Aggregate the survey into the structure of Table 1."""
+    studies = studies if studies is not None else STUDIES
+
+    def count(predicate) -> int:
+        return sum(1 for study in studies if predicate(study))
+
+    mode_counts: Dict[str, int] = {}
+    for study in studies:
+        for mode in study.modes:
+            mode_counts[mode] = mode_counts.get(mode, 0) + 1
+
+    return {
+        "total": len(studies),
+        "measures": {
+            "http": count(lambda s: s.http is True),
+            "cookies": count(lambda s: s.cookies is True),
+            "javascript": count(lambda s: s.javascript is True),
+            "other": count(lambda s: s.other_measure),
+        },
+        "interaction": {
+            "none": count(lambda s: not (s.scrolling or s.clicking
+                                         or s.typing)),
+            "clicking": count(lambda s: s.clicking),
+            "scrolling": count(lambda s: s.scrolling),
+            "typing": count(lambda s: s.typing),
+        },
+        "run_mode": {
+            "unspecified": mode_counts.get(MODE_UNSPECIFIED, 0),
+            "native": mode_counts.get(MODE_NATIVE, 0),
+            "headless": mode_counts.get(MODE_HEADLESS, 0),
+            "xvfb": mode_counts.get(MODE_XVFB, 0),
+            "docker": mode_counts.get(MODE_DOCKER, 0),
+            "vm": count(lambda s: s.vm),
+        },
+        "subpages": {
+            "visited": count(lambda s: s.subpages),
+            "not_visited": count(lambda s: not s.subpages),
+        },
+        "bot_detection": {
+            "discussed": count(lambda s: s.mentions_bot_detection),
+            "ignored": count(lambda s: not s.mentions_bot_detection),
+            "uses_mitigation": count(lambda s: s.anti_bot_detection),
+        },
+    }

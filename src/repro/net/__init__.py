@@ -1,0 +1,17 @@
+"""HTTP and URL substrate for the simulated web."""
+
+from repro.net.url import URL, etld_plus_one, same_site
+from repro.net.http import (
+    HttpRequest,
+    HttpResponse,
+    ResourceType,
+)
+
+__all__ = [
+    "URL",
+    "etld_plus_one",
+    "same_site",
+    "HttpRequest",
+    "HttpResponse",
+    "ResourceType",
+]

@@ -1,0 +1,132 @@
+"""HTTP request/response messages and WebExtension resource types."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.url import URL
+
+
+class ResourceType:
+    """WebRequest resource types (the grouping used in Table 8)."""
+
+    MAIN_FRAME = "main_frame"
+    SUB_FRAME = "sub_frame"
+    SCRIPT = "script"
+    IMAGE = "image"
+    IMAGESET = "imageset"
+    STYLESHEET = "stylesheet"
+    FONT = "font"
+    MEDIA = "media"
+    XHR = "xmlhttprequest"
+    BEACON = "beacon"
+    WEBSOCKET = "websocket"
+    CSP_REPORT = "csp_report"
+    OBJECT = "object"
+    OTHER = "other"
+
+    ALL = (
+        CSP_REPORT, MEDIA, BEACON, WEBSOCKET, XHR, IMAGESET, FONT, OBJECT,
+        MAIN_FRAME, IMAGE, SCRIPT, SUB_FRAME, OTHER, STYLESHEET,
+    )
+
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class HttpRequest:
+    """An outgoing request, as seen by the browser's network layer."""
+
+    url: URL
+    resource_type: str = ResourceType.OTHER
+    method: str = "GET"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+    #: URL of the top-level document that caused this request.
+    top_frame_url: Optional[URL] = None
+    #: URL of the frame issuing the request (top frame or iframe).
+    frame_url: Optional[URL] = None
+    #: URL of the script that triggered the request, if any.
+    initiator_script: Optional[str] = None
+    #: Cookie header value attached by the cookie jar.
+    cookie_header: str = ""
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def host(self) -> str:
+        return self.url.host
+
+    def is_third_party(self) -> bool:
+        """Third-party relative to the top frame (eTLD+1 comparison)."""
+        from repro.net.url import same_site
+
+        if self.top_frame_url is None:
+            return False
+        return not same_site(self.url.host, self.top_frame_url.host)
+
+
+@dataclass
+class HttpResponse:
+    """A server response."""
+
+    status: int = 200
+    content_type: str = "text/html"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+    #: ``Set-Cookie`` payloads (one per cookie).
+    set_cookies: List["SetCookie"] = field(default_factory=list)
+    #: Redirect target for 3xx responses.
+    location: Optional[str] = None
+    #: Host-side payload: a page specification for main_frame/sub_frame
+    #: responses (the structured equivalent of the HTML body).
+    page: object = None
+    #: Host-side payload: script source for script responses.
+    script: object = None
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 303, 307, 308) \
+            and self.location is not None
+
+    @classmethod
+    def not_found(cls) -> "HttpResponse":
+        return cls(status=404, content_type="text/plain", body="not found")
+
+    @classmethod
+    def redirect(cls, location: str, status: int = 302) -> "HttpResponse":
+        return cls(status=status, location=location)
+
+
+@dataclass
+class SetCookie:
+    """A cookie delivered by a response (server-side view)."""
+
+    name: str
+    value: str
+    domain: str = ""
+    path: str = "/"
+    #: Lifetime in seconds; None means session cookie.
+    max_age: Optional[int] = None
+    http_only: bool = False
+    secure: bool = False
+    same_site: str = "Lax"
+
+    @property
+    def is_session(self) -> bool:
+        return self.max_age is None
+
+    def header_value(self) -> str:
+        parts = [f"{self.name}={self.value}", f"Path={self.path}"]
+        if self.domain:
+            parts.append(f"Domain={self.domain}")
+        if self.max_age is not None:
+            parts.append(f"Max-Age={self.max_age}")
+        if self.http_only:
+            parts.append("HttpOnly")
+        if self.secure:
+            parts.append("Secure")
+        parts.append(f"SameSite={self.same_site}")
+        return "; ".join(parts)

@@ -1,0 +1,125 @@
+"""The network fabric connecting browser clients to simulated servers."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.url import URL
+
+
+@dataclass
+class ClientIdentity:
+    """The network-visible identity of a crawling machine.
+
+    ``client_id`` models the source IP address: detection providers key
+    their server-side re-identification state on it (the effect the paper
+    controls for by using two separate residential IPs, Sec. 6.3).
+    """
+
+    client_id: str
+    user_agent: str = ""
+
+
+class Server:
+    """Base class for simulated origin servers."""
+
+    def handle(self, request: HttpRequest, client: ClientIdentity,
+               network: "Network") -> HttpResponse:
+        raise NotImplementedError
+
+
+class FunctionServer(Server):
+    """Adapts a plain callable into a :class:`Server`."""
+
+    def __init__(self, fn: Callable[[HttpRequest, ClientIdentity, "Network"],
+                                    HttpResponse]) -> None:
+        self._fn = fn
+
+    def handle(self, request: HttpRequest, client: ClientIdentity,
+               network: "Network") -> HttpResponse:
+        return self._fn(request, client, network)
+
+
+@dataclass
+class ExchangeRecord:
+    """One request/response hop, as archived by the network."""
+
+    request: HttpRequest
+    response: HttpResponse
+
+
+class Network:
+    """Routes requests to servers registered by host or registrable domain.
+
+    Also provides ``state``: a per-provider blackboard that lets detection
+    services remember clients across sites and runs (cross-site
+    re-identification, paper Sec. 4.1.3 and 6.3).
+    """
+
+    MAX_REDIRECTS = 10
+
+    def __init__(self) -> None:
+        self._hosts: Dict[str, Server] = {}
+        self._domains: Dict[str, Server] = {}
+        self.state: Dict[str, dict] = defaultdict(dict)
+        self.log: List[ExchangeRecord] = []
+        self.record_exchanges = False
+
+    # ------------------------------------------------------------------
+    def register_host(self, host: str, server: Server) -> None:
+        self._hosts[host.lower()] = server
+
+    def register_domain(self, domain: str, server: Server) -> None:
+        """Register a server for an eTLD+1 and all its subdomains."""
+        self._domains[domain.lower()] = server
+
+    def resolve(self, host: str) -> Optional[Server]:
+        host = host.lower()
+        server = self._hosts.get(host)
+        if server is not None:
+            return server
+        # Most-specific registered domain wins: a registration for
+        # cdn.example.com shadows one for example.com on cdn traffic.
+        labels = host.split(".")
+        for index in range(len(labels)):
+            candidate = ".".join(labels[index:])
+            if candidate in self._domains:
+                return self._domains[candidate]
+        return None
+
+    # ------------------------------------------------------------------
+    def fetch(self, request: HttpRequest, client: ClientIdentity
+              ) -> Tuple[HttpResponse, List[ExchangeRecord]]:
+        """Dispatch *request*, following redirects.
+
+        Returns the final response and the full hop chain (the browser's
+        HTTP instrument records every hop).
+        """
+        hops: List[ExchangeRecord] = []
+        current = request
+        for _ in range(self.MAX_REDIRECTS):
+            server = self.resolve(current.url.host)
+            if server is None:
+                response = HttpResponse.not_found()
+            else:
+                response = server.handle(current, client, self)
+            record = ExchangeRecord(current, response)
+            hops.append(record)
+            if self.record_exchanges:
+                self.log.append(record)
+            if not response.is_redirect:
+                return response, hops
+            target = URL.parse(response.location, base=current.url)
+            current = HttpRequest(
+                url=target,
+                resource_type=current.resource_type,
+                method="GET",
+                top_frame_url=current.top_frame_url,
+                frame_url=current.frame_url,
+                initiator_script=current.initiator_script,
+            )
+        return HttpResponse(status=508, content_type="text/plain",
+                            body="redirect loop"), hops

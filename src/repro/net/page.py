@@ -1,0 +1,112 @@
+"""Structured page content.
+
+A :class:`PageSpec` is the structured equivalent of an HTML document:
+an ordered list of items (scripts, iframes, images, stylesheets, links)
+plus metadata. Servers return it as the payload of ``main_frame`` /
+``sub_frame`` responses; the browser walks it top-to-bottom like an HTML
+parser; ``to_html`` renders a faithful textual body for instruments that
+archive response bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.dom.html import render_attributes
+from repro.net.http import ResourceType
+
+
+@dataclass
+class ScriptItem:
+    """A ``<script>``: external (``src``) or inline (``source``)."""
+
+    src: str = ""
+    source: str = ""
+    attributes: dict = field(default_factory=dict)
+
+    def to_html(self) -> str:
+        attrs = dict(self.attributes)
+        if self.src:
+            attrs["src"] = self.src
+            return f"<script{render_attributes(attrs)}></script>"
+        return f"<script{render_attributes(attrs)}>{self.source}</script>"
+
+
+@dataclass
+class IFrameItem:
+    """An ``<iframe src=...>``."""
+
+    src: str
+    attributes: dict = field(default_factory=dict)
+
+    def to_html(self) -> str:
+        attrs = {"src": self.src, **self.attributes}
+        return f"<iframe{render_attributes(attrs)}></iframe>"
+
+
+@dataclass
+class ResourceItem:
+    """A passive subresource (image, stylesheet, font, media, ...)."""
+
+    url: str
+    resource_type: str = ResourceType.IMAGE
+
+    def to_html(self) -> str:
+        if self.resource_type == ResourceType.STYLESHEET:
+            return f'<link rel="stylesheet" href="{self.url}">'
+        return f'<img src="{self.url}">'
+
+
+@dataclass
+class LinkItem:
+    """An ``<a href=...>`` candidate subpage link."""
+
+    href: str
+    text: str = ""
+
+    def to_html(self) -> str:
+        return f'<a href="{self.href}">{self.text or self.href}</a>'
+
+
+PageItem = object  # union of the four item classes above
+
+
+@dataclass
+class PageSpec:
+    """One page of the synthetic web."""
+
+    url: str
+    title: str = ""
+    csp_header: str = ""
+    items: List[PageItem] = field(default_factory=list)
+
+    def scripts(self) -> List[ScriptItem]:
+        return [item for item in self.items if isinstance(item, ScriptItem)]
+
+    def iframes(self) -> List[IFrameItem]:
+        return [item for item in self.items if isinstance(item, IFrameItem)]
+
+    def resources(self) -> List[ResourceItem]:
+        return [item for item in self.items if isinstance(item, ResourceItem)]
+
+    def links(self) -> List[str]:
+        return [item.href for item in self.items
+                if isinstance(item, LinkItem)]
+
+    def to_html(self) -> str:
+        body = "\n".join(item.to_html() for item in self.items)
+        return (
+            "<!DOCTYPE html>\n<html>\n<head>"
+            f"<title>{self.title}</title></head>\n"
+            f"<body>\n{body}\n</body>\n</html>"
+        )
+
+
+@dataclass
+class ScriptFile:
+    """A served JavaScript (or disguised) file."""
+
+    url: str
+    source: str
+    content_type: str = "text/javascript"

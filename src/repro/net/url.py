@@ -1,0 +1,130 @@
+"""URL parsing and eTLD+1 domain identification.
+
+The paper's crawler (Sec. 4.1.2) identifies domains with the eTLD+1
+scheme to decide whether a subpage link stays on the same site and
+whether a script is first- or third-party. A compact embedded public
+suffix list covers the suffixes the synthetic web uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Multi-label public suffixes (the synthetic web + common real ones).
+_MULTI_LABEL_SUFFIXES = frozenset({
+    "co.uk", "org.uk", "ac.uk", "gov.uk",
+    "com.au", "net.au", "org.au",
+    "co.jp", "ne.jp", "or.jp",
+    "com.br", "com.cn", "com.tr", "com.mx",
+    "co.in", "co.kr", "co.za", "co.nz",
+})
+
+
+@dataclass(frozen=True)
+class URL:
+    """A parsed absolute URL (scheme://host[:port]/path[?query][#fragment])."""
+
+    scheme: str
+    host: str
+    path: str = "/"
+    query: str = ""
+    fragment: str = ""
+    port: Optional[int] = None
+
+    @classmethod
+    def parse(cls, text: str, base: Optional["URL"] = None) -> "URL":
+        """Parse *text*; relative references resolve against *base*."""
+        text = text.strip()
+        if "://" not in text:
+            if base is None:
+                raise ValueError(f"relative URL without base: {text!r}")
+            if text.startswith("//"):
+                text = base.scheme + ":" + text
+            elif text.startswith("/"):
+                return cls(scheme=base.scheme, host=base.host,
+                           port=base.port, **_split_path(text))
+            else:
+                directory = base.path.rsplit("/", 1)[0]
+                return cls(scheme=base.scheme, host=base.host,
+                           port=base.port,
+                           **_split_path(f"{directory}/{text}"))
+        scheme, _, rest = text.partition("://")
+        host_part, slash, path_part = rest.partition("/")
+        path_part = slash + path_part if slash else "/"
+        port: Optional[int] = None
+        host = host_part
+        if ":" in host_part:
+            host, _, port_text = host_part.partition(":")
+            port = int(port_text)
+        return cls(scheme=scheme.lower(), host=host.lower(), port=port,
+                   **_split_path(path_part))
+
+    @property
+    def origin(self) -> str:
+        port = f":{self.port}" if self.port is not None else ""
+        return f"{self.scheme}://{self.host}{port}"
+
+    @property
+    def filename(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def extension(self) -> str:
+        name = self.filename
+        if "." in name:
+            return name.rsplit(".", 1)[-1].lower()
+        return ""
+
+    def sibling(self, path: str) -> "URL":
+        return URL(scheme=self.scheme, host=self.host, port=self.port,
+                   **_split_path(path if path.startswith("/")
+                                 else "/" + path))
+
+    def __str__(self) -> str:
+        port = f":{self.port}" if self.port is not None else ""
+        query = f"?{self.query}" if self.query else ""
+        fragment = f"#{self.fragment}" if self.fragment else ""
+        return f"{self.scheme}://{self.host}{port}{self.path}{query}{fragment}"
+
+
+def _split_path(path_part: str) -> dict:
+    fragment = ""
+    query = ""
+    if "#" in path_part:
+        path_part, _, fragment = path_part.partition("#")
+    if "?" in path_part:
+        path_part, _, query = path_part.partition("?")
+    return {"path": path_part or "/", "query": query, "fragment": fragment}
+
+
+def etld_plus_one(host: str) -> str:
+    """Return the registrable domain (eTLD+1) of *host*.
+
+    ``shop.example.co.uk`` -> ``example.co.uk``;
+    ``cdn.tracker.com`` -> ``tracker.com``. IP-like hosts and single
+    labels are returned unchanged.
+    """
+    labels = host.lower().strip(".").split(".")
+    if len(labels) <= 1:
+        return host.lower()
+    if all(label.isdigit() for label in labels):
+        return host.lower()  # IPv4 literal
+    last_two = ".".join(labels[-2:])
+    if len(labels) >= 3 and last_two in _MULTI_LABEL_SUFFIXES:
+        return ".".join(labels[-3:])
+    return last_two
+
+
+def same_site(a: str, b: str) -> bool:
+    """True when two hosts share an eTLD+1 (the paper's subpage rule)."""
+    return etld_plus_one(a) == etld_plus_one(b)
+
+
+def split_registrable(host: str) -> Tuple[str, str]:
+    """Return ``(subdomain, registrable_domain)``; subdomain may be ''."""
+    registrable = etld_plus_one(host)
+    if host == registrable:
+        return "", registrable
+    prefix = host[: -(len(registrable) + 1)]
+    return prefix, registrable

@@ -1,0 +1,53 @@
+"""Configuration dataclasses (OpenWPM's ManagerParams / BrowserParams)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class BrowserParams:
+    """Per-browser configuration.
+
+    ``display_mode`` maps to the run modes of Sec. 2 (regular /
+    headless / xvfb / docker). ``stealth`` switches the JavaScript
+    instrumentation and fingerprint hiding to the paper's hardened
+    WPM_hide variant; ``window_size``/``window_position`` are the
+    settings file the hardening introduces (Sec. 6.1.5).
+    """
+
+    browser_id: int = 0
+    os_name: str = "ubuntu"
+    display_mode: str = "regular"  # regular | headless | xvfb | docker
+    http_instrument: bool = True
+    js_instrument: bool = True
+    cookie_instrument: bool = True
+    #: Response-body archiving: 'all', 'script' (JS files only), or None.
+    save_content: Optional[str] = "script"
+    #: Enable the hardened (WPM_hide) instrumentation + stealth overrides.
+    stealth: bool = False
+    window_size: Optional[Tuple[int, int]] = None
+    window_position: Optional[Tuple[int, int]] = None
+    #: Dwell time on each page after load, seconds (virtual time).
+    dwell_time: float = 60.0
+    #: Interaction driver run on each page after load: None (OpenWPM's
+    #: default — no interaction, like 55 of the 72 surveyed studies),
+    #: 'selenium' (framework-style events), or 'human' (HLISA-style).
+    interaction: Optional[str] = None
+    seed: int = 0
+
+
+@dataclass
+class ManagerParams:
+    """Framework-level configuration."""
+
+    num_browsers: int = 1
+    #: SQLite path; ':memory:' runs fully in-memory.
+    database_path: str = ":memory:"
+    #: Give up on a site after this many consecutive browser failures.
+    failure_limit: int = 3
+    #: Probability that a visit crashes the browser (fault injection for
+    #: the recovery machinery; 0 disables).
+    crash_probability: float = 0.0
+    seed: int = 0

@@ -1,0 +1,85 @@
+"""The OpenWPM browser extension: instrument composition + lifecycle."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.browser.extension import ExtensionContext, ExtensionHost
+from repro.openwpm.config import BrowserParams
+from repro.openwpm.instruments.cookie_instrument import CookieInstrument
+from repro.openwpm.instruments.http_instrument import HTTPInstrument
+from repro.openwpm.instruments.js_instrument import JSInstrument
+
+
+class OpenWPMExtension(ExtensionHost):
+    """Bundles the HTTP, cookie, and JavaScript instruments.
+
+    ``frame_policy`` is ``"deferred"`` for the vanilla JS instrument
+    (new frames/popups are instrumented from an event-loop task — the
+    Listing-3 window) and ``"immediate"`` when a hardened instrument
+    announces itself via ``frame_policy = "immediate"``.
+    """
+
+    name = "openwpm"
+
+    def __init__(self, params: Optional[BrowserParams] = None,
+                 storage: Any = None,
+                 js_instrument: Any = None) -> None:
+        self.params = params or BrowserParams()
+        self.storage = storage
+        self.http_instrument: Optional[HTTPInstrument] = None
+        self.cookie_instrument: Optional[CookieInstrument] = None
+        self.js_instrument = js_instrument
+
+        if self.params.http_instrument:
+            self.http_instrument = HTTPInstrument(
+                storage=storage, save_content=self.params.save_content)
+        if self.params.cookie_instrument:
+            self.cookie_instrument = CookieInstrument(storage=storage)
+        if self.params.js_instrument and self.js_instrument is None:
+            self.js_instrument = JSInstrument(storage=storage)
+
+        #: Windows instrumented during the current visit.
+        self.instrumented_windows: List[Any] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def frame_policy(self) -> str:
+        return getattr(self.js_instrument, "frame_policy", "deferred")
+
+    # ------------------------------------------------------------------
+    def on_visit_start(self, browser: Any, url: Any) -> None:
+        self.instrumented_windows = []
+
+    def on_window_created(self, window: Any) -> None:
+        self._instrument(window)
+
+    def on_frame_created(self, window: Any, parent: Any) -> None:
+        self._instrument(window)
+
+    def _instrument(self, window: Any) -> None:
+        if self.js_instrument is None:
+            return
+        context = ExtensionContext(window)
+        if self.js_instrument.instrument_window(window, context):
+            self.instrumented_windows.append(window)
+
+    def on_request(self, request: Any, response: Any) -> None:
+        if self.http_instrument is not None:
+            self.http_instrument.on_request(request, response)
+
+    def on_cookie_change(self, cookie: Any, change: str) -> None:
+        if self.cookie_instrument is not None:
+            self.cookie_instrument.on_cookie_change(cookie, change)
+
+    def on_visit_end(self, browser: Any) -> None:
+        if self.storage is not None:
+            self.storage.connection.commit()
+
+    # ------------------------------------------------------------------
+    def clear_records(self) -> None:
+        for instrument in (self.http_instrument, self.cookie_instrument,
+                           self.js_instrument):
+            if instrument is not None and hasattr(instrument,
+                                                  "clear_records"):
+                instrument.clear_records()

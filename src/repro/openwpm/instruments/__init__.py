@@ -1,0 +1,17 @@
+"""OpenWPM's measurement instruments (HTTP, cookie, JavaScript)."""
+
+from repro.openwpm.instruments.js_instrument import (
+    DEFAULT_TARGETS,
+    JSInstrument,
+    TargetSpec,
+)
+from repro.openwpm.instruments.http_instrument import HTTPInstrument
+from repro.openwpm.instruments.cookie_instrument import CookieInstrument
+
+__all__ = [
+    "JSInstrument",
+    "TargetSpec",
+    "DEFAULT_TARGETS",
+    "HTTPInstrument",
+    "CookieInstrument",
+]

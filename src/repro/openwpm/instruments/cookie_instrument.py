@@ -1,0 +1,79 @@
+"""OpenWPM's cookie instrument.
+
+Wraps the browser's cookie-change notifications (``onCookieChanged`` in
+the real extension). Like the HTTP instrument it sits below the page, so
+page scripts cannot attack it directly — the paper's RQ5-RQ8 analysis
+confirms this class of instrument is only breakable by breaking the
+browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.browser.cookies import Cookie
+from repro.net.url import etld_plus_one
+
+
+@dataclass
+class CookieRecord:
+    """One observed cookie change."""
+
+    change: str
+    host: str
+    name: str
+    value: str
+    is_session: bool
+    is_http_only: bool
+    lifetime: Optional[float]
+    first_party: str
+    via_javascript: bool
+
+    @property
+    def is_third_party(self) -> bool:
+        if not self.first_party:
+            return False
+        return etld_plus_one(self.host.lstrip(".")) != etld_plus_one(
+            self.first_party)
+
+
+class CookieInstrument:
+    """Records every cookie addition/change."""
+
+    name = "cookie_instrument"
+
+    def __init__(self, storage: Any = None) -> None:
+        self.storage = storage
+        self.records: List[CookieRecord] = []
+
+    def on_cookie_change(self, cookie: Cookie, change: str) -> None:
+        record = CookieRecord(
+            change=change,
+            host=cookie.domain,
+            name=cookie.name,
+            value=cookie.value,
+            is_session=cookie.is_session,
+            is_http_only=cookie.http_only,
+            lifetime=cookie.lifetime(),
+            first_party=cookie.first_party_host,
+            via_javascript=cookie.via_javascript,
+        )
+        self.records.append(record)
+        if self.storage is not None:
+            self.storage.record_cookie(
+                change_cause=change, host=record.host, name=record.name,
+                value=record.value, path=cookie.path,
+                is_session=record.is_session,
+                is_http_only=record.is_http_only,
+                expiry=cookie.expires_at, first_party=record.first_party,
+                via_javascript=record.via_javascript)
+
+    def first_party_cookies(self) -> List[CookieRecord]:
+        return [r for r in self.records if not r.is_third_party]
+
+    def third_party_cookies(self) -> List[CookieRecord]:
+        return [r for r in self.records if r.is_third_party]
+
+    def clear_records(self) -> None:
+        self.records.clear()

@@ -1,0 +1,114 @@
+"""OpenWPM's HTTP instrument.
+
+A thin wrapper around the browser's network layer (webRequest in the
+real extension): records every request/response and optionally archives
+response bodies. The ``save_content='script'`` mode stores only
+JavaScript files — identified by content type or a ``.js`` extension —
+which is exactly the filter the silent-delivery attack (Sec. 5.4.2 /
+Listing 4) slips past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.net.http import HttpRequest, HttpResponse
+
+
+@dataclass
+class HttpExchangeRecord:
+    """In-memory mirror of one recorded request/response pair."""
+
+    url: str
+    top_level_url: str
+    resource_type: str
+    method: str
+    status: int
+    content_type: str
+    is_third_party: bool
+    body_saved: bool
+
+
+def looks_like_javascript(response: HttpResponse,
+                          request: HttpRequest) -> bool:
+    """The upstream filter for 'is this a JavaScript file?'.
+
+    Checks content type and URL extension only — a server that labels
+    its payload ``text/plain`` under an extension-less URL evades it.
+    """
+    if "javascript" in (response.content_type or ""):
+        return True
+    return request.url.extension == "js"
+
+
+class HTTPInstrument:
+    """Records HTTP traffic and archives content."""
+
+    name = "http_instrument"
+
+    def __init__(self, storage: Any = None,
+                 save_content: Optional[str] = "script") -> None:
+        self.storage = storage
+        #: 'all', 'script', or None.
+        self.save_content = save_content
+        self.records: List[HttpExchangeRecord] = []
+        #: Archived bodies (url, content_type, body) kept in memory too.
+        self.saved_bodies: List[tuple] = []
+
+    def on_request(self, request: HttpRequest,
+                   response: HttpResponse) -> None:
+        body_saved = False
+        if self.save_content == "all":
+            body_saved = True
+        elif self.save_content == "script":
+            body_saved = looks_like_javascript(response, request)
+
+        record = HttpExchangeRecord(
+            url=str(request.url),
+            top_level_url=str(request.top_frame_url)
+            if request.top_frame_url else "",
+            resource_type=request.resource_type,
+            method=request.method,
+            status=response.status,
+            content_type=response.content_type,
+            is_third_party=request.is_third_party(),
+            body_saved=body_saved,
+        )
+        self.records.append(record)
+
+        content_hash = ""
+        if body_saved:
+            body = response.body
+            if response.script is not None:
+                body = response.script.source
+            self.saved_bodies.append(
+                (str(request.url), response.content_type, body))
+            if self.storage is not None:
+                content_hash = self.storage.record_content(
+                    body, str(request.url), response.content_type)
+        if self.storage is not None:
+            self.storage.record_http_request(
+                url=record.url, top_level_url=record.top_level_url,
+                frame_url=str(request.frame_url) if request.frame_url else "",
+                method=record.method, resource_type=record.resource_type,
+                is_third_party=record.is_third_party)
+            self.storage.record_http_response(
+                url=record.url, status=record.status,
+                content_type=record.content_type, content_hash=content_hash)
+
+    # ------------------------------------------------------------------
+    def requests_by_type(self) -> dict:
+        counts: dict = {}
+        for record in self.records:
+            counts[record.resource_type] = counts.get(
+                record.resource_type, 0) + 1
+        return counts
+
+    def saved_javascript(self) -> List[tuple]:
+        """Archived bodies that the filter judged to be JavaScript."""
+        return list(self.saved_bodies)
+
+    def clear_records(self) -> None:
+        self.records.clear()
+        self.saved_bodies.clear()

@@ -1,0 +1,412 @@
+"""OpenWPM's JavaScript call instrument (vulnerable upstream design).
+
+How the real instrument works — and what this module reproduces:
+
+1. At ``document_start`` the extension's content script **injects a
+   <script> element** into the page carrying the instrumentation code,
+   then removes the element. The injection is subject to the page's CSP
+   (attackable: Sec. 5.1.2) and leaves ``window.getInstrumentJS`` behind
+   (fingerprintable: Sec. 3.1.4).
+2. The injected code wraps the target APIs with **script-level wrapper
+   functions**, so ``toString`` on a wrapped API returns the wrapper's
+   source (Listing 1) and errors raised beneath a wrapper carry
+   instrumentation stack frames.
+3. Wrappers report through ``document.dispatchEvent`` with a
+   **randomly-named CustomEvent**, looked up dynamically at call time —
+   a page that replaces ``document.dispatchEvent`` can capture the random
+   ID, then block or forge records (Listing 2, Sec. 5.1/5.2).
+4. Wrapping walks each target's prototype chain but defines every
+   wrapper **on the first prototype**, polluting it with the ancestors'
+   properties (Fig. 2).
+5. New frames are instrumented via a task queued on the event loop, so
+   same-tick access to a fresh iframe's APIs goes unrecorded
+   (Listing 3, Sec. 5.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.jsengine.builtins import js_to_python
+from repro.jsengine.interpreter import Scope, ScriptFunction
+from repro.jsengine.parser import parse
+from repro.jsobject.descriptors import PropertyDescriptor
+from repro.jsobject.functions import JSFunction, NativeFunction
+from repro.jsobject.objects import JSObject
+from repro.jsobject.values import UNDEFINED
+
+#: URL the injected instrumentation appears under in stack traces.
+INSTRUMENT_SCRIPT_URL = "moz-extension://openwpm/content.js"
+
+#: The code injected into the page context. ``__EVENT_ID__`` is replaced
+#: with the per-page random channel name.
+INSTRUMENT_PAGE_SCRIPT = """
+function getOriginatingScriptContext(logCallStack) {
+    var stack = "";
+    try { throw new Error(""); } catch (err) { stack = err.stack; }
+    return {
+        callStack: logCallStack ? stack : "",
+        scriptUrl: __originatingScriptUrl()
+    };
+}
+function serializeArguments(args) {
+    var parts = [];
+    for (var i = 0; i < args.length; i++) { parts.push("" + args[i]); }
+    return parts.join(",");
+}
+function logCall(symbol, args, callContext, logSettings) {
+    document.dispatchEvent(new CustomEvent(eventChannelId, {detail: {
+        symbol: symbol,
+        operation: "call",
+        value: "",
+        arguments: serializeArguments(args),
+        callStack: callContext.callStack,
+        scriptUrl: callContext.scriptUrl
+    }}));
+}
+function logValue(symbol, value, operation, callContext, logSettings) {
+    document.dispatchEvent(new CustomEvent(eventChannelId, {detail: {
+        symbol: symbol,
+        operation: operation,
+        value: "" + value,
+        arguments: "",
+        callStack: callContext.callStack,
+        scriptUrl: callContext.scriptUrl
+    }}));
+}
+var logSettings = {logCallStack: true};
+window.getInstrumentJS = function () { return true; };
+"""
+
+#: Residue left by the oldest instrument generation (paper Sec. 3.2):
+#: v0.10.0 exposed two window properties instead of getInstrumentJS.
+LEGACY_PAGE_SCRIPT_SUFFIX = """
+window.jsInstruments = function () { return true; };
+window.instrumentFingerprintingApis = function () { return true; };
+"""
+
+# Wrapper templates. Their source text is what Function.prototype.toString
+# reveals on instrumented APIs (Listing 1 in the paper).
+CALL_WRAPPER_SOURCE = """function () {
+    const callContext = getOriginatingScriptContext(!!logSettings.logCallStack);
+    logCall(objectName + "." + methodName, arguments, callContext, logSettings);
+    return func.apply(this, arguments);
+}"""
+
+GET_WRAPPER_SOURCE = """function () {
+    const callContext = getOriginatingScriptContext(!!logSettings.logCallStack);
+    logValue(objectName + "." + propertyName, originalGet.call(this), "get", callContext, logSettings);
+    return originalGet.call(this);
+}"""
+
+SET_WRAPPER_SOURCE = """function (newValue) {
+    const callContext = getOriginatingScriptContext(!!logSettings.logCallStack);
+    logValue(objectName + "." + propertyName, newValue, "set", callContext, logSettings);
+    return originalSet.call(this, newValue);
+}"""
+
+METHOD_GET_WRAPPER_SOURCE = """function () {
+    return func;
+}"""
+
+
+def _parse_function_template(source: str):
+    """Parse a function-expression template once; reuse the AST node."""
+    program = parse("(" + source + ")")
+    return program.body[0].expression
+
+
+_CALL_NODE = _parse_function_template(CALL_WRAPPER_SOURCE)
+_GET_NODE = _parse_function_template(GET_WRAPPER_SOURCE)
+_SET_NODE = _parse_function_template(SET_WRAPPER_SOURCE)
+_METHOD_GET_NODE = _parse_function_template(METHOD_GET_WRAPPER_SOURCE)
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """One object whose API the instrument wraps.
+
+    ``path`` is resolved from the window (``navigator``,
+    ``CanvasRenderingContext2D.prototype``, ...). ``is_prototype`` makes
+    wrapping start at the resolved object itself instead of at its first
+    prototype. ``methods_only`` skips data properties (used for WebGL,
+    whose ~2k numeric constants are not instrumented upstream).
+    """
+
+    path: str
+    is_prototype: bool = False
+    methods_only: bool = False
+    exclude: Tuple[str, ...] = ()
+
+
+DEFAULT_TARGETS: List[TargetSpec] = [
+    TargetSpec("navigator"),
+    TargetSpec("screen"),
+    TargetSpec("localStorage"),
+    TargetSpec("performance"),
+    TargetSpec("history"),
+    TargetSpec("CanvasRenderingContext2D.prototype", is_prototype=True),
+    TargetSpec("WebGLRenderingContext.prototype", is_prototype=True,
+               methods_only=True),
+    TargetSpec("OfflineAudioContext.prototype", is_prototype=True),
+]
+
+
+@dataclass
+class JSCallRecord:
+    """One record as received by the instrument's background end."""
+
+    symbol: str
+    operation: str
+    value: str
+    arguments: str
+    call_stack: str
+    script_url: str
+    document_url: str
+
+
+class JSInstrument:
+    """The JavaScript call instrument (content + background halves)."""
+
+    name = "js_instrument"
+
+    def __init__(self, storage: Any = None,
+                 targets: Optional[List[TargetSpec]] = None,
+                 legacy_v010: bool = False) -> None:
+        self.storage = storage
+        self.targets = targets if targets is not None else DEFAULT_TARGETS
+        self.legacy_v010 = legacy_v010
+        #: Windows where instrumentation could not be installed (CSP).
+        self.failed_windows: List[Any] = []
+        #: In-memory record stream (also forwarded to storage, if any).
+        self.records: List[JSCallRecord] = []
+        #: Per-window wrapped-property counts, for surface accounting.
+        self.install_counts: Dict[int, int] = {}
+
+    # ==================================================================
+    # Installation
+    # ==================================================================
+    def instrument_window(self, window: Any, context: Any) -> bool:
+        """Inject and wrap one window. Returns False when CSP blocks it."""
+        event_id = "owpm-" + "".join(
+            window.browser.rng.choice("0123456789abcdef") for _ in range(16))
+        # The random channel name enters the page through the injected
+        # script's scope rather than its text, so the (constant) source
+        # stays parse-cacheable. Page-visible behaviour is identical:
+        # wrappers still dispatch CustomEvents under the random name.
+        source = INSTRUMENT_PAGE_SCRIPT
+        if self.legacy_v010:
+            source = source.replace(
+                "window.getInstrumentJS = function () { return true; };",
+                LEGACY_PAGE_SCRIPT_SUFFIX.strip())
+        scope = context.run_page_script_with_scope(source,
+                                                   INSTRUMENT_SCRIPT_URL)
+        if scope is None:
+            self.failed_windows.append(window)
+            return False
+        scope.declare("eventChannelId", event_id)
+
+        # Host helper available to the injected code (hidden in its scope,
+        # like the real extension's closures).
+        scope.declare("__originatingScriptUrl", NativeFunction(
+            lambda interp, this, args: self._originating_script_url(window),
+            name="__originatingScriptUrl",
+            proto=window.realm.function_prototype))
+
+        # The content script listens for the (randomly named) events the
+        # page-context wrappers dispatch.
+        window.document.add_listener(
+            event_id, lambda event, interp: self._on_record(window, event,
+                                                            interp))
+
+        installed = 0
+        for target in self.targets:
+            obj = self._resolve_path(window, target.path)
+            if isinstance(obj, JSObject):
+                installed += self._instrument_object(
+                    window, scope, obj, target)
+        self.install_counts[id(window)] = installed
+        return True
+
+    def _resolve_path(self, window: Any, path: str) -> Any:
+        obj: Any = window.window_object
+        for part in path.split("."):
+            if not isinstance(obj, JSObject):
+                return UNDEFINED
+            obj = obj.get(part, window.interp)
+        return obj
+
+    def _originating_script_url(self, window: Any) -> str:
+        """First stack frame outside the instrumentation itself."""
+        for frame in reversed(window.interp.call_stack):
+            if frame.script_url != INSTRUMENT_SCRIPT_URL:
+                return frame.script_url
+        return ""
+
+    # ------------------------------------------------------------------
+    def _instrument_object(self, window: Any, scope: Scope, obj: JSObject,
+                           target: TargetSpec) -> int:
+        """Wrap one target, reproducing the pollution bug.
+
+        The wrappers for *every* prototype level are defined onto the
+        chain's first prototype (Fig. 2): inherited API surfaces show up
+        as own properties of the first prototype afterwards.
+        """
+        realm = window.realm
+        base_protos = {realm.object_prototype, realm.function_prototype,
+                       id(None)}
+        if target.is_prototype:
+            chain = [obj]
+            walker = obj.proto
+        else:
+            chain = []
+            walker = obj.proto
+        while walker is not None and walker is not realm.object_prototype \
+                and walker is not realm.function_prototype:
+            chain.append(walker)
+            walker = walker.proto
+        if not chain:
+            chain = [obj]  # plain object: wrap own properties in place
+        first = chain[0]
+
+        object_name = target.path.split(".")[0] \
+            if not target.is_prototype else target.path.rsplit(".", 2)[0]
+        installed = 0
+        for proto in chain:
+            for name, desc in list(proto.properties.items()):
+                if name in target.exclude or name == "constructor":
+                    continue
+                if desc.meta.get("openwpm_wrapped"):
+                    continue
+                if target.methods_only and not desc.is_accessor \
+                        and not isinstance(desc.value, JSFunction):
+                    continue  # skip the ~2k WebGL constants cheaply
+                wrapped = self._wrap_descriptor(
+                    window, scope, object_name, name, desc,
+                    methods_only=target.methods_only)
+                if wrapped is None:
+                    continue
+                wrapped.meta["openwpm_wrapped"] = True
+                wrapped.meta["openwpm_original"] = desc
+                first.properties[name] = wrapped
+                installed += 1
+        return installed
+
+    def _wrap_descriptor(self, window: Any, scope: Scope, object_name: str,
+                         name: str, desc: PropertyDescriptor,
+                         methods_only: bool
+                         ) -> Optional[PropertyDescriptor]:
+        realm = window.realm
+        interp = window.interp
+
+        def make_wrapper(node, variables: Dict[str, Any]) -> ScriptFunction:
+            # function_scope=True keeps each wrapper's closure variables
+            # private instead of hoisting them into the shared injected
+            # scope.
+            wrapper_scope = Scope(parent=scope, function_scope=True)
+            for var_name, var_value in variables.items():
+                wrapper_scope.declare(var_name, var_value)
+            previous_url = interp.current_script_url
+            interp.current_script_url = INSTRUMENT_SCRIPT_URL
+            try:
+                wrapper = ScriptFunction(node, wrapper_scope, interp,
+                                         lightweight=True)
+            finally:
+                interp.current_script_url = previous_url
+            return wrapper
+
+        if desc.is_accessor:
+            original_get = desc.get
+            original_set = desc.set
+            get_native = NativeFunction(
+                lambda i, t, a, g=original_get:
+                g.call(i, t, []) if g is not None else UNDEFINED,
+                name="originalGet", proto=realm.function_prototype)
+            set_native = NativeFunction(
+                lambda i, t, a, s=original_set:
+                s.call(i, t, a) if s is not None else UNDEFINED,
+                name="originalSet", proto=realm.function_prototype)
+            new_desc = PropertyDescriptor.accessor(
+                get=make_wrapper(_GET_NODE, {
+                    "objectName": object_name, "propertyName": name,
+                    "originalGet": get_native}),
+                set=make_wrapper(_SET_NODE, {
+                    "objectName": object_name, "propertyName": name,
+                    "originalSet": set_native}),
+                enumerable=desc.enumerable, configurable=True)
+            return new_desc
+
+        value = desc.value
+        if isinstance(value, JSFunction):
+            call_wrapper = make_wrapper(_CALL_NODE, {
+                "objectName": object_name, "methodName": name,
+                "func": value})
+            # Access to the wrapped function itself goes through a getter;
+            # reassignment attempts are recorded via the set wrapper (the
+            # "hooks into setters and getters" protection, Sec. 5.1.1).
+            set_native = NativeFunction(
+                lambda i, t, a: UNDEFINED, name="originalSet",
+                proto=realm.function_prototype)
+            return PropertyDescriptor.accessor(
+                get=make_wrapper(_METHOD_GET_NODE, {"func": call_wrapper}),
+                set=make_wrapper(_SET_NODE, {
+                    "objectName": object_name, "propertyName": name,
+                    "originalSet": set_native}),
+                enumerable=desc.enumerable, configurable=True)
+
+        if methods_only:
+            return None
+        original_value = value
+        get_native = NativeFunction(
+            lambda i, t, a, v=original_value: v, name="originalGet",
+            proto=realm.function_prototype)
+        set_native = NativeFunction(
+            lambda i, t, a: UNDEFINED, name="originalSet",
+            proto=realm.function_prototype)
+        return PropertyDescriptor.accessor(
+            get=make_wrapper(_GET_NODE, {
+                "objectName": object_name, "propertyName": name,
+                "originalGet": get_native}),
+            set=make_wrapper(_SET_NODE, {
+                "objectName": object_name, "propertyName": name,
+                "originalSet": set_native}),
+            enumerable=desc.enumerable, configurable=True)
+
+    # ==================================================================
+    # Background end: receiving records
+    # ==================================================================
+    def _on_record(self, window: Any, event: Any, interp: Any) -> None:
+        detail = event.detail
+        data: Dict[str, Any] = {}
+        if isinstance(detail, JSObject):
+            try:
+                data = js_to_python(detail, interp) or {}
+            except TypeError:
+                data = {}
+        record = JSCallRecord(
+            symbol=str(data.get("symbol", "")),
+            operation=str(data.get("operation", "")),
+            value=str(data.get("value", "")),
+            arguments=str(data.get("arguments", "")),
+            call_stack=str(data.get("callStack", "")),
+            script_url=str(data.get("scriptUrl", "")),
+            document_url=str(window.url),
+        )
+        self.records.append(record)
+        if self.storage is not None:
+            self.storage.record_javascript(
+                document_url=record.document_url,
+                script_url=record.script_url,
+                symbol=record.symbol,
+                operation=record.operation,
+                value=record.value,
+                arguments=record.arguments,
+                call_stack=record.call_stack)
+
+    # ------------------------------------------------------------------
+    def symbols_accessed(self) -> List[str]:
+        return [record.symbol for record in self.records]
+
+    def clear_records(self) -> None:
+        self.records.clear()

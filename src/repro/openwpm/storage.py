@@ -1,0 +1,296 @@
+"""SQLite storage controller.
+
+Mirrors OpenWPM's data model: ``site_visits``, ``http_requests``,
+``http_responses``, ``javascript`` (the JS-call log), ``javascript_cookies``,
+``content`` (archived response bodies), and ``crash_history``.
+
+Two properties the paper verifies live here:
+
+* RQ6 sanitisation — ``top_level_url`` and ``visit_id`` on JS records are
+  set by the controller from its own visit context, never taken from the
+  (page-forgeable) event payload;
+* RQ7 injection safety — every statement is parameterised; hostile
+  strings in any field cannot alter previously stored rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS site_visits (
+    visit_id INTEGER PRIMARY KEY,
+    browser_id INTEGER NOT NULL,
+    site_url TEXT NOT NULL,
+    run_label TEXT DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS http_requests (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    visit_id INTEGER NOT NULL,
+    browser_id INTEGER NOT NULL,
+    url TEXT NOT NULL,
+    top_level_url TEXT,
+    frame_url TEXT,
+    method TEXT,
+    resource_type TEXT,
+    is_third_party_channel INTEGER,
+    headers TEXT,
+    post_body TEXT
+);
+CREATE TABLE IF NOT EXISTS http_responses (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    visit_id INTEGER NOT NULL,
+    browser_id INTEGER NOT NULL,
+    url TEXT NOT NULL,
+    response_status INTEGER,
+    content_type TEXT,
+    content_hash TEXT
+);
+CREATE TABLE IF NOT EXISTS javascript (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    visit_id INTEGER NOT NULL,
+    browser_id INTEGER NOT NULL,
+    top_level_url TEXT,
+    document_url TEXT,
+    script_url TEXT,
+    symbol TEXT,
+    operation TEXT,
+    value TEXT,
+    arguments TEXT,
+    call_stack TEXT
+);
+CREATE TABLE IF NOT EXISTS javascript_cookies (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    visit_id INTEGER NOT NULL,
+    browser_id INTEGER NOT NULL,
+    record_type TEXT,
+    change_cause TEXT,
+    host TEXT,
+    name TEXT,
+    value TEXT,
+    path TEXT,
+    is_session INTEGER,
+    is_http_only INTEGER,
+    expiry REAL,
+    first_party_domain TEXT,
+    via_javascript INTEGER
+);
+CREATE TABLE IF NOT EXISTS content (
+    content_hash TEXT PRIMARY KEY,
+    content TEXT,
+    url TEXT,
+    content_type TEXT
+);
+CREATE TABLE IF NOT EXISTS crash_history (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    browser_id INTEGER NOT NULL,
+    visit_id INTEGER,
+    site_url TEXT,
+    action TEXT
+);
+"""
+
+
+@dataclass
+class VisitContext:
+    """The controller's own notion of the visit being recorded."""
+
+    visit_id: int
+    browser_id: int
+    site_url: str
+    top_level_url: str
+
+
+class StorageController:
+    """Owns the SQLite database and all writes to it."""
+
+    def __init__(self, database_path: str = ":memory:") -> None:
+        self.connection = sqlite3.connect(database_path)
+        self.connection.row_factory = sqlite3.Row
+        self.connection.executescript(_SCHEMA)
+        self._next_visit_id = 1
+        self.current_visit: Optional[VisitContext] = None
+
+    # ------------------------------------------------------------------
+    # Visit lifecycle
+    # ------------------------------------------------------------------
+    def begin_visit(self, browser_id: int, site_url: str,
+                    run_label: str = "") -> VisitContext:
+        visit_id = self._next_visit_id
+        self._next_visit_id += 1
+        self.connection.execute(
+            "INSERT INTO site_visits (visit_id, browser_id, site_url, "
+            "run_label) VALUES (?, ?, ?, ?)",
+            (visit_id, browser_id, site_url, run_label))
+        self.current_visit = VisitContext(
+            visit_id=visit_id, browser_id=browser_id, site_url=site_url,
+            top_level_url=site_url)
+        return self.current_visit
+
+    def end_visit(self) -> None:
+        self.connection.commit()
+        self.current_visit = None
+
+    def _context(self) -> VisitContext:
+        if self.current_visit is None:
+            # Records arriving outside a visit are attributed to a
+            # sentinel context rather than dropped.
+            return VisitContext(visit_id=0, browser_id=-1, site_url="",
+                                top_level_url="")
+        return self.current_visit
+
+    # ------------------------------------------------------------------
+    # Row writers
+    # ------------------------------------------------------------------
+    def record_http_request(self, url: str, top_level_url: str,
+                            frame_url: str, method: str, resource_type: str,
+                            is_third_party: bool, headers: str = "",
+                            post_body: str = "") -> None:
+        ctx = self._context()
+        self.connection.execute(
+            "INSERT INTO http_requests (visit_id, browser_id, url, "
+            "top_level_url, frame_url, method, resource_type, "
+            "is_third_party_channel, headers, post_body) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (ctx.visit_id, ctx.browser_id, url, top_level_url, frame_url,
+             method, resource_type, int(is_third_party), headers, post_body))
+
+    def record_http_response(self, url: str, status: int, content_type: str,
+                             content_hash: str = "") -> None:
+        ctx = self._context()
+        self.connection.execute(
+            "INSERT INTO http_responses (visit_id, browser_id, url, "
+            "response_status, content_type, content_hash) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (ctx.visit_id, ctx.browser_id, url, status, content_type,
+             content_hash))
+
+    def record_content(self, body: str, url: str,
+                       content_type: str) -> str:
+        content_hash = hashlib.sha256(body.encode()).hexdigest()
+        self.connection.execute(
+            "INSERT OR IGNORE INTO content (content_hash, content, url, "
+            "content_type) VALUES (?, ?, ?, ?)",
+            (content_hash, body, url, content_type))
+        return content_hash
+
+    def record_javascript(self, document_url: str, script_url: str,
+                          symbol: str, operation: str, value: str,
+                          arguments: str = "", call_stack: str = "") -> None:
+        """Record one JS API access.
+
+        ``top_level_url`` and ``visit_id`` come from the controller's own
+        visit context — the sanitisation that limits the fake-data
+        injection attack (RQ6) to the currently visited site.
+        """
+        ctx = self._context()
+        self.connection.execute(
+            "INSERT INTO javascript (visit_id, browser_id, top_level_url, "
+            "document_url, script_url, symbol, operation, value, arguments, "
+            "call_stack) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (ctx.visit_id, ctx.browser_id, ctx.top_level_url, document_url,
+             script_url, str(symbol)[:2048], str(operation)[:64],
+             str(value)[:2048], str(arguments)[:2048],
+             str(call_stack)[:4096]))
+
+    def record_cookie(self, change_cause: str, host: str, name: str,
+                      value: str, path: str, is_session: bool,
+                      is_http_only: bool, expiry: Optional[float],
+                      first_party: str, via_javascript: bool) -> None:
+        ctx = self._context()
+        self.connection.execute(
+            "INSERT INTO javascript_cookies (visit_id, browser_id, "
+            "record_type, change_cause, host, name, value, path, "
+            "is_session, is_http_only, expiry, first_party_domain, "
+            "via_javascript) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (ctx.visit_id, ctx.browser_id, "cookie", change_cause, host,
+             name, value, path, int(is_session), int(is_http_only),
+             expiry if expiry is not None else None, first_party,
+             int(via_javascript)))
+
+    def record_crash(self, browser_id: int, site_url: str,
+                     action: str) -> None:
+        ctx = self.current_visit
+        self.connection.execute(
+            "INSERT INTO crash_history (browser_id, visit_id, site_url, "
+            "action) VALUES (?, ?, ?, ?)",
+            (browser_id, ctx.visit_id if ctx else None, site_url, action))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, sql: str, params: Tuple = ()) -> List[sqlite3.Row]:
+        return list(self.connection.execute(sql, params))
+
+    def javascript_records(self, visit_id: Optional[int] = None
+                           ) -> List[Dict[str, Any]]:
+        sql = "SELECT * FROM javascript"
+        params: Tuple = ()
+        if visit_id is not None:
+            sql += " WHERE visit_id = ?"
+            params = (visit_id,)
+        return [dict(row) for row in self.query(sql, params)]
+
+    def http_request_rows(self, visit_id: Optional[int] = None
+                          ) -> List[Dict[str, Any]]:
+        sql = "SELECT * FROM http_requests"
+        params: Tuple = ()
+        if visit_id is not None:
+            sql += " WHERE visit_id = ?"
+            params = (visit_id,)
+        return [dict(row) for row in self.query(sql, params)]
+
+    def cookie_rows(self, visit_id: Optional[int] = None
+                    ) -> List[Dict[str, Any]]:
+        sql = "SELECT * FROM javascript_cookies"
+        params: Tuple = ()
+        if visit_id is not None:
+            sql += " WHERE visit_id = ?"
+            params = (visit_id,)
+        return [dict(row) for row in self.query(sql, params)]
+
+    def saved_scripts(self) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self.query(
+            "SELECT * FROM content WHERE content_type LIKE '%javascript%'")]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    TABLES = ("site_visits", "http_requests", "http_responses",
+              "javascript", "javascript_cookies", "content",
+              "crash_history")
+
+    def export_table_csv(self, table: str, path: str) -> int:
+        """Write one table to CSV; returns the number of rows written.
+
+        Table names are validated against the schema (identifiers cannot
+        be parameterised in SQL).
+        """
+        import csv
+
+        if table not in self.TABLES:
+            raise ValueError(f"unknown table {table!r}")
+        rows = self.query(f"SELECT * FROM {table}")  # noqa: S608
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            if rows:
+                writer.writerow(rows[0].keys())
+                for row in rows:
+                    writer.writerow(tuple(row))
+        return len(rows)
+
+    def export_all_csv(self, directory: str) -> Dict[str, int]:
+        """Dump every table to ``<directory>/<table>.csv``."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        return {table: self.export_table_csv(
+            table, os.path.join(directory, f"{table}.csv"))
+            for table in self.TABLES}
+
+    def close(self) -> None:
+        self.connection.commit()
+        self.connection.close()

@@ -1,0 +1,163 @@
+"""Task manager: the framework layer orchestrating browsers.
+
+Reproduces the orchestration responsibilities Fig. 1 assigns to the
+framework: owning N browsers, distributing command sequences, watching
+for crashes, restarting failed browsers, and funnelling everything into
+one storage controller.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.browser.browser import Browser, VisitResult
+from repro.browser.profiles import openwpm_profile
+from repro.net.network import Network
+from repro.openwpm.config import BrowserParams, ManagerParams
+from repro.openwpm.extension import OpenWPMExtension
+from repro.openwpm.storage import StorageController
+
+
+class BrowserCrashed(RuntimeError):
+    """Raised inside a visit when fault injection fires."""
+
+
+@dataclass
+class CommandSequence:
+    """A unit of crawling work: visit a site, then run extra commands."""
+
+    url: str
+    #: Extra callbacks run with (browser, visit_result) after the GET.
+    callbacks: List[Callable[[Browser, VisitResult], None]] = field(
+        default_factory=list)
+    dwell_time: Optional[float] = None
+    retries_left: int = 3
+
+
+@dataclass
+class ManagedBrowser:
+    """One browser slot with crash/restart bookkeeping."""
+
+    browser_id: int
+    params: BrowserParams
+    browser: Browser
+    extension: OpenWPMExtension
+    crash_count: int = 0
+
+
+class TaskManager:
+    """Drives browsers over a list of sites with crash recovery."""
+
+    def __init__(self, manager_params: ManagerParams,
+                 browser_params: List[BrowserParams],
+                 network: Network,
+                 js_instrument_factory: Optional[Callable[..., Any]] = None
+                 ) -> None:
+        self.manager_params = manager_params
+        self.network = network
+        self.storage = StorageController(manager_params.database_path)
+        self._rng = random.Random(manager_params.seed)
+        self._js_instrument_factory = js_instrument_factory
+        self.browsers: List[ManagedBrowser] = [
+            self._launch_browser(params) for params in browser_params]
+        self._next_slot = 0
+        self.failed_sites: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _launch_browser(self, params: BrowserParams) -> ManagedBrowser:
+        profile = openwpm_profile(
+            params.os_name,
+            "regular" if params.display_mode == "native"
+            else params.display_mode,
+            window_size=params.window_size,
+            window_position=params.window_position)
+        js_instrument = None
+        if self._js_instrument_factory is not None and params.js_instrument:
+            js_instrument = self._js_instrument_factory(storage=self.storage)
+        extension = OpenWPMExtension(params, storage=self.storage,
+                                     js_instrument=js_instrument)
+        browser = Browser(profile, self.network,
+                          client_id=f"openwpm-{params.browser_id}",
+                          extension=extension, seed=params.seed)
+        return ManagedBrowser(browser_id=params.browser_id, params=params,
+                              browser=browser, extension=extension)
+
+    def _restart_browser(self, slot: ManagedBrowser) -> None:
+        """Replace a crashed browser, preserving its identity and params."""
+        self.storage.record_crash(slot.browser_id, "", "restart")
+        replacement = self._launch_browser(slot.params)
+        slot.browser = replacement.browser
+        slot.extension = replacement.extension
+        slot.crash_count += 1
+
+    # ------------------------------------------------------------------
+    def get(self, url: str,
+            callbacks: Optional[List[Callable]] = None) -> None:
+        """Enqueue-and-run a GET command sequence for *url*."""
+        self.execute_command_sequence(CommandSequence(
+            url=url, callbacks=callbacks or []))
+
+    def execute_command_sequence(self, sequence: CommandSequence
+                                 ) -> Optional[VisitResult]:
+        slot = self.browsers[self._next_slot]
+        self._next_slot = (self._next_slot + 1) % len(self.browsers)
+
+        attempts = 0
+        while attempts < self.manager_params.failure_limit:
+            attempts += 1
+            self.storage.begin_visit(slot.browser_id, sequence.url)
+            try:
+                if self.manager_params.crash_probability > 0 and \
+                        self._rng.random() < \
+                        self.manager_params.crash_probability:
+                    raise BrowserCrashed(sequence.url)
+                dwell = sequence.dwell_time \
+                    if sequence.dwell_time is not None \
+                    else slot.params.dwell_time
+                result = slot.browser.visit(sequence.url, wait=dwell)
+                self._interact(slot, result)
+                for callback in sequence.callbacks:
+                    callback(slot.browser, result)
+                self.storage.end_visit()
+                return result
+            except BrowserCrashed:
+                self.storage.record_crash(slot.browser_id, sequence.url,
+                                          "crash")
+                self.storage.end_visit()
+                self._restart_browser(slot)
+        self.failed_sites.append(sequence.url)
+        return None
+
+    def _interact(self, slot: ManagedBrowser, result) -> None:
+        """Run the configured interaction driver on the loaded page.
+
+        'selenium' mirrors the framework's default event synthesis;
+        'human' is the HLISA-style driver (Sec. 7 / Goßen et al.).
+        """
+        style = slot.params.interaction
+        if style is None or result is None or result.top_window is None:
+            return
+        from repro.browser.interaction import (
+            HumanLikeInteraction,
+            SeleniumInteraction,
+        )
+
+        driver_cls = HumanLikeInteraction if style == "human" \
+            else SeleniumInteraction
+        driver = driver_cls(self._rng)
+        window = result.top_window
+        driver.scroll(window, 600.0)
+        driver.click(window, "a")
+
+    def crawl(self, urls: List[str],
+              callbacks: Optional[List[Callable]] = None
+              ) -> List[Optional[VisitResult]]:
+        """Visit every URL, distributing across browser slots."""
+        return [self.execute_command_sequence(
+            CommandSequence(url=url, callbacks=list(callbacks or [])))
+            for url in urls]
+
+    def close(self) -> None:
+        self.storage.close()

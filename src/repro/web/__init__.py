@@ -1,0 +1,27 @@
+"""The synthetic web.
+
+A deterministic, seedable stand-in for the Tranco Top-100K web the paper
+scans: ranked sites with categories, a third-party ecosystem (ad/tracker
+networks, bot-detection providers, CDNs), genuine JavaScript detector
+scripts in several disguise levels, first-party detection vendors
+(Akamai/Incapsula/Cloudflare/PerimeterX), OpenWPM-specific detectors
+(CHEQ, reCAPTCHA, adzouk), CSP deployments, and cloaking behaviour
+driven by actual client-side detection plus server-side
+re-identification.
+
+Every planted behaviour is recorded in a :class:`GroundTruth` so the
+scan pipeline's precision/recall can be validated, and the marginal
+rates are calibrated to the paper's published counts (Tables 5-7,
+11-12, Figs 3-5).
+"""
+
+from repro.web.tranco import TrancoList, TrancoSite
+from repro.web.world import GroundTruth, SyntheticWeb, build_world
+
+__all__ = [
+    "TrancoList",
+    "TrancoSite",
+    "SyntheticWeb",
+    "GroundTruth",
+    "build_world",
+]

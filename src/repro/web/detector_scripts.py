@@ -1,0 +1,300 @@
+"""The JavaScript corpus: detectors, trackers, fingerprinters, decoys.
+
+Every script here is genuine JavaScript executed by the engine during a
+crawl. The disguise levels map to how the paper's two analysis methods
+see them:
+
+================  ==============  ===============
+script form       static analysis dynamic analysis
+================  ==============  ===============
+plain             caught          caught
+minified          caught          caught
+hex-obfuscated    caught (after   caught
+                  deobfuscation)
+concat-obfuscated missed          caught
+lazy (not run)    caught          missed
+decoy ('webdriver'loose pattern   not a detector
+ as a UA token)   only (FP)
+iterator          missed          honey-property
+                                  'inconclusive'
+================  ==============  ===============
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+# ---------------------------------------------------------------------------
+# Selenium / webdriver detectors
+# ---------------------------------------------------------------------------
+
+_PLAIN_DETECTOR = """
+(function () {
+    var bot = false;
+    if (navigator.webdriver === true) { bot = true; }
+    if (navigator["webdriver"]) { bot = true; }
+    if (window.screen.availTop === 0 && window.screen.availLeft === 0) {
+        bot = bot || false;
+    }
+    if (bot) { window._botDetected = true; }
+    navigator.sendBeacon("https://__PROVIDER__/report?bot="
+        + (bot ? "1" : "0") + "&site=" + location.host);
+})();
+"""
+
+_MINIFIED_DETECTOR = (
+    '(function(){var b=false;if(navigator.webdriver===true){b=true;}'
+    'if(navigator["webdriver"]){b=true;}if(b){window._botDetected=true;}'
+    'navigator.sendBeacon("https://__PROVIDER__/report?bot="+(b?"1":"0")'
+    '+"&site="+location.host);})();'
+)
+
+#: Hex escapes decode to 'webdriver'; the scan's preprocessing step
+#: recovers ``navigator["webdriver"]``, so static analysis still
+#: catches this one (the deobfuscation win of Sec. 4.1.3).
+_HEX_DETECTOR = """
+(function () {
+    var bot = navigator["\\x77\\x65\\x62\\x64\\x72\\x69\\x76\\x65\\x72"] === true;
+    if (bot) { window._botDetected = true; }
+    navigator.sendBeacon("https://__PROVIDER__/report?bot="
+        + (bot ? "1" : "0") + "&site=" + location.host);
+})();
+"""
+
+#: Dynamic property-name construction: invisible to static patterns.
+_CONCAT_DETECTOR = """
+(function () {
+    var parts = ["web", "dri", "ver"];
+    var name = parts[0] + parts[1] + parts[2];
+    var bot = navigator[name] === true;
+    if (bot) { window._botDetected = true; }
+    navigator.sendBeacon("https://__PROVIDER__/report?bot="
+        + (bot ? "1" : "0") + "&site=" + location.host);
+})();
+"""
+
+#: Present in the source but only runs on user interaction the crawler
+#: never performs — found by static analysis, silent dynamically.
+_LAZY_DETECTOR = """
+document.addEventListener("mousemove", function () {
+    if (navigator.webdriver === true) {
+        window._botDetected = true;
+        navigator.sendBeacon("https://__PROVIDER__/report?bot=1&site="
+            + location.host);
+    }
+});
+"""
+
+_FORMS = {
+    "plain": _PLAIN_DETECTOR,
+    "minified": _MINIFIED_DETECTOR,
+    "hex": _HEX_DETECTOR,
+    "obfuscated": _CONCAT_DETECTOR,
+    "lazy": _LAZY_DETECTOR,
+}
+
+
+def selenium_detector(provider_domain: str, form: str = "plain") -> str:
+    """A Selenium/webdriver detector reporting to *provider_domain*."""
+    template = _FORMS.get(form)
+    if template is None:
+        raise ValueError(f"unknown detector form {form!r}")
+    return template.replace("__PROVIDER__", provider_domain)
+
+
+# ---------------------------------------------------------------------------
+# OpenWPM-specific detectors (Table 6)
+# ---------------------------------------------------------------------------
+
+def openwpm_detector(provider_domain: str, probes: tuple,
+                     obfuscated: bool = False) -> str:
+    """A script probing OpenWPM instrument residue properties."""
+    checks: List[str] = []
+    for prop in probes:
+        if obfuscated:
+            # Split the name so static patterns cannot see it.
+            head, tail = prop[: len(prop) // 2], prop[len(prop) // 2:]
+            checks.append(
+                f'if (typeof window["{head}" + "{tail}"] !== "undefined") '
+                "{ owpm = true; }")
+        else:
+            checks.append(
+                f'if (typeof window.{prop} !== "undefined") '
+                "{ owpm = true; }")
+    body = "\n    ".join(checks)
+    return f"""
+(function () {{
+    var owpm = false;
+    {body}
+    if (navigator.webdriver === true) {{ owpm = true; }}
+    if (owpm) {{ window._botDetected = true; }}
+    navigator.sendBeacon("https://{provider_domain}/report?owpm="
+        + (owpm ? "1" : "0") + "&site=" + location.host);
+}})();
+"""
+
+
+# ---------------------------------------------------------------------------
+# Non-detector scripts
+# ---------------------------------------------------------------------------
+
+#: The static-analysis false positive: 'webdriver' appears only as a
+#: user-agent keyword (matches the loose pattern, none of the strict
+#: ones — the iteration the paper describes in Appx. B).
+DECOY_UA_SCRIPT = """
+(function () {
+    var botTokens = ["webdriver", "selenium", "phantomjs", "headless"];
+    var ua = navigator.userAgent.toLowerCase();
+    var hit = false;
+    for (var i = 0; i < botTokens.length; i++) {
+        if (ua.indexOf(botTokens[i]) >= 0) { hit = true; }
+    }
+    if (hit) { window._uaFlagged = true; }
+})();
+"""
+
+#: A browser fingerprinting script that iterates navigator/window: it
+#: touches navigator.webdriver only as part of the sweep — the case the
+#: honey properties disambiguate (Sec. 4.1.3).
+ITERATOR_FINGERPRINTER = """
+(function () {
+    var fp = [];
+    for (var key in navigator) {
+        fp.push(key + "=" + navigator[key]);
+    }
+    for (var key2 in window.screen) {
+        fp.push("screen." + key2 + "=" + window.screen[key2]);
+    }
+    navigator.sendBeacon("https://__PROVIDER__/fp?n=" + fp.length
+        + "&site=" + location.host);
+})();
+"""
+
+
+def iterator_fingerprinter(provider_domain: str) -> str:
+    return ITERATOR_FINGERPRINTER.replace("__PROVIDER__", provider_domain)
+
+
+#: Tag of a network that does NOT act on bot signals: sets a long-lived
+#: first-party uid cookie and fires its pixel unconditionally.
+TRACKER_SCRIPT = """
+(function () {
+    var uid = "u" + Math.floor(Math.random() * 1000000000) + "x"
+        + Math.floor(Math.random() * 1000000000);
+    document.cookie = "__TRACK_NAME__=" + uid + "; Max-Age=31536000";
+    var img = new Image();
+    img.src = "https://__PROVIDER__/pixel?uid=" + uid
+        + "&site=" + location.host;
+})();
+"""
+
+#: Tag of a *cloaking* network: still runs for bots, but withholds the
+#: identifying uid — so traffic volume barely changes while the
+#: tracking-cookie yield collapses (the Table 8 vs Table 10 asymmetry).
+GATED_TRACKER_SCRIPT = """
+(function () {
+    var bot = window._botDetected === true;
+    var uid = "u" + Math.floor(Math.random() * 1000000000) + "x"
+        + Math.floor(Math.random() * 1000000000);
+    var img = new Image();
+    img.src = "https://__PROVIDER__/pixel?uid=" + (bot ? "denied" : uid)
+        + "&bot=" + (bot ? "1" : "0") + "&site=" + location.host;
+})();
+"""
+
+
+def tracker_script(provider_domain: str, gated: bool = False) -> str:
+    name = "_trk_" + hashlib.sha256(
+        provider_domain.encode()).hexdigest()[:6]
+    template = GATED_TRACKER_SCRIPT if gated else TRACKER_SCRIPT
+    return (template
+            .replace("__PROVIDER__", provider_domain)
+            .replace("__TRACK_NAME__", name))
+
+
+#: Harmless utility script (jQuery-like) served by CDNs.
+BENIGN_LIBRARY = """
+(function () {
+    window.$lib = {
+        version: "3.6.0",
+        select: function (selector) {
+            return document.querySelector(selector);
+        },
+        each: function (items, fn) {
+            for (var i = 0; i < items.length; i++) { fn(items[i], i); }
+        }
+    };
+})();
+"""
+
+#: First-party analytics beacon (no detection, no tracking cookie).
+FIRST_PARTY_ANALYTICS = """
+(function () {
+    var payload = "w=" + window.innerWidth + "&h=" + window.innerHeight;
+    navigator.sendBeacon("/analytics/collect?" + payload);
+})();
+"""
+
+
+#: DOM-probe variants: each accesses some APIs in the top window and
+#: some through a freshly created iframe's contentWindow *in the same
+#: tick* — the channel vanilla OpenWPM does not observe (Fig. 6). The
+#: per-API top/iframe mix across variants produces Fig. 6's per-symbol
+#: coverage spread (Screen.top mostly top-window; Screen.availLeft
+#: mostly in-iframe).
+_DOM_PROBE_TEMPLATE = """
+(function () {
+    %s
+    var holder = document.createElement("div");
+    document.body.appendChild(holder);
+    var ifr = document.createElement("iframe");
+    holder.appendChild(ifr);
+    var w = ifr.contentWindow;
+    %s
+})();
+"""
+
+_DOM_PROBE_VARIANTS = [
+    (["screen.top", "screen.width", "screen.availLeft"],
+     ["w.screen.availLeft", "w.navigator.userAgent"]),
+    (["screen.top", "navigator.userAgent"],
+     ["w.screen.availLeft", "w.screen.availTop", "w.screen.height"]),
+    (["screen.top", "screen.availTop"],
+     ["w.screen.availLeft", "w.navigator.platform"]),
+    (["screen.top", "screen.height", "navigator.platform"],
+     ["w.screen.availLeft", "w.screen.width"]),
+    (["screen.top"],
+     ["w.screen.availLeft", "w.screen.availTop", "w.navigator.userAgent",
+      "w.screen.colorDepth"]),
+]
+
+
+def dom_probe_script(variant: int) -> str:
+    top_calls, frame_calls = _DOM_PROBE_VARIANTS[
+        variant % len(_DOM_PROBE_VARIANTS)]
+    return _DOM_PROBE_TEMPLATE % (
+        ";\n    ".join(top_calls) + ";",
+        ";\n    ".join(frame_calls) + ";")
+
+
+def first_party_detector(vendor_name: str) -> str:
+    """A first-party bot-management script (Akamai/Incapsula/... style).
+
+    First-party vendors feed their verdict to the site itself (e.g., to
+    throttle, block, or serve CAPTCHAs) — modelled by a same-origin
+    beacon plus the shared client-side flag.
+    """
+    return f"""
+/* {vendor_name} bot manager */
+(function () {{
+    var score = 0;
+    if (navigator.webdriver === true) {{ score = score + 10; }}
+    if (window.screen.availTop === 0) {{ score = score + 1; }}
+    if (window.outerWidth === 0) {{ score = score + 1; }}
+    var bot = score >= 10;
+    if (bot) {{ window._botDetected = true; }}
+    navigator.sendBeacon("/{vendor_name.lower()}/telemetry?score=" + score
+        + "&bot=" + (bot ? "1" : "0"));
+}})();
+"""

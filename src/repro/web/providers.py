@@ -1,0 +1,189 @@
+"""The third-party ecosystem: detector, tracker, and CDN providers.
+
+The provider roster and inclusion shares are calibrated to the paper's
+findings: Table 7 (top third-party detector hosts), Table 12
+(first-party detection vendors and their URL patterns), Table 6
+(OpenWPM-specific detectors), and WhoTracks.me-style purposes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ThirdPartyDetector:
+    """A third-party domain serving Selenium/bot-detection scripts."""
+
+    domain: str
+    #: Share of all third-party detector inclusions (Table 7).
+    inclusion_share: float
+    purpose: str
+    #: 'plain' scripts are found statically AND dynamically; 'obfuscated'
+    #: (dynamic property-name construction) only dynamically; 'lazy'
+    #: code is present but not executed during a crawl (static only).
+    script_form: str = "plain"
+
+
+#: Table 7: top 10 hosting domains + aggregated long tail.
+THIRD_PARTY_DETECTORS: List[ThirdPartyDetector] = [
+    ThirdPartyDetector("yandex.ru", 0.1804, "advertising/analytics"),
+    ThirdPartyDetector("adsafeprotected.com", 0.1083, "advertising",
+                       script_form="obfuscated"),
+    ThirdPartyDetector("moatads.com", 0.1015, "advertising"),
+    ThirdPartyDetector("webgains.io", 0.0981, "advertising",
+                       script_form="lazy"),
+    ThirdPartyDetector("crazyegg.com", 0.0728, "site analytics"),
+    ThirdPartyDetector("intercomcdn.com", 0.0498, "customer interaction"),
+    ThirdPartyDetector("teads.tv", 0.0400, "advertising",
+                       script_form="obfuscated"),
+    ThirdPartyDetector("jsdelivr.net", 0.0198, "cdn"),
+    ThirdPartyDetector("mxcdn.net", 0.0195, "advertising", "lazy"),
+    ThirdPartyDetector("mgid.com", 0.0189, "advertising"),
+]
+
+#: The remaining ~29% of inclusions spread over a long tail of domains.
+LONG_TAIL_SHARE = 0.291
+LONG_TAIL_COUNT = 704
+
+
+def long_tail_detector_domains(count: int = LONG_TAIL_COUNT) -> List[str]:
+    """Distinct registrable domains, so no tail entry aggregates into a
+    Table 7 top spot."""
+    return [
+        "{}det{}.example".format(
+            ["adnet", "metric", "guard", "shield"][i % 4],
+            hashlib.sha256(f"tail:{i}".encode()).hexdigest()[:6])
+        for i in range(count)
+    ]
+
+
+@dataclass(frozen=True)
+class FirstPartyVendor:
+    """A bot-management vendor deployed under the site's own domain."""
+
+    name: str
+    #: Expected number of sites (out of 100K) using this vendor
+    #: (Table 12).
+    sites_per_100k: int
+    #: URL path template; ``{hash}`` is replaced per site.
+    path_template: str
+
+
+FIRST_PARTY_VENDORS: List[FirstPartyVendor] = [
+    FirstPartyVendor("Akamai", 1004, "/akam/11/{hash}"),
+    FirstPartyVendor("Incapsula", 998, "/_Incapsula_Resource?SWJIYLWA={hash}"),
+    FirstPartyVendor("Unknown", 659, "/assets/{hash32}"),
+    FirstPartyVendor("Cloudflare", 486, "/cdn-cgi/bm/cv/2172558837/api.js"),
+    FirstPartyVendor("PerimeterX", 134, "/{hash8}/init.js"),
+    # Remaining first-party detectors are site-specific one-offs.
+    FirstPartyVendor("Custom", 586, "/js/bot-check-{hash}.js"),
+]
+
+#: Total first-party detector sites per 100K (Sec. 4.3.2: 3,867).
+FIRST_PARTY_TOTAL_PER_100K = sum(v.sites_per_100k
+                                 for v in FIRST_PARTY_VENDORS)
+
+
+@dataclass(frozen=True)
+class OpenWPMDetectorProvider:
+    """A provider probing OpenWPM-specific properties (Table 6)."""
+
+    domain: str
+    sites_per_100k: int
+    #: Which instrument residue properties its script probes.
+    probes: Tuple[str, ...]
+    #: Whether static analysis can see it (CHEQ ships plain source; the
+    #: others are minified/obfuscated/dynamically loaded).
+    statically_visible: bool
+
+
+OPENWPM_DETECTOR_PROVIDERS: List[OpenWPMDetectorProvider] = [
+    OpenWPMDetectorProvider(
+        "cheqzone.com", 331, ("jsInstruments",), statically_visible=True),
+    OpenWPMDetectorProvider(
+        "googlesyndication.com", 14,
+        ("jsInstruments", "instrumentFingerprintingApis", "getInstrumentJS"),
+        statically_visible=False),
+    OpenWPMDetectorProvider(
+        "google.com", 9,
+        ("jsInstruments", "instrumentFingerprintingApis", "getInstrumentJS"),
+        statically_visible=False),
+    OpenWPMDetectorProvider(
+        "adzouk1tag.com", 2, ("jsInstruments",), statically_visible=False),
+]
+
+
+@dataclass(frozen=True)
+class TrackerProvider:
+    """An ad/tracking network (matched by the EasyList-style blocklists).
+
+    ``cloaks`` providers withhold tracking cookies and ad traffic from
+    clients they have identified as bots (client-side flag or
+    server-side re-identification) — the differential behaviour behind
+    Tables 8-10.
+    """
+
+    domain: str
+    kind: str  # 'advertising' | 'analytics' | 'social' | 'cdn'
+    cloaks: bool = True
+    #: Expected tracking cookies set per visit when not cloaking.
+    cookies_per_visit: int = 2
+    #: How much ad-frame content a known bot still receives:
+    #: 'full' (only the uid is withheld), 'partial' (no impression
+    #: pixel), or 'none' (inert auction script).
+    bot_ad_fill: str = "full"
+    #: Intel sync cycles before the network acts on a listed client.
+    activation_delay: int = 1
+    #: Sets a second identifying cookie alongside the primary uid.
+    extra_uid_cookie: bool = False
+
+
+TRACKER_PROVIDERS: List[TrackerProvider] = [
+    # Only a minority of networks act on bot intelligence — the paper's
+    # measured differences are correspondingly subtle (Tables 8-10).
+    TrackerProvider("adclick-syndicate.com", "advertising", cloaks=True,
+                    bot_ad_fill="full", activation_delay=2,
+                    extra_uid_cookie=True),
+    TrackerProvider("retarget-exchange.com", "advertising", cloaks=True,
+                    bot_ad_fill="partial", activation_delay=1),
+    # Runs its own verification: acts on the raw verdict within-run.
+    TrackerProvider("video-ads-hub.tv", "advertising", cloaks=True,
+                    bot_ad_fill="none", activation_delay=0),
+    TrackerProvider("pixelmetrics.net", "analytics", cloaks=False),
+    TrackerProvider("bannerwave.io", "advertising", cloaks=False),
+    TrackerProvider("audience-graph.net", "analytics", cloaks=False),
+    TrackerProvider("social-plugins.example", "social", cloaks=False,
+                    cookies_per_visit=1),
+    TrackerProvider("statcounter-like.net", "analytics", cloaks=False,
+                    cookies_per_visit=1),
+]
+
+#: Benign infrastructure domains (never detect, never track).
+CDN_DOMAINS: List[str] = [
+    "static-cdn.example", "fonts-cdn.example", "jslib-cdn.example",
+    "media-cdn.example",
+]
+
+
+def blocklist_domains() -> Dict[str, List[str]]:
+    """EasyList / EasyPrivacy equivalents for the synthetic ecosystem.
+
+    EasyList targets advertising; EasyPrivacy targets trackers and
+    analytics. Detector hosts run by ad firms appear in EasyList, as
+    the paper found for adzouk1tag.com.
+    """
+    easylist = [p.domain for p in TRACKER_PROVIDERS
+                if p.kind == "advertising"]
+    easylist += [d.domain for d in THIRD_PARTY_DETECTORS
+                 if d.purpose == "advertising"]
+    easylist.append("adzouk1tag.com")
+    easylist.append("googlesyndication.com")
+    easyprivacy = [p.domain for p in TRACKER_PROVIDERS
+                   if p.kind in ("analytics", "social")]
+    easyprivacy += [d.domain for d in THIRD_PARTY_DETECTORS
+                    if "analytics" in d.purpose]
+    return {"easylist": sorted(set(easylist)),
+            "easyprivacy": sorted(set(easyprivacy))}

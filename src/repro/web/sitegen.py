@@ -1,0 +1,276 @@
+"""Per-site configuration generator.
+
+Assigns every Tranco site its behaviours — detector placement and
+disguise form, first-party vendor, third-party providers, OpenWPM-
+specific probes, CSP deployment, tracker/ad load — from probabilities
+calibrated to the paper's 100K-site marginals:
+
+* combined front-page detector rate ~14% (Table 11: 13,989/100K),
+  split static-only/dynamic-only/both per Table 5 and Fig. 4;
+* subpage-only detectors lifting the union to ~18.7% (Fig. 3);
+* static false positives (~16.9% of sites carry a loose 'webdriver'
+  token) and dynamic 'inconclusive' iterators (~2.4%);
+* first-party vendor deployment per Table 12; third-party hosting
+  shares per Table 7; OpenWPM-specific providers per Table 6;
+* category skews behind Fig. 5 (news → third-party; shopping/finance/
+  travel → first-party) and a rank gradient behind Fig. 3.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.web.providers import (
+    FIRST_PARTY_VENDORS,
+    LONG_TAIL_SHARE,
+    OPENWPM_DETECTOR_PROVIDERS,
+    THIRD_PARTY_DETECTORS,
+    TRACKER_PROVIDERS,
+    long_tail_detector_domains,
+)
+from repro.web.tranco import TrancoSite
+
+# --- Calibrated per-site probabilities (rates out of 1.0) -----------------
+#: Front-page detector found by both methods / static only / dynamic only.
+P_FRONT_BOTH = 0.1016
+P_FRONT_STATIC_ONLY = 0.0180   # lazy code, never executed
+P_FRONT_DYNAMIC_ONLY = 0.0203  # concat-obfuscated
+#: Subpage-only detectors (site clean on the front page).
+P_SUB_BOTH = 0.0372
+P_SUB_STATIC_ONLY = 0.0016
+P_SUB_DYNAMIC_ONLY = 0.0100
+#: Loose-pattern static false positive ('webdriver' as a UA token).
+P_DECOY = 0.1686
+#: Property-iterating fingerprinter (honey-property 'inconclusive').
+P_ITERATOR = 0.0238
+#: Fraction of detector sites with a first-party vendor deployment.
+P_FIRST_PARTY_GIVEN_DETECTOR = 0.2067
+#: CSP that blocks inline script injection (Sec. 6.3.1: 113/1,487).
+P_CSP_BLOCKING = 0.076
+#: CSP misconfiguration producing a report on every client (~188/1,487).
+P_CSP_INTRINSIC = 0.12
+
+_FORMS_BOTH = ("plain", "minified", "hex")
+
+#: Mean of the rank-weight x category-bias multiplier over the site
+#: population (measured empirically at 100K sites); dividing by it keeps
+#: the detector marginals on target despite the Fig. 3/5 skews.
+_BIAS_NORMALISER = 1.21
+
+
+@dataclass
+class SiteConfig:
+    """Everything one site serves, derived deterministically from seed."""
+
+    site: TrancoSite
+    #: Detector on the front page and its disguise form (None = clean).
+    front_detector_form: Optional[str] = None
+    #: Detector appearing only on subpages.
+    sub_detector_form: Optional[str] = None
+    #: Which subpage (1-based) carries the subpage detector.
+    sub_detector_page: int = 1
+    #: Third-party detector provider domains included (front or sub).
+    third_party_detectors: List[str] = field(default_factory=list)
+    first_party_vendor: Optional[str] = None
+    first_party_path: str = ""
+    #: OpenWPM-residue probing providers included on this site.
+    openwpm_providers: List[str] = field(default_factory=list)
+    has_decoy: bool = False
+    has_iterator: bool = False
+    csp_blocking: bool = False
+    csp_intrinsic_violation: bool = False
+    trackers: List[str] = field(default_factory=list)
+    n_images: int = 6
+    n_widget_iframes: int = 1
+    has_ad_iframe: bool = True
+    has_media: bool = False
+    has_websocket: bool = False
+    has_object: bool = False
+    subpage_count: int = 4
+    #: Index of the DOM-probe variant (scripts that create an iframe and
+    #: immediately call APIs through contentWindow — the unobserved
+    #: channel of Fig. 6); None = no such script.
+    dom_probe_variant: Optional[int] = None
+
+    @property
+    def domain(self) -> str:
+        return self.site.domain
+
+    @property
+    def has_detector(self) -> bool:
+        return self.front_detector_form is not None \
+            or self.sub_detector_form is not None
+
+    @property
+    def detector_on_front(self) -> bool:
+        return self.front_detector_form is not None
+
+    def detector_channels(self, where: str = "any") -> Tuple[bool, bool]:
+        """(found_by_static, found_by_dynamic) ground truth."""
+        forms = []
+        if where in ("any", "front") and self.front_detector_form:
+            forms.append(self.front_detector_form)
+        if where in ("any", "sub") and self.sub_detector_form:
+            forms.append(self.sub_detector_form)
+        static = any(f in ("plain", "minified", "hex", "lazy")
+                     for f in forms)
+        dynamic = any(f in ("plain", "minified", "hex", "obfuscated")
+                      for f in forms)
+        if self.first_party_vendor and (
+                where != "sub"):  # vendors deploy on the front page
+            static = True
+            dynamic = True
+        return static, dynamic
+
+
+def _rank_weight(rank: int, total: int) -> float:
+    """Detector prevalence declines with rank (Fig. 3 gradient)."""
+    position = rank / max(total, 1)
+    return 1.4 - 0.8 * position  # 1.4 at the very top, 0.6 at the tail
+
+
+def _category_bias(categories: tuple) -> Tuple[float, float]:
+    """(third-party bias, first-party bias) from Fig. 5 skews."""
+    third, first = 1.0, 1.0
+    for category in categories:
+        if category == "News":
+            third *= 2.0
+            first *= 0.5
+        elif category in ("Technology", "Business"):
+            third *= 1.2
+        elif category == "Shopping":
+            first *= 3.0
+            third *= 0.7
+        elif category in ("Finance", "Travel"):
+            first *= 2.5
+        elif category in ("Government", "Education"):
+            third *= 0.5
+            first *= 0.6
+    return third, first
+
+
+class SiteConfigGenerator:
+    """Draws a :class:`SiteConfig` for every Tranco site."""
+
+    def __init__(self, seed: int = 7) -> None:
+        self.seed = seed
+        self._long_tail = long_tail_detector_domains()
+        self._tp_both = [d for d in THIRD_PARTY_DETECTORS
+                         if d.script_form == "plain"]
+        self._tp_obfuscated = [d for d in THIRD_PARTY_DETECTORS
+                               if d.script_form == "obfuscated"]
+        self._tp_lazy = [d for d in THIRD_PARTY_DETECTORS
+                         if d.script_form == "lazy"]
+
+    # ------------------------------------------------------------------
+    def generate(self, sites: List[TrancoSite]) -> List[SiteConfig]:
+        total = len(sites)
+        return [self._config_for(site, total) for site in sites]
+
+    def _config_for(self, site: TrancoSite, total: int) -> SiteConfig:
+        rng = random.Random(
+            hashlib.sha256(f"{self.seed}:{site.domain}".encode()).digest())
+        config = SiteConfig(site=site)
+        weight = _rank_weight(site.rank, total)
+        third_bias, first_bias = _category_bias(site.categories)
+
+        # --- detector placement -------------------------------------
+        roll = rng.random()
+        # The category skew raises the population mean; renormalise so
+        # the overall detector rate stays at the calibrated marginals.
+        scale = weight * third_bias / _BIAS_NORMALISER
+        if roll < P_FRONT_BOTH * scale:
+            config.front_detector_form = rng.choice(_FORMS_BOTH)
+        elif roll < (P_FRONT_BOTH + P_FRONT_STATIC_ONLY) * scale:
+            config.front_detector_form = "lazy"
+        elif roll < (P_FRONT_BOTH + P_FRONT_STATIC_ONLY
+                     + P_FRONT_DYNAMIC_ONLY) * scale:
+            config.front_detector_form = "obfuscated"
+        else:
+            sub_roll = rng.random()
+            if sub_roll < P_SUB_BOTH * scale:
+                config.sub_detector_form = rng.choice(_FORMS_BOTH)
+            elif sub_roll < (P_SUB_BOTH + P_SUB_STATIC_ONLY) * scale:
+                config.sub_detector_form = "lazy"
+            elif sub_roll < (P_SUB_BOTH + P_SUB_STATIC_ONLY
+                             + P_SUB_DYNAMIC_ONLY) * scale:
+                config.sub_detector_form = "obfuscated"
+
+        if config.has_detector:
+            self._assign_providers(config, rng, first_bias)
+
+        # --- OpenWPM-specific detectors (independent, Table 6) ------
+        for provider in OPENWPM_DETECTOR_PROVIDERS:
+            if rng.random() < provider.sites_per_100k / 100_000.0:
+                config.openwpm_providers.append(provider.domain)
+
+        # --- decoys and iterators ------------------------------------
+        config.has_decoy = rng.random() < P_DECOY
+        config.has_iterator = rng.random() < P_ITERATOR
+
+        # --- CSP ------------------------------------------------------
+        config.csp_blocking = rng.random() < P_CSP_BLOCKING
+        config.csp_intrinsic_violation = rng.random() < P_CSP_INTRINSIC
+
+        # --- page furniture -------------------------------------------
+        config.trackers = [p.domain for p in TRACKER_PROVIDERS
+                           if rng.random() < 0.45]
+        config.n_images = 4 + rng.randrange(5)
+        config.n_widget_iframes = rng.randrange(3) \
+            if not config.csp_blocking else 7
+        config.has_ad_iframe = rng.random() < 0.6 and bool(config.trackers)
+        config.has_media = rng.random() < 0.04
+        config.has_websocket = rng.random() < 0.02
+        config.has_object = rng.random() < 0.01
+        config.subpage_count = 3 + rng.randrange(4)
+        # Deep-only detectors sit on one specific subpage (mostly among
+        # the first links a crawler would take).
+        config.sub_detector_page = 1 + rng.choices(
+            range(3), weights=[60, 25, 15], k=1)[0]
+        if rng.random() < 0.30:
+            config.dom_probe_variant = rng.randrange(5)
+        return config
+
+    # ------------------------------------------------------------------
+    def _assign_providers(self, config: SiteConfig, rng: random.Random,
+                          first_bias: float) -> None:
+        form = config.front_detector_form or config.sub_detector_form
+        if rng.random() < min(0.95, P_FIRST_PARTY_GIVEN_DETECTOR
+                              * first_bias):
+            vendor = rng.choices(
+                FIRST_PARTY_VENDORS,
+                weights=[v.sites_per_100k for v in FIRST_PARTY_VENDORS],
+                k=1)[0]
+            config.first_party_vendor = vendor.name
+            token = hashlib.sha256(
+                f"fp:{config.domain}".encode()).hexdigest()
+            config.first_party_path = (vendor.path_template
+                                       .replace("{hash}", token[:16])
+                                       .replace("{hash32}", token[:32])
+                                       .replace("{hash8}", token[:8]))
+            tp_count = rng.choices([0, 1, 2], weights=[55, 35, 10], k=1)[0]
+        else:
+            tp_count = rng.choices([1, 2, 3], weights=[88, 10, 2], k=1)[0]
+
+        compatible = self._compatible_providers(form)
+        for _ in range(tp_count):
+            config.third_party_detectors.append(
+                self._pick_provider(compatible, rng))
+
+    def _compatible_providers(self, form: Optional[str]):
+        if form == "obfuscated":
+            return self._tp_obfuscated
+        if form == "lazy":
+            return self._tp_lazy
+        return self._tp_both
+
+    def _pick_provider(self, compatible, rng: random.Random) -> str:
+        # Long tail takes its share; the rest goes to the named
+        # providers compatible with the required disguise form.
+        if rng.random() < LONG_TAIL_SHARE:
+            return rng.choice(self._long_tail)
+        weights = [p.inclusion_share for p in compatible]
+        return rng.choices(compatible, weights=weights, k=1)[0].domain

@@ -1,0 +1,121 @@
+"""A Tranco-like ranked site list.
+
+Generates a deterministic ranked list of registrable domains with
+website categories assigned from rank-dependent distributions (news and
+tech sites concentrate near the top; the long tail diversifies),
+matching the category structure behind the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Categories with their base prevalence (Symantec-style labels).
+CATEGORY_WEIGHTS: List = [
+    ("News", 0.11),
+    ("Technology", 0.10),
+    ("Business", 0.09),
+    ("Shopping", 0.09),
+    ("Entertainment", 0.08),
+    ("Education", 0.07),
+    ("Finance", 0.06),
+    ("Travel", 0.05),
+    ("Health", 0.05),
+    ("Sports", 0.05),
+    ("Government", 0.04),
+    ("Social Networking", 0.04),
+    ("Streaming", 0.04),
+    ("Gaming", 0.04),
+    ("Reference", 0.05),
+    ("Adult", 0.04),
+]
+
+_TLDS = ["com", "com", "com", "org", "net", "io", "co.uk", "de", "ru", "jp"]
+
+_NAME_SYLLABLES = [
+    "news", "shop", "tech", "cloud", "media", "data", "play", "travel",
+    "bank", "health", "sport", "game", "stream", "social", "web", "info",
+    "daily", "global", "prime", "micro", "meta", "open", "blue", "fast",
+    "star", "net", "zone", "hub", "base", "core", "link", "view", "wave",
+]
+
+
+@dataclass(frozen=True)
+class TrancoSite:
+    """One entry of the ranked list."""
+
+    rank: int
+    domain: str
+    categories: tuple
+
+    @property
+    def url(self) -> str:
+        return f"https://www.{self.domain}/"
+
+
+@dataclass
+class TrancoList:
+    """The ranked list plus lookup helpers."""
+
+    sites: List[TrancoSite] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def __iter__(self):
+        return iter(self.sites)
+
+    def top(self, n: int) -> List[TrancoSite]:
+        return self.sites[:n]
+
+    def by_domain(self) -> Dict[str, TrancoSite]:
+        return {site.domain: site for site in self.sites}
+
+
+def _domain_for_rank(rank: int, rng: random.Random) -> str:
+    a = rng.choice(_NAME_SYLLABLES)
+    b = rng.choice(_NAME_SYLLABLES)
+    token = hashlib.sha256(f"tranco:{rank}".encode()).hexdigest()[:4]
+    tld = rng.choice(_TLDS)
+    return f"{a}{b}{token}.{tld}"
+
+
+def _categories_for_rank(rank: int, total: int,
+                         rng: random.Random) -> tuple:
+    """1-3 categories; news/tech over-represented near the top."""
+    names = [name for name, _ in CATEGORY_WEIGHTS]
+    weights = [weight for _, weight in CATEGORY_WEIGHTS]
+    # Rank bias: top-ranked sites skew towards News/Technology/Business.
+    position = rank / max(total, 1)
+    bias = max(0.0, 1.0 - 3.0 * position)
+    biased = list(weights)
+    for index, name in enumerate(names):
+        if name in ("News", "Technology", "Business", "Social Networking"):
+            biased[index] = weights[index] * (1.0 + 2.0 * bias)
+    primary = rng.choices(names, weights=biased, k=1)[0]
+    categories = [primary]
+    while rng.random() < 0.25 and len(categories) < 3:
+        extra = rng.choices(names, weights=weights, k=1)[0]
+        if extra not in categories:
+            categories.append(extra)
+    return tuple(categories)
+
+
+def generate_tranco(site_count: int = 100_000,
+                    seed: int = 1) -> TrancoList:
+    """Generate the ranked list deterministically from *seed*."""
+    rng = random.Random(seed)
+    sites = []
+    used = set()
+    for rank in range(1, site_count + 1):
+        domain = _domain_for_rank(rank, rng)
+        while domain in used:
+            domain = _domain_for_rank(rank, rng)
+        used.add(domain)
+        sites.append(TrancoSite(
+            rank=rank, domain=domain,
+            categories=_categories_for_rank(rank, site_count, rng)))
+    return TrancoList(sites=sites)

@@ -1,0 +1,191 @@
+"""World assembly: Tranco list + configs + servers + ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.net.network import Network
+from repro.web.providers import (
+    OPENWPM_DETECTOR_PROVIDERS,
+    THIRD_PARTY_DETECTORS,
+    TRACKER_PROVIDERS,
+    long_tail_detector_domains,
+)
+from repro.web.servers import (
+    CDNServer,
+    DetectorProviderServer,
+    OpenWPMProviderServer,
+    SiteServer,
+    TrackerServer,
+)
+from repro.web.sitegen import SiteConfig, SiteConfigGenerator
+from repro.web.tranco import TrancoList, generate_tranco
+
+
+@dataclass
+class GroundTruth:
+    """What was actually planted — the scan pipeline's answer key."""
+
+    configs: List[SiteConfig] = field(default_factory=list)
+
+    def _domains(self, predicate) -> Set[str]:
+        return {c.domain for c in self.configs if predicate(c)}
+
+    # -- detectors ------------------------------------------------------
+    @staticmethod
+    def _static_openwpm_providers() -> Set[str]:
+        return {p.domain for p in OPENWPM_DETECTOR_PROVIDERS
+                if p.statically_visible}
+
+    def detector_sites(self, where: str = "any") -> Set[str]:
+        if where == "front":
+            return self._domains(lambda c: c.detector_on_front
+                                 or c.first_party_vendor is not None
+                                 or c.openwpm_providers)
+        return self._domains(lambda c: c.has_detector
+                             or c.openwpm_providers)
+
+    def static_detectable(self, where: str = "any") -> Set[str]:
+        """Sites a static-pattern scan should flag (strict patterns).
+
+        OpenWPM-residue probes from statically-visible providers (CHEQ)
+        ship plain source on the front page and count too.
+        """
+        visible = self._static_openwpm_providers()
+        return self._domains(
+            lambda c: c.detector_channels(where)[0]
+            or (where != "sub" and bool(set(c.openwpm_providers)
+                                        & visible)))
+
+    def dynamic_detectable(self, where: str = "any") -> Set[str]:
+        """Sites whose detector code executes during a crawl.
+
+        Every OpenWPM-residue probe runs on the front page and touches
+        ``navigator.webdriver``, so those sites count regardless of the
+        provider's static visibility.
+        """
+        return self._domains(
+            lambda c: c.detector_channels(where)[1]
+            or (where != "sub" and bool(c.openwpm_providers)))
+
+    def decoy_sites(self) -> Set[str]:
+        return self._domains(lambda c: c.has_decoy)
+
+    def iterator_sites(self) -> Set[str]:
+        return self._domains(lambda c: c.has_iterator)
+
+    def openwpm_probe_sites(self) -> Set[str]:
+        return self._domains(lambda c: bool(c.openwpm_providers))
+
+    def first_party_sites(self) -> Set[str]:
+        return self._domains(lambda c: c.first_party_vendor is not None)
+
+    def first_party_by_vendor(self) -> Dict[str, Set[str]]:
+        out: Dict[str, Set[str]] = {}
+        for config in self.configs:
+            if config.first_party_vendor:
+                out.setdefault(config.first_party_vendor,
+                               set()).add(config.domain)
+        return out
+
+    def third_party_inclusions(self) -> Dict[str, int]:
+        """provider domain -> number of including sites (1/site)."""
+        out: Dict[str, int] = {}
+        for config in self.configs:
+            for provider in set(config.third_party_detectors):
+                out[provider] = out.get(provider, 0) + 1
+        return out
+
+    def csp_blocking_sites(self) -> Set[str]:
+        return self._domains(lambda c: c.csp_blocking)
+
+
+@dataclass
+class SyntheticWeb:
+    """The assembled world."""
+
+    network: Network
+    tranco: TrancoList
+    configs: List[SiteConfig]
+    ground_truth: GroundTruth
+    site_servers: Dict[str, SiteServer] = field(default_factory=dict)
+    detector_servers: Dict[str, DetectorProviderServer] = field(
+        default_factory=dict)
+    tracker_servers: Dict[str, TrackerServer] = field(default_factory=dict)
+
+    @property
+    def site_count(self) -> int:
+        return len(self.configs)
+
+    def front_urls(self, n: Optional[int] = None) -> List[str]:
+        configs = self.configs if n is None else self.configs[:n]
+        return [f"https://www.{c.domain}/" for c in configs]
+
+    def config_for(self, domain: str) -> Optional[SiteConfig]:
+        for config in self.configs:
+            if config.domain == domain:
+                return config
+        return None
+
+    def reset_intel(self) -> None:
+        """Wipe all server-side re-identification state (fresh IP)."""
+        self.network.state.clear()
+
+    def sync_intel(self) -> None:
+        """Batch-publish bot intel to the tracking ecosystem.
+
+        Run between crawl repetitions: networks act on a client only
+        from the repetition after it was first reported.
+        """
+        from repro.web.servers import sync_intel
+
+        sync_intel(self.network)
+
+
+def build_world(site_count: int = 1000, seed: int = 7) -> SyntheticWeb:
+    """Build the synthetic web with *site_count* ranked sites.
+
+    Deterministic in (site_count, seed): the same world is rebuilt
+    identically, which the paired measurement experiment relies on.
+    """
+    tranco = generate_tranco(site_count, seed=seed)
+    generator = SiteConfigGenerator(seed=seed)
+    configs = generator.generate(tranco.sites)
+
+    network = Network()
+    web = SyntheticWeb(network=network, tranco=tranco, configs=configs,
+                       ground_truth=GroundTruth(configs=configs))
+
+    for config in configs:
+        server = SiteServer(config)
+        web.site_servers[config.domain] = server
+        network.register_domain(config.domain, server)
+
+    for provider in THIRD_PARTY_DETECTORS:
+        server = DetectorProviderServer(provider.domain)
+        web.detector_servers[provider.domain] = server
+        network.register_domain(provider.domain, server)
+    for domain in long_tail_detector_domains():
+        server = DetectorProviderServer(domain)
+        web.detector_servers[domain] = server
+        network.register_domain(domain, server)
+
+    for provider in OPENWPM_DETECTOR_PROVIDERS:
+        network.register_domain(provider.domain, OpenWPMProviderServer(
+            provider.domain, provider.probes, provider.statically_visible))
+
+    for tracker in TRACKER_PROVIDERS:
+        server = TrackerServer(tracker.domain, cloaks=tracker.cloaks,
+                               bot_ad_fill=tracker.bot_ad_fill,
+                               activation_delay=tracker.activation_delay,
+                               extra_uid_cookie=tracker.extra_uid_cookie)
+        web.tracker_servers[tracker.domain] = server
+        network.register_domain(tracker.domain, server)
+
+    cdn = CDNServer()
+    for domain in ("static-cdn.example", "fonts-cdn.example",
+                   "jslib-cdn.example", "media-cdn.example"):
+        network.register_domain(domain, cdn)
+
+    return web

@@ -1,0 +1,94 @@
+"""Shared fixtures.
+
+Expensive artifacts (worlds, scans, paired crawls, templates) are
+session-scoped: they are deterministic, read-only for the tests that
+consume them, and account for nearly all suite runtime.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.browser.profiles import openwpm_profile, stock_firefox_profile
+from repro.core.lab import make_window
+from repro.jsengine.builtins import Realm
+from repro.jsengine.interpreter import Interpreter
+
+
+@pytest.fixture()
+def realm() -> Realm:
+    return Realm(random.Random(42))
+
+
+@pytest.fixture()
+def interp(realm) -> Interpreter:
+    return Interpreter(realm)
+
+
+@pytest.fixture()
+def run(interp):
+    """Run a JS snippet and return its completion value."""
+
+    def _run(source: str, url: str = "test.js"):
+        return interp.run(source, url)
+
+    return _run
+
+
+# ---------------------------------------------------------------------------
+# Browser-level fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def stock_window():
+    _, window = make_window(stock_firefox_profile("ubuntu"))
+    return window
+
+
+@pytest.fixture()
+def openwpm_window():
+    _, window = make_window(openwpm_profile("ubuntu", "regular"))
+    return window
+
+
+@pytest.fixture()
+def instrumented_window():
+    from repro.openwpm import BrowserParams, OpenWPMExtension
+
+    extension = OpenWPMExtension(BrowserParams())
+    browser, window = make_window(openwpm_profile("ubuntu", "regular"),
+                                  extension=extension)
+    window.extension_for_tests = extension
+    return window
+
+
+# ---------------------------------------------------------------------------
+# World / scan / crawl fixtures (session-scoped; deterministic)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def small_world():
+    from repro.web import build_world
+
+    return build_world(site_count=150, seed=7)
+
+
+@pytest.fixture(scope="session")
+def scan_dataset(small_world):
+    from repro.core.scan import ScanPipeline
+
+    pipeline = ScanPipeline(small_world, client_id="test-scan")
+    return pipeline.run(visit_subpages=True)
+
+
+@pytest.fixture(scope="session")
+def paired_result():
+    from repro.core.comparison import PairedCrawl
+    from repro.web import build_world
+
+    world = build_world(site_count=400, seed=11)
+    sites = sorted(world.ground_truth.detector_sites())
+    crawl = PairedCrawl(world, sites=sites, repetitions=3)
+    return crawl.run()

@@ -1,0 +1,110 @@
+"""Unit tests for the browser cookie jar."""
+
+from repro.browser.cookies import Cookie, CookieJar
+from repro.net.http import SetCookie
+from repro.net.url import URL
+
+SITE = URL.parse("https://www.site.test/shop/item")
+
+
+def jar_with(*set_cookies, url=SITE, top="site.test", now=0.0):
+    jar = CookieJar()
+    for sc in set_cookies:
+        jar.set_from_response(sc, url, top, now)
+    return jar
+
+
+class TestStorage:
+    def test_set_and_match(self):
+        jar = jar_with(SetCookie("sid", "1"))
+        assert jar.header_for(SITE, 1.0) == "sid=1"
+
+    def test_same_key_overwrites(self):
+        jar = jar_with(SetCookie("sid", "1"), SetCookie("sid", "2"))
+        assert len(jar) == 1
+        assert jar.header_for(SITE, 1.0) == "sid=2"
+
+    def test_observer_sees_added_then_changed(self):
+        jar = CookieJar()
+        events = []
+        jar.observers.append(lambda c, change: events.append(change))
+        jar.set_from_response(SetCookie("a", "1"), SITE, "site.test", 0.0)
+        jar.set_from_response(SetCookie("a", "2"), SITE, "site.test", 0.0)
+        assert events == ["added", "changed"]
+
+    def test_expiry_respected(self):
+        jar = jar_with(SetCookie("tmp", "x", max_age=10))
+        assert jar.header_for(SITE, 5.0) == "tmp=x"
+        assert jar.header_for(SITE, 11.0) == ""
+
+    def test_domain_scoping(self):
+        jar = jar_with(SetCookie("sid", "1"))
+        other = URL.parse("https://other.test/")
+        assert jar.header_for(other, 1.0) == ""
+
+    def test_parent_domain_cookie_sent_to_subdomain(self):
+        jar = jar_with(SetCookie("sid", "1", domain="site.test"))
+        sub = URL.parse("https://deep.site.test/")
+        assert jar.header_for(sub, 1.0) == "sid=1"
+
+    def test_path_scoping(self):
+        jar = jar_with(SetCookie("p", "1", path="/shop"))
+        assert jar.header_for(SITE, 1.0) == "p=1"
+        assert jar.header_for(URL.parse("https://www.site.test/other"),
+                              1.0) == ""
+
+    def test_http_only_hidden_from_document(self):
+        jar = jar_with(SetCookie("secret", "1", http_only=True),
+                       SetCookie("visible", "2"))
+        assert jar.document_cookie_for(SITE, 1.0) == "visible=2"
+        assert "secret" in jar.header_for(SITE, 1.0)
+
+    def test_clear(self):
+        jar = jar_with(SetCookie("a", "1"))
+        jar.clear()
+        assert len(jar) == 0
+        assert jar.header_for(SITE, 1.0) == ""
+
+
+class TestDocumentCookieWrites:
+    def test_basic_write(self):
+        jar = CookieJar()
+        cookie = jar.set_from_document("name=value", SITE, "site.test", 0.0)
+        assert cookie.via_javascript
+        assert jar.document_cookie_for(SITE, 1.0) == "name=value"
+
+    def test_max_age_attribute(self):
+        jar = CookieJar()
+        cookie = jar.set_from_document("t=1; Max-Age=3600", SITE,
+                                       "site.test", 0.0)
+        assert cookie.expires_at == 3600.0
+        assert not cookie.is_session
+
+    def test_malformed_write_ignored(self):
+        jar = CookieJar()
+        assert jar.set_from_document("justtext", SITE, "site.test",
+                                     0.0) is None
+        assert len(jar) == 0
+
+    def test_domain_attribute(self):
+        jar = CookieJar()
+        cookie = jar.set_from_document("a=1; domain=.site.test", SITE,
+                                       "site.test", 0.0)
+        assert cookie.domain == "site.test"
+
+
+class TestCookieSemantics:
+    def test_third_party_classification(self):
+        cookie = Cookie(name="t", value="v", domain="tracker.test",
+                        first_party_host="site.test")
+        assert cookie.is_third_party_for("site.test")
+        cookie2 = Cookie(name="t", value="v", domain="cdn.site.test",
+                         first_party_host="site.test")
+        assert not cookie2.is_third_party_for("site.test")
+
+    def test_lifetime(self):
+        cookie = Cookie(name="a", value="1", domain="x.test",
+                        created_at=100.0, expires_at=400.0)
+        assert cookie.lifetime() == 300.0
+        assert Cookie(name="a", value="1",
+                      domain="x.test").lifetime() is None

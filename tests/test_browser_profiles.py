@@ -1,0 +1,143 @@
+"""Unit tests for the fingerprint profile database (Tables 2-4)."""
+
+import pytest
+
+from repro.browser.profiles import (
+    chrome_profile,
+    consumer_profiles,
+    openwpm_profile,
+    opera_profile,
+    safari_profile,
+    stock_firefox_profile,
+    webgl_property_names,
+)
+
+
+class TestGeometry:
+    """Table 3: screen properties per configuration."""
+
+    @pytest.mark.parametrize("os_name,mode,resolution,position,offset", [
+        ("macos", "regular", (2560, 1440), (23, 4), (0, 0)),
+        ("macos", "headless", (1366, 768), (4, 4), (0, 0)),
+        ("ubuntu", "regular", (2560, 1440), (80, 35), (8, 8)),
+        ("ubuntu", "headless", (1366, 768), (0, 0), (0, 0)),
+        ("ubuntu", "xvfb", (1366, 768), (0, 0), (0, 0)),
+        ("ubuntu", "docker", (2560, 1440), (0, 0), (0, 0)),
+    ])
+    def test_table3_rows(self, os_name, mode, resolution, position, offset):
+        profile = openwpm_profile(os_name, mode)
+        assert (profile.screen["width"], profile.screen["height"]) \
+            == resolution
+        assert profile.window_position == position
+        assert profile.window_offset == offset
+        assert profile.window_size == (1366, 683)
+
+    def test_display_less_modes_have_zero_avail_top(self):
+        """Sec. 3.1.2: availTop is 0 without a desktop UI."""
+        for mode in ("headless", "xvfb"):
+            profile = openwpm_profile("ubuntu", mode)
+            assert profile.screen["availTop"] == 0.0
+            assert profile.screen["availLeft"] == 0.0
+
+    def test_regular_and_docker_have_desktop_avail(self):
+        """Table 4: RM and Docker report 27, 72 on Ubuntu."""
+        for mode in ("regular", "docker"):
+            profile = openwpm_profile("ubuntu", mode)
+            assert profile.screen["availTop"] == 27.0
+            assert profile.screen["availLeft"] == 72.0
+
+    def test_window_overrides(self):
+        profile = openwpm_profile("ubuntu", "regular",
+                                  window_size=(1280, 940),
+                                  window_position=(200, 100))
+        assert profile.window_size == (1280, 940)
+        assert profile.window_position == (200, 100)
+
+    def test_unsupported_setup_rejected(self):
+        with pytest.raises(ValueError):
+            openwpm_profile("macos", "docker-ish")
+
+
+class TestWebGL:
+    """Table 2/4: WebGL property cardinalities and vendors."""
+
+    def test_headless_has_no_webgl(self):
+        assert openwpm_profile("ubuntu", "headless").webgl is None
+        assert openwpm_profile("macos", "headless").webgl is None
+
+    def test_property_universe_sizes(self):
+        assert len(webgl_property_names("ubuntu")) == 2061
+        assert len(webgl_property_names("macos")) == 2037
+
+    def test_vendor_strings_table4(self):
+        assert openwpm_profile("ubuntu", "regular").webgl["VENDOR"] == "AMD"
+        assert openwpm_profile("ubuntu", "regular").webgl["RENDERER"] \
+            == "AMD TAHITI"
+        assert openwpm_profile("ubuntu", "xvfb").webgl["VENDOR"] \
+            == "Mesa/X.org"
+        assert "llvmpipe (LLVM 12" in openwpm_profile(
+            "ubuntu", "xvfb").webgl["RENDERER"]
+        assert openwpm_profile("ubuntu", "docker").webgl["VENDOR"] \
+            == "VMware, Inc."
+        assert "llvmpipe (LLVM 10" in openwpm_profile(
+            "ubuntu", "docker").webgl["RENDERER"]
+
+    def test_xvfb_deviation_count_is_18(self):
+        regular = openwpm_profile("ubuntu", "regular").webgl
+        xvfb = openwpm_profile("ubuntu", "xvfb").webgl
+        missing = set(regular) - set(xvfb)
+        changed = {k for k in xvfb if k in regular
+                   and xvfb[k] != regular[k]}
+        assert len(missing) + len(changed) == 18
+
+    def test_docker_deviation_count_is_27(self):
+        regular = openwpm_profile("ubuntu", "regular").webgl
+        docker = openwpm_profile("ubuntu", "docker").webgl
+        changed = {k for k in docker if docker[k] != regular.get(k)}
+        assert len(changed) == 27
+
+    def test_webgl_names_deterministic(self):
+        assert webgl_property_names("ubuntu") == webgl_property_names(
+            "ubuntu")
+
+
+class TestIdentityProperties:
+    def test_openwpm_sets_webdriver(self):
+        assert openwpm_profile("ubuntu", "regular").navigator["webdriver"] \
+            is True
+
+    def test_stock_firefox_does_not(self):
+        assert stock_firefox_profile("ubuntu").navigator["webdriver"] \
+            is False
+
+    def test_headless_language_pollution_is_43(self):
+        assert len(openwpm_profile(
+            "ubuntu", "headless").languages_extra) == 43
+        assert openwpm_profile("ubuntu", "regular").languages_extra == []
+
+    def test_docker_single_font_and_utc(self):
+        profile = openwpm_profile("ubuntu", "docker")
+        assert profile.fonts == ["Bitstream Vera Sans Mono"]
+        assert profile.timezone_offset == 0
+
+    def test_macos_has_one_extra_navigator_property(self):
+        mac = set(openwpm_profile("macos", "regular").navigator)
+        ubuntu = set(openwpm_profile("ubuntu", "regular").navigator)
+        assert len(mac) == len(ubuntu) + 1
+
+    def test_consumer_fleet_composition(self):
+        profiles = consumer_profiles()
+        assert len(profiles) == 7
+        assert all(not p.automation for p in profiles)
+
+    def test_other_browsers_share_limited_webgl_overlap(self):
+        """Sec. 3.3: ~200 WebGL properties are not unique to Firefox."""
+        firefox = set(stock_firefox_profile("ubuntu").webgl)
+        chrome = set(chrome_profile("ubuntu").webgl)
+        assert len(firefox & chrome) == 200
+
+    def test_browsers_have_distinct_user_agents(self):
+        agents = {p.navigator["userAgent"]
+                  for p in [chrome_profile(), safari_profile(),
+                            opera_profile(), stock_firefox_profile()]}
+        assert len(agents) == 4

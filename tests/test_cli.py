@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, json.loads(captured.out)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.os == "ubuntu" and args.mode == "regular"
+
+    def test_scan_arguments(self):
+        args = build_parser().parse_args(
+            ["scan", "--sites", "100", "--front-only"])
+        assert args.sites == 100 and args.front_only
+
+
+class TestCommands:
+    def test_survey(self, capsys):
+        code, out = run_cli(capsys, ["survey"])
+        assert code == 0
+        assert out["table1"]["total"] == 72
+        assert out["table14"]["outdated_days"] == 540
+
+    def test_audit_regular(self, capsys):
+        code, out = run_cli(capsys, ["audit", "--mode", "regular"])
+        assert code == 0
+        assert out["detected"] is True
+        assert out["tampered_properties"] == 252
+
+    def test_audit_without_instrument(self, capsys):
+        code, out = run_cli(capsys, ["audit", "--no-instrument"])
+        assert code == 0
+        assert out["tampered_properties"] == 0
+        assert out["detected"] is True  # webdriver still gives it away
+
+    def test_scan_small(self, capsys):
+        code, out = run_cli(capsys, ["scan", "--sites", "40",
+                                     "--front-only", "--seed", "3"])
+        assert code == 0
+        assert out["sites"] == 40
+        assert "table5" in out and "table11" in out
+
+    def test_attack(self, capsys):
+        code, out = run_cli(capsys, ["attack"])
+        assert code == 0
+        assert out["block-recording"]["vs_wpm"] is True
+        assert out["block-recording"]["vs_wpm_hide"] is False
+        assert out["sql-injection"]["database_corrupted"] is False
+
+    def test_compare_tiny(self, capsys):
+        code, out = run_cli(capsys, ["compare", "--sites", "60",
+                                     "--repetitions", "1"])
+        assert code == 0
+        assert out["detector_sites"] > 0
+        assert 0.0 <= out["cookie_wilcoxon_p"] <= 1.0

@@ -1,0 +1,165 @@
+"""Tests for the paired WPM vs WPM_hide experiment (paper Sec. 6.3)."""
+
+import pytest
+
+from repro.core.comparison import (
+    BlocklistMatcher,
+    classify_tracking_cookies,
+    paired_wilcoxon,
+)
+from repro.core.comparison.cookies import (
+    count_tracking_per_run,
+    ratcliff_obershelp,
+)
+from repro.openwpm.instruments.cookie_instrument import CookieRecord
+
+
+def cookie(name="uid", value="abcdef123456", host="tracker.test",
+           lifetime=365 * 86400.0, is_session=False, first_party="site.test"):
+    return CookieRecord(change="added", host=host, name=name, value=value,
+                        is_session=is_session, is_http_only=False,
+                        lifetime=lifetime, first_party=first_party,
+                        via_javascript=False)
+
+
+class TestBlocklists:
+    def test_ad_domain_matches_easylist(self):
+        matcher = BlocklistMatcher()
+        assert matcher.matches_easylist(
+            "https://adclick-syndicate.com/pixel")
+
+    def test_analytics_matches_easyprivacy(self):
+        matcher = BlocklistMatcher()
+        assert matcher.matches_easyprivacy("https://pixelmetrics.net/fp")
+
+    def test_benign_domain_matches_nothing(self):
+        matcher = BlocklistMatcher()
+        assert not matcher.matches_any("https://jslib-cdn.example/lib.js")
+
+    def test_subdomains_match_by_etld(self):
+        matcher = BlocklistMatcher(easylist=["ads.example"],
+                                   easyprivacy=[])
+        assert matcher.matches_easylist("https://cdn.ads.example/x")
+
+    def test_count(self):
+        matcher = BlocklistMatcher(easylist=["a.test"],
+                                   easyprivacy=["b.test"])
+        counts = matcher.count([
+            "https://a.test/1", "https://b.test/2", "https://c.test/3"])
+        assert counts == {"easylist": 1, "easyprivacy": 1, "any": 2,
+                          "total": 3}
+
+
+class TestTrackingCookieClassification:
+    """The Englehardt/Chen criteria, one by one."""
+
+    def _runs(self, values, **kwargs):
+        return [[cookie(value=v, **kwargs)] for v in values]
+
+    def test_qualifying_cookie(self):
+        runs = self._runs(["aaaa1111bbbb", "cccc2222dddd", "eeee3333ffff"])
+        assert len(classify_tracking_cookies(runs)) == 1
+
+    def test_session_cookie_excluded(self):
+        runs = self._runs(["aaaa1111bbbb", "cccc2222dddd"],
+                          is_session=True, lifetime=None)
+        assert classify_tracking_cookies(runs) == set()
+
+    def test_short_value_excluded(self):
+        runs = self._runs(["ab1", "cd2"])
+        assert classify_tracking_cookies(runs) == set()
+
+    def test_short_lifetime_excluded(self):
+        runs = self._runs(["aaaa1111bbbb", "cccc2222dddd"],
+                          lifetime=7 * 86400.0)
+        assert classify_tracking_cookies(runs) == set()
+
+    def test_not_always_set_excluded(self):
+        runs = [[cookie(value="aaaa1111bbbb")], []]
+        assert classify_tracking_cookies(runs) == set()
+
+    def test_similar_values_excluded(self):
+        runs = self._runs(["constant-value-1", "constant-value-2"])
+        assert classify_tracking_cookies(runs) == set()
+
+    def test_count_per_run(self):
+        runs = self._runs(["aaaa1111bbbb", "cccc2222dddd"])
+        tracking = classify_tracking_cookies(runs)
+        assert count_tracking_per_run(runs, tracking) == [1, 1]
+
+    def test_ratcliff_obershelp_bounds(self):
+        assert ratcliff_obershelp("abc", "abc") == 1.0
+        assert ratcliff_obershelp("abc", "xyz") == 0.0
+        assert 0.0 < ratcliff_obershelp("abcdef", "abcxyz") < 1.0
+
+
+class TestWilcoxon:
+    def test_identical_samples_not_significant(self):
+        result = paired_wilcoxon([1, 2, 3], [1, 2, 3])
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_consistent_difference_significant(self):
+        a = list(range(30))
+        b = [x + 2 for x in a]
+        result = paired_wilcoxon(a, b)
+        assert result.significant
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_wilcoxon([1], [1, 2])
+
+
+class TestPairedCrawlShape:
+    """Directional checks against the paper (Tables 8-10, Fig. 6)."""
+
+    def test_csp_reports_collapse_for_hardened(self, paired_result):
+        assert paired_result.csp_report_reduction(0) < -50.0
+
+    def test_hardened_sees_more_total_traffic_by_r3(self, paired_result):
+        rows = {r["resource_type"]: r for r in paired_result.table8(2)}
+        assert rows["total"]["diff_pct"] > 0
+
+    def test_equal_main_frames(self, paired_result):
+        rows = {r["resource_type"]: r for r in paired_result.table8(0)}
+        assert rows["main_frame"]["wpm"] == rows["main_frame"]["wpm_hide"]
+
+    def test_ad_traffic_gap_grows_across_runs(self, paired_result):
+        diffs = [row["easylist_diff_pct"]
+                 for row in paired_result.table9()]
+        assert diffs[-1] >= diffs[0]
+        assert diffs[-1] > 0
+
+    def test_cookie_table_directions(self, paired_result):
+        rows = paired_result.table10()
+        for row in rows:
+            assert row["first_party_diff_pct"] >= 0
+            assert row["tracking_diff_pct"] > 0
+        # tracking cookies are hit much harder than cookies overall
+        assert rows[0]["tracking_diff_pct"] \
+            > rows[0]["first_party_diff_pct"]
+
+    def test_third_party_gap_grows_across_runs(self, paired_result):
+        rows = paired_result.table10()
+        assert rows[-1]["third_party_diff_pct"] \
+            >= rows[0]["third_party_diff_pct"]
+
+    def test_cookie_difference_significant(self, paired_result):
+        assert paired_result.cookie_significance(0).p_value < 0.05
+
+    def test_fig6_availleft_undercovered(self, paired_result):
+        rows = {r["symbol"]: r for r in paired_result.fig6(0)}
+        avail_left = rows.get("Screen.availLeft")
+        screen_top = rows.get("Screen.top")
+        assert avail_left is not None and screen_top is not None
+        # Screen.availLeft is mostly called through fresh iframes, so
+        # vanilla coverage is much lower than for Screen.top (Fig. 6).
+        assert avail_left["coverage"] < screen_top["coverage"]
+
+    def test_fig6_coverage_bounded(self, paired_result):
+        for row in paired_result.fig6(0):
+            assert 0.0 <= row["coverage"] <= 1.0
+
+    def test_vanilla_fails_hooks_on_csp_sites(self, paired_result):
+        assert paired_result.wpm_runs[0].failed_hook_sites >= 0
+        assert paired_result.hide_runs[0].failed_hook_sites == 0

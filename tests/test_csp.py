@@ -1,0 +1,77 @@
+"""Unit tests for the Content Security Policy engine."""
+
+from repro.dom.csp import ContentSecurityPolicy
+from repro.net.url import URL
+
+PAGE = URL.parse("https://site.test/")
+
+
+class TestParsing:
+    def test_no_policy_allows_everything(self):
+        policy = ContentSecurityPolicy.none()
+        assert policy.allows_inline_script()
+        assert policy.allows_eval()
+        assert policy.allows_script_url(
+            URL.parse("https://anywhere.test/x.js"), PAGE)
+
+    def test_parse_script_src_and_report_uri(self):
+        policy = ContentSecurityPolicy.parse(
+            "script-src 'self' cdn.test; report-uri /csp")
+        assert policy.script_src == ["'self'", "cdn.test"]
+        assert policy.report_uri == "/csp"
+
+    def test_unknown_directives_ignored(self):
+        policy = ContentSecurityPolicy.parse(
+            "default-src 'none'; img-src *")
+        assert policy.script_src is None
+
+
+class TestScriptSrc:
+    def test_self_allows_same_host_only(self):
+        policy = ContentSecurityPolicy.parse("script-src 'self'")
+        assert policy.allows_script_url(
+            URL.parse("https://site.test/app.js"), PAGE)
+        assert not policy.allows_script_url(
+            URL.parse("https://evil.test/app.js"), PAGE)
+
+    def test_host_allowlist(self):
+        policy = ContentSecurityPolicy.parse("script-src 'self' cdn.test")
+        assert policy.allows_script_url(
+            URL.parse("https://cdn.test/lib.js"), PAGE)
+
+    def test_wildcard_subdomain(self):
+        policy = ContentSecurityPolicy.parse("script-src *.cdn.test")
+        assert policy.allows_script_url(
+            URL.parse("https://a.cdn.test/x.js"), PAGE)
+        assert not policy.allows_script_url(
+            URL.parse("https://cdn.other/x.js"), PAGE)
+
+    def test_star_allows_all(self):
+        policy = ContentSecurityPolicy.parse("script-src *")
+        assert policy.allows_script_url(
+            URL.parse("https://any.test/x.js"), PAGE)
+
+
+class TestInlineAndEval:
+    def test_script_src_without_unsafe_inline_blocks_inline(self):
+        policy = ContentSecurityPolicy.parse("script-src 'self'")
+        assert not policy.allows_inline_script()
+
+    def test_unsafe_inline_allows_inline(self):
+        policy = ContentSecurityPolicy.parse(
+            "script-src 'self' 'unsafe-inline'")
+        assert policy.allows_inline_script()
+
+    def test_eval_blocked_without_unsafe_eval(self):
+        policy = ContentSecurityPolicy.parse("script-src 'self'")
+        assert not policy.allows_eval()
+
+    def test_unsafe_eval(self):
+        policy = ContentSecurityPolicy.parse(
+            "script-src 'self' 'unsafe-eval'")
+        assert policy.allows_eval()
+
+    def test_restricts_scripts_flag(self):
+        assert ContentSecurityPolicy.parse("script-src 'self'") \
+            .restricts_scripts()
+        assert not ContentSecurityPolicy.none().restricts_scripts()

@@ -1,0 +1,185 @@
+"""Unit tests for the DOM substrate: elements, document, events, HTML."""
+
+import pytest
+
+from repro.dom.document import Document
+from repro.dom.events import DOMEvent
+from repro.dom.html import parse_html_fragment, render_attributes
+from repro.dom.node import (
+    CanvasElement,
+    Element,
+    IFrameElement,
+    ScriptElement,
+    make_element,
+)
+from repro.net.url import URL
+
+
+def make_document():
+    return Document(URL.parse("https://dom.test/"))
+
+
+class TestElementFactory:
+    def test_script_element(self):
+        assert isinstance(make_element("script", None), ScriptElement)
+
+    def test_iframe_element(self):
+        assert isinstance(make_element("iframe", None), IFrameElement)
+
+    def test_canvas_element(self):
+        assert isinstance(make_element("canvas", None), CanvasElement)
+
+    def test_generic_element(self):
+        element = make_element("div", None)
+        assert type(element) is Element
+        assert element.class_name == "HTMLDivElement"
+
+
+class TestTree:
+    def test_append_sets_parent(self):
+        doc = make_document()
+        child = doc.create_element("div")
+        doc.body.append_child(child)
+        assert child.parent is doc.body
+        assert child.is_attached()
+
+    def test_detached_subtree_not_attached(self):
+        doc = make_document()
+        parent = doc.create_element("div")
+        child = doc.create_element("span")
+        parent.append_child(child)
+        assert not child.is_attached()
+
+    def test_reparenting_removes_from_old_parent(self):
+        doc = make_document()
+        a = doc.create_element("div")
+        b = doc.create_element("div")
+        child = doc.create_element("span")
+        a.append_child(child)
+        b.append_child(child)
+        assert child not in a.children
+        assert child.parent is b
+
+    def test_remove(self):
+        doc = make_document()
+        child = doc.create_element("div")
+        doc.body.append_child(child)
+        child.remove()
+        assert child.parent is None
+        assert not child.is_attached()
+
+    def test_attach_notification_fires_for_subtree(self):
+        doc = make_document()
+        seen = []
+
+        class Host:
+            def handle_element_attached(self, element, interp=None):
+                seen.append(element.tag_name)
+
+        doc.window_host = Host()
+        wrapper = doc.create_element("div")
+        inner = doc.create_element("script")
+        wrapper.append_child(inner)  # detached: no notification yet
+        assert seen == []
+        doc.body.append_child(wrapper)
+        assert seen == ["div", "script"]
+
+
+class TestSelectors:
+    def test_get_element_by_id(self):
+        doc = make_document()
+        div = doc.create_element("div")
+        div.set_attribute("id", "target")
+        doc.body.append_child(div)
+        assert doc.get_element_by_id("target") is div
+        assert doc.get_element_by_id("missing") is None
+
+    def test_query_selector_by_tag_class_id(self):
+        doc = make_document()
+        div = doc.create_element("div")
+        div.set_attribute("class", "a b")
+        div.set_attribute("id", "x")
+        doc.body.append_child(div)
+        assert doc.query_selector("div") is div
+        assert doc.query_selector(".b") is div
+        assert doc.query_selector("#x") is div
+        assert doc.query_selector("div#x") is div
+        assert doc.query_selector("span") is None
+
+    def test_query_selector_all(self):
+        doc = make_document()
+        for _ in range(3):
+            doc.body.append_child(doc.create_element("p"))
+        assert len(doc.query_selector_all("p")) == 3
+
+
+class TestDocumentWrite:
+    def test_write_appends_parsed_content(self):
+        doc = make_document()
+        doc.write('<div id="w"></div><script>var x = 1;</script>')
+        assert doc.get_element_by_id("w") is not None
+        scripts = doc.query_selector_all("script")
+        assert scripts and scripts[0].text_content == "var x = 1;"
+
+    def test_write_log_kept(self):
+        doc = make_document()
+        doc.write("<div></div>")
+        assert doc.write_log == ["<div></div>"]
+
+
+class TestEvents:
+    def test_listener_receives_event(self):
+        doc = make_document()
+        got = []
+        doc.add_listener("ping", lambda event, interp: got.append(
+            event.event_type))
+        doc.host_dispatch(DOMEvent("ping"))
+        assert got == ["ping"]
+
+    def test_listener_only_for_matching_type(self):
+        doc = make_document()
+        got = []
+        doc.add_listener("a", lambda e, i: got.append("a"))
+        doc.host_dispatch(DOMEvent("b"))
+        assert got == []
+
+    def test_remove_listener(self):
+        doc = make_document()
+        got = []
+        listener = lambda e, i: got.append(1)  # noqa: E731
+        doc.add_listener("t", listener)
+        doc.remove_listener("t", listener)
+        doc.host_dispatch(DOMEvent("t"))
+        assert got == []
+
+    def test_event_detail_exposed_as_js_property(self):
+        event = DOMEvent("custom", detail="payload")
+        assert event.get("type") == "custom"
+        assert event.get("detail") == "payload"
+
+
+class TestHTMLFragmentParser:
+    def test_basic_tags(self):
+        tags = parse_html_fragment(
+            '<script src="/a.js"></script><img src="/b.png">')
+        assert [(t.tag, t.attributes.get("src")) for t in tags] == [
+            ("script", "/a.js"), ("img", "/b.png")]
+
+    def test_inline_script_body(self):
+        tags = parse_html_fragment("<script>var a = 1;</script>")
+        assert tags[0].text == "var a = 1;"
+
+    def test_attribute_quote_styles(self):
+        tags = parse_html_fragment(
+            "<div id=\"a\" class='b c' data-x=plain></div>")
+        assert tags[0].attributes == {"id": "a", "class": "b c",
+                                      "data-x": "plain"}
+
+    def test_nested_containers_flattened(self):
+        tags = parse_html_fragment(
+            '<div><iframe src="/f.html"></iframe></div>')
+        assert [t.tag for t in tags] == ["div", "iframe"]
+
+    def test_render_attributes(self):
+        assert render_attributes({"a": "1"}) == ' a="1"'
+        assert render_attributes({}) == ""

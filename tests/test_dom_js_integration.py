@@ -1,0 +1,162 @@
+"""Tests for the DOM as seen from JavaScript (prototypes wiring)."""
+
+import pytest
+
+from repro.core.lab import visit_with_scripts
+from repro.browser.profiles import openwpm_profile
+
+
+def run_page(*scripts, **kwargs):
+    _, result = visit_with_scripts(openwpm_profile("ubuntu", "regular"),
+                                   list(scripts), **kwargs)
+    assert result.script_errors == [], result.script_errors
+    return result.top_window
+
+
+class TestDocumentAPI:
+    def test_create_and_append(self):
+        window = run_page("""
+            var div = document.createElement('div');
+            div.id = 'made';
+            document.body.appendChild(div);
+            window.found = document.getElementById('made') !== null;
+        """)
+        assert window.window_object.get("found") is True
+
+    def test_query_selector_from_js(self):
+        window = run_page("""
+            var el = document.createElement('span');
+            el.className = 'hit me';
+            document.body.appendChild(el);
+            window.n = document.querySelectorAll('.hit').length;
+        """)
+        assert window.window_object.get("n") == 1.0
+
+    def test_set_get_attribute(self):
+        window = run_page("""
+            var a = document.createElement('a');
+            a.setAttribute('href', '/next');
+            window.href = a.getAttribute('href');
+            window.missing = a.getAttribute('nope');
+        """)
+        assert window.window_object.get("href") == "/next"
+        from repro.jsobject import NULL
+
+        assert window.window_object.get("missing") is NULL
+
+    def test_inner_html_builds_subtree(self):
+        window = run_page("""
+            document.body.innerHTML =
+                '<div id="wrap"><span class="x"></span></div>';
+            window.ok = document.querySelector('#wrap') !== null
+                && document.querySelector('.x') !== null;
+        """)
+        assert window.window_object.get("ok") is True
+
+    def test_document_write_executes_scripts(self):
+        window = run_page(
+            'document.write("<script>window.written = 9;</'
+            'script>");')
+        assert window.window_object.get("written") == 9.0
+
+    def test_text_content(self):
+        window = run_page("""
+            var p = document.createElement('p');
+            p.textContent = 'hello';
+            window.text = p.textContent;
+        """)
+        assert window.window_object.get("text") == "hello"
+
+    def test_ready_state(self):
+        window = run_page("window.state = document.readyState;")
+        # Scripts run during parsing: state was 'loading' then.
+        assert window.window_object.get("state") == "loading"
+        assert window.document.ready_state == "complete"
+
+    def test_remove_child(self):
+        window = run_page("""
+            var d = document.createElement('div');
+            d.id = 'gone';
+            document.body.appendChild(d);
+            document.body.removeChild(d);
+            window.still = document.getElementById('gone') !== null;
+        """)
+        assert window.window_object.get("still") is False
+
+
+class TestEventsFromJS:
+    def test_add_and_dispatch_listener(self):
+        window = run_page("""
+            window.calls = 0;
+            document.addEventListener('ping', function (e) {
+                window.calls = window.calls + 1;
+                window.detail = e.detail;
+            });
+            document.dispatchEvent(new CustomEvent('ping',
+                {detail: 'payload'}));
+        """)
+        assert window.window_object.get("calls") == 1.0
+        assert window.window_object.get("detail") == "payload"
+
+    def test_remove_event_listener(self):
+        window = run_page("""
+            window.calls = 0;
+            function handler() { window.calls = window.calls + 1; }
+            document.addEventListener('t', handler);
+            document.removeEventListener('t', handler);
+            document.dispatchEvent(new CustomEvent('t'));
+        """)
+        assert window.window_object.get("calls") == 0.0
+
+    def test_load_event_fires_after_parsing(self):
+        window = run_page("""
+            window.loaded = false;
+            document.addEventListener('load', function () {
+                window.loaded = true;
+            });
+        """)
+        assert window.window_object.get("loaded") is True
+
+    def test_dispatch_requires_event_object(self):
+        window = run_page("""
+            var threw = false;
+            try { document.dispatchEvent('not-an-event'); }
+            catch (e) { threw = true; }
+            window.threw = threw;
+        """)
+        assert window.window_object.get("threw") is True
+
+
+class TestFramesFromJS:
+    def test_frames_accessor_lists_children(self):
+        window = run_page("""
+            var f = document.createElement('iframe');
+            document.body.appendChild(f);
+            window.frameCount = window.frames.length;
+        """)
+        assert window.window_object.get("frameCount") == 1.0
+
+    def test_content_document_reachable(self):
+        window = run_page("""
+            var f = document.createElement('iframe');
+            document.body.appendChild(f);
+            window.sub = f.contentDocument !== null;
+        """)
+        assert window.window_object.get("sub") is True
+
+    def test_top_and_parent_from_iframe(self):
+        window = run_page("""
+            var f = document.createElement('iframe');
+            document.body.appendChild(f);
+            window.sameTop = f.contentWindow.top === window;
+            window.sameParent = f.contentWindow.parent === window;
+        """)
+        assert window.window_object.get("sameTop") is True
+        assert window.window_object.get("sameParent") is True
+
+    def test_window_open_creates_popup(self):
+        _, result = visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"),
+            ["window.open('https://lab.test/popup');"])
+        assert len(result.popups) == 1
+        assert result.popups[0].is_popup

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "visits recorded: 10" in out
+        assert "bot-intel verdicts" in out
+
+    def test_fingerprint_surface_audit(self):
+        out = run_example("fingerprint_surface_audit.py")
+        assert "ubuntu/headless" in out
+        assert "detected=True" in out
+        assert "detected=False" in out
+
+    def test_attack_and_harden(self):
+        out = run_example("attack_and_harden.py")
+        assert out.count("SUCCEEDS") >= 5
+        assert "database corrupted = False" in out
+
+    def test_tranco_scan(self):
+        out = run_example("tranco_scan.py", "--sites", "60")
+        assert "Table 5" in out
+        assert "ground truth" in out
+
+    def test_paired_crawl_study(self):
+        out = run_example("paired_crawl_study.py", "--sites", "80")
+        assert "Table 10" in out
+        assert "Wilcoxon" in out
+
+    def test_beyond_fingerprints(self):
+        out = run_example("beyond_fingerprints.py")
+        assert "BOT" in out
+        assert "detector verdict: False" in out

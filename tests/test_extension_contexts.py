@@ -1,0 +1,160 @@
+"""Tests for WebExtension contexts, lab helpers, and scan extension."""
+
+import pytest
+
+from repro.browser.extension import ExtensionContext, ExtensionHost
+from repro.browser.profiles import openwpm_profile
+from repro.core.lab import (
+    LAB_URL,
+    make_lab_network,
+    make_window,
+    visit_with_scripts,
+)
+from repro.core.scan.dynamic_analysis import (
+    RESIDUE_PROPERTIES,
+    ScanExtension,
+)
+from repro.jsobject import UNDEFINED
+
+
+class TestExtensionContext:
+    def test_inject_page_script_executes_in_page(self, openwpm_window):
+        context = ExtensionContext(openwpm_window)
+        assert context.inject_page_script("window.injected = 42;",
+                                          "ext://x.js")
+        assert openwpm_window.window_object.get("injected") == 42.0
+
+    def test_injected_element_removed_after(self, openwpm_window):
+        context = ExtensionContext(openwpm_window)
+        context.inject_page_script("1;", "ext://x.js")
+        scripts = openwpm_window.document.query_selector_all("script")
+        assert not any(s.text_content == "1;" for s in scripts)
+
+    def test_injection_respects_csp(self):
+        _, result = visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"), [],
+            csp_header="script-src 'self'; report-uri /csp")
+        window = result.top_window
+        context = ExtensionContext(window)
+        assert not context.inject_page_script("window.x = 1;", "ext://x")
+        assert context.blocked_injections == ["ext://x"]
+        assert window.window_object.get("x") is UNDEFINED
+
+    def test_export_function_is_native_looking(self, openwpm_window):
+        context = ExtensionContext(openwpm_window)
+        exported = context.export_function(
+            lambda interp, this, args: 7.0, "privileged",
+            masquerade_name="getContext")
+        assert exported.to_source_string() \
+            == "function getContext() {\n    [native code]\n}"
+        assert exported.call(None, None, []) == 7.0
+
+    def test_export_function_bypasses_csp(self):
+        _, result = visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"), [],
+            csp_header="script-src 'self'; report-uri /csp")
+        window = result.top_window
+        context = ExtensionContext(window)
+        exported = context.export_function(
+            lambda interp, this, args: "ok", "probe")
+        window.window_object.put("probe", exported)
+        assert window.run_script("probe()") == "ok"
+
+    def test_background_channel(self, openwpm_window):
+        received = []
+        context = ExtensionContext(
+            openwpm_window,
+            background=lambda channel, payload: received.append(
+                (channel, payload)))
+        context.send_to_background("js", {"symbol": "x"})
+        assert received == [("js", {"symbol": "x"})]
+
+    def test_default_host_hooks_are_noops(self):
+        host = ExtensionHost()
+        host.on_visit_start(None, None)
+        host.on_window_created(None)
+        host.on_frame_created(None, None)
+        host.on_request(None, None)
+        host.on_cookie_change(None, "added")
+        host.on_visit_end(None)
+        assert host.frame_policy == "deferred"
+
+
+class TestLabHelpers:
+    def test_make_window_loads_blank_page(self):
+        browser, window = make_window(openwpm_profile("ubuntu", "regular"))
+        assert str(window.url) == LAB_URL
+        assert window.document.ready_state == "complete"
+
+    def test_visit_with_scripts_runs_in_order(self):
+        _, result = visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"),
+            ["window.order = 'a';", "window.order = window.order + 'b';"])
+        assert result.top_window.window_object.get("order") == "ab"
+
+    def test_lab_network_extra_pages(self):
+        from repro.net.http import HttpRequest
+        from repro.net.network import ClientIdentity
+        from repro.net.page import PageSpec
+        from repro.net.url import URL
+
+        network = make_lab_network(
+            pages={"/extra": PageSpec(url=LAB_URL + "extra",
+                                      title="extra")})
+        response, _ = network.fetch(
+            HttpRequest(url=URL.parse(LAB_URL + "extra"),
+                        resource_type="main_frame"),
+            ClientIdentity("c"))
+        assert response.page.title == "extra"
+
+
+class TestScanExtension:
+    def test_honey_properties_planted(self):
+        extension = ScanExtension()
+        _, result = visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"),
+            ["for (var k in navigator) { navigator[k]; }"],
+            extension=extension)
+        hits = extension.honey_hits_by_script()
+        assert hits  # the sweep touched honey properties
+        assert any(len(props) >= 2 for props in hits.values())
+
+    def test_targeted_access_leaves_honey_untouched(self):
+        extension = ScanExtension()
+        visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"),
+            ["navigator.webdriver;"], extension=extension)
+        assert extension.honey_hits_by_script() == {}
+
+    def test_residue_monitor_records_missing_property_probe(self):
+        extension = ScanExtension()
+        visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"),
+            ["window.probe = typeof window.jsInstruments;"],
+            extension=extension)
+        residues = extension.residue_accesses()
+        assert any(a.property_name == "jsInstruments" for a in residues)
+
+    def test_residue_monitor_preserves_typeof_semantics(self):
+        extension = ScanExtension()
+        _, result = visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"),
+            ["window.a = typeof window.jsInstruments;"
+             "window.b = typeof window.getInstrumentJS;"],
+            extension=extension)
+        window = result.top_window.window_object
+        assert window.get("a") == "undefined"  # legacy name absent
+        assert window.get("b") == "function"  # current residue present
+
+    def test_residue_names_cover_all_versions(self):
+        assert set(RESIDUE_PROPERTIES) == {
+            "getInstrumentJS", "jsInstruments",
+            "instrumentFingerprintingApis"}
+
+    def test_clear_records_resets_honey(self):
+        extension = ScanExtension()
+        visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"),
+            ["typeof window.jsInstruments;"], extension=extension)
+        extension.clear_records()
+        assert extension.honey_accesses == []

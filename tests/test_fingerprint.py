@@ -1,0 +1,175 @@
+"""Tests for the fingerprint-surface analysis (paper Sec. 3)."""
+
+import pytest
+
+from repro.browser.profiles import (
+    chrome_profile,
+    consumer_profiles,
+    openwpm_profile,
+    safari_profile,
+    stock_firefox_profile,
+)
+from repro.core.fingerprint import (
+    OpenWPMDetector,
+    capture_template,
+    diff_templates,
+    run_probes,
+)
+from repro.core.fingerprint.surface import summarise_setup
+from repro.core.lab import make_window
+from repro.openwpm import BrowserParams, OpenWPMExtension
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    out = {}
+    for os_name in ("ubuntu", "macos"):
+        _, window = make_window(stock_firefox_profile(os_name))
+        out[os_name] = capture_template(window)
+    return out
+
+
+def surface_for(os_name, mode, instrumented=True, baselines=None):
+    extension = OpenWPMExtension(BrowserParams(
+        os_name=os_name, display_mode=mode)) if instrumented else None
+    _, window = make_window(openwpm_profile(os_name, mode),
+                            extension=extension)
+    template = capture_template(window)
+    surface = diff_templates(baselines[os_name], template)
+    probes = run_probes(window)
+    return surface, probes
+
+
+class TestTemplates:
+    def test_template_is_deterministic(self, stock_window):
+        a = capture_template(stock_window)
+        b = capture_template(stock_window)
+        assert a.properties == b.properties
+
+    def test_identical_profiles_diff_empty(self):
+        _, w1 = make_window(stock_firefox_profile("ubuntu"))
+        _, w2 = make_window(stock_firefox_profile("ubuntu"))
+        assert len(diff_templates(capture_template(w1),
+                                  capture_template(w2))) == 0
+
+    def test_template_covers_webgl_interface(self, stock_window):
+        template = capture_template(stock_window)
+        assert any("WebGLRenderingContext" in path
+                   for path in template.properties)
+
+    def test_template_size_reasonable(self, stock_window):
+        assert len(capture_template(stock_window)) > 2000
+
+
+class TestTable2:
+    """The headline fingerprint-surface numbers."""
+
+    @pytest.mark.parametrize("os_name,mode,webgl,langs", [
+        ("ubuntu", "regular", 0, 0),
+        ("ubuntu", "headless", 2061, 43),
+        ("ubuntu", "xvfb", 18, 0),
+        ("ubuntu", "docker", 27, 0),
+        ("macos", "regular", 0, 0),
+        ("macos", "headless", 2037, 43),
+    ])
+    def test_mode_rows(self, baselines, os_name, mode, webgl, langs):
+        surface, probes = surface_for(os_name, mode, instrumented=False,
+                                      baselines=baselines)
+        summary = summarise_setup(f"{os_name}/{mode}", surface,
+                                  probes.values)
+        assert summary.webdriver is True
+        assert summary.screen_dimensions > 0
+        assert summary.screen_position > 0
+        assert summary.webgl_deviations == webgl
+        assert summary.language_additions == langs
+
+    def test_instrumentation_tampering_counts(self, baselines):
+        for os_name, expected in (("ubuntu", 252), ("macos", 253)):
+            surface, probes = surface_for(os_name, "regular",
+                                          baselines=baselines)
+            summary = summarise_setup(os_name, surface, probes.values)
+            assert summary.tampering == expected
+            assert summary.custom_functions == 1
+
+    def test_uninstrumented_adds_nothing(self, baselines):
+        surface, probes = surface_for("ubuntu", "regular",
+                                      instrumented=False,
+                                      baselines=baselines)
+        summary = summarise_setup("plain", surface, probes.values)
+        assert summary.tampering == 0
+        assert summary.custom_functions == 0
+
+    def test_docker_font_and_timezone_flags(self, baselines):
+        surface, probes = surface_for("ubuntu", "docker",
+                                      instrumented=False,
+                                      baselines=baselines)
+        summary = summarise_setup("docker", surface, probes.values)
+        assert summary.font_enumeration is True
+        assert summary.timezone_zero is True
+
+
+class TestProbes:
+    def test_probe_values_regular_mode(self, openwpm_window):
+        probes = run_probes(openwpm_window)
+        assert probes["webdriver"] is True
+        assert probes["availTop"] == 27
+        assert probes["webglVendor"] == "AMD"
+        assert probes["hasGetInstrumentJS"] is False  # not instrumented
+
+    def test_probe_detects_instrumentation(self, instrumented_window):
+        probes = run_probes(instrumented_window)
+        assert probes["hasGetInstrumentJS"] is True
+        assert probes["userAgentGetterNative"] is False
+        assert probes["fillRectNative"] is False
+        assert probes["screenProtoPolluted"] is True
+        assert probes["instrumentInStack"] is True
+
+    def test_probe_headless(self):
+        _, window = make_window(openwpm_profile("ubuntu", "headless"))
+        probes = run_probes(window)
+        assert probes["webglVendor"] is None
+        assert probes["languagesExtraProps"] == 43
+        assert probes["availTop"] == 0
+
+    def test_probe_on_stock_firefox_is_clean(self, stock_window):
+        probes = run_probes(stock_window)
+        assert probes["webdriver"] is False
+        assert probes["userAgentGetterNative"] is True
+        assert probes["screenProtoPolluted"] is False
+        assert probes["instrumentInStack"] is False
+
+
+class TestDetectorValidation:
+    """Sec. 3.3: 100% identification, zero false positives."""
+
+    @pytest.mark.parametrize("os_name,mode", [
+        ("ubuntu", "regular"), ("ubuntu", "headless"),
+        ("ubuntu", "xvfb"), ("ubuntu", "docker"),
+        ("macos", "regular"), ("macos", "headless"),
+    ])
+    def test_detects_every_openwpm_mode(self, os_name, mode):
+        extension = OpenWPMExtension(BrowserParams(os_name=os_name,
+                                                   display_mode=mode))
+        _, window = make_window(openwpm_profile(os_name, mode),
+                                extension=extension)
+        report = OpenWPMDetector().test_window(window)
+        assert report.is_openwpm
+        assert report.strong_matches
+
+    def test_no_false_positives_on_consumer_fleet(self):
+        detector = OpenWPMDetector()
+        for profile in consumer_profiles():
+            _, window = make_window(profile)
+            report = detector.test_window(window)
+            assert not report.is_openwpm, profile.name
+
+    def test_report_lists_matched_descriptions(self, instrumented_window):
+        report = OpenWPMDetector().test_window(instrumented_window)
+        descriptions = report.matched_descriptions()
+        assert any("webdriver" in d for d in descriptions)
+        assert any("getInstrumentJS" in d for d in descriptions)
+
+    def test_uninstrumented_still_detected_via_webdriver(
+            self, openwpm_window):
+        report = OpenWPMDetector().test_window(openwpm_window)
+        assert report.is_openwpm

@@ -1,0 +1,117 @@
+"""Cross-module integration tests: full-stack scenarios."""
+
+import pytest
+
+from repro.browser import Browser, openwpm_profile
+from repro.core.scan import ScanPipeline
+from repro.openwpm import (
+    BrowserParams,
+    ManagerParams,
+    OpenWPMExtension,
+    TaskManager,
+)
+from repro.web import build_world
+
+
+class TestCrawlTheSyntheticWeb:
+    def test_openwpm_gets_flagged_while_crawling(self, small_world):
+        """A vanilla OpenWPM crawl of detector sites ends up on the
+        shared bot-intel list; the web reacted to the measurement."""
+        small_world.network.state["bot-intel"].pop("integration-wpm", None)
+        extension = OpenWPMExtension(BrowserParams())
+        browser = Browser(openwpm_profile("ubuntu", "regular"),
+                          small_world.network,
+                          client_id="integration-wpm",
+                          extension=extension)
+        detector_site = sorted(
+            small_world.ground_truth.detector_sites("front"))[0]
+        browser.visit(f"https://www.{detector_site}/", wait=60)
+        assert small_world.network.state["bot-intel"].get(
+            "integration-wpm") is True
+
+    def test_hardened_crawl_not_flagged(self, small_world):
+        from repro.core.hardening import StealthJSInstrument, \
+            StealthSettings
+
+        small_world.network.state["bot-intel"].pop("integration-hide",
+                                                   None)
+        settings = StealthSettings.plausible()
+        extension = OpenWPMExtension(
+            BrowserParams(stealth=True),
+            js_instrument=StealthJSInstrument())
+        browser = Browser(
+            openwpm_profile("ubuntu", "regular",
+                            window_size=settings.window_size,
+                            window_position=settings.window_position),
+            small_world.network, client_id="integration-hide",
+            extension=extension)
+        for domain in sorted(
+                small_world.ground_truth.detector_sites("front"))[:3]:
+            browser.visit(f"https://www.{domain}/", wait=60)
+        assert not small_world.network.state["bot-intel"].get(
+            "integration-hide")
+
+    def test_task_manager_crawls_synthetic_web(self):
+        world = build_world(site_count=6, seed=21)
+        manager = TaskManager(
+            ManagerParams(), [BrowserParams(dwell_time=5.0)],
+            world.network)
+        manager.crawl(world.front_urls())
+        visits = manager.storage.query("SELECT COUNT(*) AS n "
+                                       "FROM site_visits")
+        assert visits[0]["n"] == 6
+        requests = manager.storage.http_request_rows()
+        assert len(requests) > 6 * 5
+        manager.close()
+
+    def test_scan_front_only_vs_subpages(self):
+        world = build_world(site_count=60, seed=33)
+        front_only = ScanPipeline(world, client_id="fo").run(
+            visit_subpages=False)
+        with_subs = ScanPipeline(world, client_id="ws").run(
+            visit_subpages=True)
+        front_found = front_only.table11()["combined"]
+        combined_found = sum(
+            c.clean_union for c in with_subs.combined.values())
+        assert combined_found >= front_found
+
+
+class TestTable6EndToEnd:
+    def test_openwpm_probes_observed_and_attributed(self):
+        """Sites probing instrument residue are caught dynamically even
+        when the probe itself is obfuscated (Table 6)."""
+        world = build_world(site_count=800, seed=51)
+        probe_sites = sorted(world.ground_truth.openwpm_probe_sites())
+        if not probe_sites:
+            pytest.skip("seed planted no OpenWPM probes at this scale")
+        pipeline = ScanPipeline(world, client_id="t6")
+        dataset = pipeline.run(visit_subpages=False)
+        found = {d for d, c in dataset.combined.items()
+                 if c.probes_openwpm}
+        assert set(probe_sites) <= found
+        table6 = dataset.table6()
+        assert any("cheqzone.com" in provider or "google" in provider
+                   or "adzouk" in provider for provider in table6)
+
+
+class TestScanToComparisonChain:
+    """The paper's methodology end-to-end: the paired crawl runs on the
+    sites *the scan found* (Sec. 6.3: 'all sites with bot detectors as
+    found by the analysis in Sec. 4')."""
+
+    def test_scan_results_drive_paired_crawl(self):
+        from repro.core.comparison import PairedCrawl
+
+        world = build_world(site_count=120, seed=77)
+        dataset = ScanPipeline(world, client_id="chain-scan").run(
+            visit_subpages=True)
+        detector_sites = sorted(
+            domain for domain, c in dataset.combined.items()
+            if c.clean_union)
+        assert detector_sites
+        # Fresh network identities for the measurement phase.
+        result = PairedCrawl(world, sites=detector_sites,
+                             repetitions=2).run()
+        rows = result.table10()
+        assert rows[-1]["tracking_diff_pct"] > 0
+        assert result.csp_report_reduction(0) <= 0

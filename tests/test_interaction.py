@@ -1,0 +1,134 @@
+"""Tests for interaction simulation and behavioural detection."""
+
+import random
+
+import pytest
+
+from repro.browser.interaction import (
+    BEHAVIOUR_COLLECTOR_SCRIPT,
+    HumanLikeInteraction,
+    SeleniumInteraction,
+    extract_behaviour_track,
+    score_pointer_track,
+)
+
+
+@pytest.fixture()
+def collector_window(openwpm_window):
+    openwpm_window.run_script(BEHAVIOUR_COLLECTOR_SCRIPT,
+                              script_url="https://site.test/collect.js")
+    return openwpm_window
+
+
+class TestEventSynthesis:
+    def test_selenium_pointer_teleports(self):
+        driver = SeleniumInteraction()
+        path = driver.pointer_path((0, 0), (500, 300))
+        assert len(path) == 1
+        assert (path[0].x, path[0].y) == (500, 300)
+
+    def test_human_pointer_has_many_samples(self):
+        driver = HumanLikeInteraction(random.Random(1))
+        path = driver.pointer_path((0, 0), (500, 300))
+        assert len(path) > 8
+        # Ends on target after overshoot correction.
+        assert (path[-1].x, path[-1].y) == (500, 300)
+
+    def test_human_pointer_is_curved(self):
+        driver = HumanLikeInteraction(random.Random(1))
+        path = driver.pointer_path((0, 0), (400, 0))
+        # Some intermediate point deviates from the straight line y=0.
+        assert any(abs(sample.y) > 2 for sample in path[1:-2])
+
+    def test_human_timing_varies(self):
+        driver = HumanLikeInteraction(random.Random(1))
+        delays = driver.keystroke_delays("hello world")
+        assert len(set(round(d, 4) for d in delays)) > 3
+
+    def test_selenium_timing_constant(self):
+        delays = SeleniumInteraction().keystroke_delays("hello")
+        assert len(set(delays)) == 1
+
+    def test_human_scroll_incremental(self):
+        driver = HumanLikeInteraction(random.Random(1))
+        steps = driver.scroll_steps(800)
+        assert len(steps) > 3
+        assert abs(sum(steps) - 800) < 1
+
+    def test_selenium_scroll_single_jump(self):
+        assert SeleniumInteraction().scroll_steps(800) == [800]
+
+    def test_deterministic_given_seed(self):
+        a = HumanLikeInteraction(random.Random(5)).pointer_path((0, 0),
+                                                                (100, 100))
+        b = HumanLikeInteraction(random.Random(5)).pointer_path((0, 0),
+                                                                (100, 100))
+        assert [(s.x, s.y, s.dt) for s in a] == [(s.x, s.y, s.dt)
+                                                 for s in b]
+
+
+class TestEventDelivery:
+    def test_click_delivers_events_to_page(self, collector_window):
+        SeleniumInteraction().click(collector_window, "body")
+        track = extract_behaviour_track(collector_window)
+        assert any(sample.get("click") for sample in track)
+
+    def test_human_click_leaves_movement_trail(self, collector_window):
+        HumanLikeInteraction(random.Random(2)).click(collector_window,
+                                                     "body")
+        track = extract_behaviour_track(collector_window)
+        moves = [s for s in track if not s.get("click")]
+        assert len(moves) > 5
+
+    def test_typing_dispatches_keydown(self, openwpm_window):
+        openwpm_window.run_script("""
+            window.__keys = [];
+            document.addEventListener('keydown', function (e) {
+                window.__keys.push(e.key);
+            });
+        """)
+        HumanLikeInteraction(random.Random(3)).type_text(openwpm_window,
+                                                         "abc")
+        assert openwpm_window.run_script("window.__keys.join('')") == "abc"
+
+    def test_scroll_dispatches_events(self, openwpm_window):
+        openwpm_window.run_script("""
+            window.__scrolls = 0;
+            document.addEventListener('scroll', function () {
+                window.__scrolls = window.__scrolls + 1;
+            });
+        """)
+        HumanLikeInteraction(random.Random(4)).scroll(openwpm_window, 600)
+        assert openwpm_window.run_script("window.__scrolls") > 2
+
+
+class TestBehaviouralScoring:
+    def test_selenium_interaction_flagged(self, collector_window):
+        SeleniumInteraction().click(collector_window, "body")
+        verdict = score_pointer_track(
+            extract_behaviour_track(collector_window))
+        assert verdict.is_bot
+        assert verdict.reasons
+
+    def test_human_interaction_passes(self, collector_window):
+        HumanLikeInteraction(random.Random(6)).click(collector_window,
+                                                     "body")
+        verdict = score_pointer_track(
+            extract_behaviour_track(collector_window))
+        assert not verdict.is_bot
+
+    def test_empty_track_not_flagged(self):
+        verdict = score_pointer_track([])
+        assert not verdict.is_bot
+
+    def test_straight_path_detected(self):
+        samples = [{"x": float(i * 10), "y": 50.0, "t": float(i * 16)}
+                   for i in range(10)]
+        verdict = score_pointer_track(samples)
+        assert "perfectly straight pointer path" in verdict.reasons
+
+    def test_zero_variance_detected(self):
+        samples = [{"x": float(i), "y": float(i * i % 37), "t": i * 10.0}
+                   for i in range(10)]
+        verdict = score_pointer_track(samples)
+        assert "zero inter-event timing variance" in verdict.reasons

@@ -1,0 +1,265 @@
+"""Unit tests for the realm builtins."""
+
+import math
+
+import pytest
+
+from repro.jsobject import UNDEFINED, JSArray, JSObject
+from repro.jsobject.errors import JSError
+
+
+class TestObjectBuiltins:
+    def test_keys(self, run):
+        assert run("Object.keys({a: 1, b: 2}).join(',')") == "a,b"
+
+    def test_keys_excludes_non_enumerable(self, run):
+        assert run("""
+            var o = {};
+            Object.defineProperty(o, 'hidden',
+                {value: 1, enumerable: false, configurable: true});
+            Object.keys(o).length
+        """) == 0.0
+
+    def test_get_own_property_names_includes_non_enumerable(self, run):
+        assert run("""
+            var o = {};
+            Object.defineProperty(o, 'hidden',
+                {value: 1, enumerable: false, configurable: true});
+            Object.getOwnPropertyNames(o).length
+        """) == 1.0
+
+    def test_define_property_accessor(self, run):
+        assert run("""
+            var o = {};
+            Object.defineProperty(o, 'x',
+                {get: function () { return 42; }, configurable: true});
+            o.x
+        """) == 42.0
+
+    def test_get_own_property_descriptor(self, run):
+        assert run("""
+            var d = Object.getOwnPropertyDescriptor({a: 1}, 'a');
+            d.value === 1 && d.enumerable === true
+        """) is True
+
+    def test_get_prototype_of(self, run):
+        assert run("""
+            var proto = {p: 1};
+            Object.getPrototypeOf(Object.create(proto)) === proto
+        """) is True
+
+    def test_create_with_null(self, run):
+        assert run("Object.getPrototypeOf(Object.create(null))") is not None
+
+    def test_freeze_blocks_writes(self, run):
+        assert run("var o = {a: 1}; Object.freeze(o); o.a = 9; o.a") == 1.0
+
+    def test_has_own_property(self, run):
+        assert run("({a: 1}).hasOwnProperty('a')") is True
+        assert run("({a: 1}).hasOwnProperty('toString')") is False
+
+    def test_is_prototype_of(self, run):
+        assert run("""
+            var proto = {};
+            proto.isPrototypeOf(Object.create(proto))
+        """) is True
+
+
+class TestArrayBuiltins:
+    def test_push_pop_shift(self, run):
+        assert run("""
+            var a = [1];
+            a.push(2, 3);
+            a.pop();
+            a.shift();
+            a.join(",")
+        """) == "2"
+
+    def test_index_of_and_includes(self, run):
+        assert run("[1, 2, 3].indexOf(2)") == 1.0
+        assert run("[1, 2, 3].indexOf(9)") == -1.0
+        assert run("[1, 2].includes(2)") is True
+
+    def test_slice_and_concat(self, run):
+        assert run("[1, 2, 3, 4].slice(1, 3).join(',')") == "2,3"
+        assert run("[1].concat([2, 3], 4).join(',')") == "1,2,3,4"
+
+    def test_map_filter_foreach(self, run):
+        assert run("""
+            var out = [];
+            [1, 2, 3, 4].filter(function (x) { return x % 2 === 0; })
+                .map(function (x) { return x * 10; })
+                .forEach(function (x) { out.push(x); });
+            out.join(",")
+        """) == "20,40"
+
+    def test_is_array(self, run):
+        assert run("Array.isArray([])") is True
+        assert run("Array.isArray({})") is False
+
+    def test_array_from_string(self, run):
+        assert run("Array.from('abc').join('-')") == "a-b-c"
+
+    def test_array_constructor_with_length(self, run):
+        assert run("new Array(3).length") == 3.0
+
+
+class TestStringMethods:
+    def test_length_and_indexing(self, run):
+        assert run("'hello'.length") == 5.0
+        assert run("'hello'[1]") == "e"
+
+    def test_index_of(self, run):
+        assert run("'navigator.webdriver'.indexOf('webdriver')") == 10.0
+
+    def test_includes_slice_substring(self, run):
+        assert run("'webdriver'.includes('driver')") is True
+        assert run("'webdriver'.slice(0, 3)") == "web"
+        assert run("'webdriver'.slice(-6)") == "driver"
+        assert run("'webdriver'.substring(3, 0)") == "web"
+
+    def test_case_and_trim(self, run):
+        assert run("' X '.trim().toLowerCase()") == "x"
+        assert run("'abc'.toUpperCase()") == "ABC"
+
+    def test_split_join_roundtrip(self, run):
+        assert run("'a,b,c'.split(',').join('|')") == "a|b|c"
+
+    def test_split_empty_separator(self, run):
+        assert run("'ab'.split('').length") == 2.0
+
+    def test_replace_first_only(self, run):
+        assert run("'aaa'.replace('a', 'b')") == "baa"
+        assert run("'aaa'.replaceAll('a', 'b')") == "bbb"
+
+    def test_char_methods(self, run):
+        assert run("'abc'.charAt(1)") == "b"
+        assert run("'abc'.charCodeAt(0)") == 97.0
+        assert run("String.fromCharCode(119, 101, 98)") == "web"
+
+    def test_starts_ends_with(self, run):
+        assert run("'webdriver'.startsWith('web')") is True
+        assert run("'webdriver'.endsWith('driver')") is True
+
+
+class TestMathJsonConsole:
+    def test_math_operations(self, run):
+        assert run("Math.floor(2.7)") == 2.0
+        assert run("Math.ceil(2.1)") == 3.0
+        assert run("Math.round(2.5)") == 3.0
+        assert run("Math.abs(-4)") == 4.0
+        assert run("Math.max(1, 5, 3)") == 5.0
+        assert run("Math.min(1, 5, 3)") == 1.0
+
+    def test_math_random_is_seeded(self):
+        import random
+
+        from repro.jsengine.builtins import Realm
+        from repro.jsengine.interpreter import Interpreter
+
+        values = []
+        for _ in range(2):
+            interp = Interpreter(Realm(random.Random(99)))
+            values.append(interp.run("Math.random()"))
+        assert values[0] == values[1]
+
+    def test_json_stringify_roundtrip(self, run):
+        assert run("""
+            var o = JSON.parse('{"a": [1, 2], "b": "x", "c": null}');
+            JSON.stringify(o)
+        """) == '{"a":[1,2],"b":"x","c":null}'
+
+    def test_json_parse_invalid_throws(self, run):
+        with pytest.raises(JSError, match="SyntaxError"):
+            run("JSON.parse('{bad')")
+
+    def test_console_log_collected(self, interp, realm):
+        interp.run("console.log('hello', 42)")
+        assert realm.console_log == ["hello 42"]
+
+    def test_parse_int(self, run):
+        assert run("parseInt('42px')") == 42.0
+        assert run("parseInt('ff', 16)") == 255.0
+        assert run("parseInt('-10')") == -10.0
+        assert math.isnan(run("parseInt('x')"))
+
+    def test_parse_float(self, run):
+        assert run("parseFloat('2.5rem')") == 2.5
+
+    def test_is_nan(self, run):
+        assert run("isNaN('abc')") is True
+        assert run("isNaN('12')") is False
+
+    def test_number_to_string_radix(self, run):
+        assert run("(255).toString(16)") == "ff"
+
+    def test_number_to_fixed(self, run):
+        assert run("(3.14159).toFixed(2)") == "3.14"
+
+
+class TestArrayExtras:
+    def test_some_and_every(self, run):
+        assert run("[1, 2, 3].some(function (x) { return x > 2; })") is True
+        assert run("[1, 2, 3].every(function (x) { return x > 0; })") \
+            is True
+        assert run("[1, 2, 3].every(function (x) { return x > 1; })") \
+            is False
+
+    def test_find(self, run):
+        assert run("[3, 5, 8].find(function (x) "
+                   "{ return x % 2 === 0; })") == 8.0
+        assert run("typeof [1].find(function (x) { return false; })") \
+            == "undefined"
+
+    def test_reduce_with_initial(self, run):
+        assert run("[1, 2, 3].reduce(function (a, b) "
+                   "{ return a + b; }, 10)") == 16.0
+
+    def test_reduce_without_initial(self, run):
+        assert run("[4, 5].reduce(function (a, b) { return a * b; })") \
+            == 20.0
+
+    def test_reduce_empty_throws(self, run):
+        from repro.jsobject.errors import JSError
+
+        import pytest as _pytest
+
+        with _pytest.raises(JSError):
+            run("[].reduce(function (a, b) { return a; })")
+
+    def test_reverse_in_place(self, run):
+        assert run("var a = [1, 2, 3]; a.reverse(); a.join(',')") == "3,2,1"
+
+    def test_sort_default_is_lexicographic(self, run):
+        assert run("[10, 9, 1].sort().join(',')") == "1,10,9"
+
+    def test_sort_with_comparator(self, run):
+        assert run("[10, 9, 1].sort(function (a, b) "
+                   "{ return a - b; }).join(',')") == "1,9,10"
+
+
+class TestObjectLiteralAccessors:
+    def test_getter(self, run):
+        assert run("({get answer() { return 42; }}).answer") == 42.0
+
+    def test_setter_and_getter_pair(self, run):
+        assert run("""
+            var o = {
+                stored: 0,
+                get x() { return this.stored; },
+                set x(v) { this.stored = v * 2; }
+            };
+            o.x = 21;
+            o.x
+        """) == 42.0
+
+    def test_getter_visible_in_descriptor(self, run):
+        assert run("""
+            var o = {get g() { return 1; }};
+            var d = Object.getOwnPropertyDescriptor(o, 'g');
+            typeof d.get
+        """) == "function"
+
+    def test_void_operator(self, run):
+        assert run("typeof void 0") == "undefined"
+        assert run("void 'anything'") is not None  # UNDEFINED sentinel

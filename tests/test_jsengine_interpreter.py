@@ -1,0 +1,288 @@
+"""Unit tests for interpreter semantics."""
+
+import math
+
+import pytest
+
+from repro.jsengine.interpreter import ExecutionBudgetExceeded, Interpreter
+from repro.jsobject import NULL, UNDEFINED, JSArray, JSObject
+from repro.jsobject.errors import JSError
+
+
+class TestArithmetic:
+    def test_basic_math(self, run):
+        assert run("1 + 2 * 3") == 7.0
+
+    def test_string_concatenation_wins(self, run):
+        assert run("1 + '2'") == "12"
+        assert run("'a' + undefined") == "aundefined"
+
+    def test_subtraction_coerces(self, run):
+        assert run("'10' - 3") == 7.0
+
+    def test_division_by_zero(self, run):
+        assert run("1 / 0") == math.inf
+        assert run("-1 / 0") == -math.inf
+        assert math.isnan(run("0 / 0"))
+
+    def test_modulo(self, run):
+        assert run("7 % 3") == 1.0
+        assert run("-7 % 3") == -1.0  # JS sign-of-dividend
+
+    def test_exponent(self, run):
+        assert run("2 ** 10") == 1024.0
+
+    def test_bitwise(self, run):
+        assert run("5 & 3") == 1.0
+        assert run("5 | 3") == 7.0
+        assert run("5 ^ 3") == 6.0
+        assert run("1 << 4") == 16.0
+        assert run("-8 >> 1") == -4.0
+        assert run("-1 >>> 28") == 15.0
+
+    def test_comparisons(self, run):
+        assert run("2 > 1") is True
+        assert run("'b' > 'a'") is True
+        assert run("'10' < '9'") is True  # string comparison
+        assert run("10 < 9") is False
+
+    def test_nan_comparisons_false(self, run):
+        assert run("(0/0) < 1") is False
+        assert run("(0/0) >= 1") is False
+
+
+class TestVariablesAndScope:
+    def test_var_declaration(self, run):
+        assert run("var x = 5; x") == 5.0
+
+    def test_const_reassignment_throws(self, run):
+        with pytest.raises(JSError, match="const"):
+            run("const c = 1; c = 2;")
+
+    def test_block_scoping_of_blocks(self, run):
+        assert run("var x = 1; { var x = 2; } x") == 2.0
+
+    def test_undeclared_read_throws_reference_error(self, run):
+        with pytest.raises(JSError, match="not defined"):
+            run("missingVariable")
+
+    def test_typeof_undeclared_does_not_throw(self, run):
+        assert run("typeof missingVariable") == "undefined"
+
+    def test_implicit_global_assignment(self, interp):
+        interp.run("function f() { leaked = 42; } f();")
+        assert interp.global_object.get("leaked") == 42.0
+
+    def test_closures_capture_environment(self, run):
+        assert run("""
+            function counter() {
+                var n = 0;
+                return function () { n = n + 1; return n; };
+            }
+            var c = counter();
+            c(); c(); c()
+        """) == 3.0
+
+    def test_closures_are_independent(self, run):
+        assert run("""
+            function make(start) { return function () { return start; }; }
+            make(1)() + make(2)()
+        """) == 3.0
+
+    def test_hoisted_function_callable_before_definition(self, run):
+        assert run("var r = early(); function early() { return 9; } r") \
+            == 9.0
+
+
+class TestControlFlow:
+    def test_while_with_break(self, run):
+        assert run("""
+            var i = 0;
+            while (true) { i++; if (i >= 4) { break; } }
+            i
+        """) == 4.0
+
+    def test_continue_skips(self, run):
+        assert run("""
+            var total = 0;
+            for (var i = 0; i < 5; i++) {
+                if (i % 2 === 0) { continue; }
+                total += i;
+            }
+            total
+        """) == 4.0
+
+    def test_do_while_runs_once(self, run):
+        assert run("var n = 0; do { n++; } while (false); n") == 1.0
+
+    def test_for_in_iterates_keys(self, run):
+        assert run("""
+            var keys = [];
+            for (var k in {a: 1, b: 2}) { keys.push(k); }
+            keys.join(",")
+        """) == "a,b"
+
+    def test_for_of_iterates_values(self, run):
+        assert run("""
+            var total = 0;
+            for (var v of [1, 2, 3]) { total += v; }
+            total
+        """) == 6.0
+
+    def test_ternary(self, run):
+        assert run("1 > 0 ? 'yes' : 'no'") == "yes"
+
+    def test_logical_operators_return_operands(self, run):
+        assert run("'' || 'fallback'") == "fallback"
+        assert run("'first' && 'second'") == "second"
+        assert run("0 && neverEvaluated") == 0.0
+
+
+class TestFunctionsAndThis:
+    def test_method_this_binding(self, run):
+        assert run("""
+            var obj = {n: 7, get: function () { return this.n; }};
+            obj.get()
+        """) == 7.0
+
+    def test_plain_call_this_is_global(self, interp):
+        interp.global_object.put("marker", 1.0)
+        assert interp.run(
+            "function f() { return this.marker; } f()") == 1.0
+
+    def test_arrow_captures_lexical_this(self, run):
+        assert run("""
+            var obj = {
+                n: 5,
+                make: function () { return () => this.n; }
+            };
+            obj.make()()
+        """) == 5.0
+
+    def test_arguments_object(self, run):
+        assert run("""
+            function count() { return arguments.length; }
+            count(1, 2, 3)
+        """) == 3.0
+
+    def test_call_apply_bind(self, run):
+        assert run("""
+            function who() { return this.name; }
+            var a = {name: "a"}, b = {name: "b"};
+            who.call(a) + who.apply(b) + who.bind(a)()
+        """) == "aba"
+
+    def test_default_missing_args_are_undefined(self, run):
+        assert run("function f(a, b) { return typeof b; } f(1)") \
+            == "undefined"
+
+    def test_calling_non_function_throws(self, run):
+        with pytest.raises(JSError, match="not a function"):
+            run("var x = 3; x();")
+
+
+class TestObjectsAndPrototypes:
+    def test_constructor_and_instanceof(self, run):
+        assert run("""
+            function Point(x) { this.x = x; }
+            var p = new Point(4);
+            (p instanceof Point) && p.x === 4
+        """) is True
+
+    def test_prototype_method_shared(self, run):
+        assert run("""
+            function Animal(name) { this.name = name; }
+            Animal.prototype.speak = function () {
+                return this.name + " speaks";
+            };
+            new Animal("rex").speak()
+        """) == "rex speaks"
+
+    def test_constructor_returning_object_overrides(self, run):
+        assert run("""
+            function F() { return {custom: true}; }
+            new F().custom
+        """) is True
+
+    def test_delete_member(self, run):
+        assert run("var o = {a: 1}; delete o.a; typeof o.a") == "undefined"
+
+    def test_in_operator(self, run):
+        assert run("'a' in {a: 1}") is True
+        assert run("'b' in {a: 1}") is False
+
+    def test_member_access_on_undefined_throws(self, run):
+        with pytest.raises(JSError, match="undefined"):
+            run("var u; u.anything")
+
+
+class TestExceptions:
+    def test_try_catch_receives_thrown_value(self, run):
+        assert run("""
+            var got = null;
+            try { throw "payload"; } catch (e) { got = e; }
+            got
+        """) == "payload"
+
+    def test_finally_always_runs(self, run):
+        assert run("""
+            var log = [];
+            try { log.push("t"); throw new Error("x"); }
+            catch (e) { log.push("c"); }
+            finally { log.push("f"); }
+            log.join("")
+        """) == "tcf"
+
+    def test_error_has_name_message_stack(self, run):
+        assert run("""
+            var e = new TypeError("bad");
+            e.name + ":" + e.message + ":" + (e.stack.length > 0)
+        """) == "TypeError:bad:true"
+
+    def test_stack_lists_frames_innermost_first(self, interp):
+        stack = interp.run("""
+            function deep() { throw new Error("boom"); }
+            function mid() { deep(); }
+            var s = "";
+            try { mid(); } catch (e) { s = e.stack; }
+            s
+        """, "app.js")
+        lines = stack.split("\n")
+        assert lines[0].startswith("deep@app.js")
+        assert lines[1].startswith("mid@app.js")
+
+    def test_uncaught_throw_propagates_to_host(self, run):
+        with pytest.raises(JSError, match="boom"):
+            run("throw new Error('boom');")
+
+
+class TestBudgetAndSafety:
+    def test_infinite_loop_hits_budget(self, realm):
+        interp = Interpreter(realm, budget=10_000)
+        with pytest.raises(ExecutionBudgetExceeded):
+            interp.run("while (true) {}")
+
+    def test_deep_recursion_raises_js_error(self, run):
+        with pytest.raises(JSError, match="recursion"):
+            run("function r() { return r(); } r();")
+
+    def test_syntax_error_becomes_js_error(self, run):
+        with pytest.raises(JSError, match="SyntaxError"):
+            run("var = 1;")
+
+
+class TestCrossRealm:
+    def test_function_executes_in_home_realm(self):
+        import random
+
+        from repro.jsengine.builtins import Realm
+
+        realm_a = Realm(random.Random(1))
+        realm_b = Realm(random.Random(2))
+        interp_a = Interpreter(realm_a)
+        interp_b = Interpreter(realm_b)
+        realm_a.global_object.put("tag", "A")
+        realm_b.global_object.put("tag", "B")
+        fn = interp_b.run("(function () { return tag; })")
+        # Calling B's function from A's interpreter resolves B's globals.
+        assert fn.call(interp_a, UNDEFINED, []) == "B"

@@ -1,0 +1,115 @@
+"""Unit tests for the JS lexer."""
+
+import pytest
+
+from repro.jsengine.lexer import LexError, Lexer
+
+
+def tokens_of(source):
+    return [(t.kind, t.value) for t in Lexer(source).tokenize()
+            if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        assert tokens_of("var foo") == [("keyword", "var"), ("ident", "foo")]
+
+    def test_dollar_and_underscore_identifiers(self):
+        assert tokens_of("$x _y") == [("ident", "$x"), ("ident", "_y")]
+
+    def test_numbers(self):
+        tokens = Lexer("1 2.5 0x10 1e3 1.5e-2").tokenize()
+        values = [t.number for t in tokens if t.kind == "number"]
+        assert values == [1.0, 2.5, 16.0, 1000.0, 0.015]
+
+    def test_punctuator_longest_match(self):
+        assert tokens_of("===") == [("punct", "===")]
+        assert tokens_of("==!") == [("punct", "=="), ("punct", "!")]
+        assert tokens_of(">>>") == [("punct", ">>>")]
+
+    def test_arrow_token(self):
+        assert ("punct", "=>") in tokens_of("x => x")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            Lexer("var §").tokenize()
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert tokens_of("'a' \"b\"") == [("string", "a"), ("string", "b")]
+
+    def test_backtick_plain_template(self):
+        assert tokens_of("`hi`") == [("string", "hi")]
+
+    def test_template_interpolation_desugars_to_concat(self):
+        tokens = tokens_of("`a${x}b`")
+        assert tokens == [
+            ("punct", "("), ("string", "a"), ("punct", "+"),
+            ("punct", "("), ("ident", "x"), ("punct", ")"),
+            ("punct", "+"), ("string", "b"), ("punct", ")")]
+
+    def test_template_with_object_literal_inside(self):
+        # Braces inside the hole must not terminate it early.
+        tokens = tokens_of("`${ {a: 1}.a }`")
+        assert tokens.count(("punct", "{")) == 1
+        assert tokens[-1] == ("punct", ")")
+
+    def test_unterminated_template_raises(self):
+        with pytest.raises(LexError):
+            Lexer("`a${x}").tokenize()
+
+    def test_standard_escapes(self):
+        assert tokens_of(r"'a\nb\tc'") == [("string", "a\nb\tc")]
+
+    def test_hex_escape(self):
+        assert tokens_of(r"'\x77eb'") == [("string", "web")]
+
+    def test_unicode_escape(self):
+        assert tokens_of(r"'w'") == [("string", "w")]
+
+    def test_invalid_hex_escape_raises(self):
+        with pytest.raises(LexError):
+            Lexer(r"'\xZZ'").tokenize()
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            Lexer("'abc").tokenize()
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            Lexer("'a\nb'").tokenize()
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert tokens_of("a // comment\nb") == [
+            ("ident", "a"), ("ident", "b")]
+
+    def test_block_comment_skipped(self):
+        assert tokens_of("a /* x */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            Lexer("/* oops").tokenize()
+
+    def test_newline_before_flag(self):
+        tokens = Lexer("a\nb").tokenize()
+        assert tokens[0].newline_before is False
+        assert tokens[1].newline_before is True
+
+    def test_newline_inside_block_comment_sets_flag(self):
+        tokens = Lexer("a /*\n*/ b").tokenize()
+        assert tokens[1].newline_before is True
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = Lexer("a\n  b").tokenize()
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_offsets_recover_source_slice(self):
+        source = "function f() { return 1; }"
+        tokens = Lexer(source).tokenize()
+        assert source[tokens[0].start:tokens[0].end] == "function"

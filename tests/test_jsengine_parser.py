@@ -1,0 +1,219 @@
+"""Unit tests for the JS parser."""
+
+import pytest
+
+from repro.jsengine import ast_nodes as ast
+from repro.jsengine.parser import ParseError, parse
+
+
+def first(source):
+    return parse(source).body[0]
+
+
+class TestStatements:
+    def test_variable_declaration_kinds(self):
+        for kind in ("var", "let", "const"):
+            node = first(f"{kind} x = 1;")
+            assert isinstance(node, ast.VariableDeclaration)
+            assert node.kind == kind
+
+    def test_multiple_declarators(self):
+        node = first("var a = 1, b, c = 3;")
+        assert [name for name, _ in node.declarations] == ["a", "b", "c"]
+        assert node.declarations[1][1] is None
+
+    def test_function_declaration(self):
+        node = first("function add(a, b) { return a + b; }")
+        assert isinstance(node, ast.FunctionDeclaration)
+        assert node.function.params == ["a", "b"]
+
+    def test_function_declaration_requires_name(self):
+        with pytest.raises(ParseError):
+            parse("function (a) { return a; }")
+
+    def test_if_else(self):
+        node = first("if (a) b; else c;")
+        assert isinstance(node, ast.IfStatement)
+        assert node.alternate is not None
+
+    def test_while(self):
+        assert isinstance(first("while (x) { x--; }"), ast.WhileStatement)
+
+    def test_do_while(self):
+        assert isinstance(first("do { x(); } while (y);"),
+                          ast.DoWhileStatement)
+
+    def test_classic_for(self):
+        node = first("for (var i = 0; i < 3; i++) { }")
+        assert isinstance(node, ast.ForStatement)
+        assert node.init is not None and node.test is not None
+
+    def test_for_with_empty_clauses(self):
+        node = first("for (;;) { break; }")
+        assert node.init is None and node.test is None and node.update is None
+
+    def test_for_in_with_declaration(self):
+        node = first("for (var k in obj) { }")
+        assert isinstance(node, ast.ForInStatement)
+        assert node.name == "k" and node.of is False
+
+    def test_for_of(self):
+        node = first("for (let v of arr) { }")
+        assert node.of is True
+
+    def test_for_in_predeclared(self):
+        node = first("for (k in obj) { }")
+        assert node.kind == ""
+
+    def test_try_catch_finally(self):
+        node = first("try { a(); } catch (e) { b(); } finally { c(); }")
+        assert node.catch_param == "e"
+        assert node.finally_block is not None
+
+    def test_catch_without_binding(self):
+        assert first("try { a(); } catch { b(); }").catch_param is None
+
+    def test_try_requires_handler(self):
+        with pytest.raises(ParseError):
+            parse("try { a(); }")
+
+    def test_throw(self):
+        assert isinstance(first("throw new Error('x');"),
+                          ast.ThrowStatement)
+
+    def test_empty_statement(self):
+        assert isinstance(first(";"), ast.EmptyStatement)
+
+
+class TestASI:
+    def test_semicolons_optional_at_newline(self):
+        program = parse("var a = 1\nvar b = 2")
+        assert len(program.body) == 2
+
+    def test_semicolon_optional_before_brace(self):
+        parse("function f() { return 1 }")
+
+    def test_missing_semicolon_same_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse("var a = 1 var b = 2")
+
+    def test_return_value_must_be_on_same_line(self):
+        node = parse("function f() { return\n1; }").body[0]
+        assert node.function.body[0].argument is None
+
+
+class TestExpressions:
+    def test_precedence_multiplication_over_addition(self):
+        node = first("x = 1 + 2 * 3;").expression
+        assert node.value.op == "+"
+        assert node.value.right.op == "*"
+
+    def test_exponent_right_associative(self):
+        node = first("x = 2 ** 3 ** 2;").expression
+        assert node.value.right.op == "**"
+
+    def test_logical_short_circuit_structure(self):
+        node = first("x = a && b || c;").expression
+        assert node.value.op == "||"
+
+    def test_conditional(self):
+        node = first("x = a ? b : c;").expression
+        assert isinstance(node.value, ast.ConditionalExpression)
+
+    def test_assignment_targets(self):
+        with pytest.raises(ParseError):
+            parse("1 = 2;")
+
+    def test_compound_assignment(self):
+        node = first("x += 2;").expression
+        assert node.op == "+="
+
+    def test_member_chain(self):
+        node = first("a.b.c;").expression
+        assert node.property == "c"
+        assert node.object.property == "b"
+
+    def test_computed_member(self):
+        node = first("a['key'];").expression
+        assert node.computed is True
+
+    def test_keyword_as_property_name(self):
+        node = first("a.typeof;").expression
+        assert node.property == "typeof"
+
+    def test_call_with_arguments(self):
+        node = first("f(1, 'two');").expression
+        assert len(node.arguments) == 2
+
+    def test_new_with_member_callee(self):
+        node = first("new a.B(1);").expression
+        assert isinstance(node, ast.NewExpression)
+        assert node.callee.property == "B"
+
+    def test_new_then_member_access(self):
+        node = first("new Thing().prop;").expression
+        assert isinstance(node, ast.MemberExpression)
+        assert isinstance(node.object, ast.NewExpression)
+
+    def test_sequence_expression(self):
+        node = first("a, b, c;").expression
+        assert isinstance(node, ast.SequenceExpression)
+        assert len(node.expressions) == 3
+
+    def test_unary_operators(self):
+        for op in ("!", "-", "typeof", "delete", "~"):
+            node = first(f"{op} x;").expression
+            assert node.op == op
+
+    def test_update_prefix_and_postfix(self):
+        assert first("++x;").expression.prefix is True
+        assert first("x++;").expression.prefix is False
+
+
+class TestFunctionsAndLiterals:
+    def test_function_expression_source_slice(self):
+        node = first("var f = function named(a) { return a; };")
+        fn = node.declarations[0][1]
+        assert fn.source == "function named(a) { return a; }"
+
+    def test_arrow_single_param(self):
+        fn = first("var f = x => x * 2;").declarations[0][1]
+        assert fn.is_arrow and fn.params == ["x"]
+
+    def test_arrow_parenthesised_params(self):
+        fn = first("var f = (a, b) => { return a + b; };").declarations[0][1]
+        assert fn.params == ["a", "b"]
+
+    def test_arrow_zero_params(self):
+        fn = first("var f = () => 1;").declarations[0][1]
+        assert fn.params == []
+
+    def test_parenthesised_expression_is_not_arrow(self):
+        node = first("var y = (a + b);").declarations[0][1]
+        assert isinstance(node, ast.BinaryExpression)
+
+    def test_object_literal_key_styles(self):
+        node = first("var o = {a: 1, 'b': 2, 3: 4};").declarations[0][1]
+        assert [key for key, _ in node.entries] == ["a", "b", "3"]
+
+    def test_object_shorthand_property(self):
+        node = first("var o = {a};").declarations[0][1]
+        key, value = node.entries[0]
+        assert key == "a" and isinstance(value, ast.Identifier)
+
+    def test_object_method_shorthand(self):
+        node = first("var o = {go() { return 1; }};").declarations[0][1]
+        _, value = node.entries[0]
+        assert isinstance(value, ast.FunctionExpression)
+
+    def test_array_literal(self):
+        node = first("var a = [1, 2, 3];").declarations[0][1]
+        assert len(node.elements) == 3
+
+    def test_nested_structures(self):
+        parse("var config = {items: [{id: 1}, {id: 2}], "
+              "get: function (i) { return this.items[i]; }};")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse("function f() { return 1;")

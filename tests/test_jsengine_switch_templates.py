@@ -1,0 +1,128 @@
+"""Tests for switch statements and template-literal interpolation."""
+
+import pytest
+
+from repro.jsengine.parser import ParseError, parse
+from repro.jsobject.errors import JSError
+
+
+class TestSwitch:
+    def test_matching_case(self, run):
+        assert run("""
+            var out = "";
+            switch (2) {
+                case 1: out = "one"; break;
+                case 2: out = "two"; break;
+                case 3: out = "three"; break;
+            }
+            out
+        """) == "two"
+
+    def test_fall_through(self, run):
+        assert run("""
+            var out = [];
+            switch ("b") {
+                case "a": out.push("A");
+                case "b": out.push("B");
+                case "c": out.push("C"); break;
+                case "d": out.push("D");
+            }
+            out.join("")
+        """) == "BC"
+
+    def test_default_clause(self, run):
+        assert run("""
+            var out = "";
+            switch (42) { case 1: out = "x"; break;
+                          default: out = "default"; }
+            out
+        """) == "default"
+
+    def test_default_falls_through_to_later_cases(self, run):
+        assert run("""
+            var out = [];
+            switch (99) {
+                case 1: out.push("1");
+                default: out.push("d");
+                case 2: out.push("2");
+            }
+            out.join(",")
+        """) == "d,2"
+
+    def test_no_match_no_default(self, run):
+        assert run("""
+            var out = "untouched";
+            switch (9) { case 1: out = "x"; }
+            out
+        """) == "untouched"
+
+    def test_strict_matching(self, run):
+        assert run("""
+            var out = "none";
+            switch ("1") { case 1: out = "number"; break; }
+            out
+        """) == "none"
+
+    def test_break_only_exits_switch_not_loop(self, run):
+        assert run("""
+            var total = 0;
+            for (var i = 0; i < 3; i++) {
+                switch (i) { case 0: break; case 1: total += 10; break; }
+                total += 1;
+            }
+            total
+        """) == 13.0
+
+    def test_multiple_defaults_rejected(self):
+        with pytest.raises(ParseError):
+            parse("switch (x) { default: 1; default: 2; }")
+
+    def test_case_expressions_evaluated(self, run):
+        assert run("""
+            var out = "";
+            var key = 4;
+            switch (key) { case 2 + 2: out = "four"; break; }
+            out
+        """) == "four"
+
+
+class TestTemplateLiterals:
+    def test_plain_template(self, run):
+        assert run("`just text`") == "just text"
+
+    def test_single_interpolation(self, run):
+        assert run("var x = 7; `x is ${x}`") == "x is 7"
+
+    def test_expression_interpolation(self, run):
+        assert run("`sum: ${1 + 2 * 3}`") == "sum: 7"
+
+    def test_multiple_holes(self, run):
+        assert run("var a = 'A', b = 'B'; `${a}-${b}!`") == "A-B!"
+
+    def test_adjacent_holes(self, run):
+        assert run("`${1}${2}${3}`") == "123"
+
+    def test_object_member_in_hole(self, run):
+        assert run("var o = {n: 'neo'}; `hi ${o.n}`") == "hi neo"
+
+    def test_conditional_in_hole(self, run):
+        assert run("`${ 2 > 1 ? 'yes' : 'no' }`") == "yes"
+
+    def test_function_call_in_hole(self, run):
+        assert run("""
+            function double(x) { return x * 2; }
+            `got ${double(21)}`
+        """) == "got 42"
+
+    def test_nested_template(self, run):
+        assert run("`a${ `b${1}c` }d`") == "ab1cd"
+
+    def test_object_literal_braces_in_hole(self, run):
+        assert run("`v=${ ({k: 9}).k }`") == "v=9"
+
+    def test_tostring_coercion(self, run):
+        assert run("`arr: ${[1, 2]}; nil: ${null}; u: ${undefined}`") \
+            == "arr: 1,2; nil: null; u: undefined"
+
+    def test_escapes_inside_template(self, run):
+        assert run(r"`tab\there`") == "tab\there"

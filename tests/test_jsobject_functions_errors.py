@@ -1,0 +1,91 @@
+"""Unit tests for function objects and JS errors."""
+
+import pytest
+
+from repro.jsobject import (
+    UNDEFINED,
+    JSError,
+    JSObject,
+    NativeFunction,
+    StackFrame,
+    make_error_object,
+)
+from repro.jsobject.errors import format_stack
+from repro.jsobject.functions import native_function, native_source
+
+
+class TestNativeFunctions:
+    def test_tostring_is_native_code(self):
+        fn = NativeFunction(lambda i, t, a: UNDEFINED, name="getContext")
+        assert fn.to_source_string() \
+            == "function getContext() {\n    [native code]\n}"
+
+    def test_masquerade_name_controls_tostring(self):
+        fn = NativeFunction(lambda i, t, a: UNDEFINED, name="get webdriver",
+                            masquerade_name="webdriver")
+        assert "webdriver()" in fn.to_source_string()
+        assert "get webdriver" not in fn.to_source_string()
+
+    def test_call_dispatches(self):
+        fn = NativeFunction(lambda i, t, a: a[0] * 2, name="double")
+        assert fn.call(None, UNDEFINED, [21.0]) == 42.0
+
+    def test_not_a_constructor_by_default(self):
+        fn = NativeFunction(lambda i, t, a: UNDEFINED, name="f")
+        with pytest.raises(NotImplementedError):
+            fn.construct(None, [])
+
+    def test_constructor_hook(self):
+        fn = NativeFunction(lambda i, t, a: UNDEFINED, name="F",
+                            constructor=lambda i, a: JSObject())
+        assert isinstance(fn.construct(None, []), JSObject)
+
+    def test_decorator(self):
+        @native_function("helper")
+        def helper(interp, this, args):
+            return "ok"
+
+        assert isinstance(helper, NativeFunction)
+        assert helper.call(None, None, []) == "ok"
+
+    def test_native_source_helper(self):
+        assert native_source("x") == "function x() {\n    [native code]\n}"
+
+
+class TestStackFrames:
+    def test_frame_format(self):
+        frame = StackFrame("fn", "https://a.test/x.js", 3, 7)
+        assert frame.format() == "fn@https://a.test/x.js:3:7"
+
+    def test_anonymous_frame(self):
+        frame = StackFrame("", "x.js", 1, 1)
+        assert frame.format().startswith("<anonymous>@")
+
+    def test_format_stack_joins_lines(self):
+        frames = [StackFrame("a", "u", 1, 1), StackFrame("b", "u", 2, 2)]
+        assert format_stack(frames).count("\n") == 1
+
+
+class TestErrorObjects:
+    def test_error_object_fields(self):
+        error = make_error_object("TypeError", "bad", [
+            StackFrame("f", "app.js", 5, 2)], "app.js", 5, 2)
+        assert error.get("name") == "TypeError"
+        assert error.get("message") == "bad"
+        assert error.get("stack") == "f@app.js:5:2"
+        assert error.get("fileName") == "app.js"
+        assert error.get("lineNumber") == 5.0
+
+    def test_jserror_describes_error_objects(self):
+        error = JSError(make_error_object("RangeError", "too big"))
+        assert "RangeError: too big" in str(error)
+
+    def test_jserror_describes_primitive_throws(self):
+        assert "just text" in str(JSError("just text"))
+
+    def test_factory_methods(self):
+        assert JSError.type_error("x").value.get("name") == "TypeError"
+        assert JSError.range_error("x").value.get("name") == "RangeError"
+        assert JSError.reference_error("x").value.get("name") \
+            == "ReferenceError"
+        assert JSError.syntax_error("x").value.get("name") == "SyntaxError"

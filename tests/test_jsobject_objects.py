@@ -1,0 +1,212 @@
+"""Unit tests for JSObject property/descriptor/prototype semantics."""
+
+import pytest
+
+from repro.jsobject import (
+    NULL,
+    UNDEFINED,
+    JSArray,
+    JSObject,
+    NativeFunction,
+    PropertyDescriptor,
+)
+
+
+def native(fn, name="f"):
+    return NativeFunction(fn, name=name)
+
+
+class TestDataProperties:
+    def test_get_missing_is_undefined(self):
+        assert JSObject().get("nope") is UNDEFINED
+
+    def test_set_then_get(self):
+        obj = JSObject()
+        obj.set("a", 1.0)
+        assert obj.get("a") == 1.0
+
+    def test_put_installs_descriptor(self):
+        obj = JSObject()
+        obj.put("a", 2.0, enumerable=False)
+        desc = obj.get_own_descriptor("a")
+        assert desc.value == 2.0
+        assert desc.enumerable is False
+
+    def test_non_writable_swallows_write(self):
+        obj = JSObject()
+        obj.put("a", 1.0, writable=False)
+        assert obj.set("a", 2.0) is False
+        assert obj.get("a") == 1.0
+
+    def test_non_extensible_rejects_new_property(self):
+        obj = JSObject()
+        obj.extensible = False
+        assert obj.set("a", 1.0) is False
+        assert not obj.has_property("a")
+
+
+class TestPrototypeChain:
+    def test_inherited_read(self):
+        proto = JSObject()
+        proto.put("a", 1.0)
+        child = JSObject(proto=proto)
+        assert child.get("a") == 1.0
+
+    def test_write_shadows_inherited_data(self):
+        proto = JSObject()
+        proto.put("a", 1.0)
+        child = JSObject(proto=proto)
+        child.set("a", 2.0)
+        assert child.get("a") == 2.0
+        assert proto.get("a") == 1.0
+
+    def test_inherited_non_writable_blocks_shadowing(self):
+        proto = JSObject()
+        proto.put("a", 1.0, writable=False)
+        child = JSObject(proto=proto)
+        assert child.set("a", 2.0) is False
+        assert child.get_own_descriptor("a") is None
+
+    def test_lookup_returns_holder(self):
+        proto = JSObject()
+        proto.put("a", 1.0)
+        child = JSObject(proto=proto)
+        holder, desc = child.lookup("a")
+        assert holder is proto
+        assert desc.value == 1.0
+
+    def test_prototype_chain_iteration(self):
+        grandparent = JSObject()
+        parent = JSObject(proto=grandparent)
+        child = JSObject(proto=parent)
+        assert list(child.prototype_chain()) == [child, parent, grandparent]
+
+    def test_in_operator_sees_inherited(self):
+        proto = JSObject()
+        proto.put("a", 1.0)
+        assert JSObject(proto=proto).has_property("a")
+
+
+class TestAccessors:
+    def test_getter_invoked_with_receiver(self):
+        seen = []
+        proto = JSObject()
+        proto.define_property("x", PropertyDescriptor.accessor(
+            get=native(lambda i, t, a: seen.append(t) or 7.0)))
+        child = JSObject(proto=proto)
+        assert child.get("x") == 7.0
+        assert seen[0] is child
+
+    def test_getter_only_swallows_write(self):
+        obj = JSObject()
+        obj.define_property("x", PropertyDescriptor.accessor(
+            get=native(lambda i, t, a: 1.0)))
+        assert obj.set("x", 2.0) is False
+        assert obj.get("x") == 1.0
+
+    def test_setter_receives_value(self):
+        box = []
+        obj = JSObject()
+        obj.define_property("x", PropertyDescriptor.accessor(
+            get=native(lambda i, t, a: box[-1] if box else UNDEFINED),
+            set=native(lambda i, t, a: box.append(a[0]))))
+        obj.set("x", 5.0)
+        assert obj.get("x") == 5.0
+
+    def test_inherited_setter_used_instead_of_shadowing(self):
+        box = []
+        proto = JSObject()
+        proto.define_property("x", PropertyDescriptor.accessor(
+            set=native(lambda i, t, a: box.append(a[0]))))
+        child = JSObject(proto=proto)
+        child.set("x", 9.0)
+        assert box == [9.0]
+        assert child.get_own_descriptor("x") is None
+
+
+class TestDefineDelete:
+    def test_redefine_non_configurable_raises(self):
+        obj = JSObject()
+        obj.put("a", 1.0, configurable=False)
+        with pytest.raises(TypeError):
+            obj.define_property("a", PropertyDescriptor.data(2.0))
+
+    def test_delete_configurable(self):
+        obj = JSObject()
+        obj.put("a", 1.0)
+        assert obj.delete_property("a") is True
+        assert not obj.has_property("a")
+
+    def test_delete_non_configurable_fails(self):
+        obj = JSObject()
+        obj.put("a", 1.0, configurable=False)
+        assert obj.delete_property("a") is False
+        assert obj.get("a") == 1.0
+
+    def test_delete_missing_is_true(self):
+        assert JSObject().delete_property("ghost") is True
+
+
+class TestEnumeration:
+    def test_own_keys_insertion_order(self):
+        obj = JSObject()
+        obj.put("b", 1.0)
+        obj.put("a", 2.0)
+        assert obj.own_keys() == ["b", "a"]
+
+    def test_enumerable_keys_skip_non_enumerable(self):
+        obj = JSObject()
+        obj.put("visible", 1.0)
+        obj.put("hidden", 2.0, enumerable=False)
+        assert obj.enumerable_keys() == ["visible"]
+
+    def test_enumerable_keys_include_inherited(self):
+        proto = JSObject()
+        proto.put("inherited", 1.0)
+        child = JSObject(proto=proto)
+        child.put("own", 2.0)
+        assert child.enumerable_keys() == ["own", "inherited"]
+
+    def test_shadowed_non_enumerable_hides_inherited(self):
+        proto = JSObject()
+        proto.put("x", 1.0)
+        child = JSObject(proto=proto)
+        child.put("x", 2.0, enumerable=False)
+        assert "x" not in child.enumerable_keys()
+
+
+class TestJSArray:
+    def test_length_tracks_elements(self):
+        arr = JSArray([1.0, 2.0])
+        assert arr.get("length") == 2.0
+
+    def test_index_read_write(self):
+        arr = JSArray([1.0])
+        arr.set("0", 9.0)
+        assert arr.get("0") == 9.0
+
+    def test_out_of_range_read_is_undefined(self):
+        assert JSArray([]).get("5") is UNDEFINED
+
+    def test_write_past_end_extends_with_holes(self):
+        arr = JSArray([])
+        arr.set("2", 1.0)
+        assert len(arr.elements) == 3
+        assert arr.elements[0] is UNDEFINED
+
+    def test_truncate_via_length(self):
+        arr = JSArray([1.0, 2.0, 3.0])
+        arr.set("length", 1)
+        assert arr.elements == [1.0]
+
+    def test_named_properties_coexist(self):
+        arr = JSArray([1.0])
+        arr.set("tag", "x")
+        assert arr.get("tag") == "x"
+        assert arr.get("length") == 1.0
+
+    def test_enumerable_keys_are_indices_first(self):
+        arr = JSArray([1.0, 2.0])
+        arr.set("extra", 1.0)
+        assert arr.enumerable_keys()[:2] == ["0", "1"]
+        assert "extra" in arr.enumerable_keys()

@@ -1,0 +1,175 @@
+"""Unit tests for JS primitive values and conversions."""
+
+import math
+
+import pytest
+
+from repro.jsobject import (
+    NULL,
+    UNDEFINED,
+    JSArray,
+    JSObject,
+    js_equals,
+    js_strict_equals,
+    js_truthy,
+    js_typeof,
+    to_js_string,
+    to_number,
+)
+from repro.jsobject.values import format_number
+
+
+class TestSingletons:
+    def test_undefined_is_singleton(self):
+        from repro.jsobject.values import JSUndefined
+
+        assert JSUndefined() is UNDEFINED
+
+    def test_null_is_singleton(self):
+        from repro.jsobject.values import JSNull
+
+        assert JSNull() is NULL
+
+    def test_undefined_and_null_are_distinct(self):
+        assert UNDEFINED is not NULL
+
+    def test_both_are_falsy_in_python(self):
+        assert not UNDEFINED
+        assert not NULL
+
+
+class TestTypeof:
+    @pytest.mark.parametrize("value,expected", [
+        (UNDEFINED, "undefined"),
+        (NULL, "object"),
+        (True, "boolean"),
+        (False, "boolean"),
+        (1.0, "number"),
+        (0.0, "number"),
+        ("", "string"),
+        ("x", "string"),
+    ])
+    def test_primitives(self, value, expected):
+        assert js_typeof(value) == expected
+
+    def test_object(self):
+        assert js_typeof(JSObject()) == "object"
+
+    def test_array_is_object(self):
+        assert js_typeof(JSArray([1.0])) == "object"
+
+    def test_function(self):
+        from repro.jsobject import NativeFunction
+
+        fn = NativeFunction(lambda i, t, a: UNDEFINED, name="f")
+        assert js_typeof(fn) == "function"
+
+    def test_non_js_value_raises(self):
+        with pytest.raises(TypeError):
+            js_typeof(object())
+
+
+class TestTruthiness:
+    @pytest.mark.parametrize("value", [
+        UNDEFINED, NULL, False, 0.0, -0.0, "", math.nan])
+    def test_falsy(self, value):
+        assert js_truthy(value) is False
+
+    @pytest.mark.parametrize("value", [
+        True, 1.0, -1.0, "0", "false", JSObject(), JSArray([])])
+    def test_truthy(self, value):
+        assert js_truthy(value) is True
+
+
+class TestToString:
+    def test_undefined(self):
+        assert to_js_string(UNDEFINED) == "undefined"
+
+    def test_null(self):
+        assert to_js_string(NULL) == "null"
+
+    def test_booleans(self):
+        assert to_js_string(True) == "true"
+        assert to_js_string(False) == "false"
+
+    def test_integral_number_has_no_decimal_point(self):
+        assert to_js_string(42.0) == "42"
+
+    def test_fractional_number(self):
+        assert to_js_string(1.5) == "1.5"
+
+    def test_nan_and_infinity(self):
+        assert to_js_string(math.nan) == "NaN"
+        assert to_js_string(math.inf) == "Infinity"
+        assert to_js_string(-math.inf) == "-Infinity"
+
+    def test_array_joins_elements(self):
+        assert to_js_string(JSArray([1.0, 2.0, 3.0])) == "1,2,3"
+
+    def test_array_renders_holes_as_empty(self):
+        assert to_js_string(JSArray([UNDEFINED, NULL, 1.0])) == ",,1"
+
+    def test_plain_object(self):
+        assert to_js_string(JSObject()) == "[object Object]"
+
+    def test_format_number_large_integer(self):
+        assert format_number(1e20) == "100000000000000000000"
+
+
+class TestToNumber:
+    def test_undefined_is_nan(self):
+        assert math.isnan(to_number(UNDEFINED))
+
+    def test_null_is_zero(self):
+        assert to_number(NULL) == 0.0
+
+    def test_booleans(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_numeric_strings(self):
+        assert to_number("42") == 42.0
+        assert to_number("  3.5  ") == 3.5
+
+    def test_empty_string_is_zero(self):
+        assert to_number("") == 0.0
+
+    def test_hex_string(self):
+        assert to_number("0xff") == 255.0
+
+    def test_garbage_string_is_nan(self):
+        assert math.isnan(to_number("12abc"))
+
+    def test_plain_object_is_nan(self):
+        assert math.isnan(to_number(JSObject()))
+
+
+class TestEquality:
+    def test_strict_same_number(self):
+        assert js_strict_equals(1.0, 1.0)
+
+    def test_strict_nan_never_equal(self):
+        assert not js_strict_equals(math.nan, math.nan)
+
+    def test_strict_bool_vs_number(self):
+        assert not js_strict_equals(True, 1.0)
+
+    def test_strict_object_identity(self):
+        obj = JSObject()
+        assert js_strict_equals(obj, obj)
+        assert not js_strict_equals(obj, JSObject())
+
+    def test_loose_null_undefined(self):
+        assert js_equals(NULL, UNDEFINED)
+        assert js_equals(UNDEFINED, NULL)
+
+    def test_loose_null_vs_zero(self):
+        assert not js_equals(NULL, 0.0)
+
+    def test_loose_number_string_coercion(self):
+        assert js_equals(1.0, "1")
+        assert js_equals("2.5", 2.5)
+
+    def test_loose_bool_coercion(self):
+        assert js_equals(True, "1")
+        assert js_equals(False, "0")

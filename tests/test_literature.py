@@ -1,0 +1,90 @@
+"""Tests for the literature datasets (Tables 1, 14, 15)."""
+
+from datetime import date
+
+from repro.literature import (
+    FIREFOX_RELEASES,
+    OPENWPM_RELEASES,
+    STUDIES,
+    outdated_statistics,
+    summarise_studies,
+)
+from repro.literature.firefox_releases import (
+    newest_firefox_on,
+    openwpm_firefox_on,
+)
+
+
+class TestTable1:
+    """The aggregates the paper reports over 72 studies."""
+
+    def test_study_count(self):
+        assert len(STUDIES) == 72
+
+    def test_measures_row(self):
+        measures = summarise_studies()["measures"]
+        assert measures == {"http": 56, "cookies": 35, "javascript": 22,
+                            "other": 6}
+
+    def test_interaction_row(self):
+        interaction = summarise_studies()["interaction"]
+        assert interaction == {"none": 55, "clicking": 11, "scrolling": 8,
+                               "typing": 5}
+
+    def test_subpages_row(self):
+        assert summarise_studies()["subpages"] == {
+            "visited": 19, "not_visited": 53}
+
+    def test_bot_detection_row(self):
+        bd = summarise_studies()["bot_detection"]
+        assert bd["discussed"] == 17
+        assert bd["ignored"] == 55
+
+    def test_refs_unique(self):
+        refs = [s.ref for s in STUDIES]
+        assert len(set(refs)) == len(refs)
+
+    def test_years_in_range(self):
+        assert all(2014 <= s.year <= 2022 for s in STUDIES)
+
+    def test_oob_measures_not_counted_as_instrument_use(self):
+        kranch = next(s for s in STUDIES if s.first_author == "Kranch")
+        assert kranch.http == "oob"
+        # ... and does not contribute to the http tally (spot check via
+        # recount excluding oob).
+        http = sum(1 for s in STUDIES if s.http is True)
+        assert http == 56
+
+
+class TestTable14:
+    def test_release_data_ordered(self):
+        dates = [r.released for r in FIREFOX_RELEASES]
+        assert dates == sorted(dates)
+        dates = [r.released for r in OPENWPM_RELEASES]
+        assert dates == sorted(dates)
+
+    def test_outdated_fraction_is_69_percent(self):
+        stats = outdated_statistics()
+        assert stats["total_days"] == 780
+        assert stats["outdated_days"] == 540
+        assert abs(stats["outdated_fraction"] - 0.69) < 0.005
+
+    def test_newest_firefox_lookup(self):
+        assert newest_firefox_on(date(2020, 7, 15)) == "78.0.1"
+        assert newest_firefox_on(date(2022, 7, 23)) == "104.0"
+        assert newest_firefox_on(date(2019, 1, 1)) is None
+
+    def test_openwpm_shipped_firefox_lookup(self):
+        assert openwpm_firefox_on(date(2020, 6, 25)) == "77.0"
+        assert openwpm_firefox_on(date(2021, 9, 1)) == "90.0"
+        assert openwpm_firefox_on(date(2020, 6, 1)) is None
+
+    def test_day_after_integration_is_current(self):
+        # 0.11.0 shipped FF 78.0.1 on 2020-07-09; newest was 78.0.1.
+        day = date(2020, 7, 10)
+        assert newest_firefox_on(day) == openwpm_firefox_on(day)
+
+    def test_day_after_new_firefox_is_outdated(self):
+        # FF 79 released 2020-07-28; OpenWPM still shipped 78.0.1.
+        day = date(2020, 7, 29)
+        assert newest_firefox_on(day) != openwpm_firefox_on(day)

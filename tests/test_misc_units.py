@@ -1,0 +1,185 @@
+"""Unit tests for smaller pieces: page specs, event loop, site configs,
+symbol normalisation, shared-prototype wrapping semantics."""
+
+import pytest
+
+from repro.net.page import (
+    IFrameItem,
+    LinkItem,
+    PageSpec,
+    ResourceItem,
+    ScriptItem,
+)
+
+
+class TestPageSpec:
+    def _page(self):
+        return PageSpec(url="https://x.test/", title="t", items=[
+            ScriptItem(src="/a.js"),
+            ScriptItem(source="var x = 1;"),
+            IFrameItem(src="/f.html"),
+            ResourceItem(url="/img.png"),
+            ResourceItem(url="/style.css", resource_type="stylesheet"),
+            LinkItem(href="/p/1.html", text="one"),
+        ])
+
+    def test_accessors(self):
+        page = self._page()
+        assert len(page.scripts()) == 2
+        assert len(page.iframes()) == 1
+        assert len(page.resources()) == 2
+        assert page.links() == ["/p/1.html"]
+
+    def test_to_html_roundtrips_through_fragment_parser(self):
+        from repro.dom.html import parse_html_fragment
+
+        html = self._page().to_html()
+        tags = [t.tag for t in parse_html_fragment(html)]
+        assert tags.count("script") == 2
+        assert "iframe" in tags
+        assert "img" in tags
+        assert "a" in tags
+
+    def test_inline_script_body_in_html(self):
+        html = self._page().to_html()
+        assert "var x = 1;" in html
+
+    def test_stylesheet_rendered_as_link(self):
+        html = self._page().to_html()
+        assert 'rel="stylesheet"' in html
+
+
+class TestEventLoop:
+    def _browser(self):
+        from repro.browser import Browser, openwpm_profile
+        from repro.core.lab import make_lab_network
+
+        return Browser(openwpm_profile("ubuntu", "regular"),
+                       make_lab_network())
+
+    def test_tasks_fire_in_time_order(self):
+        browser = self._browser()
+        order = []
+        browser.schedule(lambda: order.append("late"), delay=2.0)
+        browser.schedule(lambda: order.append("early"), delay=1.0)
+        browser.run_event_loop(until=5.0)
+        assert order == ["early", "late"]
+
+    def test_equal_deadline_preserves_insertion_order(self):
+        browser = self._browser()
+        order = []
+        browser.schedule(lambda: order.append(1), delay=1.0)
+        browser.schedule(lambda: order.append(2), delay=1.0)
+        browser.run_event_loop(until=5.0)
+        assert order == [1, 2]
+
+    def test_cancel(self):
+        browser = self._browser()
+        fired = []
+        timer_id = browser.schedule(lambda: fired.append(1), delay=1.0)
+        browser.cancel_scheduled(timer_id)
+        browser.run_event_loop(until=5.0)
+        assert fired == []
+
+    def test_virtual_time_advances(self):
+        browser = self._browser()
+        browser.run_event_loop(until=60.0)
+        assert browser.current_time == 60.0
+
+    def test_tasks_beyond_horizon_stay_queued(self):
+        browser = self._browser()
+        fired = []
+        browser.schedule(lambda: fired.append(1), delay=10.0)
+        browser.run_event_loop(until=5.0)
+        assert fired == []
+        browser.run_event_loop(until=15.0)
+        assert fired == [1]
+
+
+class TestSiteConfigChannels:
+    def _config(self, **kwargs):
+        from repro.web.sitegen import SiteConfig
+        from repro.web.tranco import TrancoSite
+
+        site = TrancoSite(rank=1, domain="x.test", categories=("News",))
+        return SiteConfig(site=site, **kwargs)
+
+    def test_plain_front_detector_both_channels(self):
+        config = self._config(front_detector_form="plain")
+        assert config.detector_channels("front") == (True, True)
+
+    def test_lazy_static_only(self):
+        config = self._config(front_detector_form="lazy")
+        assert config.detector_channels("front") == (True, False)
+
+    def test_obfuscated_dynamic_only(self):
+        config = self._config(front_detector_form="obfuscated")
+        assert config.detector_channels("front") == (False, True)
+
+    def test_sub_detector_not_counted_on_front(self):
+        config = self._config(sub_detector_form="plain")
+        assert config.detector_channels("front") == (False, False)
+        assert config.detector_channels("any") == (True, True)
+
+    def test_first_party_vendor_counts_both(self):
+        config = self._config(first_party_vendor="Akamai")
+        assert config.detector_channels("front") == (True, True)
+
+    def test_clean_site(self):
+        config = self._config()
+        assert not config.has_detector
+        assert config.detector_channels() == (False, False)
+
+
+class TestSymbolNormalisation:
+    def test_instance_style_mapped_to_interface_style(self):
+        from collections import Counter
+
+        from repro.core.comparison.experiment import _normalise_symbols
+
+        merged = _normalise_symbols(Counter({
+            "navigator.userAgent": 2,
+            "Navigator.userAgent": 3,
+            "screen.availLeft": 1,
+        }))
+        assert merged["Navigator.userAgent"] == 5
+        assert merged["Screen.availLeft"] == 1
+
+
+class TestSharedPrototypeWrapping:
+    def test_stealth_event_target_wrap_reaches_other_interfaces(self):
+        """The documented Sec. 6.1.4 limitation: wrapping a shared
+        prototype (EventTarget) instruments every inheriting interface
+        — so calls via document are recorded under EventTarget too."""
+        from repro.browser.profiles import openwpm_profile
+        from repro.core.hardening import StealthJSInstrument
+        from repro.core.lab import visit_with_scripts
+        from repro.openwpm import BrowserParams, OpenWPMExtension
+
+        extension = OpenWPMExtension(
+            BrowserParams(stealth=True),
+            js_instrument=StealthJSInstrument())
+        _, result = visit_with_scripts(
+            openwpm_profile("ubuntu", "regular"),
+            ["document.addEventListener('x', function () {});"],
+            extension=extension)
+        assert any(r.symbol == "EventTarget.addEventListener"
+                   for r in extension.js_instrument.records)
+
+    def test_vanilla_pollution_copies_do_not_mutate_shared_proto(self):
+        from repro.browser.profiles import openwpm_profile
+        from repro.core.lab import make_window
+        from repro.openwpm import BrowserParams, OpenWPMExtension
+
+        extension = OpenWPMExtension(BrowserParams())
+        _, window = make_window(openwpm_profile("ubuntu", "regular"),
+                                extension=extension)
+        # The shared EventTarget prototype still holds native functions;
+        # the wrapped copies live on Screen's own prototype.
+        desc = window.dom.event_target.get_own_descriptor(
+            "addEventListener")
+        assert "openwpm_wrapped" not in desc.meta
+        screen_desc = window.screen_proto.get_own_descriptor(
+            "addEventListener")
+        assert screen_desc is not None
+        assert screen_desc.meta.get("openwpm_wrapped")

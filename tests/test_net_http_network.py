@@ -1,0 +1,126 @@
+"""Unit tests for HTTP messages, cookies-on-the-wire, and routing."""
+
+import pytest
+
+from repro.net.http import HttpRequest, HttpResponse, ResourceType, SetCookie
+from repro.net.network import ClientIdentity, FunctionServer, Network
+from repro.net.url import URL
+
+
+def make_request(url, **kwargs):
+    return HttpRequest(url=URL.parse(url), **kwargs)
+
+
+CLIENT = ClientIdentity(client_id="c1")
+
+
+class TestMessages:
+    def test_request_ids_unique(self):
+        a = make_request("https://x.test/")
+        b = make_request("https://x.test/")
+        assert a.request_id != b.request_id
+
+    def test_third_party_by_etld(self):
+        request = make_request("https://cdn.tracker.com/p.gif",
+                               top_frame_url=URL.parse("https://site.com/"))
+        assert request.is_third_party()
+
+    def test_same_site_subdomain_is_first_party(self):
+        request = make_request("https://static.site.com/x.js",
+                               top_frame_url=URL.parse("https://site.com/"))
+        assert not request.is_third_party()
+
+    def test_redirect_detection(self):
+        assert HttpResponse.redirect("/next").is_redirect
+        assert not HttpResponse(status=200).is_redirect
+
+    def test_set_cookie_header_value(self):
+        cookie = SetCookie("sid", "abc", max_age=60, http_only=True)
+        header = cookie.header_value()
+        assert "sid=abc" in header
+        assert "Max-Age=60" in header
+        assert "HttpOnly" in header
+
+    def test_session_cookie(self):
+        assert SetCookie("a", "b").is_session
+        assert not SetCookie("a", "b", max_age=1).is_session
+
+    def test_resource_type_universe_matches_table8(self):
+        assert set(ResourceType.ALL) >= {
+            "csp_report", "media", "beacon", "websocket", "xmlhttprequest",
+            "imageset", "font", "object", "main_frame", "image", "script",
+            "sub_frame", "other", "stylesheet"}
+
+
+class TestRouting:
+    def test_unknown_host_404(self):
+        network = Network()
+        response, hops = network.fetch(make_request("https://ghost.test/"),
+                                       CLIENT)
+        assert response.status == 404
+        assert len(hops) == 1
+
+    def test_domain_covers_subdomains(self):
+        network = Network()
+        network.register_domain("example.com", FunctionServer(
+            lambda r, c, n: HttpResponse(body="apex")))
+        response, _ = network.fetch(
+            make_request("https://deep.www.example.com/"), CLIENT)
+        assert response.body == "apex"
+
+    def test_most_specific_domain_wins(self):
+        network = Network()
+        network.register_domain("example.com", FunctionServer(
+            lambda r, c, n: HttpResponse(body="apex")))
+        network.register_domain("cdn.example.com", FunctionServer(
+            lambda r, c, n: HttpResponse(body="cdn")))
+        response, _ = network.fetch(
+            make_request("https://cdn.example.com/x"), CLIENT)
+        assert response.body == "cdn"
+        response, _ = network.fetch(
+            make_request("https://www.example.com/x"), CLIENT)
+        assert response.body == "apex"
+
+    def test_exact_host_beats_domain(self):
+        network = Network()
+        network.register_domain("example.com", FunctionServer(
+            lambda r, c, n: HttpResponse(body="domain")))
+        network.register_host("api.example.com", FunctionServer(
+            lambda r, c, n: HttpResponse(body="host")))
+        response, _ = network.fetch(
+            make_request("https://api.example.com/"), CLIENT)
+        assert response.body == "host"
+
+    def test_redirects_followed_and_recorded(self):
+        network = Network()
+
+        def serve(request, client, net):
+            if request.url.path == "/start":
+                return HttpResponse.redirect("/mid")
+            if request.url.path == "/mid":
+                return HttpResponse.redirect("https://other.test/end")
+            return HttpResponse(body="landed")
+
+        network.register_domain("example.com", FunctionServer(serve))
+        network.register_domain("other.test", FunctionServer(
+            lambda r, c, n: HttpResponse(body="other-landed")))
+        response, hops = network.fetch(
+            make_request("https://example.com/start"), CLIENT)
+        assert response.body == "other-landed"
+        assert [str(h.request.url) for h in hops] == [
+            "https://example.com/start", "https://example.com/mid",
+            "https://other.test/end"]
+
+    def test_redirect_loop_bounded(self):
+        network = Network()
+        network.register_domain("loop.test", FunctionServer(
+            lambda r, c, n: HttpResponse.redirect("/again")))
+        response, hops = network.fetch(make_request("https://loop.test/"),
+                                       CLIENT)
+        assert response.status == 508
+        assert len(hops) == Network.MAX_REDIRECTS
+
+    def test_state_blackboard_shared(self):
+        network = Network()
+        network.state["provider"]["flagged"] = True
+        assert network.state["provider"]["flagged"] is True

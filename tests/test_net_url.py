@@ -1,0 +1,94 @@
+"""Unit tests for URL parsing and eTLD+1 handling."""
+
+import pytest
+
+from repro.net.url import URL, etld_plus_one, same_site, split_registrable
+
+
+class TestURLParsing:
+    def test_absolute(self):
+        url = URL.parse("https://www.example.com/a/b?q=1#frag")
+        assert url.scheme == "https"
+        assert url.host == "www.example.com"
+        assert url.path == "/a/b"
+        assert url.query == "q=1"
+        assert url.fragment == "frag"
+
+    def test_defaults(self):
+        url = URL.parse("https://example.com")
+        assert url.path == "/"
+        assert url.query == ""
+
+    def test_port(self):
+        url = URL.parse("http://example.com:8080/x")
+        assert url.port == 8080
+        assert url.origin == "http://example.com:8080"
+
+    def test_case_normalisation(self):
+        url = URL.parse("HTTPS://Example.COM/Path")
+        assert url.scheme == "https"
+        assert url.host == "example.com"
+        assert url.path == "/Path"  # path case preserved
+
+    def test_relative_path_against_base(self):
+        base = URL.parse("https://example.com/dir/page.html")
+        assert str(URL.parse("other.html", base=base)) \
+            == "https://example.com/dir/other.html"
+
+    def test_root_relative(self):
+        base = URL.parse("https://example.com/dir/page.html")
+        assert str(URL.parse("/top.html", base=base)) \
+            == "https://example.com/top.html"
+
+    def test_protocol_relative(self):
+        base = URL.parse("https://example.com/")
+        assert URL.parse("//cdn.example.com/x.js", base=base).host \
+            == "cdn.example.com"
+
+    def test_relative_without_base_raises(self):
+        with pytest.raises(ValueError):
+            URL.parse("/no-base")
+
+    def test_filename_and_extension(self):
+        url = URL.parse("https://x.test/static/app.min.js")
+        assert url.filename == "app.min.js"
+        assert url.extension == "js"
+
+    def test_no_extension(self):
+        assert URL.parse("https://x.test/cheat").extension == ""
+
+    def test_str_roundtrip(self):
+        text = "https://a.b.example.org/path/x?k=v#f"
+        assert str(URL.parse(text)) == text
+
+    def test_sibling(self):
+        url = URL.parse("https://x.test/a/b")
+        assert str(url.sibling("/csp")) == "https://x.test/csp"
+
+
+class TestETLDPlusOne:
+    @pytest.mark.parametrize("host,expected", [
+        ("example.com", "example.com"),
+        ("www.example.com", "example.com"),
+        ("a.b.c.example.com", "example.com"),
+        ("shop.example.co.uk", "example.co.uk"),
+        ("example.co.uk", "example.co.uk"),
+        ("single", "single"),
+        ("192.168.0.1", "192.168.0.1"),
+    ])
+    def test_registrable(self, host, expected):
+        assert etld_plus_one(host) == expected
+
+    def test_same_site_subdomains(self):
+        assert same_site("www.example.com", "cdn.example.com")
+
+    def test_different_sites(self):
+        assert not same_site("example.com", "example.org")
+
+    def test_multi_label_suffix_not_same_site(self):
+        assert not same_site("a.co.uk", "b.co.uk")
+
+    def test_split_registrable(self):
+        assert split_registrable("www.shop.example.com") \
+            == ("www.shop", "example.com")
+        assert split_registrable("example.com") == ("", "example.com")

@@ -1,0 +1,106 @@
+"""Unit tests for the SQLite storage controller (incl. RQ6/RQ7 props)."""
+
+import pytest
+
+from repro.openwpm.storage import StorageController
+
+
+@pytest.fixture()
+def storage():
+    controller = StorageController(":memory:")
+    yield controller
+    controller.close()
+
+
+class TestVisitLifecycle:
+    def test_visit_ids_increment(self, storage):
+        a = storage.begin_visit(0, "https://a.test/")
+        storage.end_visit()
+        b = storage.begin_visit(0, "https://b.test/")
+        assert b.visit_id == a.visit_id + 1
+
+    def test_records_outside_visit_use_sentinel(self, storage):
+        storage.record_javascript("d", "s", "sym", "get", "v")
+        rows = storage.javascript_records()
+        assert rows[0]["visit_id"] == 0
+        assert rows[0]["browser_id"] == -1
+
+
+class TestSanitisation:
+    def test_top_level_url_comes_from_controller(self, storage):
+        """RQ6: forged events cannot spoof the visited site."""
+        storage.begin_visit(1, "https://real-site.test/")
+        storage.record_javascript(
+            document_url="https://spoofed.test/",
+            script_url="https://attacker.test/x.js",
+            symbol="navigator.fake", operation="call",
+            value="", arguments="", call_stack="")
+        row = storage.javascript_records()[0]
+        assert row["top_level_url"] == "https://real-site.test/"
+        assert row["visit_id"] == 1
+        storage.end_visit()
+
+    def test_oversized_fields_truncated(self, storage):
+        storage.begin_visit(1, "https://x.test/")
+        storage.record_javascript("d", "s", "A" * 10_000, "get",
+                                  "B" * 10_000)
+        row = storage.javascript_records()[0]
+        assert len(row["symbol"]) == 2048
+        assert len(row["value"]) == 2048
+
+    def test_sql_injection_payload_stored_inert(self, storage):
+        """RQ7: parameterised statements defuse injection."""
+        storage.begin_visit(1, "https://x.test/")
+        payload = "'); DROP TABLE javascript; --"
+        storage.record_javascript("d", "s", payload, "call", payload)
+        # Table still exists and holds the payload verbatim.
+        rows = storage.javascript_records()
+        assert rows[0]["symbol"] == payload
+
+
+class TestTables:
+    def test_http_request_and_response(self, storage):
+        storage.begin_visit(2, "https://x.test/")
+        storage.record_http_request(
+            url="https://cdn.test/a.js", top_level_url="https://x.test/",
+            frame_url="https://x.test/", method="GET",
+            resource_type="script", is_third_party=True)
+        storage.record_http_response(url="https://cdn.test/a.js",
+                                     status=200,
+                                     content_type="text/javascript")
+        requests = storage.http_request_rows()
+        assert requests[0]["resource_type"] == "script"
+        assert requests[0]["is_third_party_channel"] == 1
+
+    def test_content_deduplicated_by_hash(self, storage):
+        h1 = storage.record_content("var a;", "https://a.test/x.js",
+                                    "text/javascript")
+        h2 = storage.record_content("var a;", "https://b.test/y.js",
+                                    "text/javascript")
+        assert h1 == h2
+        assert len(storage.saved_scripts()) == 1
+
+    def test_cookie_rows(self, storage):
+        storage.begin_visit(3, "https://x.test/")
+        storage.record_cookie(
+            change_cause="added-http", host="tracker.test", name="uid",
+            value="abc12345", path="/", is_session=False,
+            is_http_only=False, expiry=1000.0, first_party="x.test",
+            via_javascript=False)
+        row = storage.cookie_rows()[0]
+        assert row["host"] == "tracker.test"
+        assert row["is_session"] == 0
+
+    def test_crash_history(self, storage):
+        storage.record_crash(5, "https://dead.test/", "crash")
+        rows = storage.query("SELECT * FROM crash_history")
+        assert rows[0]["browser_id"] == 5
+
+    def test_query_filter_by_visit(self, storage):
+        storage.begin_visit(1, "https://a.test/")
+        storage.record_javascript("d", "s", "sym1", "get", "")
+        storage.end_visit()
+        storage.begin_visit(1, "https://b.test/")
+        storage.record_javascript("d", "s", "sym2", "get", "")
+        storage.end_visit()
+        assert len(storage.javascript_records(visit_id=2)) == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the TaskManager framework layer."""
+
+import pytest
+
+from repro.core.lab import LAB_URL, make_lab_network
+from repro.openwpm import (
+    BrowserParams,
+    CommandSequence,
+    ManagerParams,
+    TaskManager,
+)
+
+
+def make_manager(crash_probability=0.0, num_browsers=1):
+    network = make_lab_network()
+    manager = TaskManager(
+        ManagerParams(crash_probability=crash_probability, seed=3),
+        [BrowserParams(browser_id=i, dwell_time=1.0)
+         for i in range(num_browsers)],
+        network)
+    return manager
+
+
+class TestCrawling:
+    def test_get_records_visit(self):
+        manager = make_manager()
+        manager.get(LAB_URL)
+        visits = manager.storage.query("SELECT * FROM site_visits")
+        assert len(visits) == 1
+        assert visits[0]["site_url"] == LAB_URL
+        manager.close()
+
+    def test_crawl_distributes_round_robin(self):
+        manager = make_manager(num_browsers=2)
+        manager.crawl([LAB_URL] * 4)
+        visits = manager.storage.query(
+            "SELECT browser_id FROM site_visits ORDER BY visit_id")
+        assert [v["browser_id"] for v in visits] == [0, 1, 0, 1]
+        manager.close()
+
+    def test_callbacks_receive_result(self):
+        seen = []
+        manager = make_manager()
+        manager.get(LAB_URL, callbacks=[
+            lambda browser, result: seen.append(result.final_url)])
+        assert seen == [LAB_URL]
+        manager.close()
+
+    def test_instruments_wired_to_storage(self):
+        manager = make_manager()
+        manager.get(LAB_URL)
+        requests = manager.storage.http_request_rows()
+        assert any(r["resource_type"] == "main_frame" for r in requests)
+        manager.close()
+
+
+class TestCrashRecovery:
+    def test_crashes_logged_and_recovered(self):
+        manager = make_manager(crash_probability=0.4)
+        results = manager.crawl([LAB_URL] * 10)
+        crashes = manager.storage.query(
+            "SELECT * FROM crash_history WHERE action = 'crash'")
+        assert crashes  # fault injection fired at least once
+        # Every site still eventually succeeded or was given up cleanly.
+        completed = [r for r in results if r is not None]
+        assert len(completed) + len(manager.failed_sites) == 10
+        assert completed  # recovery produced successes
+        manager.close()
+
+    def test_browser_replaced_after_crash(self):
+        manager = make_manager(crash_probability=1.0)
+        manager.get(LAB_URL)
+        assert manager.failed_sites == [LAB_URL]
+        assert manager.browsers[0].crash_count \
+            == manager.manager_params.failure_limit
+        manager.close()
+
+    def test_stealth_factory_used(self):
+        from repro.core.hardening import StealthJSInstrument
+
+        network = make_lab_network()
+        manager = TaskManager(
+            ManagerParams(),
+            [BrowserParams(browser_id=0, stealth=True, dwell_time=1.0)],
+            network,
+            js_instrument_factory=lambda storage: StealthJSInstrument(
+                storage=storage))
+        assert isinstance(manager.browsers[0].extension.js_instrument,
+                          StealthJSInstrument)
+        manager.close()
+
+
+class TestInteraction:
+    def _manager_with_collector(self, style):
+        from repro.core.lab import LAB_URL, make_lab_network
+        from repro.net.page import PageSpec, ScriptItem
+        from repro.browser.interaction import BEHAVIOUR_COLLECTOR_SCRIPT
+
+        page = PageSpec(url=LAB_URL, items=[
+            ScriptItem(source=BEHAVIOUR_COLLECTOR_SCRIPT)])
+        network = make_lab_network(pages={"/": page})
+        return TaskManager(
+            ManagerParams(),
+            [BrowserParams(dwell_time=1.0, interaction=style)], network)
+
+    def _track(self, manager):
+        from repro.browser.interaction import extract_behaviour_track
+
+        tracks = []
+        manager.get("https://lab.test/", callbacks=[
+            lambda browser, result: tracks.append(
+                extract_behaviour_track(result.top_window))])
+        manager.close()
+        return tracks[0]
+
+    def test_no_interaction_by_default(self):
+        manager = self._manager_with_collector(None)
+        assert self._track(manager) == []
+
+    def test_selenium_style_flagged_behaviourally(self):
+        from repro.browser.interaction import score_pointer_track
+
+        manager = self._manager_with_collector("selenium")
+        verdict = score_pointer_track(self._track(manager))
+        assert verdict.is_bot
+
+    def test_human_style_passes_behaviourally(self):
+        from repro.browser.interaction import score_pointer_track
+
+        manager = self._manager_with_collector("human")
+        track = self._track(manager)
+        assert len(track) > 5
+        verdict = score_pointer_track(track)
+        assert not verdict.is_bot

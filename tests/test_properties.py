@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import json
+import math
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browser.cookies import CookieJar
+from repro.core.comparison.cookies import ratcliff_obershelp
+from repro.core.scan.static_analysis import deobfuscate
+from repro.jsengine.builtins import Realm, js_to_python, python_to_js
+from repro.jsengine.interpreter import Interpreter
+from repro.jsengine.lexer import Lexer
+from repro.jsobject.values import (
+    format_number,
+    js_equals,
+    js_strict_equals,
+    to_number,
+)
+from repro.net.http import SetCookie
+from repro.net.url import URL, etld_plus_one, same_site
+
+identifiers = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                      max_size=8)
+js_numbers = st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e9, max_value=1e9)
+
+
+def fresh_interp():
+    import random
+
+    return Interpreter(Realm(random.Random(0)))
+
+
+class TestNumberProperties:
+    @given(st.integers(min_value=-10**15, max_value=10**15))
+    def test_integral_numbers_format_without_point(self, n):
+        assert format_number(float(n)) == str(n)
+
+    @given(js_numbers)
+    def test_tostring_tonumber_roundtrip(self, x):
+        assert to_number(format_number(x)) == float(format_number(x)) \
+            or abs(to_number(format_number(x)) - x) < 1e-6
+
+    @given(js_numbers, js_numbers)
+    def test_strict_equality_matches_float_equality(self, a, b):
+        assert js_strict_equals(a, b) == (a == b)
+
+    @given(js_numbers)
+    def test_loose_equality_reflexive_for_numbers(self, x):
+        assert js_equals(x, x)
+
+
+class TestInterpreterArithmetic:
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_addition_matches_python(self, a, b):
+        assert fresh_interp().run(f"{a} + {b}") == float(a + b)
+
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_comparison_matches_python(self, a, b):
+        interp = fresh_interp()
+        assert interp.run(f"{a} < {b}") == (a < b)
+        assert interp.run(f"{a} === {b}") == (a == b)
+
+    @given(st.integers(min_value=-2**31, max_value=2**31 - 1),
+           st.integers(min_value=-2**31, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_bitwise_and_matches_python(self, a, b):
+        assert fresh_interp().run(f"{a} & {b}") == float(a & b)
+
+
+class TestLexerProperties:
+    @given(st.text(alphabet=string.ascii_letters + string.digits + " _",
+                   max_size=40))
+    @settings(max_examples=50)
+    def test_string_literal_roundtrip(self, text):
+        tokens = Lexer(json.dumps(text)).tokenize()
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == text
+
+    @given(identifiers)
+    def test_identifier_roundtrip(self, name):
+        tokens = Lexer(name).tokenize()
+        assert tokens[0].value == name
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=60)
+    def test_lexer_never_hangs_or_crashes_unexpectedly(self, source):
+        from repro.jsengine.lexer import LexError
+
+        try:
+            Lexer(source).tokenize()
+        except LexError:
+            pass  # rejection is fine; crashes/hangs are not
+
+
+class TestJSONBridge:
+    json_values = st.recursive(
+        st.none() | st.booleans() | js_numbers
+        | st.text(max_size=12),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(identifiers, children, max_size=4),
+        max_leaves=12)
+
+    @given(json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_python_js_python_roundtrip(self, data):
+        import random
+
+        realm = Realm(random.Random(0))
+        restored = js_to_python(python_to_js(data, realm))
+        assert json.loads(json.dumps(restored)) == json.loads(
+            json.dumps(self._normalise(data)))
+
+    @staticmethod
+    def _normalise(data):
+        if isinstance(data, float) and data.is_integer():
+            return int(data)
+        if isinstance(data, list):
+            return [TestJSONBridge._normalise(v) for v in data]
+        if isinstance(data, dict):
+            return {k: TestJSONBridge._normalise(v)
+                    for k, v in data.items()}
+        return data
+
+
+class TestURLProperties:
+    hosts = st.lists(identifiers, min_size=1, max_size=4).map(
+        lambda labels: ".".join(labels) + ".com")
+
+    @given(hosts)
+    def test_etld_is_suffix_of_host(self, host):
+        registrable = etld_plus_one(host)
+        assert host.endswith(registrable)
+
+    @given(hosts)
+    def test_etld_idempotent(self, host):
+        assert etld_plus_one(etld_plus_one(host)) == etld_plus_one(host)
+
+    @given(hosts, identifiers)
+    def test_subdomain_always_same_site(self, host, label):
+        assert same_site(f"{label}.{host}", host)
+
+    @given(hosts, st.sampled_from(["/", "/a", "/a/b"]),
+           st.sampled_from(["", "k=v"]))
+    def test_url_str_parse_roundtrip(self, host, path, query):
+        url = URL(scheme="https", host=host, path=path, query=query)
+        assert URL.parse(str(url)) == url
+
+
+class TestCookieJarProperties:
+    @given(st.lists(st.tuples(identifiers, identifiers), min_size=1,
+                    max_size=10))
+    @settings(max_examples=40)
+    def test_jar_size_counts_unique_names(self, pairs):
+        jar = CookieJar()
+        url = URL.parse("https://site.test/")
+        for name, value in pairs:
+            jar.set_from_response(SetCookie(name, value), url,
+                                  "site.test", 0.0)
+        assert len(jar) == len({name for name, _ in pairs})
+
+    @given(st.lists(st.tuples(identifiers, identifiers), min_size=1,
+                    max_size=8))
+    @settings(max_examples=40)
+    def test_header_contains_latest_values(self, pairs):
+        jar = CookieJar()
+        url = URL.parse("https://site.test/")
+        latest = {}
+        for name, value in pairs:
+            jar.set_from_response(SetCookie(name, value), url,
+                                  "site.test", 0.0)
+            latest[name] = value
+        header = jar.header_for(url, 1.0)
+        for name, value in latest.items():
+            assert f"{name}={value}" in header
+
+
+class TestSimilarityProperties:
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_ratio_bounded(self, a, b):
+        assert 0.0 <= ratcliff_obershelp(a, b) <= 1.0
+
+    @given(st.text(max_size=30))
+    def test_self_similarity_is_one(self, s):
+        assert ratcliff_obershelp(s, s) == 1.0
+
+
+class TestDeobfuscation:
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=1,
+                   max_size=10))
+    @settings(max_examples=40)
+    def test_hex_encoding_roundtrip(self, word):
+        encoded = "".join(f"\\x{ord(ch):02x}" for ch in word)
+        assert word in deobfuscate(f'navigator["{encoded}"]')
+
+    @given(st.text(alphabet=string.printable, max_size=60))
+    @settings(max_examples=60)
+    def test_deobfuscate_total(self, source):
+        deobfuscate(source)  # never raises

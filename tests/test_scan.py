@@ -1,0 +1,227 @@
+"""Tests for the static/dynamic scan pipeline (paper Sec. 4)."""
+
+import pytest
+
+from repro.core.scan.classify import (
+    VisitEvidence,
+    classify_site,
+    identify_first_party_vendor,
+)
+from repro.core.scan.static_analysis import (
+    PATTERNS,
+    deobfuscate,
+    evaluate_pattern_false_positives,
+    scan_script,
+)
+from repro.web import detector_scripts as corpus
+
+
+class TestDeobfuscation:
+    def test_hex_escapes_decoded(self):
+        assert "webdriver" in deobfuscate(
+            r'navigator["\x77\x65\x62\x64\x72\x69\x76\x65\x72"]')
+
+    def test_unicode_escapes_decoded(self):
+        assert "web" in deobfuscate(r"'web'")
+
+    def test_comments_removed(self):
+        cleaned = deobfuscate("a(); // navigator.webdriver\nb();")
+        assert "webdriver" not in cleaned
+
+    def test_block_comments_removed(self):
+        assert "secret" not in deobfuscate("/* secret */ code();")
+
+
+class TestPatterns:
+    """Table 13: which patterns catch what, and which false-positive."""
+
+    def test_plain_detector_matches_strict(self):
+        hit = scan_script(corpus.selenium_detector("p.test", "plain"))
+        assert hit.strict_match
+
+    def test_minified_detector_matches_strict(self):
+        hit = scan_script(corpus.selenium_detector("p.test", "minified"))
+        assert hit.strict_match
+
+    def test_hex_detector_caught_after_deobfuscation(self):
+        hit = scan_script(corpus.selenium_detector("p.test", "hex"))
+        assert hit.strict_match
+        assert "navigator-bracket-webdriver" in hit.matched
+
+    def test_concat_obfuscation_evades_static(self):
+        hit = scan_script(corpus.selenium_detector("p.test", "obfuscated"))
+        assert not hit.strict_match
+        assert not hit.any_match
+
+    def test_lazy_detector_visible_statically(self):
+        hit = scan_script(corpus.selenium_detector("p.test", "lazy"))
+        assert hit.strict_match
+
+    def test_decoy_matches_loose_only(self):
+        hit = scan_script(corpus.DECOY_UA_SCRIPT)
+        assert hit.any_match
+        assert not hit.strict_match
+
+    def test_openwpm_patterns(self):
+        hit = scan_script(corpus.openwpm_detector(
+            "cheqzone.com", ("jsInstruments",), obfuscated=False))
+        assert hit.openwpm_match
+
+    def test_obfuscated_openwpm_probe_evades_static(self):
+        hit = scan_script(corpus.openwpm_detector(
+            "google.com", ("getInstrumentJS",), obfuscated=True))
+        assert not hit.openwpm_match
+
+    def test_false_positive_evaluation(self):
+        scripts = [
+            (corpus.selenium_detector("p.test", "plain"), True),
+            (corpus.DECOY_UA_SCRIPT, False),
+            (corpus.BENIGN_LIBRARY, False),
+        ]
+        stats = evaluate_pattern_false_positives(scripts)
+        assert stats["loose-webdriver"]["false_positives"] == 1
+        assert stats["navigator-dot-webdriver"]["false_positives"] == 0
+        strict = {p.name for p in PATTERNS if p.strict}
+        for name in strict:
+            assert stats[name]["false_positives"] == 0
+
+
+class TestClassification:
+    def _evidence(self, **kwargs):
+        defaults = {"page_url": "https://www.site.test/"}
+        defaults.update(kwargs)
+        return VisitEvidence(**defaults)
+
+    def test_static_only_site(self):
+        evidence = self._evidence(scripts=[
+            ("https://p.test/tag.js",
+             corpus.selenium_detector("p.test", "lazy"))])
+        result = classify_site("site.test", [evidence])
+        assert result.static_clean and not result.dynamic_identified
+
+    def test_dynamic_only_site(self):
+        evidence = self._evidence(
+            scripts=[("https://p.test/tag.js",
+                      corpus.selenium_detector("p.test", "obfuscated"))],
+            webdriver_accessors={"https://p.test/tag.js?form=obfuscated"})
+        result = classify_site("site.test", [evidence])
+        assert result.dynamic_clean and not result.static_clean
+
+    def test_iterator_is_inconclusive(self):
+        evidence = self._evidence(
+            webdriver_accessors={"https://fp.test/fp.js"},
+            honey_hits={"https://fp.test/fp.js": {"h1", "h2", "h3"}})
+        result = classify_site("site.test", [evidence])
+        assert result.dynamic_identified
+        assert not result.dynamic_clean
+        assert "https://fp.test/fp.js" in result.iterator_scripts
+
+    def test_iterator_plus_static_strict_is_conclusive(self):
+        url = "https://fp.test/fp.js"
+        evidence = self._evidence(
+            scripts=[(url, corpus.selenium_detector("fp.test", "plain"))],
+            webdriver_accessors={url},
+            honey_hits={url: {"h1", "h2"}})
+        result = classify_site("site.test", [evidence])
+        assert result.dynamic_clean
+
+    def test_first_vs_third_party_attribution(self):
+        evidence = self._evidence(
+            webdriver_accessors={
+                "https://www.site.test/akam/11/abcdef1234567890",
+                "https://yandex.ru/tag.js?form=plain"})
+        result = classify_site("site.test", [evidence])
+        assert result.has_first_party
+        assert "yandex.ru" in result.third_party_hosts
+
+    def test_residue_access_marks_openwpm_probe(self):
+        evidence = self._evidence(residue_accessors={
+            "https://cheqzone.com/owpm.js": {"jsInstruments"}})
+        result = classify_site("site.test", [evidence])
+        assert result.probes_openwpm
+        assert "cheqzone.com" in result.openwpm_probes["jsInstruments"]
+
+    @pytest.mark.parametrize("url,vendor", [
+        ("https://s.test/akam/11/0f3acd", "Akamai"),
+        ("https://s.test/_Incapsula_Resource?SWJIYLWA=x", "Incapsula"),
+        ("https://s.test/cdn-cgi/bm/cv/2172558837/api.js", "Cloudflare"),
+        ("https://s.test/0a1b2c3d/init.js", "PerimeterX"),
+        ("https://s.test/assets/" + "a" * 32, "Unknown"),
+        ("https://s.test/js/bot-check-x.js", None),
+    ])
+    def test_vendor_signatures_table12(self, url, vendor):
+        assert identify_first_party_vendor(url) == vendor
+
+
+class TestPipelineAgainstGroundTruth:
+    """End-to-end scan over the session world (150 sites + subpages)."""
+
+    def test_dynamic_matches_ground_truth_closely(self, small_world,
+                                                  scan_dataset):
+        truth = small_world.ground_truth.dynamic_detectable()
+        found = {d for d, c in scan_dataset.combined.items()
+                 if c.dynamic_clean}
+        # CSP-blocking sites legitimately suppress the vanilla JS
+        # instrument, so a small deficit is expected.
+        missed = truth - found
+        assert len(missed) <= len(
+            small_world.ground_truth.csp_blocking_sites()) + 1
+        assert not (found - truth -
+                    small_world.ground_truth.openwpm_probe_sites())
+
+    def test_static_matches_ground_truth(self, small_world, scan_dataset):
+        truth = small_world.ground_truth.static_detectable()
+        found = {d for d, c in scan_dataset.combined.items()
+                 if c.static_clean}
+        assert found == truth
+
+    def test_loose_static_includes_decoys(self, small_world, scan_dataset):
+        decoys = small_world.ground_truth.decoy_sites()
+        loose = {d for d, c in scan_dataset.combined.items()
+                 if c.static_identified and not c.static_clean}
+        assert decoys & loose
+
+    def test_union_exceeds_each_method(self, scan_dataset):
+        table5 = scan_dataset.table5()
+        assert table5["clean"]["union"] >= table5["clean"]["static"]
+        assert table5["clean"]["union"] >= table5["clean"]["dynamic"]
+
+    def test_subpage_scanning_increases_detection(self, scan_dataset):
+        front = sum(c.clean_union
+                    for c in scan_dataset.front_only.values())
+        combined = sum(c.clean_union
+                       for c in scan_dataset.combined.values())
+        assert combined > front
+
+    def test_fig4_partition_consistent(self, scan_dataset):
+        fig4 = scan_dataset.fig4()
+        assert fig4["static_only"] + fig4["both"] == fig4["static_total"]
+        assert fig4["dynamic_only"] + fig4["both"] == fig4["dynamic_total"]
+        assert fig4["union"] == fig4["static_only"] + fig4["dynamic_only"] \
+            + fig4["both"]
+
+    def test_iterators_found_when_planted(self, small_world, scan_dataset):
+        planted = small_world.ground_truth.iterator_sites()
+        if not planted:
+            pytest.skip("no iterator sites in this seed")
+        found_iterators = {
+            d for d, c in scan_dataset.combined.items()
+            if c.iterator_scripts}
+        assert planted & found_iterators
+
+    def test_table7_counts_providers(self, scan_dataset, small_world):
+        table7 = dict((host, count) for host, count, _
+                      in scan_dataset.table7(100))
+        truth = small_world.ground_truth.third_party_inclusions()
+        for host, count in truth.items():
+            assert table7.get(host, 0) <= count  # never overcounts
+
+    def test_unique_scripts_collected(self, scan_dataset):
+        assert len(scan_dataset.unique_scripts) > 10
+
+    def test_subpage_selection_respects_etld(self, small_world,
+                                             scan_dataset):
+        # Off-site links are planted on every front page; subpage visits
+        # must all stay on-site: 3 per site at most.
+        assert scan_dataset.subpage_visits \
+            <= scan_dataset.visited_sites * 3

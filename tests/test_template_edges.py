@@ -1,0 +1,118 @@
+"""Edge-case tests for the template traversal and surface helpers."""
+
+import pytest
+
+from repro.core.fingerprint.template import (
+    MAX_DEPTH,
+    Template,
+    _characterise,
+    capture_template,
+)
+from repro.core.fingerprint.surface import (
+    FingerprintSurface,
+    SurfaceDelta,
+    diff_templates,
+)
+from repro.jsobject import NULL, UNDEFINED, JSArray, JSObject, \
+    NativeFunction
+
+
+class TestCharacterise:
+    def test_primitives(self):
+        assert _characterise(UNDEFINED) == "undefined"
+        assert _characterise(NULL) == "null"
+        assert _characterise(True) == "boolean:true"
+        assert _characterise(2.0) == "number:2"
+        assert _characterise("x") == "string:x"
+
+    def test_long_strings_hashed(self):
+        long_value = "A" * 500
+        out = _characterise(long_value)
+        assert out.startswith("string:sha:")
+        assert len(out) < 30
+
+    def test_native_vs_script_functions(self):
+        native = NativeFunction(lambda i, t, a: None, name="fillRect")
+        assert _characterise(native) == "function:native:fillRect"
+
+    def test_array_by_length(self):
+        assert _characterise(JSArray([1.0, 2.0])) == "array:2"
+
+    def test_object_by_class(self):
+        assert _characterise(JSObject(class_name="Screen")) \
+            == "object:Screen"
+
+
+class TestTraversalSafety:
+    def test_cycles_become_refs(self, stock_window):
+        window = stock_window
+        a = JSObject(class_name="A")
+        b = JSObject(class_name="B")
+        a.put("next", b)
+        b.put("back", a)
+        window.window_object.put("cycleRoot", a)
+        template = capture_template(window)
+        assert any(value.startswith("ref:")
+                   for value in template.properties.values())
+
+    def test_depth_limit_respected(self, stock_window):
+        window = stock_window
+        deep = JSObject()
+        node = deep
+        for _ in range(MAX_DEPTH + 5):
+            child = JSObject()
+            node.put("child", child)
+            node = child
+        node.put("leaf", "bottom")
+        window.window_object.put("deepRoot", deep)
+        template = capture_template(window)
+        assert not any("leaf" in path for path in template.properties)
+
+    def test_node_budget_bounds_output(self, stock_window):
+        template = capture_template(stock_window, max_nodes=100)
+        assert len(template) <= 120  # budget + object markers
+
+    def test_throwing_getter_recorded(self, stock_window):
+        from repro.jsobject import PropertyDescriptor
+        from repro.jsobject.errors import JSError
+
+        def bomb(interp, this, args):
+            raise JSError.type_error("boom")
+
+        target = JSObject(class_name="Trap")
+        target.define_property("mine", PropertyDescriptor.accessor(
+            get=NativeFunction(bomb, name="mine")))
+        stock_window.window_object.put("trap", target)
+        template = capture_template(stock_window)
+        assert template.properties.get("window.trap.mine") == "throws"
+
+
+class TestSurfaceHelpers:
+    def _surface(self, deltas):
+        return FingerprintSurface(client_name="x", baseline_name="y",
+                                  deltas=deltas)
+
+    def test_of_kind_and_under(self):
+        surface = self._surface([
+            SurfaceDelta("window.a", "added", None, "number:1"),
+            SurfaceDelta("window.b.c", "missing", "number:2", None),
+        ])
+        assert len(surface.of_kind("added")) == 1
+        assert len(surface.under("b.c")) == 1
+
+    def test_added_custom_functions_only_top_level(self):
+        surface = self._surface([
+            SurfaceDelta("window.getInstrumentJS", "added", None,
+                         "function:script:abc"),
+            SurfaceDelta("window.deep.fn", "added", None,
+                         "function:script:abc"),
+        ])
+        assert len(surface.added_custom_functions()) == 1
+
+    def test_diff_orders_are_symmetric_in_count(self):
+        a = Template("a", {"p": "number:1", "q": "number:2"})
+        b = Template("b", {"p": "number:1", "r": "number:3"})
+        forward = diff_templates(a, b)
+        backward = diff_templates(b, a)
+        assert len(forward) == len(backward) == 2
+        assert {d.kind for d in forward.deltas} == {"added", "missing"}

@@ -1,0 +1,228 @@
+"""Tests for the synthetic web: Tranco list, configs, servers, truth."""
+
+import pytest
+
+from repro.net.http import HttpRequest
+from repro.net.network import ClientIdentity
+from repro.net.url import URL, etld_plus_one
+from repro.web import build_world
+from repro.web.providers import (
+    FIRST_PARTY_VENDORS,
+    THIRD_PARTY_DETECTORS,
+    blocklist_domains,
+    long_tail_detector_domains,
+)
+from repro.web.sitegen import SiteConfigGenerator
+from repro.web.tranco import generate_tranco
+
+
+@pytest.fixture(scope="module")
+def big_configs():
+    """Config-only generation at scale (no crawling)."""
+    tranco = generate_tranco(20_000, seed=5)
+    return SiteConfigGenerator(seed=5).generate(tranco.sites)
+
+
+class TestTranco:
+    def test_deterministic(self):
+        a = generate_tranco(100, seed=3)
+        b = generate_tranco(100, seed=3)
+        assert [s.domain for s in a] == [s.domain for s in b]
+
+    def test_seed_changes_list(self):
+        a = generate_tranco(100, seed=3)
+        b = generate_tranco(100, seed=4)
+        assert [s.domain for s in a] != [s.domain for s in b]
+
+    def test_domains_unique(self):
+        sites = generate_tranco(5000, seed=1).sites
+        assert len({s.domain for s in sites}) == len(sites)
+
+    def test_ranks_sequential(self):
+        sites = generate_tranco(50, seed=1).sites
+        assert [s.rank for s in sites] == list(range(1, 51))
+
+    def test_every_site_has_categories(self):
+        for site in generate_tranco(200, seed=1):
+            assert 1 <= len(site.categories) <= 3
+
+    def test_news_skews_to_top_ranks(self):
+        sites = generate_tranco(10_000, seed=2).sites
+        top = sum(1 for s in sites[:2000] if "News" in s.categories)
+        bottom = sum(1 for s in sites[-2000:] if "News" in s.categories)
+        assert top > bottom
+
+
+class TestCalibration:
+    """Config marginals vs the paper's published rates (100K scale)."""
+
+    def test_front_page_detector_rate_near_14pct(self, big_configs):
+        front = sum(1 for c in big_configs
+                    if c.detector_on_front or c.first_party_vendor)
+        rate = front / len(big_configs)
+        assert 0.11 < rate < 0.17  # paper: 13.99%
+
+    def test_combined_detector_rate_near_19pct(self, big_configs):
+        sites = sum(1 for c in big_configs if c.has_detector)
+        rate = sites / len(big_configs)
+        assert 0.15 < rate < 0.23  # paper: 18.7%
+
+    def test_decoy_rate_near_17pct(self, big_configs):
+        rate = sum(c.has_decoy for c in big_configs) / len(big_configs)
+        assert 0.15 < rate < 0.19
+
+    def test_first_party_share_of_detector_sites(self, big_configs):
+        detectors = [c for c in big_configs if c.has_detector]
+        share = sum(1 for c in detectors if c.first_party_vendor) \
+            / len(detectors)
+        assert 0.14 < share < 0.30  # paper: ~21%
+
+    def test_csp_blocking_rate(self, big_configs):
+        rate = sum(c.csp_blocking for c in big_configs) / len(big_configs)
+        assert 0.06 < rate < 0.10  # paper: 113/1487 = 7.6%
+
+    def test_top_third_party_provider_is_yandex(self, big_configs):
+        from collections import Counter
+
+        counts = Counter()
+        for config in big_configs:
+            for provider in set(config.third_party_detectors):
+                counts[provider] += 1
+        assert counts.most_common(1)[0][0] == "yandex.ru"
+
+    def test_first_party_vendor_ordering_table12(self, big_configs):
+        from collections import Counter
+
+        counts = Counter(c.first_party_vendor for c in big_configs
+                         if c.first_party_vendor)
+        assert counts["Akamai"] > counts["PerimeterX"]
+        assert counts["Incapsula"] > counts["Cloudflare"]
+
+    def test_openwpm_probe_rate(self, big_configs):
+        sites = sum(1 for c in big_configs if c.openwpm_providers)
+        # paper: 356 / 100K = 0.36%
+        assert 0.001 < sites / len(big_configs) < 0.008
+
+    def test_rank_gradient_exists(self, big_configs):
+        top = sum(1 for c in big_configs[:5000] if c.has_detector)
+        bottom = sum(1 for c in big_configs[-5000:] if c.has_detector)
+        assert top > bottom
+
+    def test_configs_deterministic(self):
+        tranco = generate_tranco(100, seed=9)
+        a = SiteConfigGenerator(seed=9).generate(tranco.sites)
+        b = SiteConfigGenerator(seed=9).generate(tranco.sites)
+        assert [(c.domain, c.front_detector_form, c.trackers)
+                for c in a] == [(c.domain, c.front_detector_form,
+                                 c.trackers) for c in b]
+
+
+class TestProviders:
+    def test_table7_shares_sum_sensibly(self):
+        total = sum(p.inclusion_share for p in THIRD_PARTY_DETECTORS)
+        assert 0.65 < total < 0.75  # long tail holds the rest
+
+    def test_long_tail_domains_distinct_registrables(self):
+        domains = long_tail_detector_domains()
+        assert len({etld_plus_one(d) for d in domains}) == len(domains)
+
+    def test_first_party_vendor_totals(self):
+        total = sum(v.sites_per_100k for v in FIRST_PARTY_VENDORS)
+        assert total == 3867  # Sec. 4.3.2
+
+    def test_blocklists_disjoint_purposes(self):
+        lists = blocklist_domains()
+        assert "adclick-syndicate.com" in lists["easylist"]
+        assert "pixelmetrics.net" in lists["easyprivacy"]
+
+
+class TestWorldServers:
+    def test_every_site_served(self, small_world):
+        client = ClientIdentity("probe")
+        for config in small_world.configs[:10]:
+            response, _ = small_world.network.fetch(
+                HttpRequest(url=URL.parse(f"https://www.{config.domain}/"),
+                            resource_type="main_frame"), client)
+            assert response.status == 200
+            assert response.page is not None
+
+    def test_front_page_links_are_relative_subpages(self, small_world):
+        client = ClientIdentity("probe")
+        config = small_world.configs[0]
+        response, _ = small_world.network.fetch(
+            HttpRequest(url=URL.parse(f"https://www.{config.domain}/"),
+                        resource_type="main_frame"), client)
+        links = response.page.links()
+        assert any(link.startswith("/p/") for link in links)
+        assert any("jslib-cdn.example" in link for link in links)
+
+    def test_subpages_served(self, small_world):
+        client = ClientIdentity("probe")
+        config = small_world.configs[0]
+        response, _ = small_world.network.fetch(
+            HttpRequest(url=URL.parse(
+                f"https://www.{config.domain}/p/1.html"),
+                resource_type="main_frame"), client)
+        assert response.status == 200
+
+    def test_detector_provider_serves_requested_form(self, small_world):
+        client = ClientIdentity("probe")
+        response, _ = small_world.network.fetch(
+            HttpRequest(url=URL.parse(
+                "https://yandex.ru/tag.js?form=obfuscated"),
+                resource_type="script"), client)
+        assert "webdriver" not in response.body  # concat-obfuscated
+
+    def test_report_endpoint_flags_client(self, small_world):
+        from repro.web.servers import BOT_INTEL
+
+        client = ClientIdentity("bot-probe")
+        small_world.network.fetch(
+            HttpRequest(url=URL.parse(
+                "https://yandex.ru/report?bot=1&site=x.test"),
+                resource_type="beacon"), client)
+        assert small_world.network.state[BOT_INTEL].get("bot-probe")
+
+    def test_intel_sync_publishes_with_delay(self):
+        from repro.web.servers import published_age
+
+        world = build_world(site_count=5, seed=3)
+        client = ClientIdentity("c")
+        world.network.fetch(
+            HttpRequest(url=URL.parse(
+                "https://yandex.ru/report?bot=1&site=x"),
+                resource_type="beacon"), client)
+        assert published_age(world.network, client) == 0
+        world.sync_intel()
+        assert published_age(world.network, client) == 1
+        world.sync_intel()
+        assert published_age(world.network, client) == 2
+
+    def test_tracker_withholds_uid_from_published_bot(self):
+        world = build_world(site_count=5, seed=3)
+        client = ClientIdentity("bot")
+        world.network.state["bot-intel"][client.client_id] = True
+        world.sync_intel()
+        response, _ = world.network.fetch(
+            HttpRequest(url=URL.parse(
+                "https://retarget-exchange.com/pixel?uid=u123456789x1"),
+                resource_type="image"), client)
+        names = {c.name for c in response.set_cookies}
+        assert not any(n.startswith("_trk_") for n in names)
+        assert any(n.startswith("_sess_") for n in names)
+
+    def test_tracker_grants_uid_to_human(self):
+        world = build_world(site_count=5, seed=3)
+        client = ClientIdentity("human")
+        response, _ = world.network.fetch(
+            HttpRequest(url=URL.parse(
+                "https://retarget-exchange.com/pixel?uid=u123456789x1"),
+                resource_type="image"), client)
+        assert any(c.name.startswith("_trk_")
+                   for c in response.set_cookies)
+
+    def test_reset_intel(self):
+        world = build_world(site_count=5, seed=3)
+        world.network.state["bot-intel"]["x"] = True
+        world.reset_intel()
+        assert not world.network.state["bot-intel"]
