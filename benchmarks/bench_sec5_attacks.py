@@ -1,4 +1,9 @@
-"""Sec. 5 / Listings 2-4: the recording attacks, vanilla vs hardened."""
+"""Sec. 5 / Listings 2-4: the recording attacks, vanilla vs hardened.
+
+Also checks the operator-facing counterpart: the telemetry layer's
+``recording_integrity`` gauge must go red exactly when the dispatcher
+hijack succeeds, and stay green for the hardened instrument.
+"""
 
 from conftest import report
 
@@ -58,3 +63,46 @@ def test_benchmark_attacks(benchmark):
     assert matrix["WPM_hide"]["iframe-bypass"] is False
     assert matrix["WPM save_content=all"]["silent-delivery"] is False
     assert matrix["sql-injection"] is False
+
+
+def test_benchmark_integrity_gauge(benchmark):
+    """The recording-integrity probe sees the Listing 2 hijack."""
+    from repro.core.attacks import run_block_recording_attack
+    from repro.obs.telemetry import Telemetry
+
+    def run_gauge_matrix():
+        out = {}
+        for stealth in (False, True):
+            key = "WPM_hide" if stealth else "WPM"
+            telemetry = Telemetry()
+            outcome = run_block_recording_attack(stealth=stealth,
+                                                 telemetry=telemetry)
+            out[key] = {
+                "attack_succeeded": outcome.succeeded,
+                "gauge": telemetry.metrics.gauge_value(
+                    "recording_integrity"),
+                "probe_failures": telemetry.metrics.counter_value(
+                    "integrity_probe_failures"),
+            }
+        return out
+
+    gauges = benchmark.pedantic(run_gauge_matrix, rounds=1, iterations=1)
+
+    lines = ["(the gauge goes red exactly when the hijack silences the "
+             "instrument)", "",
+             "| client | attack succeeded | recording_integrity | "
+             "probe failures |", "|---|---|---|---|"]
+    for key, row in gauges.items():
+        lines.append(f"| {key} | {row['attack_succeeded']} | "
+                     f"{row['gauge']:.0f} | "
+                     f"{row['probe_failures']:.0f} |")
+    report("sec5_integrity_gauge",
+           "Sec 5 - recording-integrity gauge vs dispatcher hijack",
+           lines)
+
+    assert gauges["WPM"]["attack_succeeded"]
+    assert gauges["WPM"]["gauge"] == 0.0
+    assert gauges["WPM"]["probe_failures"] >= 1
+    assert not gauges["WPM_hide"]["attack_succeeded"]
+    assert gauges["WPM_hide"]["gauge"] == 1.0
+    assert gauges["WPM_hide"]["probe_failures"] == 0

@@ -1,0 +1,64 @@
+"""Telemetry subsystem: overhead guard + crawl-health reconciliation.
+
+Two properties worth guarding:
+
+* the observability layer must be close to free — the disabled
+  (null-object) path is the default for every experiment, and even the
+  enabled path has to stay under 10% wall-clock overhead on a crawl
+  workload;
+* a telemetered crawl's books must balance exactly — every enqueued
+  site accounted for as completed or given-up, every counter matching
+  the SQLite tables (the paper's antidote to silent data loss).
+"""
+
+from conftest import BENCH_SEED, measure_telemetry_overhead, report
+
+OVERHEAD_LIMIT_PCT = 10.0
+
+
+def test_benchmark_telemetry_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure_telemetry_overhead(site_count=1000, rounds=3),
+        rounds=1, iterations=1)
+
+    lines = [
+        "(telemetry must cost <10% wall-clock on a 1000-site crawl)",
+        "",
+        "| mode | seconds (best of 3) |",
+        "|---|---|",
+        f"| telemetry disabled | {result['disabled_seconds']:.3f} |",
+        f"| telemetry enabled | {result['enabled_seconds']:.3f} |",
+        f"| overhead | {result['overhead_pct']:.2f}% |",
+    ]
+    report("telemetry_overhead", "Telemetry - wall-clock overhead",
+           lines)
+
+    assert result["overhead_pct"] < OVERHEAD_LIMIT_PCT, result
+
+
+def test_benchmark_crawl_reconciliation(benchmark):
+    from repro.obs.runner import run_telemetry_crawl
+    from repro.obs.stats import build_crawl_report, render_crawl_report
+
+    def crawl_and_report():
+        result = run_telemetry_crawl(site_count=1000, seed=BENCH_SEED,
+                                     crash_probability=0.05)
+        try:
+            return build_crawl_report(result.storage,
+                                      telemetry=result.telemetry)
+        finally:
+            result.close()
+
+    crawl_report = benchmark.pedantic(crawl_and_report, rounds=1,
+                                      iterations=1)
+
+    report("telemetry_reconciliation",
+           "Telemetry - 1000-site crawl health report",
+           render_crawl_report(crawl_report).splitlines())
+
+    tele = crawl_report["telemetry"]
+    assert tele["visits_attempted"] == 1000
+    assert tele["visits_attempted"] == (
+        tele["visits_completed"] + tele["visits_failed_exhausted"])
+    assert crawl_report["reconciliation"]
+    assert crawl_report["reconciled"], crawl_report["reconciliation"]

@@ -31,6 +31,44 @@ def report(name: str, title: str, lines) -> None:
     print(body)
 
 
+def measure_telemetry_overhead(site_count: int = 1000, rounds: int = 3,
+                               crash_probability: float = 0.05) -> dict:
+    """Wall-clock cost of the telemetry layer on an identical crawl.
+
+    Runs the same lab crawl with telemetry enabled and disabled (the
+    null-object path). Rounds are *interleaved* (off, on, off, on, …)
+    with a GC pass before each, and each mode keeps its best time — a
+    sequential off-then-on protocol lets heap growth across runs
+    masquerade as telemetry overhead. Returns seconds for both modes
+    plus the relative overhead.
+    """
+    import gc
+    import time
+
+    from repro.obs.runner import run_telemetry_crawl
+    from repro.obs.telemetry import Telemetry
+
+    def timed(telemetry_factory) -> float:
+        gc.collect()
+        start = time.perf_counter()
+        result = run_telemetry_crawl(
+            site_count=site_count, seed=BENCH_SEED,
+            crash_probability=crash_probability,
+            telemetry=telemetry_factory())
+        elapsed = time.perf_counter() - start
+        result.close()
+        return elapsed
+
+    timed(Telemetry)  # warm-up, discarded
+    on = off = float("inf")
+    for _ in range(rounds):
+        off = min(off, timed(Telemetry.disabled))
+        on = min(on, timed(Telemetry))
+    return {"sites": site_count, "rounds": rounds,
+            "enabled_seconds": on, "disabled_seconds": off,
+            "overhead_pct": (on - off) / off * 100.0 if off else 0.0}
+
+
 @pytest.fixture(scope="session")
 def bench_world():
     from repro.web import build_world

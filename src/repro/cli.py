@@ -7,6 +7,7 @@ Commands mirror the paper's experiments:
 * ``attack``  — the recording attacks vs vanilla/hardened (Sec. 5/6)
 * ``compare`` — the paired WPM vs WPM_hide crawl (Sec. 6.3)
 * ``survey``  — the literature datasets (Tables 1 and 14)
+* ``stats``   — crawl health / loss-accounting report (telemetry)
 """
 
 from __future__ import annotations
@@ -124,6 +125,43 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.export import metrics_to_prometheus, snapshot_to_json
+    from repro.obs.stats import build_crawl_report, render_crawl_report
+
+    result = None
+    if args.db is not None and not args.fresh:
+        from repro.openwpm.storage import StorageController
+
+        storage = StorageController(args.db)
+        cleanup = storage.close
+    else:
+        from repro.obs.runner import run_telemetry_crawl
+
+        result = run_telemetry_crawl(
+            site_count=args.sites, seed=args.seed,
+            database_path=args.db or ":memory:",
+            crash_probability=args.crash_probability,
+            browsers=args.browsers,
+            js_instrument=args.js_instrument,
+            web="tranco" if args.tranco else "lab")
+        storage = result.storage
+        cleanup = result.close
+
+    try:
+        report = build_crawl_report(storage)
+        if args.json:
+            print(snapshot_to_json(report))
+        elif args.prometheus:
+            print(metrics_to_prometheus(storage.telemetry_metrics()))
+        else:
+            print(render_crawl_report(report))
+        return 0 if report["reconciled"] or not report["reconciliation"] \
+            else 1
+    finally:
+        cleanup()
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.literature import outdated_statistics, summarise_studies
 
@@ -168,6 +206,28 @@ def build_parser() -> argparse.ArgumentParser:
     survey = sub.add_parser("survey",
                             help="literature datasets (Tables 1/14)")
     survey.set_defaults(fn=_cmd_survey)
+
+    stats = sub.add_parser(
+        "stats", help="crawl health / loss-accounting report")
+    stats.add_argument("--db", default=None,
+                       help="existing crawl database to report on "
+                            "(default: run a fresh instrumented crawl)")
+    stats.add_argument("--fresh", action="store_true",
+                       help="crawl into --db even if it exists")
+    stats.add_argument("--sites", type=int, default=1000)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--crash-probability", type=float, default=0.05)
+    stats.add_argument("--browsers", type=int, default=2)
+    stats.add_argument("--js-instrument", action="store_true",
+                       help="enable the JS instrument on the fresh crawl")
+    stats.add_argument("--tranco", action="store_true",
+                       help="crawl the synthetic Tranco web instead of "
+                            "the lab site")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the report as JSON")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="emit metrics in Prometheus text format")
+    stats.set_defaults(fn=_cmd_stats)
     return parser
 
 

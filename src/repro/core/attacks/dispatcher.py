@@ -87,7 +87,8 @@ def normalized_symbols(instrument: Any) -> set:
     return {symbol.lower() for symbol in instrument.symbols_accessed()}
 
 
-def _make_extension(stealth: bool, storage: Any = None):
+def _make_extension(stealth: bool, storage: Any = None,
+                    telemetry: Any = None):
     from repro.openwpm.config import BrowserParams
     from repro.openwpm.extension import OpenWPMExtension
 
@@ -97,17 +98,21 @@ def _make_extension(stealth: bool, storage: Any = None):
 
         js_instrument = StealthJSInstrument(storage=storage)
     return OpenWPMExtension(BrowserParams(stealth=stealth),
-                            storage=storage, js_instrument=js_instrument)
+                            storage=storage, js_instrument=js_instrument,
+                            telemetry=telemetry)
 
 
 def run_block_recording_attack(profile: Optional[BrowserProfile] = None,
-                               stealth: bool = False) -> AttackOutcome:
+                               stealth: bool = False,
+                               telemetry: Any = None) -> AttackOutcome:
     """Run Listing 2 (turn recording off) and check what got recorded.
 
     Success means the probe activity executed *after* the attack left no
-    records — data recording was silently disabled.
+    records — data recording was silently disabled. Pass an enabled
+    ``telemetry`` to additionally exercise the end-of-visit recording-
+    integrity probe: the attack flips the ``recording_integrity`` gauge.
     """
-    extension = _make_extension(stealth)
+    extension = _make_extension(stealth, telemetry=telemetry)
     profile = profile or openwpm_profile("ubuntu", "regular")
     _, result = visit_with_scripts(
         profile, [BLOCK_RECORDING_ATTACK, PROBE_ACTIVITY],

@@ -32,6 +32,7 @@ from repro.core.comparison.stats import WilcoxonResult, paired_wilcoxon
 from repro.core.hardening.settings import StealthSettings
 from repro.core.hardening.stealth import StealthJSInstrument
 from repro.net.http import ResourceType
+from repro.obs.telemetry import Telemetry, coalesce
 from repro.openwpm.config import BrowserParams
 from repro.openwpm.extension import OpenWPMExtension
 from repro.openwpm.instruments.cookie_instrument import CookieRecord
@@ -217,11 +218,13 @@ class PairedCrawl:
     def __init__(self, web: SyntheticWeb,
                  sites: Optional[List[str]] = None,
                  repetitions: int = 3, dwell: float = 60.0,
-                 seed: int = 17) -> None:
+                 seed: int = 17,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.web = web
         self.repetitions = repetitions
         self.dwell = dwell
         self.seed = seed
+        self.telemetry = coalesce(telemetry)
         if sites is None:
             sites = sorted(web.ground_truth.detector_sites())
         self.sites = sites
@@ -230,8 +233,10 @@ class PairedCrawl:
     def run(self) -> PairedCrawlResult:
         result = PairedCrawlResult(site_count=len(self.sites))
         for run_index in range(self.repetitions):
-            wpm_data = self._run_client(run_index, stealth=False)
-            hide_data = self._run_client(run_index, stealth=True)
+            with self.telemetry.tracer.span("paired_repetition",
+                                            run=run_index + 1):
+                wpm_data = self._run_client(run_index, stealth=False)
+                hide_data = self._run_client(run_index, stealth=True)
             result.wpm_runs.append(wpm_data)
             result.hide_runs.append(hide_data)
             # Bot intel is published in batches between repetitions —
@@ -259,10 +264,13 @@ class PairedCrawl:
             extension=extension,
             seed=self.seed + run_index * 101 + (5000 if stealth else 0))
 
+        tm = self.telemetry
         data = ClientRunData(client=label, run=run_index + 1)
         for domain in self.sites:
             extension.clear_records()
-            browser.visit(f"https://www.{domain}/", wait=self.dwell)
+            with tm.stage("paired_visit", client=label):
+                browser.visit(f"https://www.{domain}/", wait=self.dwell)
+            tm.metrics.counter("paired_visits", client=label).inc()
             data.requests.extend(extension.http_instrument.records)
             data.cookies.extend(extension.cookie_instrument.records)
             for record in extension.js_instrument.records:
@@ -277,6 +285,8 @@ class PairedCrawl:
                 if matcher.matches_any(r.url))
             if extension.js_instrument.failed_windows:
                 data.failed_hook_sites += 1
+                tm.metrics.counter("paired_hook_failures",
+                                   client=label).inc()
                 extension.js_instrument.failed_windows.clear()
         return data
 

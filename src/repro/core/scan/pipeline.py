@@ -31,6 +31,7 @@ from repro.core.scan.classify import (
 )
 from repro.core.scan.dynamic_analysis import ScanExtension
 from repro.net.url import URL, same_site
+from repro.obs.telemetry import Telemetry, coalesce
 from repro.web.world import SyntheticWeb
 
 #: Subpage budget per site (paper Sec. 4.1.2).
@@ -216,8 +217,10 @@ class ScanPipeline:
 
     def __init__(self, web: SyntheticWeb, client_id: str = "scan-client",
                  seed: int = 3, dwell: float = 60.0,
-                 max_subpages: int = MAX_SUBPAGES) -> None:
+                 max_subpages: int = MAX_SUBPAGES,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.web = web
+        self.telemetry = coalesce(telemetry)
         self.extension = ScanExtension()
         self.browser = Browser(openwpm_profile("ubuntu", "regular"),
                                web.network, client_id=client_id,
@@ -229,30 +232,46 @@ class ScanPipeline:
     def run(self, site_limit: Optional[int] = None,
             visit_subpages: bool = True) -> ScanDataset:
         dataset = ScanDataset()
+        tm = self.telemetry
         configs = self.web.configs if site_limit is None \
             else self.web.configs[:site_limit]
         for config in configs:
             domain = config.domain
-            front_evidence = self._visit(f"https://www.{domain}/")
-            evidences = [front_evidence]
-            dataset.front_only[domain] = classify_site(
-                domain, [front_evidence])
-            if visit_subpages:
-                for link in self._select_subpages(front_evidence, domain):
-                    evidences.append(self._visit(link))
-                    dataset.subpage_visits += 1
-            dataset.combined[domain] = classify_site(domain, evidences)
-            dataset.evidence[domain] = evidences
-            dataset.visited_sites += 1
-            for visit in evidences:
-                for _, source in visit.scripts:
-                    dataset.unique_scripts.add(source)
+            with tm.tracer.span("scan_site", domain=domain) as site_span:
+                front_evidence = self._visit(f"https://www.{domain}/")
+                evidences = [front_evidence]
+                dataset.front_only[domain] = classify_site(
+                    domain, [front_evidence])
+                if visit_subpages:
+                    for link in self._select_subpages(front_evidence,
+                                                      domain):
+                        evidences.append(self._visit(link))
+                        dataset.subpage_visits += 1
+                        tm.metrics.counter("scan_subpage_visits").inc()
+                with tm.stage("classify"):
+                    classification = classify_site(domain, evidences)
+                dataset.combined[domain] = classification
+                dataset.evidence[domain] = evidences
+                dataset.visited_sites += 1
+                tm.metrics.counter("scan_sites_visited").inc()
+                outcome = "identified" if classification.identified_union \
+                    else "negative"
+                tm.metrics.counter("classifier_outcomes",
+                                   outcome=outcome).inc()
+                if classification.clean_union:
+                    tm.metrics.counter("classifier_outcomes",
+                                       outcome="clean").inc()
+                site_span.set_attribute("outcome", outcome)
+                for visit in evidences:
+                    for _, source in visit.scripts:
+                        dataset.unique_scripts.add(source)
         return dataset
 
     # ------------------------------------------------------------------
     def _visit(self, url: str) -> VisitEvidence:
         self.extension.clear_records()
-        result = self.browser.visit(url, wait=self.dwell)
+        with self.telemetry.stage("scan_visit"):
+            result = self.browser.visit(url, wait=self.dwell)
         evidence = VisitEvidence(page_url=url)
         if self.extension.http_instrument is not None:
             evidence.scripts = [

@@ -1,0 +1,53 @@
+"""Crawl telemetry: tracing, metrics, exporters, loss accounting.
+
+The paper's headline finding (Sec. 5) is that OpenWPM's data recording
+can be switched off by a visited page with no operator-visible signal.
+This package is the counter-measure layer: every visit becomes a trace
+with per-stage child spans, a metrics registry counts what was
+attempted / completed / written / lost, and ``python -m repro stats``
+renders the loss accounting. The ``recording_integrity`` gauge goes to
+0 when an end-of-visit probe through the JS instrument's own reporting
+channel comes back empty — turning the Sec. 5 dispatcher hijack into an
+alert instead of silent data loss.
+
+Zero dependencies, deterministic under fixed seeds (sequential IDs, a
+virtual monotonic clock), and near-zero-cost when disabled: the default
+:data:`NULL_TELEMETRY` routes every call to shared no-op singletons.
+"""
+
+from repro.obs.clock import VirtualClock, WallClock
+from repro.obs.export import (
+    metrics_to_prometheus,
+    snapshot_to_json,
+    spans_to_tree_lines,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, coalesce
+from repro.obs.tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "VirtualClock",
+    "WallClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "coalesce",
+    "metrics_to_prometheus",
+    "snapshot_to_json",
+    "spans_to_tree_lines",
+]

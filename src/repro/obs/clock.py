@@ -1,0 +1,53 @@
+"""Monotonic clock shims for the telemetry layer.
+
+Telemetry must be deterministic under fixed seeds (ROADMAP: reproducible
+experiments), so nothing in ``repro.obs`` may read the wall clock by
+default. :class:`VirtualClock` is a deterministic monotonic clock: every
+reading advances it by a fixed tick, so span durations depend only on
+the code path executed, never on host speed. Integrations that track
+simulated time (the browser's virtual event loop) can :meth:`advance`
+it by known amounts.
+
+:class:`WallClock` wraps ``time.monotonic`` for the one place real time
+matters — the telemetry-overhead benchmark guard.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class VirtualClock:
+    """Deterministic monotonic clock.
+
+    ``now()`` advances the clock by ``tick`` before returning, so two
+    successive readings are always a fixed distance apart and durations
+    measured between readings are exactly reproducible.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.001) -> None:
+        self._now = float(start)
+        self._tick = float(tick)
+
+    def now(self) -> float:
+        self._now += self._tick
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by a known (virtual) duration."""
+        if seconds > 0:
+            self._now += seconds
+
+    def peek(self) -> float:
+        """Current reading without advancing (for tests)."""
+        return self._now
+
+
+class WallClock:
+    """Real monotonic time, for overhead measurements only."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def advance(self, seconds: float) -> None:  # pragma: no cover
+        pass

@@ -1,0 +1,100 @@
+"""Exporters: telemetry snapshots as JSON and Prometheus text format.
+
+Both operate on *snapshot dicts* (the output of
+``MetricsRegistry.snapshot()`` / ``Telemetry.snapshot()``, which is also
+the shape the ``telemetry`` SQLite table round-trips), so a live crawl
+and a stored database export identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+_PROM_PREFIX = "repro_"
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    return _PROM_PREFIX + "".join(out)
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def metrics_to_prometheus(metrics: Iterable[Dict[str, Any]]) -> str:
+    """Render metric snapshot dicts in Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for metric in metrics:
+        kind = metric["kind"]
+        name = _prom_name(metric["name"])
+        labels = {str(k): str(v)
+                  for k, v in (metric.get("labels") or {}).items()}
+        if name not in seen_types:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(
+                f"{name}{_prom_labels(labels)} "
+                f"{_format_value(metric['value'])}")
+        elif kind == "histogram":
+            bounds = list(metric["bounds"]) + [float("inf")]
+            running = 0
+            for bound, count in zip(bounds, metric["bucket_counts"]):
+                running += count
+                le = _prom_labels(labels,
+                                  extra=f'le="{_format_value(bound)}"')
+                lines.append(f"{name}_bucket{le} {running}")
+            lines.append(f"{name}_sum{_prom_labels(labels)} "
+                         f"{_format_value(metric['sum'])}")
+            lines.append(f"{name}_count{_prom_labels(labels)} "
+                         f"{metric['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """Serialise a full ``Telemetry.snapshot()`` (spans + metrics)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True,
+                      default=str)
+
+
+def spans_to_tree_lines(spans: Iterable[Dict[str, Any]],
+                        max_traces: int = 5) -> List[str]:
+    """Render finished spans as indented per-trace trees (for reports)."""
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    lines: List[str] = []
+    for trace_id in sorted(by_trace)[:max_traces]:
+        members = by_trace[trace_id]
+        children: Dict[Any, List[Dict[str, Any]]] = {}
+        for span in members:
+            children.setdefault(span.get("parent_id"), []).append(span)
+
+        def walk(parent_id, depth: int) -> None:
+            for span in sorted(children.get(parent_id, []),
+                               key=lambda s: s["span_id"]):
+                indent = "  " * depth
+                lines.append(
+                    f"{indent}{span['name']} "
+                    f"[{span['duration']:.3f}s {span['status']}]")
+                walk(span["span_id"], depth + 1)
+
+        lines.append(f"{trace_id}:")
+        walk(None, 1)
+    return lines

@@ -1,0 +1,270 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Prometheus-flavoured but dependency-free. Metrics are identified by
+``(name, sorted label set)``; repeated lookups return the same
+instrument, so hot paths can call ``registry.counter(...)`` directly or
+cache the handle. Histograms use *fixed* bucket boundaries chosen at
+creation — no wall-clock or data-dependent bucketing — so snapshots are
+deterministic under fixed seeds.
+
+:class:`NullMetricsRegistry` is the disabled-mode twin: every factory
+returns a shared inert instrument, making instrumented code near-free
+when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default latency buckets (virtual seconds). Fixed and seed-independent.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelsKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (e.g. recording integrity)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-style export.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``
+    (non-cumulative internally; the exporter accumulates). The final
+    implicit bucket is ``+Inf``.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum",
+                 "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelsKey = (),
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if tuple(buckets) != tuple(sorted(buckets)):
+            raise ValueError("histogram buckets must be sorted")
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(buckets)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name,
+                "labels": dict(self.labels), "sum": self.sum,
+                "count": self.count, "bounds": list(self.bounds),
+                "bucket_counts": list(self.bucket_counts)}
+
+
+class MetricsRegistry:
+    """Owns every metric; get-or-create by (name, labels)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelsKey], Any] = {}
+        self._kinds: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, labels: Dict[str, Any],
+                       **kwargs: Any):
+        key = (name, _labels_key(labels))
+        registered = self._kinds.get(name)
+        if registered is not None and registered != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {registered}")
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels: Any) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels,
+            buckets=tuple(buckets) if buckets else DEFAULT_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        metric = self._metrics.get((name, _labels_key(labels)))
+        return metric.value if metric is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        return self.counter_value(name, **labels)
+
+    def sum_counter(self, name: str) -> float:
+        """Total over every label combination of a counter."""
+        return sum(m.value for (n, _), m in self._metrics.items()
+                   if n == name and m.kind == "counter")
+
+    def all_metrics(self) -> List[Any]:
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [metric.to_dict() for metric in self.all_metrics()]
+
+    def clear(self) -> None:
+        self._metrics.clear()
+        self._kinds.clear()
+
+
+class _NullCounter:
+    __slots__ = ()
+    kind = "counter"
+    name = ""
+    labels: LabelsKey = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    kind = "gauge"
+    name = ""
+    labels: LabelsKey = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    kind = "histogram"
+    name = ""
+    labels: LabelsKey = ()
+    sum = 0.0
+    count = 0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """Disabled-mode registry: shared inert instruments, no state."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels: Any) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return 0.0
+
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        return 0.0
+
+    def sum_counter(self, name: str) -> float:
+        return 0.0
+
+    def all_metrics(self) -> List[Any]:
+        return []
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        pass

@@ -1,0 +1,241 @@
+"""Crawl health / loss-accounting reports (``python -m repro stats``).
+
+The paper shows OpenWPM loses data silently; this module makes loss
+*visible* and *checkable*. A report reconciles two independent sources:
+
+* the telemetry counters the crawl recorded as it ran (persisted in the
+  ``telemetry`` table, or read live from a :class:`Telemetry`), and
+* the crawl data itself (``site_visits``, ``javascript``,
+  ``http_requests``, ``javascript_cookies``, ``crash_history``,
+  ``failed_visits``).
+
+Every row of the loss funnel — enqueued → attempted → completed /
+crashed / given up — is cross-checked; a crawl whose books don't
+balance is exactly the "gullible tool" failure mode the paper warns
+about, so the CLI exits non-zero on mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.telemetry import Telemetry
+
+
+def _metric_value(metrics: List[Dict[str, Any]], name: str,
+                  **labels: str) -> float:
+    wanted = {str(k): str(v) for k, v in labels.items()}
+    for metric in metrics:
+        if metric["name"] == name and (metric.get("labels") or {}) == wanted:
+            return float(metric.get("value") or 0.0)
+    return 0.0
+
+
+def _has_metric(metrics: List[Dict[str, Any]], name: str) -> bool:
+    return any(metric["name"] == name for metric in metrics)
+
+
+def _table_count(storage: Any, table: str, where: str = "",
+                 params: tuple = ()) -> int:
+    sql = f"SELECT COUNT(*) AS n FROM {table}"  # noqa: S608 (fixed names)
+    if where:
+        sql += f" WHERE {where}"
+    return int(storage.query(sql, params)[0]["n"])
+
+
+def build_crawl_report(storage: Any,
+                       telemetry: Optional[Telemetry] = None
+                       ) -> Dict[str, Any]:
+    """Assemble the loss-accounting report for one crawl database.
+
+    ``telemetry`` overrides the stored snapshot with live metrics (used
+    mid-crawl); by default metrics come from the ``telemetry`` table.
+    """
+    if telemetry is not None and telemetry.enabled:
+        metrics = telemetry.metrics.snapshot()
+        spans = telemetry.tracer.snapshot()
+    else:
+        metrics = storage.telemetry_metrics()
+        spans = storage.telemetry_spans()
+
+    # --- database-side truth -----------------------------------------
+    db = {
+        "site_visit_rows": _table_count(storage, "site_visits"),
+        "distinct_sites_visited": int(storage.query(
+            "SELECT COUNT(DISTINCT site_url) AS n FROM site_visits"
+        )[0]["n"]),
+        "crash_rows": _table_count(storage, "crash_history",
+                                   "action = 'crash'"),
+        "restart_rows": _table_count(storage, "crash_history",
+                                     "action = 'restart'"),
+        "failed_visit_rows": _table_count(storage, "failed_visits"),
+        "javascript_rows": _table_count(storage, "javascript"),
+        "http_request_rows": _table_count(storage, "http_requests"),
+        "cookie_rows": _table_count(storage, "javascript_cookies"),
+        "content_rows": _table_count(storage, "content"),
+    }
+    drop_reasons: Dict[str, int] = {}
+    for row in storage.query(
+            "SELECT reason, COUNT(*) AS n FROM failed_visits "
+            "GROUP BY reason ORDER BY n DESC"):
+        drop_reasons[row["reason"] or "unknown"] = int(row["n"])
+
+    # --- telemetry-side counters -------------------------------------
+    tele = {
+        "visits_attempted": _metric_value(metrics, "visits_attempted"),
+        "visits_completed": _metric_value(metrics, "visits_completed"),
+        "visits_crashed": _metric_value(metrics, "visits_crashed"),
+        "visits_retried": _metric_value(metrics, "visits_retried"),
+        "visits_failed_exhausted": _metric_value(
+            metrics, "visits_failed_exhausted"),
+        "visit_attempts_total": _metric_value(metrics,
+                                              "visit_attempts_total"),
+        "browser_restarts": _metric_value(metrics, "browser_restarts"),
+        "records_js": _metric_value(metrics, "records_written",
+                                    instrument="js"),
+        "records_http": _metric_value(metrics, "records_written",
+                                      instrument="http"),
+        "records_cookie": _metric_value(metrics, "records_written",
+                                        instrument="cookie"),
+        "scripts_collected": _metric_value(metrics, "scripts_collected"),
+        "instrumentation_blocked": _metric_value(
+            metrics, "instrumentation_blocked"),
+        "integrity_probe_failures": _metric_value(
+            metrics, "integrity_probe_failures"),
+        "recording_integrity": _metric_value(metrics,
+                                             "recording_integrity"),
+        "has_integrity_gauge": _has_metric(metrics, "recording_integrity"),
+    }
+
+    # --- stage latency -----------------------------------------------
+    stages = []
+    for metric in metrics:
+        if metric["kind"] == "histogram" \
+                and metric["name"] == "stage_seconds":
+            count = int(metric.get("count") or 0)
+            total = float(metric.get("sum") or 0.0)
+            stages.append({
+                "stage": (metric.get("labels") or {}).get("stage", ""),
+                "count": count,
+                "total_seconds": total,
+                "mean_seconds": total / count if count else 0.0,
+            })
+    stages.sort(key=lambda s: -s["total_seconds"])
+
+    # --- reconciliation ----------------------------------------------
+    has_telemetry = bool(metrics)
+    checks: List[Dict[str, Any]] = []
+
+    def check(name: str, lhs: float, rhs: float) -> None:
+        checks.append({"check": name, "telemetry": lhs, "database": rhs,
+                       "ok": int(lhs) == int(rhs)})
+
+    if has_telemetry:
+        check("visits_attempted == completed + failed_exhausted",
+              tele["visits_attempted"],
+              tele["visits_completed"] + tele["visits_failed_exhausted"])
+        check("visit_attempts_total == completed + crashed",
+              tele["visit_attempts_total"],
+              tele["visits_completed"] + tele["visits_crashed"])
+        check("visit_attempts_total == site_visits rows",
+              tele["visit_attempts_total"], db["site_visit_rows"])
+        check("visits_crashed == crash_history rows",
+              tele["visits_crashed"], db["crash_rows"])
+        check("visits_failed_exhausted == failed_visits rows",
+              tele["visits_failed_exhausted"], db["failed_visit_rows"])
+        check("records_written{js} == javascript rows",
+              tele["records_js"], db["javascript_rows"])
+        check("records_written{http} == http_requests rows",
+              tele["records_http"], db["http_request_rows"])
+        check("records_written{cookie} == javascript_cookies rows",
+              tele["records_cookie"], db["cookie_rows"])
+
+    return {
+        "has_telemetry": has_telemetry,
+        "database": db,
+        "telemetry": tele,
+        "drop_reasons": drop_reasons,
+        "stages": stages,
+        "span_count": len(spans),
+        "reconciliation": checks,
+        "reconciled": all(c["ok"] for c in checks),
+    }
+
+
+def render_crawl_report(report: Dict[str, Any]) -> str:
+    """The human-readable crawl health report."""
+    db = report["database"]
+    tele = report["telemetry"]
+    lines: List[str] = []
+    push = lines.append
+
+    push("Crawl health report")
+    push("===================")
+    push("")
+    push("Loss accounting (sites)")
+    attempted = int(tele["visits_attempted"])
+    completed = int(tele["visits_completed"])
+    failed = int(tele["visits_failed_exhausted"])
+    if report["has_telemetry"]:
+        rate = (completed / attempted * 100.0) if attempted else 0.0
+        push(f"  enqueued ............... {attempted}")
+        push(f"  completed .............. {completed}  ({rate:.1f}%)")
+        push(f"  given up (exhausted) ... {failed}")
+        push(f"  crashes (retried) ...... {int(tele['visits_crashed'])}"
+             f"  (retries: {int(tele['visits_retried'])}, "
+             f"restarts: {int(tele['browser_restarts'])})")
+    else:
+        push("  (no telemetry snapshot in this database — "
+             "database-side view only)")
+    push(f"  site_visits rows ....... {db['site_visit_rows']}"
+         f"  (distinct sites: {db['distinct_sites_visited']})")
+    push("")
+
+    push("Records written")
+    push(f"  javascript ............. {db['javascript_rows']}")
+    push(f"  http_requests .......... {db['http_request_rows']}")
+    push(f"  javascript_cookies ..... {db['cookie_rows']}")
+    push(f"  content (archived) ..... {db['content_rows']}"
+         f"  (scripts collected: {int(tele['scripts_collected'])})")
+    push("")
+
+    push("Recording integrity")
+    if tele["has_integrity_gauge"]:
+        healthy = tele["recording_integrity"] >= 1.0 \
+            and tele["integrity_probe_failures"] == 0
+        state = "OK" if healthy else "COMPROMISED"
+        push(f"  gauge .................. "
+             f"{int(tele['recording_integrity'])} ({state})")
+        push(f"  probe failures ......... "
+             f"{int(tele['integrity_probe_failures'])}")
+    else:
+        push("  (no JS instrument in this crawl — gauge not set)")
+    push(f"  instrumentation blocked  "
+         f"{int(tele['instrumentation_blocked'])}")
+    push("")
+
+    if report["drop_reasons"]:
+        push("Drop reasons (failed_visits)")
+        for reason, count in report["drop_reasons"].items():
+            push(f"  {reason} ... {count} site(s)")
+        push("")
+
+    if report["stages"]:
+        push("Stage latency (virtual seconds)")
+        push("  stage              count      total       mean")
+        for stage in report["stages"]:
+            push(f"  {stage['stage']:<18} {stage['count']:>5} "
+                 f"{stage['total_seconds']:>10.3f} "
+                 f"{stage['mean_seconds']:>10.4f}")
+        push("")
+
+    if report["reconciliation"]:
+        push("Reconciliation (telemetry vs database)")
+        for entry in report["reconciliation"]:
+            mark = "OK " if entry["ok"] else "FAIL"
+            push(f"  [{mark}] {entry['check']}: "
+                 f"{int(entry['telemetry'])} vs {int(entry['database'])}")
+        push("")
+        push("BOOKS BALANCE" if report["reconciled"]
+             else "BOOKS DO NOT BALANCE — crawl data is not trustworthy")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""The :class:`Telemetry` facade: one handle threaded through the stack.
+
+Every integration point (task manager, extension, instruments, scan
+pipeline, paired crawl) takes an optional ``telemetry`` argument and
+defaults to the shared :data:`NULL_TELEMETRY`, whose tracer and metrics
+are no-ops — existing callers and benchmarks run unchanged and pay only
+an attribute lookup per hook.
+
+``stage(...)`` is the combined primitive most call sites want: it opens
+a child span *and* feeds the stage's duration into the
+``stage_seconds`` histogram, labelled by stage name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.clock import VirtualClock
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.tracing import NullTracer, Tracer, _NULL_SPAN
+
+
+class _Stage:
+    """Context manager timing one stage into span + histogram."""
+
+    __slots__ = ("_telemetry", "_histogram", "_active", "_start")
+
+    def __init__(self, telemetry: "Telemetry", histogram: Any,
+                 name: str, attributes: Dict[str, Any]) -> None:
+        self._telemetry = telemetry
+        self._histogram = histogram
+        self._active = telemetry.tracer.span(name, **attributes)
+        self._start = telemetry.clock.peek()
+
+    def __enter__(self):
+        return self._active.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        suppress = self._active.__exit__(exc_type, exc, tb)
+        elapsed = self._telemetry.clock.peek() - self._start
+        self._histogram.observe(elapsed)
+        return suppress
+
+
+class _NullStage:
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_STAGE = _NullStage()
+
+
+class Telemetry:
+    """Bundles a tracer, a metrics registry, and the clock behind them."""
+
+    def __init__(self, enabled: bool = True,
+                 clock: Optional[VirtualClock] = None) -> None:
+        self.enabled = enabled
+        self.clock = clock if clock is not None else VirtualClock()
+        if enabled:
+            self.tracer: Any = Tracer(self.clock)
+            self.metrics: Any = MetricsRegistry()
+        else:
+            self.tracer = NullTracer()
+            self.metrics = NullMetricsRegistry()
+        # stage() is the hottest call site — cache the per-stage
+        # histogram handle so repeated stages skip the registry lookup.
+        self._stage_histograms: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(enabled=False)
+
+    def stage(self, name: str, **attributes: Any):
+        """Time one stage: a span plus a ``stage_seconds`` observation."""
+        if not self.enabled:
+            return _NULL_STAGE
+        histogram = self._stage_histograms.get(name)
+        if histogram is None:
+            histogram = self.metrics.histogram("stage_seconds",
+                                               stage=name)
+            self._stage_histograms[name] = histogram
+        return _Stage(self, histogram, name, attributes)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything collected so far, as plain dicts."""
+        return {"spans": self.tracer.snapshot(),
+                "metrics": self.metrics.snapshot()}
+
+    def clear(self) -> None:
+        self.tracer.clear()
+        self.metrics.clear()
+        self._stage_histograms.clear()
+
+
+#: Shared no-op instance used as the default everywhere.
+NULL_TELEMETRY = Telemetry.disabled()
+
+
+def coalesce(telemetry: Optional[Telemetry]) -> Telemetry:
+    """The given telemetry, or the shared null instance."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

@@ -1,0 +1,209 @@
+"""Span-based tracing with context propagation.
+
+A *trace* is one unit of top-level work (a site visit, a scan of one
+domain, one paired-crawl repetition). A *span* is one timed stage inside
+it (page load, JS execution, instrument callbacks, interaction, storage
+writes). Spans nest: the tracer keeps a current-span stack, and every
+span opened while another is active becomes its child, so a crawl
+renders as a tree without any explicit context threading.
+
+Identifiers are sequential (``trace-00000001``), not random — the same
+crawl under the same seed produces byte-identical traces.
+
+:class:`NullTracer` is the disabled-mode implementation: ``span()``
+returns a shared no-op context manager, so instrumented code costs one
+attribute lookup and one method call per stage when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.clock import VirtualClock
+
+
+@dataclass
+class Span:
+    """One timed, attributed stage of work."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    start_time: float = 0.0
+    end_time: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def duration(self) -> float:
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def set_status(self, status: str) -> None:
+        self.status = status
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _ActiveSpan:
+    """Context manager binding one span to the tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.span.status = f"error:{exc_type.__name__}"
+        self._tracer._end(self.span)
+        return False
+
+
+class Tracer:
+    """Creates spans, tracks the active-span stack, keeps finished spans."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._stack: List[Span] = []
+        self._finished: List[Span] = []
+        self._next_trace = 1
+        self._next_span = 1
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a span as a child of the currently active span (if any).
+
+        Use as a context manager::
+
+            with tracer.span("visit", url=url) as visit:
+                with tracer.span("page_load"):
+                    ...
+                visit.set_attribute("outcome", "completed")
+        """
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = f"trace-{self._next_trace:08d}"
+            self._next_trace += 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            name=name, trace_id=trace_id,
+            span_id=f"span-{self._next_span:08d}", parent_id=parent_id,
+            start_time=self.clock.now(), attributes=dict(attributes))
+        self._next_span += 1
+        self._stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _end(self, span: Span) -> None:
+        span.end_time = self.clock.now()
+        # Unwind to (and including) the span being ended; an exception
+        # escaping a nested span must not leave orphans on the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end_time = span.end_time
+            top.status = "error:orphaned"
+            self._finished.append(top)
+        self._finished.append(span)
+
+    # ------------------------------------------------------------------
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def finished_spans(self) -> List[Span]:
+        return list(self._finished)
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self._finished if s.name == name]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self._finished if s.parent_id == span.span_id]
+
+    def clear(self) -> None:
+        self._stack.clear()
+        self._finished.clear()
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self._finished]
+
+
+class _NullSpan:
+    """Inert span: accepts the full Span surface, records nothing."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    status = "ok"
+    duration = 0.0
+    attributes: Dict[str, Any] = {}
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled-mode tracer: every call is a no-op on shared singletons."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def spans_named(self, name: str) -> List[Span]:
+        return []
+
+    def children_of(self, span: Any) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return []

@@ -14,6 +14,7 @@ from typing import Any, List, Optional
 
 from repro.browser.cookies import Cookie
 from repro.net.url import etld_plus_one
+from repro.obs.telemetry import Telemetry, coalesce
 
 
 @dataclass
@@ -43,8 +44,10 @@ class CookieInstrument:
 
     name = "cookie_instrument"
 
-    def __init__(self, storage: Any = None) -> None:
+    def __init__(self, storage: Any = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.storage = storage
+        self.telemetry = coalesce(telemetry)
         self.records: List[CookieRecord] = []
 
     def on_cookie_change(self, cookie: Cookie, change: str) -> None:
@@ -60,6 +63,8 @@ class CookieInstrument:
             via_javascript=cookie.via_javascript,
         )
         self.records.append(record)
+        self.telemetry.metrics.counter("records_written",
+                                       instrument="cookie").inc()
         if self.storage is not None:
             self.storage.record_cookie(
                 change_cause=change, host=record.host, name=record.name,

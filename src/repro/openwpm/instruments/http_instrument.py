@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.net.http import HttpRequest, HttpResponse
+from repro.obs.telemetry import Telemetry, coalesce
 
 
 @dataclass
@@ -48,10 +49,12 @@ class HTTPInstrument:
     name = "http_instrument"
 
     def __init__(self, storage: Any = None,
-                 save_content: Optional[str] = "script") -> None:
+                 save_content: Optional[str] = "script",
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.storage = storage
         #: 'all', 'script', or None.
         self.save_content = save_content
+        self.telemetry = coalesce(telemetry)
         self.records: List[HttpExchangeRecord] = []
         #: Archived bodies (url, content_type, body) kept in memory too.
         self.saved_bodies: List[tuple] = []
@@ -76,6 +79,8 @@ class HTTPInstrument:
             body_saved=body_saved,
         )
         self.records.append(record)
+        self.telemetry.metrics.counter("records_written",
+                                       instrument="http").inc()
 
         content_hash = ""
         if body_saved:
@@ -84,6 +89,9 @@ class HTTPInstrument:
                 body = response.script.source
             self.saved_bodies.append(
                 (str(request.url), response.content_type, body))
+            self.telemetry.metrics.counter("bodies_archived").inc()
+            if looks_like_javascript(response, request):
+                self.telemetry.metrics.counter("scripts_collected").inc()
             if self.storage is not None:
                 content_hash = self.storage.record_content(
                     body, str(request.url), response.content_type)

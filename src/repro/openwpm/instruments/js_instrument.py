@@ -35,6 +35,7 @@ from repro.jsobject.descriptors import PropertyDescriptor
 from repro.jsobject.functions import JSFunction, NativeFunction
 from repro.jsobject.objects import JSObject
 from repro.jsobject.values import UNDEFINED
+from repro.obs.telemetry import Telemetry, coalesce
 
 #: URL the injected instrumentation appears under in stack traces.
 INSTRUMENT_SCRIPT_URL = "moz-extension://openwpm/content.js"
@@ -173,10 +174,12 @@ class JSInstrument:
 
     def __init__(self, storage: Any = None,
                  targets: Optional[List[TargetSpec]] = None,
-                 legacy_v010: bool = False) -> None:
+                 legacy_v010: bool = False,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.storage = storage
         self.targets = targets if targets is not None else DEFAULT_TARGETS
         self.legacy_v010 = legacy_v010
+        self.telemetry = coalesce(telemetry)
         #: Windows where instrumentation could not be installed (CSP).
         self.failed_windows: List[Any] = []
         #: In-memory record stream (also forwarded to storage, if any).
@@ -394,6 +397,8 @@ class JSInstrument:
             document_url=str(window.url),
         )
         self.records.append(record)
+        self.telemetry.metrics.counter("records_written",
+                                       instrument="js").inc()
         if self.storage is not None:
             self.storage.record_javascript(
                 document_url=record.document_url,

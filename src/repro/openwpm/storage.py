@@ -2,7 +2,11 @@
 
 Mirrors OpenWPM's data model: ``site_visits``, ``http_requests``,
 ``http_responses``, ``javascript`` (the JS-call log), ``javascript_cookies``,
-``content`` (archived response bodies), and ``crash_history``.
+``content`` (archived response bodies), and ``crash_history`` — plus two
+reliability tables this reproduction adds: ``failed_visits`` (one row per
+site the task manager gave up on, so crawl loss is queryable) and
+``telemetry`` (persisted span/metric snapshots from ``repro.obs``, the
+basis of ``python -m repro stats``).
 
 Two properties the paper verifies live here:
 
@@ -90,6 +94,31 @@ CREATE TABLE IF NOT EXISTS crash_history (
     visit_id INTEGER,
     site_url TEXT,
     action TEXT
+);
+CREATE TABLE IF NOT EXISTS failed_visits (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    browser_id INTEGER,
+    site_url TEXT NOT NULL,
+    attempts INTEGER,
+    reason TEXT
+);
+CREATE TABLE IF NOT EXISTS telemetry (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    labels TEXT DEFAULT '{}',
+    value REAL,
+    hist_sum REAL,
+    hist_count INTEGER,
+    bounds TEXT,
+    bucket_counts TEXT,
+    trace_id TEXT,
+    span_id TEXT,
+    parent_span_id TEXT,
+    start_time REAL,
+    end_time REAL,
+    status TEXT,
+    attributes TEXT
 );
 """
 
@@ -219,6 +248,109 @@ class StorageController:
             "action) VALUES (?, ?, ?, ?)",
             (browser_id, ctx.visit_id if ctx else None, site_url, action))
 
+    def record_failed_visit(self, browser_id: int, site_url: str,
+                            attempts: int, reason: str) -> None:
+        """One row per site given up on (the crawl-loss ledger)."""
+        self.connection.execute(
+            "INSERT INTO failed_visits (browser_id, site_url, attempts, "
+            "reason) VALUES (?, ?, ?, ?)",
+            (browser_id, site_url, attempts, reason))
+
+    # ------------------------------------------------------------------
+    # Telemetry persistence
+    # ------------------------------------------------------------------
+    def persist_telemetry(self, snapshot: Dict[str, Any]) -> int:
+        """Store a ``Telemetry.snapshot()`` (spans + metrics).
+
+        Snapshots are cumulative, so any previous snapshot is replaced.
+        Returns the number of rows written.
+        """
+        import json
+
+        self.connection.execute("DELETE FROM telemetry")
+        rows = 0
+        for span in snapshot.get("spans", []):
+            self.connection.execute(
+                "INSERT INTO telemetry (kind, name, labels, value, "
+                "trace_id, span_id, parent_span_id, start_time, end_time, "
+                "status, attributes) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, "
+                "?, ?)",
+                ("span", span["name"], "{}", span["duration"],
+                 span["trace_id"], span["span_id"], span["parent_id"],
+                 span["start_time"], span["end_time"], span["status"],
+                 json.dumps(span.get("attributes", {}), sort_keys=True,
+                            default=str)))
+            rows += 1
+        for metric in snapshot.get("metrics", []):
+            self.connection.execute(
+                "INSERT INTO telemetry (kind, name, labels, value, "
+                "hist_sum, hist_count, bounds, bucket_counts) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (metric["kind"], metric["name"],
+                 json.dumps(metric.get("labels", {}), sort_keys=True),
+                 metric.get("value"), metric.get("sum"),
+                 metric.get("count"),
+                 json.dumps(metric.get("bounds")) if "bounds" in metric
+                 else None,
+                 json.dumps(metric.get("bucket_counts"))
+                 if "bucket_counts" in metric else None))
+            rows += 1
+        self.connection.commit()
+        return rows
+
+    def telemetry_metrics(self) -> List[Dict[str, Any]]:
+        """Stored metric rows, back in ``MetricsRegistry.snapshot`` shape."""
+        import json
+
+        out = []
+        for row in self.query(
+                "SELECT * FROM telemetry WHERE kind != 'span' ORDER BY id"):
+            metric: Dict[str, Any] = {
+                "kind": row["kind"], "name": row["name"],
+                "labels": json.loads(row["labels"] or "{}")}
+            if row["kind"] == "histogram":
+                metric["sum"] = row["hist_sum"]
+                metric["count"] = row["hist_count"]
+                metric["bounds"] = json.loads(row["bounds"] or "[]")
+                metric["bucket_counts"] = json.loads(
+                    row["bucket_counts"] or "[]")
+            else:
+                metric["value"] = row["value"]
+            out.append(metric)
+        return out
+
+    def telemetry_spans(self) -> List[Dict[str, Any]]:
+        """Stored span rows, back in ``Tracer.snapshot`` shape."""
+        import json
+
+        out = []
+        for row in self.query(
+                "SELECT * FROM telemetry WHERE kind = 'span' ORDER BY id"):
+            out.append({
+                "name": row["name"], "trace_id": row["trace_id"],
+                "span_id": row["span_id"],
+                "parent_id": row["parent_span_id"],
+                "start_time": row["start_time"],
+                "end_time": row["end_time"], "duration": row["value"],
+                "status": row["status"],
+                "attributes": json.loads(row["attributes"] or "{}")})
+        return out
+
+    def telemetry_metric_value(self, name: str, **labels: str) -> float:
+        """One stored counter/gauge value (0.0 when absent)."""
+        import json
+
+        wanted = {str(k): str(v) for k, v in labels.items()}
+        for metric in self.telemetry_metrics():
+            if metric["name"] == name and metric.get("labels",
+                                                     {}) == wanted:
+                return float(metric.get("value") or 0.0)
+        return 0.0
+
+    def failed_visit_rows(self) -> List[Dict[str, Any]]:
+        return [dict(row)
+                for row in self.query("SELECT * FROM failed_visits")]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -261,7 +393,7 @@ class StorageController:
     # ------------------------------------------------------------------
     TABLES = ("site_visits", "http_requests", "http_responses",
               "javascript", "javascript_cookies", "content",
-              "crash_history")
+              "crash_history", "failed_visits", "telemetry")
 
     def export_table_csv(self, table: str, path: str) -> int:
         """Write one table to CSV; returns the number of rows written.

@@ -15,6 +15,7 @@ from typing import Any, Callable, List, Optional
 from repro.browser.browser import Browser, VisitResult
 from repro.browser.profiles import openwpm_profile
 from repro.net.network import Network
+from repro.obs.telemetry import Telemetry, coalesce
 from repro.openwpm.config import BrowserParams, ManagerParams
 from repro.openwpm.extension import OpenWPMExtension
 from repro.openwpm.storage import StorageController
@@ -26,14 +27,16 @@ class BrowserCrashed(RuntimeError):
 
 @dataclass
 class CommandSequence:
-    """A unit of crawling work: visit a site, then run extra commands."""
+    """A unit of crawling work: visit a site, then run extra commands.
+
+    Retry behaviour is governed by ``manager_params.failure_limit``.
+    """
 
     url: str
     #: Extra callbacks run with (browser, visit_result) after the GET.
     callbacks: List[Callable[[Browser, VisitResult], None]] = field(
         default_factory=list)
     dwell_time: Optional[float] = None
-    retries_left: int = 3
 
 
 @dataclass
@@ -53,11 +56,13 @@ class TaskManager:
     def __init__(self, manager_params: ManagerParams,
                  browser_params: List[BrowserParams],
                  network: Network,
-                 js_instrument_factory: Optional[Callable[..., Any]] = None
+                 js_instrument_factory: Optional[Callable[..., Any]] = None,
+                 telemetry: Optional[Telemetry] = None
                  ) -> None:
         self.manager_params = manager_params
         self.network = network
         self.storage = StorageController(manager_params.database_path)
+        self.telemetry = coalesce(telemetry)
         self._rng = random.Random(manager_params.seed)
         self._js_instrument_factory = js_instrument_factory
         self.browsers: List[ManagedBrowser] = [
@@ -77,16 +82,23 @@ class TaskManager:
         if self._js_instrument_factory is not None and params.js_instrument:
             js_instrument = self._js_instrument_factory(storage=self.storage)
         extension = OpenWPMExtension(params, storage=self.storage,
-                                     js_instrument=js_instrument)
+                                     js_instrument=js_instrument,
+                                     telemetry=self.telemetry)
         browser = Browser(profile, self.network,
                           client_id=f"openwpm-{params.browser_id}",
                           extension=extension, seed=params.seed)
         return ManagedBrowser(browser_id=params.browser_id, params=params,
                               browser=browser, extension=extension)
 
-    def _restart_browser(self, slot: ManagedBrowser) -> None:
-        """Replace a crashed browser, preserving its identity and params."""
-        self.storage.record_crash(slot.browser_id, "", "restart")
+    def _restart_browser(self, slot: ManagedBrowser,
+                         site_url: str = "") -> None:
+        """Replace a crashed browser, preserving its identity and params.
+
+        ``site_url`` is the URL being visited when the browser died, so
+        the restart row in ``crash_history`` names the responsible site.
+        """
+        self.storage.record_crash(slot.browser_id, site_url, "restart")
+        self.telemetry.metrics.counter("browser_restarts").inc()
         replacement = self._launch_browser(slot.params)
         slot.browser = replacement.browser
         slot.extension = replacement.extension
@@ -104,31 +116,54 @@ class TaskManager:
         slot = self.browsers[self._next_slot]
         self._next_slot = (self._next_slot + 1) % len(self.browsers)
 
-        attempts = 0
-        while attempts < self.manager_params.failure_limit:
-            attempts += 1
-            self.storage.begin_visit(slot.browser_id, sequence.url)
-            try:
-                if self.manager_params.crash_probability > 0 and \
-                        self._rng.random() < \
-                        self.manager_params.crash_probability:
-                    raise BrowserCrashed(sequence.url)
-                dwell = sequence.dwell_time \
-                    if sequence.dwell_time is not None \
-                    else slot.params.dwell_time
-                result = slot.browser.visit(sequence.url, wait=dwell)
-                self._interact(slot, result)
-                for callback in sequence.callbacks:
-                    callback(slot.browser, result)
-                self.storage.end_visit()
-                return result
-            except BrowserCrashed:
-                self.storage.record_crash(slot.browser_id, sequence.url,
-                                          "crash")
-                self.storage.end_visit()
-                self._restart_browser(slot)
-        self.failed_sites.append(sequence.url)
-        return None
+        tm = self.telemetry
+        tm.metrics.counter("visits_attempted").inc()
+        with tm.tracer.span("visit", url=sequence.url,
+                            browser_id=slot.browser_id) as visit_span:
+            attempts = 0
+            while attempts < self.manager_params.failure_limit:
+                attempts += 1
+                if attempts > 1:
+                    tm.metrics.counter("visits_retried").inc()
+                tm.metrics.counter("visit_attempts_total").inc()
+                self.storage.begin_visit(slot.browser_id, sequence.url)
+                try:
+                    if self.manager_params.crash_probability > 0 and \
+                            self._rng.random() < \
+                            self.manager_params.crash_probability:
+                        raise BrowserCrashed(sequence.url)
+                    dwell = sequence.dwell_time \
+                        if sequence.dwell_time is not None \
+                        else slot.params.dwell_time
+                    with tm.stage("page_load"):
+                        result = slot.browser.visit(sequence.url,
+                                                    wait=dwell)
+                    with tm.stage("interaction"):
+                        self._interact(slot, result)
+                    with tm.stage("callbacks"):
+                        for callback in sequence.callbacks:
+                            callback(slot.browser, result)
+                    with tm.stage("storage_commit"):
+                        self.storage.end_visit()
+                    tm.metrics.counter("visits_completed").inc()
+                    visit_span.set_attribute("outcome", "completed")
+                    visit_span.set_attribute("attempts", attempts)
+                    return result
+                except BrowserCrashed:
+                    tm.metrics.counter("visits_crashed").inc()
+                    self.storage.record_crash(slot.browser_id,
+                                              sequence.url, "crash")
+                    self.storage.end_visit()
+                    with tm.stage("browser_restart"):
+                        self._restart_browser(slot, sequence.url)
+            tm.metrics.counter("visits_failed_exhausted").inc()
+            visit_span.set_attribute("outcome", "failed_exhausted")
+            visit_span.set_attribute("attempts", attempts)
+            visit_span.set_status("error:failure_limit")
+            self.storage.record_failed_visit(
+                slot.browser_id, sequence.url, attempts, "failure_limit")
+            self.failed_sites.append(sequence.url)
+            return None
 
     def _interact(self, slot: ManagedBrowser, result) -> None:
         """Run the configured interaction driver on the loaded page.
@@ -160,4 +195,7 @@ class TaskManager:
             for url in urls]
 
     def close(self) -> None:
+        """Persist the telemetry snapshot alongside the crawl, then close."""
+        if self.telemetry.enabled:
+            self.storage.persist_telemetry(self.telemetry.snapshot())
         self.storage.close()

@@ -1,0 +1,273 @@
+"""Unit tests for the telemetry subsystem (tracing, metrics, export)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.clock import VirtualClock, WallClock
+from repro.obs.export import (
+    metrics_to_prometheus,
+    snapshot_to_json,
+    spans_to_tree_lines,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, coalesce
+from repro.obs.tracing import NullTracer, Tracer
+
+
+class TestVirtualClock:
+    def test_advances_one_tick_per_reading(self):
+        clock = VirtualClock(tick=0.25)
+        assert clock.now() == pytest.approx(0.25)
+        assert clock.now() == pytest.approx(0.5)
+
+    def test_peek_does_not_advance(self):
+        clock = VirtualClock(tick=1.0)
+        clock.now()
+        assert clock.peek() == pytest.approx(1.0)
+        assert clock.peek() == pytest.approx(1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        assert clock.peek() == pytest.approx(10.0)
+
+    def test_wall_clock_is_monotonic(self):
+        clock = WallClock()
+        assert clock.now() <= clock.now()
+
+
+class TestTracer:
+    def test_root_span_has_no_parent(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("visit") as span:
+            assert span.parent_id is None
+        (finished,) = tracer.finished_spans()
+        assert finished.name == "visit"
+        assert finished.end_time > finished.start_time
+
+    def test_nesting_propagates_trace_and_parent(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("visit") as root:
+            with tracer.span("page_load") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+                with tracer.span("fetch") as grandchild:
+                    assert grandchild.parent_id == child.span_id
+                    assert grandchild.trace_id == root.trace_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("visit") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b = tracer.spans_named("a") + tracer.spans_named("b")
+        assert a.parent_id == b.parent_id == root.span_id
+        assert len(tracer.children_of(root)) == 2
+
+    def test_new_roots_get_new_trace_ids(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.finished_spans()
+        assert first.trace_id != second.trace_id
+
+    def test_ids_are_deterministic(self):
+        def run():
+            tracer = Tracer(clock=VirtualClock())
+            with tracer.span("visit", url="https://a.test/"):
+                with tracer.span("page_load"):
+                    pass
+            return tracer.snapshot()
+
+        assert run() == run()
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer(clock=VirtualClock())
+        with pytest.raises(ValueError):
+            with tracer.span("visit"):
+                raise ValueError("boom")
+        (span,) = tracer.finished_spans()
+        assert span.status == "error:ValueError"
+        assert span.end_time is not None
+
+    def test_attributes_survive_to_snapshot(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("visit", url="https://x.test/") as span:
+            span.set_attribute("outcome", "completed")
+        (entry,) = tracer.snapshot()
+        assert entry["attributes"]["url"] == "https://x.test/"
+        assert entry["attributes"]["outcome"] == "completed"
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything", url="x") as span:
+            span.set_attribute("ignored", 1)
+            span.set_status("error:nope")
+        assert tracer.finished_spans() == []
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("visits").inc()
+        registry.counter("visits").inc(2.0)
+        assert registry.counter_value("visits") == pytest.approx(3.0)
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("visits").inc(-1.0)
+
+    def test_labels_partition_series(self):
+        registry = MetricsRegistry()
+        registry.counter("records_written", instrument="js").inc()
+        registry.counter("records_written", instrument="http").inc(4)
+        assert registry.counter_value("records_written",
+                                      instrument="js") == 1
+        assert registry.counter_value("records_written",
+                                      instrument="http") == 4
+        assert registry.sum_counter("records_written") == 5
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("recording_integrity")
+        gauge.set(1.0)
+        gauge.dec(1.0)
+        assert registry.gauge_value("recording_integrity") == 0.0
+        gauge.inc(0.5)
+        assert registry.gauge_value("recording_integrity") == 0.5
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_histogram_bucketing(self):
+        histogram = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 2, 1, 1]
+        assert histogram.cumulative_buckets() == [
+            (0.1, 1), (1.0, 3), (10.0, 4), (float("inf"), 5)]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+        assert histogram.mean == pytest.approx(56.05 / 5)
+
+    def test_histogram_boundary_is_inclusive(self):
+        histogram = Histogram("latency", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", buckets=(2.0, 1.0))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("visits").inc()
+        registry.histogram("stage_seconds", stage="page_load").observe(0.2)
+        snapshot = registry.snapshot()
+        kinds = {entry["name"]: entry["kind"] for entry in snapshot}
+        assert kinds == {"visits": "counter",
+                         "stage_seconds": "histogram"}
+        histogram_entry = next(e for e in snapshot
+                               if e["kind"] == "histogram")
+        assert histogram_entry["labels"] == {"stage": "page_load"}
+        assert histogram_entry["count"] == 1
+
+    def test_null_registry_is_inert(self):
+        registry = NullMetricsRegistry()
+        registry.counter("x").inc()
+        registry.gauge("y").set(5.0)
+        registry.histogram("z").observe(1.0)
+        assert registry.snapshot() == []
+
+
+class TestTelemetry:
+    def test_stage_records_span_and_histogram(self):
+        telemetry = Telemetry()
+        with telemetry.stage("page_load"):
+            pass
+        (span,) = telemetry.tracer.finished_spans()
+        assert span.name == "page_load"
+        (metric,) = telemetry.metrics.snapshot()
+        assert metric["name"] == "stage_seconds"
+        assert metric["labels"] == {"stage": "page_load"}
+        assert metric["count"] == 1
+
+    def test_disabled_telemetry_is_null(self):
+        telemetry = Telemetry.disabled()
+        assert not telemetry.enabled
+        with telemetry.stage("page_load"):
+            telemetry.metrics.counter("x").inc()
+        assert telemetry.snapshot() == {"spans": [], "metrics": []}
+
+    def test_coalesce(self):
+        assert coalesce(None) is NULL_TELEMETRY
+        telemetry = Telemetry()
+        assert coalesce(telemetry) is telemetry
+
+    def test_snapshot_round_trips_through_json(self):
+        telemetry = Telemetry()
+        with telemetry.stage("page_load"):
+            pass
+        telemetry.metrics.counter("visits").inc()
+        snapshot = telemetry.snapshot()
+        assert json.loads(snapshot_to_json(snapshot)) == json.loads(
+            json.dumps(snapshot, default=str))
+
+
+class TestExport:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("visits_attempted").inc(3)
+        registry.gauge("recording_integrity").set(1.0)
+        registry.histogram("stage_seconds", buckets=(0.1, 1.0),
+                           stage="page_load").observe(0.5)
+        return registry
+
+    def test_prometheus_counter_and_gauge_lines(self):
+        text = metrics_to_prometheus(self._registry().snapshot())
+        assert "# TYPE repro_visits_attempted counter" in text
+        assert "repro_visits_attempted 3" in text
+        assert "# TYPE repro_recording_integrity gauge" in text
+        assert "repro_recording_integrity 1" in text
+
+    def test_prometheus_histogram_lines(self):
+        text = metrics_to_prometheus(self._registry().snapshot())
+        assert ('repro_stage_seconds_bucket'
+                '{stage="page_load",le="0.1"} 0') in text
+        assert ('repro_stage_seconds_bucket'
+                '{stage="page_load",le="1"} 1') in text
+        assert ('repro_stage_seconds_bucket'
+                '{stage="page_load",le="+Inf"} 1') in text
+        assert 'repro_stage_seconds_count{stage="page_load"} 1' in text
+
+    def test_span_tree_rendering(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("visit"):
+            with tracer.span("page_load"):
+                pass
+        lines = spans_to_tree_lines(tracer.snapshot())
+        visit_line = next(line for line in lines
+                          if line.strip().startswith("visit"))
+        child_line = next(line for line in lines if "page_load" in line)
+        # Trace header at depth 0, root span at depth 1, child at 2.
+        assert visit_line.startswith("  visit")
+        assert child_line.startswith("    page_load")

@@ -1,0 +1,218 @@
+"""Integration tests: telemetry across a crawl, the integrity gauge,
+and the ``repro stats`` surface.
+
+The headline property (ISSUE acceptance): after a 1 000-site crawl with
+fault injection, the loss-accounting books balance exactly —
+``visits_attempted == visits_completed + visits_failed_exhausted`` and
+every counter reconciles against the SQLite tables — and the Sec. 5
+dispatcher hijack flips ``recording_integrity`` to red.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.browser.profiles import openwpm_profile
+from repro.core.attacks.dispatcher import (
+    BLOCK_RECORDING_ATTACK,
+    PROBE_ACTIVITY,
+)
+from repro.core.lab import visit_with_scripts
+from repro.obs.runner import run_telemetry_crawl
+from repro.obs.stats import build_crawl_report, render_crawl_report
+from repro.obs.telemetry import Telemetry
+from repro.openwpm.config import BrowserParams
+from repro.openwpm.extension import OpenWPMExtension
+
+
+@pytest.fixture(scope="module")
+def big_crawl():
+    """1 000 lab sites, two browsers, 5% fault injection."""
+    result = run_telemetry_crawl(site_count=1000, seed=7,
+                                 crash_probability=0.05, browsers=2)
+    yield result
+    result.close()
+
+
+class TestThousandSiteCrawl:
+    def test_loss_accounting_invariant(self, big_crawl):
+        metrics = big_crawl.telemetry.metrics
+        attempted = metrics.counter_value("visits_attempted")
+        completed = metrics.counter_value("visits_completed")
+        exhausted = metrics.counter_value("visits_failed_exhausted")
+        assert attempted == 1000
+        assert attempted == completed + exhausted
+
+    def test_attempts_match_site_visit_rows(self, big_crawl):
+        total = big_crawl.telemetry.metrics.counter_value(
+            "visit_attempts_total")
+        rows = big_crawl.storage.query(
+            "SELECT COUNT(*) AS n FROM site_visits")[0]["n"]
+        assert total == rows > 1000  # fault injection forced retries
+
+    def test_crashes_match_crash_history(self, big_crawl):
+        crashed = big_crawl.telemetry.metrics.counter_value(
+            "visits_crashed")
+        rows = big_crawl.storage.query(
+            "SELECT COUNT(*) AS n FROM crash_history "
+            "WHERE action = 'crash'")[0]["n"]
+        assert crashed == rows > 0
+
+    def test_crash_rows_name_the_site(self, big_crawl):
+        rows = big_crawl.storage.query(
+            "SELECT site_url FROM crash_history LIMIT 5")
+        assert all(row["site_url"].startswith("https://lab.test/")
+                   for row in rows)
+
+    def test_failed_sites_persisted(self, big_crawl):
+        exhausted = big_crawl.telemetry.metrics.counter_value(
+            "visits_failed_exhausted")
+        rows = big_crawl.storage.failed_visit_rows()
+        assert len(rows) == exhausted == len(
+            big_crawl.manager.failed_sites)
+        for row in rows:
+            assert row["reason"] == "failure_limit"
+            assert row["attempts"] == 3
+            assert row["site_url"] in big_crawl.manager.failed_sites
+
+    def test_http_records_match_table(self, big_crawl):
+        written = big_crawl.telemetry.metrics.counter_value(
+            "records_written", instrument="http")
+        rows = big_crawl.storage.query(
+            "SELECT COUNT(*) AS n FROM http_requests")[0]["n"]
+        assert written == rows > 0
+
+    def test_telemetry_round_trips_through_sqlite(self, big_crawl):
+        storage = big_crawl.storage
+        live = {(m["name"], tuple(sorted((m.get("labels") or {}).items()))):
+                m.get("value")
+                for m in big_crawl.telemetry.metrics.snapshot()
+                if m["kind"] != "histogram"}
+        stored = {(m["name"],
+                   tuple(sorted((m.get("labels") or {}).items()))):
+                  m.get("value")
+                  for m in storage.telemetry_metrics()
+                  if m["kind"] != "histogram"}
+        assert live == stored
+        assert storage.telemetry_metric_value(
+            "visits_attempted") == 1000
+
+    def test_spans_persisted_with_hierarchy(self, big_crawl):
+        spans = big_crawl.storage.telemetry_spans()
+        visits = [s for s in spans if s["name"] == "visit"]
+        assert len(visits) == 1000
+        roots = {s["span_id"] for s in visits}
+        page_loads = [s for s in spans if s["name"] == "page_load"]
+        assert page_loads and all(
+            s["parent_id"] in roots for s in page_loads)
+
+    def test_report_reconciles(self, big_crawl):
+        report = build_crawl_report(big_crawl.storage,
+                                    telemetry=big_crawl.telemetry)
+        assert report["reconciliation"]
+        assert report["reconciled"], report["reconciliation"]
+        text = render_crawl_report(report)
+        assert "BOOKS BALANCE" in text
+        assert "enqueued ............... 1000" in text
+
+    def test_report_from_stored_snapshot_alone(self, big_crawl):
+        # A later `repro stats --db crawl.sqlite` run sees no live
+        # Telemetry — the persisted snapshot must carry the books.
+        report = build_crawl_report(big_crawl.storage)
+        assert report["has_telemetry"]
+        assert report["reconciled"], report["reconciliation"]
+
+
+class TestRecordingIntegrityGauge:
+    def _visit(self, scripts, stealth=False):
+        telemetry = Telemetry()
+        if stealth:
+            from repro.core.hardening.stealth import StealthJSInstrument
+
+            extension = OpenWPMExtension(BrowserParams(stealth=True),
+                                         js_instrument=StealthJSInstrument(),
+                                         telemetry=telemetry)
+        else:
+            extension = OpenWPMExtension(BrowserParams(),
+                                         telemetry=telemetry)
+        visit_with_scripts(openwpm_profile("ubuntu", "regular"), scripts,
+                           extension=extension)
+        return telemetry, extension
+
+    def test_benign_visit_green(self):
+        telemetry, _ = self._visit([PROBE_ACTIVITY])
+        assert telemetry.metrics.gauge_value("recording_integrity") == 1.0
+        assert telemetry.metrics.counter_value(
+            "integrity_probe_failures") == 0
+
+    def test_dispatcher_hijack_flips_gauge_red(self):
+        telemetry, extension = self._visit(
+            [BLOCK_RECORDING_ATTACK, PROBE_ACTIVITY])
+        assert telemetry.metrics.gauge_value("recording_integrity") == 0.0
+        assert telemetry.metrics.counter_value(
+            "integrity_probe_failures") == 1
+        # The attack also silenced the probe activity itself — exactly
+        # the silent loss the gauge is there to surface.
+        symbols = {r.symbol for r in extension.js_instrument.records}
+        assert "navigator.platform" not in symbols
+
+    def test_hardened_instrument_stays_green_under_attack(self):
+        telemetry, _ = self._visit(
+            [BLOCK_RECORDING_ATTACK, PROBE_ACTIVITY], stealth=True)
+        assert telemetry.metrics.gauge_value("recording_integrity") == 1.0
+
+    def test_probe_leaves_no_trace_in_records(self):
+        telemetry, extension = self._visit([PROBE_ACTIVITY])
+        # The probe's own navigator.userAgent read is discarded; only
+        # the page's genuine accesses remain.
+        records = extension.js_instrument.records
+        js_written = telemetry.metrics.counter_value(
+            "records_written", instrument="js")
+        assert js_written == len(records)
+
+
+class TestStatsCli:
+    def test_text_report_exit_zero(self, capsys):
+        from repro.cli import main
+
+        code = main(["stats", "--sites", "30",
+                     "--crash-probability", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "BOOKS BALANCE" in out
+        assert "enqueued ............... 30" in out
+
+    def test_json_output(self, capsys):
+        from repro.cli import main
+
+        code = main(["stats", "--sites", "10", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["reconciled"] is True
+        assert report["telemetry"]["visits_attempted"] == 10
+
+    def test_prometheus_output(self, capsys):
+        from repro.cli import main
+
+        code = main(["stats", "--sites", "10", "--prometheus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_visits_attempted counter" in out
+        assert "repro_visits_attempted 10" in out
+        assert "repro_stage_seconds_bucket" in out
+
+    def test_existing_database(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "crawl.sqlite")
+        assert main(["stats", "--sites", "15", "--db", db,
+                     "--fresh"]) == 0
+        capsys.readouterr()
+        # Second invocation reports on the stored crawl, no recrawl.
+        code = main(["stats", "--db", db])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "enqueued ............... 15" in out
+        assert "BOOKS BALANCE" in out
