@@ -8,6 +8,7 @@ Commands mirror the paper's experiments:
 * ``compare`` — the paired WPM vs WPM_hide crawl (Sec. 6.3)
 * ``survey``  — the literature datasets (Tables 1 and 14)
 * ``stats``   — crawl health / loss-accounting report (telemetry)
+* ``crawl``   — scheduled crawl: worker pool, persistent queue, --resume
 """
 
 from __future__ import annotations
@@ -148,8 +149,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         storage = result.storage
         cleanup = result.close
 
+    queue = None
     try:
-        report = build_crawl_report(storage)
+        if args.queue is not None:
+            from repro.sched import JobQueue
+
+            queue = JobQueue(args.queue)
+        report = build_crawl_report(storage, queue=queue)
         if args.json:
             print(snapshot_to_json(report))
         elif args.prometheus:
@@ -159,7 +165,82 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 0 if report["reconciled"] or not report["reconciliation"] \
             else 1
     finally:
+        if queue is not None:
+            queue.close()
         cleanup()
+
+
+def _site_list(spec: str) -> "tuple[int, list | None]":
+    """``--sites`` is a count, or a path to a file of URLs."""
+    try:
+        return int(spec), None
+    except ValueError:
+        pass
+    with open(spec) as handle:
+        urls = [line.strip() for line in handle
+                if line.strip() and not line.lstrip().startswith("#")]
+    return len(urls), urls
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.obs.runner import run_telemetry_crawl
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        site_count, urls = _site_list(args.sites)
+    except OSError as exc:
+        print(f"error: --sites file unreadable: {exc}", file=sys.stderr)
+        return 2
+    queue_path = args.queue
+    if queue_path is None:
+        queue_path = ":memory:" if args.db == ":memory:" \
+            else f"{args.db}.queue"
+    if args.resume and queue_path == ":memory:":
+        print("error: --resume needs a file-backed queue "
+              "(pass --db or --queue)", file=sys.stderr)
+        return 2
+
+    result = run_telemetry_crawl(
+        site_count=site_count, seed=args.seed,
+        database_path=args.db,
+        crash_probability=args.crash_probability,
+        browsers=args.workers, dwell=args.dwell,
+        web=args.web, urls=urls,
+        workers=args.workers, queue_path=queue_path,
+        resume=args.resume, stop_after_jobs=args.stop_after)
+    report = result.report
+    try:
+        payload = {
+            "sites": site_count,
+            "workers": report.workers,
+            "queue": queue_path,
+            "resumed": args.resume,
+            "released_leases": report.released_leases,
+            "completed": report.completed,
+            "failed": report.failed,
+            "retried": report.retried,
+            "reclaimed": report.reclaimed,
+            "interrupted": report.interrupted,
+            "queue_counts": report.counts,
+            "drained": report.drained,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"crawl: {report.completed} completed, "
+                  f"{report.failed} failed, {report.retried} retried "
+                  f"on {report.workers} worker(s)")
+            print("queue: " + ", ".join(
+                f"{state}={count}"
+                for state, count in sorted(report.counts.items())))
+            if not report.drained:
+                print(f"queue not drained — rerun with --resume "
+                      f"--queue {queue_path} to finish")
+        return 0 if report.drained else 1
+    finally:
+        result.close()
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
@@ -227,7 +308,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the report as JSON")
     stats.add_argument("--prometheus", action="store_true",
                        help="emit metrics in Prometheus text format")
+    stats.add_argument("--queue", default=None,
+                       help="scheduler queue database to reconcile "
+                            "against the crawl data")
     stats.set_defaults(fn=_cmd_stats)
+
+    crawl = sub.add_parser(
+        "crawl", help="scheduled crawl (worker pool + resumable queue)")
+    crawl.add_argument("--sites", default="200",
+                       help="site count, or a path to a file of URLs "
+                            "(one per line)")
+    crawl.add_argument("--workers", type=int, default=4,
+                       help="worker threads, one browser slot each")
+    crawl.add_argument("--db", default=":memory:",
+                       help="crawl database path")
+    crawl.add_argument("--queue", default=None,
+                       help="queue database path "
+                            "(default: <db>.queue, or in-memory)")
+    crawl.add_argument("--resume", action="store_true",
+                       help="reopen the queue and crawl only the "
+                            "remainder")
+    crawl.add_argument("--stop-after", type=int, default=None,
+                       help="stop gracefully after N jobs finish "
+                            "(for testing interruption)")
+    crawl.add_argument("--web", choices=["lab", "tranco"], default="lab")
+    crawl.add_argument("--seed", type=int, default=7)
+    crawl.add_argument("--crash-probability", type=float, default=0.05)
+    crawl.add_argument("--dwell", type=float, default=1.0)
+    crawl.add_argument("--json", action="store_true",
+                       help="emit the crawl report as JSON")
+    crawl.set_defaults(fn=_cmd_crawl)
     return parser
 
 

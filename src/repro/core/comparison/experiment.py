@@ -37,6 +37,7 @@ from repro.openwpm.config import BrowserParams
 from repro.openwpm.extension import OpenWPMExtension
 from repro.openwpm.instruments.cookie_instrument import CookieRecord
 from repro.openwpm.instruments.http_instrument import HttpExchangeRecord
+from repro.sched import CrawlScheduler
 from repro.web.world import SyntheticWeb
 
 
@@ -266,7 +267,9 @@ class PairedCrawl:
 
         tm = self.telemetry
         data = ClientRunData(client=label, run=run_index + 1)
-        for domain in self.sites:
+
+        def visit_site(job, worker_index):
+            domain = job.site_url
             extension.clear_records()
             with tm.stage("paired_visit", client=label):
                 browser.visit(f"https://www.{domain}/", wait=self.dwell)
@@ -288,6 +291,17 @@ class PairedCrawl:
                 tm.metrics.counter("paired_hook_failures",
                                    client=label).inc()
                 extension.js_instrument.failed_windows.clear()
+
+        # Both clients must see the sites in the same order (lockstep),
+        # so the run drains an in-memory scheduler with one worker —
+        # inline, order-preserving, and identical to the plain loop.
+        scheduler = CrawlScheduler(seed=self.seed, max_attempts=1,
+                                   telemetry=tm)
+        scheduler.enqueue(self.sites)
+        try:
+            scheduler.run(visit_site, workers=1)
+        finally:
+            scheduler.close()
         return data
 
 

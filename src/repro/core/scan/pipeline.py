@@ -18,6 +18,7 @@ derives the paper's tables and figures:
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -220,6 +221,8 @@ class ScanPipeline:
                  max_subpages: int = MAX_SUBPAGES,
                  telemetry: Optional[Telemetry] = None) -> None:
         self.web = web
+        self.client_id = client_id
+        self.seed = seed
         self.telemetry = coalesce(telemetry)
         self.extension = ScanExtension()
         self.browser = Browser(openwpm_profile("ubuntu", "regular"),
@@ -227,75 +230,119 @@ class ScanPipeline:
                                extension=self.extension, seed=seed)
         self.dwell = dwell
         self.max_subpages = max_subpages
+        #: Serializes dataset mutation across scan workers.
+        self._dataset_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def run(self, site_limit: Optional[int] = None,
-            visit_subpages: bool = True) -> ScanDataset:
+            visit_subpages: bool = True, workers: int = 1,
+            queue_path: str = ":memory:",
+            resume: bool = False) -> ScanDataset:
+        """Scan the corpus; with ``workers > 1`` sites are distributed
+        over extra browsers through the crawl scheduler. ``queue_path``
+        and ``resume`` expose the scheduler's checkpoint/resume."""
+        from repro.sched import CrawlScheduler
+
         dataset = ScanDataset()
-        tm = self.telemetry
         configs = self.web.configs if site_limit is None \
             else self.web.configs[:site_limit]
-        for config in configs:
-            domain = config.domain
-            with tm.tracer.span("scan_site", domain=domain) as site_span:
-                front_evidence = self._visit(f"https://www.{domain}/")
-                evidences = [front_evidence]
-                dataset.front_only[domain] = classify_site(
-                    domain, [front_evidence])
-                if visit_subpages:
-                    for link in self._select_subpages(front_evidence,
-                                                      domain):
-                        evidences.append(self._visit(link))
-                        dataset.subpage_visits += 1
-                        tm.metrics.counter("scan_subpage_visits").inc()
-                with tm.stage("classify"):
-                    classification = classify_site(domain, evidences)
-                dataset.combined[domain] = classification
-                dataset.evidence[domain] = evidences
-                dataset.visited_sites += 1
-                tm.metrics.counter("scan_sites_visited").inc()
-                outcome = "identified" if classification.identified_union \
-                    else "negative"
-                tm.metrics.counter("classifier_outcomes",
-                                   outcome=outcome).inc()
-                if classification.clean_union:
-                    tm.metrics.counter("classifier_outcomes",
-                                       outcome="clean").inc()
-                site_span.set_attribute("outcome", outcome)
-                for visit in evidences:
-                    for _, source in visit.scripts:
-                        dataset.unique_scripts.add(source)
+        # Worker 0 reuses the pipeline's own browser; extra workers get
+        # their own browser + extension (their own network client_id).
+        slots = [(self.browser, self.extension)]
+        for index in range(1, workers):
+            extension = ScanExtension()
+            browser = Browser(
+                openwpm_profile("ubuntu", "regular"), self.web.network,
+                client_id=f"{self.client_id}-w{index}",
+                extension=extension, seed=self.seed + 1000 * index)
+            slots.append((browser, extension))
+
+        scheduler = CrawlScheduler(queue_path, resume=resume,
+                                   seed=self.seed, max_attempts=1,
+                                   telemetry=self.telemetry)
+        scheduler.enqueue([config.domain for config in configs])
+
+        def handler(job, worker_index):
+            browser, extension = slots[worker_index]
+            self._scan_site(job.site_url, browser, extension, dataset,
+                            visit_subpages)
+
+        try:
+            scheduler.run(handler, workers=workers)
+        finally:
+            scheduler.close()
         return dataset
 
     # ------------------------------------------------------------------
-    def _visit(self, url: str) -> VisitEvidence:
-        self.extension.clear_records()
+    def _scan_site(self, domain: str, browser: Browser,
+                   extension: ScanExtension, dataset: ScanDataset,
+                   visit_subpages: bool) -> None:
+        tm = self.telemetry
+        with tm.tracer.span("scan_site", domain=domain) as site_span:
+            front_evidence = self._visit(f"https://www.{domain}/",
+                                         browser, extension)
+            evidences = [front_evidence]
+            front_classification = classify_site(domain, [front_evidence])
+            subpage_count = 0
+            if visit_subpages:
+                for link in self._select_subpages(front_evidence, browser):
+                    evidences.append(self._visit(link, browser, extension))
+                    subpage_count += 1
+                    tm.metrics.counter("scan_subpage_visits").inc()
+            with tm.stage("classify"):
+                classification = classify_site(domain, evidences)
+            with self._dataset_lock:
+                dataset.front_only[domain] = front_classification
+                dataset.combined[domain] = classification
+                dataset.evidence[domain] = evidences
+                dataset.subpage_visits += subpage_count
+                dataset.visited_sites += 1
+                for visit in evidences:
+                    for _, source in visit.scripts:
+                        dataset.unique_scripts.add(source)
+            tm.metrics.counter("scan_sites_visited").inc()
+            outcome = "identified" if classification.identified_union \
+                else "negative"
+            tm.metrics.counter("classifier_outcomes",
+                               outcome=outcome).inc()
+            if classification.clean_union:
+                tm.metrics.counter("classifier_outcomes",
+                                   outcome="clean").inc()
+            site_span.set_attribute("outcome", outcome)
+
+    # ------------------------------------------------------------------
+    def _visit(self, url: str, browser: Optional[Browser] = None,
+               extension: Optional[ScanExtension] = None) -> VisitEvidence:
+        browser = browser if browser is not None else self.browser
+        extension = extension if extension is not None else self.extension
+        extension.clear_records()
         with self.telemetry.stage("scan_visit"):
-            result = self.browser.visit(url, wait=self.dwell)
+            result = browser.visit(url, wait=self.dwell)
         evidence = VisitEvidence(page_url=url)
-        if self.extension.http_instrument is not None:
+        if extension.http_instrument is not None:
             evidence.scripts = [
                 (script_url, source) for script_url, content_type, source
-                in self.extension.http_instrument.saved_bodies
+                in extension.http_instrument.saved_bodies
                 if "javascript" in content_type]
-        if self.extension.js_instrument is not None:
-            for record in self.extension.js_instrument.records:
+        if extension.js_instrument is not None:
+            for record in extension.js_instrument.records:
                 if record.symbol == "navigator.webdriver" \
                         and record.operation == "get":
                     evidence.webdriver_accessors.add(record.script_url)
-        for access in self.extension.residue_accesses():
+        for access in extension.residue_accesses():
             evidence.residue_accessors.setdefault(
                 access.script_url, set()).add(access.property_name)
-        evidence.honey_hits = self.extension.honey_hits_by_script()
+        evidence.honey_hits = extension.honey_hits_by_script()
         return evidence
 
     def _select_subpages(self, evidence: VisitEvidence,
-                         domain: str) -> List[str]:
+                         browser: Optional[Browser] = None) -> List[str]:
         """Same-site links only (eTLD+1), after following redirects."""
+        browser = browser if browser is not None else self.browser
         result_links: List[str] = []
         base = URL.parse(evidence.page_url)
         page = None
-        top = self.browser._top_window  # the visit that produced evidence
+        top = browser._top_window  # the visit that produced evidence
         if top is not None and top.page is not None:
             page = top.page
         if page is None:

@@ -184,6 +184,43 @@ class MetricsRegistry:
     def snapshot(self) -> List[Dict[str, Any]]:
         return [metric.to_dict() for metric in self.all_metrics()]
 
+    def restore(self, metrics: List[Dict[str, Any]]) -> int:
+        """Seed instruments from a stored snapshot (resume carry-forward).
+
+        A resumed crawl starts with a fresh registry, but its database
+        spans every earlier run; restoring the persisted snapshot first
+        keeps the final snapshot cumulative — counters and histograms
+        are *added to*, gauges adopt the stored value. Histograms with
+        mismatched bucket bounds are skipped rather than corrupted.
+        Returns the number of instruments restored.
+        """
+        restored = 0
+        for metric in metrics:
+            labels = metric.get("labels") or {}
+            kind = metric.get("kind")
+            if kind == "counter":
+                self.counter(metric["name"], **labels).inc(
+                    float(metric.get("value") or 0.0))
+            elif kind == "gauge":
+                self.gauge(metric["name"], **labels).set(
+                    float(metric.get("value") or 0.0))
+            elif kind == "histogram":
+                bounds = tuple(metric.get("bounds") or DEFAULT_BUCKETS)
+                hist = self.histogram(metric["name"], buckets=bounds,
+                                      **labels)
+                counts = list(metric.get("bucket_counts") or [])
+                if tuple(hist.bounds) != bounds \
+                        or len(counts) != len(hist.bucket_counts):
+                    continue
+                for index, count in enumerate(counts):
+                    hist.bucket_counts[index] += int(count)
+                hist.sum += float(metric.get("sum") or 0.0)
+                hist.count += int(metric.get("count") or 0)
+            else:
+                continue
+            restored += 1
+        return restored
+
     def clear(self) -> None:
         self._metrics.clear()
         self._kinds.clear()
@@ -265,6 +302,9 @@ class NullMetricsRegistry:
 
     def snapshot(self) -> List[Dict[str, Any]]:
         return []
+
+    def restore(self, metrics: List[Dict[str, Any]]) -> int:
+        return 0
 
     def clear(self) -> None:
         pass

@@ -31,6 +31,9 @@ class TelemetryCrawlResult:
     telemetry: Telemetry
     urls: List[str] = field(default_factory=list)
     results: List[object] = field(default_factory=list)
+    #: The scheduler's CrawlReport when the crawl ran on worker threads
+    #: (``workers`` given); ``None`` for the legacy sequential path.
+    report: Optional[object] = None
 
     @property
     def storage(self):
@@ -50,7 +53,12 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
                         browsers: int = 2, dwell: float = 1.0,
                         js_instrument: bool = False,
                         web: str = "lab",
-                        telemetry: Optional[Telemetry] = None
+                        telemetry: Optional[Telemetry] = None,
+                        workers: Optional[int] = None,
+                        queue_path: str = ":memory:",
+                        resume: bool = False,
+                        urls: Optional[List[str]] = None,
+                        stop_after_jobs: Optional[int] = None
                         ) -> TelemetryCrawlResult:
     """Crawl *site_count* sites with full telemetry enabled.
 
@@ -61,6 +69,12 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
     defaults off for the lab crawl because instrumenting every lab page
     dominates runtime; HTTP and cookie instruments still exercise the
     record-accounting path.
+
+    ``workers=None`` keeps the legacy sequential round-robin crawl.
+    Any integer routes the crawl through the scheduler instead — one
+    worker per browser slot, with ``queue_path``/``resume`` exposing
+    the persistent queue and checkpoint/resume (``python -m repro
+    crawl``). An explicit ``urls`` list overrides the generated one.
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
     if web == "tranco":
@@ -68,12 +82,14 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
 
         world = build_world(site_count=site_count, seed=seed)
         network = world.network
-        urls = world.front_urls(site_count)
+        if urls is None:
+            urls = world.front_urls(site_count)
     else:
         from repro.core.lab import make_lab_network
 
         network = make_lab_network()
-        urls = _lab_urls(site_count)
+        if urls is None:
+            urls = _lab_urls(site_count)
 
     manager = TaskManager(
         ManagerParams(num_browsers=browsers,
@@ -85,8 +101,20 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
                        save_content=None if web == "lab" else "script")
          for i in range(browsers)],
         network, telemetry=telemetry)
-    results = manager.crawl(urls)
+    report = None
+    results: List[object] = []
+    if workers is None:
+        results = manager.crawl(urls)
+    else:
+        if resume and telemetry.enabled:
+            # Carry the previous runs' persisted counters forward so the
+            # final snapshot stays cumulative over the whole database —
+            # otherwise a resumed crawl's books can never balance.
+            telemetry.metrics.restore(manager.storage.telemetry_metrics())
+        report = manager.crawl_scheduled(
+            urls, workers=workers, queue_path=queue_path, resume=resume,
+            stop_after_jobs=stop_after_jobs)
     # Snapshot now (close() would too, but callers report before closing).
     manager.storage.persist_telemetry(telemetry.snapshot())
     return TelemetryCrawlResult(manager=manager, telemetry=telemetry,
-                                urls=urls, results=results)
+                                urls=urls, results=results, report=report)

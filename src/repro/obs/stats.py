@@ -44,12 +44,18 @@ def _table_count(storage: Any, table: str, where: str = "",
 
 
 def build_crawl_report(storage: Any,
-                       telemetry: Optional[Telemetry] = None
-                       ) -> Dict[str, Any]:
+                       telemetry: Optional[Telemetry] = None,
+                       queue: Any = None) -> Dict[str, Any]:
     """Assemble the loss-accounting report for one crawl database.
 
     ``telemetry`` overrides the stored snapshot with live metrics (used
     mid-crawl); by default metrics come from the ``telemetry`` table.
+    ``queue`` (a :class:`repro.sched.JobQueue`) adds queue-vs-database
+    reconciliation for scheduled crawls: every completed job must have
+    a ``site_visits`` row, and a finished crawl must leave the queue
+    drained. Queue totals are compared against the *database*, not the
+    telemetry counters — a resumed crawl's persisted snapshot covers
+    only the final run, while the queue spans all of them.
     """
     if telemetry is not None and telemetry.enabled:
         metrics = telemetry.metrics.snapshot()
@@ -107,6 +113,33 @@ def build_crawl_report(storage: Any,
         "has_integrity_gauge": _has_metric(metrics, "recording_integrity"),
     }
 
+    # --- scheduler ----------------------------------------------------
+    scheduler: Optional[Dict[str, Any]] = None
+    if _has_metric(metrics, "sched_jobs_claimed"):
+        scheduler = {
+            "jobs_claimed": _metric_value(metrics, "sched_jobs_claimed"),
+            "jobs_completed": _metric_value(metrics,
+                                            "sched_jobs_completed"),
+            "jobs_failed": _metric_value(metrics, "sched_jobs_failed"),
+            "jobs_retried": _metric_value(metrics, "sched_jobs_retried"),
+            "lease_reclaims": _metric_value(metrics,
+                                            "sched_lease_reclaims"),
+            "queue_depth": {
+                (metric.get("labels") or {}).get("state", ""):
+                    int(metric.get("value") or 0)
+                for metric in metrics
+                if metric["name"] == "sched_queue_depth"},
+        }
+        for hist_name in ("queue_wait_seconds", "lease_duration_seconds"):
+            for metric in metrics:
+                if metric["kind"] == "histogram" \
+                        and metric["name"] == hist_name:
+                    count = int(metric.get("count") or 0)
+                    total = float(metric.get("sum") or 0.0)
+                    scheduler[hist_name] = {
+                        "count": count, "total_seconds": total,
+                        "mean_seconds": total / count if count else 0.0}
+
     # --- stage latency -----------------------------------------------
     stages = []
     for metric in metrics:
@@ -149,11 +182,36 @@ def build_crawl_report(storage: Any,
               tele["records_http"], db["http_request_rows"])
         check("records_written{cookie} == javascript_cookies rows",
               tele["records_cookie"], db["cookie_rows"])
+    if has_telemetry and scheduler is not None:
+        check("sched_jobs_completed == visits_completed",
+              scheduler["jobs_completed"], tele["visits_completed"])
+        check("sched_jobs_failed == visits_failed_exhausted",
+              scheduler["jobs_failed"], tele["visits_failed_exhausted"])
+
+    queue_state: Optional[Dict[str, Any]] = None
+    if queue is not None:
+        counts = queue.counts()
+        completed_sites = queue.sites(status="completed")
+        visited = {row["site_url"] for row in storage.query(
+            "SELECT DISTINCT site_url FROM site_visits")}
+        visited_completed = sum(1 for site in completed_sites
+                                if site in visited)
+        queue_state = {
+            "counts": counts,
+            "drained": counts.get("pending", 0) == 0
+            and counts.get("leased", 0) == 0,
+        }
+        check("completed queue jobs have site_visits rows",
+              len(completed_sites), visited_completed)
+        check("queue drained (pending + leased == 0)",
+              counts.get("pending", 0) + counts.get("leased", 0), 0)
 
     return {
         "has_telemetry": has_telemetry,
         "database": db,
         "telemetry": tele,
+        "scheduler": scheduler,
+        "queue": queue_state,
         "drop_reasons": drop_reasons,
         "stages": stages,
         "span_count": len(spans),
@@ -213,6 +271,41 @@ def render_crawl_report(report: Dict[str, Any]) -> str:
     push(f"  instrumentation blocked  "
          f"{int(tele['instrumentation_blocked'])}")
     push("")
+
+    scheduler = report.get("scheduler")
+    if scheduler is not None:
+        push("Scheduler")
+        push(f"  jobs claimed ........... "
+             f"{int(scheduler['jobs_claimed'])}")
+        push(f"  jobs completed ......... "
+             f"{int(scheduler['jobs_completed'])}")
+        push(f"  jobs failed ............ {int(scheduler['jobs_failed'])}"
+             f"  (retried: {int(scheduler['jobs_retried'])}, "
+             f"lease reclaims: {int(scheduler['lease_reclaims'])})")
+        depth = scheduler.get("queue_depth") or {}
+        if depth:
+            push("  queue depth ............ "
+                 + ", ".join(f"{state}={count}"
+                             for state, count in sorted(depth.items())))
+        for hist_name, label in (
+                ("queue_wait_seconds", "queue wait"),
+                ("lease_duration_seconds", "lease duration")):
+            hist = scheduler.get(hist_name)
+            if hist:
+                push(f"  {label + ' (mean s) ':.<24} "
+                     f"{hist['mean_seconds']:.4f}  "
+                     f"(n={hist['count']})")
+        push("")
+
+    queue_state = report.get("queue")
+    if queue_state is not None:
+        push("Queue (persistent)")
+        push("  " + ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(queue_state["counts"].items())))
+        push("  drained ................ "
+             + ("yes" if queue_state["drained"] else "NO"))
+        push("")
 
     if report["drop_reasons"]:
         push("Drop reasons (failed_visits)")

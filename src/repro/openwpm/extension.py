@@ -113,7 +113,11 @@ class OpenWPMExtension(ExtensionHost):
                     self.telemetry.metrics.counter(
                         "integrity_probe_failures").inc()
         if self.storage is not None:
-            self.storage.connection.commit()
+            commit = getattr(self.storage, "commit", None)
+            if commit is not None:
+                commit()
+            else:
+                self.storage.connection.commit()
 
     # ------------------------------------------------------------------
     # Recording integrity

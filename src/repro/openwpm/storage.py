@@ -15,12 +15,23 @@ Two properties the paper verifies live here:
   (page-forgeable) event payload;
 * RQ7 injection safety — every statement is parameterised; hostile
   strings in any field cannot alter previously stored rows.
+
+Concurrency model (the scheduler's worker threads share one
+controller): every database access runs under one re-entrant lock — the
+serialized-writer role OpenWPM's real storage controller fills with its
+listener queue — and the visit context is kept *per browser*
+(``browser_id -> VisitContext``) instead of one shared slot. A record
+arriving outside any visit for its browser raises
+:class:`VisitStateError` rather than landing on a stale context; each
+browser's instruments write through a :class:`BrowserStorageHandle`
+that pins their ``browser_id`` explicitly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import sqlite3
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -133,43 +144,113 @@ class VisitContext:
     top_level_url: str
 
 
+class VisitStateError(RuntimeError):
+    """A visit-scoped write arrived with no (or an ambiguous) visit.
+
+    Before per-browser contexts, such records were silently attributed
+    to a sentinel or — worse — to whatever visit happened to be current
+    (possibly another browser's). Raising makes the mis-attribution bug
+    a loud failure instead of corrupt data.
+    """
+
+
 class StorageController:
-    """Owns the SQLite database and all writes to it."""
+    """Owns the SQLite database and all writes to it.
+
+    Thread-safe: one connection shared across worker threads, every
+    access serialized through ``self._lock``.
+    """
 
     def __init__(self, database_path: str = ":memory:") -> None:
-        self.connection = sqlite3.connect(database_path)
+        self.connection = sqlite3.connect(database_path,
+                                          check_same_thread=False)
         self.connection.row_factory = sqlite3.Row
-        self.connection.executescript(_SCHEMA)
-        self._next_visit_id = 1
-        self.current_visit: Optional[VisitContext] = None
+        self._lock = threading.RLock()
+        with self._lock:
+            self.connection.executescript(_SCHEMA)
+            # Resume numbering after any visits already in the database
+            # (a reopened crawl must not collide with its own past).
+            row = self.connection.execute(
+                "SELECT MAX(visit_id) AS m FROM site_visits").fetchone()
+            self._next_visit_id = int(row["m"] or 0) + 1
+        #: Active visits, one slot per browser.
+        self._contexts: Dict[int, VisitContext] = {}
 
     # ------------------------------------------------------------------
     # Visit lifecycle
     # ------------------------------------------------------------------
+    @property
+    def current_visit(self) -> Optional[VisitContext]:
+        """The single active visit, or ``None`` (0 or 2+ active)."""
+        with self._lock:
+            if len(self._contexts) == 1:
+                return next(iter(self._contexts.values()))
+            return None
+
+    def active_visits(self) -> Dict[int, VisitContext]:
+        """Snapshot of every browser's active visit context."""
+        with self._lock:
+            return dict(self._contexts)
+
+    def handle(self, browser_id: int) -> "BrowserStorageHandle":
+        """A write facade with *browser_id* pinned to every record."""
+        return BrowserStorageHandle(self, browser_id)
+
     def begin_visit(self, browser_id: int, site_url: str,
                     run_label: str = "") -> VisitContext:
-        visit_id = self._next_visit_id
-        self._next_visit_id += 1
-        self.connection.execute(
-            "INSERT INTO site_visits (visit_id, browser_id, site_url, "
-            "run_label) VALUES (?, ?, ?, ?)",
-            (visit_id, browser_id, site_url, run_label))
-        self.current_visit = VisitContext(
-            visit_id=visit_id, browser_id=browser_id, site_url=site_url,
-            top_level_url=site_url)
-        return self.current_visit
+        with self._lock:
+            if browser_id in self._contexts:
+                raise VisitStateError(
+                    f"browser {browser_id} already has an active visit "
+                    f"({self._contexts[browser_id].site_url!r}); "
+                    f"end_visit it before beginning {site_url!r}")
+            visit_id = self._next_visit_id
+            self._next_visit_id += 1
+            self.connection.execute(
+                "INSERT INTO site_visits (visit_id, browser_id, site_url, "
+                "run_label) VALUES (?, ?, ?, ?)",
+                (visit_id, browser_id, site_url, run_label))
+            context = VisitContext(
+                visit_id=visit_id, browser_id=browser_id,
+                site_url=site_url, top_level_url=site_url)
+            self._contexts[browser_id] = context
+            return context
 
-    def end_visit(self) -> None:
-        self.connection.commit()
-        self.current_visit = None
+    def end_visit(self, browser_id: Optional[int] = None) -> None:
+        """Commit and close a visit.
 
-    def _context(self) -> VisitContext:
-        if self.current_visit is None:
-            # Records arriving outside a visit are attributed to a
-            # sentinel context rather than dropped.
-            return VisitContext(visit_id=0, browser_id=-1, site_url="",
-                                top_level_url="")
-        return self.current_visit
+        ``browser_id`` may be omitted only while exactly one visit is
+        active (the single-browser legacy call shape).
+        """
+        with self._lock:
+            if browser_id is None:
+                if len(self._contexts) != 1:
+                    raise VisitStateError(
+                        f"end_visit() without browser_id needs exactly "
+                        f"one active visit, found {len(self._contexts)}")
+                browser_id = next(iter(self._contexts))
+            if browser_id not in self._contexts:
+                raise VisitStateError(
+                    f"browser {browser_id} has no active visit to end")
+            self.connection.commit()
+            del self._contexts[browser_id]
+
+    def _context(self, browser_id: Optional[int] = None) -> VisitContext:
+        """Resolve the visit context a record belongs to, or raise."""
+        if browser_id is not None:
+            context = self._contexts.get(browser_id)
+            if context is None:
+                raise VisitStateError(
+                    f"record for browser {browser_id} arrived outside "
+                    f"any visit")
+            return context
+        if len(self._contexts) == 1:
+            return next(iter(self._contexts.values()))
+        if not self._contexts:
+            raise VisitStateError("record arrived outside any visit")
+        raise VisitStateError(
+            f"{len(self._contexts)} visits active — records must name "
+            f"their browser_id (use StorageController.handle())")
 
     # ------------------------------------------------------------------
     # Row writers
@@ -177,84 +258,104 @@ class StorageController:
     def record_http_request(self, url: str, top_level_url: str,
                             frame_url: str, method: str, resource_type: str,
                             is_third_party: bool, headers: str = "",
-                            post_body: str = "") -> None:
-        ctx = self._context()
-        self.connection.execute(
-            "INSERT INTO http_requests (visit_id, browser_id, url, "
-            "top_level_url, frame_url, method, resource_type, "
-            "is_third_party_channel, headers, post_body) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (ctx.visit_id, ctx.browser_id, url, top_level_url, frame_url,
-             method, resource_type, int(is_third_party), headers, post_body))
+                            post_body: str = "",
+                            browser_id: Optional[int] = None) -> None:
+        with self._lock:
+            ctx = self._context(browser_id)
+            self.connection.execute(
+                "INSERT INTO http_requests (visit_id, browser_id, url, "
+                "top_level_url, frame_url, method, resource_type, "
+                "is_third_party_channel, headers, post_body) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (ctx.visit_id, ctx.browser_id, url, top_level_url,
+                 frame_url, method, resource_type, int(is_third_party),
+                 headers, post_body))
 
     def record_http_response(self, url: str, status: int, content_type: str,
-                             content_hash: str = "") -> None:
-        ctx = self._context()
-        self.connection.execute(
-            "INSERT INTO http_responses (visit_id, browser_id, url, "
-            "response_status, content_type, content_hash) "
-            "VALUES (?, ?, ?, ?, ?, ?)",
-            (ctx.visit_id, ctx.browser_id, url, status, content_type,
-             content_hash))
+                             content_hash: str = "",
+                             browser_id: Optional[int] = None) -> None:
+        with self._lock:
+            ctx = self._context(browser_id)
+            self.connection.execute(
+                "INSERT INTO http_responses (visit_id, browser_id, url, "
+                "response_status, content_type, content_hash) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (ctx.visit_id, ctx.browser_id, url, status, content_type,
+                 content_hash))
 
     def record_content(self, body: str, url: str,
                        content_type: str) -> str:
         content_hash = hashlib.sha256(body.encode()).hexdigest()
-        self.connection.execute(
-            "INSERT OR IGNORE INTO content (content_hash, content, url, "
-            "content_type) VALUES (?, ?, ?, ?)",
-            (content_hash, body, url, content_type))
+        with self._lock:
+            self.connection.execute(
+                "INSERT OR IGNORE INTO content (content_hash, content, "
+                "url, content_type) VALUES (?, ?, ?, ?)",
+                (content_hash, body, url, content_type))
         return content_hash
 
     def record_javascript(self, document_url: str, script_url: str,
                           symbol: str, operation: str, value: str,
-                          arguments: str = "", call_stack: str = "") -> None:
+                          arguments: str = "", call_stack: str = "",
+                          browser_id: Optional[int] = None) -> None:
         """Record one JS API access.
 
         ``top_level_url`` and ``visit_id`` come from the controller's own
         visit context — the sanitisation that limits the fake-data
         injection attack (RQ6) to the currently visited site.
         """
-        ctx = self._context()
-        self.connection.execute(
-            "INSERT INTO javascript (visit_id, browser_id, top_level_url, "
-            "document_url, script_url, symbol, operation, value, arguments, "
-            "call_stack) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (ctx.visit_id, ctx.browser_id, ctx.top_level_url, document_url,
-             script_url, str(symbol)[:2048], str(operation)[:64],
-             str(value)[:2048], str(arguments)[:2048],
-             str(call_stack)[:4096]))
+        with self._lock:
+            ctx = self._context(browser_id)
+            self.connection.execute(
+                "INSERT INTO javascript (visit_id, browser_id, "
+                "top_level_url, document_url, script_url, symbol, "
+                "operation, value, arguments, call_stack) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (ctx.visit_id, ctx.browser_id, ctx.top_level_url,
+                 document_url, script_url, str(symbol)[:2048],
+                 str(operation)[:64], str(value)[:2048],
+                 str(arguments)[:2048], str(call_stack)[:4096]))
 
     def record_cookie(self, change_cause: str, host: str, name: str,
                       value: str, path: str, is_session: bool,
                       is_http_only: bool, expiry: Optional[float],
-                      first_party: str, via_javascript: bool) -> None:
-        ctx = self._context()
-        self.connection.execute(
-            "INSERT INTO javascript_cookies (visit_id, browser_id, "
-            "record_type, change_cause, host, name, value, path, "
-            "is_session, is_http_only, expiry, first_party_domain, "
-            "via_javascript) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (ctx.visit_id, ctx.browser_id, "cookie", change_cause, host,
-             name, value, path, int(is_session), int(is_http_only),
-             expiry if expiry is not None else None, first_party,
-             int(via_javascript)))
+                      first_party: str, via_javascript: bool,
+                      browser_id: Optional[int] = None) -> None:
+        with self._lock:
+            ctx = self._context(browser_id)
+            self.connection.execute(
+                "INSERT INTO javascript_cookies (visit_id, browser_id, "
+                "record_type, change_cause, host, name, value, path, "
+                "is_session, is_http_only, expiry, first_party_domain, "
+                "via_javascript) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (ctx.visit_id, ctx.browser_id, "cookie", change_cause,
+                 host, name, value, path, int(is_session),
+                 int(is_http_only),
+                 expiry if expiry is not None else None, first_party,
+                 int(via_javascript)))
 
     def record_crash(self, browser_id: int, site_url: str,
                      action: str) -> None:
-        ctx = self.current_visit
-        self.connection.execute(
-            "INSERT INTO crash_history (browser_id, visit_id, site_url, "
-            "action) VALUES (?, ?, ?, ?)",
-            (browser_id, ctx.visit_id if ctx else None, site_url, action))
+        with self._lock:
+            ctx = self._contexts.get(browser_id)
+            self.connection.execute(
+                "INSERT INTO crash_history (browser_id, visit_id, "
+                "site_url, action) VALUES (?, ?, ?, ?)",
+                (browser_id, ctx.visit_id if ctx else None, site_url,
+                 action))
 
     def record_failed_visit(self, browser_id: int, site_url: str,
                             attempts: int, reason: str) -> None:
         """One row per site given up on (the crawl-loss ledger)."""
-        self.connection.execute(
-            "INSERT INTO failed_visits (browser_id, site_url, attempts, "
-            "reason) VALUES (?, ?, ?, ?)",
-            (browser_id, site_url, attempts, reason))
+        with self._lock:
+            self.connection.execute(
+                "INSERT INTO failed_visits (browser_id, site_url, "
+                "attempts, reason) VALUES (?, ?, ?, ?)",
+                (browser_id, site_url, attempts, reason))
+
+    def commit(self) -> None:
+        with self._lock:
+            self.connection.commit()
 
     # ------------------------------------------------------------------
     # Telemetry persistence
@@ -267,6 +368,11 @@ class StorageController:
         """
         import json
 
+        with self._lock:
+            return self._persist_telemetry_locked(json, snapshot)
+
+    def _persist_telemetry_locked(self, json: Any,
+                                  snapshot: Dict[str, Any]) -> int:
         self.connection.execute("DELETE FROM telemetry")
         rows = 0
         for span in snapshot.get("spans", []):
@@ -355,7 +461,8 @@ class StorageController:
     # Queries
     # ------------------------------------------------------------------
     def query(self, sql: str, params: Tuple = ()) -> List[sqlite3.Row]:
-        return list(self.connection.execute(sql, params))
+        with self._lock:
+            return list(self.connection.execute(sql, params))
 
     def javascript_records(self, visit_id: Optional[int] = None
                            ) -> List[Dict[str, Any]]:
@@ -424,5 +531,67 @@ class StorageController:
             for table in self.TABLES}
 
     def close(self) -> None:
-        self.connection.commit()
-        self.connection.close()
+        with self._lock:
+            self.connection.commit()
+            self.connection.close()
+
+
+class BrowserStorageHandle:
+    """Write facade binding one ``browser_id`` to every record.
+
+    Handed to the per-browser instruments (extension, JS instrument) so
+    that, with several browsers visiting concurrently, each record lands
+    on *its* browser's visit context — never on whichever visit happens
+    to be globally current.
+    """
+
+    __slots__ = ("_controller", "browser_id")
+
+    def __init__(self, controller: StorageController,
+                 browser_id: int) -> None:
+        self._controller = controller
+        self.browser_id = browser_id
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._controller.connection
+
+    # -- visit lifecycle ----------------------------------------------
+    def begin_visit(self, site_url: str,
+                    run_label: str = "") -> VisitContext:
+        return self._controller.begin_visit(self.browser_id, site_url,
+                                            run_label)
+
+    def end_visit(self) -> None:
+        self._controller.end_visit(self.browser_id)
+
+    @property
+    def current_visit(self) -> Optional[VisitContext]:
+        return self._controller.active_visits().get(self.browser_id)
+
+    # -- row writers --------------------------------------------------
+    def record_http_request(self, *args: Any, **kwargs: Any) -> None:
+        kwargs["browser_id"] = self.browser_id
+        self._controller.record_http_request(*args, **kwargs)
+
+    def record_http_response(self, *args: Any, **kwargs: Any) -> None:
+        kwargs["browser_id"] = self.browser_id
+        self._controller.record_http_response(*args, **kwargs)
+
+    def record_javascript(self, *args: Any, **kwargs: Any) -> None:
+        kwargs["browser_id"] = self.browser_id
+        self._controller.record_javascript(*args, **kwargs)
+
+    def record_cookie(self, *args: Any, **kwargs: Any) -> None:
+        kwargs["browser_id"] = self.browser_id
+        self._controller.record_cookie(*args, **kwargs)
+
+    def record_content(self, body: str, url: str,
+                       content_type: str) -> str:
+        return self._controller.record_content(body, url, content_type)
+
+    def record_crash(self, site_url: str, action: str) -> None:
+        self._controller.record_crash(self.browser_id, site_url, action)
+
+    def commit(self) -> None:
+        self._controller.commit()

@@ -78,10 +78,14 @@ class TaskManager:
             else params.display_mode,
             window_size=params.window_size,
             window_position=params.window_position)
+        # Each browser writes through a handle pinning its browser_id,
+        # so concurrent visits cannot cross-attribute records.
+        storage_handle = self.storage.handle(params.browser_id)
         js_instrument = None
         if self._js_instrument_factory is not None and params.js_instrument:
-            js_instrument = self._js_instrument_factory(storage=self.storage)
-        extension = OpenWPMExtension(params, storage=self.storage,
+            js_instrument = self._js_instrument_factory(
+                storage=storage_handle)
+        extension = OpenWPMExtension(params, storage=storage_handle,
                                      js_instrument=js_instrument,
                                      telemetry=self.telemetry)
         browser = Browser(profile, self.network,
@@ -106,15 +110,18 @@ class TaskManager:
 
     # ------------------------------------------------------------------
     def get(self, url: str,
-            callbacks: Optional[List[Callable]] = None) -> None:
+            callbacks: Optional[List[Callable]] = None,
+            dwell_time: Optional[float] = None) -> None:
         """Enqueue-and-run a GET command sequence for *url*."""
         self.execute_command_sequence(CommandSequence(
-            url=url, callbacks=callbacks or []))
+            url=url, callbacks=callbacks or [], dwell_time=dwell_time))
 
-    def execute_command_sequence(self, sequence: CommandSequence
+    def execute_command_sequence(self, sequence: CommandSequence,
+                                 slot: Optional[ManagedBrowser] = None
                                  ) -> Optional[VisitResult]:
-        slot = self.browsers[self._next_slot]
-        self._next_slot = (self._next_slot + 1) % len(self.browsers)
+        if slot is None:
+            slot = self.browsers[self._next_slot]
+            self._next_slot = (self._next_slot + 1) % len(self.browsers)
 
         tm = self.telemetry
         tm.metrics.counter("visits_attempted").inc()
@@ -144,7 +151,7 @@ class TaskManager:
                         for callback in sequence.callbacks:
                             callback(slot.browser, result)
                     with tm.stage("storage_commit"):
-                        self.storage.end_visit()
+                        self.storage.end_visit(slot.browser_id)
                     tm.metrics.counter("visits_completed").inc()
                     visit_span.set_attribute("outcome", "completed")
                     visit_span.set_attribute("attempts", attempts)
@@ -153,9 +160,16 @@ class TaskManager:
                     tm.metrics.counter("visits_crashed").inc()
                     self.storage.record_crash(slot.browser_id,
                                               sequence.url, "crash")
-                    self.storage.end_visit()
+                    self.storage.end_visit(slot.browser_id)
                     with tm.stage("browser_restart"):
                         self._restart_browser(slot, sequence.url)
+                except Exception:
+                    # Unexpected fault: close the visit so the browser
+                    # slot stays usable, then let queue-level retry
+                    # (or the caller) deal with the site.
+                    if slot.browser_id in self.storage.active_visits():
+                        self.storage.end_visit(slot.browser_id)
+                    raise
             tm.metrics.counter("visits_failed_exhausted").inc()
             visit_span.set_attribute("outcome", "failed_exhausted")
             visit_span.set_attribute("attempts", attempts)
@@ -193,6 +207,59 @@ class TaskManager:
         return [self.execute_command_sequence(
             CommandSequence(url=url, callbacks=list(callbacks or [])))
             for url in urls]
+
+    def crawl_scheduled(self, urls: List[str],
+                        workers: Optional[int] = None,
+                        queue_path: str = ":memory:",
+                        resume: bool = False,
+                        callbacks: Optional[List[Callable]] = None,
+                        stop_after_jobs: Optional[int] = None,
+                        max_attempts: int = 1,
+                        lease_seconds: float = 300.0) -> "CrawlReport":
+        """Drain *urls* through the crawl scheduler.
+
+        Each worker owns one browser slot (``workers`` therefore cannot
+        exceed the number of browsers; it defaults to all of them). The
+        task manager's own ``failure_limit`` retry loop stays
+        authoritative for in-visit crashes — a site that exhausts it is
+        reported to the queue as terminally failed — so ``max_attempts``
+        defaults to 1 and queue-level backoff only re-runs sites hit by
+        worker-level faults (unexpected exceptions, expired leases).
+
+        With ``resume=True`` (requires a file-backed ``queue_path``)
+        completed sites are skipped and only the remainder is visited.
+        """
+        from repro.sched import CrawlScheduler, JobFailed
+
+        if workers is None:
+            workers = len(self.browsers)
+        if workers > len(self.browsers):
+            raise ValueError(
+                f"{workers} workers need {workers} browser slots, "
+                f"only {len(self.browsers)} configured")
+
+        scheduler = CrawlScheduler(
+            queue_path, resume=resume, seed=self.manager_params.seed,
+            max_attempts=max_attempts, lease_seconds=lease_seconds,
+            telemetry=self.telemetry)
+        scheduler.enqueue(urls)
+
+        def handler(job: Any, worker_index: int) -> None:
+            slot = self.browsers[worker_index]
+            result = self.execute_command_sequence(
+                CommandSequence(url=job.site_url,
+                                callbacks=list(callbacks or [])),
+                slot=slot)
+            if result is None:
+                # failure_limit already exhausted and the failed_visits
+                # row written — do not burn queue retries on it too.
+                raise JobFailed("failure_limit", retry=False)
+
+        try:
+            return scheduler.run(handler, workers=workers,
+                                 stop_after_jobs=stop_after_jobs)
+        finally:
+            scheduler.close()
 
     def close(self) -> None:
         """Persist the telemetry snapshot alongside the crawl, then close."""

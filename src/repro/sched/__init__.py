@@ -1,0 +1,39 @@
+"""Parallel crawl scheduler: persistent queue, workers, resume.
+
+The subsystem the large-scale crawls (Tranco-100K incidence study,
+Sec. 4) run on: a SQLite-backed job queue with lease-based claiming and
+deterministic retry backoff (:mod:`repro.sched.jobs`), a thread worker
+pool where each worker owns one browser slot (:mod:`repro.sched.pool`),
+and the checkpoint/resume orchestration tying them together
+(:mod:`repro.sched.scheduler`). ``python -m repro crawl`` is the CLI
+surface.
+"""
+
+from repro.sched.jobs import (
+    COMPLETED,
+    FAILED,
+    LEASED,
+    PENDING,
+    Job,
+    JobQueue,
+    LeaseError,
+    jitter_fraction,
+)
+from repro.sched.pool import JobFailed, PoolReport, WorkerPool
+from repro.sched.scheduler import CrawlReport, CrawlScheduler
+
+__all__ = [
+    "COMPLETED",
+    "FAILED",
+    "LEASED",
+    "PENDING",
+    "Job",
+    "JobQueue",
+    "LeaseError",
+    "jitter_fraction",
+    "JobFailed",
+    "PoolReport",
+    "WorkerPool",
+    "CrawlReport",
+    "CrawlScheduler",
+]

@@ -1,0 +1,305 @@
+"""Persistent crawl job queue.
+
+One row per site. Jobs move ``pending → leased → completed | failed``:
+
+* ``claim`` leases the lowest-id ready job to a worker and consumes one
+  attempt; the lease carries an expiry time, so a worker that dies
+  mid-job does not strand the site — :meth:`reclaim_expired` returns the
+  job to ``pending`` (or ``failed`` once attempts are exhausted).
+* ``fail`` with ``retry=True`` re-queues the job with exponential
+  backoff; the jitter added to each delay is *deterministic* — derived
+  from ``(seed, site_url, attempt)`` — so a re-run of the same crawl
+  schedules retries identically.
+* The table lives in its own SQLite database (never the crawl
+  database), so queue bookkeeping cannot perturb crawl-data
+  determinism, and an interrupted crawl can be resumed by re-opening
+  the queue file: completed sites stay completed, stale leases are
+  released, and ``enqueue`` is idempotent (INSERT OR IGNORE on
+  ``site_url``).
+
+All access is serialized through one lock; the connection is shared
+across worker threads (``check_same_thread=False``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.clock import VirtualClock
+
+#: Job states.
+PENDING = "pending"
+LEASED = "leased"
+COMPLETED = "completed"
+FAILED = "failed"
+STATES = (PENDING, LEASED, COMPLETED, FAILED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    site_url TEXT NOT NULL UNIQUE,
+    status TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    not_before REAL NOT NULL DEFAULT 0.0,
+    lease_owner TEXT,
+    lease_expires_at REAL,
+    enqueued_at REAL NOT NULL DEFAULT 0.0,
+    claimed_at REAL,
+    finished_at REAL,
+    last_error TEXT DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_ready
+    ON jobs (status, not_before, job_id);
+"""
+
+
+class LeaseError(RuntimeError):
+    """A worker acted on a job whose lease it no longer holds."""
+
+
+@dataclass
+class Job:
+    """A claimed job, as handed to a worker."""
+
+    job_id: int
+    site_url: str
+    attempts: int
+    enqueued_at: float
+    claimed_at: float
+    lease_owner: str
+
+
+def jitter_fraction(seed: int, site_url: str, attempt: int) -> float:
+    """Deterministic jitter in [0, 1) for one (site, attempt) pair."""
+    digest = hashlib.sha256(
+        f"{seed}:{site_url}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class JobQueue:
+    """SQLite-backed job queue with lease-based claiming."""
+
+    def __init__(self, path: str = ":memory:", *, seed: int = 0,
+                 max_attempts: int = 3, lease_seconds: float = 300.0,
+                 backoff_base: float = 0.5, backoff_cap: float = 60.0,
+                 clock: Optional[VirtualClock] = None) -> None:
+        self.path = path
+        self.seed = seed
+        self.max_attempts = max_attempts
+        self.lease_seconds = lease_seconds
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.clock = clock if clock is not None else VirtualClock()
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Backoff policy
+    # ------------------------------------------------------------------
+    def retry_delay(self, site_url: str, attempt: int) -> float:
+        """Exponential backoff plus deterministic per-site jitter."""
+        base = min(self.backoff_cap,
+                   self.backoff_base * 2.0 ** max(0, attempt - 1))
+        return base * (1.0 + jitter_fraction(self.seed, site_url, attempt))
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, site_urls: Iterable[str]) -> int:
+        """Add sites; already-known sites (any state) are left alone.
+
+        Returns the number of *newly* enqueued jobs — the idempotence
+        that makes ``--resume`` safe to run with the full site list.
+        """
+        added = 0
+        with self._lock:
+            now = self.clock.peek()
+            for url in site_urls:
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO jobs (site_url, status, "
+                    "max_attempts, enqueued_at) VALUES (?, ?, ?, ?)",
+                    (url, PENDING, self.max_attempts, now))
+                added += cursor.rowcount
+            self._conn.commit()
+        return added
+
+    def clear(self) -> None:
+        """Drop every job (fresh-crawl semantics)."""
+        with self._lock:
+            self._conn.execute("DELETE FROM jobs")
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def claim(self, owner: str) -> Optional[Job]:
+        """Lease the lowest-id ready job to *owner*, consuming an attempt."""
+        with self._lock:
+            now = self.clock.now()
+            row = self._conn.execute(
+                "SELECT job_id, site_url, attempts, enqueued_at FROM jobs "
+                "WHERE status = ? AND not_before <= ? "
+                "ORDER BY job_id LIMIT 1", (PENDING, now)).fetchone()
+            if row is None:
+                return None
+            attempts = row["attempts"] + 1
+            self._conn.execute(
+                "UPDATE jobs SET status = ?, lease_owner = ?, "
+                "lease_expires_at = ?, claimed_at = ?, attempts = ? "
+                "WHERE job_id = ?",
+                (LEASED, owner, now + self.lease_seconds, now, attempts,
+                 row["job_id"]))
+            self._conn.commit()
+            return Job(job_id=row["job_id"], site_url=row["site_url"],
+                       attempts=attempts, enqueued_at=row["enqueued_at"],
+                       claimed_at=now, lease_owner=owner)
+
+    def _checked_lease(self, job_id: int, owner: str) -> sqlite3.Row:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE job_id = ?", (job_id,)).fetchone()
+        if row is None or row["status"] != LEASED \
+                or row["lease_owner"] != owner:
+            raise LeaseError(
+                f"job {job_id} is not leased to {owner!r} "
+                f"(status={row['status'] if row else 'missing'!r})")
+        return row
+
+    def complete(self, job_id: int, owner: str) -> None:
+        """Mark a leased job done. Raises :class:`LeaseError` if lost."""
+        with self._lock:
+            self._checked_lease(job_id, owner)
+            self._conn.execute(
+                "UPDATE jobs SET status = ?, finished_at = ?, "
+                "lease_owner = NULL, lease_expires_at = NULL "
+                "WHERE job_id = ?", (COMPLETED, self.clock.peek(), job_id))
+            self._conn.commit()
+
+    def fail(self, job_id: int, owner: str, error: str = "",
+             retry: bool = True) -> str:
+        """Record a failed attempt; re-queue with backoff or go terminal.
+
+        Returns the job's resulting state (``pending`` or ``failed``).
+        """
+        with self._lock:
+            row = self._checked_lease(job_id, owner)
+            if retry and row["attempts"] < row["max_attempts"]:
+                delay = self.retry_delay(row["site_url"], row["attempts"])
+                self._conn.execute(
+                    "UPDATE jobs SET status = ?, not_before = ?, "
+                    "lease_owner = NULL, lease_expires_at = NULL, "
+                    "last_error = ? WHERE job_id = ?",
+                    (PENDING, self.clock.peek() + delay, error, job_id))
+                state = PENDING
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET status = ?, finished_at = ?, "
+                    "lease_owner = NULL, lease_expires_at = NULL, "
+                    "last_error = ? WHERE job_id = ?",
+                    (FAILED, self.clock.peek(), error, job_id))
+                state = FAILED
+            self._conn.commit()
+            return state
+
+    # ------------------------------------------------------------------
+    # Crash safety
+    # ------------------------------------------------------------------
+    def reclaim_expired(self) -> int:
+        """Return timed-out leases to the queue (worker died mid-job)."""
+        with self._lock:
+            now = self.clock.peek()
+            rows = self._conn.execute(
+                "SELECT job_id, site_url, attempts, max_attempts "
+                "FROM jobs WHERE status = ? AND lease_expires_at < ?",
+                (LEASED, now)).fetchall()
+            for row in rows:
+                if row["attempts"] < row["max_attempts"]:
+                    delay = self.retry_delay(row["site_url"],
+                                             row["attempts"])
+                    self._conn.execute(
+                        "UPDATE jobs SET status = ?, not_before = ?, "
+                        "lease_owner = NULL, lease_expires_at = NULL, "
+                        "last_error = 'lease_expired' WHERE job_id = ?",
+                        (PENDING, now + delay, row["job_id"]))
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET status = ?, finished_at = ?, "
+                        "lease_owner = NULL, lease_expires_at = NULL, "
+                        "last_error = 'lease_expired' WHERE job_id = ?",
+                        (FAILED, now, row["job_id"]))
+            if rows:
+                self._conn.commit()
+            return len(rows)
+
+    def release_leases(self) -> int:
+        """Release *every* lease (start-of-resume crash recovery).
+
+        Unlike :meth:`reclaim_expired` this ignores expiry times: the
+        previous process is known dead, so any lease it held is stale.
+        """
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET status = ?, not_before = 0.0, "
+                "lease_owner = NULL, lease_expires_at = NULL "
+                "WHERE status = ?", (PENDING, LEASED))
+            self._conn.commit()
+            return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out = {state: 0 for state in STATES}
+            for row in self._conn.execute(
+                    "SELECT status, COUNT(*) AS n FROM jobs "
+                    "GROUP BY status"):
+                out[row["status"]] = int(row["n"])
+            return out
+
+    def outstanding(self) -> int:
+        """Jobs not yet in a terminal state (pending + leased)."""
+        counts = self.counts()
+        return counts[PENDING] + counts[LEASED]
+
+    def next_ready_in(self) -> Optional[float]:
+        """Seconds until the earliest pending job becomes claimable.
+
+        0.0 when one is ready now; ``None`` when nothing is pending.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MIN(not_before) AS t FROM jobs WHERE status = ?",
+                (PENDING,)).fetchone()
+            if row is None or row["t"] is None:
+                return None
+            return max(0.0, float(row["t"]) - self.clock.peek())
+
+    def sites(self, status: Optional[str] = None) -> List[str]:
+        with self._lock:
+            sql = "SELECT site_url FROM jobs"
+            params: tuple = ()
+            if status is not None:
+                sql += " WHERE status = ?"
+                params = (status,)
+            sql += " ORDER BY job_id"
+            return [row["site_url"]
+                    for row in self._conn.execute(sql, params)]
+
+    def job_rows(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [dict(row) for row in self._conn.execute(
+                "SELECT * FROM jobs ORDER BY job_id")]
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.commit()
+            self._conn.close()

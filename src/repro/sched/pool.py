@@ -1,0 +1,223 @@
+"""Worker pool draining a :class:`~repro.sched.jobs.JobQueue`.
+
+Each worker owns one application slot (a browser, for crawls) and runs
+claim → handle → complete/fail until the queue drains or a stop is
+requested. Design points:
+
+* **Single-worker runs are inline.** With ``workers == 1`` the loop
+  runs in the calling thread — no thread at all — so a 1-worker
+  scheduled crawl executes the exact same Python statements in the
+  exact same order as a plain sequential loop (the determinism the
+  byte-identical-database test pins down).
+* **Graceful shutdown.** :meth:`request_stop` lets in-flight jobs
+  finish; unclaimed jobs stay ``pending`` for a later ``--resume``.
+  ``KeyboardInterrupt`` in the coordinating thread triggers the same
+  path.
+* **Crash-safe leases.** Before claiming, workers reclaim expired
+  leases, so a site stranded by a dead worker is re-run by a live one.
+* **Virtual time.** When every runnable job is backing off and no
+  leases are outstanding, the pool advances the (virtual) clock to the
+  next retry time instead of spinning; with a real clock the advance is
+  a no-op and a short nap paces the poll.
+
+Telemetry: ``sched_workers_busy`` / ``sched_queue_depth{state=…}``
+gauges, ``queue_wait_seconds`` / ``lease_duration_seconds`` histograms,
+and ``sched_jobs_*`` counters — all reconciled by ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.telemetry import Telemetry, coalesce
+from repro.sched.jobs import Job, JobQueue
+
+#: handler(job, worker_index) -> result. Raise to fail the job:
+#: :class:`JobFailed` controls retry explicitly; any other exception is
+#: treated as a transient worker fault and retried with backoff.
+JobHandler = Callable[[Job, int], Any]
+
+
+class JobFailed(RuntimeError):
+    """Raised by a handler to fail the current job.
+
+    ``retry=False`` marks the job terminally failed (the handler has
+    already exhausted its own retry budget); ``retry=True`` sends it
+    back through the queue's backoff machinery.
+    """
+
+    def __init__(self, reason: str, retry: bool = False) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry = retry
+
+
+@dataclass
+class PoolReport:
+    """What one :meth:`WorkerPool.run` call did."""
+
+    workers: int = 0
+    claims: int = 0
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    reclaimed: int = 0
+    interrupted: bool = False
+    errors: List[str] = field(default_factory=list)
+
+
+class WorkerPool:
+    """Runs *handler* over the queue with N lease-claiming workers."""
+
+    def __init__(self, queue: JobQueue, handler: JobHandler,
+                 workers: int = 1,
+                 telemetry: Optional[Telemetry] = None,
+                 poll_seconds: float = 0.005,
+                 name: str = "worker") -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.queue = queue
+        self.handler = handler
+        self.workers = workers
+        self.telemetry = coalesce(telemetry)
+        self.poll_seconds = poll_seconds
+        self.name = name
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+        self._report = PoolReport(workers=workers)
+        self._stop_after: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask workers to exit after their current job (graceful)."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def run(self, stop_after_jobs: Optional[int] = None) -> PoolReport:
+        """Drain the queue; returns once all workers have exited.
+
+        ``stop_after_jobs`` triggers a graceful stop once that many jobs
+        reached a terminal state — the hook the interruption/resume
+        tests and benchmarks use to cut a crawl short deterministically.
+        """
+        self._stop.clear()
+        self._report = PoolReport(workers=self.workers)
+        self._stop_after = stop_after_jobs
+        self._publish_depth()
+        if self.workers == 1:
+            try:
+                self._worker_loop(0)
+            except KeyboardInterrupt:
+                self._report.interrupted = True
+        else:
+            threads = [
+                threading.Thread(target=self._worker_loop, args=(index,),
+                                 name=f"{self.name}-{index}", daemon=True)
+                for index in range(self.workers)]
+            for thread in threads:
+                thread.start()
+            try:
+                for thread in threads:
+                    thread.join()
+            except KeyboardInterrupt:
+                self._report.interrupted = True
+                self.request_stop()
+                for thread in threads:
+                    thread.join()
+        if self._stop.is_set() and self.queue.outstanding() > 0:
+            self._report.interrupted = True
+        self._publish_depth()
+        return self._report
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        owner = f"{self.name}-{index}"
+        metrics = self.telemetry.metrics
+        busy = metrics.gauge("sched_workers_busy")
+        queue_wait = metrics.histogram("queue_wait_seconds")
+        lease_duration = metrics.histogram("lease_duration_seconds")
+        while not self._stop.is_set():
+            reclaimed = self.queue.reclaim_expired()
+            if reclaimed:
+                metrics.counter("sched_lease_reclaims").inc(reclaimed)
+                with self._state_lock:
+                    self._report.reclaimed += reclaimed
+            job = self.queue.claim(owner)
+            if job is None:
+                if not self._idle_wait():
+                    return
+                continue
+            metrics.counter("sched_jobs_claimed").inc()
+            queue_wait.observe(job.claimed_at - job.enqueued_at)
+            busy.inc()
+            with self._state_lock:
+                self._report.claims += 1
+            terminal = True
+            try:
+                try:
+                    self.handler(job, index)
+                except JobFailed as failure:
+                    state = self.queue.fail(job.job_id, owner,
+                                            failure.reason,
+                                            retry=failure.retry)
+                    terminal = self._count_failure(state, failure.reason)
+                except Exception as exc:  # transient worker fault
+                    state = self.queue.fail(job.job_id, owner, repr(exc),
+                                            retry=True)
+                    terminal = self._count_failure(state, repr(exc))
+                else:
+                    self.queue.complete(job.job_id, owner)
+                    metrics.counter("sched_jobs_completed").inc()
+                    with self._state_lock:
+                        self._report.completed += 1
+            finally:
+                busy.dec()
+                lease_duration.observe(
+                    self.queue.clock.peek() - job.claimed_at)
+                self._publish_depth()
+            if terminal and self._stop_after is not None:
+                with self._state_lock:
+                    done = self._report.completed + self._report.failed
+                if done >= self._stop_after:
+                    self._stop.set()
+
+    def _count_failure(self, state: str, error: str) -> bool:
+        """Update counters after ``fail``; True when terminal."""
+        metrics = self.telemetry.metrics
+        if state == "failed":
+            metrics.counter("sched_jobs_failed").inc()
+            with self._state_lock:
+                self._report.failed += 1
+                self._report.errors.append(error)
+            return True
+        metrics.counter("sched_jobs_retried").inc()
+        with self._state_lock:
+            self._report.retried += 1
+        return False
+
+    # ------------------------------------------------------------------
+    def _idle_wait(self) -> bool:
+        """Nothing claimable: wait for work. False = queue is drained."""
+        counts = self.queue.counts()
+        if counts["pending"] == 0 and counts["leased"] == 0:
+            return False  # drained — worker can exit
+        if counts["leased"] == 0:
+            # Every runnable job is backing off; jump virtual time to
+            # the next retry instead of spinning. (No-op on WallClock —
+            # and never while leases are live, which would prematurely
+            # expire an active worker's lease.)
+            hint = self.queue.next_ready_in()
+            if hint is not None and hint > 0:
+                self.queue.clock.advance(hint)
+                return True
+        self._stop.wait(self.poll_seconds)
+        return True
+
+    def _publish_depth(self) -> None:
+        metrics = self.telemetry.metrics
+        if not getattr(metrics, "enabled", False):
+            return
+        for state, value in self.queue.counts().items():
+            metrics.gauge("sched_queue_depth", state=state).set(value)

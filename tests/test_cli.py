@@ -67,3 +67,51 @@ class TestCommands:
         assert code == 0
         assert out["detector_sites"] > 0
         assert 0.0 <= out["cookie_wilcoxon_p"] <= 1.0
+
+
+class TestCrawlCommand:
+    def test_crawl_in_memory_drains(self, capsys):
+        code, out = run_cli(capsys, ["crawl", "--sites", "20",
+                                     "--workers", "2", "--json"])
+        assert code == 0
+        assert out["drained"] is True
+        assert out["completed"] + out["failed"] == 20
+        assert out["queue"] == ":memory:"
+
+    def test_crawl_resume_needs_file_queue(self, capsys):
+        code = main(["crawl", "--sites", "5", "--resume"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "file-backed queue" in captured.err
+
+    def test_crawl_interrupt_then_resume(self, tmp_path, capsys):
+        db = str(tmp_path / "crawl.sqlite")
+        code, out = run_cli(capsys, [
+            "crawl", "--sites", "30", "--workers", "2", "--db", db,
+            "--stop-after", "10", "--crash-probability", "0",
+            "--json"])
+        assert code == 1  # not drained
+        assert out["interrupted"] is True
+        assert out["queue"] == f"{db}.queue"
+
+        code, out = run_cli(capsys, [
+            "crawl", "--sites", "30", "--workers", "2", "--db", db,
+            "--crash-probability", "0", "--resume", "--json"])
+        assert code == 0
+        assert out["resumed"] is True
+        assert out["drained"] is True
+        assert out["queue_counts"]["completed"] == 30
+
+    def test_stats_reads_crawl_queue(self, tmp_path, capsys):
+        db = str(tmp_path / "crawl.sqlite")
+        assert run_cli(capsys, ["crawl", "--sites", "15",
+                                "--workers", "2", "--db", db,
+                                "--json"])[0] == 0
+        code, out = run_cli(capsys, ["stats", "--db", db,
+                                     "--queue", f"{db}.queue",
+                                     "--json"])
+        assert code == 0
+        assert out["scheduler"]["jobs_completed"] \
+            + out["scheduler"]["jobs_failed"] == 15
+        assert out["queue"]["drained"] is True
+        assert out["reconciled"] is True

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.openwpm.storage import StorageController
+from repro.openwpm.storage import StorageController, VisitStateError
 
 
 @pytest.fixture()
@@ -19,11 +19,77 @@ class TestVisitLifecycle:
         b = storage.begin_visit(0, "https://b.test/")
         assert b.visit_id == a.visit_id + 1
 
-    def test_records_outside_visit_use_sentinel(self, storage):
-        storage.record_javascript("d", "s", "sym", "get", "v")
-        rows = storage.javascript_records()
-        assert rows[0]["visit_id"] == 0
-        assert rows[0]["browser_id"] == -1
+    def test_records_outside_visit_raise(self, storage):
+        """A write with no active visit is a loud failure, not a
+        sentinel row (the old behaviour silently mis-attributed it)."""
+        with pytest.raises(VisitStateError):
+            storage.record_javascript("d", "s", "sym", "get", "v")
+        assert storage.javascript_records() == []
+
+    def test_double_begin_raises(self, storage):
+        storage.begin_visit(0, "https://a.test/")
+        with pytest.raises(VisitStateError):
+            storage.begin_visit(0, "https://b.test/")
+
+    def test_end_without_visit_raises(self, storage):
+        with pytest.raises(VisitStateError):
+            storage.end_visit(0)
+
+
+class TestPerBrowserContexts:
+    def test_interleaved_visits_attribute_by_browser(self, storage):
+        """Two browsers mid-visit at once: each record lands on *its*
+        browser's visit, never on whichever began last."""
+        a = storage.begin_visit(0, "https://a.test/")
+        b = storage.begin_visit(1, "https://b.test/")
+        storage.record_javascript("d", "s", "symA", "get", "",
+                                  browser_id=0)
+        storage.record_javascript("d", "s", "symB", "get", "",
+                                  browser_id=1)
+        storage.end_visit(1)
+        storage.end_visit(0)
+        rows = {row["symbol"]: row for row in storage.javascript_records()}
+        assert rows["symA"]["visit_id"] == a.visit_id
+        assert rows["symA"]["top_level_url"] == "https://a.test/"
+        assert rows["symB"]["visit_id"] == b.visit_id
+        assert rows["symB"]["top_level_url"] == "https://b.test/"
+
+    def test_ambiguous_write_raises_with_two_visits(self, storage):
+        storage.begin_visit(0, "https://a.test/")
+        storage.begin_visit(1, "https://b.test/")
+        with pytest.raises(VisitStateError):
+            storage.record_javascript("d", "s", "sym", "get", "")
+
+    def test_end_visit_without_id_requires_single_visit(self, storage):
+        storage.begin_visit(0, "https://a.test/")
+        storage.begin_visit(1, "https://b.test/")
+        with pytest.raises(VisitStateError):
+            storage.end_visit()
+
+    def test_handle_pins_browser_id(self, storage):
+        h0 = storage.handle(0)
+        h1 = storage.handle(1)
+        h0.begin_visit("https://a.test/")
+        h1.begin_visit("https://b.test/")
+        h0.record_javascript("d", "s", "symA", "get", "")
+        h1.record_http_request(
+            url="https://cdn.test/a.js",
+            top_level_url="https://b.test/",
+            frame_url="https://b.test/", method="GET",
+            resource_type="script", is_third_party=True)
+        h1.end_visit()
+        h0.end_visit()
+        js = storage.javascript_records()[0]
+        req = storage.http_request_rows()[0]
+        assert js["browser_id"] == 0
+        assert js["top_level_url"] == "https://a.test/"
+        assert req["browser_id"] == 1
+        assert req["visit_id"] != js["visit_id"]
+
+    def test_handle_write_outside_own_visit_raises(self, storage):
+        storage.begin_visit(1, "https://b.test/")
+        with pytest.raises(VisitStateError):
+            storage.handle(0).record_javascript("d", "s", "sym", "get", "")
 
 
 class TestSanitisation:
