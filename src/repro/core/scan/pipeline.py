@@ -240,7 +240,19 @@ class ScanPipeline:
             resume: bool = False) -> ScanDataset:
         """Scan the corpus; with ``workers > 1`` sites are distributed
         over extra browsers through the crawl scheduler. ``queue_path``
-        and ``resume`` expose the scheduler's checkpoint/resume."""
+        and ``resume`` expose the scheduler's checkpoint/resume.
+
+        Per-site evidence is persisted to a ``<queue_path>.scan``
+        sidecar as each job completes, and ``resume=True`` reloads it —
+        the returned dataset covers *every* completed site, not just
+        the ones visited by this process. Resuming a queue whose
+        sidecar is missing evidence for a completed site raises rather
+        than silently returning a partial dataset.
+        """
+        from repro.core.scan.results_store import (
+            ScanResultStore,
+            store_path_for,
+        )
         from repro.sched import CrawlScheduler
 
         dataset = ScanDataset()
@@ -257,21 +269,62 @@ class ScanPipeline:
                 extension=extension, seed=self.seed + 1000 * index)
             slots.append((browser, extension))
 
+        store = ScanResultStore(store_path_for(queue_path))
+        if not resume:
+            store.clear()
         scheduler = CrawlScheduler(queue_path, resume=resume,
                                    seed=self.seed, max_attempts=1,
                                    telemetry=self.telemetry)
         scheduler.enqueue([config.domain for config in configs])
+        if resume:
+            self._restore_completed(scheduler, store, configs, dataset)
 
         def handler(job, worker_index):
             browser, extension = slots[worker_index]
             self._scan_site(job.site_url, browser, extension, dataset,
                             visit_subpages)
+            # Persist before the pool marks the job completed, so
+            # 'completed in queue' always implies 'evidence on disk'.
+            store.save(job.site_url, dataset.evidence[job.site_url])
 
         try:
             scheduler.run(handler, workers=workers)
         finally:
             scheduler.close()
+            store.close()
         return dataset
+
+    def _restore_completed(self, scheduler, store, configs,
+                           dataset: ScanDataset) -> None:
+        """Rebuild dataset entries for sites earlier runs completed."""
+        from repro.sched import COMPLETED
+
+        wanted = {config.domain for config in configs}
+        completed = [domain for domain
+                     in scheduler.queue.sites(status=COMPLETED)
+                     if domain in wanted]
+        if not completed:
+            return
+        stored = store.load_all()
+        missing = [domain for domain in completed if domain not in stored]
+        if missing:
+            raise RuntimeError(
+                f"cannot resume scan: {len(missing)} completed site(s) "
+                f"have no persisted evidence in {store.path!r} "
+                f"(e.g. {missing[:3]}); re-run without --resume to "
+                "rebuild the dataset from scratch")
+        for domain in completed:
+            evidences = stored[domain]
+            with self._dataset_lock:
+                dataset.front_only[domain] = classify_site(
+                    domain, evidences[:1])
+                dataset.combined[domain] = classify_site(domain, evidences)
+                dataset.evidence[domain] = evidences
+                dataset.subpage_visits += max(0, len(evidences) - 1)
+                dataset.visited_sites += 1
+                for visit in evidences:
+                    for _, source in visit.scripts:
+                        dataset.unique_scripts.add(source)
 
     # ------------------------------------------------------------------
     def _scan_site(self, domain: str, browser: Browser,

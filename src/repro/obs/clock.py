@@ -14,6 +14,7 @@ matters — the telemetry-overhead benchmark guard.
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -22,31 +23,41 @@ class VirtualClock:
 
     ``now()`` advances the clock by ``tick`` before returning, so two
     successive readings are always a fixed distance apart and durations
-    measured between readings are exactly reproducible.
+    measured between readings are exactly reproducible. Mutations are
+    lock-protected: worker threads share one clock, and ``+=`` on a
+    float attribute is not atomic.
     """
 
     def __init__(self, start: float = 0.0, tick: float = 0.001) -> None:
         self._now = float(start)
         self._tick = float(tick)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
-        self._now += self._tick
-        return self._now
+        with self._lock:
+            self._now += self._tick
+            return self._now
 
     def advance(self, seconds: float) -> None:
         """Move the clock forward by a known (virtual) duration."""
         if seconds > 0:
-            self._now += seconds
+            with self._lock:
+                self._now += seconds
 
     def peek(self) -> float:
         """Current reading without advancing (for tests)."""
-        return self._now
+        with self._lock:
+            return self._now
 
 
 class WallClock:
     """Real monotonic time, for overhead measurements only."""
 
     def now(self) -> float:
+        return time.monotonic()
+
+    def peek(self) -> float:
+        """Current reading; real time never needs a virtual advance."""
         return time.monotonic()
 
     def advance(self, seconds: float) -> None:  # pragma: no cover

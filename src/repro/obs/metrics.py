@@ -14,6 +14,7 @@ when telemetry is off.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Default latency buckets (virtual seconds). Fixed and seed-independent.
@@ -28,20 +29,27 @@ def _labels_key(labels: Dict[str, Any]) -> LabelsKey:
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
 
-    __slots__ = ("name", "labels", "value")
+    Mutation is lock-protected: ``+=`` on an attribute is
+    read-modify-write, so unlocked concurrent ``inc`` calls from worker
+    threads would lose increments.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str, labels: LabelsKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "name": self.name,
@@ -51,22 +59,26 @@ class Counter:
 class Gauge:
     """A value that can go up and down (e.g. recording integrity)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
     kind = "gauge"
 
     def __init__(self, name: str, labels: LabelsKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "name": self.name,
@@ -82,7 +94,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum",
-                 "count")
+                 "count", "_lock")
     kind = "histogram"
 
     def __init__(self, name: str, labels: LabelsKey = (),
@@ -95,15 +107,17 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs, ending with +Inf."""
@@ -127,28 +141,36 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Owns every metric; get-or-create by (name, labels)."""
+    """Owns every metric; get-or-create by (name, labels).
+
+    Get-or-create and the read side are serialized by one lock, so
+    concurrent workers always share a single instrument per key and
+    snapshots never iterate a dict mid-insert. Instrument mutation is
+    locked per instrument, not here.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelsKey], Any] = {}
         self._kinds: Dict[str, str] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _get_or_create(self, cls, name: str, labels: Dict[str, Any],
                        **kwargs: Any):
         key = (name, _labels_key(labels))
-        registered = self._kinds.get(name)
-        if registered is not None and registered != cls.kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {registered}")
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(name, key[1], **kwargs)
-            self._metrics[key] = metric
-            self._kinds[name] = cls.kind
-        return metric
+        with self._lock:
+            registered = self._kinds.get(name)
+            if registered is not None and registered != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {registered}")
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1], **kwargs)
+                self._metrics[key] = metric
+                self._kinds[name] = cls.kind
+            return metric
 
     def counter(self, name: str, **labels: Any) -> Counter:
         return self._get_or_create(Counter, name, labels)
@@ -167,7 +189,8 @@ class MetricsRegistry:
     # Read side
     # ------------------------------------------------------------------
     def counter_value(self, name: str, **labels: Any) -> float:
-        metric = self._metrics.get((name, _labels_key(labels)))
+        with self._lock:
+            metric = self._metrics.get((name, _labels_key(labels)))
         return metric.value if metric is not None else 0.0
 
     def gauge_value(self, name: str, **labels: Any) -> float:
@@ -175,11 +198,14 @@ class MetricsRegistry:
 
     def sum_counter(self, name: str) -> float:
         """Total over every label combination of a counter."""
-        return sum(m.value for (n, _), m in self._metrics.items()
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return sum(m.value for (n, _), m in metrics
                    if n == name and m.kind == "counter")
 
     def all_metrics(self) -> List[Any]:
-        return [self._metrics[key] for key in sorted(self._metrics)]
+        with self._lock:
+            return [self._metrics[key] for key in sorted(self._metrics)]
 
     def snapshot(self) -> List[Dict[str, Any]]:
         return [metric.to_dict() for metric in self.all_metrics()]
@@ -222,8 +248,9 @@ class MetricsRegistry:
         return restored
 
     def clear(self) -> None:
-        self._metrics.clear()
-        self._kinds.clear()
+        with self._lock:
+            self._metrics.clear()
+            self._kinds.clear()
 
 
 class _NullCounter:

@@ -17,6 +17,7 @@ attribute lookup and one method call per stage when telemetry is off.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -82,16 +83,34 @@ class _ActiveSpan:
 
 
 class Tracer:
-    """Creates spans, tracks the active-span stack, keeps finished spans."""
+    """Creates spans, tracks the active-span stack, keeps finished spans.
+
+    Thread-safe: the active-span stack is *per thread* (worker threads
+    each build their own span tree; one worker ending a span can never
+    unwind another worker's in-flight spans), while id allocation and
+    the finished-span list are shared under a lock. Single-threaded
+    runs allocate ids in the exact same order as before, preserving the
+    byte-identical-trace determinism guarantee.
+    """
 
     enabled = True
 
     def __init__(self, clock: Optional[VirtualClock] = None) -> None:
         self.clock = clock if clock is not None else VirtualClock()
-        self._stack: List[Span] = []
+        self._local = threading.local()
         self._finished: List[Span] = []
+        self._lock = threading.Lock()
         self._next_trace = 1
         self._next_span = 1
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's own active-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: Any) -> _ActiveSpan:
@@ -104,54 +123,66 @@ class Tracer:
                     ...
                 visit.set_attribute("outcome", "completed")
         """
-        parent = self._stack[-1] if self._stack else None
-        if parent is None:
-            trace_id = f"trace-{self._next_trace:08d}"
-            self._next_trace += 1
-            parent_id = None
-        else:
-            trace_id = parent.trace_id
-            parent_id = parent.span_id
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            if parent is None:
+                trace_id = f"trace-{self._next_trace:08d}"
+                self._next_trace += 1
+                parent_id = None
+            else:
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+            span_id = f"span-{self._next_span:08d}"
+            self._next_span += 1
         span = Span(
-            name=name, trace_id=trace_id,
-            span_id=f"span-{self._next_span:08d}", parent_id=parent_id,
-            start_time=self.clock.now(), attributes=dict(attributes))
-        self._next_span += 1
-        self._stack.append(span)
+            name=name, trace_id=trace_id, span_id=span_id,
+            parent_id=parent_id, start_time=self.clock.now(),
+            attributes=dict(attributes))
+        stack.append(span)
         return _ActiveSpan(self, span)
 
     def _end(self, span: Span) -> None:
         span.end_time = self.clock.now()
         # Unwind to (and including) the span being ended; an exception
         # escaping a nested span must not leave orphans on the stack.
-        while self._stack:
-            top = self._stack.pop()
+        # Only the opening thread's stack is touched.
+        stack = self._stack
+        done: List[Span] = []
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
             top.end_time = span.end_time
             top.status = "error:orphaned"
-            self._finished.append(top)
-        self._finished.append(span)
+            done.append(top)
+        done.append(span)
+        with self._lock:
+            self._finished.extend(done)
 
     # ------------------------------------------------------------------
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def finished_spans(self) -> List[Span]:
-        return list(self._finished)
+        with self._lock:
+            return list(self._finished)
 
     def spans_named(self, name: str) -> List[Span]:
-        return [s for s in self._finished if s.name == name]
+        return [s for s in self.finished_spans() if s.name == name]
 
     def children_of(self, span: Span) -> List[Span]:
-        return [s for s in self._finished if s.parent_id == span.span_id]
+        return [s for s in self.finished_spans()
+                if s.parent_id == span.span_id]
 
     def clear(self) -> None:
         self._stack.clear()
-        self._finished.clear()
+        with self._lock:
+            self._finished.clear()
 
     def snapshot(self) -> List[Dict[str, Any]]:
-        return [span.to_dict() for span in self._finished]
+        return [span.to_dict() for span in self.finished_spans()]
 
 
 class _NullSpan:

@@ -214,17 +214,20 @@ class TaskManager:
                         resume: bool = False,
                         callbacks: Optional[List[Callable]] = None,
                         stop_after_jobs: Optional[int] = None,
-                        max_attempts: int = 1,
+                        max_attempts: int = 2,
                         lease_seconds: float = 300.0) -> "CrawlReport":
         """Drain *urls* through the crawl scheduler.
 
         Each worker owns one browser slot (``workers`` therefore cannot
         exceed the number of browsers; it defaults to all of them). The
         task manager's own ``failure_limit`` retry loop stays
-        authoritative for in-visit crashes — a site that exhausts it is
-        reported to the queue as terminally failed — so ``max_attempts``
-        defaults to 1 and queue-level backoff only re-runs sites hit by
-        worker-level faults (unexpected exceptions, expired leases).
+        authoritative for in-visit crashes; a site that exhausts it is
+        reported to the queue as terminally failed and never re-queued.
+        Queue-level backoff handles worker-level faults (unexpected
+        exceptions, expired leases): ``claim`` consumes one attempt, so
+        ``max_attempts=2`` gives such sites exactly one backed-off
+        re-run. Sites that still fail terminally at the queue level get
+        a ``failed_visits`` row, keeping the crawl-loss ledger complete.
 
         With ``resume=True`` (requires a file-backed ``queue_path``)
         completed sites are skipped and only the remainder is visited.
@@ -255,9 +258,20 @@ class TaskManager:
                 # row written — do not burn queue retries on it too.
                 raise JobFailed("failure_limit", retry=False)
 
+        def record_terminal_failure(job: Any, error: str,
+                                    worker_index: int) -> None:
+            if error == "failure_limit":
+                return  # execute_command_sequence already wrote the row
+            slot = self.browsers[worker_index]
+            self.storage.record_failed_visit(
+                slot.browser_id, job.site_url, job.attempts, error)
+            self.failed_sites.append(job.site_url)
+
         try:
-            return scheduler.run(handler, workers=workers,
-                                 stop_after_jobs=stop_after_jobs)
+            return scheduler.run(
+                handler, workers=workers,
+                stop_after_jobs=stop_after_jobs,
+                on_terminal_failure=record_terminal_failure)
         finally:
             scheduler.close()
 

@@ -19,7 +19,12 @@ from repro.sched.jobs import (
     LeaseError,
     jitter_fraction,
 )
-from repro.sched.pool import JobFailed, PoolReport, WorkerPool
+from repro.sched.pool import (
+    JobFailed,
+    PoolReport,
+    TerminalFailureHook,
+    WorkerPool,
+)
 from repro.sched.scheduler import CrawlReport, CrawlScheduler
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "jitter_fraction",
     "JobFailed",
     "PoolReport",
+    "TerminalFailureHook",
     "WorkerPool",
     "CrawlReport",
     "CrawlScheduler",

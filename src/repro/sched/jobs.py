@@ -276,12 +276,42 @@ class JobQueue:
         0.0 when one is ready now; ``None`` when nothing is pending.
         """
         with self._lock:
-            row = self._conn.execute(
-                "SELECT MIN(not_before) AS t FROM jobs WHERE status = ?",
-                (PENDING,)).fetchone()
-            if row is None or row["t"] is None:
-                return None
-            return max(0.0, float(row["t"]) - self.clock.peek())
+            return self._next_ready_in_locked()
+
+    def _next_ready_in_locked(self) -> Optional[float]:
+        row = self._conn.execute(
+            "SELECT MIN(not_before) AS t FROM jobs WHERE status = ?",
+            (PENDING,)).fetchone()
+        if row is None or row["t"] is None:
+            return None
+        return max(0.0, float(row["t"]) - self.clock.peek())
+
+    def advance_if_idle(self) -> bool:
+        """Jump the clock to the next retry time iff the queue is idle.
+
+        The leased-count check and the advance happen under the queue
+        lock — the same lock :meth:`claim` takes — so no job can be
+        claimed (and no lease can start ticking) between "nothing is
+        leased" and the advance, and concurrent idle workers cannot
+        stack advances: the first one moves time, the rest re-check and
+        find either a ready job or a live lease. Returns True only when
+        the clock actually moved (a :class:`WallClock` advance is a
+        no-op — callers must then fall back to a real sleep).
+        """
+        with self._lock:
+            leased = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE status = ?",
+                (LEASED,)).fetchone()["n"]
+            if leased:
+                return False
+            hint = self._next_ready_in_locked()
+            if hint is None or hint <= 0:
+                return False
+            before = self.clock.peek()
+            self.clock.advance(hint)
+            # A real advance jumps by the full hint; a WallClock no-op
+            # only shows the sub-millisecond drift between two reads.
+            return self.clock.peek() - before >= hint
 
     def sites(self, status: Optional[str] = None) -> List[str]:
         with self._lock:

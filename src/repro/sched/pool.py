@@ -39,6 +39,12 @@ from repro.sched.jobs import Job, JobQueue
 #: treated as a transient worker fault and retried with backoff.
 JobHandler = Callable[[Job, int], Any]
 
+#: on_terminal_failure(job, error, worker_index) — invoked after a job
+#: lands in the terminal ``failed`` state, so the application can keep
+#: its own loss ledger (e.g. a ``failed_visits`` row) in sync with the
+#: queue.
+TerminalFailureHook = Callable[[Job, str, int], None]
+
 
 class JobFailed(RuntimeError):
     """Raised by a handler to fail the current job.
@@ -75,7 +81,9 @@ class WorkerPool:
                  workers: int = 1,
                  telemetry: Optional[Telemetry] = None,
                  poll_seconds: float = 0.005,
-                 name: str = "worker") -> None:
+                 name: str = "worker",
+                 on_terminal_failure: Optional[TerminalFailureHook] = None
+                 ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.queue = queue
@@ -84,6 +92,7 @@ class WorkerPool:
         self.telemetry = coalesce(telemetry)
         self.poll_seconds = poll_seconds
         self.name = name
+        self.on_terminal_failure = on_terminal_failure
         self._stop = threading.Event()
         self._state_lock = threading.Lock()
         self._report = PoolReport(workers=workers)
@@ -162,11 +171,13 @@ class WorkerPool:
                     state = self.queue.fail(job.job_id, owner,
                                             failure.reason,
                                             retry=failure.retry)
-                    terminal = self._count_failure(state, failure.reason)
+                    terminal = self._count_failure(job, index, state,
+                                                   failure.reason)
                 except Exception as exc:  # transient worker fault
                     state = self.queue.fail(job.job_id, owner, repr(exc),
                                             retry=True)
-                    terminal = self._count_failure(state, repr(exc))
+                    terminal = self._count_failure(job, index, state,
+                                                   repr(exc))
                 else:
                     self.queue.complete(job.job_id, owner)
                     metrics.counter("sched_jobs_completed").inc()
@@ -183,7 +194,8 @@ class WorkerPool:
                 if done >= self._stop_after:
                     self._stop.set()
 
-    def _count_failure(self, state: str, error: str) -> bool:
+    def _count_failure(self, job: Job, index: int, state: str,
+                       error: str) -> bool:
         """Update counters after ``fail``; True when terminal."""
         metrics = self.telemetry.metrics
         if state == "failed":
@@ -191,6 +203,13 @@ class WorkerPool:
             with self._state_lock:
                 self._report.failed += 1
                 self._report.errors.append(error)
+            if self.on_terminal_failure is not None:
+                try:
+                    self.on_terminal_failure(job, error, index)
+                except Exception as hook_exc:
+                    with self._state_lock:
+                        self._report.errors.append(
+                            f"on_terminal_failure: {hook_exc!r}")
             return True
         metrics.counter("sched_jobs_retried").inc()
         with self._state_lock:
@@ -203,15 +222,14 @@ class WorkerPool:
         counts = self.queue.counts()
         if counts["pending"] == 0 and counts["leased"] == 0:
             return False  # drained — worker can exit
-        if counts["leased"] == 0:
-            # Every runnable job is backing off; jump virtual time to
-            # the next retry instead of spinning. (No-op on WallClock —
-            # and never while leases are live, which would prematurely
-            # expire an active worker's lease.)
-            hint = self.queue.next_ready_in()
-            if hint is not None and hint > 0:
-                self.queue.clock.advance(hint)
-                return True
+        # Every runnable job backing off and no leases live: jump
+        # virtual time to the next retry instead of spinning. The queue
+        # re-checks both conditions and advances under its own lock, so
+        # a concurrent claim can't slip in between, and stacked idle
+        # workers can't each advance past a lease. On a WallClock the
+        # advance can't move time — fall through to the real nap.
+        if self.queue.advance_if_idle():
+            return True
         self._stop.wait(self.poll_seconds)
         return True
 

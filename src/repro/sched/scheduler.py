@@ -21,7 +21,12 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.obs.telemetry import Telemetry, coalesce
 from repro.sched.jobs import JobQueue
-from repro.sched.pool import JobHandler, PoolReport, WorkerPool
+from repro.sched.pool import (
+    JobHandler,
+    PoolReport,
+    TerminalFailureHook,
+    WorkerPool,
+)
 
 
 @dataclass
@@ -91,11 +96,14 @@ class CrawlScheduler:
     # ------------------------------------------------------------------
     def run(self, handler: JobHandler, workers: int = 1,
             stop_after_jobs: Optional[int] = None,
-            poll_seconds: float = 0.005) -> CrawlReport:
+            poll_seconds: float = 0.005,
+            on_terminal_failure: Optional[TerminalFailureHook] = None
+            ) -> CrawlReport:
         """Drain the queue through *handler* on N workers."""
         self._pool = WorkerPool(self.queue, handler, workers=workers,
                                 telemetry=self.telemetry,
-                                poll_seconds=poll_seconds)
+                                poll_seconds=poll_seconds,
+                                on_terminal_failure=on_terminal_failure)
         pool_report: PoolReport = self._pool.run(
             stop_after_jobs=stop_after_jobs)
         counts = self.queue.counts()

@@ -76,6 +76,51 @@ class TestCrawlTheSyntheticWeb:
         assert combined_found >= front_found
 
 
+class TestScanResume:
+    """Regression: a resumed scan used to silently drop every site the
+    earlier runs completed — the dataset was rebuilt in memory while
+    only the queue remembered the work."""
+
+    def test_resumed_dataset_covers_previously_completed_sites(
+            self, tmp_path):
+        world = build_world(site_count=12, seed=33)
+        queue_path = str(tmp_path / "scan.queue")
+
+        baseline = ScanPipeline(world, client_id="rs-base").run(
+            site_limit=8)
+
+        # "Interrupted" first run: only part of the corpus enqueued.
+        ScanPipeline(world, client_id="rs-split").run(
+            site_limit=4, queue_path=queue_path)
+        resumed = ScanPipeline(world, client_id="rs-split").run(
+            site_limit=8, queue_path=queue_path, resume=True)
+
+        assert resumed.visited_sites == 8
+        assert set(resumed.combined) == set(baseline.combined)
+        assert set(resumed.front_only) == set(baseline.front_only)
+        for domain, expected in baseline.combined.items():
+            got = resumed.combined[domain]
+            assert got.clean_union == expected.clean_union
+            assert got.identified_union == expected.identified_union
+            assert got.third_party_hosts == expected.third_party_hosts
+        assert resumed.table5() == baseline.table5()
+        assert resumed.fig4() == baseline.fig4()
+        assert resumed.subpage_visits == baseline.subpage_visits
+        assert resumed.unique_scripts == baseline.unique_scripts
+
+    def test_resume_without_sidecar_refuses(self, tmp_path):
+        import os
+
+        world = build_world(site_count=6, seed=33)
+        queue_path = str(tmp_path / "scan.queue")
+        ScanPipeline(world, client_id="rs2").run(
+            site_limit=3, queue_path=queue_path)
+        os.remove(queue_path + ".scan")
+        with pytest.raises(RuntimeError, match="no persisted evidence"):
+            ScanPipeline(world, client_id="rs2").run(
+                site_limit=3, queue_path=queue_path, resume=True)
+
+
 class TestTable6EndToEnd:
     def test_openwpm_probes_observed_and_attributed(self):
         """Sites probing instrument residue are caught dynamically even

@@ -43,6 +43,91 @@ class TestVirtualClock:
         clock = WallClock()
         assert clock.now() <= clock.now()
 
+    def test_wall_clock_peek(self):
+        # The scheduler's queue/pool/stage code calls peek() on
+        # whichever clock it is given; WallClock must provide it.
+        clock = WallClock()
+        assert clock.peek() <= clock.now()
+
+
+class TestThreadSafety:
+    """Worker threads share one Telemetry; nothing may corrupt."""
+
+    def test_concurrent_spans_keep_per_thread_trees(self):
+        import threading
+
+        tracer = Tracer()
+        errors = []
+
+        def work():
+            try:
+                for _ in range(200):
+                    with tracer.span("outer"):
+                        with tracer.span("inner"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        spans = tracer.finished_spans()
+        assert len(spans) == 4 * 200 * 2
+        # A concurrently-ended span must never unwind another thread's
+        # in-flight spans: nothing may be marked orphaned, and every
+        # trace is exactly one outer root plus one inner child of it.
+        assert all(span.status == "ok" for span in spans)
+        by_trace = {}
+        for span in spans:
+            by_trace.setdefault(span.trace_id, []).append(span)
+        for members in by_trace.values():
+            names = sorted(span.name for span in members)
+            assert names == ["inner", "outer"]
+            outer = next(s for s in members if s.name == "outer")
+            inner = next(s for s in members if s.name == "inner")
+            assert outer.parent_id is None
+            assert inner.parent_id == outer.span_id
+
+    def test_concurrent_counter_increments_not_lost(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def work():
+            for _ in range(5000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * 5000
+
+    def test_concurrent_get_or_create_returns_one_instrument(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def work():
+            handle = registry.counter("shared", label="x")
+            with lock:
+                seen.append(handle)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(handle is seen[0] for handle in seen)
+
 
 class TestTracer:
     def test_root_span_has_no_parent(self):

@@ -225,3 +225,59 @@ class TestPipelineAgainstGroundTruth:
         # must all stay on-site: 3 per site at most.
         assert scan_dataset.subpage_visits \
             <= scan_dataset.visited_sites * 3
+
+
+class TestScanResultStore:
+    """The sidecar that makes scan resume return complete datasets."""
+
+    def _evidence(self):
+        return VisitEvidence(
+            page_url="https://www.a.test/",
+            scripts=[("https://cdn.test/bot.js", "navigator.webdriver")],
+            webdriver_accessors={"https://cdn.test/bot.js"},
+            residue_accessors={"https://cdn.test/bot.js": {"icon_x"}},
+            honey_hits={"https://cdn.test/iter.js": {"h1", "h2"}})
+
+    def test_round_trip_preserves_evidence(self):
+        from repro.core.scan.results_store import ScanResultStore
+
+        store = ScanResultStore()
+        store.save("a.test", [self._evidence()])
+        loaded = store.load_all()["a.test"]
+        assert len(loaded) == 1
+        restored = loaded[0]
+        original = self._evidence()
+        assert restored.page_url == original.page_url
+        assert restored.scripts == original.scripts
+        assert restored.webdriver_accessors == original.webdriver_accessors
+        assert restored.residue_accessors == original.residue_accessors
+        assert restored.honey_hits == original.honey_hits
+        # Classification is a pure function of evidence, so persisted
+        # evidence reproduces the verdict exactly.
+        assert classify_site("a.test", loaded).dynamic_identified \
+            == classify_site("a.test", [original]).dynamic_identified
+        store.close()
+
+    def test_save_is_replace(self):
+        from repro.core.scan.results_store import ScanResultStore
+
+        store = ScanResultStore()
+        store.save("a.test", [self._evidence()])
+        store.save("a.test", [self._evidence(), self._evidence()])
+        assert len(store.load_all()["a.test"]) == 2
+        assert store.domains() == ["a.test"]
+        store.close()
+
+    def test_persists_across_reopen(self, tmp_path):
+        from repro.core.scan.results_store import (
+            ScanResultStore,
+            store_path_for,
+        )
+
+        path = store_path_for(str(tmp_path / "scan.queue"))
+        store = ScanResultStore(path)
+        store.save("a.test", [self._evidence()])
+        store.close()
+        reopened = ScanResultStore(path)
+        assert reopened.domains() == ["a.test"]
+        reopened.close()

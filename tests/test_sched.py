@@ -180,6 +180,47 @@ class TestJobQueue:
         assert len(set(seen)) == 40  # no double-claims
 
 
+class TestAdvanceIfIdle:
+    def test_advances_to_next_retry_when_idle(self):
+        queue = JobQueue(max_attempts=3, backoff_base=0.5)
+        queue.enqueue(SITES[:1])
+        job = queue.claim("w0")
+        queue.fail(job.job_id, "w0", "boom", retry=True)
+        assert queue.next_ready_in() > 0
+        assert queue.advance_if_idle()
+        assert queue.next_ready_in() == 0.0
+        assert queue.claim("w0") is not None
+
+    def test_refuses_while_a_lease_is_live(self):
+        queue = JobQueue(max_attempts=3, backoff_base=0.5)
+        queue.enqueue(SITES[:2])
+        queue.claim("w0")  # live lease
+        backing_off = queue.claim("w1")
+        queue.fail(backing_off.job_id, "w1", "boom", retry=True)
+        before = queue.clock.peek()
+        assert not queue.advance_if_idle()
+        assert queue.clock.peek() == before
+
+    def test_refuses_when_nothing_is_waiting(self):
+        queue = JobQueue()
+        queue.enqueue(SITES[:1])  # ready now, not backing off
+        before = queue.clock.peek()
+        assert not queue.advance_if_idle()
+        assert queue.clock.peek() == before
+
+    def test_wall_clock_reports_no_motion(self):
+        from repro.obs.clock import WallClock
+
+        queue = JobQueue(max_attempts=3, backoff_base=30.0,
+                         clock=WallClock())
+        queue.enqueue(SITES[:1])
+        job = queue.claim("w0")
+        queue.fail(job.job_id, "w0", "boom", retry=True)
+        # Real time cannot be jumped: the caller must fall back to a
+        # real sleep instead of spinning on no-op advances.
+        assert queue.advance_if_idle() is False
+
+
 class TestWorkerPool:
     def test_single_worker_runs_inline(self):
         queue = JobQueue()
@@ -258,6 +299,41 @@ class TestWorkerPool:
         assert report.completed == 2
         assert report.interrupted
         assert queue.counts()[PENDING] == len(SITES) - 2
+
+    def test_on_terminal_failure_hook_fires_once(self):
+        queue = JobQueue(max_attempts=2, backoff_base=0.01)
+        queue.enqueue(SITES[:1])
+        seen = []
+
+        def handler(job, index):
+            raise RuntimeError("boom")
+
+        report = WorkerPool(
+            queue, handler, workers=1,
+            on_terminal_failure=lambda job, error, index:
+            seen.append((job.site_url, error, index))).run()
+        assert report.retried == 1
+        assert report.failed == 1
+        # The hook fires only on the terminal transition, not retries.
+        assert len(seen) == 1
+        assert seen[0][0] == SITES[0]
+        assert "boom" in seen[0][1]
+
+    def test_on_terminal_failure_hook_errors_are_contained(self):
+        queue = JobQueue(max_attempts=1)
+        queue.enqueue(SITES[:2])
+
+        def handler(job, index):
+            raise JobFailed("nope", retry=False)
+
+        def hook(job, error, index):
+            raise ValueError("ledger write blew up")
+
+        report = WorkerPool(queue, handler, workers=1,
+                            on_terminal_failure=hook).run()
+        # A broken ledger hook must not kill the worker loop.
+        assert report.failed == 2
+        assert any("ledger write blew up" in e for e in report.errors)
 
     def test_worker_indexes_within_bounds(self):
         queue = JobQueue()

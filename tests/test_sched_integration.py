@@ -203,6 +203,67 @@ class TestSchedulerTelemetry:
         manager.close()
 
 
+class TestQueueLossLedger:
+    def test_worker_fault_retries_then_writes_failed_visit_row(self):
+        """A generic handler fault gets one backed-off re-run (default
+        ``max_attempts=2``), and its terminal failure lands in
+        ``failed_visits`` so the crawl-loss ledger stays complete."""
+        manager = make_manager()
+
+        def exploding_callback(browser, result):
+            raise RuntimeError("instrument exploded")
+
+        report = manager.crawl_scheduled(
+            lab_urls(1), workers=1, callbacks=[exploding_callback])
+        assert report.retried == 1
+        assert report.failed == 1
+        rows = manager.storage.query("SELECT * FROM failed_visits")
+        assert len(rows) == 1
+        assert rows[0]["site_url"] == lab_urls(1)[0]
+        assert "RuntimeError" in rows[0]["reason"]
+        assert manager.failed_sites == lab_urls(1)
+        manager.close()
+
+    def test_failure_limit_path_writes_exactly_one_row(self):
+        """The failure_limit path already records its own row; the
+        queue-side hook must not duplicate it."""
+        manager = make_manager(crash_probability=1.0)
+        report = manager.crawl_scheduled(lab_urls(1), workers=1)
+        assert report.failed == 1
+        rows = manager.storage.query("SELECT * FROM failed_visits")
+        assert len(rows) == 1
+        assert rows[0]["reason"] == "failure_limit"
+        manager.close()
+
+
+class TestParallelTelemetryIntegrity:
+    def test_four_workers_produce_clean_trace_trees(self):
+        """Regression: a shared span stack let one worker's span end
+        unwind another worker's in-flight spans (orphaned statuses,
+        mis-parenting) and racing counters could lose increments,
+        breaking the stats reconciliation under the default CLI path."""
+        telemetry = Telemetry()
+        manager = make_manager(browsers=4, telemetry=telemetry,
+                               crash_probability=0.05)
+        urls = lab_urls(80)
+        report = manager.crawl_scheduled(urls, workers=4)
+        assert report.drained
+
+        spans = telemetry.tracer.finished_spans()
+        assert not [s for s in spans if s.status == "error:orphaned"]
+        visit_spans = [s for s in spans if s.name == "visit"]
+        assert len(visit_spans) == len(urls)
+        # Every visit is a root of its own trace; its stages parent to
+        # it, never to another worker's visit.
+        for span in visit_spans:
+            assert span.parent_id is None
+        metrics = telemetry.metrics
+        assert metrics.counter_value("sched_jobs_completed") \
+            == metrics.counter_value("visits_completed") \
+            == report.completed
+        manager.close()
+
+
 class TestDwellTime:
     def test_get_passes_dwell_time_through(self):
         """Regression: ``TaskManager.get`` used to drop ``dwell_time``.
