@@ -201,6 +201,16 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         print("error: --resume needs a file-backed queue "
               "(pass --db or --queue)", file=sys.stderr)
         return 2
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_json_file(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: --fault-plan unreadable: {exc}",
+                  file=sys.stderr)
+            return 2
 
     result = run_telemetry_crawl(
         site_count=site_count, seed=args.seed,
@@ -209,7 +219,10 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         browsers=args.workers, dwell=args.dwell,
         web=args.web, urls=urls,
         workers=args.workers, queue_path=queue_path,
-        resume=args.resume, stop_after_jobs=args.stop_after)
+        resume=args.resume, stop_after_jobs=args.stop_after,
+        fault_plan=fault_plan,
+        stage_deadline=args.stage_deadline,
+        quarantine_after=args.quarantine_after)
     report = result.report
     try:
         payload = {
@@ -222,6 +235,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             "failed": report.failed,
             "retried": report.retried,
             "reclaimed": report.reclaimed,
+            "worker_deaths": report.worker_deaths,
+            "lease_lost": report.lease_lost,
             "interrupted": report.interrupted,
             "queue_counts": report.counts,
             "drained": report.drained,
@@ -335,6 +350,18 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--seed", type=int, default=7)
     crawl.add_argument("--crash-probability", type=float, default=0.05)
     crawl.add_argument("--dwell", type=float, default=1.0)
+    crawl.add_argument("--fault-plan", default=None, metavar="PATH",
+                       help="JSON fault plan to inject (chaos testing); "
+                            "see repro.faults.FaultPlan")
+    crawl.add_argument("--stage-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="watchdog deadline per visit stage "
+                            "(virtual seconds); hung visits are aborted "
+                            "and the browser slot restarted")
+    crawl.add_argument("--quarantine-after", type=int, default=None,
+                       metavar="N",
+                       help="quarantine a site after N crash/hang "
+                            "failures (circuit breaker)")
     crawl.add_argument("--json", action="store_true",
                        help="emit the crawl report as JSON")
     crawl.set_defaults(fn=_cmd_crawl)

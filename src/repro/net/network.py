@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.faults.plan import DEFAULT_SLOW_SECONDS, NetworkFault
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.url import URL
 
@@ -67,6 +68,10 @@ class Network:
         self.state: Dict[str, dict] = defaultdict(dict)
         self.log: List[ExchangeRecord] = []
         self.record_exchanges = False
+        #: Optional :class:`repro.faults.FaultPlan` consulted per fetch
+        #: (choke point ``network.fetch``): connection resets, slow
+        #: responses, truncated bodies.
+        self.fault_plan: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def register_host(self, host: str, server: Server) -> None:
@@ -98,6 +103,19 @@ class Network:
         Returns the final response and the full hop chain (the browser's
         HTTP instrument records every hop).
         """
+        truncate = False
+        if self.fault_plan is not None:
+            rule = self.fault_plan.check("network.fetch",
+                                         url=str(request.url))
+            if rule is not None:
+                if rule.fault == "connection_reset":
+                    raise NetworkFault(
+                        f"connection reset by peer: {request.url}")
+                if rule.fault == "slow_response":
+                    self.fault_plan.burn(
+                        rule.seconds or DEFAULT_SLOW_SECONDS)
+                elif rule.fault == "truncated_body":
+                    truncate = True
         hops: List[ExchangeRecord] = []
         current = request
         for _ in range(self.MAX_REDIRECTS):
@@ -106,6 +124,12 @@ class Network:
                 response = HttpResponse.not_found()
             else:
                 response = server.handle(current, client, self)
+            if truncate and not response.is_redirect and response.body:
+                # The corruption the paper warns about: half the body
+                # arrives, nothing errors, and the archived content is
+                # silently wrong.
+                response = replace(
+                    response, body=response.body[:len(response.body) // 2])
             record = ExchangeRecord(current, response)
             hops.append(record)
             if self.record_exchanges:

@@ -58,7 +58,13 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
                         queue_path: str = ":memory:",
                         resume: bool = False,
                         urls: Optional[List[str]] = None,
-                        stop_after_jobs: Optional[int] = None
+                        stop_after_jobs: Optional[int] = None,
+                        fault_plan: Optional[object] = None,
+                        stage_deadline: Optional[float] = None,
+                        quarantine_after: Optional[int] = None,
+                        crash_loop_threshold: Optional[int] = None,
+                        max_attempts: int = 2,
+                        lease_seconds: float = 300.0
                         ) -> TelemetryCrawlResult:
     """Crawl *site_count* sites with full telemetry enabled.
 
@@ -75,6 +81,11 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
     worker per browser slot, with ``queue_path``/``resume`` exposing
     the persistent queue and checkpoint/resume (``python -m repro
     crawl``). An explicit ``urls`` list overrides the generated one.
+
+    ``fault_plan`` / ``stage_deadline`` / ``quarantine_after`` /
+    ``crash_loop_threshold`` wire the fault-injection plan and its
+    defenses (watchdog, circuit breaker, crash-loop cooldown) straight
+    into the manager — the chaos harness entry point.
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
     if web == "tranco":
@@ -95,6 +106,10 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
         ManagerParams(num_browsers=browsers,
                       database_path=database_path,
                       crash_probability=crash_probability,
+                      fault_plan=fault_plan,
+                      stage_deadline_seconds=stage_deadline,
+                      quarantine_after=quarantine_after,
+                      crash_loop_threshold=crash_loop_threshold,
                       seed=seed),
         [BrowserParams(browser_id=i, seed=seed + i, dwell_time=dwell,
                        js_instrument=js_instrument,
@@ -113,7 +128,8 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
             telemetry.metrics.restore(manager.storage.telemetry_metrics())
         report = manager.crawl_scheduled(
             urls, workers=workers, queue_path=queue_path, resume=resume,
-            stop_after_jobs=stop_after_jobs)
+            stop_after_jobs=stop_after_jobs, max_attempts=max_attempts,
+            lease_seconds=lease_seconds)
     # Snapshot now (close() would too, but callers report before closing).
     manager.storage.persist_telemetry(telemetry.snapshot())
     return TelemetryCrawlResult(manager=manager, telemetry=telemetry,

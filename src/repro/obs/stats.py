@@ -75,6 +75,8 @@ def build_crawl_report(storage: Any,
         "restart_rows": _table_count(storage, "crash_history",
                                      "action = 'restart'"),
         "failed_visit_rows": _table_count(storage, "failed_visits"),
+        "quarantined_site_rows": _table_count(storage,
+                                              "quarantined_sites"),
         "javascript_rows": _table_count(storage, "javascript"),
         "http_request_rows": _table_count(storage, "http_requests"),
         "cookie_rows": _table_count(storage, "javascript_cookies"),
@@ -97,6 +99,34 @@ def build_crawl_report(storage: Any,
         "visit_attempts_total": _metric_value(metrics,
                                               "visit_attempts_total"),
         "browser_restarts": _metric_value(metrics, "browser_restarts"),
+        # Supervision / fault-injection counters (all 0 on crawls that
+        # predate the fault subsystem, which keeps the checks backward
+        # compatible).
+        "visits_hung": _metric_value(metrics, "visits_hung"),
+        "visits_aborted": _metric_value(metrics, "visits_aborted"),
+        "visits_abandoned": _metric_value(metrics, "visits_abandoned"),
+        "visits_errored": _metric_value(metrics, "visits_errored"),
+        "visits_network_faults": _metric_value(metrics,
+                                               "visits_network_faults"),
+        "visits_storage_faults": _metric_value(metrics,
+                                               "visits_storage_faults"),
+        "visits_quarantined": _metric_value(metrics,
+                                            "visits_quarantined"),
+        "visits_given_up": _metric_value(metrics, "visits_given_up"),
+        "visits_discarded": _metric_value(metrics, "visits_discarded"),
+        "visits_retracted": _metric_value(metrics,
+                                          "visits_given_up_retracted"),
+        "quarantines_retracted": _metric_value(
+            metrics, "sites_quarantined_retracted"),
+        "has_given_up": _has_metric(metrics, "visits_given_up"),
+        "sites_quarantined": _metric_value(metrics, "sites_quarantined"),
+        "browser_cooldowns": _metric_value(metrics, "browser_cooldowns"),
+        "discarded_js": _metric_value(metrics, "records_discarded",
+                                      instrument="js"),
+        "discarded_http": _metric_value(metrics, "records_discarded",
+                                        instrument="http"),
+        "discarded_cookie": _metric_value(metrics, "records_discarded",
+                                          instrument="cookie"),
         "records_js": _metric_value(metrics, "records_written",
                                     instrument="js"),
         "records_http": _metric_value(metrics, "records_written",
@@ -124,6 +154,9 @@ def build_crawl_report(storage: Any,
             "jobs_retried": _metric_value(metrics, "sched_jobs_retried"),
             "lease_reclaims": _metric_value(metrics,
                                             "sched_lease_reclaims"),
+            "worker_deaths": _metric_value(metrics,
+                                           "sched_worker_deaths"),
+            "leases_lost": _metric_value(metrics, "sched_leases_lost"),
             "queue_depth": {
                 (metric.get("labels") or {}).get("state", ""):
                     int(metric.get("value") or 0)
@@ -164,29 +197,74 @@ def build_crawl_report(storage: Any,
                        "ok": int(lhs) == int(rhs)})
 
     if has_telemetry:
-        check("visits_attempted == completed + failed_exhausted",
+        # Every enqueued site ends in exactly one bucket. All the new
+        # buckets are 0 on pre-fault-subsystem crawls, so these checks
+        # degrade to the original two-term identities.
+        check("visits_attempted == completed + failed_exhausted"
+              " + quarantined + abandoned + errored",
               tele["visits_attempted"],
-              tele["visits_completed"] + tele["visits_failed_exhausted"])
-        check("visit_attempts_total == completed + crashed",
+              tele["visits_completed"] + tele["visits_failed_exhausted"]
+              + tele["visits_quarantined"] + tele["visits_abandoned"]
+              + tele["visits_errored"])
+        check("visit_attempts_total == completed + crashed + hung"
+              " + network_faults + storage_faults + errored",
               tele["visit_attempts_total"],
-              tele["visits_completed"] + tele["visits_crashed"])
-        check("visit_attempts_total == site_visits rows",
-              tele["visit_attempts_total"], db["site_visit_rows"])
+              tele["visits_completed"] + tele["visits_crashed"]
+              + tele["visits_hung"] + tele["visits_network_faults"]
+              + tele["visits_storage_faults"] + tele["visits_errored"])
+        check("visit_attempts_total == site_visits rows + aborted"
+              " + storage_faults + discarded completions",
+              tele["visit_attempts_total"],
+              db["site_visit_rows"] + tele["visits_aborted"]
+              + tele["visits_storage_faults"] + tele["visits_discarded"])
         check("visits_crashed == crash_history rows",
               tele["visits_crashed"], db["crash_rows"])
-        check("visits_failed_exhausted == failed_visits rows",
-              tele["visits_failed_exhausted"], db["failed_visit_rows"])
-        check("records_written{js} == javascript rows",
-              tele["records_js"], db["javascript_rows"])
-        check("records_written{http} == http_requests rows",
-              tele["records_http"], db["http_request_rows"])
-        check("records_written{cookie} == javascript_cookies rows",
-              tele["records_cookie"], db["cookie_rows"])
+        if tele["has_given_up"]:
+            check("visits_given_up == failed_visits rows + retracted",
+                  tele["visits_given_up"],
+                  db["failed_visit_rows"] + tele["visits_retracted"])
+        else:
+            check("visits_failed_exhausted == failed_visits rows",
+                  tele["visits_failed_exhausted"],
+                  db["failed_visit_rows"])
+        if _has_metric(metrics, "sites_quarantined") \
+                or db["quarantined_site_rows"] == 0:
+            check("sites_quarantined == quarantined_sites rows"
+                  " + retracted",
+                  tele["sites_quarantined"],
+                  db["quarantined_site_rows"]
+                  + tele["quarantines_retracted"])
+        check("records_written{js} == javascript rows + discarded",
+              tele["records_js"],
+              db["javascript_rows"] + tele["discarded_js"])
+        check("records_written{http} == http_requests rows + discarded",
+              tele["records_http"],
+              db["http_request_rows"] + tele["discarded_http"])
+        check("records_written{cookie} == javascript_cookies rows"
+              " + discarded",
+              tele["records_cookie"],
+              db["cookie_rows"] + tele["discarded_cookie"])
     if has_telemetry and scheduler is not None:
-        check("sched_jobs_completed == visits_completed",
-              scheduler["jobs_completed"], tele["visits_completed"])
-        check("sched_jobs_failed == visits_failed_exhausted",
-              scheduler["jobs_failed"], tele["visits_failed_exhausted"])
+        # A completed visit whose lease was lost to another worker is
+        # deleted from the DB and counted in visits_discarded; the
+        # winning worker's re-run contributes the job's completion.
+        check("visits_completed == sched_jobs_completed"
+              " + discarded completions",
+              tele["visits_completed"],
+              scheduler["jobs_completed"] + tele["visits_discarded"])
+        if tele["has_given_up"] \
+                or _has_metric(metrics, "sites_quarantined") \
+                or scheduler["jobs_failed"] == 0:
+            check("sched_jobs_failed == visits_given_up - retracted"
+                  " + sites_quarantined - quarantines retracted",
+                  scheduler["jobs_failed"],
+                  tele["visits_given_up"] - tele["visits_retracted"]
+                  + tele["sites_quarantined"]
+                  - tele["quarantines_retracted"])
+        else:
+            check("sched_jobs_failed == visits_failed_exhausted",
+                  scheduler["jobs_failed"],
+                  tele["visits_failed_exhausted"])
 
     queue_state: Optional[Dict[str, Any]] = None
     if queue is not None:
@@ -205,11 +283,29 @@ def build_crawl_report(storage: Any,
               len(completed_sites), visited_completed)
         check("queue drained (pending + leased == 0)",
               counts.get("pending", 0) + counts.get("leased", 0), 0)
+        # Every terminally failed job must have a loss-ledger entry —
+        # either a failed_visits row or a quarantined_sites row. A
+        # failed job missing from both is a silently lost site.
+        failed_sites = queue.sites(status="failed")
+        ledger = {row["site_url"] for row in storage.query(
+            "SELECT site_url FROM failed_visits")}
+        ledger |= {row["site_url"] for row in storage.query(
+            "SELECT site_url FROM quarantined_sites")}
+        check("failed queue jobs covered by loss ledger",
+              len(failed_sites),
+              sum(1 for site in failed_sites if site in ledger))
+
+    browser_crash_counts = {
+        (metric.get("labels") or {}).get("browser", ""):
+            int(metric.get("value") or 0)
+        for metric in metrics
+        if metric["name"] == "browser_crash_count"}
 
     return {
         "has_telemetry": has_telemetry,
         "database": db,
         "telemetry": tele,
+        "browser_crash_counts": browser_crash_counts,
         "scheduler": scheduler,
         "queue": queue_state,
         "drop_reasons": drop_reasons,
@@ -272,6 +368,50 @@ def render_crawl_report(report: Dict[str, Any]) -> str:
          f"{int(tele['instrumentation_blocked'])}")
     push("")
 
+    supervision_total = int(
+        tele["visits_hung"] + tele["visits_aborted"]
+        + tele["visits_abandoned"] + tele["visits_errored"]
+        + tele["visits_network_faults"] + tele["visits_storage_faults"]
+        + tele["browser_cooldowns"] + tele["visits_discarded"]
+        + tele["visits_retracted"] + tele["quarantines_retracted"])
+    if report["has_telemetry"] and supervision_total:
+        push("Supervision (watchdog / fault recovery)")
+        push(f"  hung visits ............ {int(tele['visits_hung'])}"
+             f"  (aborted: {int(tele['visits_aborted'])}, "
+             f"abandoned to queue: {int(tele['visits_abandoned'])})")
+        push(f"  network faults ......... "
+             f"{int(tele['visits_network_faults'])}")
+        push(f"  storage faults ......... "
+             f"{int(tele['visits_storage_faults'])}")
+        push(f"  unexpected errors ...... {int(tele['visits_errored'])}")
+        push(f"  crash-loop cooldowns ... "
+             f"{int(tele['browser_cooldowns'])}")
+        if tele["visits_discarded"]:
+            push(f"  late completions discarded "
+                 f"{int(tele['visits_discarded'])}")
+        if tele["visits_retracted"]:
+            push(f"  failure verdicts retracted "
+                 f"{int(tele['visits_retracted'])}")
+        if tele["quarantines_retracted"]:
+            push(f"  stale quarantines retracted "
+                 f"{int(tele['quarantines_retracted'])}")
+        push("")
+
+    if db["quarantined_site_rows"] or tele["sites_quarantined"]:
+        push("Quarantine (circuit breaker)")
+        push(f"  quarantined_sites rows . {db['quarantined_site_rows']}"
+             f"  (tripped this crawl: {int(tele['sites_quarantined'])})")
+        push(f"  visits short-circuited . "
+             f"{int(tele['visits_quarantined'])}")
+        push("")
+
+    crash_counts = report.get("browser_crash_counts") or {}
+    if crash_counts:
+        push("Browser crash counts")
+        for browser, count in sorted(crash_counts.items()):
+            push(f"  browser {browser} ............. {count} crash(es)")
+        push("")
+
     scheduler = report.get("scheduler")
     if scheduler is not None:
         push("Scheduler")
@@ -282,6 +422,10 @@ def render_crawl_report(report: Dict[str, Any]) -> str:
         push(f"  jobs failed ............ {int(scheduler['jobs_failed'])}"
              f"  (retried: {int(scheduler['jobs_retried'])}, "
              f"lease reclaims: {int(scheduler['lease_reclaims'])})")
+        if scheduler.get("worker_deaths") or scheduler.get("leases_lost"):
+            push(f"  worker deaths .......... "
+                 f"{int(scheduler['worker_deaths'])}"
+                 f"  (leases lost: {int(scheduler['leases_lost'])})")
         depth = scheduler.get("queue_depth") or {}
         if depth:
             push("  queue depth ............ "

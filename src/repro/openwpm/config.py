@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 
 @dataclass
@@ -48,6 +48,24 @@ class ManagerParams:
     #: Give up on a site after this many consecutive browser failures.
     failure_limit: int = 3
     #: Probability that a visit crashes the browser (fault injection for
-    #: the recovery machinery; 0 disables).
+    #: the recovery machinery; 0 disables). Compatibility shim: this is
+    #: folded into ``fault_plan`` as a ``crash`` rule at ``visit.start``
+    #: drawing from the manager RNG, so legacy crawls stay bit-identical.
     crash_probability: float = 0.0
+    #: A :class:`repro.faults.FaultPlan` injected across the crawl stack
+    #: (task manager, network, storage, worker pool); ``None`` disables.
+    fault_plan: Optional[Any] = None
+    #: Watchdog: default per-stage visit deadline in virtual seconds
+    #: (``None`` disables the watchdog unless ``stage_deadlines`` is set).
+    stage_deadline_seconds: Optional[float] = None
+    #: Watchdog: per-stage overrides, e.g. ``{"page_load": 30.0}``.
+    stage_deadlines: Optional[Dict[str, float]] = None
+    #: Circuit breaker: quarantine a site after this many failed
+    #: attempts (crashes / watchdog aborts) across browser restarts.
+    quarantine_after: Optional[int] = None
+    #: Crash-loop detection: cool a browser slot down once it restarts
+    #: this many times within ``crash_loop_window_seconds``.
+    crash_loop_threshold: Optional[int] = None
+    crash_loop_window_seconds: float = 10.0
+    crash_loop_cooldown_seconds: float = 30.0
     seed: int = 0

@@ -113,6 +113,13 @@ CREATE TABLE IF NOT EXISTS failed_visits (
     attempts INTEGER,
     reason TEXT
 );
+CREATE TABLE IF NOT EXISTS quarantined_sites (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    site_url TEXT NOT NULL UNIQUE,
+    failures INTEGER,
+    reason TEXT,
+    quarantined_at REAL
+);
 CREATE TABLE IF NOT EXISTS telemetry (
     id INTEGER PRIMARY KEY AUTOINCREMENT,
     kind TEXT NOT NULL,
@@ -175,6 +182,10 @@ class StorageController:
             self._next_visit_id = int(row["m"] or 0) + 1
         #: Active visits, one slot per browser.
         self._contexts: Dict[int, VisitContext] = {}
+        #: Optional :class:`repro.faults.FaultPlan`; when set,
+        #: ``begin_visit`` consults it for transient ``storage_busy``
+        #: faults before touching the database.
+        self.fault_plan: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Visit lifecycle
@@ -198,6 +209,14 @@ class StorageController:
 
     def begin_visit(self, browser_id: int, site_url: str,
                     run_label: str = "") -> VisitContext:
+        if self.fault_plan is not None:
+            rule = self.fault_plan.check("storage.begin_visit",
+                                         url=site_url)
+            if rule is not None and rule.fault == "storage_busy":
+                # Raised before any side effect: a transient busy /
+                # locked error leaves no partial visit behind.
+                raise sqlite3.OperationalError(
+                    "database is locked (injected fault)")
         with self._lock:
             if browser_id in self._contexts:
                 raise VisitStateError(
@@ -234,6 +253,58 @@ class StorageController:
                     f"browser {browser_id} has no active visit to end")
             self.connection.commit()
             del self._contexts[browser_id]
+
+    def abort_visit(self, browser_id: int) -> Dict[str, int]:
+        """Discard an in-flight visit: delete its rows, drop the context.
+
+        The watchdog's remedy for a hung visit — whatever the visit
+        recorded before hanging is incomplete and is removed rather
+        than committed. Returns per-table counts of the deleted
+        records so the caller can balance its ``records_written``
+        accounting (``records_discarded`` counters).
+        """
+        with self._lock:
+            context = self._contexts.get(browser_id)
+            if context is None:
+                raise VisitStateError(
+                    f"browser {browser_id} has no active visit to abort")
+            discarded: Dict[str, int] = {}
+            for table in ("http_requests", "http_responses",
+                          "javascript", "javascript_cookies"):
+                cursor = self.connection.execute(
+                    f"DELETE FROM {table} WHERE visit_id = ?",  # noqa: S608
+                    (context.visit_id,))
+                discarded[table] = cursor.rowcount
+            self.connection.execute(
+                "DELETE FROM site_visits WHERE visit_id = ?",
+                (context.visit_id,))
+            self.connection.commit()
+            del self._contexts[browser_id]
+            return discarded
+
+    def delete_visit(self, visit_id: int) -> Dict[str, int]:
+        """Delete a *committed* visit's rows by id.
+
+        The scheduler's remedy when a completed-and-committed visit
+        loses the lease race: another worker has re-leased the job and
+        will produce the site's data again, so this copy must go to
+        keep ``site_visits`` duplicate-free. Returns per-table counts
+        of the deleted records (same shape as :meth:`abort_visit`) so
+        the caller can balance its ``records_written`` accounting.
+        """
+        with self._lock:
+            discarded: Dict[str, int] = {}
+            for table in ("http_requests", "http_responses",
+                          "javascript", "javascript_cookies"):
+                cursor = self.connection.execute(
+                    f"DELETE FROM {table} WHERE visit_id = ?",  # noqa: S608
+                    (visit_id,))
+                discarded[table] = cursor.rowcount
+            self.connection.execute(
+                "DELETE FROM site_visits WHERE visit_id = ?",
+                (visit_id,))
+            self.connection.commit()
+            return discarded
 
     def _context(self, browser_id: Optional[int] = None) -> VisitContext:
         """Resolve the visit context a record belongs to, or raise."""
@@ -352,6 +423,50 @@ class StorageController:
                 "INSERT INTO failed_visits (browser_id, site_url, "
                 "attempts, reason) VALUES (?, ?, ?, ?)",
                 (browser_id, site_url, attempts, reason))
+
+    def retract_failed_visits(self, site_url: str) -> int:
+        """Delete a site's ``failed_visits`` rows; returns the count.
+
+        The scheduler's remedy when a terminal-failure verdict was
+        voided by a lost lease: the ledger row written on exhaustion
+        no longer describes the site's fate (a live worker re-runs it
+        and may complete or quarantine it instead).
+        """
+        with self._lock:
+            cursor = self.connection.execute(
+                "DELETE FROM failed_visits WHERE site_url = ?",
+                (site_url,))
+            self.connection.commit()
+            return cursor.rowcount
+
+    def record_quarantine(self, site_url: str, failures: int,
+                          reason: str, quarantined_at: float = 0.0
+                          ) -> None:
+        """One row per site the circuit breaker gave up on."""
+        with self._lock:
+            self.connection.execute(
+                "INSERT OR IGNORE INTO quarantined_sites (site_url, "
+                "failures, reason, quarantined_at) VALUES (?, ?, ?, ?)",
+                (site_url, failures, reason, quarantined_at))
+            self.connection.commit()
+
+    def retract_quarantine(self, site_url: str) -> int:
+        """Delete a site's quarantine row; returns the count.
+
+        Used when the quarantine verdict turned out to be stale: a
+        voided (lease-lost) hung attempt tripped the breaker after a
+        live worker had already completed the site.
+        """
+        with self._lock:
+            cursor = self.connection.execute(
+                "DELETE FROM quarantined_sites WHERE site_url = ?",
+                (site_url,))
+            self.connection.commit()
+            return cursor.rowcount
+
+    def quarantined_rows(self) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self.query(
+            "SELECT * FROM quarantined_sites ORDER BY id")]
 
     def commit(self) -> None:
         with self._lock:
@@ -500,7 +615,8 @@ class StorageController:
     # ------------------------------------------------------------------
     TABLES = ("site_visits", "http_requests", "http_responses",
               "javascript", "javascript_cookies", "content",
-              "crash_history", "failed_visits", "telemetry")
+              "crash_history", "failed_visits", "quarantined_sites",
+              "telemetry")
 
     def export_table_csv(self, table: str, path: str) -> int:
         """Write one table to CSV; returns the number of rows written.

@@ -4,21 +4,51 @@ Reproduces the orchestration responsibilities Fig. 1 assigns to the
 framework: owning N browsers, distributing command sequences, watching
 for crashes, restarting failed browsers, and funnelling everything into
 one storage controller.
+
+Fault injection and supervision (:mod:`repro.faults`): the manager
+builds an effective :class:`~repro.faults.FaultPlan` (the legacy
+``crash_probability`` Bernoulli becomes a ``crash`` rule drawing from
+the manager RNG, so old crawls stay bit-identical), wires it into the
+network and storage layers, and defends with a per-stage
+:class:`~repro.faults.Watchdog`, a per-site
+:class:`~repro.faults.CircuitBreaker` (quarantine), and
+:class:`~repro.faults.CrashLoopDetector` browser-slot cooldowns.
 """
 
 from __future__ import annotations
 
 import random
+import sqlite3
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.browser.browser import Browser, VisitResult
 from repro.browser.profiles import openwpm_profile
+from repro.faults.plan import (
+    DEFAULT_HANG_SECONDS,
+    FaultPlan,
+    FaultRule,
+    NetworkFault,
+)
+from repro.faults.supervision import (
+    CircuitBreaker,
+    CrashLoopDetector,
+    VisitDeadlineExceeded,
+    Watchdog,
+)
 from repro.net.network import Network
 from repro.obs.telemetry import Telemetry, coalesce
 from repro.openwpm.config import BrowserParams, ManagerParams
 from repro.openwpm.extension import OpenWPMExtension
 from repro.openwpm.storage import StorageController
+
+#: abort_visit table name -> records_written instrument label.
+_DISCARD_INSTRUMENTS = {
+    "javascript": "js",
+    "http_requests": "http",
+    "javascript_cookies": "cookie",
+}
 
 
 class BrowserCrashed(RuntimeError):
@@ -48,10 +78,30 @@ class ManagedBrowser:
     browser: Browser
     extension: OpenWPMExtension
     crash_count: int = 0
+    #: visit_id of this slot's most recently *committed* visit, None
+    #: until one completes. The scheduler's discard hook uses it to
+    #: delete the copy when a late completion loses the lease race.
+    last_visit_id: Optional[int] = None
+    #: site whose ``failed_visits`` row this slot's latest
+    #: execute_command_sequence call wrote (retry exhaustion), None
+    #: otherwise. The discard hook retracts that row when the
+    #: terminal-failure verdict is voided by a lost lease.
+    last_given_up_site: Optional[str] = None
 
 
 class TaskManager:
-    """Drives browsers over a list of sites with crash recovery."""
+    """Drives browsers over a list of sites with crash recovery.
+
+    Thread safety — ``execute_command_sequence`` runs concurrently on
+    pool worker threads (one pinned browser slot each):
+
+    * thread-safe members: ``storage``, ``telemetry``, ``fault_plan``,
+      the circuit breaker and crash-loop detector (all internally
+      locked), and ``failed_sites`` (guarded by
+      ``_failed_sites_lock``);
+    * single-thread only: ``crawl()``/``get()`` (the sequential path,
+      including ``_next_slot`` round-robin) and ``close()``.
+    """
 
     def __init__(self, manager_params: ManagerParams,
                  browser_params: List[BrowserParams],
@@ -69,6 +119,48 @@ class TaskManager:
             self._launch_browser(params) for params in browser_params]
         self._next_slot = 0
         self.failed_sites: List[str] = []
+        self._failed_sites_lock = threading.Lock()
+
+        self.fault_plan = self._build_fault_plan()
+        if self.fault_plan is not None:
+            self.fault_plan.bind_clock(self.telemetry.clock)
+            self.storage.fault_plan = self.fault_plan
+            self.network.fault_plan = self.fault_plan
+
+        self._watchdog: Optional[Watchdog] = None
+        if manager_params.stage_deadline_seconds is not None \
+                or manager_params.stage_deadlines:
+            self._watchdog = Watchdog(
+                self.telemetry.clock,
+                default_deadline=manager_params.stage_deadline_seconds,
+                stage_deadlines=manager_params.stage_deadlines)
+
+        self._breaker: Optional[CircuitBreaker] = None
+        if manager_params.quarantine_after:
+            self._breaker = CircuitBreaker(manager_params.quarantine_after)
+            # A reopened crawl database remembers its quarantines.
+            for row in self.storage.quarantined_rows():
+                self._breaker.force_open(row["site_url"])
+
+        self._crash_loop: Optional[CrashLoopDetector] = None
+        if manager_params.crash_loop_threshold:
+            self._crash_loop = CrashLoopDetector(
+                manager_params.crash_loop_threshold,
+                window_seconds=manager_params.crash_loop_window_seconds,
+                cooldown_seconds=manager_params.crash_loop_cooldown_seconds)
+
+    def _build_fault_plan(self) -> Optional[FaultPlan]:
+        plan = self.manager_params.fault_plan
+        probability = self.manager_params.crash_probability
+        if probability > 0:
+            if plan is None:
+                plan = FaultPlan(seed=self.manager_params.seed)
+            # The legacy Bernoulli, drawing from the manager RNG at the
+            # exact position the old inline check drew — bit-identical.
+            plan.add_rule(FaultRule(fault="crash", point="visit.start",
+                                    probability=probability),
+                          rng=self._rng)
+        return plan
 
     # ------------------------------------------------------------------
     def _launch_browser(self, params: BrowserParams) -> ManagedBrowser:
@@ -100,13 +192,107 @@ class TaskManager:
 
         ``site_url`` is the URL being visited when the browser died, so
         the restart row in ``crash_history`` names the responsible site.
+        A slot caught crash-looping cools down (virtual time) before
+        the relaunch instead of hot-looping replacements.
         """
         self.storage.record_crash(slot.browser_id, site_url, "restart")
         self.telemetry.metrics.counter("browser_restarts").inc()
+        if self._crash_loop is not None:
+            cooldown = self._crash_loop.on_restart(
+                slot.browser_id, self.telemetry.clock.peek())
+            if cooldown > 0:
+                self.telemetry.metrics.counter("browser_cooldowns").inc()
+                self.telemetry.clock.advance(cooldown)
         replacement = self._launch_browser(slot.params)
         slot.browser = replacement.browser
         slot.extension = replacement.extension
         slot.crash_count += 1
+        self.telemetry.metrics.gauge(
+            "browser_crash_count",
+            browser=str(slot.browser_id)).set(slot.crash_count)
+
+    # ------------------------------------------------------------------
+    # Fault-injection / supervision plumbing
+    # ------------------------------------------------------------------
+    def _inject(self, point: str, url: str) -> None:
+        """Consult the fault plan at a visit choke point."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        rule = plan.check(point, url=url)
+        if rule is None:
+            return
+        if rule.fault == "crash":
+            raise BrowserCrashed(url)
+        if rule.fault == "hang":
+            # The visit stalls: virtual time burns and only a watchdog
+            # deadline can rescue the slot.
+            plan.burn(rule.seconds or DEFAULT_HANG_SECONDS)
+
+    def is_quarantined(self, url: str) -> bool:
+        return self._breaker is not None and self._breaker.is_open(url)
+
+    def _trip_breaker(self, slot: ManagedBrowser, url: str,
+                      visit_span: Any, why: str) -> bool:
+        """Count one site failure; True when the site just got
+        quarantined (the visit ends here with no further retries)."""
+        if self._breaker is None:
+            return False
+        if not self._breaker.record_failure(url):
+            return False
+        self.storage.record_quarantine(
+            url, self._breaker.failures(url), why,
+            self.telemetry.clock.peek())
+        tm = self.telemetry
+        tm.metrics.counter("sites_quarantined").inc()
+        tm.metrics.counter("visits_quarantined").inc()
+        # The quarantine row is now the site's single ledger entry:
+        # retract any failed_visits row written earlier (e.g. a
+        # lease-expiry reclaim that went terminal while this worker
+        # was still hung on the site).
+        self._retract_failed_rows(url)
+        visit_span.set_attribute("outcome", "quarantined")
+        visit_span.set_status("error:quarantined")
+        return True
+
+    def _retract_failed_rows(self, url: str) -> int:
+        """Void a site's failed_visits entries (superseded verdict)."""
+        retracted = self.storage.retract_failed_visits(url)
+        if retracted:
+            self.telemetry.metrics.counter(
+                "visits_given_up_retracted").inc(retracted)
+            with self._failed_sites_lock:
+                self.failed_sites = [site for site in self.failed_sites
+                                     if site != url]
+        return retracted
+
+    def _retract_stale_quarantine(self, url: str) -> None:
+        """Void a quarantine tripped by an already-voided attempt after
+        the site was (or is being) completed by a live worker: close
+        the breaker and drop the row so the ledger matches the queue's
+        verdict that the site succeeded."""
+        retracted = self.storage.retract_quarantine(url)
+        if retracted:
+            self.telemetry.metrics.counter(
+                "sites_quarantined_retracted").inc(retracted)
+        if self._breaker is not None:
+            self._breaker.reset(url)
+
+    def _record_given_up(self, browser_id: int, url: str,
+                         attempts: int, reason: str) -> None:
+        """The crawl-loss ledger entry for a site given up on."""
+        self.storage.record_failed_visit(browser_id, url, attempts,
+                                         reason)
+        self.telemetry.metrics.counter("visits_given_up").inc()
+        with self._failed_sites_lock:
+            self.failed_sites.append(url)
+
+    def _count_discarded(self, discarded: Dict[str, int]) -> None:
+        for table, count in discarded.items():
+            instrument = _DISCARD_INSTRUMENTS.get(table)
+            if instrument is not None and count > 0:
+                self.telemetry.metrics.counter(
+                    "records_discarded", instrument=instrument).inc(count)
 
     # ------------------------------------------------------------------
     def get(self, url: str,
@@ -117,41 +303,83 @@ class TaskManager:
             url=url, callbacks=callbacks or [], dwell_time=dwell_time))
 
     def execute_command_sequence(self, sequence: CommandSequence,
-                                 slot: Optional[ManagedBrowser] = None
+                                 slot: Optional[ManagedBrowser] = None,
+                                 propagate_hangs: bool = False
                                  ) -> Optional[VisitResult]:
+        """Run one command sequence with retry, supervision, accounting.
+
+        Every call ends in exactly one outcome: a completed visit, a
+        ``failed_visits`` row (retries exhausted), a quarantine (the
+        circuit breaker opened for — or was already open on — the
+        site), or a re-raised exception (an unexpected callback fault,
+        or a watchdog abort with ``propagate_hangs=True`` — the
+        scheduled path, where the queue owns the retry).
+        """
         if slot is None:
             slot = self.browsers[self._next_slot]
             self._next_slot = (self._next_slot + 1) % len(self.browsers)
 
+        slot.last_visit_id = None
+        slot.last_given_up_site = None
         tm = self.telemetry
         tm.metrics.counter("visits_attempted").inc()
+        if self.is_quarantined(sequence.url):
+            tm.metrics.counter("visits_quarantined").inc()
+            return None
+        watch = self._watchdog
         with tm.tracer.span("visit", url=sequence.url,
                             browser_id=slot.browser_id) as visit_span:
             attempts = 0
+            give_up_reason = "failure_limit"
             while attempts < self.manager_params.failure_limit:
                 attempts += 1
                 if attempts > 1:
                     tm.metrics.counter("visits_retried").inc()
                 tm.metrics.counter("visit_attempts_total").inc()
-                self.storage.begin_visit(slot.browser_id, sequence.url)
                 try:
-                    if self.manager_params.crash_probability > 0 and \
-                            self._rng.random() < \
-                            self.manager_params.crash_probability:
-                        raise BrowserCrashed(sequence.url)
+                    context = self.storage.begin_visit(slot.browser_id,
+                                                       sequence.url)
+                except sqlite3.OperationalError:
+                    # Transient busy/locked before any side effect:
+                    # nothing to clean up, just retry the attempt.
+                    tm.metrics.counter("visits_storage_faults").inc()
+                    give_up_reason = "storage_fault"
+                    continue
+                try:
+                    started = watch.start() if watch else 0.0
+                    self._inject("visit.start", sequence.url)
                     dwell = sequence.dwell_time \
                         if sequence.dwell_time is not None \
                         else slot.params.dwell_time
+                    self._inject("visit.page_load", sequence.url)
                     with tm.stage("page_load"):
                         result = slot.browser.visit(sequence.url,
                                                     wait=dwell)
+                    if watch:
+                        watch.check("page_load", started, sequence.url)
+                        started = watch.start()
+                    self._inject("visit.interaction", sequence.url)
                     with tm.stage("interaction"):
                         self._interact(slot, result)
+                    if watch:
+                        watch.check("interaction", started, sequence.url)
+                        started = watch.start()
+                    self._inject("visit.callbacks", sequence.url)
                     with tm.stage("callbacks"):
                         for callback in sequence.callbacks:
                             callback(slot.browser, result)
+                    if watch:
+                        watch.check("callbacks", started, sequence.url)
+                        started = watch.start()
+                    self._inject("visit.storage_commit", sequence.url)
+                    if watch:
+                        # Checked before the commit: a visit that hung
+                        # here must be aborted, not persisted.
+                        watch.check("storage_commit", started,
+                                    sequence.url)
                     with tm.stage("storage_commit"):
                         self.storage.end_visit(slot.browser_id)
+                    slot.last_visit_id = context.visit_id
                     tm.metrics.counter("visits_completed").inc()
                     visit_span.set_attribute("outcome", "completed")
                     visit_span.set_attribute("attempts", attempts)
@@ -163,20 +391,61 @@ class TaskManager:
                     self.storage.end_visit(slot.browser_id)
                     with tm.stage("browser_restart"):
                         self._restart_browser(slot, sequence.url)
+                    give_up_reason = "failure_limit"
+                    if self._trip_breaker(slot, sequence.url,
+                                          visit_span, "crash"):
+                        return None
+                except VisitDeadlineExceeded:
+                    # The watchdog's remedy for a hung visit: discard
+                    # its partial rows, restart the slot, retry (or let
+                    # the queue re-run it when the caller propagates).
+                    tm.metrics.counter("visits_hung").inc()
+                    if slot.browser_id in self.storage.active_visits():
+                        tm.metrics.counter("visits_aborted").inc()
+                        self._count_discarded(
+                            self.storage.abort_visit(slot.browser_id))
+                    self.storage.record_crash(slot.browser_id,
+                                              sequence.url,
+                                              "watchdog_abort")
+                    with tm.stage("browser_restart"):
+                        self._restart_browser(slot, sequence.url)
+                    give_up_reason = "deadline"
+                    if self._trip_breaker(slot, sequence.url,
+                                          visit_span, "hang"):
+                        return None
+                    if propagate_hangs:
+                        tm.metrics.counter("visits_abandoned").inc()
+                        visit_span.set_attribute("outcome", "abandoned")
+                        visit_span.set_status("error:deadline")
+                        raise
+                except NetworkFault:
+                    # The fetch died but the browser is fine: close the
+                    # attempt and retry without a restart.
+                    tm.metrics.counter("visits_network_faults").inc()
+                    if slot.browser_id in self.storage.active_visits():
+                        self.storage.end_visit(slot.browser_id)
+                    give_up_reason = "network_fault"
                 except Exception:
                     # Unexpected fault: close the visit so the browser
                     # slot stays usable, then let queue-level retry
                     # (or the caller) deal with the site.
+                    tm.metrics.counter("visits_errored").inc()
                     if slot.browser_id in self.storage.active_visits():
                         self.storage.end_visit(slot.browser_id)
                     raise
             tm.metrics.counter("visits_failed_exhausted").inc()
             visit_span.set_attribute("outcome", "failed_exhausted")
             visit_span.set_attribute("attempts", attempts)
-            visit_span.set_status("error:failure_limit")
-            self.storage.record_failed_visit(
-                slot.browser_id, sequence.url, attempts, "failure_limit")
-            self.failed_sites.append(sequence.url)
+            visit_span.set_status(f"error:{give_up_reason}")
+            self._record_given_up(slot.browser_id, sequence.url,
+                                  attempts, give_up_reason)
+            if self.is_quarantined(sequence.url):
+                # A concurrent trip (scheduled path) quarantined the
+                # site while this attempt was retrying: that row is
+                # the ledger entry, the exhaustion one would double up.
+                self._retract_failed_rows(sequence.url)
+            else:
+                slot.last_given_up_site = sequence.url
             return None
 
     def _interact(self, slot: ManagedBrowser, result) -> None:
@@ -203,10 +472,27 @@ class TaskManager:
     def crawl(self, urls: List[str],
               callbacks: Optional[List[Callable]] = None
               ) -> List[Optional[VisitResult]]:
-        """Visit every URL, distributing across browser slots."""
-        return [self.execute_command_sequence(
-            CommandSequence(url=url, callbacks=list(callbacks or [])))
-            for url in urls]
+        """Visit every URL, distributing across browser slots.
+
+        A site whose visit raises an unexpected exception (a broken
+        callback, an abandoned hang) no longer aborts the whole crawl:
+        the loss lands in ``failed_visits`` and the crawl moves on —
+        the same graceful degradation the scheduled path has.
+        """
+        results: List[Optional[VisitResult]] = []
+        for url in urls:
+            slot = self.browsers[self._next_slot]
+            self._next_slot = (self._next_slot + 1) % len(self.browsers)
+            try:
+                results.append(self.execute_command_sequence(
+                    CommandSequence(url=url,
+                                    callbacks=list(callbacks or [])),
+                    slot=slot))
+            except Exception as exc:
+                self._record_given_up(slot.browser_id, url, 1,
+                                      repr(exc))
+                results.append(None)
+        return results
 
     def crawl_scheduled(self, urls: List[str],
                         workers: Optional[int] = None,
@@ -224,10 +510,12 @@ class TaskManager:
         authoritative for in-visit crashes; a site that exhausts it is
         reported to the queue as terminally failed and never re-queued.
         Queue-level backoff handles worker-level faults (unexpected
-        exceptions, expired leases): ``claim`` consumes one attempt, so
-        ``max_attempts=2`` gives such sites exactly one backed-off
-        re-run. Sites that still fail terminally at the queue level get
-        a ``failed_visits`` row, keeping the crawl-loss ledger complete.
+        exceptions, watchdog-aborted hangs, expired leases): ``claim``
+        consumes one attempt, so ``max_attempts=2`` gives such sites
+        exactly one backed-off re-run. Sites that still fail terminally
+        at the queue level get a ``failed_visits`` row — and sites the
+        circuit breaker quarantined a ``quarantined_sites`` row — so
+        the crawl-loss ledger stays complete.
 
         With ``resume=True`` (requires a file-backed ``queue_path``)
         completed sites are skipped and only the remainder is visited.
@@ -252,26 +540,70 @@ class TaskManager:
             result = self.execute_command_sequence(
                 CommandSequence(url=job.site_url,
                                 callbacks=list(callbacks or [])),
-                slot=slot)
+                slot=slot, propagate_hangs=True)
             if result is None:
+                if self.is_quarantined(job.site_url):
+                    # The quarantined_sites row is the ledger entry.
+                    raise JobFailed("quarantined", retry=False)
                 # failure_limit already exhausted and the failed_visits
                 # row written — do not burn queue retries on it too.
                 raise JobFailed("failure_limit", retry=False)
 
         def record_terminal_failure(job: Any, error: str,
                                     worker_index: int) -> None:
-            if error == "failure_limit":
-                return  # execute_command_sequence already wrote the row
+            if error in ("failure_limit", "quarantined") \
+                    or self.is_quarantined(job.site_url):
+                # execute_command_sequence already kept the ledger (a
+                # failed_visits or quarantined_sites row exists) — a
+                # second entry would double-count the site.
+                return
             slot = self.browsers[worker_index]
-            self.storage.record_failed_visit(
-                slot.browser_id, job.site_url, job.attempts, error)
-            self.failed_sites.append(job.site_url)
+            self._record_given_up(slot.browser_id, job.site_url,
+                                  job.attempts, error)
+            if self.is_quarantined(job.site_url):
+                # The breaker tripped between the check above and the
+                # write: the quarantine row supersedes this one.
+                self._retract_failed_rows(job.site_url)
+
+        def discard_result(job: Any, worker_index: int) -> None:
+            # This attempt's verdict was voided by a lost lease and the
+            # site will be re-run: take back whatever it recorded so
+            # the site isn't double-counted. Either the visit committed
+            # (delete the duplicate-to-be copy) or retry exhaustion
+            # wrote a failed_visits row (retract it — the re-run may
+            # complete or quarantine the site instead).
+            slot = self.browsers[worker_index]
+            if slot.last_visit_id is not None:
+                self._count_discarded(
+                    self.storage.delete_visit(slot.last_visit_id))
+                slot.last_visit_id = None
+                self.telemetry.metrics.counter("visits_discarded").inc()
+            if slot.last_given_up_site == job.site_url:
+                slot.last_given_up_site = None
+                self._retract_failed_rows(job.site_url)
+            if self.is_quarantined(job.site_url) \
+                    and scheduler.queue.job_status(job.job_id) \
+                    == "completed":
+                # The breaker tripped on this voided attempt after a
+                # live worker had already completed the site: the
+                # quarantine verdict is stale, take it back.
+                self._retract_stale_quarantine(job.site_url)
+
+        def record_completion(job: Any, worker_index: int) -> None:
+            if self.is_quarantined(job.site_url):
+                # A hung sibling attempt tripped the breaker while this
+                # visit was in flight — the queue just accepted the
+                # completion, so the quarantine is stale.
+                self._retract_stale_quarantine(job.site_url)
 
         try:
             return scheduler.run(
                 handler, workers=workers,
                 stop_after_jobs=stop_after_jobs,
-                on_terminal_failure=record_terminal_failure)
+                on_terminal_failure=record_terminal_failure,
+                on_completed=record_completion,
+                on_discard_result=discard_result,
+                fault_plan=self.fault_plan)
         finally:
             scheduler.close()
 

@@ -17,9 +17,12 @@ from repro.sched.jobs import (
     Job,
     JobQueue,
     LeaseError,
+    ReclaimResult,
     jitter_fraction,
 )
 from repro.sched.pool import (
+    CompletionHook,
+    DiscardResultHook,
     JobFailed,
     PoolReport,
     TerminalFailureHook,
@@ -35,7 +38,10 @@ __all__ = [
     "Job",
     "JobQueue",
     "LeaseError",
+    "ReclaimResult",
     "jitter_fraction",
+    "CompletionHook",
+    "DiscardResultHook",
     "JobFailed",
     "PoolReport",
     "TerminalFailureHook",

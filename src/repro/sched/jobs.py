@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import sqlite3
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.obs.clock import VirtualClock
@@ -72,6 +72,26 @@ class Job:
     enqueued_at: float
     claimed_at: float
     lease_owner: str
+
+
+@dataclass
+class ReclaimResult:
+    """What one :meth:`JobQueue.reclaim_expired` sweep did.
+
+    ``requeued`` leases went back to ``pending``; ``failed_jobs`` had
+    no attempts left and went terminal — the pool reports those and
+    runs its terminal-failure hook so the loss ledger stays complete.
+    """
+
+    requeued: int = 0
+    failed_jobs: List[Job] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.requeued + len(self.failed_jobs)
+
+    def __bool__(self) -> bool:
+        return self.total > 0
 
 
 def jitter_fraction(seed: int, site_url: str, attempt: int) -> float:
@@ -163,6 +183,14 @@ class JobQueue:
                        attempts=attempts, enqueued_at=row["enqueued_at"],
                        claimed_at=now, lease_owner=owner)
 
+    def job_status(self, job_id: int) -> Optional[str]:
+        """The job's current queue state (None if unknown)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT status FROM jobs WHERE job_id = ?",
+                (job_id,)).fetchone()
+            return row["status"] if row is not None else None
+
     def _checked_lease(self, job_id: int, owner: str) -> sqlite3.Row:
         row = self._conn.execute(
             "SELECT * FROM jobs WHERE job_id = ?", (job_id,)).fetchone()
@@ -171,12 +199,52 @@ class JobQueue:
             raise LeaseError(
                 f"job {job_id} is not leased to {owner!r} "
                 f"(status={row['status'] if row else 'missing'!r})")
+        if row["lease_expires_at"] is not None \
+                and row["lease_expires_at"] < self.clock.peek():
+            # An expired lease is a lost lease even before anyone
+            # reclaims it: a worker that hung past its deadline must
+            # not fail/retry a job another worker may re-run. (complete
+            # is deliberately laxer — see its docstring.)
+            raise LeaseError(
+                f"job {job_id} lease held by {owner!r} expired at "
+                f"{row['lease_expires_at']:.3f} "
+                f"(now {self.clock.peek():.3f}); the job is eligible "
+                f"for reclaim")
         return row
 
     def complete(self, job_id: int, owner: str) -> None:
-        """Mark a leased job done. Raises :class:`LeaseError` if lost."""
+        """Mark a leased job done. Raises :class:`LeaseError` if lost.
+
+        Unlike :meth:`fail`, a *late* completion is accepted even after
+        the lease expired, as long as nobody else has taken the job: a
+        worker calling ``complete`` is demonstrably alive and its visit
+        data is already committed, so voiding the result would only
+        force a duplicate re-run of work that succeeded. (Expiry here
+        is usually collateral — on the shared virtual clock another
+        worker's hang can burn this worker's lease away mid-visit.)
+        Two states qualify:
+
+        * still ``leased`` to *owner* (no reclaim happened yet), or
+        * requeued as ``pending`` by :meth:`reclaim_expired` but not
+          yet re-claimed by anyone.
+
+        Only when another worker holds — or already finished — the job
+        does the late completion lose: :class:`LeaseError` is raised
+        and the caller must discard its committed visit data.
+        """
         with self._lock:
-            self._checked_lease(job_id, owner)
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)).fetchone()
+            still_mine = (row is not None and row["status"] == LEASED
+                          and row["lease_owner"] == owner)
+            requeued_unclaimed = (row is not None
+                                  and row["status"] == PENDING
+                                  and row["last_error"] == "lease_expired")
+            if not (still_mine or requeued_unclaimed):
+                raise LeaseError(
+                    f"job {job_id} completion by {owner!r} lost the race "
+                    f"(status={row['status'] if row else 'missing'!r}, "
+                    f"owner={row['lease_owner'] if row else None!r})")
             self._conn.execute(
                 "UPDATE jobs SET status = ?, finished_at = ?, "
                 "lease_owner = NULL, lease_expires_at = NULL "
@@ -212,14 +280,21 @@ class JobQueue:
     # ------------------------------------------------------------------
     # Crash safety
     # ------------------------------------------------------------------
-    def reclaim_expired(self) -> int:
-        """Return timed-out leases to the queue (worker died mid-job)."""
+    def reclaim_expired(self) -> ReclaimResult:
+        """Return timed-out leases to the queue (worker died mid-job).
+
+        Jobs with attempts left go back to ``pending`` (with backoff);
+        exhausted jobs go terminally ``failed`` and are returned in
+        ``failed_jobs`` so the caller can record the loss.
+        """
         with self._lock:
             now = self.clock.peek()
             rows = self._conn.execute(
-                "SELECT job_id, site_url, attempts, max_attempts "
+                "SELECT job_id, site_url, attempts, max_attempts, "
+                "enqueued_at, claimed_at, lease_owner "
                 "FROM jobs WHERE status = ? AND lease_expires_at < ?",
                 (LEASED, now)).fetchall()
+            result = ReclaimResult()
             for row in rows:
                 if row["attempts"] < row["max_attempts"]:
                     delay = self.retry_delay(row["site_url"],
@@ -229,15 +304,22 @@ class JobQueue:
                         "lease_owner = NULL, lease_expires_at = NULL, "
                         "last_error = 'lease_expired' WHERE job_id = ?",
                         (PENDING, now + delay, row["job_id"]))
+                    result.requeued += 1
                 else:
                     self._conn.execute(
                         "UPDATE jobs SET status = ?, finished_at = ?, "
                         "lease_owner = NULL, lease_expires_at = NULL, "
                         "last_error = 'lease_expired' WHERE job_id = ?",
                         (FAILED, now, row["job_id"]))
+                    result.failed_jobs.append(Job(
+                        job_id=row["job_id"], site_url=row["site_url"],
+                        attempts=row["attempts"],
+                        enqueued_at=row["enqueued_at"],
+                        claimed_at=row["claimed_at"] or 0.0,
+                        lease_owner=row["lease_owner"] or ""))
             if rows:
                 self._conn.commit()
-            return len(rows)
+            return result
 
     def release_leases(self) -> int:
         """Release *every* lease (start-of-resume crash recovery).

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.telemetry import Telemetry, coalesce
-from repro.sched.jobs import Job, JobQueue
+from repro.sched.jobs import Job, JobQueue, LeaseError
 
 #: handler(job, worker_index) -> result. Raise to fail the job:
 #: :class:`JobFailed` controls retry explicitly; any other exception is
@@ -44,6 +44,20 @@ JobHandler = Callable[[Job, int], Any]
 #: its own loss ledger (e.g. a ``failed_visits`` row) in sync with the
 #: queue.
 TerminalFailureHook = Callable[[Job, str, int], None]
+
+#: on_completed(job, worker_index) — invoked after the queue ACCEPTED
+#: this worker's completion (a voided completion fires
+#: on_discard_result instead). The application can reconcile verdicts
+#: that arrived while the visit was in flight — e.g. retract a
+#: quarantine a hung sibling attempt tripped on the now-completed site.
+CompletionHook = Callable[[Job, int], None]
+
+#: on_discard_result(job, worker_index) — invoked when this worker's
+#: verdict on a job (completion *or* terminal failure) was voided by a
+#: lost lease: the job will be re-run by a live worker, so whatever
+#: this attempt recorded (committed visit rows, a failed_visits ledger
+#: entry) must be discarded to avoid double-counting the site.
+DiscardResultHook = Callable[[Job, int], None]
 
 
 class JobFailed(RuntimeError):
@@ -70,6 +84,11 @@ class PoolReport:
     failed: int = 0
     retried: int = 0
     reclaimed: int = 0
+    #: Injected ``worker_death`` faults: claims abandoned mid-lease.
+    worker_deaths: int = 0
+    #: complete/fail calls rejected because the lease had expired (the
+    #: job was — or will be — re-run by another worker).
+    lease_lost: int = 0
     interrupted: bool = False
     errors: List[str] = field(default_factory=list)
 
@@ -82,7 +101,10 @@ class WorkerPool:
                  telemetry: Optional[Telemetry] = None,
                  poll_seconds: float = 0.005,
                  name: str = "worker",
-                 on_terminal_failure: Optional[TerminalFailureHook] = None
+                 on_terminal_failure: Optional[TerminalFailureHook] = None,
+                 on_completed: Optional[CompletionHook] = None,
+                 on_discard_result: Optional[DiscardResultHook] = None,
+                 fault_plan: Optional[Any] = None
                  ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -93,6 +115,11 @@ class WorkerPool:
         self.poll_seconds = poll_seconds
         self.name = name
         self.on_terminal_failure = on_terminal_failure
+        self.on_completed = on_completed
+        self.on_discard_result = on_discard_result
+        self.fault_plan = fault_plan
+        if fault_plan is not None and fault_plan.clock is None:
+            fault_plan.bind_clock(queue.clock)
         self._stop = threading.Event()
         self._state_lock = threading.Lock()
         self._report = PoolReport(workers=workers)
@@ -148,16 +175,42 @@ class WorkerPool:
         queue_wait = metrics.histogram("queue_wait_seconds")
         lease_duration = metrics.histogram("lease_duration_seconds")
         while not self._stop.is_set():
-            reclaimed = self.queue.reclaim_expired()
-            if reclaimed:
-                metrics.counter("sched_lease_reclaims").inc(reclaimed)
+            reclaim = self.queue.reclaim_expired()
+            if reclaim:
+                metrics.counter("sched_lease_reclaims").inc(
+                    reclaim.total)
                 with self._state_lock:
-                    self._report.reclaimed += reclaimed
+                    self._report.reclaimed += reclaim.total
+                # A reclaimed job with no attempts left went terminal
+                # without ever reaching a worker's fail() — count it
+                # and run the loss-ledger hook here, or the site would
+                # vanish from the books.
+                for dead_job in reclaim.failed_jobs:
+                    self._count_failure(dead_job, index, "failed",
+                                        "lease_expired")
+                self._publish_depth()
+                self._check_stop_after()
+                if self._stop.is_set():
+                    return
             job = self.queue.claim(owner)
             if job is None:
                 if not self._idle_wait():
                     return
                 continue
+            if self.fault_plan is not None:
+                rule = self.fault_plan.check("pool.lease",
+                                             url=job.site_url)
+                if rule is not None and rule.fault == "worker_death":
+                    # The worker "dies" right after claiming: nothing
+                    # is recorded, the lease is left to expire (burning
+                    # past it so a live worker can reclaim), and this
+                    # thread plays its own replacement.
+                    metrics.counter("sched_worker_deaths").inc()
+                    with self._state_lock:
+                        self._report.worker_deaths += 1
+                    self.fault_plan.burn(
+                        rule.seconds or self.queue.lease_seconds + 1.0)
+                    continue
             metrics.counter("sched_jobs_claimed").inc()
             queue_wait.observe(job.claimed_at - job.enqueued_at)
             busy.inc()
@@ -168,31 +221,64 @@ class WorkerPool:
                 try:
                     self.handler(job, index)
                 except JobFailed as failure:
-                    state = self.queue.fail(job.job_id, owner,
-                                            failure.reason,
-                                            retry=failure.retry)
-                    terminal = self._count_failure(job, index, state,
-                                                   failure.reason)
+                    terminal = self._fail_job(job, index,
+                                              failure.reason,
+                                              retry=failure.retry)
                 except Exception as exc:  # transient worker fault
-                    state = self.queue.fail(job.job_id, owner, repr(exc),
-                                            retry=True)
-                    terminal = self._count_failure(job, index, state,
-                                                   repr(exc))
+                    terminal = self._fail_job(job, index, repr(exc),
+                                              retry=True)
                 else:
-                    self.queue.complete(job.job_id, owner)
-                    metrics.counter("sched_jobs_completed").inc()
-                    with self._state_lock:
-                        self._report.completed += 1
+                    try:
+                        self.queue.complete(job.job_id, owner)
+                    except LeaseError:
+                        # Another worker re-leased the job: it will
+                        # produce this site's data again, so the copy
+                        # the handler just committed must go.
+                        if self.on_discard_result is not None:
+                            self.on_discard_result(job, index)
+                        terminal = self._lease_lost(job)
+                    else:
+                        metrics.counter("sched_jobs_completed").inc()
+                        with self._state_lock:
+                            self._report.completed += 1
+                        if self.on_completed is not None:
+                            self.on_completed(job, index)
             finally:
                 busy.dec()
                 lease_duration.observe(
                     self.queue.clock.peek() - job.claimed_at)
                 self._publish_depth()
-            if terminal and self._stop_after is not None:
-                with self._state_lock:
-                    done = self._report.completed + self._report.failed
-                if done >= self._stop_after:
-                    self._stop.set()
+            if terminal:
+                self._check_stop_after()
+
+    def _fail_job(self, job: Job, index: int, error: str,
+                  retry: bool) -> bool:
+        try:
+            state = self.queue.fail(job.job_id, job.lease_owner, error,
+                                    retry=retry)
+        except LeaseError:
+            # The re-run owns the site's fate now: retract anything
+            # this attempt already wrote to the loss ledger.
+            if self.on_discard_result is not None:
+                self.on_discard_result(job, index)
+            return self._lease_lost(job)
+        return self._count_failure(job, index, state, error)
+
+    def _lease_lost(self, job: Job) -> bool:
+        """This worker held the job past its lease: its outcome is
+        void (the job was, or will be, re-run by a live worker)."""
+        self.telemetry.metrics.counter("sched_leases_lost").inc()
+        with self._state_lock:
+            self._report.lease_lost += 1
+        return False
+
+    def _check_stop_after(self) -> None:
+        if self._stop_after is None:
+            return
+        with self._state_lock:
+            done = self._report.completed + self._report.failed
+        if done >= self._stop_after:
+            self._stop.set()
 
     def _count_failure(self, job: Job, index: int, state: str,
                        error: str) -> bool:

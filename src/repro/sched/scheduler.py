@@ -22,6 +22,8 @@ from typing import Dict, Iterable, List, Optional
 from repro.obs.telemetry import Telemetry, coalesce
 from repro.sched.jobs import JobQueue
 from repro.sched.pool import (
+    CompletionHook,
+    DiscardResultHook,
     JobHandler,
     PoolReport,
     TerminalFailureHook,
@@ -41,6 +43,8 @@ class CrawlReport:
     failed: int = 0
     retried: int = 0
     reclaimed: int = 0
+    worker_deaths: int = 0
+    lease_lost: int = 0
     interrupted: bool = False
     #: Queue state after the run: pending/leased/completed/failed.
     counts: Dict[str, int] = field(default_factory=dict)
@@ -97,13 +101,19 @@ class CrawlScheduler:
     def run(self, handler: JobHandler, workers: int = 1,
             stop_after_jobs: Optional[int] = None,
             poll_seconds: float = 0.005,
-            on_terminal_failure: Optional[TerminalFailureHook] = None
+            on_terminal_failure: Optional[TerminalFailureHook] = None,
+            on_completed: Optional[CompletionHook] = None,
+            on_discard_result: Optional[DiscardResultHook] = None,
+            fault_plan: Optional[object] = None
             ) -> CrawlReport:
         """Drain the queue through *handler* on N workers."""
         self._pool = WorkerPool(self.queue, handler, workers=workers,
                                 telemetry=self.telemetry,
                                 poll_seconds=poll_seconds,
-                                on_terminal_failure=on_terminal_failure)
+                                on_terminal_failure=on_terminal_failure,
+                                on_completed=on_completed,
+                                on_discard_result=on_discard_result,
+                                fault_plan=fault_plan)
         pool_report: PoolReport = self._pool.run(
             stop_after_jobs=stop_after_jobs)
         counts = self.queue.counts()
@@ -116,6 +126,8 @@ class CrawlScheduler:
             failed=pool_report.failed,
             retried=pool_report.retried,
             reclaimed=pool_report.reclaimed,
+            worker_deaths=pool_report.worker_deaths,
+            lease_lost=pool_report.lease_lost,
             interrupted=pool_report.interrupted,
             counts=counts,
             errors=list(pool_report.errors))

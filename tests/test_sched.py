@@ -114,9 +114,11 @@ class TestJobQueue:
         queue = JobQueue(lease_seconds=10.0, max_attempts=3)
         queue.enqueue(SITES[:1])
         queue.claim("dead-worker")
-        assert queue.reclaim_expired() == 0  # lease still fresh
+        assert queue.reclaim_expired().total == 0  # lease still fresh
         queue.clock.advance(11.0)
-        assert queue.reclaim_expired() == 1
+        reclaim = queue.reclaim_expired()
+        assert reclaim.total == 1
+        assert reclaim.requeued == 1 and not reclaim.failed_jobs
         assert queue.counts()[PENDING] == 1
         row = queue.job_rows()[0]
         assert row["last_error"] == "lease_expired"
@@ -126,7 +128,9 @@ class TestJobQueue:
         queue.enqueue(SITES[:1])
         queue.claim("dead-worker")
         queue.clock.advance(11.0)
-        assert queue.reclaim_expired() == 1
+        reclaim = queue.reclaim_expired()
+        assert reclaim.total == 1
+        assert [job.site_url for job in reclaim.failed_jobs] == SITES[:1]
         assert queue.counts()[FAILED] == 1
 
     def test_release_leases_ignores_expiry(self):
