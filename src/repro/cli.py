@@ -61,9 +61,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.core.scan import ScanPipeline
     from repro.web import build_world
 
+    if args.resume and args.queue == ":memory:":
+        print("error: --resume needs a file-backed queue (pass --queue)",
+              file=sys.stderr)
+        return 2
     web = build_world(site_count=args.sites, seed=args.seed)
     pipeline = ScanPipeline(web)
-    dataset = pipeline.run(visit_subpages=not args.front_only)
+    dataset = pipeline.run(visit_subpages=not args.front_only,
+                           workers=args.workers,
+                           queue_path=args.queue, resume=args.resume)
     output = {
         "sites": dataset.visited_sites,
         "table5": dataset.table5(),
@@ -72,6 +78,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         "table7": dataset.table7(10),
         "table12": dataset.table12(),
         "openwpm_probe_sites": dataset.openwpm_probe_site_count(),
+        "corpus": dataset.corpus.stats(),
     }
     print(json.dumps(output, indent=2))
     return 0
@@ -150,12 +157,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         cleanup = result.close
 
     queue = None
+    corpus = None
     try:
         if args.queue is not None:
             from repro.sched import JobQueue
 
             queue = JobQueue(args.queue)
-        report = build_crawl_report(storage, queue=queue)
+        if args.corpus is not None:
+            from repro.corpus import ScriptCorpus
+
+            corpus = ScriptCorpus(args.corpus)
+        report = build_crawl_report(storage, queue=queue, corpus=corpus)
         if args.json:
             print(snapshot_to_json(report))
         elif args.prometheus:
@@ -167,6 +179,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     finally:
         if queue is not None:
             queue.close()
+        if corpus is not None:
+            corpus.close()
         cleanup()
 
 
@@ -287,6 +301,15 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--sites", type=int, default=500)
     scan.add_argument("--seed", type=int, default=7)
     scan.add_argument("--front-only", action="store_true")
+    scan.add_argument("--workers", type=int, default=1,
+                      help="scan worker threads (one browser each)")
+    scan.add_argument("--queue", default=":memory:",
+                      help="queue database path; evidence and the "
+                           "script corpus persist to <queue>.scan / "
+                           "<queue>.corpus sidecars")
+    scan.add_argument("--resume", action="store_true",
+                      help="reopen the queue and scan only the "
+                           "remainder (needs --queue)")
     scan.set_defaults(fn=_cmd_scan)
 
     attack = sub.add_parser("attack", help="recording attacks (Sec. 5)")
@@ -326,6 +349,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--queue", default=None,
                        help="scheduler queue database to reconcile "
                             "against the crawl data")
+    stats.add_argument("--corpus", default=None,
+                       help="script-corpus database (<queue>.corpus) "
+                            "to report dedup / cache effectiveness on")
     stats.set_defaults(fn=_cmd_stats)
 
     crawl = sub.add_parser(

@@ -1,6 +1,7 @@
 """The Tranco-scale bot-detector scan (paper Sec. 4)."""
 
 from repro.core.scan.static_analysis import (
+    PATTERN_SET_VERSION,
     PATTERNS,
     PatternHit,
     deobfuscate,
@@ -11,6 +12,7 @@ from repro.core.scan.classify import SiteClassification, classify_site
 from repro.core.scan.pipeline import ScanDataset, ScanPipeline
 
 __all__ = [
+    "PATTERN_SET_VERSION",
     "PATTERNS",
     "PatternHit",
     "deobfuscate",

@@ -54,10 +54,17 @@ def identify_first_party_vendor(script_url: str) -> Optional[str]:
 
 @dataclass
 class VisitEvidence:
-    """What one page visit produced, as input to classification."""
+    """What one page visit produced, as input to classification.
+
+    ``scripts`` carries ``(script_url, ref)`` pairs. In the pipeline
+    ``ref`` is the script's sha256 content address into the
+    :class:`~repro.corpus.ScriptCorpus` (pass ``corpus=`` to
+    :func:`classify_site` to resolve); without a corpus ``ref`` is the
+    raw source itself (the hand-built-evidence unit-test path).
+    """
 
     page_url: str
-    #: (script_url, source) of every collected script file.
+    #: (script_url, ref) of every collected script file.
     scripts: List[Tuple[str, str]] = field(default_factory=list)
     #: script_url -> accessed navigator.webdriver?
     webdriver_accessors: Set[str] = field(default_factory=set)
@@ -113,23 +120,35 @@ class SiteClassification:
 
 def classify_site(domain: str, visits: List[VisitEvidence],
                   use_honey: bool = True,
-                  preprocess_static: bool = True) -> SiteClassification:
+                  preprocess_static: bool = True,
+                  corpus: Optional[object] = None) -> SiteClassification:
     """Fold all visit evidence for one site into a classification.
 
     ``use_honey=False`` disables the honey-property iterator filter
     (every webdriver access then counts as conclusive);
     ``preprocess_static=False`` disables deobfuscation. Both are
     ablation knobs for the pipeline's design choices.
+
+    With ``corpus`` (a :class:`repro.corpus.ScriptCorpus`), evidence
+    script entries are content hashes resolved — and statically
+    analysed, memoized — through the corpus; a hash the corpus does
+    not hold raises :class:`repro.corpus.MissingScriptError` rather
+    than silently classifying on empty sources. Without a corpus the
+    entries are raw sources scanned directly.
     """
     result = SiteClassification(domain=domain)
     site_registrable = etld_plus_one(domain)
 
     static_hits: Dict[str, PatternHit] = {}
     for visit in visits:
-        for script_url, source in visit.scripts:
+        for script_url, ref in visit.scripts:
             if script_url not in static_hits:
-                static_hits[script_url] = scan_script(
-                    source, script_url, preprocess=preprocess_static)
+                if corpus is not None:
+                    static_hits[script_url] = corpus.scan(
+                        ref, script_url, preprocess=preprocess_static)
+                else:
+                    static_hits[script_url] = scan_script(
+                        ref, script_url, preprocess=preprocess_static)
 
     for script_url, hit in static_hits.items():
         if hit.any_match:

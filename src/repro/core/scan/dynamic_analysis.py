@@ -15,7 +15,7 @@ Extends the OpenWPM extension with the paper's two additions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.browser.extension import ExtensionContext
 from repro.jsobject.descriptors import PropertyDescriptor
@@ -103,6 +103,26 @@ class ScanExtension(OpenWPMExtension):
                                 masquerade_name=name)
         target.properties[name] = PropertyDescriptor.accessor(
             get=get_fn, enumerable=(kind == "honey"))
+
+    # ------------------------------------------------------------------
+    def collected_scripts(self) -> List[Tuple[str, str]]:
+        """(script_url, source) of every saved javascript body."""
+        if self.http_instrument is None:
+            return []
+        return [(script_url, source)
+                for script_url, content_type, source
+                in self.http_instrument.saved_bodies
+                if "javascript" in content_type]
+
+    def script_refs(self, batch: Any) -> List[Tuple[str, str]]:
+        """(script_url, sha256) pairs, bodies staged into *batch*.
+
+        *batch* is a :class:`repro.corpus.SiteBatch`; the returned
+        refs are the content addresses evidence carries instead of
+        raw sources.
+        """
+        return [(script_url, batch.add(script_url, source))
+                for script_url, source in self.collected_scripts()]
 
     # ------------------------------------------------------------------
     def residue_accesses(self) -> List[HoneyAccess]:

@@ -19,6 +19,7 @@ derives the paper's tables and figures:
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -31,7 +32,8 @@ from repro.core.scan.classify import (
     classify_site,
 )
 from repro.core.scan.dynamic_analysis import ScanExtension
-from repro.net.url import URL, same_site
+from repro.corpus import ScriptCorpus, SiteBatch, corpus_path_for
+from repro.net.url import URL, etld_plus_one, same_site
 from repro.obs.telemetry import Telemetry, coalesce
 from repro.web.world import SyntheticWeb
 
@@ -45,12 +47,28 @@ class ScanDataset:
 
     front_only: Dict[str, SiteClassification] = field(default_factory=dict)
     combined: Dict[str, SiteClassification] = field(default_factory=dict)
+    #: Content addresses (sha256) of every distinct script collected;
+    #: resolve bodies through :attr:`corpus` when sources are needed.
     unique_scripts: Set[str] = field(default_factory=set)
     visited_sites: int = 0
     subpage_visits: int = 0
     #: Raw per-site evidence, kept so ablations can re-classify the
     #: same crawl under different pipeline settings without recrawling.
+    #: Script entries are (script_url, sha256) into :attr:`corpus`.
     evidence: Dict[str, List[VisitEvidence]] = field(default_factory=dict)
+    #: The content-addressed store backing :attr:`evidence`.
+    corpus: Optional[ScriptCorpus] = None
+
+    def script_source(self, digest: str) -> str:
+        """Resolve one collected script's body by content address."""
+        if self.corpus is None:
+            raise RuntimeError("dataset has no corpus attached")
+        return self.corpus.source(digest)
+
+    def unique_script_sources(self) -> Dict[str, str]:
+        """hash -> source for every distinct collected script."""
+        return {digest: self.script_source(digest)
+                for digest in sorted(self.unique_scripts)}
 
     def reclassify(self, use_honey: bool = True,
                    preprocess_static: bool = True,
@@ -59,43 +77,43 @@ class ScanDataset:
         """Re-run classification over the stored evidence.
 
         ``max_visits`` truncates each site's visit list (1 = front page
-        only), enabling the subpage-depth ablation.
+        only), enabling the subpage-depth ablation. Static verdicts
+        resolve through the corpus's memoized analysis cache, so
+        ablation sweeps re-scan each unique script at most once per
+        ``preprocess`` setting.
         """
         out: Dict[str, SiteClassification] = {}
         for domain, visits in self.evidence.items():
             subset = visits if max_visits is None else visits[:max_visits]
             out[domain] = classify_site(
                 domain, subset, use_honey=use_honey,
-                preprocess_static=preprocess_static)
+                preprocess_static=preprocess_static,
+                corpus=self.corpus)
         return out
 
     # ------------------------------------------------------------------
     # Table 5
     # ------------------------------------------------------------------
     def table5(self) -> Dict[str, Dict[str, int]]:
-        def counts(classes: Dict[str, SiteClassification]
-                   ) -> Dict[str, int]:
-            return {
-                "static": sum(c.static_identified
-                              for c in classes.values()),
-                "dynamic": sum(c.dynamic_identified
-                               for c in classes.values()),
-                "union": sum(c.identified_union for c in classes.values()),
-                "static_clean": sum(c.static_clean
-                                    for c in classes.values()),
-                "dynamic_clean": sum(c.dynamic_clean
-                                     for c in classes.values()),
-                "union_clean": sum(c.clean_union for c in classes.values()),
-            }
-
+        counts = {
+            "static": 0, "dynamic": 0, "union": 0,
+            "static_clean": 0, "dynamic_clean": 0, "union_clean": 0,
+        }
+        for c in self.combined.values():
+            counts["static"] += c.static_identified
+            counts["dynamic"] += c.dynamic_identified
+            counts["union"] += c.identified_union
+            counts["static_clean"] += c.static_clean
+            counts["dynamic_clean"] += c.dynamic_clean
+            counts["union_clean"] += c.clean_union
         return {"identified": {
-                    "static": counts(self.combined)["static"],
-                    "dynamic": counts(self.combined)["dynamic"],
-                    "union": counts(self.combined)["union"]},
+                    "static": counts["static"],
+                    "dynamic": counts["dynamic"],
+                    "union": counts["union"]},
                 "clean": {
-                    "static": counts(self.combined)["static_clean"],
-                    "dynamic": counts(self.combined)["dynamic_clean"],
-                    "union": counts(self.combined)["union_clean"]}}
+                    "static": counts["static_clean"],
+                    "dynamic": counts["dynamic_clean"],
+                    "union": counts["union_clean"]}}
 
     # ------------------------------------------------------------------
     # Table 6
@@ -107,8 +125,6 @@ class ScanDataset:
             per_site: Dict[str, Set[str]] = {}
             for prop, hosts in classification.openwpm_probes.items():
                 for host in hosts:
-                    from repro.net.url import etld_plus_one
-
                     provider = etld_plus_one(host)
                     per_site.setdefault(provider, set()).add(prop)
             for provider, props in per_site.items():
@@ -230,6 +246,8 @@ class ScanPipeline:
                                extension=self.extension, seed=seed)
         self.dwell = dwell
         self.max_subpages = max_subpages
+        #: The content-addressed script store of the last run().
+        self.corpus: Optional[ScriptCorpus] = None
         #: Serializes dataset mutation across scan workers.
         self._dataset_lock = threading.Lock()
 
@@ -242,12 +260,20 @@ class ScanPipeline:
         over extra browsers through the crawl scheduler. ``queue_path``
         and ``resume`` expose the scheduler's checkpoint/resume.
 
+        Each site is visited with a fresh per-site browser identity
+        (see :meth:`_site_browser`), so the collected script corpus
+        and every derived table are independent of ``workers`` and of
+        scheduling order.
+
         Per-site evidence is persisted to a ``<queue_path>.scan``
-        sidecar as each job completes, and ``resume=True`` reloads it —
-        the returned dataset covers *every* completed site, not just
-        the ones visited by this process. Resuming a queue whose
-        sidecar is missing evidence for a completed site raises rather
-        than silently returning a partial dataset.
+        sidecar as each job completes, script bodies to a
+        ``<queue_path>.corpus`` content-addressed store, and
+        ``resume=True`` reloads both — the returned dataset covers
+        *every* completed site, not just the ones visited by this
+        process. Resuming a queue whose sidecar is missing evidence
+        for a completed site — or whose corpus is missing a referenced
+        script body — raises rather than silently returning a partial
+        (or silently mis-classified) dataset.
         """
         from repro.core.scan.results_store import (
             ScanResultStore,
@@ -255,20 +281,13 @@ class ScanPipeline:
         )
         from repro.sched import CrawlScheduler
 
-        dataset = ScanDataset()
+        corpus = ScriptCorpus(corpus_path_for(queue_path))
+        if not resume:
+            corpus.clear()
+        self.corpus = corpus
+        dataset = ScanDataset(corpus=corpus)
         configs = self.web.configs if site_limit is None \
             else self.web.configs[:site_limit]
-        # Worker 0 reuses the pipeline's own browser; extra workers get
-        # their own browser + extension (their own network client_id).
-        slots = [(self.browser, self.extension)]
-        for index in range(1, workers):
-            extension = ScanExtension()
-            browser = Browser(
-                openwpm_profile("ubuntu", "regular"), self.web.network,
-                client_id=f"{self.client_id}-w{index}",
-                extension=extension, seed=self.seed + 1000 * index)
-            slots.append((browser, extension))
-
         store = ScanResultStore(store_path_for(queue_path))
         if not resume:
             store.clear()
@@ -279,16 +298,49 @@ class ScanPipeline:
         if resume:
             self._restore_completed(scheduler, store, configs, dataset)
 
+        # One attempt token per in-flight (site, worker); corpus rows
+        # stay staged until the queue accepts the completion.
+        tokens: Dict[Tuple[str, int], str] = {}
+
         def handler(job, worker_index):
-            browser, extension = slots[worker_index]
-            self._scan_site(job.site_url, browser, extension, dataset,
-                            visit_subpages)
+            batch = corpus.site_batch(job.site_url)
+            with self._dataset_lock:
+                tokens[(job.site_url, worker_index)] = batch.token
+            try:
+                self._scan_site(job.site_url, dataset, visit_subpages,
+                                batch)
+            except BaseException:
+                corpus.drop_staged(batch.token)
+                with self._dataset_lock:
+                    tokens.pop((job.site_url, worker_index), None)
+                raise
+            batch.commit()
             # Persist before the pool marks the job completed, so
-            # 'completed in queue' always implies 'evidence on disk'.
+            # 'completed in queue' always implies 'evidence on disk'
+            # (bodies are staged into the corpus at the same point).
             store.save(job.site_url, dataset.evidence[job.site_url])
 
+        def pop_token(job, worker_index):
+            with self._dataset_lock:
+                return tokens.pop((job.site_url, worker_index), None)
+
+        def on_completed(job, worker_index):
+            token = pop_token(job, worker_index)
+            if token is not None:
+                corpus.promote(job.site_url, token)
+
+        def on_discard_result(job, worker_index):
+            # This attempt's verdict was voided by a lost lease: the
+            # winning attempt owns the site's record, so retract the
+            # refcounts this one staged.
+            token = pop_token(job, worker_index)
+            if token is not None:
+                corpus.drop_staged(token)
+
         try:
-            scheduler.run(handler, workers=workers)
+            scheduler.run(handler, workers=workers,
+                          on_completed=on_completed,
+                          on_discard_result=on_discard_result)
         finally:
             scheduler.close()
             store.close()
@@ -313,37 +365,77 @@ class ScanPipeline:
                 f"have no persisted evidence in {store.path!r} "
                 f"(e.g. {missing[:3]}); re-run without --resume to "
                 "rebuild the dataset from scratch")
+        corpus = dataset.corpus
         for domain in completed:
             evidences = stored[domain]
+            # A queue crash between completion and corpus promotion
+            # leaves the attempt's rows staged; fold them back in.
+            corpus.recover_site(domain)
+            for visit in evidences:
+                for script_url, digest in visit.scripts:
+                    if not corpus.has(digest):
+                        raise RuntimeError(
+                            f"cannot resume scan: completed site "
+                            f"{domain!r} references script {digest!r} "
+                            f"({script_url}) that is missing from the "
+                            f"corpus {corpus.path!r}; re-run without "
+                            "--resume to rebuild the dataset from "
+                            "scratch")
             with self._dataset_lock:
                 dataset.front_only[domain] = classify_site(
-                    domain, evidences[:1])
-                dataset.combined[domain] = classify_site(domain, evidences)
+                    domain, evidences[:1], corpus=corpus)
+                dataset.combined[domain] = classify_site(
+                    domain, evidences, corpus=corpus)
                 dataset.evidence[domain] = evidences
                 dataset.subpage_visits += max(0, len(evidences) - 1)
                 dataset.visited_sites += 1
                 for visit in evidences:
-                    for _, source in visit.scripts:
-                        dataset.unique_scripts.add(source)
+                    for _, digest in visit.scripts:
+                        dataset.unique_scripts.add(digest)
 
     # ------------------------------------------------------------------
-    def _scan_site(self, domain: str, browser: Browser,
-                   extension: ScanExtension, dataset: ScanDataset,
-                   visit_subpages: bool) -> None:
+    def _site_browser(self, domain: str
+                      ) -> Tuple[Browser, ScanExtension]:
+        """A fresh browser + extension bound to a per-site identity.
+
+        The paper's Tranco scan runs OpenWPM stateless — every site
+        gets a clean profile. Modelled here as a per-site network
+        client and a domain-derived seed, which makes each site's
+        served content a pure function of (world, domain, seed): the
+        collected corpus is byte-identical regardless of worker count
+        or visit order, and cloaking providers cannot leak one site's
+        bot verdict into another site's measurement.
+        """
+        extension = ScanExtension()
+        site_seed = (self.seed * 1_000_003
+                     + zlib.crc32(domain.encode())) & 0x7FFFFFFF
+        browser = Browser(openwpm_profile("ubuntu", "regular"),
+                          self.web.network,
+                          client_id=f"{self.client_id}:{domain}",
+                          extension=extension, seed=site_seed)
+        return browser, extension
+
+    def _scan_site(self, domain: str, dataset: ScanDataset,
+                   visit_subpages: bool, batch: SiteBatch) -> None:
         tm = self.telemetry
+        corpus = dataset.corpus
+        browser, extension = self._site_browser(domain)
         with tm.tracer.span("scan_site", domain=domain) as site_span:
             front_evidence = self._visit(f"https://www.{domain}/",
-                                         browser, extension)
+                                         browser, extension, batch)
             evidences = [front_evidence]
-            front_classification = classify_site(domain, [front_evidence])
+            front_classification = classify_site(domain, [front_evidence],
+                                                 corpus=corpus)
             subpage_count = 0
             if visit_subpages:
                 for link in self._select_subpages(front_evidence, browser):
-                    evidences.append(self._visit(link, browser, extension))
+                    evidences.append(self._visit(link, browser,
+                                                 extension, batch))
                     subpage_count += 1
                     tm.metrics.counter("scan_subpage_visits").inc()
             with tm.stage("classify"):
-                classification = classify_site(domain, evidences)
+                classification = classify_site(domain, evidences,
+                                               corpus=corpus)
             with self._dataset_lock:
                 dataset.front_only[domain] = front_classification
                 dataset.combined[domain] = classification
@@ -351,8 +443,8 @@ class ScanPipeline:
                 dataset.subpage_visits += subpage_count
                 dataset.visited_sites += 1
                 for visit in evidences:
-                    for _, source in visit.scripts:
-                        dataset.unique_scripts.add(source)
+                    for _, digest in visit.scripts:
+                        dataset.unique_scripts.add(digest)
             tm.metrics.counter("scan_sites_visited").inc()
             outcome = "identified" if classification.identified_union \
                 else "negative"
@@ -365,18 +457,21 @@ class ScanPipeline:
 
     # ------------------------------------------------------------------
     def _visit(self, url: str, browser: Optional[Browser] = None,
-               extension: Optional[ScanExtension] = None) -> VisitEvidence:
+               extension: Optional[ScanExtension] = None,
+               batch: Optional[SiteBatch] = None) -> VisitEvidence:
         browser = browser if browser is not None else self.browser
         extension = extension if extension is not None else self.extension
         extension.clear_records()
         with self.telemetry.stage("scan_visit"):
             result = browser.visit(url, wait=self.dwell)
         evidence = VisitEvidence(page_url=url)
-        if extension.http_instrument is not None:
-            evidence.scripts = [
-                (script_url, source) for script_url, content_type, source
-                in extension.http_instrument.saved_bodies
-                if "javascript" in content_type]
+        if batch is not None:
+            # Bodies dedup into the content-addressed corpus; evidence
+            # carries hashes, one batched write per visit.
+            evidence.scripts = extension.script_refs(batch)
+            batch.flush_visit()
+        else:
+            evidence.scripts = extension.collected_scripts()
         if extension.js_instrument is not None:
             for record in extension.js_instrument.records:
                 if record.symbol == "navigator.webdriver" \

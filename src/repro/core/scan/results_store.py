@@ -15,6 +15,12 @@ kept out of both the queue and the crawl database for the same reason
 the queue is kept out of the crawl database: bookkeeping must never
 perturb crawl-data determinism. Sets are serialized as sorted lists so
 the stored JSON is byte-stable under fixed seeds.
+
+Format history: v1 sidecars stored raw script sources inline in the
+evidence JSON; v2 stores sha256 content addresses into the
+``<queue>.corpus`` script store. A v1 sidecar is *refused* on open
+(rather than mis-read as hashes) with instructions to re-run without
+``--resume``.
 """
 
 from __future__ import annotations
@@ -26,12 +32,23 @@ from typing import Dict, List
 
 from repro.core.scan.classify import VisitEvidence
 
+#: Sidecar format: 2 = script entries are corpus content addresses.
+STORE_FORMAT = 2
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS scan_results (
     domain TEXT PRIMARY KEY,
     evidence_json TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS scan_store_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
+
+
+class ScanStoreFormatError(RuntimeError):
+    """The sidecar on disk uses an incompatible (pre-corpus) format."""
 
 
 def evidence_to_dict(evidence: VisitEvidence) -> Dict[str, object]:
@@ -79,8 +96,39 @@ class ScanResultStore:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         with self._lock:
+            self._check_format()
             self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR REPLACE INTO scan_store_meta (key, value) "
+                "VALUES ('format', ?)", (str(STORE_FORMAT),))
             self._conn.commit()
+
+    def _check_format(self) -> None:
+        """Refuse sidecars written before the content-addressed corpus.
+
+        v1 stored raw sources where v2 stores hashes; reading one as
+        the other would silently classify on garbage, so the mismatch
+        is a hard error.
+        """
+        tables = {row["name"] for row in self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'")}
+        if "scan_results" not in tables:
+            return  # fresh file
+        if "scan_store_meta" not in tables:
+            raise ScanStoreFormatError(
+                f"scan sidecar {self.path!r} uses the old raw-source "
+                "format (pre-corpus, no format marker); its evidence "
+                "cannot be resolved against a script corpus — re-run "
+                "the scan without --resume to rebuild it")
+        row = self._conn.execute(
+            "SELECT value FROM scan_store_meta WHERE key = 'format'"
+        ).fetchone()
+        if row is None or int(row["value"]) != STORE_FORMAT:
+            found = "missing" if row is None else row["value"]
+            raise ScanStoreFormatError(
+                f"scan sidecar {self.path!r} has format {found}, "
+                f"expected {STORE_FORMAT}; re-run the scan without "
+                "--resume to rebuild it")
 
     def save(self, domain: str, evidences: List[VisitEvidence]) -> None:
         payload = json.dumps([evidence_to_dict(e) for e in evidences],
@@ -104,6 +152,12 @@ class ScanResultStore:
         with self._lock:
             return [row["domain"] for row in self._conn.execute(
                 "SELECT domain FROM scan_results ORDER BY domain")]
+
+    def delete(self, domain: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM scan_results WHERE domain = ?", (domain,))
+            self._conn.commit()
 
     def clear(self) -> None:
         with self._lock:

@@ -10,6 +10,7 @@ property names.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass
 from typing import Dict, List
@@ -61,6 +62,16 @@ PATTERNS: List[Pattern] = [
 _COMPILED = {pattern.name: re.compile(pattern.regex)
              for pattern in PATTERNS}
 
+_BY_NAME = {pattern.name: pattern for pattern in PATTERNS}
+
+#: Fingerprint of the pattern set (names, regexes, validation flags).
+#: Memoized analysis verdicts are keyed by this, so editing a pattern
+#: invalidates every cached verdict instead of silently serving stale
+#: classifications.
+PATTERN_SET_VERSION = hashlib.sha256("\n".join(
+    f"{p.name}\t{p.regex}\t{int(p.strict)}\t{int(p.openwpm_specific)}"
+    for p in PATTERNS).encode()).hexdigest()[:16]
+
 
 @dataclass
 class PatternHit:
@@ -75,13 +86,12 @@ class PatternHit:
 
     @property
     def strict_match(self) -> bool:
-        by_name = {p.name: p for p in PATTERNS}
-        return any(by_name[name].strict for name in self.matched)
+        return any(_BY_NAME[name].strict for name in self.matched)
 
     @property
     def openwpm_match(self) -> bool:
-        by_name = {p.name: p for p in PATTERNS}
-        return any(by_name[name].openwpm_specific for name in self.matched)
+        return any(_BY_NAME[name].openwpm_specific
+                   for name in self.matched)
 
 
 def scan_script(source: str, script_url: str = "",

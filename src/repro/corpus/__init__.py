@@ -1,0 +1,25 @@
+"""Content-addressed script corpus with memoized static analysis.
+
+At Tranco scale the same third-party detector script is fetched and
+re-analysed thousands of times; the corpus stores each unique script
+body exactly once (sha256 key, zlib-compressed) and memoizes the
+static-analysis verdict per ``(script_hash, pattern_set_version,
+preprocess)`` so repeat classification — and every ``reclassify``
+ablation — resolves through a cache instead of re-scanning sources.
+"""
+
+from repro.corpus.store import (
+    MissingScriptError,
+    ScriptCorpus,
+    SiteBatch,
+    corpus_path_for,
+    script_hash,
+)
+
+__all__ = [
+    "MissingScriptError",
+    "ScriptCorpus",
+    "SiteBatch",
+    "corpus_path_for",
+    "script_hash",
+]

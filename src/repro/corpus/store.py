@@ -1,0 +1,466 @@
+"""SQLite-backed content-addressed script store + analysis memo.
+
+Design (following Web Execution Bundles' content-addressed archival):
+
+* ``scripts`` holds each unique body once, keyed by sha256 of the
+  source, zlib-compressed, with a refcount equal to the number of live
+  occurrence rows referencing it;
+* ``occurrences`` is the per-site / per-visit / per-script-url index —
+  the record of *where* each unique script was seen, and the thing the
+  dedup ratio is measured against;
+* ``analysis_cache`` memoizes the static-analysis verdict per
+  ``(script_hash, pattern_set_version, preprocess)`` so each unique
+  script is deobfuscated and pattern-matched exactly once per
+  pattern-set revision (set ``REPRO_CORPUS_CACHE=off`` to bypass — the
+  golden regression test proves the cache is semantics-free).
+
+Writes follow the scheduler's storage-lease discipline: a worker's
+attempt *stages* its occurrence rows under an attempt token; the rows
+are promoted to live only when the queue accepts the completion, and a
+verdict voided by a lost lease drops its staged rows — retracting the
+refcounts that attempt would have contributed. Script *bodies* are
+written at stage time, unconditionally: a job marked completed must
+always be resolvable to sources on resume, even if the process dies
+between queue completion and promotion. Unreferenced bodies are
+reclaimed by :meth:`ScriptCorpus.vacuum`, never implicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sqlite3
+import threading
+import zlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime; see scan()
+    from repro.core.scan.static_analysis import PatternHit
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS scripts (
+    hash TEXT PRIMARY KEY,
+    body BLOB NOT NULL,
+    raw_bytes INTEGER NOT NULL,
+    stored_bytes INTEGER NOT NULL,
+    refcount INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS occurrences (
+    site TEXT NOT NULL,
+    visit_index INTEGER NOT NULL,
+    script_url TEXT NOT NULL,
+    hash TEXT NOT NULL,
+    PRIMARY KEY (site, visit_index, script_url, hash)
+);
+CREATE INDEX IF NOT EXISTS occurrences_hash ON occurrences(hash);
+CREATE TABLE IF NOT EXISTS staged_occurrences (
+    token TEXT NOT NULL,
+    site TEXT NOT NULL,
+    visit_index INTEGER NOT NULL,
+    script_url TEXT NOT NULL,
+    hash TEXT NOT NULL,
+    PRIMARY KEY (token, visit_index, script_url, hash)
+);
+CREATE TABLE IF NOT EXISTS analysis_cache (
+    hash TEXT NOT NULL,
+    pattern_version TEXT NOT NULL,
+    preprocess INTEGER NOT NULL,
+    matched_json TEXT NOT NULL,
+    PRIMARY KEY (hash, pattern_version, preprocess)
+);
+CREATE TABLE IF NOT EXISTS corpus_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+#: Bump when the on-disk layout changes incompatibly.
+CORPUS_FORMAT = "1"
+
+
+class MissingScriptError(KeyError):
+    """A hash referenced by evidence has no body in the corpus."""
+
+    def __init__(self, digest: str) -> None:
+        super().__init__(digest)
+        self.digest = digest
+
+    def __str__(self) -> str:
+        return (f"script {self.digest!r} is not in the corpus — the "
+                "evidence references a body that was never stored (or "
+                "was vacuumed); re-run the scan without --resume to "
+                "rebuild the corpus")
+
+
+def script_hash(source: str) -> str:
+    """The content address of one script body."""
+    return hashlib.sha256(source.encode("utf-8", "surrogatepass")) \
+        .hexdigest()
+
+
+def corpus_path_for(queue_path: str) -> str:
+    """The corpus sidecar path for a queue file."""
+    if queue_path == ":memory:":
+        return ":memory:"
+    return queue_path + ".corpus"
+
+
+def cache_enabled_from_env() -> bool:
+    return os.environ.get("REPRO_CORPUS_CACHE", "on").lower() != "off"
+
+
+class SiteBatch:
+    """One attempt's staged corpus writes for one site.
+
+    Script additions accumulate in memory and are flushed in a single
+    transaction per visit (:meth:`flush_visit`); :meth:`commit` flushes
+    any remainder. The batch's rows stay *staged* until the corpus
+    promotes them on an accepted queue completion.
+    """
+
+    def __init__(self, corpus: "ScriptCorpus", site: str,
+                 token: str) -> None:
+        self.corpus = corpus
+        self.site = site
+        self.token = token
+        self._visit_index = 0
+        self._pending: List[Tuple[int, str, str, str]] = []
+        self._pending_bodies: Dict[str, str] = {}
+        self._seen: set = set()
+
+    def add(self, script_url: str, source: str) -> str:
+        """Record one collected script for the current visit."""
+        digest = script_hash(source)
+        key = (self._visit_index, script_url, digest)
+        if key not in self._seen:
+            self._seen.add(key)
+            self._pending.append(
+                (self._visit_index, script_url, digest, self.token))
+            if not self.corpus.has(digest):
+                self._pending_bodies.setdefault(digest, source)
+        return digest
+
+    def flush_visit(self) -> None:
+        """Write the current visit's rows and move to the next visit."""
+        self.corpus._stage(self.site, self._pending,
+                           self._pending_bodies)
+        self._pending = []
+        self._pending_bodies = {}
+        self._visit_index += 1
+
+    def commit(self) -> None:
+        """Flush anything still pending (idempotent)."""
+        if self._pending or self._pending_bodies:
+            self.corpus._stage(self.site, self._pending,
+                               self._pending_bodies)
+            self._pending = []
+            self._pending_bodies = {}
+
+
+class ScriptCorpus:
+    """Content-addressed script store + memoized static analysis."""
+
+    def __init__(self, path: str = ":memory:",
+                 cache_enabled: Optional[bool] = None) -> None:
+        self.path = path
+        self.cache_enabled = cache_enabled_from_env() \
+            if cache_enabled is None else cache_enabled
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._memo: Dict[Tuple[str, bool], List[str]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._token_seq = 0
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR REPLACE INTO corpus_meta (key, value) "
+                "VALUES ('format', ?)", (CORPUS_FORMAT,))
+            self._conn.commit()
+
+    # -- bodies --------------------------------------------------------
+    def put(self, source: str) -> str:
+        """Store one body directly (no occurrence; test convenience)."""
+        digest = script_hash(source)
+        with self._lock:
+            self._insert_body(digest, source)
+            self._conn.commit()
+        return digest
+
+    def _insert_body(self, digest: str, source: str) -> None:
+        raw = source.encode("utf-8", "surrogatepass")
+        body = zlib.compress(raw, 6)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO scripts "
+            "(hash, body, raw_bytes, stored_bytes, refcount) "
+            "VALUES (?, ?, ?, ?, 0)",
+            (digest, body, len(raw), len(body)))
+
+    def has(self, digest: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM scripts WHERE hash = ?",
+                (digest,)).fetchone()
+        return row is not None
+
+    def source(self, digest: str) -> str:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT body FROM scripts WHERE hash = ?",
+                (digest,)).fetchone()
+        if row is None:
+            raise MissingScriptError(digest)
+        return zlib.decompress(row["body"]).decode("utf-8",
+                                                   "surrogatepass")
+
+    def sources(self) -> Dict[str, str]:
+        """hash -> source for every stored body (sorted by hash)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT hash, body FROM scripts ORDER BY hash").fetchall()
+        return {row["hash"]: zlib.decompress(row["body"]).decode(
+            "utf-8", "surrogatepass") for row in rows}
+
+    # -- memoized static analysis --------------------------------------
+    def scan(self, digest: str, script_url: str = "",
+             preprocess: bool = True) -> PatternHit:
+        """Static-analyse one stored script, memoized per pattern set.
+
+        Equivalent to ``scan_script(source, script_url, preprocess)``
+        by construction: on a miss the verdict *is* a direct
+        ``scan_script`` call, and only the matched-pattern list is
+        cached. Raises :class:`MissingScriptError` for unknown hashes
+        rather than classifying on an empty source.
+        """
+        # Deferred import: repro.core.scan.pipeline imports this
+        # package, so a module-level import here would be circular
+        # whenever repro.corpus is imported first (e.g. by the CLI's
+        # ``stats --corpus`` path).
+        from repro.core.scan.static_analysis import (
+            PATTERN_SET_VERSION,
+            PatternHit,
+            scan_script,
+        )
+
+        if not self.cache_enabled:
+            return scan_script(self.source(digest), script_url,
+                               preprocess=preprocess)
+        memo_key = (digest, preprocess)
+        with self._lock:
+            matched = self._memo.get(memo_key)
+            if matched is None:
+                row = self._conn.execute(
+                    "SELECT matched_json FROM analysis_cache WHERE "
+                    "hash = ? AND pattern_version = ? AND preprocess = ?",
+                    (digest, PATTERN_SET_VERSION,
+                     int(preprocess))).fetchone()
+                if row is not None:
+                    matched = row["matched_json"].split(",") \
+                        if row["matched_json"] else []
+                    self._memo[memo_key] = matched
+            if matched is not None:
+                self.cache_hits += 1
+                return PatternHit(script_url=script_url,
+                                  matched=list(matched))
+            self.cache_misses += 1
+            hit = scan_script(self.source(digest), script_url,
+                              preprocess=preprocess)
+            self._memo[memo_key] = list(hit.matched)
+            self._conn.execute(
+                "INSERT OR REPLACE INTO analysis_cache "
+                "(hash, pattern_version, preprocess, matched_json) "
+                "VALUES (?, ?, ?, ?)",
+                (digest, PATTERN_SET_VERSION, int(preprocess),
+                 ",".join(hit.matched)))
+            self._conn.commit()
+            return hit
+
+    # -- staged writes (storage-lease discipline) ----------------------
+    def site_batch(self, site: str) -> SiteBatch:
+        with self._lock:
+            self._token_seq += 1
+            token = f"{site}#{self._token_seq}"
+        return SiteBatch(self, site, token)
+
+    def _stage(self, site: str,
+               rows: List[Tuple[int, str, str, str]],
+               bodies: Dict[str, str]) -> None:
+        with self._lock:
+            for digest, source in bodies.items():
+                self._insert_body(digest, source)
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO staged_occurrences "
+                "(token, site, visit_index, script_url, hash) "
+                "VALUES (?, ?, ?, ?, ?)",
+                [(token, site, visit_index, script_url, digest)
+                 for visit_index, script_url, digest, token in rows])
+            self._conn.commit()
+
+    def promote(self, site: str, token: str) -> None:
+        """Make one accepted attempt's staged rows the site's record.
+
+        Replaces any live rows for the site (a re-run after a voided
+        verdict supersedes the old record), keeping refcounts equal to
+        live occurrence-row counts throughout.
+        """
+        with self._lock:
+            self._retract_site_locked(site)
+            staged = self._conn.execute(
+                "SELECT site, visit_index, script_url, hash "
+                "FROM staged_occurrences WHERE token = ?",
+                (token,)).fetchall()
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO occurrences "
+                "(site, visit_index, script_url, hash) "
+                "VALUES (?, ?, ?, ?)",
+                [(row["site"], row["visit_index"], row["script_url"],
+                  row["hash"]) for row in staged])
+            for row in staged:
+                self._conn.execute(
+                    "UPDATE scripts SET refcount = refcount + 1 "
+                    "WHERE hash = ?", (row["hash"],))
+            self._conn.execute(
+                "DELETE FROM staged_occurrences WHERE token = ?",
+                (token,))
+            self._conn.commit()
+
+    def recover_site(self, site: str) -> None:
+        """Repair a completed site after a crash mid-promotion.
+
+        If the site has live occurrence rows, any leftover staged rows
+        for it are stale (a voided sibling attempt) and are dropped;
+        if it has none but staged rows exist, the process died between
+        queue completion and promotion, and the staged rows (deduped
+        across attempts) become the live record.
+        """
+        with self._lock:
+            live = self._conn.execute(
+                "SELECT 1 FROM occurrences WHERE site = ? LIMIT 1",
+                (site,)).fetchone()
+            if live is None:
+                staged = self._conn.execute(
+                    "SELECT DISTINCT site, visit_index, script_url, hash "
+                    "FROM staged_occurrences WHERE site = ?",
+                    (site,)).fetchall()
+                for row in staged:
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO occurrences "
+                        "(site, visit_index, script_url, hash) "
+                        "VALUES (?, ?, ?, ?)",
+                        (row["site"], row["visit_index"],
+                         row["script_url"], row["hash"]))
+                    self._conn.execute(
+                        "UPDATE scripts SET refcount = refcount + 1 "
+                        "WHERE hash = ?", (row["hash"],))
+            self._conn.execute(
+                "DELETE FROM staged_occurrences WHERE site = ?", (site,))
+            self._conn.commit()
+
+    def drop_staged(self, token: str) -> None:
+        """Retract a voided attempt's staged rows (lost lease)."""
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM staged_occurrences WHERE token = ?",
+                (token,))
+            self._conn.commit()
+
+    def retract_site(self, site: str) -> None:
+        """Remove a site's live occurrence rows and their refcounts."""
+        with self._lock:
+            self._retract_site_locked(site)
+            self._conn.commit()
+
+    def _retract_site_locked(self, site: str) -> None:
+        rows = self._conn.execute(
+            "SELECT hash, COUNT(*) AS n FROM occurrences "
+            "WHERE site = ? GROUP BY hash", (site,)).fetchall()
+        for row in rows:
+            self._conn.execute(
+                "UPDATE scripts SET refcount = refcount - ? "
+                "WHERE hash = ?", (row["n"], row["hash"]))
+        self._conn.execute("DELETE FROM occurrences WHERE site = ?",
+                           (site,))
+
+    def vacuum(self) -> int:
+        """Drop bodies referenced by no live or staged occurrence."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM scripts WHERE refcount <= 0 "
+                "AND hash NOT IN (SELECT hash FROM occurrences) "
+                "AND hash NOT IN (SELECT hash FROM staged_occurrences)")
+            self._conn.execute(
+                "DELETE FROM analysis_cache WHERE hash NOT IN "
+                "(SELECT hash FROM scripts)")
+            self._conn.commit()
+            return cursor.rowcount
+
+    # -- bookkeeping ---------------------------------------------------
+    def occurrence_rows(self) -> List[Tuple[str, int, str, str]]:
+        """Sorted live index rows, for equality checks across runs."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT site, visit_index, script_url, hash "
+                "FROM occurrences "
+                "ORDER BY site, visit_index, script_url, hash").fetchall()
+        return [(row["site"], row["visit_index"], row["script_url"],
+                 row["hash"]) for row in rows]
+
+    def hashes(self, live_only: bool = True) -> List[str]:
+        sql = "SELECT hash FROM scripts"
+        if live_only:
+            sql += " WHERE refcount > 0"
+        with self._lock:
+            rows = self._conn.execute(sql + " ORDER BY hash").fetchall()
+        return [row["hash"] for row in rows]
+
+    def stats(self) -> Dict[str, float]:
+        """Dedup / compression / cache effectiveness, one dict."""
+        with self._lock:
+            occurrences = int(self._conn.execute(
+                "SELECT COUNT(*) AS n FROM occurrences").fetchone()["n"])
+            live = self._conn.execute(
+                "SELECT COUNT(*) AS n, "
+                "COALESCE(SUM(raw_bytes), 0) AS raw, "
+                "COALESCE(SUM(stored_bytes), 0) AS stored "
+                "FROM scripts WHERE refcount > 0").fetchone()
+            total_bodies = int(self._conn.execute(
+                "SELECT COUNT(*) AS n FROM scripts").fetchone()["n"])
+            raw_total = int(self._conn.execute(
+                "SELECT COALESCE(SUM(s.raw_bytes), 0) AS n "
+                "FROM occurrences o JOIN scripts s ON s.hash = o.hash"
+            ).fetchone()["n"])
+            cache_entries = int(self._conn.execute(
+                "SELECT COUNT(*) AS n FROM analysis_cache").fetchone()["n"])
+        unique = int(live["n"])
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "unique_scripts": unique,
+            "stored_bodies": total_bodies,
+            "occurrences": occurrences,
+            "dedup_ratio": occurrences / unique if unique else 0.0,
+            "raw_bytes": raw_total,
+            "unique_raw_bytes": int(live["raw"]),
+            "corpus_bytes": int(live["stored"]),
+            "cache_enabled": self.cache_enabled,
+            "cache_entries": cache_entries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hits / lookups if lookups
+            else 0.0,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            for table in ("scripts", "occurrences",
+                          "staged_occurrences", "analysis_cache"):
+                self._conn.execute(f"DELETE FROM {table}")  # noqa: S608
+            self._memo.clear()
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.commit()
+            self._conn.close()

@@ -45,7 +45,8 @@ def _table_count(storage: Any, table: str, where: str = "",
 
 def build_crawl_report(storage: Any,
                        telemetry: Optional[Telemetry] = None,
-                       queue: Any = None) -> Dict[str, Any]:
+                       queue: Any = None,
+                       corpus: Any = None) -> Dict[str, Any]:
     """Assemble the loss-accounting report for one crawl database.
 
     ``telemetry`` overrides the stored snapshot with live metrics (used
@@ -56,6 +57,8 @@ def build_crawl_report(storage: Any,
     drained. Queue totals are compared against the *database*, not the
     telemetry counters — a resumed crawl's persisted snapshot covers
     only the final run, while the queue spans all of them.
+    ``corpus`` (a :class:`repro.corpus.ScriptCorpus`) adds script
+    dedup / compression / analysis-cache effectiveness.
     """
     if telemetry is not None and telemetry.enabled:
         metrics = telemetry.metrics.snapshot()
@@ -308,6 +311,7 @@ def build_crawl_report(storage: Any,
         "browser_crash_counts": browser_crash_counts,
         "scheduler": scheduler,
         "queue": queue_state,
+        "corpus": corpus.stats() if corpus is not None else None,
         "drop_reasons": drop_reasons,
         "stages": stages,
         "span_count": len(spans),
@@ -439,6 +443,25 @@ def render_crawl_report(report: Dict[str, Any]) -> str:
                 push(f"  {label + ' (mean s) ':.<24} "
                      f"{hist['mean_seconds']:.4f}  "
                      f"(n={hist['count']})")
+        push("")
+
+    corpus_stats = report.get("corpus")
+    if corpus_stats is not None:
+        push("Script corpus (content-addressed)")
+        push(f"  unique scripts ......... "
+             f"{int(corpus_stats['unique_scripts'])}"
+             f"  (occurrences: {int(corpus_stats['occurrences'])}, "
+             f"dedup {corpus_stats['dedup_ratio']:.1f}x)")
+        raw = int(corpus_stats['raw_bytes'])
+        stored = int(corpus_stats['corpus_bytes'])
+        saved = (1 - stored / raw) * 100.0 if raw else 0.0
+        push(f"  corpus bytes ........... {stored}"
+             f"  (raw occurrence bytes: {raw}, saved {saved:.1f}%)")
+        push(f"  analysis cache ......... "
+             f"{int(corpus_stats['cache_entries'])} entries, "
+             f"hit rate {corpus_stats['cache_hit_rate'] * 100.0:.1f}%"
+             + ("" if corpus_stats["cache_enabled"]
+                else "  [DISABLED via REPRO_CORPUS_CACHE=off]"))
         push("")
 
     queue_state = report.get("queue")

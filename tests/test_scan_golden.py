@@ -1,0 +1,127 @@
+"""Golden-dataset regression test for the scan pipeline.
+
+Pins every paper artifact (tables 5/6/7/11/12, figs 3/4/5) and the
+reclassification ablations for one seeded SyntheticWeb crawl, serialized
+canonically and compared byte-for-byte against a committed golden file.
+The same payload is asserted identical across three corpus-cache modes:
+
+* cold  — fresh run, empty analysis cache;
+* warm  — ``resume=True`` restore of the same queue, every static
+  verdict served from the persisted cache;
+* disabled — fresh run with ``REPRO_CORPUS_CACHE=off``.
+
+Any divergence means the memoization layer changed classification
+semantics, which it must never do.
+
+To regenerate after an intentional pipeline change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src \
+        python -m pytest tests/test_scan_golden.py -q
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.core.scan import ScanPipeline
+from repro.web import build_world
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "scan_golden.json"
+SITE_COUNT = 80
+WORLD_SEED = 21
+
+
+def _classification_summary(classifications):
+    """Table5-style counts for one reclassification sweep."""
+    summary = {"identified_static": 0, "identified_dynamic": 0,
+               "identified_union": 0, "clean_static": 0,
+               "clean_dynamic": 0, "clean_union": 0}
+    for c in classifications.values():
+        summary["identified_static"] += c.static_identified
+        summary["identified_dynamic"] += c.dynamic_identified
+        summary["identified_union"] += c.identified_union
+        summary["clean_static"] += c.static_clean
+        summary["clean_dynamic"] += c.dynamic_clean
+        summary["clean_union"] += c.clean_union
+    return summary
+
+
+def _payload(dataset, world) -> str:
+    fig5 = {group: dict(counter)
+            for group, counter in dataset.fig5(world.tranco).items()}
+    payload = {
+        "table5": dataset.table5(),
+        "table6": dataset.table6(),
+        "table7": dataset.table7(10),
+        "table11": dataset.table11(),
+        "table12": dataset.table12(),
+        "fig3": dataset.fig3(world.tranco),
+        "fig4": dataset.fig4(),
+        "fig5": fig5,
+        "ablations": {
+            "full": _classification_summary(dataset.reclassify()),
+            "no_honey": _classification_summary(
+                dataset.reclassify(use_honey=False)),
+            "no_deobf": _classification_summary(
+                dataset.reclassify(preprocess_static=False)),
+            "front_only": _classification_summary(
+                dataset.reclassify(max_visits=1)),
+        },
+        "visited_sites": dataset.visited_sites,
+        "unique_scripts": len(dataset.unique_scripts),
+    }
+    return json.dumps(payload, sort_keys=True, indent=1)
+
+
+def _run(world, queue_path: str, resume: bool = False) -> str:
+    pipeline = ScanPipeline(world, client_id="golden-scan")
+    dataset = pipeline.run(visit_subpages=True, queue_path=queue_path,
+                           resume=resume)
+    try:
+        return _payload(dataset, world)
+    finally:
+        dataset.corpus.close()
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(site_count=SITE_COUNT, seed=WORLD_SEED)
+
+
+@pytest.fixture(scope="module")
+def cold_payload(world, tmp_path_factory):
+    queue = str(tmp_path_factory.mktemp("golden") / "cold.queue")
+    payload = _run(world, queue)
+    return queue, payload
+
+
+def test_cold_run_matches_golden(cold_payload):
+    _, payload = cold_payload
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(payload + "\n")
+        pytest.skip("golden file regenerated")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            "missing golden file; regenerate with "
+            "REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src "
+            "python -m pytest tests/test_scan_golden.py -q")
+    assert payload + "\n" == GOLDEN_PATH.read_text()
+
+
+def test_warm_cache_resume_is_byte_identical(world, cold_payload):
+    queue, payload = cold_payload
+    # Every site is already completed: the resume path rebuilds the
+    # dataset purely from the sidecar + corpus, and every static
+    # verdict is a cache hit.
+    assert _run(world, queue, resume=True) == payload
+
+
+def test_cache_disabled_is_byte_identical(world, cold_payload,
+                                          tmp_path_factory, monkeypatch):
+    _, payload = cold_payload
+    queue = str(tmp_path_factory.mktemp("golden-nc") / "off.queue")
+    monkeypatch.setenv("REPRO_CORPUS_CACHE", "off")
+    assert _run(world, queue) == payload

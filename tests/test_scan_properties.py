@@ -1,0 +1,168 @@
+"""Property-based tests for the static-analysis scan path.
+
+Hypothesis exercises ``deobfuscate``/``scan_script`` over generated
+inputs, and checks that the corpus hash-cache is semantically invisible:
+``ScriptCorpus.scan`` must agree with a direct ``scan_script`` on every
+input, cold, warm, and with the cache disabled.
+
+Alphabet notes: deobfuscation is deliberately single-pass, so it is NOT
+idempotent on adversarial inputs (``\\x5cx41`` decodes to ``\\x41``,
+which would decode again; an escape can also decode to ``*/`` and
+terminate a block comment early). The generators below therefore keep
+``\\``, ``/`` and ``*`` out of *decoded* text — the regime the paper's
+preprocessor targets — and the idempotence property is asserted only
+there.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scan.static_analysis import deobfuscate, scan_script
+from repro.corpus import ScriptCorpus
+
+# Characters that can never start/extend an escape sequence or open or
+# close a comment once present in decoded text.
+_SAFE_CHARS = "".join(
+    c for c in string.ascii_letters + string.digits +
+    " \t\n.,;:()[]{}'\"=+-<>!&|%^?~#@$_"
+    if c not in "\\/*")
+
+safe_text = st.text(alphabet=_SAFE_CHARS, max_size=80)
+safe_char = st.sampled_from(_SAFE_CHARS)
+
+# Comment bodies: must not close the comment themselves and must not
+# smuggle in pattern-relevant letters (a comment body containing the
+# literal word "webdriver" would legitimately change nothing after
+# stripping, but keeping bodies inert makes the subset property sharp).
+_COMMENT_CHARS = string.digits + " \t.,;:()=+-"
+comment_body = st.text(alphabet=_COMMENT_CHARS, max_size=20)
+
+PROP = settings(max_examples=50, deadline=None, derandomize=True)
+
+
+def _hex_escape(text):
+    return "".join(f"\\x{ord(c):02x}" for c in text)
+
+
+def _unicode_escape(text):
+    return "".join(f"\\u{ord(c):04x}" for c in text)
+
+
+@given(text=st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=0xFF,
+                           exclude_characters="\\/*"),
+    max_size=60))
+@PROP
+def test_hex_escape_round_trip(text):
+    assert deobfuscate(_hex_escape(text)) == text
+
+
+@given(text=st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=0xFFFF,
+                           exclude_characters="\\/*"),
+    max_size=60))
+@PROP
+def test_unicode_escape_round_trip(text):
+    assert deobfuscate(_unicode_escape(text)) == text
+
+
+@given(text=safe_text)
+@PROP
+def test_uppercase_hex_digits_accepted(text):
+    encoded = "".join(f"\\x{ord(c):02X}" for c in text)
+    assert deobfuscate(encoded) == text
+
+
+@given(parts=st.lists(st.tuples(safe_text, safe_text), max_size=8))
+@PROP
+def test_deobfuscate_idempotent_on_safe_alphabet(parts):
+    # Interleave literal safe text with escapes that decode to safe
+    # text: after one pass no backslash, slash or star remains, so a
+    # second pass must be the identity.
+    source = "".join(lit + _hex_escape(enc) for lit, enc in parts)
+    once = deobfuscate(source)
+    assert deobfuscate(once) == once
+
+
+@given(text=safe_text)
+@PROP
+def test_deobfuscate_identity_without_escapes_or_comments(text):
+    assert deobfuscate(text) == text
+
+
+@given(base=safe_text,
+       comments=st.lists(
+           st.tuples(st.integers(min_value=0, max_value=200),
+                     st.booleans(), comment_body),
+           min_size=1, max_size=4))
+@PROP
+def test_comment_insertion_never_creates_matches(base, comments):
+    """Splicing comments into a script must not add pattern matches.
+
+    Comments are replaced with a single space, which can only break a
+    contiguous match, never create one — except for the lookaround
+    ``word-webdriver`` pattern, where a space legitimately creates a
+    word boundary (``xwebdriver`` -> ``x webdriver``). That pattern is
+    excluded from the subset assertion.
+    """
+    commented = base
+    for offset, block, body in comments:
+        pos = min(offset, len(commented))
+        comment = f"/*{body}*/" if block else f"//{body}\n"
+        commented = commented[:pos] + comment + commented[pos:]
+    got = set(scan_script(commented).matched) - {"word-webdriver"}
+    assert got <= set(scan_script(base).matched)
+
+
+@given(body=comment_body, block=st.booleans())
+@PROP
+def test_detector_inside_comment_is_ignored(body, block):
+    detector = "navigator.webdriver"
+    if block:
+        source = f"/* {detector} {body} */ var x = 1;"
+    else:
+        source = f"// {detector} {body}\nvar x = 1;"
+    assert not scan_script(source).matched
+
+
+@given(text=st.text(max_size=120))
+@PROP
+def test_corpus_scan_agrees_with_direct_scan(text):
+    corpus = ScriptCorpus()
+    digest = corpus.put(text)
+    for preprocess in (True, False):
+        direct = scan_script(text, "u.js", preprocess=preprocess)
+        cold = corpus.scan(digest, "u.js", preprocess=preprocess)
+        warm = corpus.scan(digest, "u.js", preprocess=preprocess)
+        assert cold.matched == direct.matched
+        assert warm.matched == direct.matched
+    corpus.close()
+
+
+@given(text=st.text(max_size=120))
+@PROP
+def test_corpus_scan_agrees_with_cache_disabled(text):
+    cached = ScriptCorpus()
+    uncached = ScriptCorpus(cache_enabled=False)
+    digest = cached.put(text)
+    assert uncached.put(text) == digest
+    assert cached.scan(digest).matched == uncached.scan(digest).matched
+    cached.close()
+    uncached.close()
+
+
+@given(sources=st.lists(st.text(max_size=60), min_size=1, max_size=6))
+@PROP
+def test_scan_results_stable_across_cache_reload(tmp_path_factory, sources):
+    path = str(tmp_path_factory.mktemp("prop") / "c.corpus")
+    corpus = ScriptCorpus(path)
+    expected = {}
+    for source in sources:
+        digest = corpus.put(source)
+        expected[digest] = corpus.scan(digest).matched
+    corpus.close()
+    reopened = ScriptCorpus(path)
+    for digest, matched in expected.items():
+        assert reopened.scan(digest).matched == matched
+    reopened.close()
