@@ -673,22 +673,8 @@ class BrowserWindow:
 
         program = parse_cached(source)
         scope = Scope(function_scope=True)
-        frame_url = script_url
-        previous_url = self.interp.current_script_url
-        self.interp.current_script_url = frame_url
-        from repro.jsengine.interpreter import Frame
-        self.interp.push_frame(Frame("<instrument>", frame_url))
-        previous_this = self.interp.current_this
-        self.interp.current_this = self.window_object
-        try:
-            self.interp.hoist(program.body, scope)
-            for statement in program.body:
-                self.interp.execute(statement, scope)
-        finally:
-            self.interp.current_this = previous_this
-            self.interp.pop_frame()
-            self.interp.current_script_url = previous_url
-        return scope
+        return self.interp.run_program_in_scope(
+            program, scope, script_url, self.window_object)
 
     # ==================================================================
     # Host hooks called by the DOM

@@ -297,6 +297,10 @@ class ScanPipeline:
         scheduler.enqueue([config.domain for config in configs])
         if resume:
             self._restore_completed(scheduler, store, configs, dataset)
+            # Bodies collected by earlier runs are known content: warm
+            # the engine's hash-keyed AST/closure cache so any script
+            # shared with a still-pending site skips parse+compile.
+            corpus.precompile()
 
         # One attempt token per in-flight (site, worker); corpus rows
         # stay staged until the queue accepts the completion.
@@ -342,6 +346,8 @@ class ScanPipeline:
                           on_completed=on_completed,
                           on_discard_result=on_discard_result)
         finally:
+            from repro.jsengine.interpreter import export_cache_metrics
+            export_cache_metrics(self.telemetry.metrics)
             scheduler.close()
             store.close()
         return dataset

@@ -1,4 +1,4 @@
-"""A small JavaScript engine (lexer, parser, tree-walking interpreter).
+"""A small JavaScript engine (lexer, parser, two execution backends).
 
 The engine executes the JavaScript subset used by the synthetic web's
 scripts: bot detectors, trackers, attack payloads, and the instrumentation
@@ -6,6 +6,14 @@ injected by OpenWPM. Scripts are real JS source text, so the paper's
 *static* analysis (regexes over deobfuscated source) and *dynamic*
 analysis (recorded property accesses during execution) both operate on
 the same artifacts they would in the field.
+
+Execution backends: the reference tree-walking interpreter
+(``REPRO_JS_COMPILE=off``) and a closure-compilation fast path
+(:mod:`repro.jsengine.compiler`, the default) pinned to identical
+observable behaviour — results, budget op counts, stack traces, and
+instrument event order. Parsed programs live in a process-wide LRU
+keyed by the source's sha256 (the same content hash the corpus store
+uses), with compiled closure trees attached to the cached ASTs.
 
 Supported language: ``var``/``let``/``const``, functions (declarations,
 expressions, arrows), closures, ``this``, ``new``, prototypes, objects,
@@ -16,7 +24,18 @@ and string/array/object builtins.
 
 from repro.jsengine.lexer import Lexer, LexError, Token
 from repro.jsengine.parser import ParseError, Parser, parse
-from repro.jsengine.interpreter import Interpreter, ScriptFunction
+from repro.jsengine.interpreter import (
+    Interpreter,
+    ScriptFunction,
+    ast_cache_stats,
+    clear_ast_cache,
+    compile_enabled,
+    export_cache_metrics,
+    parse_cached,
+    set_compile_enabled,
+    source_digest,
+    warm_compile_cache,
+)
 
 __all__ = [
     "Lexer",
@@ -27,4 +46,12 @@ __all__ = [
     "parse",
     "Interpreter",
     "ScriptFunction",
+    "ast_cache_stats",
+    "clear_ast_cache",
+    "compile_enabled",
+    "export_cache_metrics",
+    "parse_cached",
+    "set_compile_enabled",
+    "source_digest",
+    "warm_compile_cache",
 ]

@@ -669,15 +669,21 @@ class Realm:
     # ------------------------------------------------------------------
     def get_primitive_member(self, value: Any, name: str,
                              interp: Any) -> Any:
-        if isinstance(value, str):
+        # Exact-type dispatch: engine values are always exact str/float/
+        # bool (the lexer and coercions never produce subclasses), and
+        # this is the hottest builtins path under the compiled backend
+        # (every `s.length` / `s.charCodeAt(...)` on a primitive lands
+        # here).
+        kind = type(value)
+        if kind is str:
             return self._string_member(value, name, interp)
-        if isinstance(value, bool):
+        if kind is bool:
             if name == "toString":
                 return self.native(
                     "toString",
                     lambda i, t, a, v=value: "true" if v else "false")
             return UNDEFINED
-        if isinstance(value, (int, float)):
+        if kind is float or kind is int:
             return self._number_member(float(value), name)
         return UNDEFINED
 

@@ -9,8 +9,12 @@ the channel the paper uses to detect OpenWPM's wrapper functions
 
 from __future__ import annotations
 
+import hashlib
 import math
+import os
 import sys
+import threading
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
 from repro.jsengine import ast_nodes as ast
@@ -36,19 +40,134 @@ from repro.jsobject.values import (
 if sys.getrecursionlimit() < 20_000:
     sys.setrecursionlimit(20_000)
 
-#: Process-wide parse cache (source text -> immutable Program AST).
-_PARSE_CACHE: Dict[str, "ast.Program"] = {}
-_PARSE_CACHE_MAX = 2048
+def source_digest(source: str) -> str:
+    """sha256 of the source text; the same formula as the script corpus
+    (`repro.corpus.script_hash`), so the scan pipeline's content hashes
+    address this cache directly."""
+    return hashlib.sha256(
+        source.encode("utf-8", "surrogatepass")).hexdigest()
+
+
+class _ASTCache:
+    """Process-wide LRU parse cache keyed by content hash.
+
+    Keys are sha256 digests (64 bytes each) rather than full source
+    texts, so the key side no longer pins large script bodies in RAM,
+    and eviction is LRU instead of the old "silently stop caching at
+    2048 entries". Compiled closure trees attach to the cached
+    ``Program`` nodes, so evicting an entry releases both the AST and
+    its compiled form together.
+    """
+
+    def __init__(self, max_entries: int = 2048) -> None:
+        self._programs: "OrderedDict[str, ast.Program]" = OrderedDict()
+        self._max = max_entries
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, source: str) -> "ast.Program":
+        digest = source_digest(source)
+        with self._lock:
+            program = self._programs.get(digest)
+            if program is not None:
+                self._programs.move_to_end(digest)
+                self.hits += 1
+                return program
+            self.misses += 1
+        program = parse(source)  # outside the lock; SyntaxError propagates
+        with self._lock:
+            existing = self._programs.get(digest)
+            if existing is not None:
+                # Raced with another thread: keep the first copy (it may
+                # already carry a compiled tree).
+                return existing
+            self._programs[digest] = program
+            while len(self._programs) > self._max:
+                self._programs.popitem(last=False)
+                self.evictions += 1
+        return program
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "entries": len(self._programs)}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._programs.clear()
+            self.hits = self.misses = self.evictions = 0
+
+
+#: Process-wide parse cache (content hash -> immutable Program AST).
+_AST_CACHE = _ASTCache()
 
 
 def parse_cached(source: str):
     """Parse with the process-wide AST cache (ASTs are never mutated)."""
-    program = _PARSE_CACHE.get(source)
-    if program is None:
-        program = parse(source)
-        if len(_PARSE_CACHE) < _PARSE_CACHE_MAX:
-            _PARSE_CACHE[source] = program
-    return program
+    return _AST_CACHE.get(source)
+
+
+def ast_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters of the process-wide AST cache."""
+    return _AST_CACHE.stats()
+
+
+def clear_ast_cache() -> None:
+    """Drop all cached (and compiled) programs; for tests/benchmarks."""
+    _AST_CACHE.clear()
+
+
+def export_cache_metrics(metrics: Any) -> None:
+    """Publish AST-cache counters through a metrics registry
+    (:class:`repro.obs.metrics.MetricsRegistry`)."""
+    stats = _AST_CACHE.stats()
+    metrics.gauge("jsengine_ast_cache_hits").set(float(stats["hits"]))
+    metrics.gauge("jsengine_ast_cache_misses").set(float(stats["misses"]))
+    metrics.gauge("jsengine_ast_cache_evictions").set(
+        float(stats["evictions"]))
+    metrics.gauge("jsengine_ast_cache_entries").set(float(stats["entries"]))
+
+
+def _env_compile_enabled() -> bool:
+    return os.environ.get("REPRO_JS_COMPILE", "on").lower() \
+        not in ("off", "0", "false", "no")
+
+
+#: Execution backend switch. ``REPRO_JS_COMPILE=off`` keeps the
+#: tree-walking interpreter as the reference implementation; the default
+#: runs programs through the closure-compilation backend
+#: (:mod:`repro.jsengine.compiler`). Both backends are pinned to
+#: identical observable behaviour by the differential test battery.
+_JS_COMPILE = _env_compile_enabled()
+
+
+def compile_enabled() -> bool:
+    return _JS_COMPILE
+
+
+def set_compile_enabled(enabled: Optional[bool]) -> bool:
+    """Switch backends at runtime (tests/benchmarks); ``None`` re-reads
+    the ``REPRO_JS_COMPILE`` environment variable. Returns the previous
+    setting."""
+    global _JS_COMPILE
+    previous = _JS_COMPILE
+    _JS_COMPILE = _env_compile_enabled() if enabled is None else bool(enabled)
+    return previous
+
+
+def warm_compile_cache(source: str) -> str:
+    """Parse *source* into the AST cache and (when the compiled backend
+    is active) compile it, so a later ``run()`` of the same content hash
+    pays neither cost. Returns the digest. Used by the corpus store to
+    pre-compile known script bodies."""
+    program = _AST_CACHE.get(source)
+    if _JS_COMPILE:
+        from repro.jsengine.compiler import compile_program
+        compile_program(program)
+    return source_digest(source)
 
 
 class _Break(Exception):
@@ -82,7 +201,9 @@ class Scope:
     def __init__(self, parent: Optional["Scope"] = None,
                  function_scope: bool = False) -> None:
         self.variables: Dict[str, Any] = {}
-        self.constants: set = set()
+        # Lazily allocated: most scopes never declare a const, and loop
+        # bodies allocate one scope per iteration.
+        self.constants: Optional[set] = None
         self.parent = parent
         self.function_scope = function_scope
 
@@ -90,6 +211,8 @@ class Scope:
         target = self.nearest_function_scope() if kind == "var" else self
         target.variables[name] = value
         if kind == "const":
+            if target.constants is None:
+                target.constants = set()
             target.constants.add(name)
 
     def nearest_function_scope(self) -> "Scope":
@@ -164,6 +287,15 @@ class ScriptFunction(JSFunction):
         # calling into an iframe's wrapped API must resolve `document`
         # etc. against the iframe's globals.
         interp = self.home_interpreter or interp
+        if _JS_COMPILE:
+            # Compiled bodies cache on the (shared, immutable) AST node:
+            # the instrumentation wrapper templates are four process-wide
+            # nodes, so the thousands of wrappers compile exactly once.
+            plan = getattr(self.node, "_compiled_plan", None)
+            if plan is None:
+                from repro.jsengine.compiler import compile_function
+                plan = compile_function(self.node)
+            return plan.call(self, interp, this, args)
         scope = Scope(parent=self.closure, function_scope=True)
         for index, param in enumerate(self.node.params):
             scope.declare(param, args[index] if index < len(args)
@@ -221,7 +353,10 @@ class Interpreter:
         self.global_object: Optional[JSObject] = (
             realm.global_object if realm else None)
         self.budget = budget
-        self._ops = 0
+        # Countdown budget: decremented once per executed node, reset to
+        # ``budget`` at every program start; the error materializes only
+        # on expiry.
+        self._ops_left = budget
         self.call_stack: List[Frame] = []
         self.current_script_url = "<host>"
         self.current_this: Any = self.global_object
@@ -238,28 +373,32 @@ class Interpreter:
     def run(self, source: str, script_url: str = "inline") -> Any:
         """Parse and execute *source*; returns the last statement's value.
 
-        Parsed programs are cached process-wide by source text (the
-        synthetic web serves identical scripts to thousands of sites);
-        the AST is never mutated, so sharing across realms is safe.
+        Parsed programs are cached process-wide keyed by content hash
+        (the synthetic web serves identical scripts to thousands of
+        sites); the AST is never mutated, so sharing across realms is
+        safe. With the compiled backend active the closure tree is also
+        cached on the program, so each unique script compiles once.
 
         Syntax errors and uncaught JS throws propagate as
         :class:`repro.jsobject.errors.JSError`.
         """
-        program = _PARSE_CACHE.get(source)
-        if program is None:
-            try:
-                program = parse(source)
-            except SyntaxError as exc:
-                raise JSError.syntax_error(str(exc)) from exc
-            if len(_PARSE_CACHE) < _PARSE_CACHE_MAX:
-                _PARSE_CACHE[source] = program
+        try:
+            program = _AST_CACHE.get(source)
+        except SyntaxError as exc:
+            raise JSError.syntax_error(str(exc)) from exc
         return self.run_program(program, script_url)
 
     def run_program(self, program: ast.Program,
                     script_url: str = "inline") -> Any:
+        if _JS_COMPILE:
+            unit = getattr(program, "_compiled_unit", None)
+            if unit is None:
+                from repro.jsengine.compiler import compile_program
+                unit = compile_program(program)
+            return unit.run(self, script_url)
         previous_url = self.current_script_url
         self.current_script_url = script_url
-        self._ops = 0
+        self._ops_left = self.budget
         scope = Scope(function_scope=True)
         frame = Frame("<global>", script_url)
         self.push_frame(frame)
@@ -275,6 +414,44 @@ class Interpreter:
             self.pop_frame()
             self.current_script_url = previous_url
         return result
+
+    def run_program_in_scope(self, program: ast.Program, scope: Scope,
+                             script_url: str, this: Any,
+                             frame_name: str = "<instrument>") -> Scope:
+        """Execute *program* against a caller-provided top-level scope.
+
+        Used by the extension layer (instrument injection) which needs
+        the script's scope afterwards to plant host helpers. The budget
+        countdown is deliberately *not* reset — this path rides on the
+        current script's budget, exactly like the historical
+        hoist+execute loop it replaces.
+        """
+        previous_url = self.current_script_url
+        self.current_script_url = script_url
+        self.push_frame(Frame(frame_name, script_url))
+        previous_this = self.current_this
+        self.current_this = this
+        try:
+            if _JS_COMPILE:
+                unit = getattr(program, "_compiled_unit", None)
+                if unit is None:
+                    from repro.jsengine.compiler import compile_program
+                    unit = compile_program(program)
+                unit.run_in_scope(self, scope)
+            else:
+                self.hoist(program.body, scope)
+                for statement in program.body:
+                    self.execute(statement, scope)
+        finally:
+            self.current_this = previous_this
+            self.pop_frame()
+            self.current_script_url = previous_url
+        return scope
+
+    @property
+    def ops_used(self) -> int:
+        """Operations consumed since the current program started."""
+        return self.budget - self._ops_left
 
     def call_function(self, fn: JSFunction, this: Any = None,
                       args: Optional[List[Any]] = None) -> Any:
@@ -314,14 +491,17 @@ class Interpreter:
         raise JSError(self.make_error(kind, message))
 
     def _tick(self, node: ast.Node) -> None:
-        self._ops += 1
-        if self._ops > self.budget:
-            raise ExecutionBudgetExceeded(
-                f"script exceeded {self.budget} operations")
+        self._ops_left -= 1
+        if self._ops_left < 0:
+            self._budget_error()
         if self.call_stack:
             frame = self.call_stack[-1]
             frame.line = node.line
             frame.column = node.column
+
+    def _budget_error(self) -> None:
+        raise ExecutionBudgetExceeded(
+            f"script exceeded {self.budget} operations")
 
     # ------------------------------------------------------------------
     # Statements
@@ -727,7 +907,7 @@ class Interpreter:
     def _assign_identifier(self, name: str, value: Any, scope: Scope) -> None:
         holder = scope.resolve(name)
         if holder is not None:
-            if name in holder.constants:
+            if holder.constants is not None and name in holder.constants:
                 self.throw("TypeError",
                            f"invalid assignment to const '{name}'")
             holder.variables[name] = value

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -175,7 +176,11 @@ class Lexer:
     def _lex_identifier(self, line: int, column: int, start: int) -> Token:
         while self._peek() in _IDENT_PART and self._peek() != "":
             self._advance()
-        text = self.source[start:self.pos]
+        # Interning collapses the thousands of repeated identifier
+        # lexemes across a corpus into shared singletons, so the scope
+        # dict lookups in both execution backends hash pre-cached
+        # pointers instead of fresh slices.
+        text = sys.intern(self.source[start:self.pos])
         kind = "keyword" if text in KEYWORDS else "ident"
         return self._make(kind, text, line, column, start)
 

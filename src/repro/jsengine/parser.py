@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 from typing import List, Optional
 
 from repro.jsengine import ast_nodes as ast
@@ -668,12 +669,15 @@ class Parser:
                 key = key_token.value
                 self.advance()
             elif key_token.kind == "string":
-                key = key_token.value
+                # String keys become property-dict keys; intern them so
+                # repeated literals across a corpus share one object
+                # (ident keys are already interned by the lexer).
+                key = sys.intern(key_token.value)
                 self.advance()
             elif key_token.kind == "number":
-                key = (str(int(key_token.number))
-                       if key_token.number.is_integer()
-                       else str(key_token.number))
+                key = sys.intern(str(int(key_token.number))
+                                 if key_token.number.is_integer()
+                                 else str(key_token.number))
                 self.advance()
             else:
                 raise ParseError("expected property key", key_token)

@@ -25,6 +25,16 @@ arriving outside any visit for its browser raises
 :class:`VisitStateError` rather than landing on a stale context; each
 browser's instruments write through a :class:`BrowserStorageHandle`
 that pins their ``browser_id`` explicitly.
+
+Write path: visit-scoped records (http_requests, http_responses,
+javascript, javascript_cookies, content) are buffered in per-table
+lists and flushed with one ``executemany`` per table — one transaction
+per visit instead of one ``execute`` per record. Rows keep their
+arrival order within each table, so AUTOINCREMENT ids are identical to
+the per-record scheme. Every read (``query``) and every retraction
+(``abort_visit`` / ``delete_visit``) flushes first, so buffered rows
+are always visible to callers and an expired-lease retraction removes
+batched-but-unflushed rows along with committed ones.
 """
 
 from __future__ import annotations
@@ -168,6 +178,33 @@ class StorageController:
     access serialized through ``self._lock``.
     """
 
+    #: INSERT statements for the batched (visit-scoped) tables.
+    _BATCHED: Dict[str, str] = {
+        "http_requests":
+            "INSERT INTO http_requests (visit_id, browser_id, url, "
+            "top_level_url, frame_url, method, resource_type, "
+            "is_third_party_channel, headers, post_body) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        "http_responses":
+            "INSERT INTO http_responses (visit_id, browser_id, url, "
+            "response_status, content_type, content_hash) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+        "javascript":
+            "INSERT INTO javascript (visit_id, browser_id, "
+            "top_level_url, document_url, script_url, symbol, "
+            "operation, value, arguments, call_stack) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        "javascript_cookies":
+            "INSERT INTO javascript_cookies (visit_id, browser_id, "
+            "record_type, change_cause, host, name, value, path, "
+            "is_session, is_http_only, expiry, first_party_domain, "
+            "via_javascript) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        "content":
+            "INSERT OR IGNORE INTO content (content_hash, content, "
+            "url, content_type) VALUES (?, ?, ?, ?)",
+    }
+
     def __init__(self, database_path: str = ":memory:") -> None:
         self.connection = sqlite3.connect(database_path,
                                           check_same_thread=False)
@@ -182,10 +219,32 @@ class StorageController:
             self._next_visit_id = int(row["m"] or 0) + 1
         #: Active visits, one slot per browser.
         self._contexts: Dict[int, VisitContext] = {}
+        #: Per-table pending row buffers (insertion order preserved).
+        self._pending: Dict[str, List[Tuple]] = {
+            table: [] for table in self._BATCHED}
         #: Optional :class:`repro.faults.FaultPlan`; when set,
         #: ``begin_visit`` consults it for transient ``storage_busy``
         #: faults before touching the database.
         self.fault_plan: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Batched writes
+    # ------------------------------------------------------------------
+    def _flush_locked(self) -> None:
+        """Drain every pending buffer with one executemany per table.
+
+        Caller holds ``self._lock``. Per-table arrival order is kept,
+        so AUTOINCREMENT ids match the historical per-record inserts.
+        """
+        for table, rows in self._pending.items():
+            if rows:
+                self.connection.executemany(self._BATCHED[table], rows)
+                del rows[:]
+
+    def pending_row_count(self) -> int:
+        """Buffered-but-unflushed rows across all batched tables."""
+        with self._lock:
+            return sum(len(rows) for rows in self._pending.values())
 
     # ------------------------------------------------------------------
     # Visit lifecycle
@@ -251,6 +310,9 @@ class StorageController:
             if browser_id not in self._contexts:
                 raise VisitStateError(
                     f"browser {browser_id} has no active visit to end")
+            # One flush + one commit per visit: the batched rows land
+            # in a single transaction.
+            self._flush_locked()
             self.connection.commit()
             del self._contexts[browser_id]
 
@@ -268,6 +330,9 @@ class StorageController:
             if context is None:
                 raise VisitStateError(
                     f"browser {browser_id} has no active visit to abort")
+            # Flush before deleting so the DELETE rowcounts cover rows
+            # still sitting in the batch buffers.
+            self._flush_locked()
             discarded: Dict[str, int] = {}
             for table in ("http_requests", "http_responses",
                           "javascript", "javascript_cookies"):
@@ -293,6 +358,9 @@ class StorageController:
         the caller can balance its ``records_written`` accounting.
         """
         with self._lock:
+            # An expired-lease retraction must catch batched rows the
+            # doomed attempt buffered but never flushed.
+            self._flush_locked()
             discarded: Dict[str, int] = {}
             for table in ("http_requests", "http_responses",
                           "javascript", "javascript_cookies"):
@@ -333,11 +401,7 @@ class StorageController:
                             browser_id: Optional[int] = None) -> None:
         with self._lock:
             ctx = self._context(browser_id)
-            self.connection.execute(
-                "INSERT INTO http_requests (visit_id, browser_id, url, "
-                "top_level_url, frame_url, method, resource_type, "
-                "is_third_party_channel, headers, post_body) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            self._pending["http_requests"].append(
                 (ctx.visit_id, ctx.browser_id, url, top_level_url,
                  frame_url, method, resource_type, int(is_third_party),
                  headers, post_body))
@@ -347,10 +411,7 @@ class StorageController:
                              browser_id: Optional[int] = None) -> None:
         with self._lock:
             ctx = self._context(browser_id)
-            self.connection.execute(
-                "INSERT INTO http_responses (visit_id, browser_id, url, "
-                "response_status, content_type, content_hash) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
+            self._pending["http_responses"].append(
                 (ctx.visit_id, ctx.browser_id, url, status, content_type,
                  content_hash))
 
@@ -358,9 +419,7 @@ class StorageController:
                        content_type: str) -> str:
         content_hash = hashlib.sha256(body.encode()).hexdigest()
         with self._lock:
-            self.connection.execute(
-                "INSERT OR IGNORE INTO content (content_hash, content, "
-                "url, content_type) VALUES (?, ?, ?, ?)",
+            self._pending["content"].append(
                 (content_hash, body, url, content_type))
         return content_hash
 
@@ -376,11 +435,7 @@ class StorageController:
         """
         with self._lock:
             ctx = self._context(browser_id)
-            self.connection.execute(
-                "INSERT INTO javascript (visit_id, browser_id, "
-                "top_level_url, document_url, script_url, symbol, "
-                "operation, value, arguments, call_stack) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            self._pending["javascript"].append(
                 (ctx.visit_id, ctx.browser_id, ctx.top_level_url,
                  document_url, script_url, str(symbol)[:2048],
                  str(operation)[:64], str(value)[:2048],
@@ -393,12 +448,7 @@ class StorageController:
                       browser_id: Optional[int] = None) -> None:
         with self._lock:
             ctx = self._context(browser_id)
-            self.connection.execute(
-                "INSERT INTO javascript_cookies (visit_id, browser_id, "
-                "record_type, change_cause, host, name, value, path, "
-                "is_session, is_http_only, expiry, first_party_domain, "
-                "via_javascript) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            self._pending["javascript_cookies"].append(
                 (ctx.visit_id, ctx.browser_id, "cookie", change_cause,
                  host, name, value, path, int(is_session),
                  int(is_http_only),
@@ -470,6 +520,7 @@ class StorageController:
 
     def commit(self) -> None:
         with self._lock:
+            self._flush_locked()
             self.connection.commit()
 
     # ------------------------------------------------------------------
@@ -489,35 +540,36 @@ class StorageController:
     def _persist_telemetry_locked(self, json: Any,
                                   snapshot: Dict[str, Any]) -> int:
         self.connection.execute("DELETE FROM telemetry")
-        rows = 0
-        for span in snapshot.get("spans", []):
-            self.connection.execute(
+        span_rows = [
+            ("span", span["name"], "{}", span["duration"],
+             span["trace_id"], span["span_id"], span["parent_id"],
+             span["start_time"], span["end_time"], span["status"],
+             json.dumps(span.get("attributes", {}), sort_keys=True,
+                        default=str))
+            for span in snapshot.get("spans", [])]
+        if span_rows:
+            self.connection.executemany(
                 "INSERT INTO telemetry (kind, name, labels, value, "
                 "trace_id, span_id, parent_span_id, start_time, end_time, "
                 "status, attributes) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, "
-                "?, ?)",
-                ("span", span["name"], "{}", span["duration"],
-                 span["trace_id"], span["span_id"], span["parent_id"],
-                 span["start_time"], span["end_time"], span["status"],
-                 json.dumps(span.get("attributes", {}), sort_keys=True,
-                            default=str)))
-            rows += 1
-        for metric in snapshot.get("metrics", []):
-            self.connection.execute(
+                "?, ?)", span_rows)
+        metric_rows = [
+            (metric["kind"], metric["name"],
+             json.dumps(metric.get("labels", {}), sort_keys=True),
+             metric.get("value"), metric.get("sum"),
+             metric.get("count"),
+             json.dumps(metric.get("bounds")) if "bounds" in metric
+             else None,
+             json.dumps(metric.get("bucket_counts"))
+             if "bucket_counts" in metric else None)
+            for metric in snapshot.get("metrics", [])]
+        if metric_rows:
+            self.connection.executemany(
                 "INSERT INTO telemetry (kind, name, labels, value, "
                 "hist_sum, hist_count, bounds, bucket_counts) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                (metric["kind"], metric["name"],
-                 json.dumps(metric.get("labels", {}), sort_keys=True),
-                 metric.get("value"), metric.get("sum"),
-                 metric.get("count"),
-                 json.dumps(metric.get("bounds")) if "bounds" in metric
-                 else None,
-                 json.dumps(metric.get("bucket_counts"))
-                 if "bucket_counts" in metric else None))
-            rows += 1
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)", metric_rows)
         self.connection.commit()
-        return rows
+        return len(span_rows) + len(metric_rows)
 
     def telemetry_metrics(self) -> List[Dict[str, Any]]:
         """Stored metric rows, back in ``MetricsRegistry.snapshot`` shape."""
@@ -577,6 +629,8 @@ class StorageController:
     # ------------------------------------------------------------------
     def query(self, sql: str, params: Tuple = ()) -> List[sqlite3.Row]:
         with self._lock:
+            # Reads must observe rows still sitting in the batch buffers.
+            self._flush_locked()
             return list(self.connection.execute(sql, params))
 
     def javascript_records(self, visit_id: Optional[int] = None
@@ -648,6 +702,7 @@ class StorageController:
 
     def close(self) -> None:
         with self._lock:
+            self._flush_locked()
             self.connection.commit()
             self.connection.close()
 

@@ -170,3 +170,94 @@ class TestTables:
         storage.record_javascript("d", "s", "sym2", "get", "")
         storage.end_visit()
         assert len(storage.javascript_records(visit_id=2)) == 1
+
+
+class TestBatchedWrites:
+    """The executemany batching must be invisible to every consumer."""
+
+    def test_records_buffered_until_flush(self, storage):
+        storage.begin_visit(1, "https://a.test/")
+        storage.record_javascript("d", "s", "sym", "get", "v")
+        storage.record_http_request(
+            url="https://a.test/x.js", top_level_url="https://a.test/",
+            frame_url="", method="GET", resource_type="script",
+            is_third_party=False)
+        assert storage.pending_row_count() == 2
+        # Reads flush first, so the buffer is never observable as
+        # missing rows.
+        assert len(storage.javascript_records()) == 1
+        assert storage.pending_row_count() == 0
+
+    def test_end_visit_flushes_in_one_transaction(self, storage):
+        storage.begin_visit(1, "https://a.test/")
+        for index in range(5):
+            storage.record_javascript("d", "s", f"sym{index}", "get", "v")
+        assert storage.pending_row_count() == 5
+        storage.end_visit()
+        assert storage.pending_row_count() == 0
+        records = storage.javascript_records()
+        # Arrival order is preserved, so AUTOINCREMENT ids match the
+        # historical per-record inserts.
+        assert [row["symbol"] for row in records] == [
+            f"sym{index}" for index in range(5)]
+        assert [row["id"] for row in records] == list(range(1, 6))
+
+    def test_abort_visit_counts_buffered_rows(self, storage):
+        storage.begin_visit(1, "https://hung.test/")
+        storage.record_javascript("d", "s", "sym", "get", "v")
+        storage.record_javascript("d", "s", "sym2", "get", "v")
+        storage.record_http_response(url="https://hung.test/", status=200,
+                                     content_type="text/html")
+        discarded = storage.abort_visit(1)
+        assert discarded["javascript"] == 2
+        assert discarded["http_responses"] == 1
+        assert storage.javascript_records() == []
+
+    def test_retracted_attempt_retracts_batched_rows(self, storage):
+        """Regression: an expired-lease retraction (delete_visit) must
+        remove rows the doomed attempt had only buffered, not just the
+        ones already flushed to SQLite."""
+        context = storage.begin_visit(1, "https://raced.test/")
+        storage.record_javascript("d", "s", "flushed", "get", "v")
+        storage.commit()                       # this row reaches SQLite
+        storage.record_javascript("d", "s", "buffered-1", "get", "v")
+        storage.record_cookie(
+            change_cause="added", host="raced.test", name="uid",
+            value="x", path="/", is_session=True, is_http_only=False,
+            expiry=None, first_party="raced.test", via_javascript=True)
+        assert storage.pending_row_count() == 2   # still in the buffers
+        storage.end_visit()
+        # The lease raced: the scheduler voids this committed visit.
+        discarded = storage.delete_visit(context.visit_id)
+        assert discarded["javascript"] == 2       # flushed AND batched
+        assert discarded["javascript_cookies"] == 1
+        assert storage.javascript_records() == []
+        assert storage.cookie_rows() == []
+
+    def test_unflushed_rows_retracted_before_any_commit(self, storage):
+        """Harder variant: nothing was ever flushed — delete_visit must
+        flush the buffers itself to count (and remove) those rows."""
+        context = storage.begin_visit(1, "https://raced.test/")
+        storage.record_javascript("d", "s", "only-buffered", "get", "v")
+        assert storage.pending_row_count() == 1
+        discarded = storage.delete_visit(context.visit_id)
+        assert discarded["javascript"] == 1
+        # The context is still active (delete_visit targets committed
+        # visits); abort to clean up.
+        storage.abort_visit(1)
+        assert storage.javascript_records() == []
+
+    def test_close_flushes_pending_rows(self, tmp_path):
+        path = str(tmp_path / "batched.sqlite")
+        controller = StorageController(path)
+        controller.begin_visit(1, "https://a.test/")
+        controller.record_javascript("d", "s", "sym", "get", "v")
+        controller.end_visit()
+        controller.begin_visit(1, "https://b.test/")
+        controller.record_javascript("d", "s", "sym2", "get", "v")
+        controller.close()                     # never end_visit'ed
+        reopened = StorageController(path)
+        try:
+            assert len(reopened.javascript_records()) == 2
+        finally:
+            reopened.close()
