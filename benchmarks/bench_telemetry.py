@@ -11,9 +11,11 @@ Two properties worth guarding:
   the SQLite tables (the paper's antidote to silent data loss).
 """
 
-from conftest import BENCH_SEED, measure_telemetry_overhead, report
+from conftest import (BENCH_SEED, measure_recorder_overhead,
+                      measure_telemetry_overhead, report)
 
 OVERHEAD_LIMIT_PCT = 10.0
+RECORDER_OVERHEAD_LIMIT_PCT = 5.0
 
 
 def test_benchmark_telemetry_overhead(benchmark):
@@ -34,6 +36,28 @@ def test_benchmark_telemetry_overhead(benchmark):
            lines)
 
     assert result["overhead_pct"] < OVERHEAD_LIMIT_PCT, result
+
+
+def test_benchmark_recorder_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure_recorder_overhead(site_count=120),
+        rounds=1, iterations=1)
+
+    lines = [
+        "(flight recorder + JS profiler must cost <5% CPU time on top",
+        "of an already-telemetered, JS-instrumented 120-site crawl)",
+        "",
+        f"| mode | CPU seconds (best of {result['rounds']}"
+        " subprocess-isolated pairs) |",
+        "|---|---|",
+        f"| telemetry only | {result['baseline_seconds']:.3f} |",
+        f"| + journal + profiler | {result['recorded_seconds']:.3f} |",
+        f"| overhead | {result['overhead_pct']:.2f}% |",
+    ]
+    report("recorder_overhead",
+           "Flight recorder - CPU overhead", lines)
+
+    assert result["overhead_pct"] < RECORDER_OVERHEAD_LIMIT_PCT, result
 
 
 def test_benchmark_crawl_reconciliation(benchmark):

@@ -9,12 +9,16 @@ Commands mirror the paper's experiments:
 * ``survey``  — the literature datasets (Tables 1 and 14)
 * ``stats``   — crawl health / loss-accounting report (telemetry)
 * ``crawl``   — scheduled crawl: worker pool, persistent queue, --resume
+* ``trace``   — export a crawl as Chrome trace-event JSON (Perfetto)
+* ``profile`` — JS-engine profile: hot scripts/functions by op count
+* ``tail``    — print (or follow) the merged flight-recorder journal
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -134,7 +138,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import os
+
     from repro.obs.export import metrics_to_prometheus, snapshot_to_json
+    from repro.obs.journal import journal_path_for
     from repro.obs.stats import build_crawl_report, render_crawl_report
 
     result = None
@@ -156,6 +163,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         storage = result.storage
         cleanup = result.close
 
+    journal_dir = args.journal
+    if journal_dir is None and args.db is not None:
+        # A crawl recorded with --journal left its directory beside the
+        # database; reconcile against it automatically when present.
+        candidate = journal_path_for(args.db)
+        if candidate is not None and os.path.isdir(candidate):
+            journal_dir = candidate
+
     queue = None
     corpus = None
     try:
@@ -167,7 +182,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             from repro.corpus import ScriptCorpus
 
             corpus = ScriptCorpus(args.corpus)
-        report = build_crawl_report(storage, queue=queue, corpus=corpus)
+        report = build_crawl_report(storage, queue=queue, corpus=corpus,
+                                    journal_dir=journal_dir)
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(snapshot_to_json(report) + "\n")
         if args.json:
             print(snapshot_to_json(report))
         elif args.prometheus:
@@ -225,6 +244,19 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             print(f"error: --fault-plan unreadable: {exc}",
                   file=sys.stderr)
             return 2
+    journal_dir = None
+    if args.journal is not None:
+        if args.journal != "auto":
+            journal_dir = args.journal
+        else:
+            from repro.obs.journal import journal_path_for
+
+            journal_dir = journal_path_for(args.db)
+            if journal_dir is None:
+                print("error: --journal with an in-memory --db needs "
+                      "an explicit directory (--journal DIR)",
+                      file=sys.stderr)
+                return 2
 
     result = run_telemetry_crawl(
         site_count=site_count, seed=args.seed,
@@ -236,13 +268,15 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         resume=args.resume, stop_after_jobs=args.stop_after,
         fault_plan=fault_plan,
         stage_deadline=args.stage_deadline,
-        quarantine_after=args.quarantine_after)
+        quarantine_after=args.quarantine_after,
+        journal_dir=journal_dir, profile=args.profile)
     report = result.report
     try:
         payload = {
             "sites": site_count,
             "workers": report.workers,
             "queue": queue_path,
+            "journal": journal_dir,
             "resumed": args.resume,
             "released_leases": report.released_leases,
             "completed": report.completed,
@@ -255,6 +289,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             "queue_counts": report.counts,
             "drained": report.drained,
         }
+        if result.profiler is not None:
+            payload["hot_scripts"] = result.profiler.hot_scripts(5)
         if args.json:
             print(json.dumps(payload, indent=2))
         else:
@@ -264,12 +300,197 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             print("queue: " + ", ".join(
                 f"{state}={count}"
                 for state, count in sorted(report.counts.items())))
+            if journal_dir is not None:
+                print(f"journal: {journal_dir}")
+            for row in (payload.get("hot_scripts") or [])[:3]:
+                print(f"hot script: {row['ops']} ops  "
+                      f"{row['script_hash'][:16]}  {row['script_url']}")
             if not report.drained:
                 print(f"queue not drained — rerun with --resume "
                       f"--queue {queue_path} to finish")
         return 0 if report.drained else 1
     finally:
         result.close()
+
+
+def _resolve_journal_dir(source: str) -> Optional[str]:
+    """*source* as a journal directory: itself, or ``<db>.journal``."""
+    import os
+
+    from repro.obs.journal import journal_path_for
+
+    if os.path.isdir(source):
+        return source
+    candidate = journal_path_for(source)
+    if candidate is not None and os.path.isdir(candidate):
+        return candidate
+    return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.journal import merge_journal
+    from repro.obs.trace import (
+        chrome_trace_to_json,
+        journal_to_chrome_trace,
+        spans_to_chrome_trace,
+    )
+
+    journal_dir = _resolve_journal_dir(args.source)
+    if journal_dir is not None:
+        trace = journal_to_chrome_trace(merge_journal(journal_dir))
+    elif os.path.isfile(args.source):
+        # Pre-journal crawl database: fall back to the persisted
+        # telemetry span table (spans only, no instants).
+        from repro.openwpm.storage import StorageController
+
+        storage = StorageController(args.source)
+        try:
+            trace = spans_to_chrome_trace(storage.telemetry_spans())
+        finally:
+            storage.close()
+    else:
+        print(f"error: {args.source!r} is neither a journal directory "
+              f"nor a crawl database", file=sys.stderr)
+        return 2
+    text = chrome_trace_to_json(trace)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(trace['traceEvents'])} trace events "
+              f"to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.journal import merge_journal
+
+    journal_dir = _resolve_journal_dir(args.source)
+    if journal_dir is None:
+        print(f"error: no journal directory at {args.source!r} "
+              f"(crawl with --journal --profile first)", file=sys.stderr)
+        return 2
+    events = merge_journal(journal_dir)
+    profile_events = [event for event in events
+                      if event.get("type") in ("profile_script",
+                                               "profile_function")]
+    if not profile_events:
+        print("error: journal has no profiler events "
+              "(crawl with --profile)", file=sys.stderr)
+        return 1
+    # Each run journals its own end-of-run aggregates; report the
+    # latest run's profile.
+    last_epoch = max(int(event.get("epoch") or 0)
+                     for event in profile_events)
+    profile_events = [event for event in profile_events
+                      if int(event.get("epoch") or 0) == last_epoch]
+    scripts = sorted(
+        (event for event in profile_events
+         if event["type"] == "profile_script"),
+        key=lambda e: (-int(e.get("ops") or 0),
+                       str(e.get("script_hash"))))
+    functions = sorted(
+        (event for event in profile_events
+         if event["type"] == "profile_function"),
+        key=lambda e: (-int(e.get("self_ops") or 0),
+                       str(e.get("script_url")),
+                       str(e.get("function"))))
+
+    corpus = None
+    if args.corpus is not None:
+        from repro.corpus import ScriptCorpus
+
+        corpus = ScriptCorpus(args.corpus)
+    try:
+        script_rows = []
+        for event in scripts[:args.top]:
+            row = {"script_hash": event.get("script_hash"),
+                   "script_url": event.get("script_url"),
+                   "ops": int(event.get("ops") or 0),
+                   "runs": int(event.get("runs") or 0)}
+            if corpus is not None:
+                row["in_corpus"] = corpus.has(str(row["script_hash"]))
+            script_rows.append(row)
+        function_rows = [
+            {"script_url": event.get("script_url"),
+             "function": event.get("function"),
+             "self_ops": int(event.get("self_ops") or 0),
+             "total_ops": int(event.get("total_ops") or 0),
+             "calls": int(event.get("calls") or 0)}
+            for event in functions[:args.top]]
+        if args.json:
+            print(json.dumps({"epoch": last_epoch,
+                              "scripts": script_rows,
+                              "functions": function_rows}, indent=2))
+            return 0
+        print(f"JS-engine profile (journal epoch {last_epoch})")
+        print(f"{'ops':>10}  {'runs':>5}  script")
+        for row in script_rows:
+            mark = ""
+            if "in_corpus" in row:
+                mark = "  [corpus]" if row["in_corpus"] \
+                    else "  [not in corpus]"
+            print(f"{row['ops']:>10}  {row['runs']:>5}  "
+                  f"{str(row['script_hash'])[:16]}  "
+                  f"{row['script_url']}{mark}")
+        if args.functions:
+            print()
+            print(f"{'self ops':>10}  {'total':>10}  {'calls':>6}  "
+                  f"function")
+            for row in function_rows:
+                print(f"{row['self_ops']:>10}  {row['total_ops']:>10}  "
+                      f"{row['calls']:>6}  {row['function']}  "
+                      f"({row['script_url']})")
+        return 0
+    finally:
+        if corpus is not None:
+            corpus.close()
+
+
+def _format_tail_event(event: dict) -> str:
+    rest = {key: value for key, value in sorted(event.items())
+            if key not in ("type", "worker", "epoch", "t", "seq")}
+    detail = " ".join(f"{key}={value}" for key, value in rest.items())
+    return (f"[{event.get('epoch', 0)}:{event.get('t', 0.0):>10.3f} "
+            f"{event.get('worker', '?'):<10}] "
+            f"{event.get('type', '?')}" + (f" {detail}" if detail else ""))
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.journal import merge_journal
+
+    journal_dir = _resolve_journal_dir(args.source)
+    if journal_dir is None:
+        print(f"error: no journal directory at {args.source!r}",
+              file=sys.stderr)
+        return 2
+    types = set(args.type) if args.type else None
+
+    def wanted(event: dict) -> bool:
+        return types is None or event.get("type") in types
+
+    events = [event for event in merge_journal(journal_dir)
+              if wanted(event)]
+    for event in events[-args.max_events:] if args.max_events else events:
+        print(_format_tail_event(event))
+    if not args.follow:
+        return 0
+    seen = len(events)
+    try:
+        while True:
+            time.sleep(args.interval)
+            events = [event for event in merge_journal(journal_dir)
+                      if wanted(event)]
+            for event in events[seen:]:
+                print(_format_tail_event(event), flush=True)
+            seen = len(events)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
@@ -352,6 +573,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--corpus", default=None,
                        help="script-corpus database (<queue>.corpus) "
                             "to report dedup / cache effectiveness on")
+    stats.add_argument("--journal", default=None, metavar="DIR",
+                       help="flight-recorder journal directory to "
+                            "reconcile against (default: <db>.journal "
+                            "when present)")
+    stats.add_argument("--output", default=None, metavar="PATH",
+                       help="also write the JSON report to PATH")
     stats.set_defaults(fn=_cmd_stats)
 
     crawl = sub.add_parser(
@@ -388,16 +615,74 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="quarantine a site after N crash/hang "
                             "failures (circuit breaker)")
+    crawl.add_argument("--journal", nargs="?", const="auto", default=None,
+                       metavar="DIR",
+                       help="record a flight-recorder journal "
+                            "(default directory: <db>.journal)")
+    crawl.add_argument("--profile", action="store_true",
+                       help="profile the JS engine (op counts per "
+                            "script/function, journalled at crawl end)")
     crawl.add_argument("--json", action="store_true",
                        help="emit the crawl report as JSON")
     crawl.set_defaults(fn=_cmd_crawl)
+
+    trace = sub.add_parser(
+        "trace", help="export Chrome trace-event JSON (Perfetto)")
+    trace.add_argument("source",
+                       help="journal directory, or a crawl database "
+                            "(uses <db>.journal, falling back to the "
+                            "telemetry span table)")
+    trace.add_argument("--output", default=None, metavar="PATH",
+                       help="write the trace JSON to PATH "
+                            "(default: stdout)")
+    trace.set_defaults(fn=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="JS-engine profile: hot scripts by op count")
+    profile.add_argument("source",
+                         help="journal directory or crawl database "
+                              "(crawl with --journal --profile)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows per table (default 10)")
+    profile.add_argument("--functions", action="store_true",
+                         help="also print the hot-function table")
+    profile.add_argument("--corpus", default=None, metavar="PATH",
+                         help="script-corpus database to join hot "
+                              "scripts against by content hash")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the profile as JSON")
+    profile.set_defaults(fn=_cmd_profile)
+
+    tail = sub.add_parser(
+        "tail", help="print (or follow) the merged journal")
+    tail.add_argument("source",
+                      help="journal directory or crawl database")
+    tail.add_argument("--follow", action="store_true",
+                      help="keep polling for new events (Ctrl-C stops)")
+    tail.add_argument("--interval", type=float, default=0.5,
+                      help="poll interval in (real) seconds with "
+                           "--follow")
+    tail.add_argument("--max-events", type=int, default=None,
+                      metavar="N", help="print only the last N events")
+    tail.add_argument("--type", action="append", default=None,
+                      metavar="TYPE",
+                      help="only events of TYPE (repeatable)")
+    tail.set_defaults(fn=_cmd_tail)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. ``repro profile | head``).
+        # Detach stdout so the interpreter's shutdown flush doesn't
+        # raise a second time, and exit with the conventional 128+SIGPIPE.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -156,6 +156,9 @@ class FaultPlan:
         #: (point, url, rule_index, fault) for every firing — test aid.
         self.fired: List[Tuple[str, str, int, str]] = []
         self.burned_seconds = 0.0
+        #: Flight-recorder hook ``fn(point, url, rule_index, fault)``
+        #: fired once per injection, outside the plan lock.
+        self.on_trigger: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def add_rule(self, rule: FaultRule,
@@ -204,6 +207,8 @@ class FaultPlan:
         """
         if not self.rules:
             return None
+        hit: Optional[FaultRule] = None
+        hit_index = -1
         with self._lock:
             for index, rule in enumerate(self.rules):
                 if not _match_point(rule.point, point):
@@ -224,8 +229,13 @@ class FaultPlan:
                     continue
                 state.fires += 1
                 self.fired.append((point, url, index, rule.fault))
-                return rule
-        return None
+                hit, hit_index = rule, index
+                break
+        if hit is not None and self.on_trigger is not None:
+            # Outside the lock: the hook may journal, which takes its
+            # own locks and must never nest inside the plan's.
+            self.on_trigger(point, url, hit_index, hit.fault)
+        return hit
 
     def fire_count(self, fault: Optional[str] = None) -> int:
         with self._lock:

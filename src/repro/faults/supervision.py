@@ -58,6 +58,9 @@ class Watchdog:
         self.clock = clock
         self.default_deadline = default_deadline
         self.stage_deadlines = dict(stage_deadlines or {})
+        #: Flight-recorder hook ``fn(exc: VisitDeadlineExceeded)``
+        #: fired just before the deadline exception propagates.
+        self.on_abort: Optional[Any] = None
 
     def deadline_for(self, stage: str) -> Optional[float]:
         return self.stage_deadlines.get(stage, self.default_deadline)
@@ -71,7 +74,10 @@ class Watchdog:
             return
         elapsed = self.clock.peek() - started
         if elapsed > deadline:
-            raise VisitDeadlineExceeded(url, stage, elapsed, deadline)
+            exc = VisitDeadlineExceeded(url, stage, elapsed, deadline)
+            if self.on_abort is not None:
+                self.on_abort(exc)
+            raise exc
 
 
 class CircuitBreaker:

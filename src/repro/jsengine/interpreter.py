@@ -144,6 +144,15 @@ def _env_compile_enabled() -> bool:
 _JS_COMPILE = _env_compile_enabled()
 
 
+#: Engine-wide profiler hook (a
+#: :class:`repro.obs.profiler.ScriptProfiler`, or ``None``). Installed
+#: via :func:`repro.obs.profiler.install_profiler`; interpreters
+#: capture it at construction, so the disabled cost is one ``is not
+#: None`` branch per frame push/pop. Both backends route frames through
+#: ``push_frame``/``pop_frame``, so one hook point profiles both.
+_PROFILER: Optional[Any] = None
+
+
 def compile_enabled() -> bool:
     return _JS_COMPILE
 
@@ -357,6 +366,9 @@ class Interpreter:
         # ``budget`` at every program start; the error materializes only
         # on expiry.
         self._ops_left = budget
+        # Per-interpreter profiler capture (see module-level _PROFILER).
+        self.profiler = _PROFILER
+        self._profile_hash: Optional[str] = None
         self.call_stack: List[Frame] = []
         self.current_script_url = "<host>"
         self.current_this: Any = self.global_object
@@ -386,6 +398,11 @@ class Interpreter:
             program = _AST_CACHE.get(source)
         except SyntaxError as exc:
             raise JSError.syntax_error(str(exc)) from exc
+        if self.profiler is not None:
+            # The content hash the profiler attributes this program
+            # run's ops to — same formula as the corpus store, so hot
+            # scripts join it directly. Computed only when profiling.
+            self._profile_hash = source_digest(source)
         return self.run_program(program, script_url)
 
     def run_program(self, program: ast.Program,
@@ -467,9 +484,13 @@ class Interpreter:
             raise JSError(self.make_error(
                 "InternalError", "too much recursion"))
         self.call_stack.append(frame)
+        if self.profiler is not None:
+            self.profiler.on_push(self, frame)
 
     def pop_frame(self) -> None:
-        self.call_stack.pop()
+        frame = self.call_stack.pop()
+        if self.profiler is not None:
+            self.profiler.on_pop(self, frame)
 
     def capture_stack(self) -> List[StackFrame]:
         """Snapshot the call stack, innermost frame first."""

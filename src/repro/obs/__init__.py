@@ -17,9 +17,21 @@ virtual monotonic clock), and near-zero-cost when disabled: the default
 
 from repro.obs.clock import VirtualClock, WallClock
 from repro.obs.export import (
+    histogram_quantile,
     metrics_to_prometheus,
     snapshot_to_json,
     spans_to_tree_lines,
+)
+from repro.obs.journal import (
+    NULL_JOURNAL,
+    Journal,
+    NullJournal,
+    count_events,
+    journal_files,
+    journal_path_for,
+    merge_journal,
+    read_journal_file,
+    sum_metric_deltas,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -29,7 +41,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.profiler import ScriptProfiler, install_profiler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, coalesce
+from repro.obs.trace import (
+    chrome_trace_to_json,
+    journal_to_chrome_trace,
+    spans_to_chrome_trace,
+)
 from repro.obs.tracing import NullTracer, Span, Tracer
 
 __all__ = [
@@ -47,7 +65,22 @@ __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
     "coalesce",
+    "histogram_quantile",
     "metrics_to_prometheus",
     "snapshot_to_json",
     "spans_to_tree_lines",
+    "Journal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "journal_path_for",
+    "journal_files",
+    "read_journal_file",
+    "merge_journal",
+    "count_events",
+    "sum_metric_deltas",
+    "ScriptProfiler",
+    "install_profiler",
+    "journal_to_chrome_trace",
+    "spans_to_chrome_trace",
+    "chrome_trace_to_json",
 ]

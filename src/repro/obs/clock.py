@@ -45,9 +45,13 @@ class VirtualClock:
                 self._now += seconds
 
     def peek(self) -> float:
-        """Current reading without advancing (for tests)."""
-        with self._lock:
-            return self._now
+        """Current reading without advancing.
+
+        Lock-free: a single attribute load of a float is atomic under
+        the GIL, and peek() sits on the flight recorder's per-event
+        hot path.
+        """
+        return self._now
 
 
 class WallClock:

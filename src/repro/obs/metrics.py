@@ -36,7 +36,7 @@ class Counter:
     threads would lose increments.
     """
 
-    __slots__ = ("name", "labels", "value", "_lock")
+    __slots__ = ("name", "labels", "value", "_lock", "_on_delta")
     kind = "counter"
 
     def __init__(self, name: str, labels: LabelsKey = ()) -> None:
@@ -44,12 +44,15 @@ class Counter:
         self.labels = labels
         self.value = 0.0
         self._lock = threading.Lock()
+        self._on_delta: Any = None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
         with self._lock:
             self.value += amount
+        if self._on_delta is not None:
+            self._on_delta(self, amount)
 
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "name": self.name,
@@ -59,7 +62,7 @@ class Counter:
 class Gauge:
     """A value that can go up and down (e.g. recording integrity)."""
 
-    __slots__ = ("name", "labels", "value", "_lock")
+    __slots__ = ("name", "labels", "value", "_lock", "_on_delta")
     kind = "gauge"
 
     def __init__(self, name: str, labels: LabelsKey = ()) -> None:
@@ -67,18 +70,28 @@ class Gauge:
         self.labels = labels
         self.value = 0.0
         self._lock = threading.Lock()
+        self._on_delta: Any = None
 
     def set(self, value: float) -> None:
         with self._lock:
             self.value = float(value)
+            current = self.value
+        if self._on_delta is not None:
+            self._on_delta(self, current)
 
     def inc(self, amount: float = 1.0) -> None:
         with self._lock:
             self.value += amount
+            current = self.value
+        if self._on_delta is not None:
+            self._on_delta(self, current)
 
     def dec(self, amount: float = 1.0) -> None:
         with self._lock:
             self.value -= amount
+            current = self.value
+        if self._on_delta is not None:
+            self._on_delta(self, current)
 
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "name": self.name,
@@ -94,7 +107,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum",
-                 "count", "_lock")
+                 "count", "_lock", "_on_delta")
     kind = "histogram"
 
     def __init__(self, name: str, labels: LabelsKey = (),
@@ -108,6 +121,7 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
         self._lock = threading.Lock()
+        self._on_delta: Any = None
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -116,8 +130,11 @@ class Histogram:
             for index, bound in enumerate(self.bounds):
                 if value <= bound:
                     self.bucket_counts[index] += 1
-                    return
-            self.bucket_counts[-1] += 1
+                    break
+            else:
+                self.bucket_counts[-1] += 1
+        if self._on_delta is not None:
+            self._on_delta(self, value)
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs, ending with +Inf."""
@@ -155,6 +172,17 @@ class MetricsRegistry:
         self._metrics: Dict[Tuple[str, LabelsKey], Any] = {}
         self._kinds: Dict[str, str] = {}
         self._lock = threading.Lock()
+        self._on_delta: Any = None
+
+    def set_on_delta(self, callback: Any) -> None:
+        """Install a flight-recorder hook ``fn(instrument, value)``
+        fired on every counter ``inc`` (value = delta), gauge mutation
+        (value = new value), and histogram ``observe`` (value =
+        observation). Applies to existing and future instruments."""
+        with self._lock:
+            self._on_delta = callback
+            for metric in self._metrics.values():
+                metric._on_delta = callback
 
     # ------------------------------------------------------------------
     def _get_or_create(self, cls, name: str, labels: Dict[str, Any],
@@ -168,6 +196,7 @@ class MetricsRegistry:
             metric = self._metrics.get(key)
             if metric is None:
                 metric = cls(name, key[1], **kwargs)
+                metric._on_delta = self._on_delta
                 self._metrics[key] = metric
                 self._kinds[name] = cls.kind
             return metric
@@ -219,17 +248,25 @@ class MetricsRegistry:
         are *added to*, gauges adopt the stored value. Histograms with
         mismatched bucket bounds are skipped rather than corrupted.
         Returns the number of instruments restored.
+
+        Restores mutate instrument state directly, bypassing the
+        flight-recorder ``_on_delta`` hook: carried-forward totals were
+        already journalled by the run that produced them, and replaying
+        them as fresh deltas would double-count every counter in the
+        journal-vs-telemetry reconciliation after a resume.
         """
         restored = 0
         for metric in metrics:
             labels = metric.get("labels") or {}
             kind = metric.get("kind")
             if kind == "counter":
-                self.counter(metric["name"], **labels).inc(
-                    float(metric.get("value") or 0.0))
+                counter = self.counter(metric["name"], **labels)
+                with counter._lock:
+                    counter.value += float(metric.get("value") or 0.0)
             elif kind == "gauge":
-                self.gauge(metric["name"], **labels).set(
-                    float(metric.get("value") or 0.0))
+                gauge = self.gauge(metric["name"], **labels)
+                with gauge._lock:
+                    gauge.value = float(metric.get("value") or 0.0)
             elif kind == "histogram":
                 bounds = tuple(metric.get("bounds") or DEFAULT_BUCKETS)
                 hist = self.histogram(metric["name"], buckets=bounds,
@@ -303,6 +340,9 @@ class NullMetricsRegistry:
     """Disabled-mode registry: shared inert instruments, no state."""
 
     enabled = False
+
+    def set_on_delta(self, callback: Any) -> None:
+        pass
 
     def counter(self, name: str, **labels: Any) -> _NullCounter:
         return _NULL_COUNTER

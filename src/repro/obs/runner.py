@@ -12,8 +12,10 @@ build on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
+from repro.obs.journal import NULL_JOURNAL, Journal
+from repro.obs.profiler import ScriptProfiler, install_profiler
 from repro.obs.telemetry import Telemetry
 from repro.openwpm.config import BrowserParams, ManagerParams
 from repro.openwpm.task_manager import TaskManager
@@ -34,6 +36,10 @@ class TelemetryCrawlResult:
     #: The scheduler's CrawlReport when the crawl ran on worker threads
     #: (``workers`` given); ``None`` for the legacy sequential path.
     report: Optional[object] = None
+    #: The crawl's flight recorder (``NULL_JOURNAL`` when not requested).
+    journal: Any = NULL_JOURNAL
+    #: The JS-engine profiler, when profiling was requested.
+    profiler: Optional[ScriptProfiler] = None
 
     @property
     def storage(self):
@@ -41,6 +47,7 @@ class TelemetryCrawlResult:
 
     def close(self) -> None:
         self.manager.close()
+        self.journal.close()
 
 
 def _lab_urls(site_count: int) -> List[str]:
@@ -64,7 +71,9 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
                         quarantine_after: Optional[int] = None,
                         crash_loop_threshold: Optional[int] = None,
                         max_attempts: int = 2,
-                        lease_seconds: float = 300.0
+                        lease_seconds: float = 300.0,
+                        journal_dir: Optional[str] = None,
+                        profile: bool = False
                         ) -> TelemetryCrawlResult:
     """Crawl *site_count* sites with full telemetry enabled.
 
@@ -86,8 +95,25 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
     ``crash_loop_threshold`` wire the fault-injection plan and its
     defenses (watchdog, circuit breaker, crash-loop cooldown) straight
     into the manager — the chaos harness entry point.
+
+    ``journal_dir`` turns on the flight recorder (one JSONL event file
+    per worker under that directory); ``profile=True`` installs the
+    JS-engine profiler and journals its per-script/per-function op
+    aggregates at crawl end.
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
+    journal: Any = NULL_JOURNAL
+    if journal_dir is not None and telemetry.enabled:
+        # Attached before anything runs — and before any resume
+        # restore() below — so every metric increment of this run is
+        # journalled and the delta-sum reconciliation stays exact.
+        journal = Journal(journal_dir, telemetry.clock)
+        telemetry.attach_journal(journal)
+    profiler: Optional[ScriptProfiler] = None
+    previous_profiler = None
+    if profile:
+        profiler = ScriptProfiler()
+        previous_profiler = install_profiler(profiler)
     if web == "tranco":
         from repro.web import build_world
 
@@ -118,19 +144,32 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
         network, telemetry=telemetry)
     report = None
     results: List[object] = []
-    if workers is None:
-        results = manager.crawl(urls)
-    else:
-        if resume and telemetry.enabled:
-            # Carry the previous runs' persisted counters forward so the
-            # final snapshot stays cumulative over the whole database —
-            # otherwise a resumed crawl's books can never balance.
-            telemetry.metrics.restore(manager.storage.telemetry_metrics())
-        report = manager.crawl_scheduled(
-            urls, workers=workers, queue_path=queue_path, resume=resume,
-            stop_after_jobs=stop_after_jobs, max_attempts=max_attempts,
-            lease_seconds=lease_seconds)
+    try:
+        if workers is None:
+            results = manager.crawl(urls)
+        else:
+            if resume and telemetry.enabled:
+                # Carry the previous runs' persisted counters forward
+                # so the final snapshot stays cumulative over the whole
+                # database — otherwise a resumed crawl's books can
+                # never balance.
+                telemetry.metrics.restore(
+                    manager.storage.telemetry_metrics())
+            report = manager.crawl_scheduled(
+                urls, workers=workers, queue_path=queue_path,
+                resume=resume, stop_after_jobs=stop_after_jobs,
+                max_attempts=max_attempts, lease_seconds=lease_seconds)
+    finally:
+        if profile:
+            install_profiler(previous_profiler)
+    if profiler is not None:
+        for entry in profiler.hot_scripts():
+            journal.emit("profile_script", **entry)
+        for entry in profiler.hot_functions():
+            journal.emit("profile_function", **entry)
+    journal.flush()
     # Snapshot now (close() would too, but callers report before closing).
     manager.storage.persist_telemetry(telemetry.snapshot())
     return TelemetryCrawlResult(manager=manager, telemetry=telemetry,
-                                urls=urls, results=results, report=report)
+                                urls=urls, results=results, report=report,
+                                journal=journal, profiler=profiler)

@@ -19,7 +19,17 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.obs.journal import (
+    count_events,
+    journal_files,
+    merge_journal,
+    sum_metric_deltas,
+)
 from repro.obs.telemetry import Telemetry
+
+#: Version stamped into every JSON report export; bump on any change to
+#: the report's shape so downstream consumers can dispatch.
+REPORT_SCHEMA_VERSION = 2
 
 
 def _metric_value(metrics: List[Dict[str, Any]], name: str,
@@ -46,7 +56,9 @@ def _table_count(storage: Any, table: str, where: str = "",
 def build_crawl_report(storage: Any,
                        telemetry: Optional[Telemetry] = None,
                        queue: Any = None,
-                       corpus: Any = None) -> Dict[str, Any]:
+                       corpus: Any = None,
+                       journal_dir: Optional[str] = None
+                       ) -> Dict[str, Any]:
     """Assemble the loss-accounting report for one crawl database.
 
     ``telemetry`` overrides the stored snapshot with live metrics (used
@@ -59,6 +71,11 @@ def build_crawl_report(storage: Any,
     only the final run, while the queue spans all of them.
     ``corpus`` (a :class:`repro.corpus.ScriptCorpus`) adds script
     dedup / compression / analysis-cache effectiveness.
+    ``journal_dir`` (a flight-recorder directory) adds a third book:
+    the merged journal's event counts and metric-delta sums are
+    reconciled against both the telemetry counters and the database
+    tables — a journal that diverges from either is a
+    recording-integrity failure and fails the report.
     """
     if telemetry is not None and telemetry.enabled:
         metrics = telemetry.metrics.snapshot()
@@ -298,6 +315,64 @@ def build_crawl_report(storage: Any,
               len(failed_sites),
               sum(1 for site in failed_sites if site in ledger))
 
+    # --- flight-recorder journal (third book) ------------------------
+    journal_state: Optional[Dict[str, Any]] = None
+    if journal_dir is not None and journal_files(journal_dir):
+        events = merge_journal(journal_dir)
+        event_counts = count_events(events)
+        deltas = sum_metric_deltas(events)
+
+        def journal_count(name: str) -> int:
+            return int(event_counts.get(name, 0))
+
+        def journal_retractions(name: str) -> int:
+            return sum(int(event.get("count") or 1) for event in events
+                       if event.get("type") == name)
+
+        journal_state = {
+            "directory": journal_dir,
+            "files": len(journal_files(journal_dir)),
+            "events": len(events),
+            "epochs": max((int(event.get("epoch") or 0)
+                           for event in events), default=0) + 1,
+            "event_counts": event_counts,
+        }
+        # Journal events vs the database tables: every ledger row must
+        # have its event, net of retractions.
+        check("journal visit_crash events == crash_history rows",
+              journal_count("visit_crash"), db["crash_rows"])
+        check("journal visit_given_up - retractions =="
+              " failed_visits rows",
+              journal_count("visit_given_up")
+              - journal_retractions("given_up_retracted"),
+              db["failed_visit_rows"])
+        check("journal site_quarantined - retractions =="
+              " quarantined_sites rows",
+              journal_count("site_quarantined")
+              - journal_retractions("quarantine_retracted"),
+              db["quarantined_site_rows"])
+        if has_telemetry:
+            # Journal events vs the telemetry counters (double entry).
+            check("journal visit_complete events == visits_completed",
+                  journal_count("visit_complete"),
+                  tele["visits_completed"])
+            check("journal visit_attempt events == visit_attempts_total",
+                  journal_count("visit_attempt"),
+                  tele["visit_attempts_total"])
+            check("journal visit_start events == visits_attempted",
+                  journal_count("visit_start"),
+                  tele["visits_attempted"])
+            # Journalled metric deltas must sum to the counter values —
+            # a recorder that drops (or double-writes) metric events
+            # cannot pass this.
+            for name in ("visits_attempted", "visits_completed",
+                         "visits_crashed", "visit_attempts_total",
+                         "sched_jobs_claimed", "sched_jobs_completed"):
+                if _has_metric(metrics, name):
+                    check(f"journal metric deltas == {name}",
+                          deltas.get((name, ()), 0.0),
+                          _metric_value(metrics, name))
+
     browser_crash_counts = {
         (metric.get("labels") or {}).get("browser", ""):
             int(metric.get("value") or 0)
@@ -305,12 +380,14 @@ def build_crawl_report(storage: Any,
         if metric["name"] == "browser_crash_count"}
 
     return {
+        "schema_version": REPORT_SCHEMA_VERSION,
         "has_telemetry": has_telemetry,
         "database": db,
         "telemetry": tele,
         "browser_crash_counts": browser_crash_counts,
         "scheduler": scheduler,
         "queue": queue_state,
+        "journal": journal_state,
         "corpus": corpus.stats() if corpus is not None else None,
         "drop_reasons": drop_reasons,
         "stages": stages,
@@ -462,6 +539,21 @@ def render_crawl_report(report: Dict[str, Any]) -> str:
              f"hit rate {corpus_stats['cache_hit_rate'] * 100.0:.1f}%"
              + ("" if corpus_stats["cache_enabled"]
                 else "  [DISABLED via REPRO_CORPUS_CACHE=off]"))
+        push("")
+
+    journal_state = report.get("journal")
+    if journal_state is not None:
+        push("Flight recorder (journal)")
+        push(f"  events ................. {journal_state['events']}"
+             f"  (files: {journal_state['files']}, "
+             f"epochs: {journal_state['epochs']})")
+        counts = journal_state.get("event_counts") or {}
+        lifecycle = ", ".join(
+            f"{name.replace('visit_', '')}={counts[name]}"
+            for name in ("visit_start", "visit_complete", "visit_crash",
+                         "visit_given_up") if name in counts)
+        if lifecycle:
+            push(f"  visit lifecycle ........ {lifecycle}")
         push("")
 
     queue_state = report.get("queue")

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.obs.clock import VirtualClock
+from repro.obs.journal import NULL_JOURNAL
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
 from repro.obs.tracing import NullTracer, Tracer, _NULL_SPAN
 
@@ -71,11 +72,64 @@ class Telemetry:
         # stage() is the hottest call site — cache the per-stage
         # histogram handle so repeated stages skip the registry lookup.
         self._stage_histograms: Dict[str, Any] = {}
+        #: Flight recorder (:class:`repro.obs.journal.Journal`);
+        #: defaults to the shared no-op so every ``journal.emit`` call
+        #: site is safe without a check.
+        self.journal: Any = NULL_JOURNAL
 
     # ------------------------------------------------------------------
     @classmethod
     def disabled(cls) -> "Telemetry":
         return cls(enabled=False)
+
+    def attach_journal(self, journal: Any) -> None:
+        """Wire the flight recorder into the tracer and metrics.
+
+        Every span open/close and metric mutation from now on is also
+        journalled (span/metric events are buffered writes; lifecycle
+        events emitted by integration layers flush them). No-op when
+        telemetry is disabled or the journal is the null instance.
+        """
+        self.journal = journal
+        if not self.enabled or not journal.enabled:
+            return
+
+        # Span events carry no explicit start/end fields: both equal
+        # the event's own virtual-clock ``t`` (the hooks fire at span
+        # boundaries), and the journal's hot path is byte volume.
+        # attrs/labels are passed by reference, not copied: the journal
+        # serialises every event synchronously inside emit(), so later
+        # mutation of the live dict cannot leak into the record.
+        def span_open(span: Any) -> None:
+            journal.emit("span_open", name=span.name,
+                         span_id=span.span_id, trace_id=span.trace_id,
+                         parent_id=span.parent_id,
+                         attrs=span.attributes)
+
+        def span_close(span: Any) -> None:
+            journal.emit("span_close", name=span.name,
+                         span_id=span.span_id, trace_id=span.trace_id,
+                         duration=span.duration, status=span.status,
+                         attrs=span.attributes)
+
+        def metric_delta(instrument: Any, value: float) -> None:
+            # Histogram observations are not journalled: the durations
+            # they record already ride in the matching span_close
+            # events, and reconciliation sums counter deltas only —
+            # journalling each observation would double-record the
+            # highest-volume metric for no extra information. Counter
+            # and gauge mutations are coalesced per (name, labels) in
+            # the writer and journalled as aggregates at each flush
+            # window (see JournalWriter.add_metric).
+            kind = instrument.kind
+            if kind == "histogram":
+                return
+            journal.add_metric(instrument.name, kind,
+                               instrument.labels, value)
+
+        self.tracer.on_start = span_open
+        self.tracer.on_end = span_close
+        self.metrics.set_on_delta(metric_delta)
 
     def stage(self, name: str, **attributes: Any):
         """Time one stage: a span plus a ``stage_seconds`` observation."""

@@ -102,6 +102,12 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_trace = 1
         self._next_span = 1
+        #: Flight-recorder hooks: ``on_start(span)`` fires after a span
+        #: opens, ``on_end(span)`` after it closes (orphans included).
+        #: Set by ``Telemetry.attach_journal``; ``None`` costs one
+        #: branch per span.
+        self.on_start: Optional[Any] = None
+        self.on_end: Optional[Any] = None
 
     @property
     def _stack(self) -> List[Span]:
@@ -140,6 +146,8 @@ class Tracer:
             parent_id=parent_id, start_time=self.clock.now(),
             attributes=dict(attributes))
         stack.append(span)
+        if self.on_start is not None:
+            self.on_start(span)
         return _ActiveSpan(self, span)
 
     def _end(self, span: Span) -> None:
@@ -159,6 +167,9 @@ class Tracer:
         done.append(span)
         with self._lock:
             self._finished.extend(done)
+        if self.on_end is not None:
+            for finished in done:
+                self.on_end(finished)
 
     # ------------------------------------------------------------------
     def current_span(self) -> Optional[Span]:

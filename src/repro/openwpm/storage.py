@@ -206,6 +206,7 @@ class StorageController:
     }
 
     def __init__(self, database_path: str = ":memory:") -> None:
+        self.database_path = database_path
         self.connection = sqlite3.connect(database_path,
                                           check_same_thread=False)
         self.connection.row_factory = sqlite3.Row
@@ -245,6 +246,16 @@ class StorageController:
         """Buffered-but-unflushed rows across all batched tables."""
         with self._lock:
             return sum(len(rows) for rows in self._pending.values())
+
+    # ------------------------------------------------------------------
+    def journal_directory(self) -> Optional[str]:
+        """Where this database's flight-recorder journal lives (the
+        ``<db>.journal`` sidecar), or ``None`` for in-memory databases.
+        Purely a path convention — the journal itself is owned by the
+        telemetry layer, not the storage controller."""
+        from repro.obs.journal import journal_path_for
+
+        return journal_path_for(self.database_path)
 
     # ------------------------------------------------------------------
     # Visit lifecycle

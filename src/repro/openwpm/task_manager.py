@@ -126,6 +126,10 @@ class TaskManager:
             self.fault_plan.bind_clock(self.telemetry.clock)
             self.storage.fault_plan = self.fault_plan
             self.network.fault_plan = self.fault_plan
+            # Flight recorder: journal every injection. The journal is
+            # read through the telemetry facade at fire time, so a
+            # journal attached after construction still gets events.
+            self.fault_plan.on_trigger = self._journal_fault
 
         self._watchdog: Optional[Watchdog] = None
         if manager_params.stage_deadline_seconds is not None \
@@ -134,6 +138,7 @@ class TaskManager:
                 self.telemetry.clock,
                 default_deadline=manager_params.stage_deadline_seconds,
                 stage_deadlines=manager_params.stage_deadlines)
+            self._watchdog.on_abort = self._journal_watchdog_abort
 
         self._breaker: Optional[CircuitBreaker] = None
         if manager_params.quarantine_after:
@@ -214,6 +219,16 @@ class TaskManager:
     # ------------------------------------------------------------------
     # Fault-injection / supervision plumbing
     # ------------------------------------------------------------------
+    def _journal_fault(self, point: str, url: str, rule_index: int,
+                       fault: str) -> None:
+        self.telemetry.journal.emit("fault", point=point, url=url,
+                                    rule=rule_index, fault=fault)
+
+    def _journal_watchdog_abort(self, exc: VisitDeadlineExceeded) -> None:
+        self.telemetry.journal.emit(
+            "watchdog_abort", url=exc.url, stage=exc.stage,
+            elapsed=exc.elapsed, deadline=exc.deadline)
+
     def _inject(self, point: str, url: str) -> None:
         """Consult the fault plan at a visit choke point."""
         plan = self.fault_plan
@@ -244,6 +259,8 @@ class TaskManager:
             url, self._breaker.failures(url), why,
             self.telemetry.clock.peek())
         tm = self.telemetry
+        tm.journal.emit("site_quarantined", url=url,
+                        failures=self._breaker.failures(url), why=why)
         tm.metrics.counter("sites_quarantined").inc()
         tm.metrics.counter("visits_quarantined").inc()
         # The quarantine row is now the site's single ledger entry:
@@ -259,6 +276,8 @@ class TaskManager:
         """Void a site's failed_visits entries (superseded verdict)."""
         retracted = self.storage.retract_failed_visits(url)
         if retracted:
+            self.telemetry.journal.emit("given_up_retracted", url=url,
+                                        count=retracted)
             self.telemetry.metrics.counter(
                 "visits_given_up_retracted").inc(retracted)
             with self._failed_sites_lock:
@@ -273,6 +292,8 @@ class TaskManager:
         verdict that the site succeeded."""
         retracted = self.storage.retract_quarantine(url)
         if retracted:
+            self.telemetry.journal.emit("quarantine_retracted", url=url,
+                                        count=retracted)
             self.telemetry.metrics.counter(
                 "sites_quarantined_retracted").inc(retracted)
         if self._breaker is not None:
@@ -283,6 +304,8 @@ class TaskManager:
         """The crawl-loss ledger entry for a site given up on."""
         self.storage.record_failed_visit(browser_id, url, attempts,
                                          reason)
+        self.telemetry.journal.emit("visit_given_up", url=url,
+                                    attempts=attempts, reason=reason)
         self.telemetry.metrics.counter("visits_given_up").inc()
         with self._failed_sites_lock:
             self.failed_sites.append(url)
@@ -322,8 +345,13 @@ class TaskManager:
         slot.last_visit_id = None
         slot.last_given_up_site = None
         tm = self.telemetry
+        journal = tm.journal
+        journal.emit("visit_start", url=sequence.url,
+                     browser_id=slot.browser_id)
         tm.metrics.counter("visits_attempted").inc()
         if self.is_quarantined(sequence.url):
+            journal.emit("visit_quarantined", url=sequence.url,
+                         reason="breaker_open")
             tm.metrics.counter("visits_quarantined").inc()
             return None
         watch = self._watchdog
@@ -336,12 +364,16 @@ class TaskManager:
                 if attempts > 1:
                     tm.metrics.counter("visits_retried").inc()
                 tm.metrics.counter("visit_attempts_total").inc()
+                journal.emit("visit_attempt", url=sequence.url,
+                             attempt=attempts)
                 try:
                     context = self.storage.begin_visit(slot.browser_id,
                                                        sequence.url)
                 except sqlite3.OperationalError:
                     # Transient busy/locked before any side effect:
                     # nothing to clean up, just retry the attempt.
+                    journal.emit("visit_storage_fault",
+                                 url=sequence.url, attempt=attempts)
                     tm.metrics.counter("visits_storage_faults").inc()
                     give_up_reason = "storage_fault"
                     continue
@@ -380,11 +412,16 @@ class TaskManager:
                     with tm.stage("storage_commit"):
                         self.storage.end_visit(slot.browser_id)
                     slot.last_visit_id = context.visit_id
+                    journal.emit("visit_complete", url=sequence.url,
+                                 attempts=attempts,
+                                 visit_id=context.visit_id)
                     tm.metrics.counter("visits_completed").inc()
                     visit_span.set_attribute("outcome", "completed")
                     visit_span.set_attribute("attempts", attempts)
                     return result
                 except BrowserCrashed:
+                    journal.emit("visit_crash", url=sequence.url,
+                                 attempt=attempts)
                     tm.metrics.counter("visits_crashed").inc()
                     self.storage.record_crash(slot.browser_id,
                                               sequence.url, "crash")
@@ -399,6 +436,10 @@ class TaskManager:
                     # The watchdog's remedy for a hung visit: discard
                     # its partial rows, restart the slot, retry (or let
                     # the queue re-run it when the caller propagates).
+                    # (The watchdog's own on_abort hook already wrote
+                    # the ``watchdog_abort`` event with stage detail.)
+                    journal.emit("visit_hung", url=sequence.url,
+                                 attempt=attempts)
                     tm.metrics.counter("visits_hung").inc()
                     if slot.browser_id in self.storage.active_visits():
                         tm.metrics.counter("visits_aborted").inc()
@@ -414,6 +455,8 @@ class TaskManager:
                                           visit_span, "hang"):
                         return None
                     if propagate_hangs:
+                        journal.emit("visit_abandoned",
+                                     url=sequence.url, attempt=attempts)
                         tm.metrics.counter("visits_abandoned").inc()
                         visit_span.set_attribute("outcome", "abandoned")
                         visit_span.set_status("error:deadline")
@@ -421,14 +464,18 @@ class TaskManager:
                 except NetworkFault:
                     # The fetch died but the browser is fine: close the
                     # attempt and retry without a restart.
+                    journal.emit("visit_network_fault",
+                                 url=sequence.url, attempt=attempts)
                     tm.metrics.counter("visits_network_faults").inc()
                     if slot.browser_id in self.storage.active_visits():
                         self.storage.end_visit(slot.browser_id)
                     give_up_reason = "network_fault"
-                except Exception:
+                except Exception as exc:
                     # Unexpected fault: close the visit so the browser
                     # slot stays usable, then let queue-level retry
                     # (or the caller) deal with the site.
+                    journal.emit("visit_error", url=sequence.url,
+                                 attempt=attempts, error=repr(exc))
                     tm.metrics.counter("visits_errored").inc()
                     if slot.browser_id in self.storage.active_visits():
                         self.storage.end_visit(slot.browser_id)
@@ -574,6 +621,9 @@ class TaskManager:
             # complete or quarantine the site instead).
             slot = self.browsers[worker_index]
             if slot.last_visit_id is not None:
+                self.telemetry.journal.emit(
+                    "visit_discarded", url=job.site_url,
+                    visit_id=slot.last_visit_id)
                 self._count_discarded(
                     self.storage.delete_visit(slot.last_visit_id))
                 slot.last_visit_id = None
@@ -611,4 +661,5 @@ class TaskManager:
         """Persist the telemetry snapshot alongside the crawl, then close."""
         if self.telemetry.enabled:
             self.storage.persist_telemetry(self.telemetry.snapshot())
+        self.telemetry.journal.flush()
         self.storage.close()

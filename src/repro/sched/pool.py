@@ -170,6 +170,19 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def _worker_loop(self, index: int) -> None:
         owner = f"{self.name}-{index}"
+        # Route this thread's flight-recorder events into the worker's
+        # own journal file. The binding is thread-local, and unbound in
+        # the finally below — critical for 1-worker runs, which execute
+        # inline in the calling thread.
+        journal = self.telemetry.journal
+        journal.bind_worker(owner)
+        try:
+            self._worker_loop_bound(index, owner, journal)
+        finally:
+            journal.unbind()
+
+    def _worker_loop_bound(self, index: int, owner: str,
+                           journal: Any) -> None:
         metrics = self.telemetry.metrics
         busy = metrics.gauge("sched_workers_busy")
         queue_wait = metrics.histogram("queue_wait_seconds")
@@ -179,6 +192,8 @@ class WorkerPool:
             if reclaim:
                 metrics.counter("sched_lease_reclaims").inc(
                     reclaim.total)
+                journal.emit("lease_reclaim", owner=owner,
+                             count=reclaim.total)
                 with self._state_lock:
                     self._report.reclaimed += reclaim.total
                 # A reclaimed job with no attempts left went terminal
@@ -186,6 +201,9 @@ class WorkerPool:
                 # and run the loss-ledger hook here, or the site would
                 # vanish from the books.
                 for dead_job in reclaim.failed_jobs:
+                    journal.emit("lease_expired_terminal",
+                                 job_id=dead_job.job_id,
+                                 url=dead_job.site_url)
                     self._count_failure(dead_job, index, "failed",
                                         "lease_expired")
                 self._publish_depth()
@@ -206,12 +224,16 @@ class WorkerPool:
                     # past it so a live worker can reclaim), and this
                     # thread plays its own replacement.
                     metrics.counter("sched_worker_deaths").inc()
+                    journal.emit("worker_death", job_id=job.job_id,
+                                 url=job.site_url)
                     with self._state_lock:
                         self._report.worker_deaths += 1
                     self.fault_plan.burn(
                         rule.seconds or self.queue.lease_seconds + 1.0)
                     continue
             metrics.counter("sched_jobs_claimed").inc()
+            journal.emit("lease_claim", job_id=job.job_id,
+                         url=job.site_url, attempts=job.attempts)
             queue_wait.observe(job.claimed_at - job.enqueued_at)
             busy.inc()
             with self._state_lock:
@@ -239,6 +261,9 @@ class WorkerPool:
                         terminal = self._lease_lost(job)
                     else:
                         metrics.counter("sched_jobs_completed").inc()
+                        journal.emit("lease_complete",
+                                     job_id=job.job_id,
+                                     url=job.site_url)
                         with self._state_lock:
                             self._report.completed += 1
                         if self.on_completed is not None:
@@ -268,6 +293,8 @@ class WorkerPool:
         """This worker held the job past its lease: its outcome is
         void (the job was, or will be, re-run by a live worker)."""
         self.telemetry.metrics.counter("sched_leases_lost").inc()
+        self.telemetry.journal.emit("lease_lost", job_id=job.job_id,
+                                    url=job.site_url)
         with self._state_lock:
             self._report.lease_lost += 1
         return False
@@ -284,6 +311,9 @@ class WorkerPool:
                        error: str) -> bool:
         """Update counters after ``fail``; True when terminal."""
         metrics = self.telemetry.metrics
+        self.telemetry.journal.emit("lease_fail", job_id=job.job_id,
+                                    url=job.site_url, state=state,
+                                    error=error)
         if state == "failed":
             metrics.counter("sched_jobs_failed").inc()
             with self._state_lock:

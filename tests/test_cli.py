@@ -115,3 +115,99 @@ class TestCrawlCommand:
             + out["scheduler"]["jobs_failed"] == 15
         assert out["queue"]["drained"] is True
         assert out["reconciled"] is True
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(scope="class")
+    def journalled_db(self, tmp_path_factory):
+        import contextlib
+        import io
+
+        db = str(tmp_path_factory.mktemp("obs") / "crawl.sqlite")
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(["crawl", "--web", "tranco", "--sites", "8",
+                         "--workers", "2", "--db", db, "--journal",
+                         "--profile", "--crash-probability", "0",
+                         "--json"])
+        assert code == 0
+        out = json.loads(buffer.getvalue())
+        assert out["journal"] == db + ".journal"
+        assert out["hot_scripts"], "profiled crawl surfaced no scripts"
+        return db
+
+    def test_crawl_journal_needs_durable_db(self, capsys):
+        code = main(["crawl", "--sites", "3", "--journal"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "journal" in captured.err
+
+    def test_stats_autodetects_journal(self, journalled_db, capsys):
+        code, out = run_cli(capsys, ["stats", "--db", journalled_db,
+                                     "--json"])
+        assert code == 0
+        assert out["schema_version"] == 2
+        assert out["journal"]["directory"] == journalled_db + ".journal"
+        assert out["journal"]["events"] > 0
+        journal_checks = [c for c in out["reconciliation"]
+                          if c["check"].startswith("journal")]
+        assert journal_checks and all(c["ok"] for c in journal_checks)
+        assert out["reconciled"] is True
+
+    def test_stats_output_writes_report_file(self, journalled_db,
+                                             tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code, out = run_cli(capsys, ["stats", "--db", journalled_db,
+                                     "--output", str(path), "--json"])
+        assert code == 0
+        assert json.loads(path.read_text()) == out
+
+    def test_trace_exports_chrome_trace(self, journalled_db, tmp_path,
+                                        capsys):
+        path = tmp_path / "trace.json"
+        code = main(["trace", journalled_db, "--output", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace events" in captured.out
+        trace = json.loads(path.read_text())
+        assert trace["traceEvents"]
+        assert {e["ph"] for e in trace["traceEvents"]} <= {"M", "X", "i"}
+        assert all({"ph", "pid", "tid", "name"} <= set(e)
+                   for e in trace["traceEvents"])
+
+    def test_trace_accepts_journal_directory(self, journalled_db,
+                                             capsys):
+        code = main(["trace", journalled_db + ".journal"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert json.loads(captured.out)["traceEvents"]
+
+    def test_trace_rejects_missing_source(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "nope")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "neither" in captured.err
+
+    def test_profile_ranks_scripts(self, journalled_db, capsys):
+        code, out = run_cli(capsys, ["profile", journalled_db, "--json"])
+        assert code == 0
+        ops = [row["ops"] for row in out["scripts"]]
+        assert ops == sorted(ops, reverse=True) and ops
+        assert all(len(row["script_hash"]) == 64
+                   for row in out["scripts"])
+        assert out["functions"]
+
+    def test_profile_errors_without_journal(self, tmp_path, capsys):
+        code = main(["profile", str(tmp_path / "nope")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "journal" in captured.err
+
+    def test_tail_renders_events(self, journalled_db, capsys):
+        code = main(["tail", journalled_db, "--max-events", "5",
+                     "--type", "visit_complete"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [line for line in captured.out.splitlines() if line]
+        assert 0 < len(lines) <= 5
+        assert all("visit_complete" in line for line in lines)

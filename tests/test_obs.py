@@ -283,6 +283,26 @@ class TestMetrics:
         registry.histogram("z").observe(1.0)
         assert registry.snapshot() == []
 
+    def test_restore_bypasses_delta_hook(self):
+        # Resume carry-forward replays totals the *previous* run already
+        # journalled; firing the flight-recorder hook for them would
+        # double-count every counter in the journal reconciliation.
+        first = MetricsRegistry()
+        first.counter("visits_completed").inc(392.0)
+        first.gauge("queue_depth", state="pending").set(7.0)
+        second = MetricsRegistry()
+        deltas = []
+        second.set_on_delta(lambda inst, value: deltas.append(
+            (inst.name, value)))
+        second.restore(first.snapshot())
+        assert deltas == []
+        assert second.counter_value("visits_completed") == 392.0
+        assert second.gauge_value("queue_depth", state="pending") == 7.0
+        # fresh activity after the restore still reaches the hook
+        second.counter("visits_completed").inc()
+        assert deltas == [("visits_completed", 1.0)]
+        assert second.counter_value("visits_completed") == 393.0
+
 
 class TestTelemetry:
     def test_stage_records_span_and_histogram(self):
@@ -356,3 +376,87 @@ class TestExport:
         # Trace header at depth 0, root span at depth 1, child at 2.
         assert visit_line.startswith("  visit")
         assert child_line.startswith("    page_load")
+
+
+class TestHistogramQuantile:
+    from repro.obs.export import histogram_quantile as _hq
+
+    _hq = staticmethod(_hq)
+
+    def test_empty_histogram_returns_zero(self):
+        assert self._hq(0.5, [1.0, 2.0], [0, 0, 0]) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        # 30 observations spread 10/10/10 over (0,1], (1,2], (2,3]:
+        # the median falls halfway through the second bucket.
+        assert self._hq(0.5, [1.0, 2.0, 3.0],
+                        [10, 10, 10, 0]) == pytest.approx(1.5)
+
+    def test_quantile_in_first_bucket_starts_at_zero(self):
+        assert self._hq(0.5, [10.0], [4, 0]) == pytest.approx(5.0)
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        # Nearly everything landed beyond the largest finite bound;
+        # there is no upper edge to interpolate toward.
+        assert self._hq(0.99, [1.0, 2.0, 3.0], [0, 0, 1, 5]) == 3.0
+
+    def test_matches_exact_bucket_edge(self):
+        assert self._hq(1.0, [1.0, 2.0], [5, 5, 0]) == pytest.approx(2.0)
+
+
+class TestPrometheusQuantilesAndHelp:
+    def _labelled_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("visits_attempted").inc(3)
+        for stage, value in (("page_load", 0.5), ("dwell", 1.5)):
+            registry.histogram("stage_seconds", buckets=(0.1, 1.0, 2.0),
+                               stage=stage).observe(value)
+        return registry
+
+    def test_every_family_has_help_and_type(self):
+        text = metrics_to_prometheus(self._labelled_registry().snapshot())
+        lines = text.splitlines()
+        families = {line.split("{")[0].split(" ")[0] for line in lines
+                    if line and not line.startswith("#")}
+        for family in families:
+            base = family
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix):
+                    base = family[:-len(suffix)]
+            assert any(line.startswith(f"# HELP {base} ")
+                       for line in lines), base
+            assert any(line.startswith(f"# TYPE {base} ")
+                       for line in lines), base
+
+    def test_known_metric_uses_curated_help(self):
+        text = metrics_to_prometheus(self._labelled_registry().snapshot())
+        assert ("# HELP repro_visits_attempted "
+                "Sites the crawl attempted to visit.") in text
+
+    def test_quantile_gauges_exported_with_labels(self):
+        text = metrics_to_prometheus(self._labelled_registry().snapshot())
+        assert "# TYPE repro_stage_seconds_p50 gauge" in text
+        assert "# TYPE repro_stage_seconds_p95 gauge" in text
+        assert "# TYPE repro_stage_seconds_p99 gauge" in text
+        # One 0.5s observation in (0.1, 1.0]: the median interpolates
+        # to 0.55 — PromQL's histogram_quantile() estimate.
+        assert 'repro_stage_seconds_p50{stage="page_load"} 0.55' in text
+        assert 'repro_stage_seconds_p50{stage="dwell"}' in text
+
+    def test_quantile_family_samples_stay_consecutive(self):
+        # Exposition format forbids interleaving families: with two
+        # labelled stage_seconds histograms, both _p50 samples must sit
+        # together rather than split around _p95/_p99 lines.
+        text = metrics_to_prometheus(self._labelled_registry().snapshot())
+        family_of = []
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    name = name[:-len(suffix)]
+            if family_of and family_of[-1] == name:
+                continue
+            family_of.append(name)
+        assert len(family_of) == len(set(family_of)), family_of

@@ -1,0 +1,455 @@
+"""Tests for the crawl flight recorder, JS-engine profiler, and trace
+export.
+
+Covers the journal's crash-recovery contract (torn tail tolerated,
+mid-file corruption rejected), deterministic cross-worker merging,
+epoch claiming on resume, the profiler's op attribution, the
+fixed-seed reconciliation of a journalled two-worker crawl against the
+telemetry and failure tables, and a golden-file pin of the Chrome
+trace-event export for a fixed-seed sequential crawl.
+
+To regenerate the trace golden after an intentional schema change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src \
+        python -m pytest tests/test_obs_journal.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+
+import pytest
+
+from repro.obs.clock import VirtualClock
+from repro.obs.journal import (
+    NULL_JOURNAL,
+    Journal,
+    count_events,
+    journal_files,
+    journal_path_for,
+    merge_journal,
+    read_journal_file,
+    sum_metric_deltas,
+)
+from repro.obs.profiler import ScriptProfiler, install_profiler
+from repro.obs.runner import run_telemetry_crawl
+from repro.obs.stats import REPORT_SCHEMA_VERSION, build_crawl_report
+from repro.obs.trace import chrome_trace_to_json, journal_to_chrome_trace
+
+TRACE_GOLDEN_PATH = (pathlib.Path(__file__).parent / "golden"
+                     / "trace_golden.json")
+
+
+class TestJournalWriting:
+    def test_events_carry_order_key_fields(self, tmp_path):
+        clock = VirtualClock()
+        journal = Journal(str(tmp_path), clock)
+        clock.advance(1.5)
+        journal.emit("visit_start", url="https://a.test/")
+        journal.emit("visit_complete", url="https://a.test/")
+        journal.close()
+        events = merge_journal(str(tmp_path))
+        assert [e["type"] for e in events] == ["visit_start",
+                                               "visit_complete"]
+        first, second = events
+        assert first["epoch"] == 0 and first["worker"] == "main"
+        assert first["t"] == pytest.approx(1.5)
+        assert (first["seq"], second["seq"]) == (0, 1)
+        assert first["url"] == "https://a.test/"
+
+    def test_emit_never_advances_virtual_time(self, tmp_path):
+        clock = VirtualClock()
+        journal = Journal(str(tmp_path), clock)
+        before = clock.peek()
+        for _ in range(50):
+            journal.emit("metric", name="x", kind="counter", delta=1)
+        journal.close()
+        assert clock.peek() == before
+
+    def test_lifecycle_event_flushes_buffered_events(self, tmp_path):
+        journal = Journal(str(tmp_path), VirtualClock())
+        journal.emit("metric", name="x", kind="counter", delta=1)
+        journal.emit("span_open", name="visit")
+        journal.emit("visit_start", url="https://a.test/")
+        # No explicit flush/close: the lifecycle event must have carried
+        # the buffered metric/span events to disk with it.
+        (path,) = journal_files(str(tmp_path))
+        assert [e["type"] for e in read_journal_file(path)] == [
+            "metric", "span_open", "visit_start"]
+        journal.close()
+
+    def test_bind_worker_routes_thread_events(self, tmp_path):
+        journal = Journal(str(tmp_path), VirtualClock())
+        journal.emit("visit_start", url="https://main.test/")
+
+        def work():
+            journal.bind_worker("worker-0")
+            try:
+                journal.emit("lease_claim", url="https://w.test/")
+            finally:
+                journal.unbind()
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        journal.close()
+        files = journal_files(str(tmp_path))
+        assert [os.path.basename(p) for p in files] == [
+            "epoch-0000.main.jsonl", "epoch-0000.worker-0.jsonl"]
+        by_file = {os.path.basename(p): read_journal_file(p)
+                   for p in files}
+        assert [e["type"] for e in by_file["epoch-0000.main.jsonl"]] \
+            == ["visit_start"]
+        assert [e["type"] for e in by_file["epoch-0000.worker-0.jsonl"]] \
+            == ["lease_claim"]
+
+    def test_journal_path_for(self):
+        assert journal_path_for(":memory:") is None
+        assert journal_path_for("/tmp/c.sqlite") == "/tmp/c.sqlite.journal"
+
+    def test_null_journal_is_inert(self):
+        NULL_JOURNAL.bind_worker("w")
+        NULL_JOURNAL.emit("visit_start", url="x")
+        NULL_JOURNAL.flush()
+        NULL_JOURNAL.close()
+        assert not NULL_JOURNAL.enabled
+
+
+class TestCrashRecovery:
+    def _file(self, tmp_path, text):
+        path = tmp_path / "epoch-0000.main.jsonl"
+        path.write_text(text)
+        return str(path)
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = self._file(tmp_path,
+                          '{"type":"visit_start","seq":0}\n'
+                          '{"type":"visit_comp')
+        events = read_journal_file(path)
+        assert [e["type"] for e in events] == ["visit_start"]
+
+    def test_clean_file_reads_fully(self, tmp_path):
+        path = self._file(tmp_path,
+                          '{"type":"a","seq":0}\n{"type":"b","seq":1}\n')
+        assert [e["type"] for e in read_journal_file(path)] == ["a", "b"]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = self._file(tmp_path,
+                          '{"type":"a","seq":0}\n'
+                          '{"type":"b","se\n'
+                          '{"type":"c","seq":2}\n')
+        with pytest.raises(ValueError, match="corrupt journal line 2"):
+            read_journal_file(path)
+
+    def test_kill_mid_write_recovers(self, tmp_path):
+        # Simulate a crash: journal abandoned without close(), then the
+        # last line torn off mid-byte.
+        journal = Journal(str(tmp_path), VirtualClock())
+        for i in range(5):
+            journal.emit("visit_complete", url=f"https://s{i}.test/")
+        journal.flush()
+        (path,) = journal_files(str(tmp_path))
+        data = pathlib.Path(path).read_bytes()
+        pathlib.Path(path).write_bytes(data[:-9])  # tear the tail
+        events = read_journal_file(path)
+        assert len(events) == 4  # the torn fifth line is dropped
+        assert all(e["type"] == "visit_complete" for e in events)
+
+
+class TestMerge:
+    def test_merge_orders_across_workers_and_epochs(self, tmp_path):
+        clock = VirtualClock()
+        first = Journal(str(tmp_path), clock)
+        first.emit("visit_start", url="a")
+        clock.advance(1.0)
+        first.bind_worker("worker-0")
+        first.emit("lease_claim", url="a")
+        first.unbind()
+        clock.advance(1.0)
+        first.emit("visit_complete", url="a")
+        first.close()
+        # A second run over the same directory claims the next epoch;
+        # its events sort after everything from epoch 0 even though its
+        # virtual clock restarted at zero.
+        second = Journal(str(tmp_path), VirtualClock())
+        assert second.epoch == first.epoch + 1 == 1
+        second.emit("visit_start", url="b")
+        second.close()
+        events = merge_journal(str(tmp_path))
+        assert [(e["epoch"], e["type"]) for e in events] == [
+            (0, "visit_start"), (0, "lease_claim"),
+            (0, "visit_complete"), (1, "visit_start")]
+
+    def test_merge_is_deterministic(self, tmp_path):
+        clock = VirtualClock()
+        journal = Journal(str(tmp_path), clock)
+        for i in range(10):
+            journal.bind_worker(f"worker-{i % 3}")
+            journal.emit("lease_claim", url=f"https://s{i}.test/")
+            journal.unbind()
+        journal.close()
+        assert merge_journal(str(tmp_path)) == merge_journal(str(tmp_path))
+
+    def test_count_events_and_metric_deltas(self, tmp_path):
+        journal = Journal(str(tmp_path), VirtualClock())
+        journal.emit("visit_start", url="a")
+        journal.emit("visit_start", url="b")
+        journal.emit("metric", name="visits_completed", kind="counter",
+                     delta=1.0, labels={})
+        journal.emit("metric", name="visits_completed", kind="counter",
+                     delta=2.0, labels={})
+        journal.emit("metric", name="recording_integrity", kind="gauge",
+                     value=1.0, labels={})
+        journal.close()
+        events = merge_journal(str(tmp_path))
+        assert count_events(events) == {"visit_start": 2, "metric": 3}
+        deltas = sum_metric_deltas(events)
+        assert deltas == {("visits_completed", ()): pytest.approx(3.0)}
+
+
+class TestProfiler:
+    def test_hot_scripts_rank_by_op_count(self, realm):
+        from repro.jsengine.interpreter import Interpreter
+
+        profiler = ScriptProfiler()
+        previous = install_profiler(profiler)
+        try:
+            interp = Interpreter(realm)
+            interp.run("var i = 0; while (i < 100) { i = i + 1; }",
+                       "https://big.test/heavy.js")
+            interp.run("var x = 1;", "https://small.test/light.js")
+        finally:
+            install_profiler(previous)
+        rows = profiler.hot_scripts()
+        assert len(rows) == 2
+        assert rows[0]["script_url"] == "https://big.test/heavy.js"
+        assert rows[0]["ops"] > rows[1]["ops"]
+        assert all(len(r["script_hash"]) == 64 for r in rows)
+        assert all(r["runs"] == 1 for r in rows)
+
+    def test_function_self_ops_exclude_callees(self, realm):
+        from repro.jsengine.interpreter import Interpreter
+
+        profiler = ScriptProfiler()
+        previous = install_profiler(profiler)
+        try:
+            Interpreter(realm).run(
+                "function inner() { var j = 0;"
+                " while (j < 50) { j = j + 1; } return j; }\n"
+                "function outer() { return inner() + inner(); }\n"
+                "outer();", "https://fn.test/s.js")
+        finally:
+            install_profiler(previous)
+        fns = {row["function"]: row for row in profiler.hot_functions()}
+        assert fns["inner"]["calls"] == 2
+        assert fns["outer"]["calls"] == 1
+        # outer's total includes inner's work; its self ops do not.
+        assert fns["outer"]["total_ops"] > fns["inner"]["total_ops"]
+        assert fns["outer"]["self_ops"] < fns["inner"]["self_ops"]
+
+    def test_profile_is_deterministic(self, realm):
+        from repro.jsengine.builtins import Realm
+        from repro.jsengine.interpreter import Interpreter
+
+        import random
+
+        def profile_once():
+            profiler = ScriptProfiler()
+            previous = install_profiler(profiler)
+            try:
+                interp = Interpreter(Realm(random.Random(42)))
+                interp.run("function f(n) { return n < 2 ? 1"
+                           " : f(n - 1) + f(n - 2); } f(8);",
+                           "https://fib.test/f.js")
+            finally:
+                install_profiler(previous)
+            return profiler.snapshot()
+
+        assert profile_once() == profile_once()
+
+    def test_uninstalled_profiler_records_nothing(self, realm, run):
+        profiler = ScriptProfiler()
+        run("var x = 1 + 1;")
+        assert profiler.snapshot() == {"scripts": [], "functions": []}
+
+
+class TestProfiledCrawl:
+    @pytest.fixture(scope="class")
+    def detector_result(self):
+        # One visit to the seed-7 world's only detector site: its
+        # first-party fingerprinting script must dominate the profile.
+        result = run_telemetry_crawl(
+            site_count=20, seed=7, web="tranco",
+            urls=["https://www.healthtravelc650.jp/"],
+            browsers=1, workers=None, crash_probability=0.0,
+            js_instrument=True, profile=True)
+        yield result
+        result.close()
+
+    def test_detector_script_ranks_first(self, detector_result):
+        rows = detector_result.profiler.hot_scripts()
+        assert rows, "profiled crawl produced no script rows"
+        assert "_Incapsula_Resource" in rows[0]["script_url"]
+        assert rows[0]["ops"] > rows[1]["ops"]
+
+    def test_profile_aggregates_are_journalled(self, tmp_path):
+        result = run_telemetry_crawl(
+            site_count=20, seed=7, web="tranco",
+            urls=["https://www.healthtravelc650.jp/"],
+            browsers=1, workers=None, crash_probability=0.0,
+            js_instrument=True, profile=True,
+            journal_dir=str(tmp_path))
+        try:
+            events = merge_journal(str(tmp_path))
+            scripts = [e for e in events if e["type"] == "profile_script"]
+            assert scripts
+            assert scripts[0]["script_url"] == \
+                result.profiler.hot_scripts()[0]["script_url"]
+            assert any(e["type"] == "profile_function" for e in events)
+        finally:
+            result.close()
+
+    def test_profiler_restored_after_crawl(self, detector_result):
+        from repro.jsengine import interpreter as engine
+
+        assert engine._PROFILER is None
+
+
+class TestJournalledCrawlReconciliation:
+    @pytest.fixture(scope="class")
+    def crawl(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("journalled")
+        journal_dir = str(base / "journal")
+        result = run_telemetry_crawl(
+            site_count=40, seed=7, web="lab", browsers=2,
+            workers=2, crash_probability=0.15,
+            journal_dir=journal_dir)
+        yield result, journal_dir
+        result.close()
+
+    def test_one_file_per_worker(self, crawl):
+        _, journal_dir = crawl
+        names = [os.path.basename(p) for p in journal_files(journal_dir)]
+        assert "epoch-0000.main.jsonl" in names
+        assert "epoch-0000.worker-0.jsonl" in names
+        assert "epoch-0000.worker-1.jsonl" in names
+
+    def test_merged_journal_reconciles_with_database(self, crawl):
+        result, journal_dir = crawl
+        report = build_crawl_report(result.storage,
+                                    telemetry=result.telemetry,
+                                    journal_dir=journal_dir)
+        journal_checks = [c for c in report["reconciliation"]
+                          if c["check"].startswith("journal")]
+        assert journal_checks, "journal produced no reconciliation checks"
+        bad = [c for c in journal_checks if not c["ok"]]
+        assert not bad, f"journal diverged from the books: {bad}"
+        assert report["reconciled"] is True
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+
+    def test_journal_section_summarises_events(self, crawl):
+        result, journal_dir = crawl
+        report = build_crawl_report(result.storage,
+                                    telemetry=result.telemetry,
+                                    journal_dir=journal_dir)
+        journal = report["journal"]
+        assert journal["directory"] == journal_dir
+        assert journal["files"] >= 3
+        assert journal["epochs"] == 1
+        counts = journal["event_counts"]
+        metrics = result.telemetry.metrics
+        assert counts["visit_complete"] == int(
+            metrics.counter_value("visits_completed"))
+        assert counts["visit_start"] == int(
+            metrics.counter_value("visits_attempted"))
+        assert counts["lease_claim"] >= 40
+        assert set(counts) >= {"visit_start", "visit_complete",
+                               "lease_claim", "lease_complete",
+                               "metric", "span_open", "span_close"}
+
+    def test_lifecycle_events_pair_up(self, crawl):
+        _, journal_dir = crawl
+        counts = count_events(merge_journal(journal_dir))
+        # Every claim ends in exactly one of completed / failed / lost.
+        assert counts["lease_claim"] == (
+            counts.get("lease_complete", 0)
+            + counts.get("lease_fail", 0)
+            + counts.get("lease_lost", 0))
+
+    def test_divergence_is_flagged(self, crawl, tmp_path):
+        # Forge a journal that under-reports completions: the third
+        # book must refuse to balance.
+        result, journal_dir = crawl
+        forged = tmp_path / "forged"
+        forged.mkdir()
+        events = merge_journal(journal_dir)
+        dropped = 0
+        with open(forged / "epoch-0000.main.jsonl", "w",
+                  encoding="utf-8") as handle:
+            for event in events:
+                if event["type"] == "visit_complete" and dropped < 3:
+                    dropped += 1
+                    continue
+                handle.write(json.dumps(event) + "\n")
+        report = build_crawl_report(result.storage,
+                                    telemetry=result.telemetry,
+                                    journal_dir=str(forged))
+        complete_check = next(
+            c for c in report["reconciliation"]
+            if c["check"] == "journal visit_complete events =="
+                             " visits_completed")
+        assert complete_check["ok"] is False
+        assert report["reconciled"] is False
+
+
+class TestChromeTraceExport:
+    @pytest.fixture(scope="class")
+    def trace_payload(self, tmp_path_factory):
+        journal_dir = str(tmp_path_factory.mktemp("trace") / "journal")
+        result = run_telemetry_crawl(
+            site_count=6, seed=11, web="lab", browsers=1,
+            workers=None, crash_probability=0.2,
+            journal_dir=journal_dir)
+        result.close()
+        trace = journal_to_chrome_trace(merge_journal(journal_dir))
+        return trace, chrome_trace_to_json(trace)
+
+    def test_trace_event_schema(self, trace_payload):
+        trace, _ = trace_payload
+        assert trace["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+        for event in trace["traceEvents"]:
+            assert set(event) >= {"ph", "pid", "tid", "name"}
+            if event["ph"] == "X":
+                assert event["dur"] >= 0 and event["ts"] >= 0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_metadata_names_workers(self, trace_payload):
+        trace, _ = trace_payload
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta
+                 if e["name"] == "thread_name"}
+        assert "main" in names
+
+    def test_json_round_trips(self, trace_payload):
+        trace, payload = trace_payload
+        assert json.loads(payload) == json.loads(
+            json.dumps(trace, default=str))
+
+    def test_matches_golden(self, trace_payload):
+        _, payload = trace_payload
+        if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+            TRACE_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            TRACE_GOLDEN_PATH.write_text(payload)
+            pytest.skip("trace golden regenerated")
+        if not TRACE_GOLDEN_PATH.exists():
+            pytest.fail(
+                "missing trace golden; regenerate with "
+                "REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src "
+                "python -m pytest tests/test_obs_journal.py -q")
+        assert payload == TRACE_GOLDEN_PATH.read_text()
