@@ -1,0 +1,272 @@
+"""Serialization codec for execution bundles.
+
+Everything a visit fetched or executed is lowered to JSON-ready plain
+data. Large payloads — response bodies, script sources, inline page
+scripts — are *externalized*: the codec hands the text to a ``put``
+callable and stores only the returned sha256 content address, so
+identical bodies dedup into the bundle's content-addressed store and
+the manifest/exchange records stay small. Decoding reverses the trip
+through a ``get`` callable.
+
+All JSON produced here is canonical (sorted keys, compact separators),
+so a re-recorded identical crawl produces byte-identical blobs and the
+fidelity differ can compare content addresses instead of bodies.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.http import HttpRequest, HttpResponse, SetCookie
+from repro.net.page import (
+    IFrameItem,
+    LinkItem,
+    PageSpec,
+    ResourceItem,
+    ScriptFile,
+    ScriptItem,
+)
+from repro.net.url import URL
+
+#: text -> content address (stores the text as a side effect).
+PutFn = Callable[[str], str]
+#: content address -> text.
+GetFn = Callable[[str], str]
+
+#: Field order of one encoded JS-call trace record (list, not dict:
+#: traces are the highest-volume payload in a bundle).
+TRACE_FIELDS = ("symbol", "operation", "value", "arguments",
+                "call_stack", "script_url", "document_url")
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+def encode_request(request: HttpRequest) -> Dict[str, object]:
+    """One request as plain data (``request_id`` is per-process noise
+    and deliberately dropped)."""
+    return {
+        "url": str(request.url),
+        "resource_type": request.resource_type,
+        "method": request.method,
+        "headers": dict(request.headers),
+        "body": request.body,
+        "top_frame_url": None if request.top_frame_url is None
+        else str(request.top_frame_url),
+        "frame_url": None if request.frame_url is None
+        else str(request.frame_url),
+        "initiator_script": request.initiator_script,
+        "cookie_header": request.cookie_header,
+    }
+
+
+def decode_request(data: Dict[str, object]) -> HttpRequest:
+    def _url(value: object) -> Optional[URL]:
+        return None if value is None else URL.parse(str(value))
+
+    return HttpRequest(
+        url=URL.parse(str(data["url"])),
+        resource_type=str(data.get("resource_type", "other")),
+        method=str(data.get("method", "GET")),
+        headers=dict(data.get("headers") or {}),
+        body=str(data.get("body", "")),
+        top_frame_url=_url(data.get("top_frame_url")),
+        frame_url=_url(data.get("frame_url")),
+        initiator_script=data.get("initiator_script"),
+        cookie_header=str(data.get("cookie_header", "")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Responses (bodies externalized by content address)
+# ----------------------------------------------------------------------
+def _encode_cookie(cookie: SetCookie) -> Dict[str, object]:
+    return {
+        "name": cookie.name, "value": cookie.value,
+        "domain": cookie.domain, "path": cookie.path,
+        "max_age": cookie.max_age, "http_only": cookie.http_only,
+        "secure": cookie.secure, "same_site": cookie.same_site,
+    }
+
+
+def _decode_cookie(data: Dict[str, object]) -> SetCookie:
+    return SetCookie(
+        name=str(data["name"]), value=str(data["value"]),
+        domain=str(data.get("domain", "")),
+        path=str(data.get("path", "/")),
+        max_age=data.get("max_age"),
+        http_only=bool(data.get("http_only", False)),
+        secure=bool(data.get("secure", False)),
+        same_site=str(data.get("same_site", "Lax")),
+    )
+
+
+def _encode_page_item(item: object, put: PutFn) -> Dict[str, object]:
+    if isinstance(item, ScriptItem):
+        return {"kind": "script", "src": item.src,
+                "source_ref": put(item.source) if item.source else None,
+                "attributes": dict(item.attributes)}
+    if isinstance(item, IFrameItem):
+        return {"kind": "iframe", "src": item.src,
+                "attributes": dict(item.attributes)}
+    if isinstance(item, ResourceItem):
+        return {"kind": "resource", "url": item.url,
+                "resource_type": item.resource_type}
+    if isinstance(item, LinkItem):
+        return {"kind": "link", "href": item.href, "text": item.text}
+    raise TypeError(f"unknown page item type: {type(item).__name__}")
+
+
+def _decode_page_item(data: Dict[str, object], get: GetFn) -> object:
+    kind = data.get("kind")
+    if kind == "script":
+        ref = data.get("source_ref")
+        return ScriptItem(src=str(data.get("src", "")),
+                          source=get(str(ref)) if ref else "",
+                          attributes=dict(data.get("attributes") or {}))
+    if kind == "iframe":
+        return IFrameItem(src=str(data.get("src", "")),
+                          attributes=dict(data.get("attributes") or {}))
+    if kind == "resource":
+        return ResourceItem(url=str(data.get("url", "")),
+                            resource_type=str(data.get("resource_type",
+                                                       "image")))
+    if kind == "link":
+        return LinkItem(href=str(data.get("href", "")),
+                        text=str(data.get("text", "")))
+    raise ValueError(f"unknown page item kind: {kind!r}")
+
+
+def encode_response(response: HttpResponse, put: PutFn
+                    ) -> Dict[str, object]:
+    page = None
+    if response.page is not None:
+        spec = response.page
+        page = {"url": spec.url, "title": spec.title,
+                "csp_header": spec.csp_header,
+                "items": [_encode_page_item(item, put)
+                          for item in spec.items]}
+    script = None
+    if response.script is not None:
+        script = {"url": response.script.url,
+                  "content_type": response.script.content_type,
+                  "source_ref": put(response.script.source)}
+    return {
+        "status": response.status,
+        "content_type": response.content_type,
+        "headers": dict(response.headers),
+        "location": response.location,
+        "set_cookies": [_encode_cookie(c) for c in response.set_cookies],
+        "body_ref": put(response.body) if response.body else None,
+        "page": page,
+        "script": script,
+    }
+
+
+def decode_response(data: Dict[str, object], get: GetFn) -> HttpResponse:
+    page = None
+    page_data = data.get("page")
+    if page_data is not None:
+        page = PageSpec(
+            url=str(page_data.get("url", "")),
+            title=str(page_data.get("title", "")),
+            csp_header=str(page_data.get("csp_header", "")),
+            items=[_decode_page_item(item, get)
+                   for item in page_data.get("items", [])])
+    script = None
+    script_data = data.get("script")
+    if script_data is not None:
+        script = ScriptFile(
+            url=str(script_data.get("url", "")),
+            source=get(str(script_data["source_ref"])),
+            content_type=str(script_data.get("content_type",
+                                             "text/javascript")))
+    body_ref = data.get("body_ref")
+    return HttpResponse(
+        status=int(data.get("status", 200)),
+        content_type=str(data.get("content_type", "text/html")),
+        headers=dict(data.get("headers") or {}),
+        body=get(str(body_ref)) if body_ref else "",
+        set_cookies=[_decode_cookie(c)
+                     for c in data.get("set_cookies", [])],
+        location=data.get("location"),
+        page=page,
+        script=script,
+    )
+
+
+# ----------------------------------------------------------------------
+# Hop chains (one fetch = the request plus every redirect hop)
+# ----------------------------------------------------------------------
+def encode_hops(hops, put: PutFn) -> List[Dict[str, object]]:
+    """The full redirect chain of one ``Network.fetch`` call."""
+    return [{"request": encode_request(record.request),
+             "response": encode_response(record.response, put)}
+            for record in hops]
+
+
+def decode_hops(data: List[Dict[str, object]], get: GetFn,
+                request: Optional[HttpRequest] = None
+                ) -> Tuple[HttpResponse, List[object]]:
+    """Rebuild ``(final_response, hop_chain)`` for one fetch.
+
+    When *request* is given it replaces the decoded first-hop request,
+    so the browser's HTTP instrument archives the very object the
+    cookie jar built (matching live-fetch behavior exactly).
+    """
+    from repro.net.network import ExchangeRecord
+
+    records = []
+    for index, hop in enumerate(data):
+        if index == 0 and request is not None:
+            req = request
+        else:
+            req = decode_request(hop["request"])
+        records.append(ExchangeRecord(req,
+                                      decode_response(hop["response"],
+                                                      get)))
+    if not records:
+        raise ValueError("empty hop chain")
+    return records[-1].response, records
+
+
+# ----------------------------------------------------------------------
+# JS-call traces
+# ----------------------------------------------------------------------
+def encode_trace(records) -> List[List[str]]:
+    """JSCallRecords as positional lists (see :data:`TRACE_FIELDS`)."""
+    return [[record.symbol, record.operation, record.value,
+             record.arguments, record.call_stack, record.script_url,
+             record.document_url] for record in records]
+
+
+def trace_record_fields(entry: List[str]) -> Dict[str, str]:
+    """One encoded trace entry as a field dict."""
+    return dict(zip(TRACE_FIELDS, entry))
+
+
+# ----------------------------------------------------------------------
+# Verdicts
+# ----------------------------------------------------------------------
+def classification_to_dict(classification) -> Dict[str, object]:
+    """A SiteClassification as JSON-stable plain data (sorted sets)."""
+    return {
+        "domain": classification.domain,
+        "static_identified": bool(classification.static_identified),
+        "static_clean": bool(classification.static_clean),
+        "dynamic_identified": bool(classification.dynamic_identified),
+        "dynamic_clean": bool(classification.dynamic_clean),
+        "openwpm_probes": {
+            prop: sorted(hosts) for prop, hosts
+            in sorted(classification.openwpm_probes.items())},
+        "third_party_hosts": sorted(classification.third_party_hosts),
+        "first_party_scripts": list(classification.first_party_scripts),
+        "first_party_vendor": classification.first_party_vendor,
+        "iterator_scripts": sorted(classification.iterator_scripts),
+    }

@@ -1,0 +1,357 @@
+"""Fidelity diffing: score a replay against its source recording.
+
+``repro fidelity <original> <replay>`` compares two bundles — the
+archive produced by the original crawl and the one produced by
+re-recording its replay (``--replay old --record new``). Three axes,
+weighted into one per-site score:
+
+* **resources** (0.4) — every fetch in the original matched by URL and
+  byte-identical content in the replay. Unmatched originals are
+  *missing*, replay-only fetches are *extra*, same-URL different-bytes
+  pairs are *mutated* and carry both content hashes so a tampered
+  script is named by its sha256.
+* **trace** (0.4) — the JS-call traces compared element-wise; scored
+  by longest common prefix. The first divergent operation is
+  attributed to the executing script's content hash (via the visit's
+  url→source map) and function (innermost stack frame).
+* **verdict** (0.2) — detector classifications equal or not, with the
+  changed top-level fields listed.
+
+A perfect replay scores 1.0 everywhere and the report says
+``zero_diffs: true``; anything else pinpoints where the archive and
+the re-execution parted ways.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bundles.bundle import Bundle, BundleVisit
+from repro.bundles.codec import canonical_json, trace_record_fields
+
+WEIGHT_RESOURCES = 0.4
+WEIGHT_TRACE = 0.4
+WEIGHT_VERDICT = 0.2
+
+
+# ----------------------------------------------------------------------
+# Resource extraction
+# ----------------------------------------------------------------------
+def _content_ref(chain: List[dict]) -> Optional[str]:
+    """The primary content address served by one hop chain."""
+    response = chain[-1].get("response") or {}
+    script = response.get("script")
+    if script and script.get("source_ref"):
+        return str(script["source_ref"])
+    if response.get("body_ref"):
+        return str(response["body_ref"])
+    page = response.get("page")
+    if page:
+        for item in page.get("items", []):
+            if item.get("kind") == "script" and item.get("source_ref"):
+                return str(item["source_ref"])
+    return None
+
+
+def _visit_resources(visit: BundleVisit
+                     ) -> Dict[str, List[Tuple[str, Optional[str]]]]:
+    """Map fetch URL -> ordered [(chain signature, content ref)]."""
+    out: Dict[str, List[Tuple[str, Optional[str]]]] = {}
+    for exchange in visit.exchanges:
+        chain = exchange.get("hops") or []
+        if not chain:
+            continue
+        first = chain[0].get("request") or {}
+        url = str(first.get("url", ""))
+        out.setdefault(url, []).append(
+            (canonical_json(chain), _content_ref(chain)))
+    return out
+
+
+def _script_sources(visit: BundleVisit) -> Dict[str, str]:
+    """Map script URL -> content hash, for trace attribution."""
+    sources: Dict[str, str] = {}
+    for exchange in visit.exchanges:
+        chain = exchange.get("hops") or []
+        for hop in chain:
+            response = hop.get("response") or {}
+            script = response.get("script")
+            if script and script.get("source_ref"):
+                sources[str(script.get("url", ""))] = \
+                    str(script["source_ref"])
+            page = response.get("page")
+            if page:
+                for item in page.get("items", []):
+                    if (item.get("kind") == "script"
+                            and item.get("source_ref")):
+                        sources[str(item.get("src", ""))] = \
+                            str(item["source_ref"])
+    return sources
+
+
+def _diff_resources(original: BundleVisit, replay: BundleVisit) -> dict:
+    orig = _visit_resources(original)
+    repl = _visit_resources(replay)
+    missing: List[dict] = []
+    extra: List[dict] = []
+    mutated: List[dict] = []
+    matched = 0
+    total = 0
+    for url, chains in orig.items():
+        other = list(repl.get(url, []))
+        for sig, ref in chains:
+            total += 1
+            hit = next((i for i, (osig, _) in enumerate(other)
+                        if osig == sig), None)
+            if hit is not None:
+                matched += 1
+                other.pop(hit)
+            elif other:
+                _, other_ref = other.pop(0)
+                mutated.append({"url": url, "original_hash": ref,
+                                "replay_hash": other_ref})
+            else:
+                missing.append({"url": url, "original_hash": ref})
+        for _, leftover_ref in other:
+            extra.append({"url": url, "replay_hash": leftover_ref})
+    for url, chains in repl.items():
+        if url not in orig:
+            for _, ref in chains:
+                extra.append({"url": url, "replay_hash": ref})
+    total = max(total, total + len(extra))
+    score = 1.0 if total == 0 else matched / total
+    return {"matched": matched, "total": total, "missing": missing,
+            "extra": extra, "mutated": mutated, "score": score}
+
+
+# ----------------------------------------------------------------------
+# Trace comparison
+# ----------------------------------------------------------------------
+def _frame_function(call_stack: str) -> str:
+    first = (call_stack or "").split("\n", 1)[0]
+    return first.split("@", 1)[0]
+
+
+def _diff_trace(original: BundleVisit, replay: BundleVisit) -> dict:
+    a, b = original.trace, replay.trace
+    limit = min(len(a), len(b))
+    prefix = 0
+    while prefix < limit and a[prefix] == b[prefix]:
+        prefix += 1
+    longest = max(len(a), len(b))
+    score = 1.0 if longest == 0 else prefix / longest
+    divergence = None
+    if prefix < longest:
+        entry = a[prefix] if prefix < len(a) else b[prefix]
+        fields = trace_record_fields(entry)
+        sources = _script_sources(original)
+        divergence = {
+            "index": prefix,
+            "symbol": fields.get("symbol"),
+            "operation": fields.get("operation"),
+            "script_url": fields.get("script_url"),
+            "script_hash": sources.get(str(fields.get("script_url"))),
+            "function": _frame_function(str(fields.get("call_stack",
+                                                       ""))),
+            "original": trace_record_fields(a[prefix])
+            if prefix < len(a) else None,
+            "replay": trace_record_fields(b[prefix])
+            if prefix < len(b) else None,
+        }
+    return {"length_original": len(a), "length_replay": len(b),
+            "common_prefix": prefix, "divergence": divergence,
+            "score": score}
+
+
+# ----------------------------------------------------------------------
+# Verdict comparison
+# ----------------------------------------------------------------------
+def _diff_verdict(original: Optional[dict],
+                  replay: Optional[dict]) -> dict:
+    equal = canonical_json(original) == canonical_json(replay)
+    changed: List[str] = []
+    if not equal:
+        keys = set()
+        for verdict in (original, replay):
+            if isinstance(verdict, dict):
+                keys.update(verdict)
+        for key in sorted(keys):
+            left = (original or {}).get(key) if isinstance(
+                original, dict) else None
+            right = (replay or {}).get(key) if isinstance(
+                replay, dict) else None
+            if canonical_json(left) == canonical_json(right):
+                continue
+            if isinstance(left, dict) and isinstance(right, dict):
+                subkeys = sorted(set(left) | set(right))
+                changed.extend(
+                    f"{key}.{sub}" for sub in subkeys
+                    if canonical_json(left.get(sub))
+                    != canonical_json(right.get(sub)))
+            else:
+                changed.append(key)
+    return {"equal": equal, "changed": changed,
+            "score": 1.0 if equal else 0.0}
+
+
+# ----------------------------------------------------------------------
+# Whole-bundle diff
+# ----------------------------------------------------------------------
+def _diff_site(site: str, original: Bundle, replay: Bundle) -> dict:
+    orig_visits = original.visits(site)
+    repl_visits = replay.visits(site)
+    resource = {"matched": 0, "total": 0, "missing": [], "extra": [],
+                "mutated": [], "score": 1.0}
+    trace = {"length_original": 0, "length_replay": 0,
+             "common_prefix": 0, "divergence": None, "score": 1.0}
+    res_scores: List[float] = []
+    trace_scores: List[float] = []
+    first_trace_div = None
+    shared = min(len(orig_visits), len(repl_visits))
+    for index in range(shared):
+        rdiff = _diff_resources(orig_visits[index], repl_visits[index])
+        tdiff = _diff_trace(orig_visits[index], repl_visits[index])
+        res_scores.append(rdiff["score"])
+        trace_scores.append(tdiff["score"])
+        resource["matched"] += rdiff["matched"]
+        resource["total"] += rdiff["total"]
+        for field in ("missing", "extra", "mutated"):
+            for item in rdiff[field]:
+                resource[field].append(dict(item, visit_index=index))
+        trace["length_original"] += tdiff["length_original"]
+        trace["length_replay"] += tdiff["length_replay"]
+        trace["common_prefix"] += tdiff["common_prefix"]
+        if first_trace_div is None and tdiff["divergence"]:
+            first_trace_div = dict(tdiff["divergence"],
+                                   visit_index=index)
+    visit_mismatch = len(orig_visits) != len(repl_visits)
+    if visit_mismatch:
+        # Unpaired visits are wholesale misses on both axes.
+        for _ in range(abs(len(orig_visits) - len(repl_visits))):
+            res_scores.append(0.0)
+            trace_scores.append(0.0)
+    resource["score"] = (sum(res_scores) / len(res_scores)
+                         if res_scores else 1.0)
+    trace["score"] = (sum(trace_scores) / len(trace_scores)
+                      if trace_scores else 1.0)
+    trace["divergence"] = first_trace_div
+    verdict = _diff_verdict(original.verdict(site), replay.verdict(site))
+    fidelity = (WEIGHT_RESOURCES * resource["score"]
+                + WEIGHT_TRACE * trace["score"]
+                + WEIGHT_VERDICT * verdict["score"])
+    clean = (not visit_mismatch and not resource["missing"]
+             and not resource["extra"] and not resource["mutated"]
+             and trace["divergence"] is None and verdict["equal"])
+    return {
+        "site": site,
+        "fidelity": round(fidelity, 6),
+        "clean": clean,
+        "visits_original": len(orig_visits),
+        "visits_replay": len(repl_visits),
+        "resources": resource,
+        "trace": trace,
+        "verdict": verdict,
+    }
+
+
+def diff_bundles(original: Bundle, replay: Bundle) -> dict:
+    """Compare two bundles site-by-site; see the module docstring."""
+    orig_sites = original.recorded_sites()
+    repl_sites = set(replay.recorded_sites())
+    shared = [site for site in orig_sites if site in repl_sites]
+    missing_sites = [site for site in orig_sites
+                     if site not in repl_sites]
+    extra_sites = [site for site in replay.recorded_sites()
+                   if site not in set(orig_sites)]
+    site_diffs = [_diff_site(site, original, replay)
+                  for site in shared]
+    scores = ([diff["fidelity"] for diff in site_diffs]
+              + [0.0] * (len(missing_sites) + len(extra_sites)))
+    zero_diffs = (not missing_sites and not extra_sites
+                  and all(diff["clean"] for diff in site_diffs))
+    return {
+        "original": original.path,
+        "replay": replay.path,
+        "sites_compared": len(site_diffs),
+        "missing_sites": missing_sites,
+        "extra_sites": extra_sites,
+        "mean_fidelity": round(sum(scores) / len(scores), 6)
+        if scores else 1.0,
+        "zero_diffs": zero_diffs,
+        "sites": site_diffs,
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_fidelity_report(report: dict) -> str:
+    from repro.analysis.charts import render_table
+
+    lines = ["Replay fidelity report",
+             "======================",
+             f"original : {report['original']}",
+             f"replay   : {report['replay']}",
+             f"sites    : {report['sites_compared']} compared, "
+             f"{len(report['missing_sites'])} missing, "
+             f"{len(report['extra_sites'])} extra",
+             f"fidelity : mean {report['mean_fidelity']:.4f} — "
+             + ("ZERO DIFFS" if report["zero_diffs"]
+                else "DIVERGENCES FOUND"),
+             ""]
+    rows = []
+    for diff in report["sites"]:
+        resources = diff["resources"]
+        problems = []
+        if resources["missing"]:
+            problems.append(f"{len(resources['missing'])} missing")
+        if resources["extra"]:
+            problems.append(f"{len(resources['extra'])} extra")
+        if resources["mutated"]:
+            problems.append(f"{len(resources['mutated'])} mutated")
+        if diff["trace"]["divergence"]:
+            problems.append("trace diverged")
+        if not diff["verdict"]["equal"]:
+            problems.append("verdict flipped")
+        rows.append([diff["site"], f"{diff['fidelity']:.4f}",
+                     f"{resources['matched']}/{resources['total']}",
+                     f"{diff['trace']['common_prefix']}/"
+                     f"{diff['trace']['length_original']}",
+                     "yes" if diff["verdict"]["equal"] else "NO",
+                     "; ".join(problems) or "-"])
+    lines.extend(render_table(
+        ["site", "fidelity", "resources", "trace", "verdict", "diffs"],
+        rows))
+    detail: List[str] = []
+    for diff in report["sites"]:
+        for item in diff["resources"]["mutated"]:
+            detail.append(
+                f"  mutated  {diff['site']} visit "
+                f"{item['visit_index']}: {item['url']}\n"
+                f"           original {item['original_hash']}\n"
+                f"           replay   {item['replay_hash']}")
+        for item in diff["resources"]["missing"]:
+            detail.append(f"  missing  {diff['site']} visit "
+                          f"{item['visit_index']}: {item['url']}")
+        divergence = diff["trace"]["divergence"]
+        if divergence:
+            detail.append(
+                f"  trace    {diff['site']} visit "
+                f"{divergence['visit_index']} op {divergence['index']}: "
+                f"{divergence['symbol']} ({divergence['operation']}) in "
+                f"{divergence['function'] or '<top>'} of "
+                f"{divergence['script_url']} "
+                f"[script_hash={divergence['script_hash']}]")
+        if diff["verdict"]["changed"]:
+            detail.append(f"  verdict  {diff['site']}: "
+                          + ", ".join(diff["verdict"]["changed"]))
+    if detail:
+        lines.append("")
+        lines.append("Divergences")
+        lines.append("-----------")
+        lines.extend(detail)
+    for site in report["missing_sites"]:
+        lines.append(f"  site missing from replay: {site}")
+    for site in report["extra_sites"]:
+        lines.append(f"  site only in replay: {site}")
+    return "\n".join(lines) + "\n"

@@ -9,6 +9,8 @@ Commands mirror the paper's experiments:
 * ``survey``  — the literature datasets (Tables 1 and 14)
 * ``stats``   — crawl health / loss-accounting report (telemetry)
 * ``crawl``   — scheduled crawl: worker pool, persistent queue, --resume
+* ``fidelity``— score a replayed execution bundle against its recording
+* ``corpus``  — content-addressed store maintenance (``verify``)
 * ``trace``   — export a crawl as Chrome trace-event JSON (Perfetto)
 * ``profile`` — JS-engine profile: hot scripts/functions by op count
 * ``tail``    — print (or follow) the merged flight-recorder journal
@@ -63,18 +65,77 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.core.scan import ScanPipeline
-    from repro.web import build_world
 
     if args.resume and args.queue == ":memory:":
         print("error: --resume needs a file-backed queue (pass --queue)",
               file=sys.stderr)
         return 2
-    web = build_world(site_count=args.sites, seed=args.seed)
-    pipeline = ScanPipeline(web)
+    if args.record is not None and args.resume:
+        print("error: --record archives one complete scan; it cannot "
+              "be combined with --resume", file=sys.stderr)
+        return 2
+    if args.offline:
+        if args.replay is None:
+            print("error: --offline re-analyses an archived bundle; "
+                  "it needs --replay <dir>", file=sys.stderr)
+            return 2
+        if args.record is not None:
+            print("error: --offline never touches the network layer, "
+                  "so there are no exchanges to --record; replay "
+                  "without --offline to re-record", file=sys.stderr)
+            return 2
+        from repro.bundles import Bundle, BundleError
+        from repro.bundles.reanalyze import reanalyze_bundle
+
+        try:
+            bundle = Bundle(args.replay)
+            dataset = reanalyze_bundle(bundle)
+        except BundleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(_scan_output(dataset), indent=2))
+        bundle.close()
+        return 0
+    if args.replay is not None:
+        from repro.bundles import Bundle, BundleError, ReplayWeb
+
+        try:
+            bundle = Bundle(args.replay)
+        except BundleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        web = ReplayWeb(bundle)
+    else:
+        from repro.web import build_world
+
+        web = build_world(site_count=args.sites, seed=args.seed)
+    recorder = None
+    if args.record is not None:
+        from repro.bundles import BundleError, BundleRecorder
+
+        try:
+            recorder = BundleRecorder(
+                args.record, kind="scan",
+                params={"sites": args.sites, "seed": args.seed,
+                        "front_only": bool(args.front_only),
+                        "replay_of": args.replay},
+                sites=[config.domain for config in web.configs])
+        except BundleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    pipeline = ScanPipeline(web, recorder=recorder)
     dataset = pipeline.run(visit_subpages=not args.front_only,
                            workers=args.workers,
                            queue_path=args.queue, resume=args.resume)
-    output = {
+    if recorder is not None:
+        recorder.close(
+            complete=dataset.visited_sites >= len(web.configs))
+    print(json.dumps(_scan_output(dataset), indent=2))
+    return 0
+
+
+def _scan_output(dataset) -> dict:
+    return {
         "sites": dataset.visited_sites,
         "table5": dataset.table5(),
         "table11": dataset.table11(),
@@ -84,8 +145,6 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         "openwpm_probe_sites": dataset.openwpm_probe_site_count(),
         "corpus": dataset.corpus.stats(),
     }
-    print(json.dumps(output, indent=2))
-    return 0
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -150,6 +209,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
         storage = StorageController(args.db)
         cleanup = storage.close
+    elif args.bundle is not None:
+        # Reporting on a bundle alone must not kick off a crawl.
+        from repro.openwpm.storage import StorageController
+
+        storage = StorageController(":memory:")
+        cleanup = storage.close
     else:
         from repro.obs.runner import run_telemetry_crawl
 
@@ -173,6 +238,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     queue = None
     corpus = None
+    bundle = None
     try:
         if args.queue is not None:
             from repro.sched import JobQueue
@@ -182,8 +248,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             from repro.corpus import ScriptCorpus
 
             corpus = ScriptCorpus(args.corpus)
+        if args.bundle is not None:
+            from repro.bundles import Bundle, BundleError
+
+            try:
+                bundle = Bundle(args.bundle, allow_incomplete=True)
+            except BundleError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         report = build_crawl_report(storage, queue=queue, corpus=corpus,
-                                    journal_dir=journal_dir)
+                                    journal_dir=journal_dir,
+                                    bundle=bundle)
         if args.output is not None:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write(snapshot_to_json(report) + "\n")
@@ -200,6 +275,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             queue.close()
         if corpus is not None:
             corpus.close()
+        if bundle is not None:
+            bundle.close()
         cleanup()
 
 
@@ -221,11 +298,29 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
-    try:
-        site_count, urls = _site_list(args.sites)
-    except OSError as exc:
-        print(f"error: --sites file unreadable: {exc}", file=sys.stderr)
+    if args.record is not None and args.resume:
+        print("error: --record archives one complete crawl; it cannot "
+              "be combined with --resume", file=sys.stderr)
         return 2
+    if args.replay is not None:
+        # The bundle names the sites; --sites is ignored.
+        from repro.bundles import Bundle, BundleError
+
+        try:
+            with_bundle = Bundle(args.replay)
+        except BundleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        urls = list(with_bundle.sites())
+        site_count = len(urls)
+        with_bundle.close()
+    else:
+        try:
+            site_count, urls = _site_list(args.sites)
+        except OSError as exc:
+            print(f"error: --sites file unreadable: {exc}",
+                  file=sys.stderr)
+            return 2
     queue_path = args.queue
     if queue_path is None:
         queue_path = ":memory:" if args.db == ":memory:" \
@@ -269,7 +364,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         stage_deadline=args.stage_deadline,
         quarantine_after=args.quarantine_after,
-        journal_dir=journal_dir, profile=args.profile)
+        journal_dir=journal_dir, profile=args.profile,
+        record_dir=args.record, replay_dir=args.replay)
     report = result.report
     try:
         payload = {
@@ -289,6 +385,14 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             "queue_counts": report.counts,
             "drained": report.drained,
         }
+        if args.record is not None:
+            payload["bundle"] = result.recorder.writer.manifest.get(
+                "counts") if result.recorder is not None else None
+            payload["record"] = args.record
+        if args.replay is not None:
+            payload["replay"] = args.replay
+            network = result.manager.network
+            payload["replay_misses"] = network.replay_misses
         if result.profiler is not None:
             payload["hot_scripts"] = result.profiler.hot_scripts(5)
         if args.json:
@@ -302,6 +406,11 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 for state, count in sorted(report.counts.items())))
             if journal_dir is not None:
                 print(f"journal: {journal_dir}")
+            if args.record is not None:
+                print(f"bundle: recorded to {args.record}")
+            if args.replay is not None:
+                print(f"replay: served from {args.replay} "
+                      f"({payload['replay_misses']} misses)")
             for row in (payload.get("hot_scripts") or [])[:3]:
                 print(f"hot script: {row['ops']} ops  "
                       f"{row['script_hash'][:16]}  {row['script_url']}")
@@ -493,6 +602,100 @@ def _cmd_tail(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_fidelity(args: argparse.Namespace) -> int:
+    from repro.bundles import (
+        Bundle,
+        BundleError,
+        diff_bundles,
+        render_fidelity_report,
+    )
+
+    original = replay = None
+    try:
+        try:
+            original = Bundle(args.original)
+            replay = Bundle(args.replay)
+        except BundleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = diff_bundles(original, replay)
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(report, indent=2) + "\n")
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_fidelity_report(report), end="")
+        return 0 if report["zero_diffs"] else 1
+    finally:
+        if original is not None:
+            original.close()
+        if replay is not None:
+            replay.close()
+
+
+def _cmd_corpus_verify(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bundles import Bundle, BundleError, is_bundle_dir
+    from repro.corpus import ScriptCorpus
+
+    bundle = None
+    if is_bundle_dir(args.path):
+        try:
+            bundle = Bundle(args.path, allow_incomplete=True)
+        except BundleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        corpus = bundle.store
+    elif os.path.isfile(args.path):
+        corpus = ScriptCorpus(args.path)
+    else:
+        print(f"error: {args.path!r} is neither a corpus database nor "
+              f"a bundle directory", file=sys.stderr)
+        return 2
+    try:
+        report = corpus.verify()
+        if bundle is not None:
+            # Beyond blob integrity: every content address the bundle's
+            # manifest rows reference must resolve in the store.
+            dangling = []
+            for context, digest in bundle.refs():
+                if not corpus.has(digest):
+                    dangling.append({"context": context,
+                                     "hash": digest})
+            report["dangling_refs"] = dangling
+            report["ok"] = report["ok"] and not dangling
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"corpus verify: {args.path}")
+            print(f"  bodies checked ......... "
+                  f"{report['bodies_checked']}")
+            print(f"  corrupt ................ {len(report['corrupt'])}")
+            for entry in report["corrupt"][:10]:
+                print(f"    {entry['hash']}  {entry['error']}")
+            print(f"  orphaned occurrences ... "
+                  f"{len(report['orphaned_occurrences'])} "
+                  f"(staged: {len(report['orphaned_staged'])}, "
+                  f"analysis: {len(report['orphaned_analysis'])})")
+            if report["refcount_drift"]:
+                print(f"  refcount drift ......... "
+                      f"{len(report['refcount_drift'])} script(s)")
+            if bundle is not None:
+                print(f"  dangling bundle refs ... "
+                      f"{len(report['dangling_refs'])}")
+                for entry in report["dangling_refs"][:10]:
+                    print(f"    {entry['hash']}  ({entry['context']})")
+            print("INTACT" if report["ok"] else "CORRUPT")
+        return 0 if report["ok"] else 1
+    finally:
+        if bundle is not None:
+            bundle.close()
+        else:
+            corpus.close()
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.literature import outdated_statistics, summarise_studies
 
@@ -531,6 +734,16 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--resume", action="store_true",
                       help="reopen the queue and scan only the "
                            "remainder (needs --queue)")
+    scan.add_argument("--record", default=None, metavar="DIR",
+                      help="archive every visit into an execution "
+                           "bundle at DIR (record/replay)")
+    scan.add_argument("--replay", default=None, metavar="DIR",
+                      help="serve the whole scan from the bundle at "
+                           "DIR instead of the synthetic web")
+    scan.add_argument("--offline", action="store_true",
+                      help="with --replay: skip browser re-execution "
+                           "and re-run only the detector pipeline over "
+                           "the archived evidence (fast re-analysis)")
     scan.set_defaults(fn=_cmd_scan)
 
     attack = sub.add_parser("attack", help="recording attacks (Sec. 5)")
@@ -577,6 +790,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flight-recorder journal directory to "
                             "reconcile against (default: <db>.journal "
                             "when present)")
+    stats.add_argument("--bundle", default=None, metavar="DIR",
+                       help="execution bundle to report coverage and "
+                            "store size on")
     stats.add_argument("--output", default=None, metavar="PATH",
                        help="also write the JSON report to PATH")
     stats.set_defaults(fn=_cmd_stats)
@@ -622,9 +838,46 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--profile", action="store_true",
                        help="profile the JS engine (op counts per "
                             "script/function, journalled at crawl end)")
+    crawl.add_argument("--record", default=None, metavar="DIR",
+                       help="archive every visit into an execution "
+                            "bundle at DIR (record/replay)")
+    crawl.add_argument("--replay", default=None, metavar="DIR",
+                       help="serve the whole crawl from the bundle at "
+                            "DIR instead of a live web (--sites is "
+                            "then taken from the bundle)")
     crawl.add_argument("--json", action="store_true",
                        help="emit the crawl report as JSON")
     crawl.set_defaults(fn=_cmd_crawl)
+
+    fidelity = sub.add_parser(
+        "fidelity", help="score a replayed bundle against its "
+                         "recording (resources, traces, verdicts)")
+    fidelity.add_argument("original",
+                          help="the bundle recorded from the live "
+                               "crawl")
+    fidelity.add_argument("replay",
+                          help="the bundle re-recorded while replaying "
+                               "(crawl --replay ORIGINAL --record "
+                               "REPLAY)")
+    fidelity.add_argument("--json", action="store_true",
+                          help="emit the report as JSON")
+    fidelity.add_argument("--output", default=None, metavar="PATH",
+                          help="also write the JSON report to PATH")
+    fidelity.set_defaults(fn=_cmd_fidelity)
+
+    corpus = sub.add_parser(
+        "corpus", help="content-addressed store maintenance")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command",
+                                       required=True)
+    corpus_verify = corpus_sub.add_parser(
+        "verify", help="re-hash every stored blob against its content "
+                       "address; report corruption and orphans")
+    corpus_verify.add_argument("path",
+                               help="corpus database (<queue>.corpus) "
+                                    "or bundle directory")
+    corpus_verify.add_argument("--json", action="store_true",
+                               help="emit the report as JSON")
+    corpus_verify.set_defaults(fn=_cmd_corpus_verify)
 
     trace = sub.add_parser(
         "trace", help="export Chrome trace-event JSON (Perfetto)")

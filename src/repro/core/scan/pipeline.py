@@ -146,8 +146,12 @@ class ScanDataset:
             for host in classification.third_party_hosts:
                 counts[host] += 1
         total = sum(counts.values()) or 1
+        # third_party_hosts is a set, so most_common's insertion-order
+        # tie-break would vary with the per-process hash seed; sort
+        # ties by host to keep the table byte-stable across runs.
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
         return [(host, count, count / total)
-                for host, count in counts.most_common(top)]
+                for host, count in ranked[:top]]
 
     def inclusion_totals(self) -> Tuple[int, int]:
         """(first-party script count, third-party inclusion count)."""
@@ -235,11 +239,17 @@ class ScanPipeline:
     def __init__(self, web: SyntheticWeb, client_id: str = "scan-client",
                  seed: int = 3, dwell: float = 60.0,
                  max_subpages: int = MAX_SUBPAGES,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 recorder=None) -> None:
         self.web = web
         self.client_id = client_id
         self.seed = seed
         self.telemetry = coalesce(telemetry)
+        #: Optional :class:`repro.bundles.BundleRecorder` archiving
+        #: every visit into an execution bundle.
+        self.recorder = recorder
+        if recorder is not None:
+            web.network.recorder = recorder
         self.extension = ScanExtension()
         self.browser = Browser(openwpm_profile("ubuntu", "regular"),
                                web.network, client_id=client_id,
@@ -285,6 +295,16 @@ class ScanPipeline:
         if not resume:
             corpus.clear()
         self.corpus = corpus
+        bundle = getattr(self.web, "bundle", None)
+        if bundle is not None:
+            # Replaying from an archive: seed this run's memoized
+            # static-analysis verdicts from the bundle (keyed by
+            # pattern-set version, so stale rows simply never match)
+            # and warm the AST cache for every archived script.
+            rows = bundle.store.export_analysis_cache()
+            if rows:
+                corpus.import_analysis_cache(rows)
+                bundle.store.precompile(sorted({row[0] for row in rows}))
         dataset = ScanDataset(corpus=corpus)
         configs = self.web.configs if site_limit is None \
             else self.web.configs[:site_limit]
@@ -317,6 +337,11 @@ class ScanPipeline:
                 corpus.drop_staged(batch.token)
                 with self._dataset_lock:
                     tokens.pop((job.site_url, worker_index), None)
+                abandon = getattr(self.web.network, "abandon_site", None)
+                if abandon is not None:
+                    abandon()
+                if self.recorder is not None:
+                    self.recorder.abandon_site()
                 raise
             batch.commit()
             # Persist before the pool marks the job completed, so
@@ -345,6 +370,11 @@ class ScanPipeline:
             scheduler.run(handler, workers=workers,
                           on_completed=on_completed,
                           on_discard_result=on_discard_result)
+            if self.recorder is not None:
+                # Archive the memoized analysis verdicts so replay can
+                # seed its own cache without re-scanning sources.
+                self.recorder.absorb_analysis(
+                    corpus.export_analysis_cache())
         finally:
             from repro.jsengine.interpreter import export_cache_metrics
             export_cache_metrics(self.telemetry.metrics)
@@ -428,7 +458,8 @@ class ScanPipeline:
         browser, extension = self._site_browser(domain)
         with tm.tracer.span("scan_site", domain=domain) as site_span:
             front_evidence = self._visit(f"https://www.{domain}/",
-                                         browser, extension, batch)
+                                         browser, extension, batch,
+                                         site=domain)
             evidences = [front_evidence]
             front_classification = classify_site(domain, [front_evidence],
                                                  corpus=corpus)
@@ -436,12 +467,17 @@ class ScanPipeline:
             if visit_subpages:
                 for link in self._select_subpages(front_evidence, browser):
                     evidences.append(self._visit(link, browser,
-                                                 extension, batch))
+                                                 extension, batch,
+                                                 site=domain))
                     subpage_count += 1
                     tm.metrics.counter("scan_subpage_visits").inc()
             with tm.stage("classify"):
                 classification = classify_site(domain, evidences,
                                                corpus=corpus)
+            if self.recorder is not None:
+                self.recorder.finish_site(
+                    domain, front=front_classification,
+                    combined=classification, evidence=evidences)
             with self._dataset_lock:
                 dataset.front_only[domain] = front_classification
                 dataset.combined[domain] = classification
@@ -464,10 +500,19 @@ class ScanPipeline:
     # ------------------------------------------------------------------
     def _visit(self, url: str, browser: Optional[Browser] = None,
                extension: Optional[ScanExtension] = None,
-               batch: Optional[SiteBatch] = None) -> VisitEvidence:
+               batch: Optional[SiteBatch] = None,
+               site: Optional[str] = None) -> VisitEvidence:
         browser = browser if browser is not None else self.browser
         extension = extension if extension is not None else self.extension
         extension.clear_records()
+        if site is not None:
+            # Replay transport first (positions its visit cursor), then
+            # the recorder (opens this visit's archive buffer).
+            begin = getattr(self.web.network, "begin_visit", None)
+            if begin is not None:
+                begin(site, url)
+            if self.recorder is not None:
+                self.recorder.begin_visit(site, url)
         with self.telemetry.stage("scan_visit"):
             result = browser.visit(url, wait=self.dwell)
         evidence = VisitEvidence(page_url=url)
@@ -487,6 +532,14 @@ class ScanPipeline:
             evidence.residue_accessors.setdefault(
                 access.script_url, set()).add(access.property_name)
         evidence.honey_hits = extension.honey_hits_by_script()
+        if site is not None:
+            end = getattr(self.web.network, "end_visit", None)
+            if end is not None:
+                end()
+            if self.recorder is not None:
+                trace = list(extension.js_instrument.records) \
+                    if extension.js_instrument is not None else []
+                self.recorder.end_visit(trace=trace)
         return evidence
 
     def _select_subpages(self, evidence: VisitEvidence,

@@ -9,17 +9,21 @@ ablation — resolves through a cache instead of re-scanning sources.
 """
 
 from repro.corpus.store import (
+    DEFAULT_ZLEVEL,
     MissingScriptError,
     ScriptCorpus,
     SiteBatch,
     corpus_path_for,
     script_hash,
+    zlevel_from_env,
 )
 
 __all__ = [
+    "DEFAULT_ZLEVEL",
     "MissingScriptError",
     "ScriptCorpus",
     "SiteBatch",
     "corpus_path_for",
     "script_hash",
+    "zlevel_from_env",
 ]

@@ -77,6 +77,30 @@ CREATE TABLE IF NOT EXISTS corpus_meta (
 #: Bump when the on-disk layout changes incompatibly.
 CORPUS_FORMAT = "1"
 
+#: zlib default when ``REPRO_CORPUS_ZLEVEL`` is unset. Level 6 is
+#: zlib's own default — a good size/speed balance. Lower levels trade
+#: corpus size for recording throughput (0 stores ~3-4x bigger but
+#: compresses ~10x faster on script-sized bodies); 9 shaves a few
+#: percent off disk at a real CPU cost. See docs/bundles in README.
+DEFAULT_ZLEVEL = 6
+
+
+def zlevel_from_env() -> int:
+    """Compression level from ``REPRO_CORPUS_ZLEVEL`` (0-9)."""
+    raw = os.environ.get("REPRO_CORPUS_ZLEVEL")
+    if raw is None:
+        return DEFAULT_ZLEVEL
+    try:
+        level = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CORPUS_ZLEVEL must be an integer 0-9, "
+            f"got {raw!r}") from None
+    if not 0 <= level <= 9:
+        raise ValueError(
+            f"REPRO_CORPUS_ZLEVEL must be in 0-9, got {level}")
+    return level
+
 
 class MissingScriptError(KeyError):
     """A hash referenced by evidence has no body in the corpus."""
@@ -161,10 +185,14 @@ class ScriptCorpus:
     """Content-addressed script store + memoized static analysis."""
 
     def __init__(self, path: str = ":memory:",
-                 cache_enabled: Optional[bool] = None) -> None:
+                 cache_enabled: Optional[bool] = None,
+                 zlevel: Optional[int] = None) -> None:
         self.path = path
         self.cache_enabled = cache_enabled_from_env() \
             if cache_enabled is None else cache_enabled
+        self.zlevel = zlevel_from_env() if zlevel is None else zlevel
+        if not 0 <= self.zlevel <= 9:
+            raise ValueError(f"zlevel must be in 0-9, got {self.zlevel}")
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
@@ -188,9 +216,19 @@ class ScriptCorpus:
             self._conn.commit()
         return digest
 
+    def put_many(self, sources: Dict[str, str]) -> None:
+        """Store many bodies keyed by their (precomputed) digests in
+        one transaction (the bundle writer's per-site commit)."""
+        if not sources:
+            return
+        with self._lock:
+            for digest, source in sources.items():
+                self._insert_body(digest, source)
+            self._conn.commit()
+
     def _insert_body(self, digest: str, source: str) -> None:
         raw = source.encode("utf-8", "surrogatepass")
-        body = zlib.compress(raw, 6)
+        body = zlib.compress(raw, self.zlevel)
         self._conn.execute(
             "INSERT OR IGNORE INTO scripts "
             "(hash, body, raw_bytes, stored_bytes, refcount) "
@@ -441,6 +479,121 @@ class ScriptCorpus:
                 continue
             warmed += 1
         return warmed
+
+    def export_analysis_cache(self) -> List[Tuple[str, str, int, str]]:
+        """Every memoized static-analysis row, for archival/seeding."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT hash, pattern_version, preprocess, matched_json "
+                "FROM analysis_cache "
+                "ORDER BY hash, pattern_version, preprocess").fetchall()
+        return [(row["hash"], row["pattern_version"],
+                 int(row["preprocess"]), row["matched_json"])
+                for row in rows]
+
+    def import_analysis_cache(
+            self, rows: List[Tuple[str, str, int, str]]) -> int:
+        """Seed the memo table from exported rows (INSERT OR IGNORE).
+
+        Rows are keyed by (hash, pattern-set version, preprocess), so
+        entries from an older pattern set simply never match a lookup
+        — importing is always semantics-free. Returns rows added.
+        """
+        if not rows:
+            return 0
+        with self._lock:
+            before = int(self._conn.execute(
+                "SELECT COUNT(*) AS n FROM analysis_cache"
+            ).fetchone()["n"])
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO analysis_cache "
+                "(hash, pattern_version, preprocess, matched_json) "
+                "VALUES (?, ?, ?, ?)", rows)
+            after = int(self._conn.execute(
+                "SELECT COUNT(*) AS n FROM analysis_cache"
+            ).fetchone()["n"])
+            self._conn.commit()
+        return after - before
+
+    # -- integrity -----------------------------------------------------
+    def verify(self) -> Dict[str, object]:
+        """Re-hash every stored blob against its key; find orphans.
+
+        The content address is the only line of defense between a
+        flipped bit on disk and a silently wrong replay/classification,
+        so the check is exhaustive: every body is decompressed and
+        re-hashed, every occurrence/staged/analysis row must reference
+        a stored body, and refcounts must equal live occurrence counts.
+        """
+        corrupt: List[Dict[str, str]] = []
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT hash, body, raw_bytes FROM scripts "
+                "ORDER BY hash").fetchall()
+            checked = 0
+            for row in rows:
+                checked += 1
+                try:
+                    raw = zlib.decompress(row["body"])
+                except zlib.error as exc:
+                    corrupt.append({"hash": row["hash"],
+                                    "error": f"undecompressible: {exc}"})
+                    continue
+                digest = hashlib.sha256(raw).hexdigest()
+                if digest != row["hash"]:
+                    corrupt.append({"hash": row["hash"],
+                                    "error": f"content hashes to "
+                                             f"{digest}"})
+                elif len(raw) != int(row["raw_bytes"]):
+                    corrupt.append({"hash": row["hash"],
+                                    "error": f"raw size {len(raw)} != "
+                                             f"recorded "
+                                             f"{row['raw_bytes']}"})
+
+            def _orphans(table: str) -> List[str]:
+                return [r["hash"] for r in self._conn.execute(
+                    f"SELECT DISTINCT hash FROM {table} "  # noqa: S608
+                    "WHERE hash NOT IN (SELECT hash FROM scripts) "
+                    "ORDER BY hash")]
+
+            orphaned_occurrences = _orphans("occurrences")
+            orphaned_staged = _orphans("staged_occurrences")
+            orphaned_analysis = _orphans("analysis_cache")
+            refcount_drift = [
+                {"hash": r["hash"], "refcount": int(r["refcount"]),
+                 "occurrences": int(r["n"])}
+                for r in self._conn.execute(
+                    "SELECT s.hash AS hash, s.refcount AS refcount, "
+                    "COUNT(o.hash) AS n FROM scripts s "
+                    "LEFT JOIN occurrences o ON o.hash = s.hash "
+                    "GROUP BY s.hash HAVING s.refcount != COUNT(o.hash) "
+                    "ORDER BY s.hash")]
+        return {
+            "path": self.path,
+            "bodies_checked": checked,
+            "corrupt": corrupt,
+            "orphaned_occurrences": orphaned_occurrences,
+            "orphaned_staged": orphaned_staged,
+            "orphaned_analysis": orphaned_analysis,
+            "refcount_drift": refcount_drift,
+            "ok": not (corrupt or orphaned_occurrences
+                       or orphaned_staged or orphaned_analysis
+                       or refcount_drift),
+        }
+
+    def total_stored_bytes(self) -> int:
+        """Compressed bytes across *all* stored bodies (any refcount)."""
+        with self._lock:
+            return int(self._conn.execute(
+                "SELECT COALESCE(SUM(stored_bytes), 0) AS n "
+                "FROM scripts").fetchone()["n"])
+
+    def total_raw_bytes(self) -> int:
+        """Uncompressed bytes across all stored bodies."""
+        with self._lock:
+            return int(self._conn.execute(
+                "SELECT COALESCE(SUM(raw_bytes), 0) AS n "
+                "FROM scripts").fetchone()["n"])
 
     def stats(self) -> Dict[str, float]:
         """Dedup / compression / cache effectiveness, one dict."""

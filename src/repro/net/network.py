@@ -72,6 +72,10 @@ class Network:
         #: (choke point ``network.fetch``): connection resets, slow
         #: responses, truncated bodies.
         self.fault_plan: Optional[Any] = None
+        #: Optional :class:`repro.bundles.BundleRecorder`. When set,
+        #: every completed fetch's hop chain is archived; when unset
+        #: the recording cost is this one attribute check.
+        self.recorder: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def register_host(self, host: str, server: Server) -> None:
@@ -135,6 +139,8 @@ class Network:
             if self.record_exchanges:
                 self.log.append(record)
             if not response.is_redirect:
+                if self.recorder is not None:
+                    self.recorder.on_fetch(request, hops)
                 return response, hops
             target = URL.parse(response.location, base=current.url)
             current = HttpRequest(
@@ -145,5 +151,8 @@ class Network:
                 frame_url=current.frame_url,
                 initiator_script=current.initiator_script,
             )
-        return HttpResponse(status=508, content_type="text/plain",
-                            body="redirect loop"), hops
+        response = HttpResponse(status=508, content_type="text/plain",
+                                body="redirect loop")
+        if self.recorder is not None:
+            self.recorder.on_fetch(request, hops)
+        return response, hops

@@ -40,6 +40,11 @@ class TelemetryCrawlResult:
     journal: Any = NULL_JOURNAL
     #: The JS-engine profiler, when profiling was requested.
     profiler: Optional[ScriptProfiler] = None
+    #: The bundle recorder, when ``record_dir`` was given (already
+    #: finalized by the runner; kept for inspection).
+    recorder: Optional[Any] = None
+    #: The source bundle, when this crawl replayed one.
+    bundle: Optional[Any] = None
 
     @property
     def storage(self):
@@ -48,6 +53,8 @@ class TelemetryCrawlResult:
     def close(self) -> None:
         self.manager.close()
         self.journal.close()
+        if self.bundle is not None:
+            self.bundle.close()
 
 
 def _lab_urls(site_count: int) -> List[str]:
@@ -73,7 +80,9 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
                         max_attempts: int = 2,
                         lease_seconds: float = 300.0,
                         journal_dir: Optional[str] = None,
-                        profile: bool = False
+                        profile: bool = False,
+                        record_dir: Optional[str] = None,
+                        replay_dir: Optional[str] = None
                         ) -> TelemetryCrawlResult:
     """Crawl *site_count* sites with full telemetry enabled.
 
@@ -100,6 +109,13 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
     per worker under that directory); ``profile=True`` installs the
     JS-engine profiler and journals its per-script/per-function op
     aggregates at crawl end.
+
+    ``record_dir`` archives every visit into an execution bundle at
+    that path; ``replay_dir`` serves the whole crawl from an existing
+    bundle instead of a live web (``urls``/``site_count`` are then
+    taken from the bundle). The two compose: replaying with
+    ``record_dir`` set re-records the replay, which is how ``repro
+    fidelity`` gets its comparison bundle.
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
     journal: Any = NULL_JOURNAL
@@ -114,7 +130,15 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
     if profile:
         profiler = ScriptProfiler()
         previous_profiler = install_profiler(profiler)
-    if web == "tranco":
+    bundle = None
+    if replay_dir is not None:
+        from repro.bundles import Bundle, ReplayNetwork
+
+        bundle = Bundle(replay_dir)
+        network = ReplayNetwork(bundle, telemetry=telemetry)
+        if urls is None:
+            urls = list(bundle.sites())
+    elif web == "tranco":
         from repro.web import build_world
 
         world = build_world(site_count=site_count, seed=seed)
@@ -127,6 +151,19 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
         network = make_lab_network()
         if urls is None:
             urls = _lab_urls(site_count)
+
+    recorder = None
+    if record_dir is not None:
+        from repro.bundles import BundleRecorder
+
+        recorder = BundleRecorder(
+            record_dir, kind="crawl",
+            params={"site_count": site_count, "seed": seed,
+                    "browsers": browsers, "dwell": dwell,
+                    "js_instrument": js_instrument, "web": web,
+                    "replay_of": replay_dir},
+            sites=urls, telemetry=telemetry)
+        network.recorder = recorder
 
     manager = TaskManager(
         ManagerParams(num_browsers=browsers,
@@ -142,6 +179,7 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
                        save_content=None if web == "lab" else "script")
          for i in range(browsers)],
         network, telemetry=telemetry)
+    manager.recorder = recorder
     report = None
     results: List[object] = []
     try:
@@ -167,9 +205,17 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
             journal.emit("profile_script", **entry)
         for entry in profiler.hot_functions():
             journal.emit("profile_function", **entry)
+    if recorder is not None:
+        # A bundle is only marked complete when every site's visits
+        # were archived; anything less stays ``status: recording`` and
+        # replay refuses it with the missing sites named.
+        drained = report.drained if report is not None else True
+        recorder.close(complete=bool(drained)
+                       and not manager.failed_sites)
     journal.flush()
     # Snapshot now (close() would too, but callers report before closing).
     manager.storage.persist_telemetry(telemetry.snapshot())
     return TelemetryCrawlResult(manager=manager, telemetry=telemetry,
                                 urls=urls, results=results, report=report,
-                                journal=journal, profiler=profiler)
+                                journal=journal, profiler=profiler,
+                                recorder=recorder, bundle=bundle)

@@ -57,7 +57,8 @@ def build_crawl_report(storage: Any,
                        telemetry: Optional[Telemetry] = None,
                        queue: Any = None,
                        corpus: Any = None,
-                       journal_dir: Optional[str] = None
+                       journal_dir: Optional[str] = None,
+                       bundle: Any = None
                        ) -> Dict[str, Any]:
     """Assemble the loss-accounting report for one crawl database.
 
@@ -76,6 +77,9 @@ def build_crawl_report(storage: Any,
     reconciled against both the telemetry counters and the database
     tables — a journal that diverges from either is a
     recording-integrity failure and fails the report.
+    ``bundle`` (a :class:`repro.bundles.Bundle`) adds execution-bundle
+    coverage: recorded sites vs expected, visit/exchange counts, and
+    store size.
     """
     if telemetry is not None and telemetry.enabled:
         metrics = telemetry.metrics.snapshot()
@@ -389,6 +393,7 @@ def build_crawl_report(storage: Any,
         "queue": queue_state,
         "journal": journal_state,
         "corpus": corpus.stats() if corpus is not None else None,
+        "bundle": bundle.stats() if bundle is not None else None,
         "drop_reasons": drop_reasons,
         "stages": stages,
         "span_count": len(spans),
@@ -539,6 +544,25 @@ def render_crawl_report(report: Dict[str, Any]) -> str:
              f"hit rate {corpus_stats['cache_hit_rate'] * 100.0:.1f}%"
              + ("" if corpus_stats["cache_enabled"]
                 else "  [DISABLED via REPRO_CORPUS_CACHE=off]"))
+        push("")
+
+    bundle_stats = report.get("bundle")
+    if bundle_stats is not None:
+        push("Execution bundle")
+        push(f"  path ................... {bundle_stats['path']}"
+             f"  ({bundle_stats['kind']}, {bundle_stats['status']})")
+        push(f"  sites recorded ......... "
+             f"{int(bundle_stats['sites_recorded'])}"
+             f"/{int(bundle_stats['sites_expected'])}"
+             f"  (coverage {bundle_stats['coverage'] * 100.0:.1f}%)")
+        push(f"  visits archived ........ {int(bundle_stats['visits'])}"
+             f"  (exchanges: {int(bundle_stats['exchanges'])})")
+        raw = int(bundle_stats["raw_bytes"])
+        stored = int(bundle_stats["stored_bytes"])
+        saved = (1 - stored / raw) * 100.0 if raw else 0.0
+        push(f"  store .................. "
+             f"{int(bundle_stats['stored_blobs'])} blobs, "
+             f"{stored} bytes  (raw {raw}, saved {saved:.1f}%)")
         push("")
 
     journal_state = report.get("journal")

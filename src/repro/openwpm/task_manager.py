@@ -87,6 +87,9 @@ class ManagedBrowser:
     #: otherwise. The discard hook retracts that row when the
     #: terminal-failure verdict is voided by a lost lease.
     last_given_up_site: Optional[str] = None
+    #: Index into the slot's JS-instrument record stream at visit
+    #: start; the slice from here is the visit's bundle trace.
+    bundle_trace_mark: int = 0
 
 
 class TaskManager:
@@ -120,6 +123,10 @@ class TaskManager:
         self._next_slot = 0
         self.failed_sites: List[str] = []
         self._failed_sites_lock = threading.Lock()
+        #: Optional :class:`repro.bundles.BundleRecorder`; when set,
+        #: every visit is archived into an execution bundle (the
+        #: network-side hook is installed by the crawl runner).
+        self.recorder: Optional[Any] = None
 
         self.fault_plan = self._build_fault_plan()
         if self.fault_plan is not None:
@@ -379,6 +386,7 @@ class TaskManager:
                     continue
                 try:
                     started = watch.start() if watch else 0.0
+                    self._bundle_begin(slot, sequence.url)
                     self._inject("visit.start", sequence.url)
                     dwell = sequence.dwell_time \
                         if sequence.dwell_time is not None \
@@ -411,6 +419,7 @@ class TaskManager:
                                     sequence.url)
                     with tm.stage("storage_commit"):
                         self.storage.end_visit(slot.browser_id)
+                    self._bundle_commit(slot, sequence.url, attempts)
                     slot.last_visit_id = context.visit_id
                     journal.emit("visit_complete", url=sequence.url,
                                  attempts=attempts,
@@ -420,6 +429,7 @@ class TaskManager:
                     visit_span.set_attribute("attempts", attempts)
                     return result
                 except BrowserCrashed:
+                    self._bundle_abandon(slot)
                     journal.emit("visit_crash", url=sequence.url,
                                  attempt=attempts)
                     tm.metrics.counter("visits_crashed").inc()
@@ -438,6 +448,7 @@ class TaskManager:
                     # the queue re-run it when the caller propagates).
                     # (The watchdog's own on_abort hook already wrote
                     # the ``watchdog_abort`` event with stage detail.)
+                    self._bundle_abandon(slot)
                     journal.emit("visit_hung", url=sequence.url,
                                  attempt=attempts)
                     tm.metrics.counter("visits_hung").inc()
@@ -464,6 +475,7 @@ class TaskManager:
                 except NetworkFault:
                     # The fetch died but the browser is fine: close the
                     # attempt and retry without a restart.
+                    self._bundle_abandon(slot)
                     journal.emit("visit_network_fault",
                                  url=sequence.url, attempt=attempts)
                     tm.metrics.counter("visits_network_faults").inc()
@@ -474,6 +486,7 @@ class TaskManager:
                     # Unexpected fault: close the visit so the browser
                     # slot stays usable, then let queue-level retry
                     # (or the caller) deal with the site.
+                    self._bundle_abandon(slot)
                     journal.emit("visit_error", url=sequence.url,
                                  attempt=attempts, error=repr(exc))
                     tm.metrics.counter("visits_errored").inc()
@@ -494,6 +507,40 @@ class TaskManager:
             else:
                 slot.last_given_up_site = sequence.url
             return None
+
+    # ------------------------------------------------------------------
+    # Execution-bundle hooks (record and replay share the protocol;
+    # each crawl site is its own bundle site keyed by URL)
+    # ------------------------------------------------------------------
+    def _bundle_begin(self, slot: ManagedBrowser, url: str) -> None:
+        begin = getattr(self.network, "begin_visit", None)
+        if begin is not None:
+            begin(url, url)
+        if self.recorder is not None:
+            self.recorder.begin_visit(url, url)
+            instrument = slot.extension.js_instrument
+            slot.bundle_trace_mark = len(instrument.records) \
+                if instrument is not None else 0
+
+    def _bundle_commit(self, slot: ManagedBrowser, url: str,
+                       attempts: int) -> None:
+        end = getattr(self.network, "end_visit", None)
+        if end is not None:
+            end()
+        if self.recorder is not None:
+            instrument = slot.extension.js_instrument
+            trace = list(instrument.records[slot.bundle_trace_mark:]) \
+                if instrument is not None else []
+            self.recorder.end_visit(trace=trace)
+            self.recorder.finish_site(
+                url, verdict={"success": True, "attempts": attempts})
+
+    def _bundle_abandon(self, slot: ManagedBrowser) -> None:
+        abandon = getattr(self.network, "abandon_visit", None)
+        if abandon is not None:
+            abandon()
+        if self.recorder is not None:
+            self.recorder.abandon_visit()
 
     def _interact(self, slot: ManagedBrowser, result) -> None:
         """Run the configured interaction driver on the loaded page.
