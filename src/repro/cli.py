@@ -70,6 +70,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print("error: --resume needs a file-backed queue (pass --queue)",
               file=sys.stderr)
         return 2
+    if args.worker_procs is not None:
+        if args.worker_procs < 1:
+            print("error: --worker-procs must be >= 1", file=sys.stderr)
+            return 2
+        if args.queue == ":memory:":
+            print("error: --worker-procs needs a file-backed queue "
+                  "(pass --queue); worker processes cannot share an "
+                  "in-memory queue", file=sys.stderr)
+            return 2
+        if args.record is not None or args.replay is not None:
+            print("error: --worker-procs cannot be combined with "
+                  "--record/--replay (bundle hooks live on the "
+                  "coordinator's network, which worker processes "
+                  "never touch)", file=sys.stderr)
+            return 2
     if args.record is not None and args.resume:
         print("error: --record archives one complete scan; it cannot "
               "be combined with --resume", file=sys.stderr)
@@ -126,7 +141,9 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     pipeline = ScanPipeline(web, recorder=recorder)
     dataset = pipeline.run(visit_subpages=not args.front_only,
                            workers=args.workers,
-                           queue_path=args.queue, resume=args.resume)
+                           queue_path=args.queue, resume=args.resume,
+                           worker_procs=args.worker_procs,
+                           world_seed=args.seed)
     if recorder is not None:
         recorder.close(
             complete=dataset.visited_sites >= len(web.configs))
@@ -298,6 +315,16 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.worker_procs is not None:
+        if args.worker_procs < 1:
+            print("error: --worker-procs must be >= 1", file=sys.stderr)
+            return 2
+        if args.record is not None or args.replay is not None:
+            print("error: --worker-procs cannot be combined with "
+                  "--record/--replay (bundle hooks live on the "
+                  "coordinator's network, which worker processes "
+                  "never touch)", file=sys.stderr)
+            return 2
     if args.record is not None and args.resume:
         print("error: --record archives one complete crawl; it cannot "
               "be combined with --resume", file=sys.stderr)
@@ -329,6 +356,11 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         print("error: --resume needs a file-backed queue "
               "(pass --db or --queue)", file=sys.stderr)
         return 2
+    if args.worker_procs is not None and queue_path == ":memory:":
+        print("error: --worker-procs needs a file-backed queue "
+              "(pass --db or --queue); worker processes cannot share "
+              "an in-memory queue", file=sys.stderr)
+        return 2
     fault_plan = None
     if args.fault_plan is not None:
         from repro.faults import FaultPlan
@@ -357,9 +389,15 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         site_count=site_count, seed=args.seed,
         database_path=args.db,
         crash_probability=args.crash_probability,
-        browsers=args.workers, dwell=args.dwell,
+        browsers=1 if args.worker_procs is not None else args.workers,
+        dwell=args.dwell,
         web=args.web, urls=urls,
-        workers=args.workers, queue_path=queue_path,
+        workers=None if args.worker_procs is not None
+        else args.workers,
+        worker_procs=args.worker_procs,
+        heartbeat_deadline=args.heartbeat_deadline,
+        respawn_limit=args.respawn_limit,
+        queue_path=queue_path,
         resume=args.resume, stop_after_jobs=args.stop_after,
         fault_plan=fault_plan,
         stage_deadline=args.stage_deadline,
@@ -727,6 +765,10 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--front-only", action="store_true")
     scan.add_argument("--workers", type=int, default=1,
                       help="scan worker threads (one browser each)")
+    scan.add_argument("--worker-procs", type=int, default=None,
+                      metavar="N",
+                      help="scan on N supervised worker processes "
+                           "instead of threads (needs --queue)")
     scan.add_argument("--queue", default=":memory:",
                       help="queue database path; evidence and the "
                            "script corpus persist to <queue>.scan / "
@@ -804,6 +846,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "(one per line)")
     crawl.add_argument("--workers", type=int, default=4,
                        help="worker threads, one browser slot each")
+    crawl.add_argument("--worker-procs", type=int, default=None,
+                       metavar="N",
+                       help="crawl on N supervised worker processes "
+                            "instead of threads: process isolation, "
+                            "heartbeat/SIGKILL supervision, and a "
+                            "single-writer storage broker (needs a "
+                            "file-backed --db or --queue)")
+    crawl.add_argument("--heartbeat-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --worker-procs: SIGKILL a worker "
+                            "silent for this many real seconds")
+    crawl.add_argument("--respawn-limit", type=int, default=None,
+                       metavar="N",
+                       help="with --worker-procs: abnormal deaths per "
+                            "slot before the pool shrinks")
     crawl.add_argument("--db", default=":memory:",
                        help="crawl database path")
     crawl.add_argument("--queue", default=None,

@@ -265,10 +265,24 @@ class ScanPipeline:
     def run(self, site_limit: Optional[int] = None,
             visit_subpages: bool = True, workers: int = 1,
             queue_path: str = ":memory:",
-            resume: bool = False) -> ScanDataset:
+            resume: bool = False,
+            worker_procs: Optional[int] = None,
+            world_seed: int = 7,
+            journal_dir: Optional[str] = None,
+            fault_plan: Optional[object] = None,
+            heartbeat_deadline: Optional[float] = None,
+            respawn_limit: Optional[int] = None) -> ScanDataset:
         """Scan the corpus; with ``workers > 1`` sites are distributed
         over extra browsers through the crawl scheduler. ``queue_path``
         and ``resume`` expose the scheduler's checkpoint/resume.
+
+        ``worker_procs`` scans through N supervised worker *processes*
+        instead (:mod:`repro.sched.procpool`); each rebuilds the
+        synthetic world from ``(site_count, world_seed)`` and ships
+        evidence envelopes back to this process's single-writer scan
+        broker. Requires a file-backed ``queue_path``; incompatible
+        with ``workers`` and with a bundle recorder/replay (their
+        hooks attach to this process's network object).
 
         Each site is visited with a fresh per-site browser identity
         (see :meth:`_site_browser`), so the collected script corpus
@@ -291,6 +305,20 @@ class ScanPipeline:
         )
         from repro.sched import CrawlScheduler
 
+        if worker_procs is not None:
+            if workers != 1:
+                raise ValueError(
+                    "workers and worker_procs are mutually exclusive")
+            if queue_path == ":memory:":
+                raise ValueError(
+                    "worker_procs requires a file-backed queue (worker "
+                    "processes cannot share an in-memory queue)")
+            if self.recorder is not None \
+                    or getattr(self.web, "bundle", None) is not None:
+                raise ValueError(
+                    "worker_procs cannot record or replay bundles: "
+                    "the bundle hooks attach to the coordinator's "
+                    "network, which worker processes never touch")
         corpus = ScriptCorpus(corpus_path_for(queue_path))
         if not resume:
             corpus.clear()
@@ -311,9 +339,17 @@ class ScanPipeline:
         store = ScanResultStore(store_path_for(queue_path))
         if not resume:
             store.clear()
+        clock = None
+        if worker_procs is not None:
+            # Lease deadlines must mean the same instant to every
+            # claimant process; per-process virtual clocks do not.
+            from repro.obs.clock import WallClock
+
+            clock = WallClock()
         scheduler = CrawlScheduler(queue_path, resume=resume,
                                    seed=self.seed, max_attempts=1,
-                                   telemetry=self.telemetry)
+                                   telemetry=self.telemetry,
+                                   clock=clock)
         scheduler.enqueue([config.domain for config in configs])
         if resume:
             self._restore_completed(scheduler, store, configs, dataset)
@@ -321,6 +357,31 @@ class ScanPipeline:
             # the engine's hash-keyed AST/closure cache so any script
             # shared with a still-pending site skips parse+compile.
             corpus.precompile()
+
+        if worker_procs is not None:
+            from repro.sched.procpool import (
+                DEFAULT_HEARTBEAT_DEADLINE,
+                DEFAULT_RESPAWN_LIMIT,
+                run_process_scan,
+            )
+
+            try:
+                run_process_scan(
+                    self, scheduler, corpus, store, dataset,
+                    queue_path=queue_path, worker_procs=worker_procs,
+                    world_seed=world_seed,
+                    visit_subpages=visit_subpages,
+                    fault_plan=fault_plan, journal_dir=journal_dir,
+                    heartbeat_deadline=heartbeat_deadline
+                    if heartbeat_deadline is not None
+                    else DEFAULT_HEARTBEAT_DEADLINE,
+                    respawn_limit=respawn_limit
+                    if respawn_limit is not None
+                    else DEFAULT_RESPAWN_LIMIT)
+            finally:
+                scheduler.close()
+                store.close()
+            return dataset
 
         # One attempt token per in-flight (site, worker); corpus rows
         # stay staged until the queue accepts the completion.

@@ -18,16 +18,30 @@ choke point          injected by
 ``network.fetch``    :class:`repro.net.network.Network`, per request
 ``storage.begin_visit``  storage controller, before the visit row
 ``pool.lease``       worker pool, right after a job is claimed
+``proc.claim``       process worker, right after a cross-process claim
+``proc.mid_visit``   process worker, inside the visit (as a command
+                     callback, after records were produced)
+``proc.envelope``    process worker, just before shipping the visit
+                     envelope to the storage broker
+``proc.respawn``     process supervisor, when respawning a dead worker
 ==================== ===================================================
 
 Fault kinds: ``crash`` (browser dies, restart + retry machinery runs),
 ``hang`` (burns virtual time; only a watchdog deadline rescues the
-visit), ``connection_reset`` (the fetch raises :class:`NetworkFault`),
+visit — at ``proc.*`` points the sleep is *real* wall time without
+heartbeats, so the process supervisor's SIGKILL ladder is what rescues
+it), ``connection_reset`` (the fetch raises :class:`NetworkFault`),
 ``slow_response`` (burns virtual time but the fetch succeeds),
 ``truncated_body`` (the response body is silently halved — data
 corruption, not failure), ``storage_busy`` (``begin_visit`` raises
 ``sqlite3.OperationalError``), ``worker_death`` (the pool worker
-abandons its freshly claimed job and lets the lease expire).
+abandons its freshly claimed job and lets the lease expire),
+``worker_sigkill`` (the worker *process* SIGKILLs itself — no cleanup,
+no goodbye; the supervisor must reap, release its leases, and
+respawn), ``broker_pipe_error`` (the worker's connection to the
+storage broker breaks mid-send, exercising envelope loss), and
+``respawn_failure`` (the supervisor's respawn attempt itself fails,
+driving the crash-loop backoff → pool-shrink ladder).
 
 Determinism: every probabilistic rule draws from its own
 ``random.Random`` seeded from ``(plan seed, rule index)``, so a re-run
@@ -56,6 +70,9 @@ FAULT_KINDS = (
     "truncated_body",
     "storage_busy",
     "worker_death",
+    "worker_sigkill",
+    "broker_pipe_error",
+    "respawn_failure",
 )
 
 #: Virtual seconds burned by a ``hang`` with no explicit ``seconds``.
@@ -236,6 +253,21 @@ class FaultPlan:
             # own locks and must never nest inside the plan's.
             self.on_trigger(point, url, hit_index, hit.fault)
         return hit
+
+    def preconsume(self, index: int, fires: int) -> None:
+        """Mark *fires* earlier firings of rule *index* as spent.
+
+        The process supervisor uses this when respawning a worker: the
+        fresh process rebuilds the plan from its serialized form (rule
+        states reset to zero), so without pre-consuming, a ``times``-
+        capped ``worker_sigkill`` rule would fire again on every
+        respawn and kill-loop the slot. RNG streams are untouched —
+        rules keep their index-derived generators.
+        """
+        if fires <= 0:
+            return
+        with self._lock:
+            self._states[index].fires += fires
 
     def fire_count(self, fault: Optional[str] = None) -> int:
         with self._lock:

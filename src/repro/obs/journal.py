@@ -186,10 +186,32 @@ class Journal:
         self._main = self.writer_for("main")
 
     def _claim_epoch(self) -> int:
+        """Atomically claim the next free epoch number.
+
+        Concurrent worker *processes* open the same journal directory
+        (each claims its own epoch so per-process sequence numbers and
+        restarted virtual clocks never interleave within one file).
+        Counting MANIFEST lines and appending is racy across processes,
+        so the claim itself is an ``O_CREAT | O_EXCL`` dotfile —
+        ``.epoch-NNNN.claim`` — which exactly one process can win; the
+        loser retries the next number. Claim files start with a dot so
+        :func:`journal_files` never mistakes them for event files, and
+        the MANIFEST line is appended only *after* the claim is won.
+        """
         manifest = os.path.join(self.directory, "MANIFEST")
         epoch = 0
         if os.path.exists(manifest):
             epoch = len(read_journal_file(manifest))
+        while True:
+            claim = os.path.join(self.directory,
+                                 f".epoch-{epoch:04d}.claim")
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                epoch += 1
+                continue
+            os.close(fd)
+            break
         with open(manifest, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(
                 {"epoch": epoch, "format": JOURNAL_FORMAT,

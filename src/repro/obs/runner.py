@@ -69,6 +69,11 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
                         web: str = "lab",
                         telemetry: Optional[Telemetry] = None,
                         workers: Optional[int] = None,
+                        worker_procs: Optional[int] = None,
+                        heartbeat_seconds: float = 1.0,
+                        heartbeat_deadline: Optional[float] = None,
+                        respawn_limit: Optional[int] = None,
+                        respawn_backoff: float = 0.5,
                         queue_path: str = ":memory:",
                         resume: bool = False,
                         urls: Optional[List[str]] = None,
@@ -100,6 +105,16 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
     the persistent queue and checkpoint/resume (``python -m repro
     crawl``). An explicit ``urls`` list overrides the generated one.
 
+    ``worker_procs`` routes the crawl through the **process** pool
+    instead (:mod:`repro.sched.procpool`): N spawned worker processes
+    claim from the shared file-backed queue and ship visit records to
+    this process's storage broker, under the heartbeat → SIGKILL →
+    respawn → shrink supervision ladder tuned by
+    ``heartbeat_seconds`` / ``heartbeat_deadline`` /
+    ``respawn_limit`` / ``respawn_backoff``. Mutually exclusive with
+    ``workers`` and with record/replay (bundle hooks live on the
+    coordinator's network object, which workers never touch).
+
     ``fault_plan`` / ``stage_deadline`` / ``quarantine_after`` /
     ``crash_loop_threshold`` wire the fault-injection plan and its
     defenses (watchdog, circuit breaker, crash-loop cooldown) straight
@@ -117,6 +132,15 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
     ``record_dir`` set re-records the replay, which is how ``repro
     fidelity`` gets its comparison bundle.
     """
+    if worker_procs is not None:
+        if workers is not None:
+            raise ValueError(
+                "workers and worker_procs are mutually exclusive")
+        if record_dir is not None or replay_dir is not None:
+            raise ValueError(
+                "worker_procs cannot record or replay bundles: the "
+                "bundle hooks attach to the coordinator's network, "
+                "which worker processes never touch")
     telemetry = telemetry if telemetry is not None else Telemetry()
     journal: Any = NULL_JOURNAL
     if journal_dir is not None and telemetry.enabled:
@@ -183,7 +207,32 @@ def run_telemetry_crawl(site_count: int = 1000, seed: int = 7,
     report = None
     results: List[object] = []
     try:
-        if workers is None:
+        if worker_procs is not None:
+            from repro.sched.procpool import (
+                DEFAULT_HEARTBEAT_DEADLINE,
+                DEFAULT_RESPAWN_LIMIT,
+                run_process_crawl,
+            )
+
+            if resume and telemetry.enabled:
+                telemetry.metrics.restore(
+                    manager.storage.telemetry_metrics())
+            report = run_process_crawl(
+                manager, urls, queue_path=queue_path,
+                worker_procs=worker_procs, web=web,
+                site_count=site_count, world_seed=seed,
+                resume=resume, stop_after_jobs=stop_after_jobs,
+                max_attempts=max_attempts,
+                lease_seconds=lease_seconds, journal_dir=journal_dir,
+                heartbeat_seconds=heartbeat_seconds,
+                heartbeat_deadline=heartbeat_deadline
+                if heartbeat_deadline is not None
+                else DEFAULT_HEARTBEAT_DEADLINE,
+                respawn_limit=respawn_limit
+                if respawn_limit is not None
+                else DEFAULT_RESPAWN_LIMIT,
+                respawn_backoff=respawn_backoff)
+        elif workers is None:
             results = manager.crawl(urls)
         else:
             if resume and telemetry.enabled:

@@ -29,7 +29,7 @@ from repro.obs.telemetry import Telemetry
 
 #: Version stamped into every JSON report export; bump on any change to
 #: the report's shape so downstream consumers can dispatch.
-REPORT_SCHEMA_VERSION = 2
+REPORT_SCHEMA_VERSION = 3
 
 
 def _metric_value(metrics: List[Dict[str, Any]], name: str,
@@ -196,6 +196,22 @@ def build_crawl_report(storage: Any,
                     scheduler[hist_name] = {
                         "count": count, "total_seconds": total,
                         "mean_seconds": total / count if count else 0.0}
+
+    # --- process pool (multi-process crawls) -------------------------
+    process_pool: Optional[Dict[str, Any]] = None
+    if _has_metric(metrics, "proc_workers_spawned"):
+        process_pool = {
+            "workers_spawned": _metric_value(metrics,
+                                             "proc_workers_spawned"),
+            "workers_killed": _metric_value(metrics,
+                                            "proc_workers_killed"),
+            "workers_respawned": _metric_value(metrics,
+                                               "proc_workers_respawned"),
+            "worker_deaths": _metric_value(metrics, "proc_worker_deaths"),
+            "heartbeats_missed": _metric_value(metrics,
+                                               "proc_heartbeats_missed"),
+            "pool_shrinks": _metric_value(metrics, "proc_pool_shrinks"),
+        }
 
     # --- stage latency -----------------------------------------------
     stages = []
@@ -376,6 +392,31 @@ def build_crawl_report(storage: Any,
                     check(f"journal metric deltas == {name}",
                           deltas.get((name, ()), 0.0),
                           _metric_value(metrics, name))
+        if has_telemetry and process_pool is not None:
+            # Process-supervision double entry: every spawn, kill,
+            # death, missed heartbeat and pool shrink the coordinator
+            # counted must have left a journal event in its epoch.
+            check("journal proc_spawn + proc_respawn =="
+                  " proc_workers_spawned",
+                  journal_count("proc_spawn")
+                  + journal_count("proc_respawn"),
+                  process_pool["workers_spawned"])
+            check("journal proc_respawn events == proc_workers_respawned",
+                  journal_count("proc_respawn"),
+                  process_pool["workers_respawned"])
+            check("journal proc_death events == proc_worker_deaths",
+                  journal_count("proc_death"),
+                  process_pool["worker_deaths"])
+            check("journal proc_heartbeat_miss events =="
+                  " proc_heartbeats_missed",
+                  journal_count("proc_heartbeat_miss"),
+                  process_pool["heartbeats_missed"])
+            check("journal proc_kill events == proc_workers_killed",
+                  journal_count("proc_kill"),
+                  process_pool["workers_killed"])
+            check("journal proc_shrink events == proc_pool_shrinks",
+                  journal_count("proc_shrink"),
+                  process_pool["pool_shrinks"])
 
     browser_crash_counts = {
         (metric.get("labels") or {}).get("browser", ""):
@@ -390,6 +431,7 @@ def build_crawl_report(storage: Any,
         "telemetry": tele,
         "browser_crash_counts": browser_crash_counts,
         "scheduler": scheduler,
+        "process_pool": process_pool,
         "queue": queue_state,
         "journal": journal_state,
         "corpus": corpus.stats() if corpus is not None else None,
@@ -525,6 +567,23 @@ def render_crawl_report(report: Dict[str, Any]) -> str:
                 push(f"  {label + ' (mean s) ':.<24} "
                      f"{hist['mean_seconds']:.4f}  "
                      f"(n={hist['count']})")
+        push("")
+
+    process_pool = report.get("process_pool")
+    if process_pool is not None:
+        push("Process supervision (multi-process pool)")
+        push(f"  workers spawned ........ "
+             f"{int(process_pool['workers_spawned'])}"
+             f"  (respawned: {int(process_pool['workers_respawned'])})")
+        push(f"  worker deaths .......... "
+             f"{int(process_pool['worker_deaths'])}")
+        push(f"  heartbeats missed ...... "
+             f"{int(process_pool['heartbeats_missed'])}"
+             f"  (workers killed: "
+             f"{int(process_pool['workers_killed'])})")
+        if process_pool["pool_shrinks"]:
+            push(f"  pool shrink events ..... "
+                 f"{int(process_pool['pool_shrinks'])}")
         push("")
 
     corpus_stats = report.get("corpus")

@@ -385,6 +385,176 @@ class StorageController:
             self.connection.commit()
             return discarded
 
+    # ------------------------------------------------------------------
+    # Single-writer broker support (``--worker-procs``)
+    # ------------------------------------------------------------------
+    #: Column order of the batched tables, matching ``_BATCHED``.
+    _BATCHED_COLUMNS: Dict[str, Tuple[str, ...]] = {
+        "http_requests": (
+            "visit_id", "browser_id", "url", "top_level_url",
+            "frame_url", "method", "resource_type",
+            "is_third_party_channel", "headers", "post_body"),
+        "http_responses": (
+            "visit_id", "browser_id", "url", "response_status",
+            "content_type", "content_hash"),
+        "javascript": (
+            "visit_id", "browser_id", "top_level_url", "document_url",
+            "script_url", "symbol", "operation", "value", "arguments",
+            "call_stack"),
+        "javascript_cookies": (
+            "visit_id", "browser_id", "record_type", "change_cause",
+            "host", "name", "value", "path", "is_session",
+            "is_http_only", "expiry", "first_party_domain",
+            "via_javascript"),
+        "content": ("content_hash", "content", "url", "content_type"),
+    }
+
+    def visit_ids_since(self, after_visit_id: int) -> List[int]:
+        """Committed visit ids greater than *after_visit_id*, in order.
+
+        The process worker's per-job cursor: everything a job's visit
+        attempts committed to the worker-local database (including the
+        partial rows a crashed attempt leaves behind, exactly as the
+        inline path would) is found here and exported to the broker.
+        """
+        with self._lock:
+            self._flush_locked()
+            return [int(row["visit_id"]) for row in self.connection.execute(
+                "SELECT visit_id FROM site_visits WHERE visit_id > ? "
+                "ORDER BY visit_id", (after_visit_id,))]
+
+    def export_visit(self, visit_id: int) -> Dict[str, Any]:
+        """One committed visit's rows, in insertion order, as plain
+        tuples — the worker half of the worker→broker envelope.
+
+        ``content`` rows are deliberately absent (they are visit-less
+        and deduplicated by hash; see :meth:`export_content_rows`).
+        """
+        with self._lock:
+            self._flush_locked()
+            visit_row = self.connection.execute(
+                "SELECT * FROM site_visits WHERE visit_id = ?",
+                (visit_id,)).fetchone()
+            if visit_row is None:
+                raise VisitStateError(
+                    f"visit {visit_id} is not in site_visits")
+            tables: Dict[str, List[Tuple]] = {}
+            for table in ("http_requests", "http_responses",
+                          "javascript", "javascript_cookies"):
+                cols = ", ".join(self._BATCHED_COLUMNS[table])
+                tables[table] = [tuple(row) for row in self.connection.execute(
+                    f"SELECT {cols} FROM {table} "  # noqa: S608
+                    f"WHERE visit_id = ? ORDER BY id", (visit_id,))]
+            return {"visit_id": visit_id,
+                    "browser_id": int(visit_row["browser_id"]),
+                    "site_url": visit_row["site_url"],
+                    "run_label": visit_row["run_label"] or "",
+                    "tables": tables}
+
+    def export_content_rows(self, after_rowid: int = 0
+                            ) -> Tuple[int, List[Tuple]]:
+        """``content`` rows past *after_rowid*, plus the new cursor.
+
+        Content rows carry no ``visit_id``; the worker ships them per
+        job in first-seen order and the broker re-inserts them with the
+        same INSERT OR IGNORE the inline path uses, so the surviving
+        rows land in the same first-seen positions.
+        """
+        with self._lock:
+            self._flush_locked()
+            rows = self.connection.execute(
+                "SELECT rowid, content_hash, content, url, content_type "
+                "FROM content WHERE rowid > ? ORDER BY rowid",
+                (after_rowid,)).fetchall()
+            cursor = int(rows[-1]["rowid"]) if rows else after_rowid
+            return cursor, [tuple(row)[1:] for row in rows]
+
+    #: Ledger tables a worker ships by id cursor (column order matches
+    #: the coordinator-side re-insert helpers).
+    _LEDGER_COLUMNS: Dict[str, Tuple[str, ...]] = {
+        "crash_history": ("browser_id", "visit_id", "site_url",
+                          "action"),
+        "failed_visits": ("browser_id", "site_url", "attempts",
+                          "reason"),
+        "quarantined_sites": ("site_url", "failures", "reason",
+                              "quarantined_at"),
+    }
+
+    def export_ledger_rows(self, table: str, after_id: int = 0
+                           ) -> Tuple[int, List[Tuple]]:
+        """Ledger rows (crash/failed/quarantine) past *after_id*."""
+        if table not in self._LEDGER_COLUMNS:
+            raise ValueError(f"unknown ledger table {table!r}")
+        cols = ", ".join(self._LEDGER_COLUMNS[table])
+        with self._lock:
+            rows = self.connection.execute(
+                f"SELECT id, {cols} FROM {table} "  # noqa: S608
+                f"WHERE id > ? ORDER BY id", (after_id,)).fetchall()
+            cursor = int(rows[-1]["id"]) if rows else after_id
+            return cursor, [tuple(row)[1:] for row in rows]
+
+    def import_visit(self, browser_id: int, site_url: str,
+                     run_label: str, tables: Dict[str, List[Tuple]]
+                     ) -> int:
+        """Write one worker-exported visit under a fresh visit id.
+
+        The broker half of the envelope: allocates the next visit id
+        exactly as :meth:`begin_visit` would, rewrites each row's
+        leading ``visit_id`` column, and lands everything in one
+        transaction. Applying envelopes in job order therefore yields
+        the same ids and row order the inline path produces.
+        """
+        with self._lock:
+            self._flush_locked()
+            visit_id = self._next_visit_id
+            self._next_visit_id += 1
+            self.connection.execute(
+                "INSERT INTO site_visits (visit_id, browser_id, "
+                "site_url, run_label) VALUES (?, ?, ?, ?)",
+                (visit_id, browser_id, site_url, run_label))
+            for table, rows in tables.items():
+                if table not in self._BATCHED or table == "content":
+                    raise ValueError(
+                        f"cannot import rows for table {table!r}")
+                if rows:
+                    self.connection.executemany(
+                        self._BATCHED[table],
+                        [(visit_id,) + tuple(row[1:]) for row in rows])
+            self.connection.commit()
+            return visit_id
+
+    def import_content_rows(self, rows: List[Tuple]) -> None:
+        """Re-insert worker-shipped ``content`` rows (OR IGNORE)."""
+        if not rows:
+            return
+        with self._lock:
+            self.connection.executemany(
+                self._BATCHED["content"],
+                [tuple(row) for row in rows])
+            self.connection.commit()
+
+    def import_ledger_rows(self, table: str, rows: List[Tuple]) -> None:
+        """Re-insert worker-shipped ledger rows.
+
+        Column order follows :attr:`_LEDGER_COLUMNS`; the broker remaps
+        ``crash_history.visit_id`` to coordinator ids before calling.
+        ``quarantined_sites`` keeps its OR IGNORE semantics (one row per
+        site) so a re-shipped quarantine cannot double up.
+        """
+        if table not in self._LEDGER_COLUMNS:
+            raise ValueError(f"unknown ledger table {table!r}")
+        if not rows:
+            return
+        cols = self._LEDGER_COLUMNS[table]
+        verb = "INSERT OR IGNORE" if table == "quarantined_sites" \
+            else "INSERT"
+        sql = (f"{verb} INTO {table} ({', '.join(cols)}) "  # noqa: S608
+               f"VALUES ({', '.join('?' for _ in cols)})")
+        with self._lock:
+            self.connection.executemany(
+                sql, [tuple(row) for row in rows])
+            self.connection.commit()
+
     def _context(self, browser_id: Optional[int] = None) -> VisitContext:
         """Resolve the visit context a record belongs to, or raise."""
         if browser_id is not None:

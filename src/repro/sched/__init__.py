@@ -4,9 +4,11 @@ The subsystem the large-scale crawls (Tranco-100K incidence study,
 Sec. 4) run on: a SQLite-backed job queue with lease-based claiming and
 deterministic retry backoff (:mod:`repro.sched.jobs`), a thread worker
 pool where each worker owns one browser slot (:mod:`repro.sched.pool`),
-and the checkpoint/resume orchestration tying them together
-(:mod:`repro.sched.scheduler`). ``python -m repro crawl`` is the CLI
-surface.
+the checkpoint/resume orchestration tying them together
+(:mod:`repro.sched.scheduler`), and a process-isolated worker pool with
+a supervising coordinator and single-writer storage broker
+(:mod:`repro.sched.procpool`, ``--worker-procs``). ``python -m repro
+crawl`` is the CLI surface.
 """
 
 from repro.sched.jobs import (
@@ -28,6 +30,16 @@ from repro.sched.pool import (
     TerminalFailureHook,
     WorkerPool,
 )
+from repro.sched.procpool import (
+    CrawlBroker,
+    ProcessPool,
+    ProcPoolReport,
+    ScanBroker,
+    WorkerSpec,
+    diff_snapshots,
+    run_process_crawl,
+    run_process_scan,
+)
 from repro.sched.scheduler import CrawlReport, CrawlScheduler
 
 __all__ = [
@@ -48,4 +60,12 @@ __all__ = [
     "WorkerPool",
     "CrawlReport",
     "CrawlScheduler",
+    "CrawlBroker",
+    "ProcessPool",
+    "ProcPoolReport",
+    "ScanBroker",
+    "WorkerSpec",
+    "diff_snapshots",
+    "run_process_crawl",
+    "run_process_scan",
 ]

@@ -18,7 +18,11 @@ One row per site. Jobs move ``pending → leased → completed | failed``:
   ``site_url``).
 
 All access is serialized through one lock; the connection is shared
-across worker threads (``check_same_thread=False``).
+across worker threads (``check_same_thread=False``). File-backed queues
+additionally run in WAL mode with a generous ``busy_timeout`` so that
+*cross-process* claimants (``--worker-procs``) contend by waiting on
+SQLite's lock instead of surfacing transient ``database is locked``
+errors to the scheduler.
 """
 
 from __future__ import annotations
@@ -119,6 +123,14 @@ class JobQueue:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         with self._lock:
+            if path != ":memory:":
+                # Cross-process claim contention (one queue file shared
+                # by N worker processes) must degrade to *waiting*, not
+                # to transient "database is locked" exceptions: WAL
+                # lets readers proceed under a writer, and the busy
+                # timeout makes writers queue behind each other.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA busy_timeout=30000")
             self._conn.executescript(_SCHEMA)
             self._conn.commit()
 
@@ -162,26 +174,44 @@ class JobQueue:
     # Worker side
     # ------------------------------------------------------------------
     def claim(self, owner: str) -> Optional[Job]:
-        """Lease the lowest-id ready job to *owner*, consuming an attempt."""
+        """Lease the lowest-id ready job to *owner*, consuming an attempt.
+
+        Cross-process safe: the lease is taken by a *conditional*
+        update (``... WHERE status = pending``), so when two processes
+        race for the same row exactly one update sticks and the loser
+        simply moves on to the next candidate. A select-then-blind-
+        update here would let a second claimant silently overwrite the
+        first one's lease — the first worker would then run the visit
+        only to lose it to a :class:`LeaseError` at completion.
+        """
         with self._lock:
-            now = self.clock.now()
-            row = self._conn.execute(
-                "SELECT job_id, site_url, attempts, enqueued_at FROM jobs "
-                "WHERE status = ? AND not_before <= ? "
-                "ORDER BY job_id LIMIT 1", (PENDING, now)).fetchone()
-            if row is None:
-                return None
-            attempts = row["attempts"] + 1
-            self._conn.execute(
-                "UPDATE jobs SET status = ?, lease_owner = ?, "
-                "lease_expires_at = ?, claimed_at = ?, attempts = ? "
-                "WHERE job_id = ?",
-                (LEASED, owner, now + self.lease_seconds, now, attempts,
-                 row["job_id"]))
-            self._conn.commit()
-            return Job(job_id=row["job_id"], site_url=row["site_url"],
-                       attempts=attempts, enqueued_at=row["enqueued_at"],
-                       claimed_at=now, lease_owner=owner)
+            while True:
+                now = self.clock.now()
+                row = self._conn.execute(
+                    "SELECT job_id, site_url, attempts, enqueued_at "
+                    "FROM jobs WHERE status = ? AND not_before <= ? "
+                    "ORDER BY job_id LIMIT 1", (PENDING, now)).fetchone()
+                if row is None:
+                    return None
+                cursor = self._conn.execute(
+                    "UPDATE jobs SET status = ?, lease_owner = ?, "
+                    "lease_expires_at = ?, claimed_at = ?, "
+                    "attempts = attempts + 1 "
+                    "WHERE job_id = ? AND status = ?",
+                    (LEASED, owner, now + self.lease_seconds, now,
+                     row["job_id"], PENDING))
+                self._conn.commit()
+                if cursor.rowcount == 0:
+                    # Another process won this row between our read and
+                    # our write; try the next candidate.
+                    continue
+                attempts = self._conn.execute(
+                    "SELECT attempts FROM jobs WHERE job_id = ?",
+                    (row["job_id"],)).fetchone()["attempts"]
+                return Job(job_id=row["job_id"],
+                           site_url=row["site_url"], attempts=attempts,
+                           enqueued_at=row["enqueued_at"],
+                           claimed_at=now, lease_owner=owner)
 
     def job_status(self, job_id: int) -> Optional[str]:
         """The job's current queue state (None if unknown)."""
@@ -294,6 +324,51 @@ class JobQueue:
                 "enqueued_at, claimed_at, lease_owner "
                 "FROM jobs WHERE status = ? AND lease_expires_at < ?",
                 (LEASED, now)).fetchall()
+            result = ReclaimResult()
+            for row in rows:
+                if row["attempts"] < row["max_attempts"]:
+                    delay = self.retry_delay(row["site_url"],
+                                             row["attempts"])
+                    self._conn.execute(
+                        "UPDATE jobs SET status = ?, not_before = ?, "
+                        "lease_owner = NULL, lease_expires_at = NULL, "
+                        "last_error = 'lease_expired' WHERE job_id = ?",
+                        (PENDING, now + delay, row["job_id"]))
+                    result.requeued += 1
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET status = ?, finished_at = ?, "
+                        "lease_owner = NULL, lease_expires_at = NULL, "
+                        "last_error = 'lease_expired' WHERE job_id = ?",
+                        (FAILED, now, row["job_id"]))
+                    result.failed_jobs.append(Job(
+                        job_id=row["job_id"], site_url=row["site_url"],
+                        attempts=row["attempts"],
+                        enqueued_at=row["enqueued_at"],
+                        claimed_at=row["claimed_at"] or 0.0,
+                        lease_owner=row["lease_owner"] or ""))
+            if rows:
+                self._conn.commit()
+            return result
+
+    def release_owner(self, owner: str) -> ReclaimResult:
+        """Release every lease held by one *known-dead* worker process.
+
+        The process supervisor calls this the moment it reaps a worker:
+        unlike :meth:`reclaim_expired` it ignores expiry times (the
+        owner is dead, so any lease it held is stale *now*), and unlike
+        :meth:`release_leases` it touches only that owner's leases so
+        live siblings keep theirs. Jobs with attempts left go back to
+        ``pending`` with backoff; exhausted jobs go terminally
+        ``failed`` and are returned so the caller can record the loss.
+        """
+        with self._lock:
+            now = self.clock.peek()
+            rows = self._conn.execute(
+                "SELECT job_id, site_url, attempts, max_attempts, "
+                "enqueued_at, claimed_at, lease_owner "
+                "FROM jobs WHERE status = ? AND lease_owner = ?",
+                (LEASED, owner)).fetchall()
             result = ReclaimResult()
             for row in rows:
                 if row["attempts"] < row["max_attempts"]:

@@ -64,16 +64,22 @@ class CrawlScheduler:
                  resume: bool = False, seed: int = 0,
                  max_attempts: int = 3, lease_seconds: float = 300.0,
                  backoff_base: float = 0.5, backoff_cap: float = 60.0,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 clock: Optional[object] = None) -> None:
         if resume and queue_path == ":memory:":
             raise ValueError(
                 "resume requires a file-backed queue (an in-memory "
                 "queue cannot outlive the crawl that created it)")
         self.telemetry = coalesce(telemetry)
+        # Lease timestamps default to the telemetry clock (virtual in
+        # tests). Multi-process crawls pass an explicit WallClock: a
+        # lease deadline must mean the same instant to every claimant
+        # process, and per-process virtual clocks advance independently.
         self.queue = JobQueue(
             queue_path, seed=seed, max_attempts=max_attempts,
             lease_seconds=lease_seconds, backoff_base=backoff_base,
-            backoff_cap=backoff_cap, clock=self.telemetry.clock)
+            backoff_cap=backoff_cap,
+            clock=clock if clock is not None else self.telemetry.clock)
         self.resume = resume
         self._released = 0
         if resume:
