@@ -1,0 +1,179 @@
+"""Serving layer: query throughput and rollup maintenance cost.
+
+Two pins guard the tentpole's performance claims:
+
+* the response cache must be worth its complexity — cached answers at
+  least 10x the throughput of rebuilding every payload from the
+  rollups ("cold" = cache capacity 0, every request re-renders inside
+  its own read transaction);
+* incremental rollup maintenance must be close to free for the
+  writer — under 5% CPU on a full telemetered crawl, measured with
+  the same subprocess-isolated alternating-pair protocol as the
+  flight-recorder guard (fresh interpreter per pair, per-mode minimum
+  so co-tenant noise only pushes estimates down toward the truth).
+"""
+
+import gc
+import json
+import os
+import subprocess
+import sys
+import time
+
+from conftest import BENCH_SEED, report
+
+CACHE_SPEEDUP_MIN = 10.0
+MAINTENANCE_OVERHEAD_LIMIT_PCT = 5.0
+
+
+def _make_crawl_db(tmp_path, sites=2000):
+    from repro.obs.runner import run_telemetry_crawl
+
+    db_path = str(tmp_path / "bench.db")
+    result = run_telemetry_crawl(
+        site_count=sites, seed=BENCH_SEED, database_path=db_path,
+        crash_probability=0.05, browsers=2, web="lab")
+    result.close()
+    return db_path
+
+
+def _request_mix(server):
+    mix = [("/aggregates/totals", ""), ("/aggregates/symbols", ""),
+           ("/aggregates/resources", ""), ("/aggregates/cookies", ""),
+           ("/aggregates/crashes", ""),
+           ("/aggregates/drop_reasons", ""), ("/sites", "")]
+    listing = json.loads(server.respond("/sites").body)
+    mix += [("/site", f"url={url}") for url in listing["sites"][:5]]
+    return mix
+
+
+def _qps(server, mix, total=3000):
+    for path, query in mix:  # warm caches and per-thread connections
+        assert server.respond(path, query).status == 200
+    gc.collect()
+    start = time.perf_counter()
+    for i in range(total):
+        path, query = mix[i % len(mix)]
+        server.respond(path, query)
+    return total / (time.perf_counter() - start)
+
+
+def test_benchmark_serve_query_throughput(benchmark, tmp_path):
+    from repro.serve import ResultServer
+
+    db_path = _make_crawl_db(tmp_path)
+
+    def measure():
+        cold = ResultServer(db_path, cache_capacity=0)
+        cached = ResultServer(db_path)
+        try:
+            mix = _request_mix(cold)
+            return {"cold_qps": _qps(cold, mix),
+                    "cached_qps": _qps(cached, mix),
+                    "endpoints": len(mix)}
+        finally:
+            cold.close()
+            cached.close()
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = result["cached_qps"] / result["cold_qps"]
+
+    lines = [
+        "(the generation-keyed response cache must buy >=10x the",
+        "throughput of re-rendering every payload per request;",
+        f"{result['endpoints']}-endpoint request mix over a 2000-site "
+        "crawl database)",
+        "",
+        "| mode | queries/second |",
+        "|---|---|",
+        f"| cold (cache disabled) | {result['cold_qps']:,.0f} |",
+        f"| cached | {result['cached_qps']:,.0f} |",
+        f"| speedup | {speedup:.1f}x |",
+    ]
+    report("serve", "Serving - query throughput, cold vs cached",
+           lines)
+
+    assert speedup >= CACHE_SPEEDUP_MIN, result
+
+
+#: Measurement worker, fresh interpreter per pair. argv: order
+#: ("01" = maintenance-off first), site_count, seed. The workload is
+#: the full telemetered lab crawl writing to a file-backed database —
+#: the exact write path the rollup hooks ride.
+_MAINTENANCE_WORKER = r'''
+import gc, json, os, shutil, sys, tempfile, time
+
+order, sites, seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+
+def timed(maintained):
+    os.environ["REPRO_ROLLUPS"] = "on" if maintained else "off"
+    from repro.obs.runner import run_telemetry_crawl
+    tmp = tempfile.mkdtemp(prefix="bench-serve-")
+    gc.collect()
+    start = time.process_time()
+    result = run_telemetry_crawl(
+        site_count=sites, seed=seed, crash_probability=0.05,
+        database_path=os.path.join(tmp, "crawl.db"))
+    elapsed = time.process_time() - start
+    result.close()
+    shutil.rmtree(tmp, ignore_errors=True)
+    return elapsed
+
+timed(True)  # warm-up, discarded
+out = {}
+for mode in order:
+    maintained = mode == "1"
+    out["on" if maintained else "off"] = timed(maintained)
+print(json.dumps(out))
+'''
+
+
+def measure_maintenance_overhead(site_count=1000, min_pairs=5,
+                                 max_pairs=12, settle_pct=4.0):
+    import repro
+
+    env = dict(os.environ)
+    src_dir = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+    on = off = float("inf")
+    pairs = 0
+    for pairs in range(1, max_pairs + 1):
+        order = "01" if pairs % 2 else "10"
+        proc = subprocess.run(
+            [sys.executable, "-c", _MAINTENANCE_WORKER, order,
+             str(site_count), str(BENCH_SEED)],
+            capture_output=True, text=True, env=env, check=True)
+        sample = json.loads(proc.stdout.strip().splitlines()[-1])
+        off = min(off, sample["off"])
+        on = min(on, sample["on"])
+        overhead = (on - off) / off * 100.0 if off else 0.0
+        if pairs >= min_pairs and overhead < settle_pct:
+            break
+    return {"sites": site_count, "rounds": pairs,
+            "maintained_seconds": on, "baseline_seconds": off,
+            "overhead_pct": (on - off) / off * 100.0 if off else 0.0}
+
+
+def test_benchmark_rollup_maintenance_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure_maintenance_overhead(site_count=1000),
+        rounds=1, iterations=1)
+
+    lines = [
+        "(incremental rollup maintenance must cost <5% CPU on a",
+        "full telemetered 1000-site crawl)",
+        "",
+        f"| mode | CPU seconds (best of {result['rounds']}"
+        " subprocess-isolated pairs) |",
+        "|---|---|",
+        f"| maintenance off | {result['baseline_seconds']:.3f} |",
+        f"| maintenance on | {result['maintained_seconds']:.3f} |",
+        f"| overhead | {result['overhead_pct']:.2f}% |",
+    ]
+    report("serve_maintenance",
+           "Serving - rollup maintenance CPU overhead", lines)
+
+    assert result["overhead_pct"] < MAINTENANCE_OVERHEAD_LIMIT_PCT, \
+        result

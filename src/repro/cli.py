@@ -8,6 +8,8 @@ Commands mirror the paper's experiments:
 * ``compare`` — the paired WPM vs WPM_hide crawl (Sec. 6.3)
 * ``survey``  — the literature datasets (Tables 1 and 14)
 * ``stats``   — crawl health / loss-accounting report (telemetry)
+* ``serve``   — query API over a crawl database (``build``/``verify``
+  maintain and differential-check its read-optimized rollups)
 * ``crawl``   — scheduled crawl: worker pool, persistent queue, --resume
 * ``fidelity``— score a replayed execution bundle against its recording
 * ``corpus``  — content-addressed store maintenance (``verify``)
@@ -213,6 +215,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _database_path(path: str) -> Optional[str]:
+    """Validate *path* as an existing crawl database, or complain.
+
+    Opening a missing path with :class:`StorageController` would
+    silently create an empty database and report zeros — exactly the
+    kind of quiet wrong answer this repo exists to catch. Commands
+    that *read* a crawl (``serve``, ``stats --db``, ``trace``,
+    ``profile``) refuse instead; callers exit 2 on ``None``.
+    """
+    if os.path.isfile(path):
+        return path
+    print(f"error: no crawl database at {path!r}", file=sys.stderr)
+    return None
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import os
 
@@ -224,6 +241,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.db is not None and not args.fresh:
         from repro.openwpm.storage import StorageController
 
+        if _database_path(args.db) is None:
+            return 2
         storage = StorageController(args.db)
         cleanup = storage.close
     elif args.bundle is not None:
@@ -295,6 +314,60 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if bundle is not None:
             bundle.close()
         cleanup()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    mode = None
+    database = args.db
+    if args.db in ("build", "verify"):
+        if args.extra is None:
+            print(f"error: 'serve {args.db}' needs a database path",
+                  file=sys.stderr)
+            return 2
+        mode, database = args.db, args.extra
+    elif args.extra is not None:
+        print(f"error: unexpected argument {args.extra!r}",
+              file=sys.stderr)
+        return 2
+    database = _database_path(database)
+    if database is None:
+        return 2
+
+    if mode is not None:
+        import sqlite3
+
+        from repro.serve import build, verify
+
+        connection = sqlite3.connect(database)
+        try:
+            if mode == "build":
+                print(json.dumps(build(connection), sort_keys=True))
+                return 0
+            report = verify(connection)
+            print(json.dumps(report, sort_keys=True))
+            return 0 if report["ok"] else 1
+        finally:
+            connection.close()
+
+    from repro.serve import ResultServer, ServeError
+
+    try:
+        server = ResultServer(database, host=args.host, port=args.port,
+                              cache_capacity=args.cache_capacity,
+                              cache_ttl=args.cache_ttl)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    port = server.start()
+    # The bound port line is machine-read (tests, the CI smoke job
+    # curl loop) — keep it first and on one line.
+    print(f"serving {database} at http://{args.host}:{port}",
+          flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    return 0
 
 
 def _site_list(spec: str) -> "tuple[int, list | None]":
@@ -487,7 +560,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     journal_dir = _resolve_journal_dir(args.source)
     if journal_dir is not None:
         trace = journal_to_chrome_trace(merge_journal(journal_dir))
-    elif os.path.isfile(args.source):
+    elif _database_path(args.source) is not None:
         # Pre-journal crawl database: fall back to the persisted
         # telemetry span table (spans only, no instants).
         from repro.openwpm.storage import StorageController
@@ -498,8 +571,6 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         finally:
             storage.close()
     else:
-        print(f"error: {args.source!r} is neither a journal directory "
-              f"nor a crawl database", file=sys.stderr)
         return 2
     text = chrome_trace_to_json(trace)
     if args.output is not None:
@@ -517,8 +588,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     journal_dir = _resolve_journal_dir(args.source)
     if journal_dir is None:
-        print(f"error: no journal directory at {args.source!r} "
-              f"(crawl with --journal --profile first)", file=sys.stderr)
+        if _database_path(args.source) is not None:
+            print(f"error: {args.source!r} has no journal sidecar "
+                  f"(crawl with --journal --profile first)",
+                  file=sys.stderr)
         return 2
     events = merge_journal(journal_dir)
     profile_events = [event for event in events
@@ -838,6 +911,28 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--output", default=None, metavar="PATH",
                        help="also write the JSON report to PATH")
     stats.set_defaults(fn=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="query API over a crawl database (rollups)")
+    serve.add_argument("db",
+                       help="crawl database to serve; or the word "
+                            "'build' / 'verify' followed by the "
+                            "database to backfill / differential-check "
+                            "its rollup tables and exit")
+    serve.add_argument("extra", nargs="?", default=None,
+                       metavar="DB",
+                       help="database path for 'serve build' / "
+                            "'serve verify'")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks an ephemeral port, "
+                            "printed on the first output line")
+    serve.add_argument("--cache-capacity", type=int, default=512,
+                       help="response-cache entries (0 disables)")
+    serve.add_argument("--cache-ttl", type=float, default=30.0,
+                       help="response-cache TTL in seconds")
+    serve.set_defaults(fn=_cmd_serve)
 
     crawl = sub.add_parser(
         "crawl", help="scheduled crawl (worker pool + resumable queue)")

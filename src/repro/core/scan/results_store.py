@@ -95,6 +95,12 @@ class ScanResultStore:
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
+        if path != ":memory:":
+            # Same concurrency posture as the crawl database: WAL lets
+            # read-only inspectors open the sidecar while a scan is
+            # still appending evidence.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA busy_timeout = 10000")
         with self._lock:
             self._check_format()
             self._conn.executescript(_SCHEMA)

@@ -26,6 +26,7 @@ from repro.obs.journal import (
     sum_metric_deltas,
 )
 from repro.obs.telemetry import Telemetry
+from repro.serve.aggregates import database_section, drop_reasons_section
 
 #: Version stamped into every JSON report export; bump on any change to
 #: the report's shape so downstream consumers can dispatch.
@@ -43,14 +44,6 @@ def _metric_value(metrics: List[Dict[str, Any]], name: str,
 
 def _has_metric(metrics: List[Dict[str, Any]], name: str) -> bool:
     return any(metric["name"] == name for metric in metrics)
-
-
-def _table_count(storage: Any, table: str, where: str = "",
-                 params: tuple = ()) -> int:
-    sql = f"SELECT COUNT(*) AS n FROM {table}"  # noqa: S608 (fixed names)
-    if where:
-        sql += f" WHERE {where}"
-    return int(storage.query(sql, params)[0]["n"])
 
 
 def build_crawl_report(storage: Any,
@@ -89,28 +82,11 @@ def build_crawl_report(storage: Any,
         spans = storage.telemetry_spans()
 
     # --- database-side truth -----------------------------------------
-    db = {
-        "site_visit_rows": _table_count(storage, "site_visits"),
-        "distinct_sites_visited": int(storage.query(
-            "SELECT COUNT(DISTINCT site_url) AS n FROM site_visits"
-        )[0]["n"]),
-        "crash_rows": _table_count(storage, "crash_history",
-                                   "action = 'crash'"),
-        "restart_rows": _table_count(storage, "crash_history",
-                                     "action = 'restart'"),
-        "failed_visit_rows": _table_count(storage, "failed_visits"),
-        "quarantined_site_rows": _table_count(storage,
-                                              "quarantined_sites"),
-        "javascript_rows": _table_count(storage, "javascript"),
-        "http_request_rows": _table_count(storage, "http_requests"),
-        "cookie_rows": _table_count(storage, "javascript_cookies"),
-        "content_rows": _table_count(storage, "content"),
-    }
-    drop_reasons: Dict[str, int] = {}
-    for row in storage.query(
-            "SELECT reason, COUNT(*) AS n FROM failed_visits "
-            "GROUP BY reason ORDER BY n DESC"):
-        drop_reasons[row["reason"] or "unknown"] = int(row["n"])
+    # Served off the read-optimized rollups when the storage's
+    # maintainer vouches for them, with a raw COUNT(*) fallback — the
+    # serve layer pins both paths byte-equal (see repro.serve).
+    db = database_section(storage)
+    drop_reasons = drop_reasons_section(storage)
 
     # --- telemetry-side counters -------------------------------------
     tele = {

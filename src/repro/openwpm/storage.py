@@ -35,15 +35,32 @@ the per-record scheme. Every read (``query``) and every retraction
 (``abort_visit`` / ``delete_visit``) flushes first, so buffered rows
 are always visible to callers and an expired-lease retraction removes
 batched-but-unflushed rows along with committed ones.
+
+Serving hooks: the controller owns a
+:class:`repro.serve.rollups.RollupMaintainer` that folds every
+mutation — visit commits, broker imports, and all retractions — into
+the read-optimized ``rollups_*`` tables inside the same transaction as
+the raw rows, so the serving layer's aggregates can never commit apart
+from the ground truth they summarise. Each visit's contribution is
+accumulated record-by-record on its :class:`VisitContext` (aborted
+visits simply drop it); visit-less ``content`` rows are booked at
+flush time from the post-dedup insert count. ``REPRO_ROLLUPS=off``
+disables maintenance (existing rollups are then marked stale on the
+first mutation rather than silently drifting). File-backed databases
+run in WAL journal mode so the serving layer's read-only connections
+never contend with the crawl writer.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import sqlite3
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.rollups import RollupMaintainer, VisitDelta
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS site_visits (
@@ -159,6 +176,10 @@ class VisitContext:
     browser_id: int
     site_url: str
     top_level_url: str
+    #: Rollup contribution of this visit (``repro.serve``), fed every
+    #: buffered row and applied atomically when the visit commits;
+    #: ``None`` when rollup maintenance is disabled.
+    delta: Optional[VisitDelta] = None
 
 
 class VisitStateError(RuntimeError):
@@ -205,19 +226,35 @@ class StorageController:
             "url, content_type) VALUES (?, ?, ?, ?)",
     }
 
-    def __init__(self, database_path: str = ":memory:") -> None:
+    def __init__(self, database_path: str = ":memory:",
+                 rollups: Optional[bool] = None) -> None:
         self.database_path = database_path
         self.connection = sqlite3.connect(database_path,
                                           check_same_thread=False)
         self.connection.row_factory = sqlite3.Row
         self._lock = threading.RLock()
         with self._lock:
+            if database_path != ":memory:":
+                # WAL lets the serving layer's read-only connections
+                # snapshot-read while the crawl writes; busy_timeout
+                # rides out the rare write/checkpoint collisions.
+                self.connection.execute("PRAGMA journal_mode=WAL")
+                self.connection.execute("PRAGMA busy_timeout=10000")
             self.connection.executescript(_SCHEMA)
             # Resume numbering after any visits already in the database
             # (a reopened crawl must not collide with its own past).
             row = self.connection.execute(
                 "SELECT MAX(visit_id) AS m FROM site_visits").fetchone()
             self._next_visit_id = int(row["m"] or 0) + 1
+            if rollups is None:
+                rollups = os.environ.get(
+                    "REPRO_ROLLUPS", "").lower() not in ("off", "0",
+                                                         "false")
+            #: Incremental aggregation into the ``rollups_*`` tables
+            #: (``repro.serve``); hooks are invoked on every mutation
+            #: path below, inside the caller's transaction.
+            self.rollups = RollupMaintainer(self.connection,
+                                            enabled=bool(rollups))
         #: Active visits, one slot per browser.
         self._contexts: Dict[int, VisitContext] = {}
         #: Per-table pending row buffers (insertion order preserved).
@@ -239,7 +276,19 @@ class StorageController:
         """
         for table, rows in self._pending.items():
             if rows:
-                self.connection.executemany(self._BATCHED[table], rows)
+                if table == "content":
+                    # Content rows are visit-less (they survive visit
+                    # aborts) and deduplicated by OR IGNORE, so their
+                    # rollup contribution is the *actual* insert count,
+                    # booked here rather than through a visit delta.
+                    before = self.connection.total_changes
+                    self.connection.executemany(
+                        self._BATCHED[table], rows)
+                    self.rollups.content_inserted(
+                        self.connection.total_changes - before)
+                else:
+                    self.connection.executemany(
+                        self._BATCHED[table], rows)
                 del rows[:]
 
     def pending_row_count(self) -> int:
@@ -301,7 +350,8 @@ class StorageController:
                 (visit_id, browser_id, site_url, run_label))
             context = VisitContext(
                 visit_id=visit_id, browser_id=browser_id,
-                site_url=site_url, top_level_url=site_url)
+                site_url=site_url, top_level_url=site_url,
+                delta=VisitDelta() if self.rollups.enabled else None)
             self._contexts[browser_id] = context
             return context
 
@@ -322,8 +372,13 @@ class StorageController:
                 raise VisitStateError(
                     f"browser {browser_id} has no active visit to end")
             # One flush + one commit per visit: the batched rows land
-            # in a single transaction.
+            # in a single transaction — and the visit's rollup delta
+            # rides the same transaction, so aggregates and raw rows
+            # can never commit apart.
+            context = self._contexts[browser_id]
             self._flush_locked()
+            self.rollups.visit_committed(
+                context.site_url, context.delta or VisitDelta())
             self.connection.commit()
             del self._contexts[browser_id]
 
@@ -372,6 +427,10 @@ class StorageController:
             # An expired-lease retraction must catch batched rows the
             # doomed attempt buffered but never flushed.
             self._flush_locked()
+            # Fold the doomed visit back out of the rollups while its
+            # rows still exist (the voided verdict must vanish from
+            # served aggregates exactly as it does from the raw tables).
+            self.rollups.visit_retracted(visit_id)
             discarded: Dict[str, int] = {}
             for table in ("http_requests", "http_responses",
                           "javascript", "javascript_cookies"):
@@ -512,6 +571,7 @@ class StorageController:
                 "INSERT INTO site_visits (visit_id, browser_id, "
                 "site_url, run_label) VALUES (?, ?, ?, ?)",
                 (visit_id, browser_id, site_url, run_label))
+            delta = VisitDelta() if self.rollups.enabled else None
             for table, rows in tables.items():
                 if table not in self._BATCHED or table == "content":
                     raise ValueError(
@@ -520,6 +580,15 @@ class StorageController:
                     self.connection.executemany(
                         self._BATCHED[table],
                         [(visit_id,) + tuple(row[1:]) for row in rows])
+                    if delta is not None:
+                        # Envelope rows are the same tuples the worker
+                        # buffered, so the broker's rollup delta goes
+                        # through the identical accounting as a live
+                        # inline visit.
+                        for row in rows:
+                            delta.add_row(table, tuple(row))
+            self.rollups.visit_committed(site_url,
+                                         delta or VisitDelta())
             self.connection.commit()
             return visit_id
 
@@ -528,9 +597,12 @@ class StorageController:
         if not rows:
             return
         with self._lock:
+            before = self.connection.total_changes
             self.connection.executemany(
                 self._BATCHED["content"],
                 [tuple(row) for row in rows])
+            self.rollups.content_inserted(
+                self.connection.total_changes - before)
             self.connection.commit()
 
     def import_ledger_rows(self, table: str, rows: List[Tuple]) -> None:
@@ -551,8 +623,23 @@ class StorageController:
         sql = (f"{verb} INTO {table} ({', '.join(cols)}) "  # noqa: S608
                f"VALUES ({', '.join('?' for _ in cols)})")
         with self._lock:
-            self.connection.executemany(
-                sql, [tuple(row) for row in rows])
+            if table == "quarantined_sites":
+                # Row-at-a-time so the rollup hook learns which rows
+                # actually landed (OR IGNORE drops re-shipped ones).
+                for row in rows:
+                    cursor = self.connection.execute(sql, tuple(row))
+                    self.rollups.quarantine_recorded(
+                        str(row[0]), cursor.rowcount > 0)
+            else:
+                self.connection.executemany(
+                    sql, [tuple(row) for row in rows])
+                for row in rows:
+                    if table == "crash_history":
+                        self.rollups.crash_recorded(
+                            str(row[2] or ""), str(row[3] or ""))
+                    else:
+                        self.rollups.failed_recorded(
+                            str(row[1]), str(row[3] or ""))
             self.connection.commit()
 
     def _context(self, browser_id: Optional[int] = None) -> VisitContext:
@@ -582,19 +669,23 @@ class StorageController:
                             browser_id: Optional[int] = None) -> None:
         with self._lock:
             ctx = self._context(browser_id)
-            self._pending["http_requests"].append(
-                (ctx.visit_id, ctx.browser_id, url, top_level_url,
-                 frame_url, method, resource_type, int(is_third_party),
-                 headers, post_body))
+            row = (ctx.visit_id, ctx.browser_id, url, top_level_url,
+                   frame_url, method, resource_type,
+                   int(is_third_party), headers, post_body)
+            self._pending["http_requests"].append(row)
+            if ctx.delta is not None:
+                ctx.delta.add_row("http_requests", row)
 
     def record_http_response(self, url: str, status: int, content_type: str,
                              content_hash: str = "",
                              browser_id: Optional[int] = None) -> None:
         with self._lock:
             ctx = self._context(browser_id)
-            self._pending["http_responses"].append(
-                (ctx.visit_id, ctx.browser_id, url, status, content_type,
-                 content_hash))
+            row = (ctx.visit_id, ctx.browser_id, url, status,
+                   content_type, content_hash)
+            self._pending["http_responses"].append(row)
+            if ctx.delta is not None:
+                ctx.delta.add_row("http_responses", row)
 
     def record_content(self, body: str, url: str,
                        content_type: str) -> str:
@@ -616,11 +707,13 @@ class StorageController:
         """
         with self._lock:
             ctx = self._context(browser_id)
-            self._pending["javascript"].append(
-                (ctx.visit_id, ctx.browser_id, ctx.top_level_url,
-                 document_url, script_url, str(symbol)[:2048],
-                 str(operation)[:64], str(value)[:2048],
-                 str(arguments)[:2048], str(call_stack)[:4096]))
+            row = (ctx.visit_id, ctx.browser_id, ctx.top_level_url,
+                   document_url, script_url, str(symbol)[:2048],
+                   str(operation)[:64], str(value)[:2048],
+                   str(arguments)[:2048], str(call_stack)[:4096])
+            self._pending["javascript"].append(row)
+            if ctx.delta is not None:
+                ctx.delta.add_row("javascript", row)
 
     def record_cookie(self, change_cause: str, host: str, name: str,
                       value: str, path: str, is_session: bool,
@@ -629,12 +722,14 @@ class StorageController:
                       browser_id: Optional[int] = None) -> None:
         with self._lock:
             ctx = self._context(browser_id)
-            self._pending["javascript_cookies"].append(
-                (ctx.visit_id, ctx.browser_id, "cookie", change_cause,
-                 host, name, value, path, int(is_session),
-                 int(is_http_only),
-                 expiry if expiry is not None else None, first_party,
-                 int(via_javascript)))
+            row = (ctx.visit_id, ctx.browser_id, "cookie", change_cause,
+                   host, name, value, path, int(is_session),
+                   int(is_http_only),
+                   expiry if expiry is not None else None, first_party,
+                   int(via_javascript))
+            self._pending["javascript_cookies"].append(row)
+            if ctx.delta is not None:
+                ctx.delta.add_row("javascript_cookies", row)
 
     def record_crash(self, browser_id: int, site_url: str,
                      action: str) -> None:
@@ -645,6 +740,7 @@ class StorageController:
                 "site_url, action) VALUES (?, ?, ?, ?)",
                 (browser_id, ctx.visit_id if ctx else None, site_url,
                  action))
+            self.rollups.crash_recorded(site_url, action)
 
     def record_failed_visit(self, browser_id: int, site_url: str,
                             attempts: int, reason: str) -> None:
@@ -654,6 +750,7 @@ class StorageController:
                 "INSERT INTO failed_visits (browser_id, site_url, "
                 "attempts, reason) VALUES (?, ?, ?, ?)",
                 (browser_id, site_url, attempts, reason))
+            self.rollups.failed_recorded(site_url, reason)
 
     def retract_failed_visits(self, site_url: str) -> int:
         """Delete a site's ``failed_visits`` rows; returns the count.
@@ -664,6 +761,8 @@ class StorageController:
         and may complete or quarantine it instead).
         """
         with self._lock:
+            # Decrement the rollups from the rows while they exist.
+            self.rollups.failed_retracted(site_url)
             cursor = self.connection.execute(
                 "DELETE FROM failed_visits WHERE site_url = ?",
                 (site_url,))
@@ -675,10 +774,12 @@ class StorageController:
                           ) -> None:
         """One row per site the circuit breaker gave up on."""
         with self._lock:
-            self.connection.execute(
+            cursor = self.connection.execute(
                 "INSERT OR IGNORE INTO quarantined_sites (site_url, "
                 "failures, reason, quarantined_at) VALUES (?, ?, ?, ?)",
                 (site_url, failures, reason, quarantined_at))
+            self.rollups.quarantine_recorded(site_url,
+                                             cursor.rowcount > 0)
             self.connection.commit()
 
     def retract_quarantine(self, site_url: str) -> int:
@@ -692,6 +793,8 @@ class StorageController:
             cursor = self.connection.execute(
                 "DELETE FROM quarantined_sites WHERE site_url = ?",
                 (site_url,))
+            self.rollups.quarantine_retracted(site_url,
+                                              cursor.rowcount)
             self.connection.commit()
             return cursor.rowcount
 

@@ -311,6 +311,11 @@ def _run_crawl_worker(spec: WorkerSpec, conn: Any, telemetry: Telemetry,
         network = make_lab_network()
 
     plan = _build_worker_plan(spec)
+    # Worker scratch databases are export buffers, never read paths:
+    # the coordinator's broker maintains the canonical rollups when it
+    # applies each envelope, so maintaining them here too would only
+    # burn CPU on aggregates nobody queries.
+    os.environ["REPRO_ROLLUPS"] = "off"
     manager = TaskManager(
         replace(spec.manager_params, num_browsers=1,
                 database_path=":memory:", fault_plan=plan),

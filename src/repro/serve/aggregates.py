@@ -1,0 +1,354 @@
+"""Served aggregate payloads, each with a batch twin.
+
+Every endpoint payload can be built two ways:
+
+* ``batch=False`` (the serving path) reads the pre-aggregated
+  ``rollups_*`` tables — a handful of tiny rows per request;
+* ``batch=True`` (the ground-truth path) recomputes the same answer
+  from the raw crawl tables via :func:`repro.serve.rollups.batch_state`.
+
+Both return the *same* canonical dict, and :func:`encode_payload`
+renders dicts to canonical JSON bytes (sorted keys, fixed separators) —
+so the differential harness can demand byte-for-byte equality between
+what the HTTP server sends and what the batch pipeline derives.
+
+``database_section`` / ``drop_reasons_section`` are the ``repro stats``
+integration: the report's database-truth section reads fresh rollups
+when available (a big win on large crawl databases) and falls back to
+the historical ``COUNT(*)`` scans otherwise — with identical output
+either way, which the equivalence tests also pin.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, List, Optional
+
+from repro.serve.rollups import (
+    ROLLUP_SCHEMA_VERSION,
+    batch_state,
+    generation,
+    rollups_state,
+)
+
+#: Cacheable aggregate endpoints (path -> builder name); the server's
+#: router and the differential harness iterate the same list.
+AGGREGATE_ENDPOINTS = ("totals", "symbols", "resources", "cookies",
+                       "crashes", "drop_reasons")
+
+
+def encode_payload(payload: Any) -> bytes:
+    """Canonical JSON bytes: the unit of byte-for-byte equivalence."""
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def _one(connection: sqlite3.Connection, sql: str,
+         params: tuple = ()) -> int:
+    row = connection.execute(sql, params).fetchone()
+    return int(row[0] or 0) if row is not None else 0
+
+
+# ----------------------------------------------------------------------
+# Aggregate endpoints
+# ----------------------------------------------------------------------
+def totals_payload(connection: sqlite3.Connection,
+                   batch: bool = False) -> Dict[str, Any]:
+    if batch:
+        state = batch_state(connection)
+        totals = state["totals"]
+        distinct = sum(1 for c in state["sites"].values()
+                       if c["visits"] > 0)
+    else:
+        totals = {name: 0 for name in (
+            "site_visits", "http_requests", "http_responses",
+            "javascript", "javascript_cookies", "content",
+            "crash_history", "failed_visits", "quarantined_sites")}
+        for name, value in connection.execute(
+                "SELECT name, value FROM rollups_totals"):
+            if name in totals:
+                totals[str(name)] = int(value)
+        distinct = _one(connection, "SELECT COUNT(*) FROM rollups_sites "
+                                    "WHERE visits > 0")
+    return {"totals": {name: int(count)
+                       for name, count in sorted(totals.items())},
+            "distinct_sites_visited": distinct}
+
+
+def _ranked(items: List[tuple], names: tuple) -> List[Dict[str, Any]]:
+    """Count-keyed rows, ordered by (-count, natural key)."""
+    ordered = sorted(items, key=lambda row: (-row[-1],) + row[:-1])
+    return [dict(zip(names + ("count",), row)) for row in ordered]
+
+
+def symbols_payload(connection: sqlite3.Connection,
+                    batch: bool = False) -> Dict[str, Any]:
+    if batch:
+        counts = batch_state(connection)["symbols"]
+    else:
+        counts = {(str(s), str(o)): int(n) for s, o, n
+                  in connection.execute("SELECT symbol, operation, "
+                                        "count FROM rollups_symbols")}
+    return {"symbols": _ranked(
+        [key + (count,) for key, count in counts.items()],
+        ("symbol", "operation"))}
+
+
+def resources_payload(connection: sqlite3.Connection,
+                      batch: bool = False) -> Dict[str, Any]:
+    if batch:
+        counts = batch_state(connection)["resources"]
+    else:
+        counts = {(str(r), int(t)): int(n) for r, t, n
+                  in connection.execute(
+                      "SELECT resource_type, is_third_party, count "
+                      "FROM rollups_resources")}
+    return {"resources": _ranked(
+        [key + (count,) for key, count in counts.items()],
+        ("resource_type", "is_third_party"))}
+
+
+def cookies_payload(connection: sqlite3.Connection,
+                    batch: bool = False) -> Dict[str, Any]:
+    if batch:
+        counts = batch_state(connection)["cookie_hosts"]
+    else:
+        counts = {str(h): int(n) for h, n in connection.execute(
+            "SELECT host, count FROM rollups_cookie_hosts")}
+    return {"hosts": _ranked([(host, count) for host, count
+                              in counts.items()], ("host",))}
+
+
+def crashes_payload(connection: sqlite3.Connection,
+                    batch: bool = False) -> Dict[str, Any]:
+    if batch:
+        counts = batch_state(connection)["crashes"]
+    else:
+        counts = {str(a): int(n) for a, n in connection.execute(
+            "SELECT action, count FROM rollups_crashes")}
+    return {"crashes": _ranked([(action, count) for action, count
+                                in counts.items()], ("action",))}
+
+
+def drop_reasons_payload(connection: sqlite3.Connection,
+                         batch: bool = False) -> Dict[str, Any]:
+    if batch:
+        counts = batch_state(connection)["drop_reasons"]
+    else:
+        counts = {str(r): int(n) for r, n in connection.execute(
+            "SELECT reason, count FROM rollups_drop_reasons")}
+    return {"drop_reasons": _ranked(
+        [(reason, count) for reason, count in counts.items()],
+        ("reason",))}
+
+
+AGGREGATE_BUILDERS = {
+    "totals": totals_payload,
+    "symbols": symbols_payload,
+    "resources": resources_payload,
+    "cookies": cookies_payload,
+    "crashes": crashes_payload,
+    "drop_reasons": drop_reasons_payload,
+}
+
+
+# ----------------------------------------------------------------------
+# Per-site verdicts
+# ----------------------------------------------------------------------
+def sites_payload(connection: sqlite3.Connection,
+                  batch: bool = False) -> Dict[str, Any]:
+    if batch:
+        urls = sorted(batch_state(connection)["sites"])
+    else:
+        urls = [str(row[0]) for row in connection.execute(
+            "SELECT site_url FROM rollups_sites ORDER BY site_url")]
+    return {"sites": urls, "count": len(urls)}
+
+
+def _site_counters(connection: sqlite3.Connection, site_url: str,
+                   batch: bool) -> Optional[Dict[str, int]]:
+    if batch:
+        return batch_state(connection)["sites"].get(site_url)
+    row = connection.execute(
+        "SELECT visits, js_rows, http_rows, response_rows, "
+        "cookie_rows, third_party_requests, webdriver_probes, "
+        "crashes, failed, quarantined FROM rollups_sites "
+        "WHERE site_url = ?", (site_url,)).fetchone()
+    if row is None:
+        return None
+    names = ("visits", "js_rows", "http_rows", "response_rows",
+             "cookie_rows", "third_party_requests", "webdriver_probes",
+             "crashes", "failed", "quarantined")
+    return {name: int(value) for name, value in zip(names, row)}
+
+
+def site_payload(connection: sqlite3.Connection, site_url: str,
+                 batch: bool = False) -> Optional[Dict[str, Any]]:
+    """One site's verdict card, or ``None`` for an unknown site."""
+    counters = _site_counters(connection, site_url, batch)
+    if counters is None:
+        return None
+    if batch:
+        script_rows = [
+            (digest, n) for (digest, url), n
+            in batch_state(connection)["script_sites"].items()
+            if url == site_url]
+    else:
+        script_rows = [(str(digest), int(n)) for digest, n
+                       in connection.execute(
+                           "SELECT content_hash, refs "
+                           "FROM rollups_script_sites "
+                           "WHERE site_url = ?", (site_url,))]
+    return {
+        "site_url": site_url,
+        "counters": counters,
+        "verdicts": {
+            "visited": counters["visits"] > 0,
+            "crashed": counters["crashes"] > 0,
+            "failed": counters["failed"] > 0,
+            "quarantined": counters["quarantined"] > 0,
+            "probed_webdriver": counters["webdriver_probes"] > 0,
+        },
+        "scripts": _ranked(script_rows, ("content_hash",)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Corpus lookups by script hash
+# ----------------------------------------------------------------------
+def script_payload(connection: sqlite3.Connection, content_hash: str,
+                   batch: bool = False) -> Optional[Dict[str, Any]]:
+    """Occurrence stats for one content hash, or ``None`` if unseen.
+
+    ``refs``/``sites`` come from the (retraction-aware) rollups over
+    ``http_responses`` — a voided visit's references vanish with it;
+    the ``stored`` block joins the content-addressed ``content`` table
+    by primary key for the archived body's metadata.
+    """
+    if batch:
+        state = batch_state(connection)
+        refs = state["scripts"].get(content_hash, 0)
+        site_rows = [(url, n) for (digest, url), n
+                     in state["script_sites"].items()
+                     if digest == content_hash]
+    else:
+        row = connection.execute(
+            "SELECT refs FROM rollups_scripts WHERE content_hash = ?",
+            (content_hash,)).fetchone()
+        refs = int(row[0]) if row is not None else 0
+        site_rows = [(str(url), int(n)) for url, n
+                     in connection.execute(
+                         "SELECT site_url, refs "
+                         "FROM rollups_script_sites "
+                         "WHERE content_hash = ?", (content_hash,))]
+    stored = connection.execute(
+        "SELECT url, content_type, length(content) FROM content "
+        "WHERE content_hash = ?", (content_hash,)).fetchone()
+    if refs == 0 and stored is None:
+        return None
+    payload: Dict[str, Any] = {
+        "content_hash": content_hash,
+        "refs": refs,
+        "sites": _ranked(site_rows, ("site_url",)),
+        "stored": stored is not None,
+    }
+    if stored is not None:
+        payload["url"] = stored[0]
+        payload["content_type"] = stored[1]
+        payload["size"] = int(stored[2] or 0)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Health (uncached; never part of byte-equivalence)
+# ----------------------------------------------------------------------
+def healthz_payload(connection: sqlite3.Connection,
+                    database_path: str) -> Dict[str, Any]:
+    state = rollups_state(connection)
+    return {
+        "status": "ok" if state == "fresh" else "degraded",
+        "rollups": state,
+        "schema_version": ROLLUP_SCHEMA_VERSION,
+        "generation": generation(connection),
+        "sites": _one(connection,
+                      "SELECT COUNT(*) FROM rollups_sites")
+        if state != "absent" else 0,
+        "database": database_path,
+    }
+
+
+# ----------------------------------------------------------------------
+# ``repro stats`` integration
+# ----------------------------------------------------------------------
+def _storage_is_fresh(storage: Any) -> bool:
+    maintainer = getattr(storage, "rollups", None)
+    return maintainer is not None and maintainer.is_fresh()
+
+
+def database_section(storage: Any) -> Dict[str, int]:
+    """The stats report's database-truth section.
+
+    Reads the rollups when the controller's maintainer vouches for
+    them (fresh, current schema), else falls back to the historical
+    full-table ``COUNT(*)`` scans. Key set and values are identical
+    either way — pinned by the equivalence tests.
+    """
+    if _storage_is_fresh(storage):
+        totals = {str(row["name"]): int(row["value"]) for row in
+                  storage.query("SELECT name, value FROM rollups_totals")}
+        crashes = {str(row["action"]): int(row["count"]) for row in
+                   storage.query("SELECT action, count "
+                                 "FROM rollups_crashes")}
+        distinct = int(storage.query(
+            "SELECT COUNT(*) AS n FROM rollups_sites "
+            "WHERE visits > 0")[0]["n"])
+        return {
+            "site_visit_rows": totals.get("site_visits", 0),
+            "distinct_sites_visited": distinct,
+            "crash_rows": crashes.get("crash", 0),
+            "restart_rows": crashes.get("restart", 0),
+            "failed_visit_rows": totals.get("failed_visits", 0),
+            "quarantined_site_rows": totals.get("quarantined_sites", 0),
+            "javascript_rows": totals.get("javascript", 0),
+            "http_request_rows": totals.get("http_requests", 0),
+            "cookie_rows": totals.get("javascript_cookies", 0),
+            "content_rows": totals.get("content", 0),
+        }
+
+    def count(table: str, where: str = "") -> int:
+        sql = f"SELECT COUNT(*) AS n FROM {table}"  # noqa: S608
+        if where:
+            sql += f" WHERE {where}"
+        return int(storage.query(sql)[0]["n"])
+
+    return {
+        "site_visit_rows": count("site_visits"),
+        "distinct_sites_visited": int(storage.query(
+            "SELECT COUNT(DISTINCT site_url) AS n FROM site_visits"
+        )[0]["n"]),
+        "crash_rows": count("crash_history", "action = 'crash'"),
+        "restart_rows": count("crash_history", "action = 'restart'"),
+        "failed_visit_rows": count("failed_visits"),
+        "quarantined_site_rows": count("quarantined_sites"),
+        "javascript_rows": count("javascript"),
+        "http_request_rows": count("http_requests"),
+        "cookie_rows": count("javascript_cookies"),
+        "content_rows": count("content"),
+    }
+
+
+def drop_reasons_section(storage: Any) -> Dict[str, int]:
+    """``failed_visits`` rows per reason, highest count first (ties
+    broken by reason so the ordering — and thus the JSON bytes — are
+    deterministic on both the rollup and the batch path)."""
+    if _storage_is_fresh(storage):
+        rows = storage.query(
+            "SELECT reason, count AS n FROM rollups_drop_reasons "
+            "ORDER BY n DESC, reason")
+    else:
+        rows = storage.query(
+            "SELECT reason, COUNT(*) AS n FROM failed_visits "
+            "GROUP BY reason ORDER BY n DESC, reason")
+    return {str(row["reason"] or "") or "unknown": int(row["n"])
+            for row in rows}

@@ -186,7 +186,7 @@ class TestObservabilityCommands:
         code = main(["trace", str(tmp_path / "nope")])
         captured = capsys.readouterr()
         assert code == 2
-        assert "neither" in captured.err
+        assert "no crawl database" in captured.err
 
     def test_profile_ranks_scripts(self, journalled_db, capsys):
         code, out = run_cli(capsys, ["profile", journalled_db, "--json"])
@@ -201,7 +201,18 @@ class TestObservabilityCommands:
         code = main(["profile", str(tmp_path / "nope")])
         captured = capsys.readouterr()
         assert code == 2
-        assert "journal" in captured.err
+        assert "no crawl database" in captured.err
+
+    def test_profile_errors_on_db_without_journal(self, tmp_path,
+                                                  capsys):
+        db = str(tmp_path / "plain.db")
+        assert main(["crawl", "--sites", "2", "--workers", "1",
+                     "--db", db, "--json"]) == 0
+        capsys.readouterr()
+        code = main(["profile", db])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no journal sidecar" in captured.err
 
     def test_tail_renders_events(self, journalled_db, capsys):
         code = main(["tail", journalled_db, "--max-events", "5",
@@ -211,3 +222,128 @@ class TestObservabilityCommands:
         lines = [line for line in captured.out.splitlines() if line]
         assert 0 < len(lines) <= 5
         assert all("visit_complete" in line for line in lines)
+
+
+class TestServeCommand:
+    @pytest.fixture(scope="class")
+    def crawl_db(self, tmp_path_factory):
+        import contextlib
+        import io
+
+        db = str(tmp_path_factory.mktemp("serve") / "crawl.sqlite")
+        with contextlib.redirect_stdout(io.StringIO()):
+            assert main(["crawl", "--sites", "10", "--workers", "2",
+                         "--db", db, "--crash-probability", "0",
+                         "--json"]) == 0
+        return db
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "x.db"])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.cache_capacity == 512 and args.cache_ttl == 30.0
+        assert args.extra is None
+
+    def test_serve_rejects_missing_db(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "nope.db")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no crawl database" in captured.err
+
+    def test_build_needs_db_argument(self, capsys):
+        code = main(["serve", "build"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "needs a database path" in captured.err
+
+    def test_rejects_unexpected_extra_argument(self, crawl_db, capsys):
+        code = main(["serve", crawl_db, "whatever"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unexpected argument" in captured.err
+
+    def test_build_then_verify_roundtrip(self, crawl_db, capsys):
+        code, out = run_cli(capsys, ["serve", "build", crawl_db])
+        assert code == 0
+        assert out["generation"] > 0
+        assert out["sites"] > 0
+        assert out["schema_version"] >= 1
+
+        code, out = run_cli(capsys, ["serve", "verify", crawl_db])
+        assert code == 0
+        assert out["ok"] is True
+        assert out["state"] == "fresh"
+        assert out["mismatches"] == []
+
+    def test_verify_flags_tampered_rollups(self, crawl_db, tmp_path,
+                                           capsys):
+        import shutil
+        import sqlite3
+
+        connection = sqlite3.connect(crawl_db)
+        connection.execute("PRAGMA wal_checkpoint(FULL)")
+        connection.close()
+        copy = str(tmp_path / "tampered.sqlite")
+        shutil.copy(crawl_db, copy)
+        connection = sqlite3.connect(copy)
+        connection.execute(
+            "UPDATE rollups_totals SET value = value + 1 "
+            "WHERE name = 'site_visits'")
+        connection.commit()
+        connection.close()
+
+        code, out = run_cli(capsys, ["serve", "verify", copy])
+        assert code == 1
+        assert out["ok"] is False
+        assert any(m["section"] == "totals" for m in out["mismatches"])
+
+    def test_serve_port_zero_end_to_end(self, crawl_db):
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        import repro
+        from repro.serve import json_get
+
+        src = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", crawl_db,
+             "--port", "0"], env=env, stdout=subprocess.PIPE, text=True)
+        try:
+            line = proc.stdout.readline().strip()
+            assert " at http://127.0.0.1:" in line
+            base = line.split(" at ")[-1]
+            status, payload = json_get(base + "/healthz")
+            assert status == 200 and payload["rollups"] == "fresh"
+            status, payload = json_get(base + "/aggregates/totals")
+            assert status == 200
+            assert payload["totals"]["site_visits"] > 0
+            status, payload = json_get(base + "/nope")
+            assert status == 404
+        finally:
+            proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=30) == 0
+
+
+class TestHelpSnapshot:
+    """The CLI surface is a contract; pin its --help text."""
+
+    def test_help_matches_golden(self, monkeypatch):
+        import os
+        import pathlib
+
+        monkeypatch.setenv("COLUMNS", "80")
+        text = build_parser().format_help()
+        # Python <3.10 renders the section as "optional arguments:".
+        text = text.replace("optional arguments:", "options:")
+        golden = pathlib.Path(__file__).parent / "golden" \
+            / "cli_help.txt"
+        if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+            golden.write_text(text, encoding="utf-8")
+            pytest.skip("golden file regenerated")
+        assert golden.is_file(), \
+            "missing golden file; regenerate with REPRO_UPDATE_GOLDEN=1"
+        assert text == golden.read_text(encoding="utf-8")

@@ -1,0 +1,144 @@
+"""Hypothesis property tests for the serve response cache.
+
+The cache's contract (generation safety, bounded capacity, monotone
+TTL expiry — see :mod:`repro.serve.cache`) is exactly the kind of
+invariant a few example-based tests under-cover: correctness depends
+on the interleaving of puts, gets under mismatched generations, clock
+advances, and LRU evictions. These properties drive random op
+sequences against a virtual clock and check the contract holds at
+every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.obs.clock import VirtualClock
+from repro.serve.cache import ResponseCache
+
+keys = st.text(alphabet="abcd", min_size=1, max_size=2)
+generations = st.integers(min_value=0, max_value=3)
+op_sequences = st.lists(st.one_of(
+    st.tuples(st.just("put"), keys, generations, st.binary(max_size=4)),
+    st.tuples(st.just("get"), keys, generations),
+    st.tuples(st.just("tick"),
+              st.floats(min_value=0.0, max_value=100.0,
+                        allow_nan=False)),
+), max_size=60)
+
+
+def fresh_cache(capacity=8, ttl=30.0):
+    clock = VirtualClock(tick=0.0)
+    return ResponseCache(capacity=capacity, ttl=ttl, clock=clock), clock
+
+
+class TestGenerationSafety:
+    @given(op_sequences)
+    @settings(max_examples=200)
+    def test_hits_always_match_generation_and_last_put(self, sequence):
+        """A returned entry was stored under exactly the queried
+        generation and carries the most recent body for its key —
+        never a stale or cross-generation answer."""
+        cache, clock = fresh_cache()
+        last_put = {}
+        gets = hits = 0
+        for op in sequence:
+            if op[0] == "put":
+                _, key, gen, body = op
+                cache.put(key, gen, body)
+                last_put[key] = (gen, body)
+            elif op[0] == "get":
+                _, key, gen = op
+                gets += 1
+                entry = cache.get(key, gen)
+                if entry is not None:
+                    hits += 1
+                    assert entry.generation == gen
+                    assert last_put[key] == (gen, entry.body)
+            else:
+                clock.advance(op[1])
+        stats = cache.stats()
+        assert stats["hits"] == hits
+        assert stats["hits"] + stats["misses"] == gets
+
+    @given(keys, generations)
+    def test_generation_mismatch_drops_the_entry(self, key, gen):
+        cache, _ = fresh_cache()
+        cache.put(key, gen, b"body")
+        assert cache.get(key, gen + 1) is None
+        # The mismatch evicted it: the original generation is gone too.
+        assert cache.get(key, gen) is None
+        assert cache.stats()["invalidations"] == 1
+
+
+class TestCapacity:
+    @given(op_sequences, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=200)
+    def test_size_never_exceeds_capacity(self, sequence, capacity):
+        cache, clock = fresh_cache(capacity=capacity)
+        for op in sequence:
+            if op[0] == "put":
+                cache.put(op[1], op[2], op[3])
+            elif op[0] == "get":
+                cache.get(op[1], op[2])
+            else:
+                clock.advance(op[1])
+            assert len(cache) <= capacity
+
+    @given(st.lists(keys, unique=True, min_size=3, max_size=4))
+    def test_eviction_is_least_recently_used_first(self, distinct):
+        cache, _ = fresh_cache(capacity=2)
+        for key in distinct:
+            cache.put(key, 1, b"x")
+        assert cache.keys() == tuple(distinct[-2:])
+        # A get refreshes recency, so the *other* entry is evicted.
+        cache.get(distinct[-2], 1)
+        cache.put("zz", 1, b"x")
+        assert cache.keys() == (distinct[-2], "zz")
+
+    def test_zero_capacity_stores_nothing(self):
+        cache, _ = fresh_cache(capacity=0)
+        entry = cache.put("k", 1, b"x")
+        assert entry.body == b"x"  # pass-through for the caller
+        assert len(cache) == 0 and cache.get("k", 1) is None
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ResponseCache(capacity=-1)
+        with pytest.raises(ValueError):
+            ResponseCache(ttl=0.0)
+
+
+class TestTTLMonotone:
+    @given(st.lists(st.floats(min_value=0.0, max_value=20.0,
+                              allow_nan=False),
+                    min_size=1, max_size=10))
+    @settings(max_examples=200)
+    def test_once_expired_always_expired(self, advances):
+        """An entry is served until exactly ``ttl`` virtual seconds
+        after storage and never again after — expiry cannot flap."""
+        cache, clock = fresh_cache(capacity=4, ttl=30.0)
+        cache.put("k", 1, b"v")
+        elapsed = 0.0
+        expired = False
+        for step in advances:
+            clock.advance(step)
+            elapsed += step
+            entry = cache.get("k", 1)
+            if elapsed >= 30.0:
+                expired = True
+            if expired:
+                assert entry is None
+            else:
+                assert entry is not None and entry.body == b"v"
+
+    @given(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def test_reput_restarts_the_ttl(self, age):
+        cache, clock = fresh_cache(capacity=4, ttl=30.0)
+        cache.put("k", 1, b"old")
+        clock.advance(age)
+        cache.put("k", 1, b"new")
+        clock.advance(29.0)
+        entry = cache.get("k", 1)
+        assert entry is not None and entry.body == b"new"

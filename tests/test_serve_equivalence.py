@@ -1,0 +1,222 @@
+"""Differential equivalence harness for the serving layer.
+
+The tentpole guarantee of ``repro.serve``: an answer served from the
+incrementally-maintained ``rollups_*`` tables is **byte-for-byte** the
+answer the batch pipeline computes from the raw tables. This harness
+pins that equivalence across every maintenance path:
+
+* live incremental maintenance during a 2-process scheduled crawl;
+* cold backfill (``repro serve build``) on a copy of the same crawl;
+* an interrupted crawl resumed from its queue file;
+* the retraction paths — a lease race deleting a committed visit, and
+  chaos crawls whose failure verdicts are later retracted.
+
+Equivalence is checked three ways at once: ``verify()`` (aggregate
+state, key by key), the physical rollup state of an incremental crawl
+vs a cold rebuild, and the encoded JSON payload of every endpoint vs
+its batch twin.
+"""
+
+import shutil
+import sqlite3
+
+import pytest
+
+from repro.core.lab import make_lab_network
+from repro.faults import FaultPlan, FaultRule
+from repro.obs.runner import run_telemetry_crawl
+from repro.obs.telemetry import Telemetry
+from repro.openwpm import BrowserParams, ManagerParams, TaskManager
+from repro.serve import batch_state, build, rollup_state, verify
+from repro.serve.aggregates import (
+    AGGREGATE_BUILDERS,
+    encode_payload,
+    script_payload,
+    site_payload,
+    sites_payload,
+)
+
+URLS = [f"https://lab.test/site-{i:05d}" for i in range(50)]
+
+
+def checkpoint(db_path):
+    """Fold the WAL into the main file so copies are complete."""
+    connection = sqlite3.connect(db_path)
+    connection.execute("PRAGMA wal_checkpoint(FULL)")
+    connection.close()
+
+
+def all_payloads(connection, batch=False):
+    """Every servable payload, encoded: aggregates, sites, corpus."""
+    payloads = {}
+    for name, builder in AGGREGATE_BUILDERS.items():
+        payloads[f"/aggregates/{name}"] = encode_payload(
+            builder(connection, batch=batch))
+    listing = sites_payload(connection, batch=batch)
+    payloads["/sites"] = encode_payload(listing)
+    for url in listing["sites"]:
+        payloads[f"/site?url={url}"] = encode_payload(
+            site_payload(connection, url, batch=batch))
+    for digest, in connection.execute(
+            "SELECT content_hash FROM rollups_scripts "
+            "UNION SELECT content_hash FROM content "
+            "ORDER BY content_hash"):
+        payloads[f"/corpus/{digest}"] = encode_payload(
+            script_payload(connection, digest, batch=batch))
+    return payloads
+
+
+def assert_serving_equivalent(db_path, tmp_path):
+    """The three-way pin: incremental == cold backfill == batch."""
+    connection = sqlite3.connect(db_path)
+    try:
+        report = verify(connection)
+        assert report["ok"], report["mismatches"]
+        assert report["state"] == "fresh"
+        incremental_state = rollup_state(connection)
+        assert incremental_state == batch_state(connection)
+        incremental = all_payloads(connection)
+        assert incremental == all_payloads(connection, batch=True)
+    finally:
+        connection.close()
+
+    # A cold rebuild on a copy must land the exact same aggregate
+    # state and serve the exact same bytes — insertion order must not
+    # leak into the read path (WITHOUT ROWID natural-key tables).
+    checkpoint(db_path)
+    copy = str(tmp_path / "backfill.db")
+    shutil.copy(db_path, copy)
+    connection = sqlite3.connect(copy)
+    try:
+        summary = build(connection)
+        assert summary["sites"] == len(incremental_state["sites"])
+        assert rollup_state(connection) == incremental_state
+        assert all_payloads(connection) == incremental
+    finally:
+        connection.close()
+
+
+class TestScheduledProcessCrawl:
+    """Live maintenance through the multi-process broker path."""
+
+    @pytest.fixture(scope="class")
+    def proc_db(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("serve-proc")
+        db_path = str(tmp / "proc.db")
+        result = run_telemetry_crawl(
+            site_count=12, seed=7, database_path=db_path,
+            crash_probability=0.0, browsers=1, web="lab",
+            worker_procs=2, queue_path=str(tmp / "proc.queue"))
+        report = result.report
+        result.close()
+        assert report.drained
+        assert report.completed == 12
+        return db_path
+
+    def test_incremental_equals_backfill_equals_batch(self, proc_db,
+                                                      tmp_path):
+        assert_serving_equivalent(proc_db, tmp_path)
+
+    def test_rollups_survive_reopen(self, proc_db):
+        """Reopening the crawl database (consistency probe) must keep
+        cleanly-committed rollups fresh — no spurious stale marks."""
+        from repro.openwpm.storage import StorageController
+
+        storage = StorageController(proc_db)
+        try:
+            assert storage.rollups.is_fresh()
+        finally:
+            storage.close()
+
+
+class TestInterruptedResume:
+    def test_resumed_crawl_serves_equivalent(self, tmp_path):
+        db_path = str(tmp_path / "resume.db")
+        queue_path = str(tmp_path / "resume.queue")
+        first = run_telemetry_crawl(
+            site_count=20, seed=7, database_path=db_path,
+            crash_probability=0.0, browsers=2, web="lab", workers=2,
+            queue_path=queue_path, stop_after_jobs=7)
+        interrupted = first.report.interrupted
+        first.close()
+        assert interrupted
+
+        # Mid-crawl state must already serve correctly...
+        assert_serving_equivalent(db_path, tmp_path)
+
+        # ...and so must the finished crawl after --resume.
+        second = run_telemetry_crawl(
+            site_count=20, seed=7, database_path=db_path,
+            crash_probability=0.0, browsers=2, web="lab", workers=2,
+            queue_path=queue_path, resume=True)
+        report = second.report
+        second.close()
+        assert report.drained
+        assert_serving_equivalent(db_path, tmp_path)
+
+
+class TestRetractionPaths:
+    def make_manager(self, db_path, fault_plan=None, **params):
+        return TaskManager(
+            ManagerParams(database_path=db_path, seed=3,
+                          num_browsers=1, crash_probability=0.0,
+                          fault_plan=fault_plan, **params),
+            [BrowserParams(browser_id=0, dwell_time=1.0, seed=3)],
+            make_lab_network(), telemetry=Telemetry())
+
+    def test_lease_race_retraction(self, tmp_path):
+        """A lost lease deletes the committed visit; the rollups must
+        retract its whole delta, not just the visit count."""
+        db_path = str(tmp_path / "race.db")
+        queue_path = str(tmp_path / "race.queue")
+        sabotaged = []
+
+        def steal_lease(browser, result):
+            if sabotaged:
+                return
+            sabotaged.append(result.requested_url)
+            connection = sqlite3.connect(queue_path)
+            connection.execute(
+                "UPDATE jobs SET lease_owner = 'intruder', "
+                "lease_expires_at = 0")
+            connection.commit()
+            connection.close()
+
+        manager = self.make_manager(db_path)
+        report = manager.crawl_scheduled(
+            URLS[:1], workers=1, queue_path=queue_path,
+            callbacks=[steal_lease], max_attempts=2,
+            lease_seconds=50.0)
+        assert report.drained and report.lease_lost == 1
+        assert manager.telemetry.metrics.counter_value(
+            "visits_discarded") == 1
+        manager.close()
+        assert_serving_equivalent(db_path, tmp_path)
+
+    def test_chaos_crawl_with_quarantine_retraction(self, tmp_path):
+        """Crash/hang faults drive the failure ledger and quarantine
+        circuit breaker; a later clean pass retracts stale verdicts.
+        Every hook still leaves rollups == batch."""
+        db_path = str(tmp_path / "chaos.db")
+        plan = FaultPlan([
+            FaultRule(fault="crash", site="site-00001"),
+            FaultRule(fault="crash", site="site-00003", times=2),
+        ], seed=11)
+        manager = self.make_manager(db_path, fault_plan=plan,
+                                    quarantine_after=2,
+                                    failure_limit=3)
+        manager.crawl_scheduled(
+            URLS[:6], workers=1,
+            queue_path=str(tmp_path / "chaos.queue"), max_attempts=3)
+        manager.close()
+        assert_serving_equivalent(db_path, tmp_path)
+
+        # The retraction pass: a clean re-crawl of a quarantined /
+        # failed site withdraws its ledger rows through the storage
+        # hooks (retract_failed_visits / retract_quarantine).
+        manager = self.make_manager(db_path)
+        manager.crawl_scheduled(
+            URLS[:6], workers=1,
+            queue_path=str(tmp_path / "chaos2.queue"), max_attempts=2)
+        manager.close()
+        assert_serving_equivalent(db_path, tmp_path)
