@@ -1,0 +1,115 @@
+"""Per-shard databases vs the single-writer broker (``--shard-dbs``).
+
+The claim under test: with several worker processes, per-shard
+databases retire the broker bottleneck on the *write path*. In broker
+mode every visit's records ship over a pipe and queue behind one
+writer thread, and each completion waits for that broker round-trip;
+in shard mode workers write into private SQLite files and resolve the
+queue themselves, so record persistence parallelises with the visits.
+The end-of-crawl deterministic merge is charged to the shard side —
+the comparison is honest end-to-end wall clock for the same finished
+canonical database.
+
+Like the process-pool speedup pin, the floor is core-count aware:
+parallel writers need parallel hardware. On a single core shard mode
+can only pay the merge tax on top of the same serialized work, so the
+floor there merely bounds that tax (the measured ratio on one core
+sits around 0.95x); with 4+ cores the shard path must clear 1.5x.
+"""
+
+import gc
+import os
+import tempfile
+import time
+
+from conftest import BENCH_SEED, report
+
+#: JS-instrumented synthetic-web crawl: heavy per-visit record volume
+#: (javascript rows, content, rollup maintenance) so the write path is
+#: a real fraction of the crawl.
+SHARD_SITES = int(os.environ.get("REPRO_BENCH_SHARD_SITES", "150"))
+SHARD_PROCS = 4
+
+
+def _timed_crawl(site_count, tmp_dir, tag, shard_dbs):
+    from repro.obs.runner import run_telemetry_crawl
+    from repro.obs.telemetry import Telemetry
+
+    gc.collect()
+    start = time.perf_counter()
+    result = run_telemetry_crawl(
+        site_count=site_count, seed=BENCH_SEED, crash_probability=0.0,
+        browsers=1, web="tranco", js_instrument=True,
+        telemetry=Telemetry.disabled(), worker_procs=SHARD_PROCS,
+        shard_dbs=shard_dbs,
+        database_path=os.path.join(tmp_dir, f"{tag}.db"),
+        queue_path=os.path.join(tmp_dir, f"{tag}.queue"))
+    elapsed = time.perf_counter() - start
+    assert result.report.drained, result.report
+    visits = result.storage.query(
+        "SELECT COUNT(*) AS n FROM site_visits")[0]["n"]
+    result.close()
+    return elapsed, visits
+
+
+def measure_shard_throughput(site_count=SHARD_SITES, rounds=2):
+    """Best-of wall clock for the same 4-process crawl in broker and
+    shard mode, rounds interleaved so heap growth cannot masquerade as
+    a mode difference."""
+    best = {"broker": float("inf"), "shard": float("inf")}
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        for round_index in range(rounds):
+            for mode in ("broker", "shard"):
+                elapsed, visits = _timed_crawl(
+                    site_count, tmp_dir, f"{mode}-{round_index}",
+                    shard_dbs=(mode == "shard"))
+                assert visits == site_count, (mode, visits)
+                best[mode] = min(best[mode], elapsed)
+    return {"sites": site_count, "best": best,
+            "speedup": best["broker"] / best["shard"],
+            "cores": os.cpu_count() or 1}
+
+
+def shard_speedup_floor(cores):
+    """Per-shard writing needs parallel hardware to win. Under 4 cores
+    the 4 workers already time-slice, so the floor only bounds the
+    shard bookkeeping + merge tax instead of claiming a speedup."""
+    if cores >= 4:
+        return 1.5
+    if cores >= 2:
+        return 1.1
+    return 0.75
+
+
+def test_benchmark_shard_write_path(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure_shard_throughput(rounds=2),
+        rounds=1, iterations=1)
+
+    best, sites, cores = result["best"], result["sites"], result["cores"]
+    floor = shard_speedup_floor(cores)
+    lines = [
+        f"({sites}-site synthetic-web crawl, JS instrument on,",
+        f" {SHARD_PROCS} worker processes, best of 2 interleaved",
+        " rounds. Shard time includes the end-of-crawl deterministic",
+        " merge into the canonical database — both modes end with the",
+        " same bytes on disk.",
+        f" This run saw {cores} CPU core(s); the asserted floor scales",
+        " with the cores available: >= 1.50x with 4+ cores, >= 1.10x",
+        " with 2-3, and on a single core shard mode must merely keep",
+        " the merge + bookkeeping tax within 1/0.75x of broker mode.)",
+        "",
+        "| mode | seconds | sites/s |",
+        "|---|---|---|",
+    ]
+    for mode in ("broker", "shard"):
+        label = "broker (single writer)" if mode == "broker" \
+            else "shard dbs + merge"
+        lines.append(f"| {label} | {best[mode]:.3f} "
+                     f"| {sites / best[mode]:.0f} |")
+    lines.append(f"| speedup (broker / shard) "
+                 f"| {result['speedup']:.2f}x "
+                 f"| floor {floor:.2f}x @ {cores} core(s) |")
+    report("shard", "Sharded storage - write-path throughput", lines)
+
+    assert result["speedup"] >= floor, result

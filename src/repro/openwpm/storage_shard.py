@@ -1,0 +1,433 @@
+"""Per-worker shard bookkeeping for the sharded storage mode.
+
+In ``--shard-dbs`` mode every worker process owns a private, file-backed
+:class:`~repro.openwpm.storage.StorageController` (its *shard*) and
+resolves its own queue verdicts — the coordinator's broker round-trip
+is gone and the pipes carry only lifecycle events. What makes the mode
+mergeable afterwards is the ``shard_jobs`` table this module maintains
+inside each shard: one row per *attempt*, recording the queue verdict
+and the half-open id ranges ``(lo, hi]`` of every row the attempt
+committed to each raw table. The merge step
+(:mod:`repro.openwpm.merge`) replays applied attempts into the
+canonical database in strict ``(job_id, attempts)`` order, which is
+exactly the order the single-writer broker applies envelopes in — so a
+clean sharded crawl folds byte-identical to the broker path.
+
+Two failure windows need care, because the queue and the shard are
+separate SQLite files with no shared transaction:
+
+* **provisional rows** — the worker inserts the ``shard_jobs`` row with
+  ``applied = NULL`` *before* touching the queue and finalizes it to
+  1/0 after. A worker that dies in between leaves a NULL row;
+  :meth:`ShardRecorder.recover` (on respawn) and the merge (given the
+  queue) resolve it against the queue's authoritative status.
+* **orphan rows** — a worker SIGKILLed mid-job may have committed raw
+  rows past every recorded range (e.g. dying between the visit commit
+  and the ``shard_jobs`` insert). Recovery deletes everything past the
+  recorded high-water marks, matching the broker path where an
+  unshipped envelope simply never reaches the canonical database.
+
+Voided attempts (the worker's queue call raised
+:class:`~repro.sched.jobs.LeaseError`) keep their ``shard_jobs`` row
+with ``applied = 0``; the worker deletes the attempt's visits locally
+(mirroring the broker's discard) and the merge imports only the
+attempt's ``content`` rows — content is hash-deduplicated and
+visit-less, so this matches both the broker (which never deletes
+imported content) and the inline path (where the winning attempt
+produces the same bytes).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Dict, List, Optional, Tuple
+
+#: shard_jobs range columns, per raw table: (lo_column, hi_column).
+RANGE_COLUMNS: Dict[str, Tuple[str, str]] = {
+    "site_visits": ("visit_lo", "visit_hi"),
+    "content": ("content_lo", "content_hi"),
+    "crash_history": ("crash_lo", "crash_hi"),
+    "failed_visits": ("failed_lo", "failed_hi"),
+    "quarantined_sites": ("quarantine_lo", "quarantine_hi"),
+}
+
+_SHARD_SCHEMA = """
+CREATE TABLE IF NOT EXISTS shard_jobs (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id INTEGER NOT NULL,
+    attempts INTEGER NOT NULL,
+    owner TEXT NOT NULL,
+    site_url TEXT NOT NULL,
+    browser_id INTEGER NOT NULL DEFAULT 0,
+    kind TEXT NOT NULL,
+    error TEXT NOT NULL DEFAULT '',
+    state TEXT NOT NULL DEFAULT '',
+    applied INTEGER,
+    quarantined INTEGER NOT NULL DEFAULT 0,
+    visit_lo INTEGER NOT NULL DEFAULT 0,
+    visit_hi INTEGER NOT NULL DEFAULT 0,
+    content_lo INTEGER NOT NULL DEFAULT 0,
+    content_hi INTEGER NOT NULL DEFAULT 0,
+    crash_lo INTEGER NOT NULL DEFAULT 0,
+    crash_hi INTEGER NOT NULL DEFAULT 0,
+    failed_lo INTEGER NOT NULL DEFAULT 0,
+    failed_hi INTEGER NOT NULL DEFAULT 0,
+    quarantine_lo INTEGER NOT NULL DEFAULT 0,
+    quarantine_hi INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS shard_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+) WITHOUT ROWID;
+"""
+
+
+def is_shard_database(path: str) -> bool:
+    """Does *path* carry a ``shard_jobs`` table?"""
+    try:
+        conn = sqlite3.connect(path)
+    except sqlite3.OperationalError:
+        return False
+    try:
+        return conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND name = 'shard_jobs'").fetchone() is not None
+    except sqlite3.DatabaseError:
+        return False
+    finally:
+        conn.close()
+
+
+class ShardRecorder:
+    """Attempt-range bookkeeping on top of a shard StorageController.
+
+    The recorder shares the controller's connection and lock, so a
+    ``shard_jobs`` insert commits atomically with nothing else — the
+    provisional/finalize protocol (module docstring) is what bridges
+    the shard and the queue across the two-database gap.
+    """
+
+    def __init__(self, storage: Any, source: str = "worker") -> None:
+        self.storage = storage
+        self.connection = storage.connection
+        self.source = source
+        with storage._lock:
+            self.connection.executescript(_SHARD_SCHEMA)
+            self.connection.execute(
+                "INSERT INTO shard_meta (key, value) VALUES ('source', ?)"
+                " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (source,))
+            self.connection.commit()
+
+    # -- watermarks ----------------------------------------------------
+    def watermarks(self) -> Dict[str, int]:
+        """Current per-table high-water marks (after a flush).
+
+        Captured before an attempt runs (its ``lo``) and after it
+        resolves (its ``hi``); everything in ``(lo, hi]`` belongs to
+        the attempt.
+        """
+        with self.storage._lock:
+            self.storage._flush_locked()
+            marks = {}
+            for table, sql in (
+                    ("site_visits",
+                     "SELECT MAX(visit_id) FROM site_visits"),
+                    ("content", "SELECT MAX(rowid) FROM content"),
+                    ("crash_history", "SELECT MAX(id) FROM crash_history"),
+                    ("failed_visits", "SELECT MAX(id) FROM failed_visits"),
+                    ("quarantined_sites",
+                     "SELECT MAX(id) FROM quarantined_sites")):
+                row = self.connection.execute(sql).fetchone()
+                marks[table] = int(row[0] or 0)
+            return marks
+
+    # -- the provisional/finalize protocol -----------------------------
+    def record_provisional(self, *, job_id: int, attempts: int,
+                           owner: str, site_url: str, browser_id: int,
+                           kind: str, error: str, quarantined: bool,
+                           lo: Dict[str, int]
+                           ) -> Tuple[int, Dict[str, int]]:
+        """Insert the attempt row with ``applied = NULL`` and the final
+        ranges, *before* the queue resolution runs. Returns
+        ``(seq, hi_marks)``."""
+        hi = self.watermarks()
+        columns = ["job_id", "attempts", "owner", "site_url",
+                   "browser_id", "kind", "error", "quarantined"]
+        values: List[Any] = [job_id, attempts, owner, site_url,
+                             browser_id, kind, error,
+                             1 if quarantined else 0]
+        for table, (lo_col, hi_col) in RANGE_COLUMNS.items():
+            columns.extend((lo_col, hi_col))
+            values.extend((lo.get(table, 0), hi[table]))
+        with self.storage._lock:
+            cursor = self.connection.execute(
+                "INSERT INTO shard_jobs (" + ", ".join(columns)
+                + ") VALUES (" + ", ".join("?" for _ in columns) + ")",
+                values)
+            self.connection.commit()
+            return int(cursor.lastrowid), hi
+
+    def finalize(self, seq: int, applied: bool, state: str) -> None:
+        """Settle a provisional row after the queue answered."""
+        with self.storage._lock:
+            self.connection.execute(
+                "UPDATE shard_jobs SET applied = ?, state = ? "
+                "WHERE seq = ?",
+                (1 if applied else 0, state, seq))
+            self.connection.commit()
+
+    # -- range reads (the worker's live-void path) ---------------------
+    def visit_ids_in(self, lo: int, hi: int) -> List[int]:
+        with self.storage._lock:
+            return [int(r[0]) for r in self.connection.execute(
+                "SELECT visit_id FROM site_visits WHERE visit_id > ? "
+                "AND visit_id <= ? ORDER BY visit_id", (lo, hi))]
+
+    def has_rows(self, table: str, lo: int, hi: int) -> bool:
+        with self.storage._lock:
+            return self.connection.execute(
+                f"SELECT 1 FROM {table} "  # noqa: S608
+                f"WHERE id > ? AND id <= ? LIMIT 1",
+                (lo, hi)).fetchone() is not None
+
+    # -- crash recovery (respawn / merge) ------------------------------
+    def recover(self, queue: Any) -> Dict[str, int]:
+        """Reconcile a predecessor's torn state against the queue.
+
+        Runs once per worker incarnation, before any claim. Returns
+        ``{"resolved": n, "voided": n, "pruned_visits": n}``.
+        """
+        report = {"resolved": 0, "voided": 0, "pruned_visits": 0}
+        with self.storage._lock:
+            rows = self.connection.execute(
+                "SELECT * FROM shard_jobs WHERE applied IS NULL "
+                "ORDER BY seq").fetchall()
+        for row in rows:
+            applied = resolve_provisional(dict(row), queue)
+            report["resolved"] += 1
+            if not applied:
+                report["voided"] += 1
+                self._delete_ranges(dict(row))
+            self.finalize(int(row["seq"]),
+                          applied, "recovered")
+        report["pruned_visits"] = self.prune_orphans()
+        return report
+
+    def _delete_ranges(self, row: Dict[str, Any]) -> None:
+        """Drop *every* raw row a dead attempt committed.
+
+        Only for recovery voids: the attempt's queue call never landed,
+        so in broker terms its envelope was never shipped — nothing of
+        it may survive, content and crash rows included (live voids are
+        handled by the worker itself and keep content, matching the
+        broker's discard).
+        """
+        with self.storage._lock:
+            for visit_id in [int(r[0]) for r in self.connection.execute(
+                    "SELECT visit_id FROM site_visits "
+                    "WHERE visit_id > ? AND visit_id <= ?",
+                    (row["visit_lo"], row["visit_hi"]))]:
+                self.storage.delete_visit(visit_id)
+            self.connection.execute(
+                "DELETE FROM content WHERE rowid > ? AND rowid <= ?",
+                (row["content_lo"], row["content_hi"]))
+            for table, (lo_col, hi_col) in RANGE_COLUMNS.items():
+                if table in ("site_visits", "content"):
+                    continue
+                self.connection.execute(
+                    f"DELETE FROM {table} "  # noqa: S608
+                    f"WHERE id > ? AND id <= ?",
+                    (row[lo_col], row[hi_col]))
+            self.connection.commit()
+
+    def prune_orphans(self) -> int:
+        """Delete raw rows past every recorded range.
+
+        A SIGKILLed predecessor may have committed rows it never
+        recorded an attempt for; the broker analogue never shipped, so
+        they must not reach the merge. Returns pruned visit count.
+        """
+        with self.storage._lock:
+            marks = {}
+            for table, (_lo, hi_col) in RANGE_COLUMNS.items():
+                row = self.connection.execute(
+                    f"SELECT MAX({hi_col}) FROM shard_jobs").fetchone()
+                marks[table] = int(row[0] or 0)
+            doomed = [int(r[0]) for r in self.connection.execute(
+                "SELECT visit_id FROM site_visits WHERE visit_id > ?",
+                (marks["site_visits"],))]
+            for visit_id in doomed:
+                self.storage.delete_visit(visit_id)
+            self.connection.execute(
+                "DELETE FROM content WHERE rowid > ?",
+                (marks["content"],))
+            for table in ("crash_history", "failed_visits",
+                          "quarantined_sites"):
+                self.connection.execute(
+                    f"DELETE FROM {table} WHERE id > ?",  # noqa: S608
+                    (marks[table],))
+            self.connection.commit()
+            return len(doomed)
+
+
+def resolve_provisional(row: Dict[str, Any], queue: Any) -> bool:
+    """Was a torn attempt's queue resolution actually applied?
+
+    The queue is the authority: a ``complete`` verdict counts iff the
+    job is completed, a ``terminal`` verdict iff it is failed, and a
+    ``retry`` verdict's crash residue is kept either way (the broker
+    imports retry residue unconditionally at arrival).
+    """
+    status = queue.job_status(int(row["job_id"]))
+    kind = str(row["kind"])
+    if kind == "complete":
+        return status == "completed"
+    if kind == "terminal":
+        return status == "failed"
+    return True
+
+
+def read_shard_jobs(path: str) -> Tuple[str, List[Dict[str, Any]]]:
+    """A shard's source tag and its ``shard_jobs`` rows, by seq."""
+    conn = sqlite3.connect(path)
+    conn.row_factory = sqlite3.Row
+    try:
+        source_row = conn.execute(
+            "SELECT value FROM shard_meta WHERE key = 'source'"
+        ).fetchone()
+        source = str(source_row[0]) if source_row else "worker"
+        rows = [dict(row) for row in conn.execute(
+            "SELECT * FROM shard_jobs ORDER BY seq")]
+        return source, rows
+    finally:
+        conn.close()
+
+
+class ScanSpool:
+    """Per-worker persistence for sharded scan results.
+
+    The scan analogue of the crawl shard: each worker spools its
+    completed sites' evidence payloads and deduplicated script bodies
+    into a private SQLite file, resolves the queue itself, and the
+    coordinator folds the spools into the canonical corpus/store in
+    strict job-id order at end of scan. The provisional/finalize
+    protocol matches :class:`ShardRecorder` — a payload row exists
+    before the queue call, so "completed in the queue" still implies
+    "evidence on disk" (in the spool, until the fold lands it).
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS scan_jobs (
+        seq INTEGER PRIMARY KEY AUTOINCREMENT,
+        job_id INTEGER NOT NULL,
+        attempts INTEGER NOT NULL,
+        owner TEXT NOT NULL,
+        site_url TEXT NOT NULL,
+        kind TEXT NOT NULL,
+        error TEXT NOT NULL DEFAULT '',
+        state TEXT NOT NULL DEFAULT '',
+        applied INTEGER,
+        payload TEXT NOT NULL DEFAULT ''
+    );
+    CREATE TABLE IF NOT EXISTS scan_bodies (
+        digest TEXT PRIMARY KEY,
+        body TEXT NOT NULL
+    ) WITHOUT ROWID;
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.connection = sqlite3.connect(path)
+        self.connection.row_factory = sqlite3.Row
+        self.connection.execute("PRAGMA journal_mode=WAL")
+        self.connection.execute("PRAGMA busy_timeout=10000")
+        self.connection.executescript(self._SCHEMA)
+        self.connection.commit()
+
+    def add_bodies(self, bodies: Dict[str, str]) -> None:
+        if bodies:
+            self.connection.executemany(
+                "INSERT OR IGNORE INTO scan_bodies (digest, body) "
+                "VALUES (?, ?)", sorted(bodies.items()))
+
+    def record_provisional(self, *, job_id: int, attempts: int,
+                           owner: str, site_url: str, kind: str,
+                           error: str, payload: str) -> int:
+        cursor = self.connection.execute(
+            "INSERT INTO scan_jobs (job_id, attempts, owner, site_url, "
+            "kind, error, payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (job_id, attempts, owner, site_url, kind, error, payload))
+        self.connection.commit()
+        return int(cursor.lastrowid)
+
+    def finalize(self, seq: int, applied: bool, state: str) -> None:
+        self.connection.execute(
+            "UPDATE scan_jobs SET applied = ?, state = ? WHERE seq = ?",
+            (1 if applied else 0, state, seq))
+        self.connection.commit()
+
+    def recover(self, queue: Any) -> int:
+        """Settle provisional rows against the queue (respawn path)."""
+        rows = self.connection.execute(
+            "SELECT seq, job_id, kind FROM scan_jobs "
+            "WHERE applied IS NULL ORDER BY seq").fetchall()
+        for row in rows:
+            status = queue.job_status(int(row["job_id"]))
+            applied = (status == "completed"
+                       if str(row["kind"]) == "complete"
+                       else status == "failed")
+            self.finalize(int(row["seq"]), applied, "recovered")
+        return len(rows)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def read_scan_spool(path: str, queue: Optional[Any] = None
+                    ) -> Tuple[List[Dict[str, Any]],
+                               "ScanSpoolBodies"]:
+    """Applied complete rows of one spool, plus a body handle.
+
+    Rows still provisional (the worker died mid-resolution and never
+    respawned) are settled against *queue* when given: the payload
+    counts iff the queue says the job completed.
+    """
+    conn = sqlite3.connect(path)
+    conn.row_factory = sqlite3.Row
+    rows = []
+    for row in conn.execute(
+            "SELECT * FROM scan_jobs WHERE kind = 'complete' "
+            "AND (applied = 1 OR applied IS NULL) ORDER BY seq"):
+        entry = dict(row)
+        if entry["applied"] is None:
+            if queue is None or queue.job_status(
+                    int(entry["job_id"])) != "completed":
+                continue
+            entry["applied"] = 1
+        rows.append(entry)
+    return rows, ScanSpoolBodies(conn)
+
+
+class ScanSpoolBodies:
+    """Digest->body lookups (and fold marking) on an open spool."""
+
+    def __init__(self, connection: sqlite3.Connection) -> None:
+        self.connection = connection
+
+    def get(self, digest: str) -> Optional[str]:
+        row = self.connection.execute(
+            "SELECT body FROM scan_bodies WHERE digest = ?",
+            (digest,)).fetchone()
+        return None if row is None else str(row[0])
+
+    def mark_folded(self, seq: int) -> None:
+        """Stamp a row as landed in the canonical corpus/store, so a
+        resumed run's fold never double-counts its refcounts."""
+        self.connection.execute(
+            "UPDATE scan_jobs SET applied = 1, state = 'folded' "
+            "WHERE seq = ?", (seq,))
+        self.connection.commit()
+
+    def close(self) -> None:
+        self.connection.close()

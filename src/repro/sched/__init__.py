@@ -37,6 +37,7 @@ from repro.sched.procpool import (
     ScanBroker,
     WorkerSpec,
     diff_snapshots,
+    fold_scan_spools,
     run_process_crawl,
     run_process_scan,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "ScanBroker",
     "WorkerSpec",
     "diff_snapshots",
+    "fold_scan_spools",
     "run_process_crawl",
     "run_process_scan",
 ]

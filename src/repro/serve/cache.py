@@ -38,13 +38,23 @@ class _MonotonicClock:
 
 @dataclass
 class CachedResponse:
-    """One rendered response: body bytes plus transport metadata."""
+    """One rendered response: body bytes plus transport metadata.
+
+    ``generation`` is an int for a single-database server and a tuple
+    (one component per shard) under fan-out — the cache only ever
+    compares generations for equality, so both key identically.
+    """
 
     body: bytes
     status: int = 200
     content_type: str = "application/json"
-    generation: int = 0
+    generation: Any = 0
     stored_at: float = 0.0
+    #: Entity tag for conditional requests; empty means "send none".
+    #: Derived from ``generation`` by the server, never stored here by
+    #: the cache itself (a cached body revalidated under a new lookup
+    #: gets the tag re-stamped by the caller).
+    etag: str = ""
 
 
 class ResponseCache:
@@ -71,7 +81,7 @@ class ResponseCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: str, generation: int
+    def get(self, key: str, generation: Any
             ) -> Optional[CachedResponse]:
         """The entry for *key* iff stored under *generation* and young
         enough; stale entries (either way) are evicted on sight."""
@@ -95,7 +105,7 @@ class ResponseCache:
             self.hits += 1
             return entry
 
-    def put(self, key: str, generation: int, body: bytes,
+    def put(self, key: str, generation: Any, body: bytes,
             status: int = 200,
             content_type: str = "application/json"
             ) -> CachedResponse:

@@ -1,0 +1,250 @@
+"""Multi-database shard fan-out for the serve layer.
+
+``repro serve <db1> <db2> ...`` answers the same JSON payloads as a
+single-database server by merging each shard's ``rollups_*`` aggregates
+at query time. Every rollup is a counter, so the merge is summation —
+with two deliberate exceptions that keep the answers byte-identical to
+serving the union database:
+
+* ``totals.content`` counts the *union* of content hashes, because the
+  canonical ``content`` table is hash-deduplicated: a script stored by
+  two shards is one row in the merged database, not two;
+* a ``/corpus/<hash>`` ``stored`` block comes from the first shard (in
+  argument order) holding the body — all shards store identical bytes
+  for one hash, so the choice only has to be deterministic.
+
+The shards' rollup generations compose into a **vector generation**
+(one component per database, in argument order) used for response-cache
+keys and ``ETag`` values: any shard advancing invalidates exactly like
+a single generation bump would.
+
+Sites are expected to be disjoint across shards (each site was crawled
+into exactly one database). Overlap does not crash — counters still
+sum — but per-site verdict cards then describe the *combined* rows,
+which no single-database crawl would have produced.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.aggregates import _one, _ranked
+from repro.serve.rollups import (
+    ROLLUP_SCHEMA_VERSION,
+    generation,
+    rollups_state,
+)
+
+Connections = Sequence[sqlite3.Connection]
+
+
+def vector_generation(connections: Connections) -> Tuple[int, ...]:
+    """One generation component per shard, in argument order."""
+    return tuple(generation(conn) for conn in connections)
+
+
+def fanout_state(connections: Connections) -> str:
+    """``fresh`` iff every shard's rollups are fresh, else the first
+    non-fresh shard's state (the degradation the caller must fix)."""
+    for conn in connections:
+        state = rollups_state(conn)
+        if state != "fresh":
+            return state
+    return "fresh"
+
+
+def _sum_counts(connections: Connections, sql: str,
+                key_width: int) -> Counter:
+    counts: Counter = Counter()
+    for conn in connections:
+        for row in conn.execute(sql):
+            counts[tuple(row[:key_width])] += int(row[key_width])
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Aggregate endpoints (same payload shapes as repro.serve.aggregates)
+# ----------------------------------------------------------------------
+def totals_fanout(connections: Connections) -> Dict[str, Any]:
+    totals = {name: 0 for name in (
+        "site_visits", "http_requests", "http_responses",
+        "javascript", "javascript_cookies", "content",
+        "crash_history", "failed_visits", "quarantined_sites")}
+    for conn in connections:
+        for name, value in conn.execute(
+                "SELECT name, value FROM rollups_totals"):
+            if name in totals:
+                totals[str(name)] += int(value)
+    hashes = set()
+    for conn in connections:
+        hashes.update(str(row[0]) for row in conn.execute(
+            "SELECT content_hash FROM content"))
+    totals["content"] = len(hashes)
+    visits: Counter = Counter()
+    for conn in connections:
+        for site, count in conn.execute(
+                "SELECT site_url, visits FROM rollups_sites"):
+            visits[str(site)] += int(count)
+    return {"totals": {name: int(count)
+                       for name, count in sorted(totals.items())},
+            "distinct_sites_visited":
+                sum(1 for count in visits.values() if count > 0)}
+
+
+def symbols_fanout(connections: Connections) -> Dict[str, Any]:
+    counts = _sum_counts(connections, "SELECT symbol, operation, count "
+                                      "FROM rollups_symbols", 2)
+    return {"symbols": _ranked(
+        [(str(s), str(o), n) for (s, o), n in counts.items()],
+        ("symbol", "operation"))}
+
+
+def resources_fanout(connections: Connections) -> Dict[str, Any]:
+    counts = _sum_counts(
+        connections, "SELECT resource_type, is_third_party, count "
+                     "FROM rollups_resources", 2)
+    return {"resources": _ranked(
+        [(str(r), int(t), n) for (r, t), n in counts.items()],
+        ("resource_type", "is_third_party"))}
+
+
+def cookies_fanout(connections: Connections) -> Dict[str, Any]:
+    counts = _sum_counts(connections, "SELECT host, count "
+                                      "FROM rollups_cookie_hosts", 1)
+    return {"hosts": _ranked([(str(h), n) for (h,), n
+                              in counts.items()], ("host",))}
+
+
+def crashes_fanout(connections: Connections) -> Dict[str, Any]:
+    counts = _sum_counts(connections, "SELECT action, count "
+                                      "FROM rollups_crashes", 1)
+    return {"crashes": _ranked([(str(a), n) for (a,), n
+                                in counts.items()], ("action",))}
+
+
+def drop_reasons_fanout(connections: Connections) -> Dict[str, Any]:
+    counts = _sum_counts(connections, "SELECT reason, count "
+                                      "FROM rollups_drop_reasons", 1)
+    return {"drop_reasons": _ranked(
+        [(str(r), n) for (r,), n in counts.items()], ("reason",))}
+
+
+FANOUT_BUILDERS = {
+    "totals": totals_fanout,
+    "symbols": symbols_fanout,
+    "resources": resources_fanout,
+    "cookies": cookies_fanout,
+    "crashes": crashes_fanout,
+    "drop_reasons": drop_reasons_fanout,
+}
+
+
+# ----------------------------------------------------------------------
+# Per-site verdicts / corpus lookups / health
+# ----------------------------------------------------------------------
+def sites_fanout(connections: Connections) -> Dict[str, Any]:
+    urls = set()
+    for conn in connections:
+        urls.update(str(row[0]) for row in conn.execute(
+            "SELECT site_url FROM rollups_sites"))
+    ordered = sorted(urls)
+    return {"sites": ordered, "count": len(ordered)}
+
+
+_SITE_COUNTER_NAMES = ("visits", "js_rows", "http_rows",
+                       "response_rows", "cookie_rows",
+                       "third_party_requests", "webdriver_probes",
+                       "crashes", "failed", "quarantined")
+
+
+def site_fanout(connections: Connections,
+                site_url: str) -> Optional[Dict[str, Any]]:
+    counters: Optional[Dict[str, int]] = None
+    scripts: Counter = Counter()
+    for conn in connections:
+        row = conn.execute(
+            "SELECT " + ", ".join(_SITE_COUNTER_NAMES)
+            + " FROM rollups_sites WHERE site_url = ?",
+            (site_url,)).fetchone()
+        if row is not None:
+            if counters is None:
+                counters = {name: 0 for name in _SITE_COUNTER_NAMES}
+            for name, value in zip(_SITE_COUNTER_NAMES, row):
+                counters[name] += int(value)
+        for digest, refs in conn.execute(
+                "SELECT content_hash, refs FROM rollups_script_sites "
+                "WHERE site_url = ?", (site_url,)):
+            scripts[str(digest)] += int(refs)
+    if counters is None:
+        return None
+    return {
+        "site_url": site_url,
+        "counters": counters,
+        "verdicts": {
+            "visited": counters["visits"] > 0,
+            "crashed": counters["crashes"] > 0,
+            "failed": counters["failed"] > 0,
+            "quarantined": counters["quarantined"] > 0,
+            "probed_webdriver": counters["webdriver_probes"] > 0,
+        },
+        "scripts": _ranked([(digest, n)
+                            for digest, n in scripts.items()],
+                           ("content_hash",)),
+    }
+
+
+def script_fanout(connections: Connections,
+                  content_hash: str) -> Optional[Dict[str, Any]]:
+    refs = 0
+    sites: Counter = Counter()
+    stored = None
+    for conn in connections:
+        row = conn.execute(
+            "SELECT refs FROM rollups_scripts WHERE content_hash = ?",
+            (content_hash,)).fetchone()
+        if row is not None:
+            refs += int(row[0])
+        for url, count in conn.execute(
+                "SELECT site_url, refs FROM rollups_script_sites "
+                "WHERE content_hash = ?", (content_hash,)):
+            sites[str(url)] += int(count)
+        if stored is None:
+            stored = conn.execute(
+                "SELECT url, content_type, length(content) "
+                "FROM content WHERE content_hash = ?",
+                (content_hash,)).fetchone()
+    if refs == 0 and stored is None:
+        return None
+    payload: Dict[str, Any] = {
+        "content_hash": content_hash,
+        "refs": refs,
+        "sites": _ranked([(url, n) for url, n in sites.items()],
+                         ("site_url",)),
+        "stored": stored is not None,
+    }
+    if stored is not None:
+        payload["url"] = stored[0]
+        payload["content_type"] = stored[1]
+        payload["size"] = int(stored[2] or 0)
+    return payload
+
+
+def healthz_fanout(connections: Connections,
+                   database_paths: List[str]) -> Dict[str, Any]:
+    state = fanout_state(connections)
+    sites = 0
+    if state != "absent":
+        for conn in connections:
+            if rollups_state(conn) != "absent":
+                sites += _one(conn,
+                              "SELECT COUNT(*) FROM rollups_sites")
+    return {
+        "status": "ok" if state == "fresh" else "degraded",
+        "rollups": state,
+        "schema_version": ROLLUP_SCHEMA_VERSION,
+        "generation": list(vector_generation(connections)),
+        "sites": sites,
+        "database": list(database_paths),
+    }

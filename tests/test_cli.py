@@ -241,7 +241,13 @@ class TestServeCommand:
         args = build_parser().parse_args(["serve", "x.db"])
         assert args.port == 0 and args.host == "127.0.0.1"
         assert args.cache_capacity == 512 and args.cache_ttl == 30.0
-        assert args.extra is None
+        assert args.extra == []
+
+    def test_parser_accepts_fanout_paths(self):
+        args = build_parser().parse_args(["serve", "a.db", "b.db",
+                                          "c.db"])
+        assert args.db == "a.db"
+        assert args.extra == ["b.db", "c.db"]
 
     def test_serve_rejects_missing_db(self, tmp_path, capsys):
         code = main(["serve", str(tmp_path / "nope.db")])
@@ -253,13 +259,14 @@ class TestServeCommand:
         code = main(["serve", "build"])
         captured = capsys.readouterr()
         assert code == 2
-        assert "needs a database path" in captured.err
+        assert "needs exactly one database path" in captured.err
 
-    def test_rejects_unexpected_extra_argument(self, crawl_db, capsys):
+    def test_rejects_missing_fanout_member(self, crawl_db, capsys):
+        # Extra positionals are fan-out members now; each must exist.
         code = main(["serve", crawl_db, "whatever"])
         captured = capsys.readouterr()
         assert code == 2
-        assert "unexpected argument" in captured.err
+        assert "no crawl database at 'whatever'" in captured.err
 
     def test_build_then_verify_roundtrip(self, crawl_db, capsys):
         code, out = run_cli(capsys, ["serve", "build", crawl_db])

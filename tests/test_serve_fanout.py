@@ -1,0 +1,234 @@
+"""Serve-layer shard fan-out and HTTP conditional requests.
+
+Fan-out is the query-time face of ``--shard-dbs``: ``repro serve`` can
+mount several crawl databases at once and answer every route by
+merging rollup aggregates across them, so shard sets can be inspected
+without first folding them into one canonical file. The acceptance
+bar is payload equality — a fan-out over databases that partition a
+site population must return byte-identical bodies to a single
+database covering the union.
+
+Conditional requests ride on the rollup generation: the ETag **is**
+the generation (a dash-joined vector when fanning out), so
+``If-None-Match`` turns a repeat poll into an empty 304 whenever no
+crawl data changed anywhere.
+"""
+
+import json
+import sqlite3
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.runner import run_telemetry_crawl
+from repro.serve import ResultServer
+from repro.serve.api import etag_for, generation_header
+
+URLS = [f"https://lab.test/site-{i:05d}" for i in range(10)]
+
+ROUTES = [
+    ("/sites", ""),
+    ("/aggregates/totals", ""),
+    ("/aggregates/symbols", ""),
+    ("/aggregates/resources", ""),
+    ("/aggregates/cookies", ""),
+    ("/aggregates/crashes", ""),
+    ("/aggregates/drop_reasons", ""),
+    ("/site", f"url={URLS[0]}"),
+    ("/site", f"url={URLS[7]}"),
+    ("/healthz", ""),
+]
+
+
+def decode(response):
+    return json.loads(response.body.decode("utf-8"))
+
+
+@pytest.fixture(scope="module")
+def databases(tmp_path_factory):
+    """Two disjoint 5-site crawls plus one crawl of the full union."""
+    tmp = tmp_path_factory.mktemp("fanout")
+
+    def one(name, subset):
+        db = str(tmp / f"{name}.db")
+        result = run_telemetry_crawl(
+            site_count=len(subset), seed=7, database_path=db,
+            crash_probability=0.0, browsers=1, web="lab", urls=subset)
+        result.close()
+        return db
+
+    return {"a": one("a", URLS[:5]), "b": one("b", URLS[5:]),
+            "all": one("all", URLS)}
+
+
+@pytest.fixture(scope="module")
+def servers(databases):
+    single = ResultServer(databases["all"])
+    fan = ResultServer([databases["a"], databases["b"]])
+    yield single, fan
+    single.close()
+    fan.close()
+
+
+class TestFanOutParity:
+    @pytest.mark.parametrize("path,query", ROUTES[:-1])
+    def test_fanout_body_equals_single_database(self, servers, path,
+                                                query):
+        single, fan = servers
+        ours = fan.respond(path, query)
+        theirs = single.respond(path, query)
+        assert ours.status == theirs.status == 200
+        assert ours.body == theirs.body
+
+    def test_corpus_refs_sum_across_shards(self, tmp_path):
+        """Lab crawls save no script content, so this parity check
+        runs on tranco crawls: a hash referenced from sites in *both*
+        shards must answer with the summed ref count."""
+        from repro.web import build_world
+
+        urls = build_world(site_count=6, seed=7).front_urls(6)
+
+        def one(name, subset):
+            db = str(tmp_path / f"{name}.db")
+            result = run_telemetry_crawl(
+                site_count=6, seed=7, database_path=db,
+                crash_probability=0.0, browsers=1, web="tranco",
+                urls=subset)
+            result.close()
+            return db
+
+        single = ResultServer(one("all", urls))
+        fan = ResultServer([one("a", urls[:3]), one("b", urls[3:])])
+        try:
+            conn = sqlite3.connect(single.database_path)
+            hashes = [row[0] for row in conn.execute(
+                "SELECT DISTINCT content_hash FROM content "
+                "ORDER BY content_hash LIMIT 5")]
+            conn.close()
+            assert hashes
+            for content_hash in hashes:
+                ours = fan.respond("/corpus/" + content_hash)
+                theirs = single.respond("/corpus/" + content_hash)
+                assert ours.status == theirs.status == 200
+                assert decode(ours)["refs"] == decode(theirs)["refs"]
+                assert decode(ours)["sites"] == decode(theirs)["sites"]
+            missing = "0" * 64
+            assert fan.respond("/corpus/" + missing).status \
+                == single.respond("/corpus/" + missing).status == 404
+        finally:
+            single.close()
+            fan.close()
+
+    def test_healthz_reports_generation_vector(self, servers,
+                                               databases):
+        _, fan = servers
+        response = fan.respond("/healthz")
+        assert response.status == 200
+        payload = decode(response)
+        assert payload["rollups"] == "fresh"
+        assert isinstance(payload["generation"], list)
+        assert len(payload["generation"]) == 2
+        assert payload["database"] == [databases["a"],
+                                       databases["b"]]
+        assert payload["sites"] == 10
+
+    def test_missing_fanout_member_is_a_serve_error(self, databases,
+                                                    tmp_path):
+        from repro.serve import ServeError
+
+        with pytest.raises(ServeError):
+            ResultServer([databases["a"], str(tmp_path / "nope.db")])
+
+
+class TestConditionalRequests:
+    def test_etag_formats(self):
+        assert etag_for(5) == '"g5"'
+        assert etag_for((5, 2)) == '"g5-2"'
+        assert etag_for([3]) == '"g3"'
+        assert generation_header(5) == "5"
+        assert generation_header((5, 2)) == "5,2"
+
+    def test_if_none_match_returns_empty_304(self, servers):
+        single, _ = servers
+        first = single.respond("/sites")
+        assert first.status == 200
+        assert first.etag == etag_for(first.generation)
+        before = single.metrics.counter_value("serve_not_modified_total")
+        again = single.respond("/sites", "", first.etag)
+        assert again.status == 304
+        assert again.body == b""
+        assert again.etag == first.etag
+        assert single.metrics.counter_value(
+            "serve_not_modified_total") == before + 1
+
+    def test_stale_etag_gets_full_response(self, servers):
+        single, _ = servers
+        first = single.respond("/sites")
+        response = single.respond("/sites", "", '"g0"')
+        assert response.status == 200
+        assert response.body == first.body
+
+    def test_vector_etag_over_fanout(self, servers):
+        _, fan = servers
+        first = fan.respond("/aggregates/totals")
+        assert first.status == 200
+        assert "-" in first.etag
+        again = fan.respond("/aggregates/totals", "", first.etag)
+        assert again.status == 304
+        assert again.body == b""
+
+    def test_not_modified_does_not_populate_cache(self, servers):
+        single, _ = servers
+        etag = single.respond("/aggregates/cookies").etag
+        single.cache.clear()
+        misses = single.cache.stats()["misses"]
+        response = single.respond("/aggregates/cookies", "", etag)
+        assert response.status == 304
+        # The 304 short-circuits before the cache: no lookup, no fill.
+        assert single.cache.stats()["misses"] == misses
+
+    def test_generation_bump_in_one_shard_invalidates(self, databases):
+        """Advancing one shard's rollup generation changes the vector,
+        which changes both the cache key and the ETag — a held ETag
+        re-validates as 200 with fresh content."""
+        fan = ResultServer([databases["a"], databases["b"]])
+        try:
+            first = fan.respond("/aggregates/symbols")
+            conn = sqlite3.connect(databases["b"])
+            conn.execute(
+                "UPDATE rollups_meta SET value = value + 1 "
+                "WHERE key = 'generation'")
+            conn.commit()
+            conn.close()
+            response = fan.respond("/aggregates/symbols", "",
+                                   first.etag)
+            assert response.status == 200
+            assert response.body == first.body
+            assert response.etag != first.etag
+            assert response.generation != first.generation
+        finally:
+            fan.close()
+
+    def test_http_transport_conditional_roundtrip(self, databases):
+        server = ResultServer([databases["a"], databases["b"]])
+        try:
+            port = server.start()
+            url = f"http://127.0.0.1:{port}/aggregates/totals"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                etag = response.headers["ETag"]
+                generation = response.headers["X-Rollup-Generation"]
+                payload = json.loads(response.read())
+            assert etag == etag_for(tuple(
+                int(g) for g in generation.split(",")))
+            assert "," in generation
+            assert payload["totals"]["site_visits"] == 10
+            request = urllib.request.Request(
+                url, headers={"If-None-Match": etag})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 304
+            assert excinfo.value.headers["ETag"] == etag
+            assert excinfo.value.read() == b""
+        finally:
+            server.close()

@@ -1,0 +1,334 @@
+"""Per-shard crawl databases and the deterministic merge
+(``--shard-dbs``).
+
+The acceptance criteria for sharded storage:
+
+* a sharded N-process crawl's merged database is **byte-identical** to
+  the single-writer inline path — including the failure/quarantine
+  ledgers and the incremental ``rollups_*`` tables — for clean runs
+  and for every chaos scenario (SIGKILL mid-visit, kill inside the
+  provisional resolution window, lease races spanning shards);
+* a resumed sharded crawl re-merges from scratch and still matches a
+  clean inline run (``rollups_meta`` alone may differ: the wipe keeps
+  the rollup generation moving forward);
+* ``repro merge`` folds a shard directory into a standalone canonical
+  database with the same bytes;
+* ``repro stats`` reconciliation passes on the merged database;
+* scan mode (``repro scan --shard-dbs``) spools evidence per worker
+  and folds it into the same corpus/dataset as the inline scan.
+"""
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.obs.runner import run_telemetry_crawl
+from repro.obs.stats import build_crawl_report, render_crawl_report
+from repro.obs.telemetry import Telemetry
+from repro.sched import JobQueue
+
+from tests.test_procpool import VOLATILE_TABLES, crawl, dump_tables
+
+#: The wipe-and-re-merge of a resumed sharded crawl rebuilds the
+#: rollups with the generation still moving forward, so this one table
+#: legitimately differs from a clean run (documented in
+#: repro.serve.rollups).
+RESUME_VOLATILE = VOLATILE_TABLES + ("rollups_meta",)
+
+
+def assert_tables_equal(baseline, tables, ignore=()):
+    assert set(tables) == set(baseline)
+    for table in tables:
+        if table in ignore:
+            continue
+        assert tables[table] == baseline[table], table
+
+
+# ---------------------------------------------------------------------------
+# Determinism: N shards merge to the inline bytes
+# ---------------------------------------------------------------------------
+class TestShardEquivalence:
+    @pytest.fixture(scope="class")
+    def inline_baseline(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("inline")
+        db_path, report = crawl(tmp, "inline", workers=1)
+        assert report.drained
+        return dump_tables(db_path)
+
+    @pytest.mark.parametrize("procs", [1, 2, 4])
+    def test_sharded_crawl_byte_identical_to_inline(
+            self, procs, tmp_path, inline_baseline):
+        db_path, report = crawl(tmp_path, f"shard{procs}",
+                                worker_procs=procs, shard_dbs=True)
+        assert report.drained
+        assert report.completed == 10
+        assert_tables_equal(inline_baseline, dump_tables(db_path))
+
+    def test_shard_files_live_beside_the_database(self, tmp_path):
+        db_path, report = crawl(tmp_path, "layout", sites=6,
+                                worker_procs=2, shard_dbs=True)
+        assert report.drained
+        names = sorted(os.listdir(db_path + ".shards"))
+        assert "coordinator.sqlite" in names
+        assert "shard-00.sqlite" in names
+        assert "shard-01.sqlite" in names
+
+    def test_memory_db_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="file-backed"):
+            run_telemetry_crawl(
+                site_count=2, database_path=":memory:", browsers=1,
+                crash_probability=0.0, web="lab", worker_procs=2,
+                shard_dbs=True,
+                queue_path=str(tmp_path / "x.queue"))
+
+    def test_shard_flags_require_worker_procs(self):
+        with pytest.raises(ValueError, match="worker-procs"):
+            run_telemetry_crawl(site_count=2, browsers=1,
+                                crash_probability=0.0, web="lab",
+                                shard_dbs=True)
+        with pytest.raises(ValueError, match="worker-procs"):
+            run_telemetry_crawl(site_count=2, browsers=1,
+                                crash_probability=0.0, web="lab",
+                                pin_cpus=True)
+
+    def test_broker_recorded_crawl_refuses_shard_resume(self, tmp_path):
+        db_path, report = crawl(tmp_path, "mixed", sites=6,
+                                worker_procs=2, stop_after_jobs=2)
+        assert report.interrupted
+        with pytest.raises(ValueError, match="broker mode"):
+            run_telemetry_crawl(
+                site_count=6, seed=7, database_path=db_path,
+                crash_probability=0.0, browsers=1, web="lab",
+                worker_procs=2, shard_dbs=True, resume=True,
+                queue_path=str(tmp_path / "mixed.queue"))
+
+
+# ---------------------------------------------------------------------------
+# Chaos: the merge stays deterministic under worker loss
+# ---------------------------------------------------------------------------
+class TestShardChaos:
+    @pytest.fixture(scope="class")
+    def inline8(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("inline8")
+        db_path, report = crawl(tmp, "inline", sites=8, workers=1)
+        assert report.drained
+        return dump_tables(db_path)
+
+    def test_sigkill_mid_visit_merges_identical(self, tmp_path,
+                                                inline8):
+        """A SIGKILLed worker leaves a torn shard (visit rows, no
+        resolution); recovery voids the attempt and the respawn's
+        re-run wins the merge."""
+        plan = FaultPlan([FaultRule(fault="worker_sigkill",
+                                    point="proc.mid_visit", times=1)])
+        db_path, report = crawl(tmp_path, "sigkill", sites=8,
+                                worker_procs=1, shard_dbs=True,
+                                fault_plan=plan, respawn_backoff=0.05)
+        assert report.drained
+        assert report.worker_deaths == 1
+        assert_tables_equal(inline8, dump_tables(db_path))
+
+    def test_kill_inside_provisional_window_merges_identical(
+            self, tmp_path, inline8):
+        """proc.resolve kills between the shard_jobs provisional row
+        and the queue resolution — the 2PC window. Recovery resolves
+        the row against the queue (the op never landed → voided)."""
+        plan = FaultPlan([FaultRule(fault="worker_sigkill",
+                                    point="proc.resolve", times=1)])
+        db_path, report = crawl(tmp_path, "resolve", sites=8,
+                                worker_procs=1, shard_dbs=True,
+                                fault_plan=plan, respawn_backoff=0.05)
+        assert report.drained
+        assert_tables_equal(inline8, dump_tables(db_path))
+
+    def test_lease_race_across_shards_merges_identical(self, tmp_path,
+                                                       inline8):
+        """One site's visit hangs past its lease; the healthy worker
+        re-runs it into *its own* shard. The stale resolution voids
+        (LeaseError), and the merge keeps exactly the winning attempt
+        — late-completion bookkeeping spans shard files here."""
+        plan = FaultPlan([FaultRule(fault="hang",
+                                    point="proc.mid_visit",
+                                    site="site-00000", times=1,
+                                    seconds=4.0)])
+        db_path, report = crawl(tmp_path, "lease", sites=8,
+                                worker_procs=2, shard_dbs=True,
+                                fault_plan=plan, lease_seconds=0.5,
+                                heartbeat_deadline=30.0,
+                                max_attempts=3)
+        assert report.drained
+        assert report.lease_lost >= 1
+        assert report.reclaimed >= 1
+        assert_tables_equal(inline8, dump_tables(db_path))
+
+    def test_stop_then_resume_across_shard_sets(self, tmp_path):
+        """An interrupted sharded crawl resumes over the same queue
+        and shard directory; the final wipe-and-re-merge matches a
+        clean inline run byte for byte (rollups_meta excepted: the
+        generation only ever moves forward)."""
+        db_path, report = crawl(tmp_path, "stop", sites=12,
+                                worker_procs=2, shard_dbs=True,
+                                stop_after_jobs=4)
+        assert report.interrupted
+        assert 0 < report.completed < 12
+
+        result = run_telemetry_crawl(
+            site_count=12, seed=7, database_path=db_path,
+            crash_probability=0.0, browsers=1, web="lab",
+            worker_procs=2, queue_path=str(tmp_path / "stop.queue"),
+            resume=True, shard_dbs=True)
+        resumed = result.report
+        result.close()
+        assert resumed.drained
+        assert resumed.counts["completed"] == 12
+
+        inline_db, _ = crawl(tmp_path, "inline12", sites=12, workers=1)
+        baseline = dump_tables(inline_db)
+        tables = dump_tables(db_path)
+        assert_tables_equal(baseline, tables, ignore=("rollups_meta",))
+        # The re-merge's generation still moved forward, never reset.
+        merged_gen = int(dict(tables["rollups_meta"])["generation"])
+        clean_gen = int(dict(baseline["rollups_meta"])["generation"])
+        assert merged_gen >= clean_gen
+
+
+# ---------------------------------------------------------------------------
+# repro merge: standalone deterministic fold
+# ---------------------------------------------------------------------------
+class TestMergeCommand:
+    def test_cli_merge_rebuilds_canonical_database(self, tmp_path,
+                                                   capsys):
+        import json
+
+        from repro.cli import main
+
+        db_path, report = crawl(tmp_path, "source", sites=8,
+                                worker_procs=2, shard_dbs=True)
+        assert report.drained
+        out = str(tmp_path / "standalone.sqlite")
+        code = main(["merge", db_path + ".shards", out,
+                     "--queue", str(tmp_path / "source.queue")])
+        printed = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert printed["attempts_unresolved"] == 0
+        assert printed["visits_imported"] == 8
+        assert printed["shards"] >= 3  # 2 workers + coordinator
+        assert_tables_equal(dump_tables(db_path), dump_tables(out),
+                            ignore=("rollups_meta",))
+
+    def test_cli_merge_rejects_non_shard_input(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db_path, _ = crawl(tmp_path, "plain", sites=4, workers=1)
+        code = main(["merge", db_path,
+                     str(tmp_path / "out.sqlite")])
+        assert code == 2
+        assert "not a shard database" in capsys.readouterr().err
+
+    def test_merge_is_idempotent_over_existing_output(self, tmp_path):
+        from repro.openwpm.merge import merge_shards
+
+        db_path, _ = crawl(tmp_path, "idem", sites=6, worker_procs=2,
+                           shard_dbs=True)
+        shard_dir = db_path + ".shards"
+        shards = sorted(
+            os.path.join(shard_dir, name)
+            for name in os.listdir(shard_dir)
+            if name.endswith(".sqlite"))
+        out = str(tmp_path / "twice.sqlite")
+        first = merge_shards(shards, database_path=out)
+        assert not first.wiped
+        again = merge_shards(shards, database_path=out)
+        assert again.wiped  # found data, wiped, re-folded
+        assert_tables_equal(dump_tables(db_path), dump_tables(out),
+                            ignore=("rollups_meta",))
+
+
+# ---------------------------------------------------------------------------
+# Observability: stats reconcile on the merged database; CPU pinning
+# ---------------------------------------------------------------------------
+class TestShardObservability:
+    def test_stats_reconcile_on_merged_database(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        db_path = str(tmp_path / "stats.db")
+        queue_path = str(tmp_path / "stats.queue")
+        result = run_telemetry_crawl(
+            site_count=6, seed=7, database_path=db_path,
+            crash_probability=0.0, browsers=1, web="lab",
+            worker_procs=2, queue_path=queue_path, shard_dbs=True,
+            journal_dir=journal_dir)
+        queue = JobQueue(queue_path)
+        try:
+            report = build_crawl_report(result.storage, queue=queue,
+                                        journal_dir=journal_dir)
+        finally:
+            queue.close()
+            result.close()
+        assert report["reconciled"], report["reconciliation"]
+        pool = report["process_pool"]
+        assert pool["shard_merges"] == 1
+        assert pool["shard_attempts_merged"] == 6
+        assert pool["shard_visits_merged"] == 6
+        text = render_crawl_report(report)
+        assert "shard merges" in text
+
+    def test_pin_cpus_smoke(self, tmp_path):
+        """--pin-cpus either pins every worker (sched_setaffinity
+        available) or warns and continues; the crawl output is
+        unaffected either way."""
+        telemetry = Telemetry()
+        db_path, report = crawl(tmp_path, "pin", sites=6,
+                                worker_procs=2, shard_dbs=True,
+                                pin_cpus=True, telemetry=telemetry)
+        assert report.drained
+        assert report.completed == 6
+        if hasattr(os, "sched_setaffinity"):
+            assert telemetry.metrics.counter_value(
+                "proc_workers_pinned") == 2
+
+
+# ---------------------------------------------------------------------------
+# Scan mode: per-worker evidence spools fold to the inline dataset
+# ---------------------------------------------------------------------------
+class TestScanShardEquivalence:
+    def test_sharded_scan_matches_inline(self, tmp_path):
+        from repro.core.scan import ScanPipeline
+        from repro.web import build_world
+
+        world = build_world(site_count=8, seed=5)
+        inline = ScanPipeline(world, client_id="shard-test").run(
+            visit_subpages=True, workers=1,
+            queue_path=str(tmp_path / "inline.queue"))
+        world2 = build_world(site_count=8, seed=5)
+        sharded = ScanPipeline(world2, client_id="shard-test").run(
+            visit_subpages=True, worker_procs=2, world_seed=5,
+            queue_path=str(tmp_path / "shard.queue"), shard_dbs=True)
+        try:
+            assert sharded.corpus.occurrence_rows() \
+                == inline.corpus.occurrence_rows()
+            assert sharded.corpus.hashes() == inline.corpus.hashes()
+            assert sharded.unique_scripts == inline.unique_scripts
+            assert sharded.visited_sites == inline.visited_sites
+            assert sharded.table5() == inline.table5()
+            assert sharded.table11() == inline.table11()
+        finally:
+            inline.corpus.close()
+            sharded.corpus.close()
+
+    def test_scan_spool_files_created(self, tmp_path):
+        from repro.core.scan import ScanPipeline
+        from repro.web import build_world
+
+        queue_path = str(tmp_path / "spool.queue")
+        world = build_world(site_count=6, seed=5)
+        dataset = ScanPipeline(world, client_id="shard-test").run(
+            visit_subpages=False, worker_procs=2, world_seed=5,
+            queue_path=queue_path, shard_dbs=True)
+        try:
+            names = sorted(os.listdir(queue_path + ".shards"))
+            assert "shard-00.sqlite" in names
+            assert dataset.visited_sites == 6
+        finally:
+            dataset.corpus.close()
